@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Ablation: sweeping the package power target.
+ *
+ * The paper observes one operating point (the 560 W cap, with FP64
+ * regulating near 541 W). Following the GPU power-capping studies it
+ * cites (Patki et al.), this ablation sweeps the governor target and
+ * reports the throughput and efficiency each datatype achieves — FP64
+ * is cap-sensitive across almost the whole range, while float and
+ * mixed only start throttling near 320 W.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "sim/device.hh"
+#include "wmma/recorder.hh"
+
+namespace {
+
+using namespace mc;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Ablation: throughput vs package power target");
+    cli.addFlag("iters", static_cast<std::int64_t>(1000000),
+                "MFMA operations per wavefront");
+    cli.parse(argc, argv);
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+
+    const struct { const char *label; const char *mnemonic; } series[] = {
+        {"double", "v_mfma_f64_16x16x4_f64"},
+        {"float", "v_mfma_f32_16x16x4_f32"},
+        {"mixed", "v_mfma_f32_16x16x16_f16"},
+    };
+    const double caps[] = {560.0, 541.0, 450.0, 400.0, 350.0, 300.0,
+                           250.0, 200.0};
+
+    TextTable table({"target (W)", "double TFLOPS", "double GF/W",
+                     "float TFLOPS", "float GF/W", "mixed TFLOPS",
+                     "mixed GF/W"});
+    table.setTitle("Throughput and efficiency vs power-governor target "
+                   "(2 GCDs, saturated)");
+
+    for (double cap : caps) {
+        std::vector<std::string> row{std::to_string(
+            static_cast<int>(cap))};
+        for (const auto &s : series) {
+            arch::Cdna2Calibration cal = arch::defaultCdna2();
+            cal.dvfsTargetW = cap;
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            sim::Mi250x gpu(cal, opts);
+
+            const arch::MfmaInstruction *inst =
+                arch::findInstruction(arch::GpuArch::Cdna2, s.mnemonic);
+            if (inst == nullptr)
+                mc_fatal("missing instruction ", s.mnemonic);
+            const auto r = gpu.run(
+                wmma::mfmaLoopProfile(*inst, iters, 440), {0, 1});
+
+            char tf[16], eff[16];
+            std::snprintf(tf, sizeof(tf), "%.1f%s",
+                          r.throughput() / 1e12,
+                          r.throttled ? "*" : "");
+            std::snprintf(eff, sizeof(eff), "%.0f",
+                          r.throughput() / r.avgPowerW / 1e9);
+            row.emplace_back(tf);
+            row.emplace_back(eff);
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(* = governor throttled). Under the linear Eq. 3 "
+                 "power model, efficiency falls with tighter caps: "
+                 "dynamic power scales with throughput while the base "
+                 "power amortizes over fewer FLOPs. Real silicon can "
+                 "gain efficiency from the voltage reduction that "
+                 "accompanies frequency scaling — a quadratic term this "
+                 "first-order model deliberately omits (the paper fits "
+                 "a linear model too).\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "bench_util.hh"
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace bench {
+
+std::string
+Measurement::format(double scale, int precision) const
+{
+    char buf[96];
+    if (stats.relativeSpread() > 0.02) {
+        std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f", precision,
+                      stats.mean * scale, precision,
+                      stats.stddev * scale);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.*f", precision,
+                      stats.mean * scale);
+    }
+    return buf;
+}
+
+Measurement
+repeatMeasure(const std::function<double()> &sample, int repetitions)
+{
+    mc_assert(repetitions > 0, "at least one repetition required");
+    std::vector<double> values;
+    values.reserve(repetitions);
+    for (int i = 0; i < repetitions; ++i)
+        values.push_back(sample());
+    return Measurement{summarize(values)};
+}
+
+std::string
+tflopsCell(const Measurement &m)
+{
+    return m.format(1e-12, 1);
+}
+
+} // namespace bench
+} // namespace mc

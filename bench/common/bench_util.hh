@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: repeated
+ * measurement with the paper's error-bound convention (>= 10
+ * repetitions, error reported when the spread exceeds 2%), and common
+ * formatting.
+ */
+
+#ifndef MC_BENCH_COMMON_BENCH_UTIL_HH
+#define MC_BENCH_COMMON_BENCH_UTIL_HH
+
+#include <functional>
+#include <string>
+
+#include "common/stats.hh"
+
+namespace mc {
+namespace bench {
+
+/** A repeated measurement with the paper's reporting convention. */
+struct Measurement
+{
+    SampleStats stats;
+
+    /** Mean of the repetitions. */
+    double value() const { return stats.mean; }
+
+    /**
+     * Render the value scaled by @p scale with @p precision digits,
+     * appending a +/- error bound only when the relative spread
+     * exceeds 2% (Section IV's convention).
+     */
+    std::string format(double scale, int precision) const;
+};
+
+/**
+ * Run @p sample (which returns one measured value) @p repetitions
+ * times and summarize.
+ */
+Measurement repeatMeasure(const std::function<double()> &sample,
+                          int repetitions = 10);
+
+/** Standard "<n> TFLOPS" cell: value scaled by 1e12, one decimal. */
+std::string tflopsCell(const Measurement &m);
+
+} // namespace bench
+} // namespace mc
+
+#endif // MC_BENCH_COMMON_BENCH_UTIL_HH

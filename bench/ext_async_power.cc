@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Extension study: Fig. 5's measurement setup modelled literally.
+ *
+ * The paper measures package power by running "one process per GCD"
+ * and polling the SMI from a third, background process. The main Fig. 5
+ * bench drives both GCDs through one synchronous launch; this study
+ * instead uses two asynchronous streams — one per GCD, like the
+ * paper's two processes — lets their kernels overlap on independent
+ * timelines, and samples the *merged* package power. For the
+ * non-throttling datatypes the two methods agree with Eq. 3 exactly;
+ * for FP64 the async path detects that the merged power exceeds the
+ * regulation target, which is precisely when the package governor
+ * (modelled only on the synchronous path) must step in.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "hip/runtime.hh"
+#include "smi/smi.hh"
+#include "wmma/recorder.hh"
+
+namespace {
+
+using namespace mc;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Per-GCD-process power measurement (async streams)");
+    cli.addFlag("iters", static_cast<std::int64_t>(6000000000),
+                "MFMA operations per wavefront");
+    cli.parse(argc, argv);
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+
+    const struct { const char *label; const char *mnemonic;
+                   double slope; double intercept; } series[] = {
+        {"mixed", "v_mfma_f32_16x16x16_f16", 0.61, 123.0},
+        {"float", "v_mfma_f32_16x16x4_f32", 2.18, 125.5},
+        {"double", "v_mfma_f64_16x16x4_f64", 5.88, 130.0},
+    };
+
+    TextTable table({"type", "per-GCD TFLOPS", "combined TFLOPS",
+                     "sampled W", "Eq.3 W", "within target"});
+    table.setTitle("Power sampled over two concurrently running GCD "
+                   "processes (async streams)");
+
+    for (const auto &s : series) {
+        sim::SimOptions opts;
+        opts.enableNoise = false;
+        hip::Runtime rt(arch::defaultCdna2(), opts);
+        hip::Stream gcd0(rt, 0), gcd1(rt, 1);
+
+        const arch::MfmaInstruction *inst =
+            arch::findInstruction(arch::GpuArch::Cdna2, s.mnemonic);
+        if (inst == nullptr)
+            mc_fatal("missing instruction ", s.mnemonic);
+        const auto profile =
+            wmma::mfmaLoopProfile(*inst, iters, 440, s.label);
+
+        const auto r0 = gcd0.launch(profile);
+        const auto r1 = gcd1.launch(profile);
+
+        smi::PowerSensor sensor(rt.asyncTrace());
+        smi::PowerSampler sampler(sensor, 0.1);
+        const auto samples = sampler.sampleInterval(
+            r0.startSec + 0.5,
+            std::min(r0.endSec, r1.endSec) - 0.5);
+        const double watts = smi::meanWatts(samples);
+        const double combined =
+            (r0.throughput() + r1.throughput()) / 1e12;
+
+        char per[16], comb[16], w[16], eq3[16];
+        std::snprintf(per, sizeof(per), "%.1f",
+                      r0.throughput() / 1e12);
+        std::snprintf(comb, sizeof(comb), "%.1f", combined);
+        std::snprintf(w, sizeof(w), "%.1f", watts);
+        std::snprintf(eq3, sizeof(eq3), "%.1f",
+                      s.slope * combined + s.intercept);
+        const bool ok = rt.asyncPowerOk(r0.startSec, r0.endSec);
+        table.addRow({s.label, per, comb, w, eq3, ok ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::cout << "\nMixed and float: the per-process method reproduces "
+                 "Eq. 3 directly. Double: the merged draw exceeds the "
+                 "541 W regulation target — the condition that forces "
+                 "the throttle the synchronous Fig. 4/5 runs exhibit "
+                 "(69 TFLOPS instead of 82).\n";
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Extension study: strided-batched GEMM.
+ *
+ * The deep-learning workloads that motivated Matrix Cores rarely run
+ * one huge GEMM; they run batches of small ones (attention heads,
+ * per-sample layers). A single small GEMM cannot fill 440 Matrix Cores
+ * — the low-N ramp of Figs. 6/7 — but the batched API amortizes
+ * launches and fills the device. This sweep quantifies how much of the
+ * mixed-precision plateau batching recovers at each entry size.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "blas/gemm.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+
+namespace {
+
+using namespace mc;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Batched GEMM: throughput vs entry size and batch "
+                  "count (HHS)");
+    cli.addFlag("combo", std::string("hhs"), "GEMM combo");
+    cli.parse(argc, argv);
+    const blas::GemmCombo combo =
+        blas::parseCombo(cli.getString("combo"));
+
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+    blas::GemmEngine engine(rt);
+
+    const std::size_t batches[] = {1, 8, 64, 256, 1024};
+    TextTable table({"entry N", "batch 1", "batch 8", "batch 64",
+                     "batch 256", "batch 1024"});
+    table.setTitle(std::string("Batched ") +
+                   blas::comboInfo(combo).name +
+                   " throughput (TFLOPS), one GCD");
+
+    for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (std::size_t batch : batches) {
+            blas::GemmConfig cfg;
+            cfg.combo = combo;
+            cfg.m = cfg.n = cfg.k = n;
+            cfg.alpha = cfg.beta = 0.1;
+            cfg.batchCount = batch;
+            auto result = engine.run(cfg);
+            if (!result.isOk()) {
+                row.push_back("OOM");
+                continue;
+            }
+            char cell[16];
+            std::snprintf(cell, sizeof(cell), "%.1f",
+                          result.value().throughput() / 1e12);
+            row.push_back(cell);
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    std::cout << "\nBatching turns the launch-bound low-N region of "
+                 "Fig. 7 into plateau-class throughput: the Matrix "
+                 "Cores do not care whether the 2N^3 FLOPs come from "
+                 "one problem or a thousand.\n";
+    return 0;
+}

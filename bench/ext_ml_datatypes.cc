@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Extension study: the machine-learning datatypes the paper lists but
+ * does not evaluate (Section II: BF16 and INT8 "specifically target
+ * machine learning workloads").
+ *
+ * Runs the paper's Fig. 3/Fig. 5 methodology on BF16 and INT8 Matrix
+ * Core instructions: latency, throughput scaling plateau, and power
+ * efficiency, alongside the FP16 baseline.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "hip/runtime.hh"
+#include "wmma/recorder.hh"
+
+namespace {
+
+using namespace mc;
+
+const char *kInstructions[] = {
+    "v_mfma_f32_16x16x16_f16",
+    "v_mfma_f32_16x16x16_bf16_1k",
+    "v_mfma_f32_32x32x8_bf16_1k",
+    "v_mfma_f32_16x16x8_bf16",
+    "v_mfma_i32_16x16x16_i8",
+    "v_mfma_i32_32x32x8_i8",
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("ML datatype extension: BF16 and INT8 Matrix Core "
+                  "characterization");
+    cli.addFlag("iters", static_cast<std::int64_t>(1000000),
+                "operations per wavefront");
+    cli.parse(argc, argv);
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+
+    TextTable table({"instruction", "types", "latency (cyc)",
+                     "1-GCD peak (T*OPS)", "pkg peak (T*OPS)",
+                     "pkg power (W)", "G*OPS/W"});
+    table.setTitle("BF16 / INT8 Matrix Core characterization "
+                   "(methodology of Figs. 3-5)");
+    table.setAlignment({Align::Left, Align::Left, Align::Right,
+                        Align::Right, Align::Right, Align::Right,
+                        Align::Right});
+
+    for (const char *name : kInstructions) {
+        const arch::MfmaInstruction *inst =
+            arch::findInstruction(arch::GpuArch::Cdna2, name);
+        if (inst == nullptr)
+            mc_fatal("missing instruction ", name);
+
+        // Latency: one wavefront.
+        const auto lat =
+            rt.launch(wmma::mfmaLoopProfile(*inst, iters, 1), 0);
+        const double cycles =
+            lat.seconds * lat.effClockHz / static_cast<double>(iters);
+
+        // Peaks: one GCD and the full package.
+        const auto one =
+            rt.launch(wmma::mfmaLoopProfile(*inst, iters, 440), 0);
+        const auto pkg = rt.launchMulti(
+            wmma::mfmaLoopProfile(*inst, iters, 440), {0, 1});
+
+        char lat_c[16], one_c[16], pkg_c[16], pw_c[16], eff_c[16];
+        std::snprintf(lat_c, sizeof(lat_c), "%.1f", cycles);
+        std::snprintf(one_c, sizeof(one_c), "%.1f",
+                      one.throughput() / 1e12);
+        std::snprintf(pkg_c, sizeof(pkg_c), "%.1f",
+                      pkg.throughput() / 1e12);
+        std::snprintf(pw_c, sizeof(pw_c), "%.0f", pkg.avgPowerW);
+        std::snprintf(eff_c, sizeof(eff_c), "%.0f",
+                      pkg.throughput() / pkg.avgPowerW / 1e9);
+        table.addRow({inst->mnemonic, inst->typeString(), lat_c, one_c,
+                      pkg_c, pw_c, eff_c});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe '_1k' BF16 shapes run at the full FP16 rate; "
+              << "the CDNA1-heritage BF16 shapes at half rate. INT8 "
+              << "matches FP16 throughput at slightly better "
+              << "energy/op.\n";
+    return 0;
+}

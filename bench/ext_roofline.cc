@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Extension study: a roofline view of the GEMM sweep.
+ *
+ * Positions the Fig. 6/7 GEMM points on the device roofline
+ * (instruction-roofline methodology of the paper's reference [14]):
+ * arithmetic intensity vs achieved throughput against the Matrix Core
+ * and memory roofs. Shows quantitatively why the large-N points bend —
+ * they cross the machine-balance point when L2 panel reuse collapses.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "blas/gemm.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "prof/roofline.hh"
+
+namespace {
+
+using namespace mc;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Roofline placement of the GEMM sweep");
+    cli.addFlag("combo", std::string("sgemm"), "GEMM combo to sweep");
+    cli.parse(argc, argv);
+    const blas::GemmCombo combo =
+        blas::parseCombo(cli.getString("combo"));
+
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+    blas::GemmEngine engine(rt);
+    const prof::RooflineModel roofline(rt.gpu().calibration());
+
+    // Machine context.
+    std::printf("memory roof: %.2f TB/s\n",
+                roofline.memoryBandwidth() / 1e12);
+    for (const auto &roof : roofline.roofs()) {
+        std::printf("compute roof %-16s %8.1f TFLOPS  (balance at "
+                    "%.1f FLOP/byte)\n",
+                    roof.name().c_str(), roof.flopsPerSec / 1e12,
+                    roofline.machineBalance(roof.dtype, roof.kind));
+    }
+    std::printf("\n");
+
+    TextTable table({"N", "intensity (FLOP/B)", "achieved (TFLOPS)",
+                     "attainable (TFLOPS)", "bound", "roof eff."});
+    table.setTitle(std::string("Roofline placement [") +
+                   blas::comboInfo(combo).name + "]");
+
+    for (std::size_t n = 256; n <= 65536; n *= 2) {
+        blas::GemmConfig cfg;
+        cfg.combo = combo;
+        cfg.m = cfg.n = cfg.k = n;
+        cfg.alpha = cfg.beta = 0.1;
+        const blas::GemmPlan plan = engine.plan(cfg);
+        auto result = engine.run(cfg);
+        if (!result.isOk())
+            break;
+        const prof::RooflinePoint point =
+            roofline.classify(plan.profile, result.value().kernel);
+
+        char inten[16], ach[16], att[16], eff[16];
+        std::snprintf(inten, sizeof(inten), "%.1f", point.intensity);
+        std::snprintf(ach, sizeof(ach), "%.1f", point.achieved / 1e12);
+        std::snprintf(att, sizeof(att), "%.1f",
+                      point.attainable / 1e12);
+        std::snprintf(eff, sizeof(eff), "%.0f%%",
+                      100.0 * point.efficiency());
+        table.addRow({std::to_string(n), inten, ach, att,
+                      point.memoryBound ? "memory" : "compute", eff});
+    }
+    table.print(std::cout);
+    std::cout << "\nPoints left of the balance intensity are "
+                 "memory-bound: exactly the dipped region of the "
+                 "paper's Fig. 6/7 curves.\n";
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Figure 4: peak achieved floating-point throughput on one AMD MI250X
+ * package (both GCDs driven concurrently) vs one Nvidia A100, for the
+ * four datatype combinations of Table I.
+ *
+ * Combinations unsupported on a platform print "x", as in the paper
+ * (no f32 <- f32 on Ampere, no f16 <- f16 on CDNA2).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "hip/runtime.hh"
+#include "wmma/recorder.hh"
+
+namespace {
+
+using namespace mc;
+
+struct Combo
+{
+    const char *label;
+    arch::DataType cd;
+    arch::DataType ab;
+    double peakAmd;    ///< advertised peak, TFLOPS (package)
+    double peakNvidia; ///< advertised peak, TFLOPS
+};
+
+const Combo kCombos[] = {
+    {"f32 <- f16", arch::DataType::F32, arch::DataType::F16, 383.0, 312.0},
+    {"f16 <- f16", arch::DataType::F16, arch::DataType::F16, 0.0, 312.0},
+    {"f32 <- f32", arch::DataType::F32, arch::DataType::F32, 95.7, 0.0},
+    {"f64 <- f64", arch::DataType::F64, arch::DataType::F64, 95.7, 19.5},
+};
+
+/** Pick the widest-k dense instruction for a type pair. */
+const arch::MfmaInstruction *
+bestInstruction(arch::GpuArch a, arch::DataType cd, arch::DataType ab)
+{
+    const arch::MfmaInstruction *best = nullptr;
+    for (const auto *inst : arch::instructionsForTypes(a, cd, ab)) {
+        if (inst->shape.blocks != 1)
+            continue;
+        if (best == nullptr ||
+            inst->flopsPerInstruction() > best->flopsPerInstruction())
+            best = inst;
+    }
+    return best;
+}
+
+std::string
+pctCell(double measured_tflops, double peak_tflops)
+{
+    if (peak_tflops <= 0.0)
+        return "x";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.0f%%",
+                  100.0 * measured_tflops / peak_tflops);
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Figure 4: peak throughput, MI250X package vs A100");
+    cli.addFlag("iters", static_cast<std::int64_t>(10000000),
+                "MFMA operations per wavefront");
+    cli.addFlag("reps", static_cast<std::int64_t>(10),
+                "measurement repetitions");
+    cli.parse(argc, argv);
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+    const int reps = static_cast<int>(cli.getInt("reps"));
+
+    hip::Runtime rt;
+    sim::A100 a100;
+
+    TextTable table({"types (C/D <- A/B)", "MI250X (TFLOPS)", "% of peak",
+                     "A100 (TFLOPS)", "% of peak"});
+    table.setTitle("Figure 4: peak Matrix Core vs Tensor Core "
+                   "throughput (one AMD package = 2 GCDs, one A100)");
+    table.setAlignment({Align::Left, Align::Right, Align::Right,
+                        Align::Right, Align::Right});
+
+    double amd_f64 = 0.0, nv_f64 = 0.0;
+    for (const Combo &combo : kCombos) {
+        std::string amd_cell = "x", amd_pct = "x";
+        const arch::MfmaInstruction *amd_inst =
+            bestInstruction(arch::GpuArch::Cdna2, combo.cd, combo.ab);
+        if (amd_inst != nullptr) {
+            const auto m = bench::repeatMeasure([&]() {
+                return rt.launchMulti(
+                             wmma::mfmaLoopProfile(*amd_inst, iters, 440),
+                             {0, 1})
+                    .throughput();
+            }, reps);
+            amd_cell = bench::tflopsCell(m);
+            amd_pct = pctCell(m.value() / 1e12, combo.peakAmd);
+            if (combo.ab == arch::DataType::F64)
+                amd_f64 = m.value();
+        }
+
+        std::string nv_cell = "x", nv_pct = "x";
+        const arch::MfmaInstruction *nv_inst =
+            bestInstruction(arch::GpuArch::Ampere, combo.cd, combo.ab);
+        if (nv_inst != nullptr) {
+            const auto m = bench::repeatMeasure([&]() {
+                return a100.run(wmma::mfmaLoopProfile(
+                                    *nv_inst, iters, 432))
+                    .throughput();
+            }, reps);
+            nv_cell = bench::tflopsCell(m);
+            nv_pct = pctCell(m.value() / 1e12, combo.peakNvidia);
+            if (combo.ab == arch::DataType::F64)
+                nv_f64 = m.value();
+        }
+
+        table.addRow({combo.label, amd_cell, amd_pct, nv_cell, nv_pct});
+    }
+    table.print(std::cout);
+
+    if (amd_f64 > 0.0 && nv_f64 > 0.0) {
+        std::printf("\nDouble-precision advantage of MI250X over A100: "
+                    "%.1fx (paper: 3.5x)\n", amd_f64 / nv_f64);
+    }
+    std::cout << "(paper Fig. 4: 350 / x / 88 / 69 TFLOPS on MI250X; "
+                 "290 / 290 / x / 19.4 TFLOPS on A100)\n";
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Figure 5 and the Section VI efficiency table: package power at
+ * increasing delivered throughput for the three datatypes, measured by
+ * the background SMI sampler (100 ms period, >= 1000 samples per
+ * point), compared against the paper's Eq. 3 model, plus the fitted
+ * linear power model recovered from the samples and the TFLOPS/W
+ * efficiency at each datatype's peak.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "hip/runtime.hh"
+#include "smi/smi.hh"
+#include "wmma/recorder.hh"
+
+namespace {
+
+using namespace mc;
+
+struct Series
+{
+    const char *label;
+    const char *mnemonic;
+    double eq3Slope;
+    double eq3Intercept;
+};
+
+const Series kSeries[] = {
+    {"double", "v_mfma_f64_16x16x4_f64", 5.88, 130.0},
+    {"float", "v_mfma_f32_16x16x4_f32", 2.18, 125.5},
+    {"mixed", "v_mfma_f32_16x16x16_f16", 0.61, 123.0},
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Figure 5: package power vs Matrix Core throughput "
+                  "(both GCDs), sampled via the SMI interface");
+    cli.addFlag("iters", static_cast<std::int64_t>(6000000000),
+                "MFMA operations per wavefront (sets kernel duration)");
+    cli.addFlag("period", 0.1, "power sampling period in seconds");
+    cli.parse(argc, argv);
+    const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
+    const double period = cli.getDouble("period");
+
+    hip::Runtime rt;
+    const double cap = rt.gpu().powerModel().capWatts();
+
+    for (const Series &series : kSeries) {
+        const arch::MfmaInstruction *inst =
+            arch::findInstruction(arch::GpuArch::Cdna2, series.mnemonic);
+        if (inst == nullptr)
+            mc_fatal("missing instruction ", series.mnemonic);
+
+        TextTable table({"wavefronts", "TFLOPS", "measured W", "Eq.3 W",
+                         "samples"});
+        table.setTitle(std::string("Figure 5 [") + series.label +
+                       "]: power vs throughput (2 GCDs, cap " +
+                       units::formatWatts(cap, 0) + ")");
+
+        std::vector<double> th_axis, watt_axis;
+        double peak_th = 0.0, peak_w = 0.0;
+        for (std::uint64_t wf : {20u, 40u, 80u, 160u, 240u, 320u, 440u}) {
+            const auto r = rt.launchMulti(
+                wmma::mfmaLoopProfile(*inst, iters, wf, series.label),
+                {0, 1});
+            rt.gpu().idle(2.0); // gap between kernels, as on a real run
+
+            smi::PowerSensor sensor(rt.gpu().trace());
+            smi::PowerSampler sampler(sensor, period);
+            const auto samples =
+                sampler.sampleInterval(r.startSec + 0.5, r.endSec);
+            const double watts = smi::meanWatts(samples);
+            const double th = r.throughput() / 1e12;
+
+            th_axis.push_back(th);
+            watt_axis.push_back(watts);
+            if (th > peak_th) {
+                peak_th = th;
+                peak_w = watts;
+            }
+
+            char th_cell[24], w_cell[24], model_cell[24];
+            std::snprintf(th_cell, sizeof(th_cell), "%.1f", th);
+            std::snprintf(w_cell, sizeof(w_cell), "%.1f", watts);
+            std::snprintf(model_cell, sizeof(model_cell), "%.1f",
+                          series.eq3Slope * th + series.eq3Intercept);
+            table.addRow({std::to_string(wf), th_cell, w_cell,
+                          model_cell, std::to_string(samples.size())});
+        }
+        table.print(std::cout);
+
+        const LinearFit fit = fitLinear(th_axis, watt_axis);
+        std::printf("fitted model: PC = %.2f * Th + %.1f (r2 = %.4f); "
+                    "paper Eq. 3: PC = %.2f * Th + %.1f\n",
+                    fit.slope, fit.intercept, fit.r2, series.eq3Slope,
+                    series.eq3Intercept);
+        std::printf("peak: %.1f TFLOPS at %.1f W -> %s\n\n", peak_th,
+                    peak_w,
+                    units::formatEfficiency(peak_th * 1e12 / peak_w)
+                        .c_str());
+    }
+
+    std::cout << "idle package power: "
+              << units::formatWatts(rt.gpu().powerModel().idleWatts(), 0)
+              << " (paper: 88 W)\n";
+    std::cout << "(paper Section VI: 1020 / 273 / 127 GFLOPS/W for "
+                 "mixed / float / double; double peaks at 541 W near "
+                 "the 560 W cap)\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Figure 9: the distribution of GEMM floating-point operations between
+ * Matrix Cores and SIMD units vs the analytic model — 2N^3 arithmetic
+ * operations on Matrix Cores and 3N^2 alpha/beta-scaling operations on
+ * the SIMDs — measured from the hardware counters for SGEMM and DGEMM.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "blas/gemm.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "prof/profiler.hh"
+
+namespace {
+
+using namespace mc;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Figure 9: measured vs modelled FLOP split between "
+                  "Matrix Cores (2N^3) and SIMDs (3N^2)");
+    cli.addFlag("maxn", static_cast<std::int64_t>(16384),
+                "largest matrix dimension");
+    cli.parse(argc, argv);
+    const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
+
+    hip::Runtime rt;
+    blas::GemmEngine engine(rt);
+
+    for (blas::GemmCombo combo :
+         {blas::GemmCombo::Sgemm, blas::GemmCombo::Dgemm}) {
+        const char *name = blas::comboInfo(combo).name;
+        TextTable table({"N", "MC FLOPs (meas)", "2N^3 (model)",
+                         "SIMD FLOPs (meas)", "3N^2 (model)",
+                         "MC/SIMD ratio"});
+        table.setTitle(std::string("Figure 9 [") + name +
+                       "]: FLOPs per executing unit");
+
+        for (std::size_t n = 16; n <= maxn; n *= 2) {
+            blas::GemmConfig cfg;
+            cfg.combo = combo;
+            cfg.m = cfg.n = cfg.k = n;
+            cfg.alpha = cfg.beta = 0.1;
+            auto result = engine.run(cfg);
+            if (!result.isOk())
+                break;
+            const auto split =
+                prof::flopBreakdown(result.value().kernel.counters);
+            const double dn = static_cast<double>(n);
+            char mc[24], mc_model[24], simd[24], simd_model[24],
+                ratio[24];
+            std::snprintf(mc, sizeof(mc), "%.3e", split.matrixCoreFlops);
+            std::snprintf(mc_model, sizeof(mc_model), "%.3e",
+                          2.0 * dn * dn * dn);
+            std::snprintf(simd, sizeof(simd), "%.3e", split.simdFlops);
+            std::snprintf(simd_model, sizeof(simd_model), "%.3e",
+                          3.0 * dn * dn);
+            if (split.simdFlops > 0.0) {
+                // The model predicts MC/SIMD = (2/3) N.
+                std::snprintf(ratio, sizeof(ratio), "%.0f (2N/3=%.0f)",
+                              split.matrixCoreFlops / split.simdFlops,
+                              2.0 * dn / 3.0);
+            } else {
+                std::snprintf(ratio, sizeof(ratio), "-");
+            }
+            table.addRow({std::to_string(n), mc, mc_model, simd,
+                          simd_model, ratio});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "(paper Fig. 9: measurements overlap the 2N^3 / 3N^2 "
+                 "model for N >= 32; for N >= 32 more than 95% of "
+                 "FLOPs run on Matrix Cores)\n";
+    return 0;
+}

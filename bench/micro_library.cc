@@ -1,0 +1,258 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's own hot paths:
+ * FP16/BF16 conversion, layout mapping, functional MFMA execution,
+ * GEMM planning, counter queries, and power-trace integration. These
+ * guard the simulator's usability (a planner that takes milliseconds
+ * would make the 65536-point sweeps unpleasant).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "arch/mfma_exec.hh"
+#include "blas/functional.hh"
+#include "blas/tiling.hh"
+#include "blas/verify.hh"
+#include "common/random.hh"
+#include "fp/half.hh"
+#include "prof/profiler.hh"
+#include "sim/power.hh"
+
+namespace {
+
+using namespace mc;
+
+void
+BM_HalfFromFloat(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<float> inputs(4096);
+    for (auto &v : inputs)
+        v = static_cast<float>(rng.uniform(-1000.0, 1000.0));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fp::Half(inputs[i++ & 4095]).bits());
+    }
+}
+BENCHMARK(BM_HalfFromFloat);
+
+void
+BM_HalfToFloat(benchmark::State &state)
+{
+    std::uint16_t bits = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(fp::Half::fromBits(bits++).toFloat());
+    }
+}
+BENCHMARK(BM_HalfToFloat);
+
+void
+BM_BFloat16RoundTrip(benchmark::State &state)
+{
+    float v = 1.0f;
+    for (auto _ : state) {
+        v = fp::BFloat16(v * 1.0001f).toFloat();
+        benchmark::DoNotOptimize(v);
+    }
+}
+BENCHMARK(BM_BFloat16RoundTrip);
+
+void
+BM_LayoutLocationOf(benchmark::State &state)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    const arch::OperandLayout layout(*inst, arch::Operand::A);
+    int r = 0, c = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            layout.locationOf(arch::ElementCoord{0, r, c}));
+        r = (r + 1) & 15;
+        c = (c + 3) & 15;
+    }
+}
+BENCHMARK(BM_LayoutLocationOf);
+
+void
+BM_MfmaExecute16x16x16F16(benchmark::State &state)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    Rng rng(2);
+    std::vector<fp::Half> a(256), b(256);
+    std::vector<float> c(256), d(256);
+    for (int i = 0; i < 256; ++i) {
+        a[i] = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+        b[i] = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+        c[i] = static_cast<float>(rng.uniform(-1, 1));
+    }
+    for (auto _ : state) {
+        arch::executeMfma<float, fp::Half>(*inst, a.data(), b.data(),
+                                           c.data(), d.data());
+        benchmark::DoNotOptimize(d[0]);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            inst->flopsPerInstruction());
+}
+BENCHMARK(BM_MfmaExecute16x16x16F16);
+
+void
+BM_MfmaExecute16x16x4F64(benchmark::State &state)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    Rng rng(3);
+    std::vector<double> a(64), b(64), c(256), d(256);
+    for (auto &v : a)
+        v = rng.uniform(-1, 1);
+    for (auto &v : b)
+        v = rng.uniform(-1, 1);
+    for (auto _ : state) {
+        arch::executeMfma<double, double>(*inst, a.data(), b.data(),
+                                          c.data(), d.data());
+        benchmark::DoNotOptimize(d[0]);
+    }
+}
+BENCHMARK(BM_MfmaExecute16x16x4F64);
+
+void
+BM_GemmPlanning(benchmark::State &state)
+{
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Sgemm;
+    cfg.m = cfg.n = cfg.k = static_cast<std::size_t>(state.range(0));
+    cfg.alpha = cfg.beta = 0.1;
+    const auto &cal = arch::defaultCdna2();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(blas::planGemm(cfg, cal).mfmaInstsTotal);
+    }
+}
+BENCHMARK(BM_GemmPlanning)->Arg(256)->Arg(8192)->Arg(65536);
+
+void
+BM_Eq1FlopDerivation(benchmark::State &state)
+{
+    sim::HwCounters counters;
+    counters.addMfmaOps(arch::DataType::F64, 512 * 1000000, 100000);
+    counters.addValu(arch::DataType::F64, sim::ValuOp::Add, 12345);
+    counters.addValu(arch::DataType::F64, sim::ValuOp::Fma, 6789);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(prof::totalFlopsAllTypes(counters));
+    }
+}
+BENCHMARK(BM_Eq1FlopDerivation);
+
+void
+BM_PowerTraceAverage(benchmark::State &state)
+{
+    sim::PowerTrace trace(88.0);
+    for (int i = 0; i < 1000; ++i)
+        trace.addSegment(i * 1.0, i * 1.0 + 0.8, 300.0 + (i % 7));
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace.averageWatts(t, t + 50.0));
+        t += 0.37;
+        if (t > 900.0)
+            t = 0.0;
+    }
+}
+BENCHMARK(BM_PowerTraceAverage);
+
+void
+BM_TiledMatrixCoreGemm64(benchmark::State &state)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    Rng rng(5);
+    const std::size_t n = 64;
+    Matrix<fp::Half> a(n, n), b(n, n);
+    Matrix<float> c(n, n), d(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            b(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            c(i, j) = static_cast<float>(rng.uniform(-1, 1));
+        }
+    }
+    for (auto _ : state) {
+        blas::tiledMatrixCoreGemm<float, fp::Half, float>(
+            *inst, 0.1, a, b, 0.1, c, d);
+        benchmark::DoNotOptimize(d(0, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_TiledMatrixCoreGemm64);
+
+void
+BM_SimulatedKernelRun(benchmark::State &state)
+{
+    // Cost of one full cycle-accounting device run: the quantity that
+    // bounds how fast the figure sweeps execute.
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    sim::Mi250x gpu(arch::defaultCdna2(), opts);
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    sim::KernelProfile profile;
+    profile.label = "bench";
+    profile.numWavefronts = 440;
+    profile.addMfma(inst, 10000000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gpu.measureKernel(profile).seconds);
+    }
+}
+BENCHMARK(BM_SimulatedKernelRun);
+
+void
+BM_ContributionTraceQuery(benchmark::State &state)
+{
+    sim::ContributionTrace trace(88.0);
+    Rng rng(6);
+    for (int i = 0; i < 500; ++i) {
+        const double start = rng.uniform(0.0, 1000.0);
+        trace.addContribution(start, start + rng.uniform(0.1, 5.0),
+                              rng.uniform(50.0, 300.0));
+    }
+    double t = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(trace.wattsAt(t));
+        t += 0.7;
+        if (t > 1000.0)
+            t = 0.0;
+    }
+}
+BENCHMARK(BM_ContributionTraceQuery);
+
+void
+BM_VerifyGemm64(benchmark::State &state)
+{
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Sgemm;
+    cfg.m = cfg.n = cfg.k = 64;
+    cfg.alpha = cfg.beta = 0.1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            blas::verifyGemm(cfg, blas::VerifyScheme::Random,
+                             state.iterations())
+                .passed);
+    }
+}
+BENCHMARK(BM_VerifyGemm64);
+
+void
+BM_ScatterGatherRegisters(benchmark::State &state)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_32x32x8_f16");
+    std::vector<fp::Half> a(32 * 8, fp::Half(1.0f));
+    for (auto _ : state) {
+        auto regs = arch::scatterToRegisters(*inst, arch::Operand::A,
+                                             a.data());
+        benchmark::DoNotOptimize(regs.at(0, 0));
+    }
+}
+BENCHMARK(BM_ScatterGatherRegisters);
+
+} // namespace
+
+BENCHMARK_MAIN();

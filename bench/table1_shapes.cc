@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table I: supported datatypes and shapes of MFMA operations on Matrix
+ * Cores (AMD CDNA2) and Tensor Cores (Nvidia Ampere) at the
+ * instruction level — enumerated from the ISA tables, exactly the rows
+ * the paper prints, plus the full instruction listing with latencies
+ * and per-CU rates as supplementary detail.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+
+namespace {
+
+using namespace mc;
+
+/** The four C/D <- A/B rows of the paper's Table I. */
+const std::pair<arch::DataType, arch::DataType> kPaperRows[] = {
+    {arch::DataType::F64, arch::DataType::F64},
+    {arch::DataType::F32, arch::DataType::F32},
+    {arch::DataType::F32, arch::DataType::F16},
+    {arch::DataType::F16, arch::DataType::F16},
+};
+
+std::string
+shapeList(arch::GpuArch a, arch::DataType cd, arch::DataType ab)
+{
+    const auto insts = arch::instructionsForTypes(a, cd, ab);
+    if (insts.empty())
+        return "x";
+    std::ostringstream os;
+    bool first = true;
+    for (const auto *inst : insts) {
+        // Table I lists only the dense (single-block) shapes.
+        if (inst->shape.blocks != 1)
+            continue;
+        if (!first)
+            os << ", ";
+        os << inst->shape.toString();
+        first = false;
+    }
+    return first ? std::string("x") : os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("Table I: supported MFMA datatypes and shapes per "
+                  "architecture");
+    cli.addFlag("full", false,
+                "also list every instruction with latency and rate");
+    cli.parse(argc, argv);
+
+    TextTable table({"Types (C/D <- A/B)", "AMD CDNA2", "Nvidia Ampere"});
+    table.setTitle("Table I: supported MFMA shapes "
+                   "(D <- AB + C) at the instruction level");
+    table.setAlignment({Align::Left, Align::Left, Align::Left});
+    for (const auto &[cd, ab] : kPaperRows) {
+        std::string types = arch::dataTypeName(cd);
+        types += " <- ";
+        types += arch::dataTypeName(ab);
+        table.addRow({types, shapeList(arch::GpuArch::Cdna2, cd, ab),
+                      shapeList(arch::GpuArch::Ampere, cd, ab)});
+    }
+    table.print(std::cout);
+
+    if (cli.getBool("full")) {
+        for (arch::GpuArch a :
+             {arch::GpuArch::Cdna2, arch::GpuArch::Ampere}) {
+            TextTable full({"instruction", "types", "shape",
+                            "latency (cycles)", "FLOPS/CU/cycle"});
+            full.setTitle(std::string("\nFull ") + arch::gpuArchName(a) +
+                          " instruction table");
+            full.setAlignment({Align::Left, Align::Left, Align::Left,
+                               Align::Right, Align::Right});
+            for (const auto &inst : arch::instructionsFor(a)) {
+                full.addRow({inst.mnemonic, inst.typeString(),
+                             inst.shape.toString(),
+                             std::to_string(inst.latencyCycles),
+                             std::to_string(static_cast<int>(
+                                 inst.flopsPerCuPerCycle()))});
+            }
+            full.print(std::cout);
+        }
+    }
+    return 0;
+}

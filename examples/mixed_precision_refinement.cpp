@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Mixed-precision iterative refinement: the HPC motivation of the
+ * paper (and of its reference [3], Haidar et al.) end to end.
+ *
+ * Solves the same dense system two ways on the simulated MI250X:
+ *   1. FP64 blocked LU (trailing updates on Matrix Cores as DGEMM);
+ *   2. FP16-input factorization (trailing updates as HHS on Matrix
+ *      Cores) plus FP64 iterative refinement.
+ * Both reach FP64 accuracy; the refinement path spends its FLOPs at
+ * the mixed-precision rate and power, which is where the time and
+ * energy savings come from.
+ *
+ *   ./build/examples/mixed_precision_refinement --n=512
+ */
+
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+#include "solver/lu.hh"
+
+using namespace mc;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("FP64 LU vs FP16+refinement on simulated Matrix "
+                  "Cores");
+    cli.addFlag("n", static_cast<std::int64_t>(512), "system dimension");
+    cli.addFlag("block", static_cast<std::int64_t>(128),
+                "LU panel width");
+    cli.parse(argc, argv);
+    const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const auto block = static_cast<std::size_t>(cli.getInt("block"));
+
+    // Well-conditioned diagonally dominant system.
+    Rng rng(7);
+    Matrix<double> a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.uniform(-1.0, 1.0);
+            row += std::abs(a(i, j));
+        }
+        a(i, i) += row + 1.0;
+    }
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+
+    hip::Runtime rt;
+    blas::GemmEngine engine(rt);
+
+    std::printf("solving a %zu x %zu dense system on the simulated "
+                "MI250X (panel width %zu)\n\n", n, n, block);
+
+    // --- Path 1: straight FP64 LU -----------------------------------------
+    solver::LuSolver lu(engine, block);
+    std::vector<double> x_fp64;
+    solver::SolveStats fp64_stats;
+    if (Status s = lu.solveSystem(a, b, x_fp64, &fp64_stats); !s.isOk())
+        mc_fatal("fp64 solve failed: ", s.toString());
+    std::printf("FP64 LU:          residual %.2e, %d GEMM updates, "
+                "device time %s, energy %.3f J\n",
+                fp64_stats.relativeResidual, fp64_stats.gemmCalls,
+                units::formatSeconds(fp64_stats.gemmSeconds).c_str(),
+                fp64_stats.gemmEnergyJ);
+
+    // --- Path 2: FP16 factorization + refinement ---------------------------
+    solver::IterativeRefinementSolver refine(engine, block);
+    std::vector<double> x_mixed;
+    solver::SolveStats mixed_stats;
+    if (Status s = refine.solve(a, b, x_mixed, &mixed_stats); !s.isOk())
+        mc_fatal("refinement solve failed: ", s.toString());
+    std::printf("FP16+refinement:  residual %.2e, %d GEMM updates, "
+                "%d refinement iters, device time %s, energy %.3f J\n",
+                mixed_stats.relativeResidual, mixed_stats.gemmCalls,
+                mixed_stats.refinementIters,
+                units::formatSeconds(mixed_stats.gemmSeconds).c_str(),
+                mixed_stats.gemmEnergyJ);
+
+    double max_diff = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        max_diff = std::max(max_diff, std::abs(x_fp64[i] - x_mixed[i]));
+    std::printf("\nmax |x_fp64 - x_mixed| = %.2e (both at FP64 "
+                "accuracy)\n\n", max_diff);
+
+    // --- Performance projection at HPC scale --------------------------------
+    // At small n every trailing update is launch-bound and the
+    // precisions tie; at production sizes the mixed-precision rate
+    // dominates. Replay the factorization's trailing-update sequence
+    // for a large virtual problem (timing-only GEMMs) in both
+    // precisions.
+    const std::size_t big_n = 16384, big_block = 1024;
+    double fp64_sec = 0.0, fp64_j = 0.0, hhs_sec = 0.0, hhs_j = 0.0;
+    for (std::size_t j0 = 0; j0 + big_block < big_n; j0 += big_block) {
+        const std::size_t trailing = big_n - j0 - big_block;
+        for (blas::GemmCombo combo :
+             {blas::GemmCombo::Dgemm, blas::GemmCombo::Hhs}) {
+            blas::GemmConfig cfg;
+            cfg.combo = combo;
+            cfg.m = cfg.n = trailing;
+            cfg.k = big_block;
+            cfg.alpha = -1.0;
+            cfg.beta = 1.0;
+            auto r = engine.run(cfg);
+            if (!r.isOk())
+                mc_fatal("projection GEMM failed: ",
+                         r.status().toString());
+            const double sec = r.value().kernel.seconds;
+            const double joules = r.value().kernel.avgPowerW * sec;
+            if (combo == blas::GemmCombo::Dgemm) {
+                fp64_sec += sec;
+                fp64_j += joules;
+            } else {
+                hhs_sec += sec;
+                hhs_j += joules;
+            }
+        }
+    }
+    std::printf("projected trailing-update cost for a %zu x %zu "
+                "factorization:\n", big_n, big_n);
+    std::printf("  FP64 (dgemm): %s, %.0f J\n",
+                units::formatSeconds(fp64_sec).c_str(), fp64_j);
+    std::printf("  FP16 (hhs):   %s, %.0f J  ->  %.1fx faster, %.0f%% "
+                "less energy\n",
+                units::formatSeconds(hhs_sec).c_str(), hhs_j,
+                fp64_sec / hhs_sec, 100.0 * (1.0 - hhs_j / fp64_j));
+    std::printf("(the paper's Fig. 4/5 story: mixed-precision Matrix "
+                "Core FLOPs are ~4x faster and ~8x more "
+                "power-efficient than FP64)\n");
+    return 0;
+}

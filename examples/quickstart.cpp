@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Quickstart: one mixed-precision WMMA tile multiply on the simulated
+ * Matrix Cores.
+ *
+ * Walks the same steps a rocWMMA hello-world walks on real hardware:
+ * enumerate devices, allocate device memory, load fragments, run
+ * mma_sync, verify the result against a host reference, and time a
+ * scaled-up version of the kernel with device events.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "common/matrix.hh"
+#include "common/random.hh"
+#include "common/units.hh"
+#include "hip/runtime.hh"
+#include "wmma/wmma.hh"
+
+using namespace mc;
+
+int
+main()
+{
+    // 1. Enumerate devices — each MI250X GCD appears as its own device.
+    hip::Runtime rt;
+    std::printf("devices: %d\n", rt.deviceCount());
+    const hip::DeviceProperties props = rt.properties(0);
+    std::printf("device 0: %s\n  CUs: %d, Matrix Cores: %d, HBM: %s\n\n",
+                props.name.c_str(), props.multiProcessorCount,
+                props.matrixCores,
+                units::formatBytes(
+                    static_cast<double>(props.totalGlobalMem)).c_str());
+
+    // 2. Prepare one 16x16x16 mixed-precision tile problem on the host.
+    constexpr int tile = 16;
+    Rng rng(42);
+    Matrix<fp::Half> a(tile, tile), b(tile, tile);
+    Matrix<float> c(tile, tile), expected(tile, tile);
+    for (int i = 0; i < tile; ++i) {
+        for (int j = 0; j < tile; ++j) {
+            a(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            b(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            c(i, j) = static_cast<float>(rng.uniform(-1, 1));
+        }
+    }
+    for (int i = 0; i < tile; ++i) {
+        for (int j = 0; j < tile; ++j) {
+            float acc = c(i, j);
+            for (int k = 0; k < tile; ++k)
+                acc += a(i, k).toFloat() * b(k, j).toFloat();
+            expected(i, j) = acc;
+        }
+    }
+
+    // 3. Device-side: fragments + mma_sync (recorded for timing).
+    wmma::KernelRecorder::active().reset("quickstart_tile");
+    wmma::Fragment<wmma::FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    wmma::Fragment<wmma::FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    wmma::Fragment<wmma::FragmentUse::Accumulator, 16, 16, 16, float> fc;
+    wmma::Fragment<wmma::FragmentUse::Accumulator, 16, 16, 16, float> fd;
+    wmma::load_matrix_sync(fa, a.data(), tile);
+    wmma::load_matrix_sync(fb, b.data(), tile);
+    wmma::load_matrix_sync(fc, c.data(), tile);
+    wmma::mma_sync(fd, fa, fb, fc);
+
+    Matrix<float> d(tile, tile);
+    wmma::store_matrix_sync(d.data(), fd, tile);
+
+    // 4. Verify.
+    double max_err = 0.0;
+    for (int i = 0; i < tile; ++i)
+        for (int j = 0; j < tile; ++j)
+            max_err = std::max(max_err,
+                               static_cast<double>(
+                                   std::abs(d(i, j) - expected(i, j))));
+    std::printf("tile D <- A*B + C computed via %llu MFMA "
+                "instruction(s); max |error| vs host = %.2e\n",
+                static_cast<unsigned long long>(
+                    wmma::KernelRecorder::active().mfmaCount()),
+                max_err);
+    if (max_err > 1e-3) {
+        std::printf("VERIFICATION FAILED\n");
+        return 1;
+    }
+    std::printf("verification PASSED\n\n");
+
+    // 5. Time the recorded tile body scaled to a saturating kernel.
+    const sim::KernelProfile profile =
+        wmma::KernelRecorder::active().buildProfile(
+            /*wavefronts=*/440, /*iterations=*/1000000);
+    hip::Event start, stop;
+    rt.eventRecord(start);
+    const sim::KernelResult result = rt.launch(profile, 0);
+    rt.eventRecord(stop);
+    std::printf("saturating kernel (440 wavefronts x 1e6 iterations): "
+                "%s in %s -> %s\n",
+                units::formatFlops(result.mfmaFlops, 2).c_str(),
+                units::formatSeconds(
+                    rt.eventElapsedMs(start, stop) * 1e-3).c_str(),
+                units::formatFlops(result.throughput(), 1).c_str());
+    std::printf("(the paper's one-GCD mixed-precision plateau: "
+                "175 TFLOPS)\n");
+    return 0;
+}

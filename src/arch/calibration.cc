@@ -1,0 +1,76 @@
+#include "calibration.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace arch {
+
+const DatatypePowerPerf &
+Cdna2Calibration::perfFor(DataType ab_type) const
+{
+    switch (ab_type) {
+      case DataType::F64: return f64;
+      case DataType::F32: return f32;
+      case DataType::F16: return f16;
+      case DataType::BF16: return bf16;
+      case DataType::I8: return i8;
+      case DataType::I32: return i8;
+    }
+    mc_panic("unreachable datatype in perfFor");
+}
+
+double
+AmpereCalibration::issueOverheadFor(DataType ab_type) const
+{
+    switch (ab_type) {
+      case DataType::F64:
+        return issueOverheadF64;
+      default:
+        return issueOverheadF16;
+    }
+}
+
+const Cdna2Calibration &
+defaultCdna2()
+{
+    static const Cdna2Calibration cal{};
+    return cal;
+}
+
+const Cdna2Calibration &
+mi100Calibration()
+{
+    static const Cdna2Calibration cal = [] {
+        Cdna2Calibration c;
+        c.arch = GpuArch::Cdna1;
+        c.deviceName = "AMD Instinct MI100";
+        c.gcdsPerPackage = 1;
+        c.cusPerGcd = 120;
+        c.clockHz = 1.502e9;
+        c.hbmBytesPerGcd = 32ull << 30;
+        c.hbmBwPerGcd = 1.23e12;
+        c.l2BytesPerGcd = 8ull << 20;
+        c.powerCapW = 300.0;
+        c.dvfsTargetW = 290.0;
+        c.idlePowerW = 40.0;
+        // Plausible-scale first-generation power coefficients (7 nm,
+        // lower clocks): not paper-calibrated, extension study only.
+        c.f64 = DatatypePowerPerf{0.168, 6.5e-12, 70.0};
+        c.f32 = DatatypePowerPerf{0.098, 2.6e-12, 66.0};
+        c.f16 = DatatypePowerPerf{0.094, 0.8e-12, 64.0};
+        c.bf16 = c.f16;
+        c.i8 = DatatypePowerPerf{0.094, 0.7e-12, 63.0};
+        return c;
+    }();
+    return cal;
+}
+
+const AmpereCalibration &
+defaultAmpere()
+{
+    static const AmpereCalibration cal{};
+    return cal;
+}
+
+} // namespace arch
+} // namespace mc

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Calibrated device parameters.
+ *
+ * Everything the paper either reads from a datasheet or *measures once*
+ * on real silicon is collected here as a named constant, so the line
+ * between calibration inputs and model outputs stays explicit (see
+ * DESIGN.md section 2). All derived quantities — throughput curves, power
+ * fits, GEMM crossovers — are produced by the simulator from these.
+ */
+
+#ifndef MC_ARCH_CALIBRATION_HH
+#define MC_ARCH_CALIBRATION_HH
+
+#include <cstdint>
+
+#include "arch/types.hh"
+
+namespace mc {
+namespace arch {
+
+/**
+ * Per-datatype parameters measured by the paper: sustained-issue
+ * overhead (the gap between Table II issue intervals and the achieved
+ * plateau of Fig. 3) and the Eq. 3 power-model coefficients.
+ */
+struct DatatypePowerPerf
+{
+    /**
+     * Fractional overhead on the MFMA issue interval observed under a
+     * saturating kernel (loop control and dispatch bubbles sharing the
+     * wavefront's issue port). 0.10 means a 32-cycle instruction
+     * sustains one issue per 35.2 cycles.
+     */
+    double issueOverheadFrac = 0.0;
+    /** Dynamic energy per floating-point operation, joules (Eq. 3 slope). */
+    double energyPerFlopJ = 0.0;
+    /**
+     * Package power with the kernel resident but extrapolated to zero
+     * throughput, watts (Eq. 3 intercept; includes idle power plus the
+     * ramped-clock overhead of both GCDs).
+     */
+    double basePowerW = 0.0;
+};
+
+/**
+ * Calibration of an AMD CDNA-family package. Defaults describe the
+ * MI250X (CDNA2); mi100Calibration() returns the first-generation
+ * MI100 instance used by the generational-comparison study.
+ */
+struct Cdna2Calibration
+{
+    /** Instruction-table architecture this device executes. */
+    GpuArch arch = GpuArch::Cdna2;
+    /** Marketing name used in device properties. */
+    const char *deviceName = "AMD Instinct MI250X";
+
+    // ---- Topology (CDNA2 whitepaper / MI250X datasheet) ----------------
+    int gcdsPerPackage = 2;
+    int cusPerGcd = 110;
+    int matrixCoresPerCu = 4;
+    int simdsPerCu = 4;
+    int simdWidth = 16;
+    int wavefrontSize = 64;
+
+    /** Engine clock, Hz (the paper's f = 1700 MHz). */
+    double clockHz = 1.7e9;
+
+    // ---- Memory system --------------------------------------------------
+    /** HBM2e capacity per GCD, bytes (64 GiB). */
+    std::uint64_t hbmBytesPerGcd = 64ull << 30;
+    /** Peak HBM bandwidth per GCD, bytes/s (3.2 TB/s per package). */
+    double hbmBwPerGcd = 1.6e12;
+    /** L2 capacity per GCD, bytes (8 MiB). */
+    std::uint64_t l2BytesPerGcd = 8ull << 20;
+
+    // ---- Power (datasheet + paper Section VI) ---------------------------
+    /** Vendor power cap for the package, watts. */
+    double powerCapW = 560.0;
+    /**
+     * Package power observed at the FP64 peak (541 W): the effective
+     * steady-state target the power governor regulates to, watts.
+     */
+    double dvfsTargetW = 541.0;
+    /** Whole-package idle power, watts (paper: 88 W). */
+    double idlePowerW = 88.0;
+
+    // ---- Per-datatype measured characteristics --------------------------
+    // Issue overheads reproduce the Fig. 3 plateaus (175 / 43.6 / 41
+    // TFLOPS per GCD); energy/base reproduce Eq. 3.
+    DatatypePowerPerf f64{0.168, 5.88e-12, 130.0};
+    DatatypePowerPerf f32{0.098, 2.18e-12, 125.5};
+    DatatypePowerPerf f16{0.094, 0.61e-12, 123.0};
+    DatatypePowerPerf bf16{0.094, 0.61e-12, 123.0};
+    DatatypePowerPerf i8{0.094, 0.55e-12, 122.0};
+
+    // ---- Kernel-launch / dispatch costs ---------------------------------
+    /** Fixed host-to-device launch latency, seconds. */
+    double launchLatencySec = 6.0e-6;
+    /** Incremental dispatch cost per workgroup, cycles. */
+    double dispatchCyclesPerWorkgroup = 220.0;
+    /**
+     * Workgroup launches that pay their dispatch cost serially before
+     * the device is full and dispatch overlaps with execution
+     * (roughly two workgroups per CU of pipeline fill).
+     */
+    int dispatchPipelineDepth = 220;
+
+    // ---- SIMD (vector ALU) execution ------------------------------------
+    /**
+     * Cycles one wavefront occupies a 16-wide SIMD per VALU instruction
+     * (64 threads / 16 lanes).
+     */
+    int cyclesPerValuInst = 4;
+    /**
+     * Throughput derating of the SIMD-only GEMM path relative to the
+     * VALU peak (register pressure, no MFMA-optimized data paths);
+     * calibrated so HGEMM lands where Fig. 7 places it.
+     */
+    double simdGemmEfficiency = 0.45;
+
+    /** Per-datatype parameter lookup keyed by the MFMA A/B type. */
+    const DatatypePowerPerf &perfFor(DataType ab_type) const;
+
+    /** Matrix Core count in one GCD (the 440 of Eq. 2). */
+    int matrixCoresPerGcd() const { return cusPerGcd * matrixCoresPerCu; }
+};
+
+/**
+ * Calibration of the Nvidia A100 (Ampere) comparison device.
+ */
+struct AmpereCalibration
+{
+    int smCount = 108;
+    int tensorCoresPerSm = 4;
+    int warpSize = 32;
+    /** Boost clock, Hz (paper: 1410 MHz). */
+    double clockHz = 1.41e9;
+    /** HBM2 capacity, bytes (40 GiB). */
+    std::uint64_t hbmBytes = 40ull << 30;
+    /** Peak memory bandwidth, bytes/s. */
+    double hbmBw = 1.555e12;
+
+    /**
+     * Issue overheads reproducing the measured peaks of Fig. 4:
+     * 290/312 TFLOPS mixed (7.6 %), 19.4/19.5 TFLOPS double (0.5 %).
+     */
+    double issueOverheadF16 = 0.076;
+    double issueOverheadF64 = 0.005;
+
+    double issueOverheadFor(DataType ab_type) const;
+};
+
+/** The default MI250X calibration used across the suite. */
+const Cdna2Calibration &defaultCdna2();
+
+/**
+ * The MI100 (CDNA1) calibration: one die of 120 CUs at 1502 MHz,
+ * 32 GiB HBM2 at 1.23 TB/s, 300 W TDP, and the CDNA1 instruction
+ * table (no FP64 MFMA, half-rate BF16). Power coefficients are
+ * plausible-scale estimates — the paper does not characterize MI100
+ * power — and are used only by the generational extension study.
+ */
+const Cdna2Calibration &mi100Calibration();
+
+/** The default A100 calibration used by the comparison benches. */
+const AmpereCalibration &defaultAmpere();
+
+} // namespace arch
+} // namespace mc
+
+#endif // MC_ARCH_CALIBRATION_HH

@@ -1,0 +1,150 @@
+#include "layout.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace arch {
+
+OperandLayout::OperandLayout(const MfmaInstruction &inst, Operand operand)
+    : _operand(operand),
+      _blocks(inst.shape.blocks),
+      _waveSize(inst.waveSize)
+{
+    const int m = inst.shape.m;
+    const int n = inst.shape.n;
+    const int k = inst.shape.k;
+
+    mc_assert(_waveSize % _blocks == 0,
+              "wave size ", _waveSize, " not divisible by ", _blocks,
+              " blocks for ", inst.mnemonic);
+    _lanesPerBlock = _waveSize / _blocks;
+
+    switch (operand) {
+      case Operand::A:
+        _rows = m;
+        _cols = k;
+        break;
+      case Operand::B:
+        _rows = k;
+        _cols = n;
+        break;
+      case Operand::C:
+      case Operand::D:
+        _rows = m;
+        _cols = n;
+        break;
+    }
+
+    if (operand == Operand::A || operand == Operand::B) {
+        // The lane dimension covers the m (or n) extent; remaining lanes
+        // split the k extent into contiguous per-lane groups.
+        const int lane_extent = (operand == Operand::A) ? m : n;
+        mc_assert(_lanesPerBlock % lane_extent == 0,
+                  inst.mnemonic, ": ", _lanesPerBlock,
+                  " lanes/block not divisible by extent ", lane_extent);
+        const int groups = _lanesPerBlock / lane_extent;
+        mc_assert(k % groups == 0,
+                  inst.mnemonic, ": k=", k, " not divisible by ", groups,
+                  " lane groups");
+        _kPerGroup = k / groups;
+        _elementsPerLane = _kPerGroup;
+    } else {
+        mc_assert(_lanesPerBlock % n == 0,
+                  inst.mnemonic, ": ", _lanesPerBlock,
+                  " lanes/block not divisible by n=", n);
+        _rowGroups = _lanesPerBlock / n;
+        mc_assert((m * n) % _lanesPerBlock == 0,
+                  inst.mnemonic, ": accumulator tile not divisible across"
+                  " lanes");
+        _elementsPerLane = (m * n) / _lanesPerBlock;
+        _rowSubgroup = _elementsPerLane < 4 ? _elementsPerLane : 4;
+        mc_assert(m % (_rowSubgroup * _rowGroups) == 0,
+                  inst.mnemonic, ": row interleave does not tile m=", m);
+    }
+}
+
+int
+OperandLayout::vgprCount(std::size_t element_bytes) const
+{
+    const std::size_t bytes = _elementsPerLane * element_bytes;
+    return static_cast<int>((bytes + 3) / 4);
+}
+
+RegLocation
+OperandLayout::locationOf(const ElementCoord &coord) const
+{
+    mc_assert(coord.block >= 0 && coord.block < _blocks,
+              "block ", coord.block, " out of range");
+    mc_assert(coord.row >= 0 && coord.row < _rows,
+              "row ", coord.row, " out of range for ", _rows);
+    mc_assert(coord.col >= 0 && coord.col < _cols,
+              "col ", coord.col, " out of range for ", _cols);
+
+    const int base = coord.block * _lanesPerBlock;
+    RegLocation loc;
+
+    switch (_operand) {
+      case Operand::A: {
+        // lane = (k / kPerGroup) * m + row;  slot = k % kPerGroup
+        loc.lane = base + (coord.col / _kPerGroup) * _rows + coord.row;
+        loc.slot = coord.col % _kPerGroup;
+        break;
+      }
+      case Operand::B: {
+        // lane = (k / kPerGroup) * n + col;  slot = k % kPerGroup
+        loc.lane = base + (coord.row / _kPerGroup) * _cols + coord.col;
+        loc.slot = coord.row % _kPerGroup;
+        break;
+      }
+      case Operand::C:
+      case Operand::D: {
+        // row = (slot % s) + s*r0 + s*rowGroups*(slot / s)
+        const int s = _rowSubgroup;
+        const int span = s * _rowGroups;
+        const int r0 = (coord.row % span) / s;
+        loc.lane = base + r0 * _cols + coord.col;
+        loc.slot = (coord.row % s) + s * (coord.row / span);
+        break;
+      }
+    }
+    return loc;
+}
+
+ElementCoord
+OperandLayout::elementAt(const RegLocation &loc) const
+{
+    mc_assert(loc.lane >= 0 && loc.lane < _waveSize,
+              "lane ", loc.lane, " out of range");
+    mc_assert(loc.slot >= 0 && loc.slot < _elementsPerLane,
+              "slot ", loc.slot, " out of range");
+
+    ElementCoord coord;
+    coord.block = loc.lane / _lanesPerBlock;
+    const int lb = loc.lane % _lanesPerBlock;
+
+    switch (_operand) {
+      case Operand::A: {
+        coord.row = lb % _rows;
+        coord.col = (lb / _rows) * _kPerGroup + loc.slot;
+        break;
+      }
+      case Operand::B: {
+        coord.col = lb % _cols;
+        coord.row = (lb / _cols) * _kPerGroup + loc.slot;
+        break;
+      }
+      case Operand::C:
+      case Operand::D: {
+        const int s = _rowSubgroup;
+        const int span = s * _rowGroups;
+        const int r0 = lb / _cols;
+        coord.col = lb % _cols;
+        coord.row = (loc.slot % s) + s * r0 + span * (loc.slot / s);
+        break;
+      }
+    }
+    return coord;
+}
+
+} // namespace arch
+} // namespace mc

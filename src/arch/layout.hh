@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Matrix-element to register-lane mapping for MFMA operands.
+ *
+ * MFMA instructions read their operands from vector registers spread
+ * across the 64 lanes of a wavefront; which lane and register slot holds
+ * element (row, col) of each operand is fixed by the instruction. AMD
+ * publishes this mapping through the amd_matrix_instruction_calculator
+ * tool; this class re-implements the CDNA2 mapping family so that
+ * fragment loads/stores, the functional executor, and the rocWMMA-style
+ * API all agree on an explicit in-register data layout.
+ *
+ * The mapping is parametric in the instruction shape:
+ *  - blocks partition the wavefront into equal lane groups;
+ *  - A places row = lane % m within a block, with each lane holding
+ *    k/groups consecutive k-slices (groups = lanes_per_block / m);
+ *  - B mirrors A with columns in the lane dimension;
+ *  - C/D place col = lane % n, and each lane's slots cover rows in
+ *    nested groups of four (the AccVGPR row-interleave pattern).
+ */
+
+#ifndef MC_ARCH_LAYOUT_HH
+#define MC_ARCH_LAYOUT_HH
+
+#include "arch/mfma_isa.hh"
+#include "arch/types.hh"
+
+namespace mc {
+namespace arch {
+
+/** Where one matrix element lives inside the wavefront's registers. */
+struct RegLocation
+{
+    int lane = 0; ///< wavefront lane (0..waveSize-1)
+    int slot = 0; ///< per-lane element slot (0..elementsPerLane-1)
+
+    friend bool operator==(const RegLocation &, const RegLocation &) = default;
+};
+
+/** Logical coordinates of one operand element. */
+struct ElementCoord
+{
+    int block = 0;
+    int row = 0; ///< row for A/C/D; k-index for B
+    int col = 0; ///< k-index for A; column for B/C/D
+
+    friend bool operator==(const ElementCoord &, const ElementCoord &) = default;
+};
+
+/**
+ * The register layout of one operand of one MFMA instruction.
+ */
+class OperandLayout
+{
+  public:
+    /**
+     * Build the layout for @p operand of @p inst.
+     *
+     * Panics if the instruction's shape violates the divisibility
+     * constraints of the CDNA2 mapping family (which no table entry
+     * does; the constructor is the property test for new entries).
+     */
+    OperandLayout(const MfmaInstruction &inst, Operand operand);
+
+    Operand operand() const { return _operand; }
+
+    /** Logical rows of this operand (m for A/C/D, k for B). */
+    int rows() const { return _rows; }
+    /** Logical columns (k for A, n for B/C/D). */
+    int cols() const { return _cols; }
+    int blocks() const { return _blocks; }
+    int waveSize() const { return _waveSize; }
+
+    /** Elements stored by each lane. */
+    int elementsPerLane() const { return _elementsPerLane; }
+
+    /**
+     * 32-bit vector registers each lane needs for this operand given
+     * the element size in bytes (FP16 packs two per VGPR; FP64 uses
+     * two VGPRs per element).
+     */
+    int vgprCount(std::size_t element_bytes) const;
+
+    /** Map a logical element to its (lane, slot) register location. */
+    RegLocation locationOf(const ElementCoord &coord) const;
+
+    /** Inverse mapping: which element lives at (lane, slot). */
+    ElementCoord elementAt(const RegLocation &loc) const;
+
+  private:
+    Operand _operand;
+    int _rows;
+    int _cols;
+    int _blocks;
+    int _waveSize;
+    int _lanesPerBlock;
+    int _elementsPerLane;
+    // A/B parameters.
+    int _kPerGroup = 1;
+    // C/D parameters.
+    int _rowGroups = 1;     ///< lanesPerBlock / n
+    int _rowSubgroup = 1;   ///< min(4, elementsPerLane)
+};
+
+} // namespace arch
+} // namespace mc
+
+#endif // MC_ARCH_LAYOUT_HH

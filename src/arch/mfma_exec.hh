@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Functional (bit-level) execution of MFMA instructions.
+ *
+ * Matrix Cores widen A/B operands to the accumulator precision, form the
+ * k-deep dot product in the accumulator, add C once, and write D back in
+ * the accumulator type. executeMfma() reproduces that dataflow on host
+ * matrices; executeMfmaInRegisters() runs the same computation through
+ * the per-lane register layout so the fragment machinery can be
+ * validated end-to-end against the plain path.
+ */
+
+#ifndef MC_ARCH_MFMA_EXEC_HH
+#define MC_ARCH_MFMA_EXEC_HH
+
+#include <vector>
+
+#include "arch/layout.hh"
+#include "arch/mfma_isa.hh"
+#include "common/logging.hh"
+#include "fp/traits.hh"
+
+namespace mc {
+namespace arch {
+
+/**
+ * Per-lane register storage for one operand of one wavefront.
+ *
+ * @tparam T element storage type.
+ */
+template <typename T>
+struct FragmentRegs
+{
+    int waveSize = 0;
+    int elementsPerLane = 0;
+    /** laneData[lane * elementsPerLane + slot]. */
+    std::vector<T> laneData;
+
+    FragmentRegs() = default;
+
+    FragmentRegs(int wave_size, int elements_per_lane)
+        : waveSize(wave_size), elementsPerLane(elements_per_lane),
+          laneData(static_cast<std::size_t>(wave_size) * elements_per_lane)
+    {}
+
+    T &
+    at(int lane, int slot)
+    {
+        mc_assert(lane >= 0 && lane < waveSize && slot >= 0 &&
+                  slot < elementsPerLane, "fragment register out of range");
+        return laneData[static_cast<std::size_t>(lane) * elementsPerLane +
+                        slot];
+    }
+
+    const T &
+    at(int lane, int slot) const
+    {
+        mc_assert(lane >= 0 && lane < waveSize && slot >= 0 &&
+                  slot < elementsPerLane, "fragment register out of range");
+        return laneData[static_cast<std::size_t>(lane) * elementsPerLane +
+                        slot];
+    }
+};
+
+/**
+ * Execute D <- A*B + C functionally.
+ *
+ * Operand storage is contiguous per block:
+ *   a[block][row][k], b[block][k][col], c/d[block][row][col].
+ * Accumulation happens in NumericTraits<TCD>::AccumType with k ascending,
+ * matching the Matrix Core dataflow (single rounding at writeback for
+ * reduced-precision accumulator types; none for f32/f64 accumulators).
+ *
+ * @tparam TCD element type of C and D (float, double, or int32).
+ * @tparam TAB element type of A and B.
+ */
+template <typename TCD, typename TAB>
+void
+executeMfma(const MfmaInstruction &inst, const TAB *a, const TAB *b,
+            const TCD *c, TCD *d)
+{
+    using Acc = typename fp::NumericTraits<TCD>::AccumType;
+    const int m = inst.shape.m;
+    const int n = inst.shape.n;
+    const int k = inst.shape.k;
+
+    for (int blk = 0; blk < inst.shape.blocks; ++blk) {
+        const TAB *ab = a + static_cast<std::size_t>(blk) * m * k;
+        const TAB *bb = b + static_cast<std::size_t>(blk) * k * n;
+        const TCD *cb = c + static_cast<std::size_t>(blk) * m * n;
+        TCD *db = d + static_cast<std::size_t>(blk) * m * n;
+
+        for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+                Acc acc = fp::NumericTraits<TCD>::widen(
+                    cb[static_cast<std::size_t>(i) * n + j]);
+                for (int kk = 0; kk < k; ++kk) {
+                    const Acc av = static_cast<Acc>(
+                        fp::NumericTraits<TAB>::widen(
+                            ab[static_cast<std::size_t>(i) * k + kk]));
+                    const Acc bv = static_cast<Acc>(
+                        fp::NumericTraits<TAB>::widen(
+                            bb[static_cast<std::size_t>(kk) * n + j]));
+                    acc += av * bv;
+                }
+                db[static_cast<std::size_t>(i) * n + j] =
+                    fp::NumericTraits<TCD>::narrow(acc);
+            }
+        }
+    }
+}
+
+/**
+ * Scatter contiguous per-block operand storage into per-lane registers
+ * according to the instruction's layout.
+ */
+template <typename T>
+FragmentRegs<T>
+scatterToRegisters(const MfmaInstruction &inst, Operand op, const T *data)
+{
+    const OperandLayout layout(inst, op);
+    FragmentRegs<T> regs(layout.waveSize(), layout.elementsPerLane());
+    const int rows = layout.rows();
+    const int cols = layout.cols();
+
+    for (int blk = 0; blk < layout.blocks(); ++blk) {
+        const T *src = data + static_cast<std::size_t>(blk) * rows * cols;
+        for (int r = 0; r < rows; ++r) {
+            for (int col = 0; col < cols; ++col) {
+                const RegLocation loc =
+                    layout.locationOf(ElementCoord{blk, r, col});
+                regs.at(loc.lane, loc.slot) =
+                    src[static_cast<std::size_t>(r) * cols + col];
+            }
+        }
+    }
+    return regs;
+}
+
+/**
+ * Gather per-lane registers back into contiguous per-block storage.
+ */
+template <typename T>
+void
+gatherFromRegisters(const MfmaInstruction &inst, Operand op,
+                    const FragmentRegs<T> &regs, T *data)
+{
+    const OperandLayout layout(inst, op);
+    const int rows = layout.rows();
+    const int cols = layout.cols();
+
+    for (int lane = 0; lane < layout.waveSize(); ++lane) {
+        for (int slot = 0; slot < layout.elementsPerLane(); ++slot) {
+            const ElementCoord coord =
+                layout.elementAt(RegLocation{lane, slot});
+            data[static_cast<std::size_t>(coord.block) * rows * cols +
+                 static_cast<std::size_t>(coord.row) * cols + coord.col] =
+                regs.at(lane, slot);
+        }
+    }
+}
+
+/**
+ * Execute the MFMA through the register layout: scatter A/B/C into
+ * lane registers, compute per accumulator element from register-resident
+ * operands, and return D's registers. Produces bit-identical results to
+ * executeMfma(); the tests rely on that equivalence to validate the
+ * layout calculator.
+ */
+template <typename TCD, typename TAB>
+FragmentRegs<TCD>
+executeMfmaInRegisters(const MfmaInstruction &inst,
+                       const FragmentRegs<TAB> &a_regs,
+                       const FragmentRegs<TAB> &b_regs,
+                       const FragmentRegs<TCD> &c_regs)
+{
+    using Acc = typename fp::NumericTraits<TCD>::AccumType;
+    const OperandLayout la(inst, Operand::A);
+    const OperandLayout lb(inst, Operand::B);
+    const OperandLayout lc(inst, Operand::C);
+    const OperandLayout ld(inst, Operand::D);
+
+    FragmentRegs<TCD> d_regs(ld.waveSize(), ld.elementsPerLane());
+
+    for (int lane = 0; lane < ld.waveSize(); ++lane) {
+        for (int slot = 0; slot < ld.elementsPerLane(); ++slot) {
+            const ElementCoord el = ld.elementAt(RegLocation{lane, slot});
+            const RegLocation cloc =
+                lc.locationOf(ElementCoord{el.block, el.row, el.col});
+            Acc acc = fp::NumericTraits<TCD>::widen(
+                c_regs.at(cloc.lane, cloc.slot));
+            for (int kk = 0; kk < inst.shape.k; ++kk) {
+                const RegLocation aloc =
+                    la.locationOf(ElementCoord{el.block, el.row, kk});
+                const RegLocation bloc =
+                    lb.locationOf(ElementCoord{el.block, kk, el.col});
+                const Acc av = static_cast<Acc>(
+                    fp::NumericTraits<TAB>::widen(
+                        a_regs.at(aloc.lane, aloc.slot)));
+                const Acc bv = static_cast<Acc>(
+                    fp::NumericTraits<TAB>::widen(
+                        b_regs.at(bloc.lane, bloc.slot)));
+                acc += av * bv;
+            }
+            d_regs.at(lane, slot) = fp::NumericTraits<TCD>::narrow(acc);
+        }
+    }
+    return d_regs;
+}
+
+} // namespace arch
+} // namespace mc
+
+#endif // MC_ARCH_MFMA_EXEC_HH

@@ -1,0 +1,233 @@
+#include "mfma_isa.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace arch {
+
+std::string
+MfmaInstruction::typeString() const
+{
+    std::string out = dataTypeName(typeCD);
+    out += " <- ";
+    out += dataTypeName(typeAB);
+    return out;
+}
+
+namespace {
+
+MfmaInstruction
+makeInst(GpuArch arch, std::string mnemonic, DataType cd, DataType ab,
+         int m, int n, int k, int blocks, int latency)
+{
+    MfmaInstruction inst;
+    inst.mnemonic = std::move(mnemonic);
+    inst.arch = arch;
+    inst.typeCD = cd;
+    inst.typeAB = ab;
+    inst.shape = MfmaShape{m, n, k, blocks};
+    inst.latencyCycles = latency;
+    inst.waveSize = (arch == GpuArch::Ampere) ? 32 : 64;
+    return inst;
+}
+
+std::vector<MfmaInstruction>
+buildCdna1Table()
+{
+    using DT = DataType;
+    const auto A = GpuArch::Cdna1;
+    std::vector<MfmaInstruction> t;
+
+    // First-generation Matrix Cores: no FP64 MFMA at all, FP32 and
+    // FP16 at the same per-CU rates the second generation kept, and
+    // BF16 only at half rate (the CDNA2 "_1k" shapes do not exist).
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x4f32", DT::F32, DT::F32,
+                         16, 16, 4, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x2f32", DT::F32, DT::F32,
+                         32, 32, 2, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_4x4x1_16b_f32", DT::F32, DT::F32,
+                         4, 4, 1, 16, 8));
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x16f16", DT::F32, DT::F16,
+                         16, 16, 16, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x8f16", DT::F32, DT::F16,
+                         32, 32, 8, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x8bf16", DT::F32, DT::BF16,
+                         16, 16, 8, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x4bf16", DT::F32, DT::BF16,
+                         32, 32, 4, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_i32_16x16x16i8", DT::I32, DT::I8,
+                         16, 16, 16, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_i32_32x32x8i8", DT::I32, DT::I8,
+                         32, 32, 8, 1, 64));
+
+    return t;
+}
+
+std::vector<MfmaInstruction>
+buildCdna2Table()
+{
+    using DT = DataType;
+    const auto A = GpuArch::Cdna2;
+    std::vector<MfmaInstruction> t;
+
+    // --- FP64 <- FP64 -----------------------------------------------------
+    // Paper Table II measures 32 cycles for 16x16x4, i.e. 256 FP64
+    // FLOPS/CU/cycle (the rate Section V-C quotes for one MI250X CU).
+    t.push_back(makeInst(A, "v_mfma_f64_16x16x4_f64", DT::F64, DT::F64,
+                         16, 16, 4, 1, 32));
+    // The 4x4 multi-block variant runs at half the dense FP64 rate.
+    t.push_back(makeInst(A, "v_mfma_f64_4x4x4_4b_f64", DT::F64, DT::F64,
+                         4, 4, 4, 4, 16));
+
+    // --- FP32 <- FP32 (256 FLOPS/CU/cycle path) ---------------------------
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x4_f32", DT::F32, DT::F32,
+                         16, 16, 4, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x2_f32", DT::F32, DT::F32,
+                         32, 32, 2, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x1_4b_f32", DT::F32, DT::F32,
+                         16, 16, 1, 4, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x1_2b_f32", DT::F32, DT::F32,
+                         32, 32, 1, 2, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_4x4x1_16b_f32", DT::F32, DT::F32,
+                         4, 4, 1, 16, 8));
+
+    // --- FP32 <- FP16 (1024 FLOPS/CU/cycle path) --------------------------
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x16_f16", DT::F32, DT::F16,
+                         16, 16, 16, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x8_f16", DT::F32, DT::F16,
+                         32, 32, 8, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x4_4b_f16", DT::F32, DT::F16,
+                         16, 16, 4, 4, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x4_2b_f16", DT::F32, DT::F16,
+                         32, 32, 4, 2, 64));
+    t.push_back(makeInst(A, "v_mfma_f32_4x4x4_16b_f16", DT::F32, DT::F16,
+                         4, 4, 4, 16, 8));
+
+    // --- FP32 <- BF16 (CDNA2 "_1k" full-rate variants) --------------------
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x16_bf16_1k", DT::F32, DT::BF16,
+                         16, 16, 16, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x8_bf16_1k", DT::F32, DT::BF16,
+                         32, 32, 8, 1, 64));
+    // CDNA1-heritage half-rate shapes kept for ISA completeness.
+    t.push_back(makeInst(A, "v_mfma_f32_16x16x8_bf16", DT::F32, DT::BF16,
+                         16, 16, 8, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_f32_32x32x4_bf16", DT::F32, DT::BF16,
+                         32, 32, 4, 1, 64));
+
+    // --- I32 <- I8 (1024 MACs/CU/cycle path) ------------------------------
+    t.push_back(makeInst(A, "v_mfma_i32_16x16x16_i8", DT::I32, DT::I8,
+                         16, 16, 16, 1, 32));
+    t.push_back(makeInst(A, "v_mfma_i32_32x32x8_i8", DT::I32, DT::I8,
+                         32, 32, 8, 1, 64));
+    t.push_back(makeInst(A, "v_mfma_i32_4x4x4_16b_i8", DT::I32, DT::I8,
+                         4, 4, 4, 16, 8));
+
+    return t;
+}
+
+std::vector<MfmaInstruction>
+buildAmpereTable()
+{
+    using DT = DataType;
+    const auto A = GpuArch::Ampere;
+    std::vector<MfmaInstruction> t;
+
+    // Latencies chosen so one SM (4 Tensor Cores) sustains the datasheet
+    // rates: 2048 FP16 FLOP/SM/cycle (312 TFLOPS at 1.41 GHz x 108 SMs)
+    // and 128 FP64 FLOP/SM/cycle (19.5 TFLOPS).
+    t.push_back(makeInst(A, "mma.m16n8k8.f32.f16", DT::F32, DT::F16,
+                         16, 8, 8, 1, 4));
+    t.push_back(makeInst(A, "mma.m16n8k16.f32.f16", DT::F32, DT::F16,
+                         16, 8, 16, 1, 8));
+    t.push_back(makeInst(A, "mma.m16n8k8.f16.f16", DT::F16, DT::F16,
+                         16, 8, 8, 1, 4));
+    t.push_back(makeInst(A, "mma.m16n8k16.f16.f16", DT::F16, DT::F16,
+                         16, 8, 16, 1, 8));
+    t.push_back(makeInst(A, "mma.m8n8k4.f64", DT::F64, DT::F64,
+                         8, 8, 4, 1, 16));
+    t.push_back(makeInst(A, "mma.m16n8k8.f32.bf16", DT::F32, DT::BF16,
+                         16, 8, 8, 1, 4));
+    t.push_back(makeInst(A, "mma.m16n8k16.f32.bf16", DT::F32, DT::BF16,
+                         16, 8, 16, 1, 8));
+    t.push_back(makeInst(A, "mma.m16n8k32.i32.i8", DT::I32, DT::I8,
+                         16, 8, 32, 1, 8));
+
+    return t;
+}
+
+} // namespace
+
+const std::vector<MfmaInstruction> &
+cdna1Instructions()
+{
+    static const std::vector<MfmaInstruction> table = buildCdna1Table();
+    return table;
+}
+
+const std::vector<MfmaInstruction> &
+cdna2Instructions()
+{
+    static const std::vector<MfmaInstruction> table = buildCdna2Table();
+    return table;
+}
+
+const std::vector<MfmaInstruction> &
+ampereInstructions()
+{
+    static const std::vector<MfmaInstruction> table = buildAmpereTable();
+    return table;
+}
+
+const std::vector<MfmaInstruction> &
+instructionsFor(GpuArch arch)
+{
+    switch (arch) {
+      case GpuArch::Cdna1: return cdna1Instructions();
+      case GpuArch::Cdna2: return cdna2Instructions();
+      case GpuArch::Ampere: return ampereInstructions();
+    }
+    mc_panic("unreachable architecture in instructionsFor");
+}
+
+const MfmaInstruction *
+findInstruction(GpuArch arch, DataType type_cd, DataType type_ab,
+                const MfmaShape &shape)
+{
+    for (const auto &inst : instructionsFor(arch)) {
+        if (inst.typeCD == type_cd && inst.typeAB == type_ab &&
+            inst.shape == shape) {
+            return &inst;
+        }
+    }
+    return nullptr;
+}
+
+const MfmaInstruction *
+findInstruction(GpuArch arch, const std::string &mnemonic)
+{
+    for (const auto &inst : instructionsFor(arch)) {
+        if (inst.mnemonic == mnemonic)
+            return &inst;
+    }
+    return nullptr;
+}
+
+std::vector<const MfmaInstruction *>
+instructionsForTypes(GpuArch arch, DataType type_cd, DataType type_ab)
+{
+    std::vector<const MfmaInstruction *> out;
+    for (const auto &inst : instructionsFor(arch)) {
+        if (inst.typeCD == type_cd && inst.typeAB == type_ab)
+            out.push_back(&inst);
+    }
+    return out;
+}
+
+bool
+typesSupported(GpuArch arch, DataType type_cd, DataType type_ab)
+{
+    return !instructionsForTypes(arch, type_cd, type_ab).empty();
+}
+
+} // namespace arch
+} // namespace mc

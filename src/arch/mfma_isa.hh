@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The matrix fused multiply-add instruction tables.
+ *
+ * Every row of the paper's Table I corresponds to one instruction here,
+ * plus the multi-block variants the CDNA2 ISA defines (Section II: "AMD
+ * CDNA2 also supports smaller shapes, where a Matrix Core can execute up
+ * to four parallel MFMA operations"). Latencies are the values the paper
+ * measures in Table II; for shapes the paper does not time, we use the
+ * values implied by AMD's documented FLOPS/CU/cycle via the paper's
+ * relation  FLOPS/CU/cycle = 8*m*n*k*blocks / latency.
+ */
+
+#ifndef MC_ARCH_MFMA_ISA_HH
+#define MC_ARCH_MFMA_ISA_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace mc {
+namespace arch {
+
+/**
+ * One matrix fused multiply-add instruction: D <- A*B + C executed
+ * collectively by the threads of a wavefront/warp.
+ */
+struct MfmaInstruction
+{
+    /** Assembly mnemonic, e.g. "v_mfma_f32_16x16x16_f16". */
+    std::string mnemonic;
+    GpuArch arch = GpuArch::Cdna2;
+    DataType typeCD = DataType::F32; ///< C and D element type
+    DataType typeAB = DataType::F32; ///< A and B element type
+    MfmaShape shape;
+    /**
+     * Issue-to-issue latency in cycles for back-to-back independent
+     * issues from one wavefront (the quantity Table II reports).
+     */
+    int latencyCycles = 0;
+    /** Threads that cooperate on the instruction (64 CDNA2, 32 Ampere). */
+    int waveSize = 64;
+
+    /** Floating-point (or integer MAC) operations per execution. */
+    long long flopsPerInstruction() const { return shape.flops(); }
+
+    /**
+     * Matrix-unit throughput this instruction implies for one CU/SM in
+     * FLOPS per cycle, via the paper's relation with 4 units per CU/SM.
+     */
+    double
+    flopsPerCuPerCycle() const
+    {
+        return 4.0 * static_cast<double>(shape.flops()) / latencyCycles;
+    }
+
+    /** "f32 <- f16" datatype summary used in the paper's tables. */
+    std::string typeString() const;
+};
+
+/**
+ * The first-generation (MI100) Matrix Core MFMA table. CDNA1 has no
+ * FP64 MFMA instructions and only the half-rate BF16 shapes — the gaps
+ * the second generation closed (the "rise" this suite also documents).
+ */
+const std::vector<MfmaInstruction> &cdna1Instructions();
+
+/**
+ * The complete CDNA2 Matrix Core MFMA table (floating point and integer,
+ * including multi-block variants).
+ */
+const std::vector<MfmaInstruction> &cdna2Instructions();
+
+/** The Ampere Tensor Core MMA table used for the comparison figures. */
+const std::vector<MfmaInstruction> &ampereInstructions();
+
+/** Instruction table for an architecture. */
+const std::vector<MfmaInstruction> &instructionsFor(GpuArch arch);
+
+/**
+ * Find the instruction for a datatype/shape combination.
+ *
+ * @return nullptr when the architecture has no such instruction.
+ */
+const MfmaInstruction *findInstruction(GpuArch arch, DataType type_cd,
+                                       DataType type_ab,
+                                       const MfmaShape &shape);
+
+/** Find an instruction by its mnemonic; nullptr when absent. */
+const MfmaInstruction *findInstruction(GpuArch arch,
+                                       const std::string &mnemonic);
+
+/**
+ * All instructions for a datatype pair, e.g. every shape of f32 <- f16.
+ */
+std::vector<const MfmaInstruction *>
+instructionsForTypes(GpuArch arch, DataType type_cd, DataType type_ab);
+
+/**
+ * True when the datatype pair is supported at all on the architecture
+ * (Table I: Ampere lacks f32 <- f32, CDNA2 lacks f16 <- f16).
+ */
+bool typesSupported(GpuArch arch, DataType type_cd, DataType type_ab);
+
+} // namespace arch
+} // namespace mc
+
+#endif // MC_ARCH_MFMA_ISA_HH

@@ -1,0 +1,109 @@
+#include "types.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace arch {
+
+const char *
+gpuArchName(GpuArch a)
+{
+    switch (a) {
+      case GpuArch::Cdna1: return "AMD CDNA1";
+      case GpuArch::Cdna2: return "AMD CDNA2";
+      case GpuArch::Ampere: return "Nvidia Ampere";
+    }
+    return "unknown";
+}
+
+const char *
+dataTypeName(DataType dt)
+{
+    switch (dt) {
+      case DataType::F64: return "f64";
+      case DataType::F32: return "f32";
+      case DataType::F16: return "f16";
+      case DataType::BF16: return "bf16";
+      case DataType::I8: return "i8";
+      case DataType::I32: return "i32";
+    }
+    return "unknown";
+}
+
+std::size_t
+dataTypeBytes(DataType dt)
+{
+    switch (dt) {
+      case DataType::F64: return 8;
+      case DataType::F32: return 4;
+      case DataType::F16: return 2;
+      case DataType::BF16: return 2;
+      case DataType::I8: return 1;
+      case DataType::I32: return 4;
+    }
+    return 0;
+}
+
+bool
+isFloatType(DataType dt)
+{
+    switch (dt) {
+      case DataType::F64:
+      case DataType::F32:
+      case DataType::F16:
+      case DataType::BF16:
+        return true;
+      case DataType::I8:
+      case DataType::I32:
+        return false;
+    }
+    return false;
+}
+
+DataType
+parseDataType(const std::string &name)
+{
+    if (name == "f64" || name == "fp64" || name == "double")
+        return DataType::F64;
+    if (name == "f32" || name == "fp32" || name == "float")
+        return DataType::F32;
+    if (name == "f16" || name == "fp16" || name == "half")
+        return DataType::F16;
+    if (name == "bf16" || name == "bfloat16")
+        return DataType::BF16;
+    if (name == "i8" || name == "int8")
+        return DataType::I8;
+    if (name == "i32" || name == "int32")
+        return DataType::I32;
+    mc_fatal("unknown datatype name '", name, "'");
+}
+
+const char *
+operandName(Operand op)
+{
+    switch (op) {
+      case Operand::A: return "A";
+      case Operand::B: return "B";
+      case Operand::C: return "C";
+      case Operand::D: return "D";
+    }
+    return "?";
+}
+
+std::string
+MfmaShape::toString() const
+{
+    char buf[64];
+    if (blocks == 1) {
+        std::snprintf(buf, sizeof(buf), "%dx%dx%d", m, n, k);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%dx%dx%d (x%d blocks)",
+                      m, n, k, blocks);
+    }
+    return buf;
+}
+
+} // namespace arch
+} // namespace mc

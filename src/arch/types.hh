@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Architecture-level scalar datatypes and matrix-operand roles shared by
+ * the ISA tables, the layout calculator, and the simulator.
+ */
+
+#ifndef MC_ARCH_TYPES_HH
+#define MC_ARCH_TYPES_HH
+
+#include <cstddef>
+#include <string>
+
+namespace mc {
+namespace arch {
+
+/** GPU target architecture for an instruction table or device model. */
+enum class GpuArch
+{
+    Cdna1,  ///< AMD Instinct MI100 (first-generation Matrix Cores)
+    Cdna2,  ///< AMD Instinct MI200 series (Matrix Cores, wave64)
+    Ampere, ///< Nvidia A100 (Tensor Cores, warp32)
+};
+
+/** Human-readable architecture name. */
+const char *gpuArchName(GpuArch a);
+
+/**
+ * Scalar element types supported by CDNA2 Matrix Cores (and, for the
+ * comparison model, Ampere Tensor Cores).
+ */
+enum class DataType
+{
+    F64,
+    F32,
+    F16,
+    BF16,
+    I8,
+    I32,
+};
+
+/** Short lowercase mnemonic, e.g. "f32". */
+const char *dataTypeName(DataType dt);
+
+/** Storage size of one element in bytes. */
+std::size_t dataTypeBytes(DataType dt);
+
+/** True for the floating-point types. */
+bool isFloatType(DataType dt);
+
+/** Parse a mnemonic ("f16", "bf16", ...); fatal on unknown names. */
+DataType parseDataType(const std::string &name);
+
+/** Role of an operand in D <- A*B + C. */
+enum class Operand
+{
+    A, ///< m x k multiplicand
+    B, ///< k x n multiplicand
+    C, ///< m x n addend
+    D, ///< m x n destination
+};
+
+/** Name of an operand role ("A".."D"). */
+const char *operandName(Operand op);
+
+/** Row- or column-major storage order for in-memory matrices. */
+enum class MemLayout
+{
+    RowMajor,
+    ColMajor,
+};
+
+/**
+ * The m x n x k dimensions of a matrix fused multiply-add, with the
+ * number of independent blocks the instruction computes in parallel.
+ */
+struct MfmaShape
+{
+    int m = 0;
+    int n = 0;
+    int k = 0;
+    int blocks = 1;
+
+    /** Floating-point operations performed: 2*m*n*k per block. */
+    long long flops() const { return 2ll * m * n * k * blocks; }
+
+    /** "16x16x16" or "4x4x4 (x16 blocks)". */
+    std::string toString() const;
+
+    friend bool operator==(const MfmaShape &, const MfmaShape &) = default;
+};
+
+} // namespace arch
+} // namespace mc
+
+#endif // MC_ARCH_TYPES_HH

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Functional (numeric) GEMM execution paths.
+ *
+ * Two implementations of D <- alpha*A*B + beta*C exist so they can be
+ * checked against each other:
+ *  - referenceGemm: a scalar triple loop with explicit accumulator
+ *    semantics (including the per-step rounding a SIMD f16 FMA chain
+ *    performs, which is how HGEMM really behaves on the VALU path);
+ *  - tiledMatrixCoreGemm: the Matrix Core dataflow — 16x16 micro-tiles
+ *    accumulated through executeMfma in the accumulator precision, with
+ *    the alpha/beta scaling applied afterwards in the compute type,
+ *    exactly as the library kernel does it.
+ */
+
+#ifndef MC_BLAS_FUNCTIONAL_HH
+#define MC_BLAS_FUNCTIONAL_HH
+
+#include <cstddef>
+
+#include "arch/mfma_exec.hh"
+#include "arch/mfma_isa.hh"
+#include "common/logging.hh"
+#include "common/matrix.hh"
+#include "fp/traits.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Scalar reference GEMM.
+ *
+ * @tparam TCD storage type of C and D.
+ * @tparam TAB storage type of A and B.
+ * @tparam TAcc accumulator type of the dot product.
+ * @param round_each_step round the accumulator back to TCD after every
+ *        FMA (models a reduced-precision VALU FMA chain; only
+ *        meaningful when TCD is narrower than TAcc).
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+referenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
+              double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
+              bool round_each_step = false)
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    mc_assert(b.rows() == k, "GEMM inner dimensions disagree");
+    mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
+    mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
+
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            TAcc acc = TAcc(0);
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                const TAcc av = static_cast<TAcc>(
+                    fp::NumericTraits<TAB>::widen(a(i, kk)));
+                const TAcc bv = static_cast<TAcc>(
+                    fp::NumericTraits<TAB>::widen(b(kk, j)));
+                acc += av * bv;
+                if (round_each_step) {
+                    acc = static_cast<TAcc>(fp::NumericTraits<TCD>::widen(
+                        TCD(acc)));
+                }
+            }
+            const TAcc scaled =
+                static_cast<TAcc>(alpha) * acc +
+                static_cast<TAcc>(beta) *
+                    static_cast<TAcc>(
+                        fp::NumericTraits<TCD>::widen(c(i, j)));
+            d(i, j) = TCD(scaled);
+        }
+    }
+}
+
+/**
+ * Tiled Matrix Core GEMM: pad to the instruction shape, accumulate each
+ * 16x16 (or instruction-shaped) output tile across K through
+ * executeMfma in @p TAcc precision, then apply the alpha/beta pass.
+ *
+ * @tparam TAcc the Matrix Core accumulator type for this input type
+ *         (float for f16/bf16/f32 inputs, double for f64).
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+tiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
+                    const Matrix<TAB> &a, const Matrix<TAB> &b,
+                    double beta, const Matrix<TCD> &c, Matrix<TCD> &d)
+{
+    mc_assert(inst.shape.blocks == 1,
+              "the tiled path uses single-block instructions");
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    mc_assert(b.rows() == k, "GEMM inner dimensions disagree");
+    mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
+    mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
+
+    const int tm = inst.shape.m;
+    const int tn = inst.shape.n;
+    const int tk = inst.shape.k;
+
+    // Zero-padded operand tiles, gathered per (tile, k-slice).
+    std::vector<TAB> a_tile(static_cast<std::size_t>(tm) * tk);
+    std::vector<TAB> b_tile(static_cast<std::size_t>(tk) * tn);
+    std::vector<TAcc> acc_tile(static_cast<std::size_t>(tm) * tn);
+    std::vector<TAcc> out_tile(static_cast<std::size_t>(tm) * tn);
+
+    for (std::size_t i0 = 0; i0 < m; i0 += tm) {
+        for (std::size_t j0 = 0; j0 < n; j0 += tn) {
+            std::fill(acc_tile.begin(), acc_tile.end(), TAcc(0));
+            for (std::size_t k0 = 0; k0 < k; k0 += tk) {
+                for (int i = 0; i < tm; ++i) {
+                    for (int kk = 0; kk < tk; ++kk) {
+                        const std::size_t gi = i0 + i, gk = k0 + kk;
+                        a_tile[static_cast<std::size_t>(i) * tk + kk] =
+                            (gi < m && gk < k) ? a(gi, gk) : TAB(0.0f);
+                    }
+                }
+                for (int kk = 0; kk < tk; ++kk) {
+                    for (int j = 0; j < tn; ++j) {
+                        const std::size_t gk = k0 + kk, gj = j0 + j;
+                        b_tile[static_cast<std::size_t>(kk) * tn + j] =
+                            (gk < k && gj < n) ? b(gk, gj) : TAB(0.0f);
+                    }
+                }
+                arch::executeMfma<TAcc, TAB>(inst, a_tile.data(),
+                                             b_tile.data(), acc_tile.data(),
+                                             out_tile.data());
+                acc_tile.swap(out_tile);
+            }
+            // Alpha/beta pass in the compute (accumulator) type.
+            for (int i = 0; i < tm; ++i) {
+                for (int j = 0; j < tn; ++j) {
+                    const std::size_t gi = i0 + i, gj = j0 + j;
+                    if (gi >= m || gj >= n)
+                        continue;
+                    const TAcc scaled =
+                        static_cast<TAcc>(alpha) *
+                            acc_tile[static_cast<std::size_t>(i) * tn + j] +
+                        static_cast<TAcc>(beta) *
+                            static_cast<TAcc>(
+                                fp::NumericTraits<TCD>::widen(c(gi, gj)));
+                    d(gi, gj) = TCD(scaled);
+                }
+            }
+        }
+    }
+}
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_FUNCTIONAL_HH

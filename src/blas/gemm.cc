@@ -1,0 +1,67 @@
+#include "gemm.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+GemmEngine::GemmEngine(hip::Runtime &rt, PlannerOptions opts)
+    : _rt(rt), _opts(opts)
+{}
+
+GemmPlan
+GemmEngine::plan(const GemmConfig &config) const
+{
+    return planGemm(config, _rt.gpu().calibration(), _opts);
+}
+
+std::size_t
+GemmEngine::operandBytes(const GemmConfig &config)
+{
+    const ComboInfo &info = comboInfo(config.combo);
+    const std::size_t s_ab = arch::dataTypeBytes(info.typeAB);
+    const std::size_t s_cd = arch::dataTypeBytes(info.typeCD);
+    return (config.m * config.k * s_ab + config.k * config.n * s_ab +
+            config.m * config.n * s_cd) * config.batchCount;
+}
+
+Result<GemmResult>
+GemmEngine::run(const GemmConfig &config)
+{
+    const ComboInfo &info = comboInfo(config.combo);
+    const std::size_t s_ab = arch::dataTypeBytes(info.typeAB);
+    const std::size_t s_cd = arch::dataTypeBytes(info.typeCD);
+
+    // Allocate the operands; failure here is the sweep-terminating
+    // condition ("until exhausting the GPU memory").
+    const std::size_t batch = config.batchCount;
+    auto a = _rt.malloc(config.device, config.m * config.k * s_ab * batch);
+    if (!a.isOk())
+        return a.status();
+    auto b = _rt.malloc(config.device, config.k * config.n * s_ab * batch);
+    if (!b.isOk()) {
+        _rt.free(a.value());
+        return b.status();
+    }
+    auto c = _rt.malloc(config.device, config.m * config.n * s_cd * batch);
+    if (!c.isOk()) {
+        _rt.free(a.value());
+        _rt.free(b.value());
+        return c.status();
+    }
+
+    GemmPlan plan = planGemm(config, _rt.gpu().calibration(), _opts);
+
+    GemmResult result;
+    result.kernel = _rt.launch(plan.profile, config.device);
+    result.usedMatrixCores = plan.useMatrixCores;
+    result.macroTile = plan.macroTile;
+
+    _rt.free(a.value());
+    _rt.free(b.value());
+    _rt.free(c.value());
+    return result;
+}
+
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The rocBLAS-equivalent GEMM entry point.
+ *
+ * GemmEngine::run is this model's rocblas_gemm_ex: it resolves the
+ * datatype combination, lets the planner choose the Matrix Core or SIMD
+ * mapping (with no user-facing opt-out, as the paper notes), allocates
+ * the operands on the device, executes the planned kernel on the
+ * simulator, and reports timing plus the hardware counters a rocprof
+ * run would collect.
+ */
+
+#ifndef MC_BLAS_GEMM_HH
+#define MC_BLAS_GEMM_HH
+
+#include "blas/gemm_types.hh"
+#include "blas/tiling.hh"
+#include "common/status.hh"
+#include "hip/runtime.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Executes GEMM problems against a simulated device.
+ */
+class GemmEngine
+{
+  public:
+    /** Bind the engine to a runtime; the runtime must outlive it. */
+    explicit GemmEngine(hip::Runtime &rt,
+                        PlannerOptions opts = PlannerOptions());
+
+    /** Planner tunables (for the ablation studies). */
+    PlannerOptions &plannerOptions() { return _opts; }
+    const PlannerOptions &plannerOptions() const { return _opts; }
+
+    /** The runtime this engine executes against. */
+    hip::Runtime &runtime() { return _rt; }
+
+    /**
+     * Plan the mapping of @p config without executing it.
+     */
+    GemmPlan plan(const GemmConfig &config) const;
+
+    /**
+     * Execute one GEMM.
+     *
+     * Allocates A, B, and C/D on the configured device (C doubles as
+     * the output, as in the BLAS convention), so an over-sized problem
+     * fails with OutOfMemory exactly where the paper's sweep stops.
+     */
+    Result<GemmResult> run(const GemmConfig &config);
+
+    /**
+     * Device bytes the three operands of @p config require.
+     */
+    static std::size_t operandBytes(const GemmConfig &config);
+
+  private:
+    hip::Runtime &_rt;
+    PlannerOptions _opts;
+};
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_GEMM_HH

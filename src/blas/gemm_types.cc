@@ -1,0 +1,34 @@
+#include "gemm_types.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+const ComboInfo &
+comboInfo(GemmCombo combo)
+{
+    using DT = arch::DataType;
+    static const ComboInfo infos[] = {
+        {"dgemm", DT::F64, DT::F64, DT::F64},
+        {"sgemm", DT::F32, DT::F32, DT::F32},
+        {"hgemm", DT::F16, DT::F16, DT::F16},
+        {"hhs", DT::F16, DT::F16, DT::F32},
+        {"hss", DT::F16, DT::F32, DT::F32},
+    };
+    return infos[static_cast<int>(combo)];
+}
+
+GemmCombo
+parseCombo(const std::string &name)
+{
+    for (GemmCombo combo : allCombos) {
+        if (name == comboInfo(combo).name)
+            return combo;
+    }
+    mc_fatal("unknown GEMM combo '", name,
+             "' (expected dgemm, sgemm, hgemm, hhs, or hss)");
+}
+
+} // namespace blas
+} // namespace mc

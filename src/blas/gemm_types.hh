@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The GEMM datatype combinations the paper evaluates (Table III plus
+ * the plain single/double routines), and the result record of one GEMM
+ * execution.
+ */
+
+#ifndef MC_BLAS_GEMM_TYPES_HH
+#define MC_BLAS_GEMM_TYPES_HH
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "arch/types.hh"
+#include "sim/device.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Datatype combination of a rocblas_gemm_ex-style call.
+ *
+ * Naming follows the paper: HGEMM/HSS/HHS operate on FP16 A/B and
+ * differ in the C/D and compute types (Table III).
+ */
+enum class GemmCombo
+{
+    Dgemm, ///< f64 <- f64, compute f64
+    Sgemm, ///< f32 <- f32, compute f32
+    Hgemm, ///< f16 <- f16, compute f16 (no Matrix Core support!)
+    Hhs,   ///< f16 C/D, f16 A/B, compute f32
+    Hss,   ///< f32 C/D, f16 A/B, compute f32
+};
+
+/** Static description of a combo (the paper's Table III row). */
+struct ComboInfo
+{
+    const char *name;
+    arch::DataType typeAB;
+    arch::DataType typeCD;
+    arch::DataType computeType; ///< type of the alpha/beta arithmetic
+};
+
+/** Table III lookup. */
+const ComboInfo &comboInfo(GemmCombo combo);
+
+/** All five combos, in the paper's presentation order. */
+inline constexpr GemmCombo allCombos[] = {
+    GemmCombo::Dgemm, GemmCombo::Sgemm, GemmCombo::Hgemm,
+    GemmCombo::Hhs, GemmCombo::Hss,
+};
+
+/** Parse a combo name ("dgemm", "hss", ...); fatal on unknown names. */
+GemmCombo parseCombo(const std::string &name);
+
+/**
+ * One D <- alpha*A*B + beta*C problem.
+ */
+struct GemmConfig
+{
+    GemmCombo combo = GemmCombo::Sgemm;
+    std::size_t m = 0;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    double alpha = 1.0;
+    double beta = 0.0;
+    int device = 0;
+
+    /**
+     * Independent problems solved by one call (the
+     * rocblas_gemm_strided_batched_ex pattern ML workloads use);
+     * 1 = plain GEMM.
+     */
+    std::size_t batchCount = 1;
+
+    /** Ablation knob: force the macro-tile edge (0 = heuristic). */
+    int forceMacroTile = 0;
+    /** Ablation knob: force the Matrix Core path decision. */
+    std::optional<bool> forceMatrixCorePath;
+
+    /** Algorithmic multiply-add FLOPs of the matrix product
+     *  (2mnk per batch entry). */
+    double productFlops() const
+    {
+        return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+               static_cast<double>(k) * static_cast<double>(batchCount);
+    }
+};
+
+/** Outcome of one GEMM execution. */
+struct GemmResult
+{
+    sim::KernelResult kernel;
+    bool usedMatrixCores = false;
+    int macroTile = 0;
+
+    /** Delivered FLOP/s (matrix product + scaling work over time). */
+    double throughput() const { return kernel.throughput(); }
+};
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_GEMM_TYPES_HH

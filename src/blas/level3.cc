@@ -1,0 +1,199 @@
+#include "level3.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+namespace {
+
+/**
+ * Derating of the triangular/symmetric kernels relative to the
+ * equivalent GEMM: the diagonal-block inversions and the triangular
+ * grid edges cost a little pipeline efficiency.
+ */
+constexpr double trsmEfficiency = 0.88;
+constexpr double syrkEfficiency = 0.95;
+
+/**
+ * Scale a GEMM-equivalent plan's Matrix Core work to @p fraction of
+ * the full rectangular problem and re-derive the exact counter and
+ * FLOP bookkeeping for an algorithmic volume of @p algo_flops.
+ */
+void
+scalePlanWork(GemmPlan &plan, double fraction, double algo_flops,
+              double extra_derate)
+{
+    for (auto &seg : plan.profile.mfmaPerWavefront) {
+        seg.countPerWavefront = static_cast<std::uint64_t>(
+            std::max<double>(1.0,
+                             static_cast<double>(seg.countPerWavefront) *
+                                 fraction));
+    }
+    plan.mfmaInstsTotal = static_cast<std::uint64_t>(
+        static_cast<double>(plan.mfmaInstsTotal) * fraction);
+    plan.profile.mcEfficiency *= extra_derate;
+    plan.profile.mfmaFlopsOverride = algo_flops;
+
+    if (plan.profile.countersOverride && plan.inst != nullptr) {
+        // Rebuild the MFMA counter bank from the scaled totals.
+        sim::HwCounters counters = *plan.profile.countersOverride;
+        const int bank = sim::counterTypeIndex(plan.inst->typeAB);
+        counters.mfmaMops[bank] =
+            plan.mfmaInstsTotal *
+            static_cast<std::uint64_t>(plan.inst->flopsPerInstruction()) /
+            sim::mopsGranularity;
+        counters.mfmaInstructions = plan.mfmaInstsTotal;
+        plan.profile.countersOverride = counters;
+    }
+
+    plan.hbmReadBytes *= fraction;
+    plan.hbmWriteBytes *= fraction;
+    plan.profile.hbmReadBytes = plan.hbmReadBytes;
+    plan.profile.hbmWriteBytes = plan.hbmWriteBytes;
+}
+
+} // namespace
+
+Result<GemmResult>
+Level3Engine::runTrsm(const TrsmConfig &config)
+{
+    if (config.m == 0 || config.n == 0)
+        return Status::invalidArgument("TRSM dimensions must be positive");
+
+    // GEMM-equivalent problem: the blocked algorithm performs the same
+    // volume of multiply-adds as an (m x n x m) or (m x n x n) GEMM,
+    // halved by the triangular shape.
+    GemmConfig gemm;
+    gemm.combo = config.combo;
+    gemm.m = config.m;
+    gemm.n = config.n;
+    gemm.k = config.side == Side::Left ? config.m : config.n;
+    gemm.alpha = config.alpha;
+    gemm.beta = 0.0;
+    gemm.device = config.device;
+
+    GemmPlan plan = _engine.plan(gemm);
+    plan.profile.label =
+        std::string(comboInfo(config.combo).name) + "_trsm";
+    if (plan.useMatrixCores)
+        scalePlanWork(plan, 0.5, config.flops(), trsmEfficiency);
+
+    GemmResult result;
+    // Operands: triangular A plus in-place B.
+    const auto &info = comboInfo(config.combo);
+    const std::size_t tri = config.side == Side::Left ? config.m
+                                                      : config.n;
+    const std::size_t bytes =
+        tri * tri * arch::dataTypeBytes(info.typeAB) / 2 +
+        config.m * config.n * arch::dataTypeBytes(info.typeCD);
+    hip::Runtime &rt = _engine.runtime();
+    auto buf = rt.malloc(config.device, bytes);
+    if (!buf.isOk())
+        return buf.status();
+    result.kernel = rt.launch(plan.profile, config.device);
+    result.usedMatrixCores = plan.useMatrixCores;
+    result.macroTile = plan.macroTile;
+    rt.free(buf.value());
+    return result;
+}
+
+Result<GemmResult>
+Level3Engine::runSyrk(const SyrkConfig &config)
+{
+    if (config.n == 0 || config.k == 0)
+        return Status::invalidArgument("SYRK dimensions must be positive");
+
+    GemmConfig gemm;
+    gemm.combo = config.combo;
+    gemm.m = config.n;
+    gemm.n = config.n;
+    gemm.k = config.k;
+    gemm.alpha = config.alpha;
+    gemm.beta = config.beta;
+    gemm.device = config.device;
+
+    GemmPlan plan = _engine.plan(gemm);
+    plan.profile.label =
+        std::string(comboInfo(config.combo).name) + "_syrk";
+    if (plan.useMatrixCores)
+        scalePlanWork(plan, 0.5, config.flops(), syrkEfficiency);
+
+    GemmResult result;
+    const auto &info = comboInfo(config.combo);
+    const std::size_t bytes =
+        config.n * config.k * arch::dataTypeBytes(info.typeAB) +
+        config.n * config.n * arch::dataTypeBytes(info.typeCD) / 2;
+    hip::Runtime &rt = _engine.runtime();
+    auto buf = rt.malloc(config.device, bytes);
+    if (!buf.isOk())
+        return buf.status();
+    result.kernel = rt.launch(plan.profile, config.device);
+    result.usedMatrixCores = plan.useMatrixCores;
+    result.macroTile = plan.macroTile;
+    rt.free(buf.value());
+    return result;
+}
+
+Result<GemmResult>
+Level3Engine::runGemv(const GemvConfig &config)
+{
+    if (config.m == 0 || config.n == 0)
+        return Status::invalidArgument("GEMV dimensions must be positive");
+
+    const auto &info = comboInfo(config.combo);
+    const auto &cal = _engine.runtime().gpu().calibration();
+
+    sim::KernelProfile profile;
+    profile.label = std::string(info.name) + "_gemv";
+    profile.scheduleMode = sim::ScheduleMode::Fluid;
+
+    // One workgroup per 256-row slab, four wavefronts each.
+    const std::uint64_t wgs = (config.m + 255) / 256;
+    profile.numWorkgroups = wgs;
+    profile.numWavefronts = wgs * 4;
+
+    // 2mn FLOPs as VALU FMAs in the compute type.
+    const std::uint64_t macs =
+        static_cast<std::uint64_t>(config.m) * config.n;
+    if (info.computeType == arch::DataType::F16) {
+        profile.addValu(arch::DataType::F16, sim::ValuOp::Fma,
+                        (macs + 127) / 128, 4);
+    } else {
+        profile.addValu(info.computeType, sim::ValuOp::Fma,
+                        (macs + 63) / 64, 2);
+    }
+    if (config.alpha != 1.0 || config.beta != 0.0) {
+        profile.addValu(info.computeType, sim::ValuOp::Mul,
+                        (config.m + 63) / 64, 1);
+    }
+
+    // Streaming A dominates the traffic; x is reused from L2.
+    profile.hbmReadBytes =
+        static_cast<double>(macs) * arch::dataTypeBytes(info.typeAB) +
+        static_cast<double>(config.n) * arch::dataTypeBytes(info.typeAB);
+    profile.hbmWriteBytes =
+        static_cast<double>(config.m) * arch::dataTypeBytes(info.typeCD);
+    profile.bwEfficiency = 0.85; // long contiguous rows stream well
+    profile.simdEfficiency = cal.simdGemmEfficiency;
+    profile.mfmaFlopsOverride = 0.0;
+
+    GemmResult result;
+    hip::Runtime &rt = _engine.runtime();
+    const std::size_t bytes =
+        macs * arch::dataTypeBytes(info.typeAB) +
+        (config.m + config.n) * arch::dataTypeBytes(info.typeCD);
+    auto buf = rt.malloc(config.device, bytes);
+    if (!buf.isOk())
+        return buf.status();
+    result.kernel = rt.launch(profile, config.device);
+    result.usedMatrixCores = false;
+    result.macroTile = 0;
+    rt.free(buf.value());
+    return result;
+}
+
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Additional BLAS level-3 routines: triangular solve with multiple
+ * right-hand sides (TRSM) and symmetric rank-k update (SYRK).
+ *
+ * These are the routines LAPACK-style factorizations delegate to
+ * besides GEMM: blocked LU uses TRSM for its U12 panels, blocked
+ * Cholesky uses TRSM and SYRK for its trailing updates. rocBLAS maps
+ * both onto Matrix Cores through the same tiling machinery as GEMM
+ * (TRSM via blocked diagonal inversion plus GEMM updates), so the
+ * planner here models them as GEMM-equivalent Matrix Core work with
+ * the triangular-shape discount.
+ */
+
+#ifndef MC_BLAS_LEVEL3_HH
+#define MC_BLAS_LEVEL3_HH
+
+#include "blas/gemm.hh"
+#include "common/matrix.hh"
+
+namespace mc {
+namespace blas {
+
+/** Which side the triangular matrix multiplies from. */
+enum class Side
+{
+    Left,  ///< solve op(A) * X = alpha * B
+    Right, ///< solve X * op(A) = alpha * B
+};
+
+/** Which triangle of the matrix is referenced. */
+enum class Fill
+{
+    Lower,
+    Upper,
+};
+
+/**
+ * A triangular solve problem: X such that op(A) X = alpha B (Left) or
+ * X op(A) = alpha B (Right), with A triangular m x m (Left) or
+ * n x n (Right), and B m x n.
+ */
+struct TrsmConfig
+{
+    GemmCombo combo = GemmCombo::Sgemm; ///< datatype selection
+    Side side = Side::Left;
+    Fill fill = Fill::Lower;
+    bool unitDiagonal = false;
+    std::size_t m = 0; ///< rows of B
+    std::size_t n = 0; ///< columns of B
+    double alpha = 1.0;
+    int device = 0;
+
+    /** Algorithmic FLOPs: m^2 n (Left) or m n^2 (Right). */
+    double flops() const
+    {
+        const double mm = static_cast<double>(m);
+        const double nn = static_cast<double>(n);
+        return side == Side::Left ? mm * mm * nn : mm * nn * nn;
+    }
+};
+
+/**
+ * A symmetric rank-k update: C = alpha * A * A^T + beta * C with C
+ * n x n (one triangle updated) and A n x k.
+ */
+struct SyrkConfig
+{
+    GemmCombo combo = GemmCombo::Sgemm;
+    Fill fill = Fill::Lower;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    double alpha = 1.0;
+    double beta = 0.0;
+    int device = 0;
+
+    /** Algorithmic FLOPs: n^2 k (half of the equivalent GEMM). */
+    double flops() const
+    {
+        return static_cast<double>(n) * n * k;
+    }
+};
+
+/**
+ * A matrix-vector multiply: y = alpha * A * x + beta * y, A m x n.
+ * GEMV has O(1) arithmetic intensity — every element of A is touched
+ * once per FLOP pair — so it never profits from Matrix Cores and runs
+ * bandwidth-bound on the SIMDs, the counterpoint to GEMM on the
+ * roofline.
+ */
+struct GemvConfig
+{
+    GemmCombo combo = GemmCombo::Sgemm;
+    std::size_t m = 0;
+    std::size_t n = 0;
+    double alpha = 1.0;
+    double beta = 0.0;
+    int device = 0;
+
+    /** Algorithmic FLOPs: 2 m n. */
+    double flops() const { return 2.0 * static_cast<double>(m) * n; }
+};
+
+/**
+ * Level-2/3 routines executed against the simulated device through a
+ * GemmEngine (sharing its planner options and runtime).
+ */
+class Level3Engine
+{
+  public:
+    explicit Level3Engine(GemmEngine &engine) : _engine(engine) {}
+
+    /**
+     * Execute a TRSM on the device (timing path). Matrix Core usage
+     * follows the underlying datatype's GEMM path.
+     */
+    Result<GemmResult> runTrsm(const TrsmConfig &config);
+
+    /** Execute a SYRK on the device (timing path). */
+    Result<GemmResult> runSyrk(const SyrkConfig &config);
+
+    /** Execute a GEMV on the device (always the SIMD path). */
+    Result<GemmResult> runGemv(const GemvConfig &config);
+
+  private:
+    GemmEngine &_engine;
+};
+
+// ---- Functional host implementations (all combos' storage types) -------
+
+/**
+ * Solve op(A) X = alpha B in place (B becomes X), Side::Left only,
+ * non-transposed A.
+ *
+ * @tparam T scalar type (float or double).
+ */
+template <typename T>
+void
+referenceTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
+                  const Matrix<T> &a, Matrix<T> &b)
+{
+    mc_assert(a.rows() == a.cols(), "TRSM requires a square A");
+    mc_assert(a.rows() == b.rows(), "TRSM dimension mismatch");
+    const std::size_t m = b.rows();
+    const std::size_t n = b.cols();
+
+    for (std::size_t j = 0; j < n; ++j) {
+        if (fill == Fill::Lower) {
+            for (std::size_t i = 0; i < m; ++i) {
+                T acc = static_cast<T>(alpha) * b(i, j);
+                for (std::size_t kk = 0; kk < i; ++kk)
+                    acc -= a(i, kk) * b(kk, j);
+                b(i, j) = unit_diagonal ? acc : acc / a(i, i);
+            }
+        } else {
+            for (std::size_t ii = m; ii > 0; --ii) {
+                const std::size_t i = ii - 1;
+                T acc = static_cast<T>(alpha) * b(i, j);
+                for (std::size_t kk = i + 1; kk < m; ++kk)
+                    acc -= a(i, kk) * b(kk, j);
+                b(i, j) = unit_diagonal ? acc : acc / a(i, i);
+            }
+        }
+    }
+}
+
+/**
+ * C = alpha * A * A^T + beta * C on the @p fill triangle of C (the
+ * other triangle is left untouched, as BLAS specifies).
+ */
+template <typename T>
+void
+referenceSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
+              Matrix<T> &c)
+{
+    mc_assert(c.rows() == c.cols(), "SYRK requires a square C");
+    mc_assert(a.rows() == c.rows(), "SYRK dimension mismatch");
+    const std::size_t n = c.rows();
+    const std::size_t k = a.cols();
+
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t j_lo = fill == Fill::Lower ? 0 : i;
+        const std::size_t j_hi = fill == Fill::Lower ? i + 1 : n;
+        for (std::size_t j = j_lo; j < j_hi; ++j) {
+            T acc = T(0);
+            for (std::size_t kk = 0; kk < k; ++kk)
+                acc += a(i, kk) * a(j, kk);
+            c(i, j) = static_cast<T>(alpha) * acc +
+                      static_cast<T>(beta) * c(i, j);
+        }
+    }
+}
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_LEVEL3_HH

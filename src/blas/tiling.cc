@@ -1,0 +1,361 @@
+#include "tiling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+namespace {
+
+std::size_t
+roundUp(std::size_t value, std::size_t multiple)
+{
+    mc_assert(multiple > 0, "roundUp requires a positive multiple");
+    return ((value + multiple - 1) / multiple) * multiple;
+}
+
+std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    mc_assert(b > 0, "ceilDiv by zero");
+    return (a + b - 1) / b;
+}
+
+/**
+ * The MFMA instruction the Matrix Core path tiles with on @p target.
+ *
+ * Returns null when the architecture lacks the instruction (HGEMM
+ * everywhere — no f16 <- f16 MFMA exists; DGEMM on CDNA1 — no FP64
+ * Matrix Cores). @p allow_emulation routes HGEMM through the
+ * f32-accumulating mixed-precision instruction with conversions, the
+ * what-if the emulation ablation studies.
+ */
+const arch::MfmaInstruction *
+microTileInstruction(GemmCombo combo, arch::GpuArch target,
+                     bool allow_emulation)
+{
+    using DT = arch::DataType;
+    switch (combo) {
+      case GemmCombo::Dgemm:
+        return arch::findInstruction(target, DT::F64, DT::F64,
+                                     arch::MfmaShape{16, 16, 4, 1});
+      case GemmCombo::Sgemm:
+        return arch::findInstruction(target, DT::F32, DT::F32,
+                                     arch::MfmaShape{16, 16, 4, 1});
+      case GemmCombo::Hhs:
+      case GemmCombo::Hss:
+        return arch::findInstruction(target, DT::F32, DT::F16,
+                                     arch::MfmaShape{16, 16, 16, 1});
+      case GemmCombo::Hgemm:
+        if (allow_emulation) {
+            return arch::findInstruction(target, DT::F32, DT::F16,
+                                         arch::MfmaShape{16, 16, 16, 1});
+        }
+        return nullptr; // no f16 <- f16 MFMA exists (Table I)
+    }
+    return nullptr;
+}
+
+/**
+ * MFMA pipeline efficiency of the library kernel per combo, calibrated
+ * to the Fig. 6/7 plateaus relative to the Fig. 3 micro-benchmark
+ * plateaus (sgemm ~100 %, dgemm ~90 %, HHS 88 %, HSS lower due to the
+ * f32 C/D register and write pressure).
+ */
+double
+mcPathEfficiency(GemmCombo combo)
+{
+    switch (combo) {
+      case GemmCombo::Dgemm: return 0.90;
+      case GemmCombo::Sgemm: return 0.99;
+      case GemmCombo::Hhs: return 0.886;
+      case GemmCombo::Hss: return 0.80;
+      case GemmCombo::Hgemm: return 0.85; // emulation-only path
+    }
+    return 1.0;
+}
+
+/**
+ * Macro-tile selection: prefer the configured tile, widen for huge
+ * problems (restores arithmetic intensity at the far end of the
+ * sweep), shrink when the grid would not fill the device.
+ */
+int
+selectMacroTile(const GemmConfig &config, const PlannerOptions &opts,
+                const arch::Cdna2Calibration &cal, int waves_per_wg)
+{
+    if (config.forceMacroTile > 0)
+        return config.forceMacroTile;
+
+    const std::size_t min_mn = std::min(config.m, config.n);
+    if (min_mn >= opts.wideTileThreshold)
+        return opts.wideMacroTile;
+
+    const auto slots =
+        static_cast<std::uint64_t>(cal.matrixCoresPerGcd());
+    int tile = opts.macroTile;
+    while (tile > 32) {
+        const std::uint64_t wgs = ceilDiv(config.m, tile) *
+                                  ceilDiv(config.n, tile) *
+                                  config.batchCount;
+        if (wgs * waves_per_wg >= 2 * slots)
+            break;
+        tile /= 2;
+    }
+    return tile;
+}
+
+/**
+ * Alpha/beta scaling work on the SIMDs, in the compute type: one
+ * multiply for alpha*(AB), and a multiply plus add for + beta*C when
+ * beta is nonzero (the paper's 3N^2 SIMD term for alpha=beta=0.1).
+ * Identity scale factors are folded away, matching library fast paths.
+ */
+void
+addScalingValu(sim::KernelProfile &profile, const GemmConfig &config,
+               arch::DataType compute_type)
+{
+    const std::uint64_t elems = static_cast<std::uint64_t>(config.m) *
+                                config.n * config.batchCount;
+    const std::uint64_t insts = ceilDiv(elems, 64);
+    if (config.alpha != 1.0)
+        profile.addValu(compute_type, sim::ValuOp::Mul, insts, 1);
+    if (config.beta != 0.0) {
+        if (config.beta != 1.0)
+            profile.addValu(compute_type, sim::ValuOp::Mul, insts, 1);
+        profile.addValu(compute_type, sim::ValuOp::Add, insts, 1);
+    }
+}
+
+/**
+ * C/D conversion traffic between storage and compute types (HHS keeps
+ * C/D in f16 while computing in f32).
+ */
+void
+addConversionValu(sim::KernelProfile &profile, const GemmConfig &config,
+                  const ComboInfo &info)
+{
+    if (info.typeCD == info.computeType)
+        return;
+    const std::uint64_t elems = static_cast<std::uint64_t>(config.m) *
+                                config.n * config.batchCount;
+    // Convert D on writeback, and C on read when beta contributes.
+    std::uint64_t insts = ceilDiv(elems, 64);
+    if (config.beta != 0.0)
+        insts *= 2;
+    profile.addValu(info.typeCD, sim::ValuOp::Xfer, insts, 0);
+}
+
+/**
+ * HBM traffic of the tiled GEMM under the A/B panel L2 reuse model.
+ */
+void
+modelMemoryTraffic(GemmPlan &plan, const GemmConfig &config,
+                   const ComboInfo &info,
+                   const arch::Cdna2Calibration &cal,
+                   const PlannerOptions &opts)
+{
+    const double sAB = static_cast<double>(arch::dataTypeBytes(info.typeAB));
+    const double sCD = static_cast<double>(arch::dataTypeBytes(info.typeCD));
+    const double mt = plan.macroTile;
+
+    const double tiles_m = std::ceil(static_cast<double>(plan.paddedM) / mt);
+    const double tiles_n = std::ceil(static_cast<double>(plan.paddedN) / mt);
+
+    // A K-deep macro strip of A plus one of B must stay L2-resident for
+    // successive workgroups to hit in cache.
+    const double strip_bytes =
+        static_cast<double>(plan.paddedK) * mt * 2.0 * sAB;
+    const double l2_eff =
+        static_cast<double>(cal.l2BytesPerGcd) * opts.l2Residency;
+    const double miss_frac =
+        std::clamp((strip_bytes - l2_eff) / l2_eff, 0.0, 1.0);
+    plan.l2MissFrac = miss_frac;
+
+    const double bytes_a =
+        sAB * static_cast<double>(plan.paddedM) * plan.paddedK *
+        (1.0 + miss_frac * (tiles_n - 1.0));
+    const double bytes_b =
+        sAB * static_cast<double>(plan.paddedK) * plan.paddedN *
+        (1.0 + miss_frac * (tiles_m - 1.0));
+    const double cd_elems =
+        static_cast<double>(config.m) * static_cast<double>(config.n);
+    const double bytes_c = (config.beta != 0.0) ? sCD * cd_elems : 0.0;
+    const double bytes_d = sCD * cd_elems;
+
+    const auto batch = static_cast<double>(config.batchCount);
+    plan.hbmReadBytes = (bytes_a + bytes_b + bytes_c) * batch;
+    plan.hbmWriteBytes = bytes_d * batch;
+
+    const auto slots = static_cast<double>(cal.matrixCoresPerGcd());
+    plan.bwEfficiency =
+        opts.bwEffBase +
+        opts.bwEffOccupancyBonus *
+            std::min(1.0, static_cast<double>(plan.numWorkgroups) *
+                              plan.wavesPerWorkgroup / slots);
+}
+
+} // namespace
+
+bool
+selectsMatrixCorePath(const GemmConfig &config, const PlannerOptions &opts)
+{
+    if (config.forceMatrixCorePath)
+        return *config.forceMatrixCorePath;
+    switch (config.combo) {
+      case GemmCombo::Hgemm:
+        // No f16 <- f16 MFMA instruction exists; rocBLAS runs HGEMM
+        // entirely on the SIMDs (the paper's Fig. 8 finding).
+        return false;
+      case GemmCombo::Hhs:
+      case GemmCombo::Hss:
+        // The tiny mixed-precision problem stays on SIMDs: the scaling
+        // work cannot move to Matrix Cores, and splitting one 16^3 FMA
+        // between the units costs more than it saves.
+        return std::min({config.m, config.n, config.k}) >=
+               opts.mixedPrecisionMinDim;
+      case GemmCombo::Dgemm:
+      case GemmCombo::Sgemm:
+        return true;
+    }
+    return true;
+}
+
+GemmPlan
+planGemm(const GemmConfig &config, const arch::Cdna2Calibration &cal,
+         const PlannerOptions &opts)
+{
+    mc_assert(config.m > 0 && config.n > 0 && config.k > 0,
+              "GEMM dimensions must be positive");
+    mc_assert(config.batchCount > 0, "batch count must be positive");
+
+    const ComboInfo &info = comboInfo(config.combo);
+    GemmPlan plan;
+    plan.useMatrixCores = selectsMatrixCorePath(config, opts);
+    plan.profile.label = std::string(info.name) + "_gemm";
+    plan.profile.scheduleMode = sim::ScheduleMode::Fluid;
+
+    const arch::MfmaInstruction *inst = microTileInstruction(
+        config.combo, cal.arch,
+        /*allow_emulation=*/config.forceMatrixCorePath.value_or(false));
+    if (plan.useMatrixCores && inst == nullptr) {
+        // The target lacks the instruction (HGEMM everywhere; FP64 on
+        // first-generation Matrix Cores): fall back to the SIMDs.
+        plan.useMatrixCores = false;
+    }
+
+    if (plan.useMatrixCores) {
+        plan.inst = inst;
+
+        plan.wavesPerWorkgroup = 4;
+        plan.macroTile =
+            selectMacroTile(config, opts, cal, plan.wavesPerWorkgroup);
+        if (plan.macroTile <= 16)
+            plan.wavesPerWorkgroup = 1;
+
+        plan.paddedM = roundUp(config.m, inst->shape.m);
+        plan.paddedN = roundUp(config.n, inst->shape.n);
+        plan.paddedK = roundUp(config.k, inst->shape.k);
+
+        plan.numWorkgroups = ceilDiv(plan.paddedM, plan.macroTile) *
+                             ceilDiv(plan.paddedN, plan.macroTile) *
+                             config.batchCount;
+        plan.numWavefronts = plan.numWorkgroups * plan.wavesPerWorkgroup;
+
+        plan.mfmaInstsTotal = (plan.paddedM / inst->shape.m) *
+                              (plan.paddedN / inst->shape.n) *
+                              (plan.paddedK / inst->shape.k) *
+                              config.batchCount;
+
+        plan.profile.numWavefronts = plan.numWavefronts;
+        plan.profile.numWorkgroups = plan.numWorkgroups;
+        plan.profile.mcEfficiency = mcPathEfficiency(config.combo);
+        plan.profile.addMfma(
+            inst, ceilDiv(plan.mfmaInstsTotal, plan.numWavefronts));
+
+        addScalingValu(plan.profile, config, info.computeType);
+        addConversionValu(plan.profile, config, info);
+        if (config.combo == GemmCombo::Hgemm) {
+            // Emulated HGEMM: the MFMA accumulates in f32, so C must
+            // be widened on read and D narrowed on writeback even
+            // though storage and compute types are both f16.
+            const std::uint64_t elems =
+                static_cast<std::uint64_t>(config.m) * config.n *
+                config.batchCount;
+            std::uint64_t insts = ceilDiv(elems, 64);
+            if (config.beta != 0.0)
+                insts *= 2;
+            plan.profile.addValu(arch::DataType::F16, sim::ValuOp::Xfer,
+                                 insts, 0);
+        }
+
+        // Exact totals for counters and reported FLOPs (the per-
+        // wavefront MFMA count above is a ceil distribution).
+        sim::HwCounters counters;
+        counters.addMfmaOps(
+            info.typeAB,
+            plan.mfmaInstsTotal *
+                static_cast<std::uint64_t>(inst->flopsPerInstruction()),
+            plan.mfmaInstsTotal);
+        for (const auto &seg : plan.profile.valuTotal)
+            counters.addValu(seg.dtype, seg.op, seg.instCount);
+        plan.profile.countersOverride = counters;
+        plan.profile.mfmaFlopsOverride = config.productFlops();
+    } else {
+        // ---- SIMD fallback path -----------------------------------------
+        plan.inst = nullptr;
+        plan.wavesPerWorkgroup = 4;
+        plan.macroTile = opts.simdMacroTile;
+        plan.paddedM = roundUp(config.m, 16);
+        plan.paddedN = roundUp(config.n, 16);
+        plan.paddedK = config.k;
+
+        plan.numWorkgroups = ceilDiv(plan.paddedM, plan.macroTile) *
+                             ceilDiv(plan.paddedN, plan.macroTile) *
+                             config.batchCount;
+        plan.numWavefronts = plan.numWorkgroups * plan.wavesPerWorkgroup;
+
+        plan.profile.numWavefronts = plan.numWavefronts;
+        plan.profile.numWorkgroups = plan.numWorkgroups;
+        plan.profile.simdEfficiency = cal.simdGemmEfficiency;
+
+        const std::uint64_t macs = static_cast<std::uint64_t>(config.m) *
+                                   config.n * config.k *
+                                   config.batchCount;
+        if (info.computeType == arch::DataType::F16) {
+            // Packed v_pk_fma_f16: two MACs per thread per instruction.
+            plan.profile.addValu(arch::DataType::F16, sim::ValuOp::Fma,
+                                 ceilDiv(macs, 64 * 2), 4);
+        } else {
+            plan.profile.addValu(info.computeType, sim::ValuOp::Fma,
+                                 ceilDiv(macs, 64), 2);
+        }
+        addScalingValu(plan.profile, config, info.computeType);
+        addConversionValu(plan.profile, config, info);
+
+        if (info.computeType == arch::DataType::F16) {
+            // The packed v_pk_fma_f16 performs two FMAs per thread per
+            // instruction; the SQ counters record it as two FMA
+            // instruction-equivalents so that the Eq. 1 FLOP formula
+            // (128 FLOPs per counted FMA) stays exact.
+            sim::HwCounters counters = plan.profile.expectedCounters();
+            plan.profile.countersOverride = counters;
+            auto &bank = plan.profile.countersOverride->valu
+                [sim::counterTypeIndex(arch::DataType::F16)]
+                [static_cast<int>(sim::ValuOp::Fma)];
+            bank *= 2;
+        }
+    }
+
+    modelMemoryTraffic(plan, config, info, cal, opts);
+    plan.profile.hbmReadBytes = plan.hbmReadBytes;
+    plan.profile.hbmWriteBytes = plan.hbmWriteBytes;
+    plan.profile.bwEfficiency = plan.bwEfficiency;
+    return plan;
+}
+
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The GEMM planner: rocBLAS's two-level tile strategy as an explicit,
+ * inspectable plan.
+ *
+ * rocBLAS (through its Tensile backend) maps an arbitrary GEMM onto
+ * Matrix Cores by dividing C into macro-tiles, assigning one workgroup
+ * per macro-tile, and having each workgroup iterate MFMA instructions
+ * over the K extent. The planner reproduces the decisions the paper
+ * observes from outside the library:
+ *
+ *  - path selection: HGEMM never uses Matrix Cores (no f16 <- f16 MFMA
+ *    exists, Table I); HHS/HSS fall back to SIMD for the tiny N = 16
+ *    problem (Fig. 8); SGEMM/DGEMM always use Matrix Cores;
+ *  - 2*m*n*k matrix-product FLOPs go to Matrix Cores and the 3*m*n
+ *    alpha/beta scaling FLOPs go to the SIMDs (the Fig. 9 model);
+ *  - HBM traffic follows an A/B-panel L2 reuse model: while a K-deep
+ *    macro-tile strip pair fits in L2, panels are re-read from cache;
+ *    beyond that, misses grow HBM traffic toward one panel re-read per
+ *    tile row/column — which is what bends the large-N throughput
+ *    curves of Figs. 6 and 7;
+ *  - very large problems switch to a wider macro-tile, restoring
+ *    arithmetic intensity (the single-precision recovery near N = 65000).
+ */
+
+#ifndef MC_BLAS_TILING_HH
+#define MC_BLAS_TILING_HH
+
+#include <cstdint>
+
+#include "arch/calibration.hh"
+#include "arch/mfma_isa.hh"
+#include "blas/gemm_types.hh"
+#include "sim/kernel.hh"
+
+namespace mc {
+namespace blas {
+
+/** The fully resolved execution plan of one GEMM. */
+struct GemmPlan
+{
+    bool useMatrixCores = false;
+    /** MFMA instruction of the micro-tile (null on the SIMD path). */
+    const arch::MfmaInstruction *inst = nullptr;
+
+    int macroTile = 0;       ///< macro-tile edge (square tiles)
+    int wavesPerWorkgroup = 4;
+
+    std::size_t paddedM = 0;
+    std::size_t paddedN = 0;
+    std::size_t paddedK = 0;
+
+    std::uint64_t numWorkgroups = 0;
+    std::uint64_t numWavefronts = 0;
+    std::uint64_t mfmaInstsTotal = 0;
+
+    double hbmReadBytes = 0.0;
+    double hbmWriteBytes = 0.0;
+    double bwEfficiency = 1.0;
+    /** A/B panel L2 miss fraction of the traffic model (diagnostics). */
+    double l2MissFrac = 0.0;
+
+    /** The kernel the simulator will execute. */
+    sim::KernelProfile profile;
+};
+
+/**
+ * Tunables of the planner; defaults model the rocBLAS 5.3 behaviour the
+ * paper observes. Exposed for the ablation benches.
+ */
+struct PlannerOptions
+{
+    /** Macro-tile edge for the Matrix Core path. */
+    int macroTile = 128;
+    /** Macro-tile edge used once min(M,N) reaches wideTileThreshold. */
+    int wideMacroTile = 256;
+    std::size_t wideTileThreshold = 49152;
+    /** Macro-tile edge of the SIMD fallback path. */
+    int simdMacroTile = 64;
+    /** Fraction of L2 usable for A/B panel residency. */
+    double l2Residency = 0.8;
+    /** Streaming-efficiency range of the HBM model. */
+    double bwEffBase = 0.55;
+    double bwEffOccupancyBonus = 0.25;
+    /**
+     * Smallest extent for which the mixed-precision (F16-input) path
+     * uses Matrix Cores; the paper observes the N = 16 problem running
+     * entirely on SIMDs (Fig. 8).
+     */
+    std::size_t mixedPrecisionMinDim = 32;
+};
+
+/**
+ * Decide whether the combo/problem runs on Matrix Cores, mirroring the
+ * rocBLAS behaviour the paper reverse-engineers.
+ */
+bool selectsMatrixCorePath(const GemmConfig &config,
+                           const PlannerOptions &opts = PlannerOptions());
+
+/** Build the full plan for a GEMM on the given device calibration. */
+GemmPlan planGemm(const GemmConfig &config,
+                  const arch::Cdna2Calibration &cal,
+                  const PlannerOptions &opts = PlannerOptions());
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_TILING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Functional GEMM verification, in the paper's style.
+ *
+ * Section IV-A: "values in A and C are set to 1, while B is set to the
+ * identity matrix. The result in D should be a n x n matrix filled
+ * with 2, which makes the correctness of results easily verifiable."
+ * verifyGemm() runs that scheme (and a randomized variant) through the
+ * engine-selected execution path — the tiled Matrix Core dataflow or
+ * the per-step-rounded SIMD path — and checks the numeric result
+ * against the scalar reference.
+ */
+
+#ifndef MC_BLAS_VERIFY_HH
+#define MC_BLAS_VERIFY_HH
+
+#include <cstddef>
+#include <string>
+
+#include "blas/gemm_types.hh"
+#include "blas/tiling.hh"
+#include "common/status.hh"
+
+namespace mc {
+namespace blas {
+
+/** Which operand-filling scheme a verification run uses. */
+enum class VerifyScheme
+{
+    /** A = 1, B = I, C = 1: D must be alpha + beta everywhere. */
+    PaperOnesIdentity,
+    /** Uniform random operands, checked against the scalar reference. */
+    Random,
+};
+
+/** Outcome of a verification run. */
+struct VerifyResult
+{
+    bool passed = false;
+    bool usedMatrixCores = false;
+    /** Largest |computed - reference| over D (in the C/D type's
+     *  widened representation). */
+    double maxAbsError = 0.0;
+    /** Error threshold the run was judged against. */
+    double tolerance = 0.0;
+    std::string detail;
+};
+
+/**
+ * Execute @p config functionally on the host with the same path
+ * selection the engine uses (Matrix Core tiling vs per-step-rounded
+ * SIMD arithmetic) and verify the numeric result.
+ *
+ * Problem sizes are limited by host O(n^3) work; intended for
+ * n <= ~1024.
+ *
+ * @param seed randomization seed for VerifyScheme::Random.
+ */
+VerifyResult verifyGemm(const GemmConfig &config,
+                        VerifyScheme scheme = VerifyScheme::PaperOnesIdentity,
+                        std::uint64_t seed = 0x5eed,
+                        const PlannerOptions &opts = PlannerOptions());
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_VERIFY_HH

@@ -1,0 +1,201 @@
+#include "cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace mc {
+
+CliParser::CliParser(std::string program_summary)
+    : _summary(std::move(program_summary))
+{
+    addFlag("help", false, "show this help text and exit");
+}
+
+void
+CliParser::addFlag(const std::string &name, bool default_value,
+                   const std::string &help)
+{
+    Flag flag;
+    flag.type = FlagType::Bool;
+    flag.help = help;
+    flag.boolValue = default_value;
+    _flags[name] = std::move(flag);
+}
+
+void
+CliParser::addFlag(const std::string &name, std::int64_t default_value,
+                   const std::string &help)
+{
+    Flag flag;
+    flag.type = FlagType::Int;
+    flag.help = help;
+    flag.intValue = default_value;
+    _flags[name] = std::move(flag);
+}
+
+void
+CliParser::addFlag(const std::string &name, double default_value,
+                   const std::string &help)
+{
+    Flag flag;
+    flag.type = FlagType::Double;
+    flag.help = help;
+    flag.doubleValue = default_value;
+    _flags[name] = std::move(flag);
+}
+
+void
+CliParser::addFlag(const std::string &name, const std::string &default_value,
+                   const std::string &help)
+{
+    Flag flag;
+    flag.type = FlagType::String;
+    flag.help = help;
+    flag.stringValue = default_value;
+    _flags[name] = std::move(flag);
+}
+
+void
+CliParser::setFromString(Flag &flag, const std::string &name,
+                         const std::string &text)
+{
+    switch (flag.type) {
+      case FlagType::Bool:
+        if (text == "true" || text == "1") {
+            flag.boolValue = true;
+        } else if (text == "false" || text == "0") {
+            flag.boolValue = false;
+        } else {
+            mc_fatal("flag --", name, " expects a boolean, got '", text, "'");
+        }
+        break;
+      case FlagType::Int: {
+        char *end = nullptr;
+        const long long v = std::strtoll(text.c_str(), &end, 10);
+        if (end == text.c_str() || *end != '\0')
+            mc_fatal("flag --", name, " expects an integer, got '", text, "'");
+        flag.intValue = v;
+        break;
+      }
+      case FlagType::Double: {
+        char *end = nullptr;
+        const double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0')
+            mc_fatal("flag --", name, " expects a number, got '", text, "'");
+        flag.doubleValue = v;
+        break;
+      }
+      case FlagType::String:
+        flag.stringValue = text;
+        break;
+    }
+}
+
+void
+CliParser::parse(int argc, const char *const *argv)
+{
+    _programName = argc > 0 ? argv[0] : "prog";
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            _positional.push_back(std::move(arg));
+            continue;
+        }
+        std::string name = arg.substr(2);
+        std::string value;
+        bool has_value = false;
+        const auto eq = name.find('=');
+        if (eq != std::string::npos) {
+            value = name.substr(eq + 1);
+            name = name.substr(0, eq);
+            has_value = true;
+        }
+
+        auto it = _flags.find(name);
+        if (it == _flags.end())
+            mc_fatal("unknown flag --", name, "\n", usage());
+        Flag &flag = it->second;
+
+        if (!has_value) {
+            if (flag.type == FlagType::Bool) {
+                flag.boolValue = true;
+                continue;
+            }
+            if (i + 1 >= argc)
+                mc_fatal("flag --", name, " requires a value");
+            value = argv[++i];
+        }
+        setFromString(flag, name, value);
+    }
+
+    if (getBool("help")) {
+        std::fputs(usage().c_str(), stdout);
+        std::exit(0);
+    }
+}
+
+const CliParser::Flag &
+CliParser::lookup(const std::string &name, FlagType type) const
+{
+    auto it = _flags.find(name);
+    mc_assert(it != _flags.end(), "flag --", name, " was never registered");
+    mc_assert(it->second.type == type, "flag --", name,
+              " accessed with the wrong type");
+    return it->second;
+}
+
+bool
+CliParser::getBool(const std::string &name) const
+{
+    return lookup(name, FlagType::Bool).boolValue;
+}
+
+std::int64_t
+CliParser::getInt(const std::string &name) const
+{
+    return lookup(name, FlagType::Int).intValue;
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    return lookup(name, FlagType::Double).doubleValue;
+}
+
+const std::string &
+CliParser::getString(const std::string &name) const
+{
+    return lookup(name, FlagType::String).stringValue;
+}
+
+std::string
+CliParser::usage() const
+{
+    std::ostringstream os;
+    os << _summary << "\n\nusage: " << _programName << " [flags]\n\nflags:\n";
+    for (const auto &[name, flag] : _flags) {
+        os << "  --" << name;
+        switch (flag.type) {
+          case FlagType::Bool:
+            os << " (bool, default "
+               << (flag.boolValue ? "true" : "false") << ")";
+            break;
+          case FlagType::Int:
+            os << " (int, default " << flag.intValue << ")";
+            break;
+          case FlagType::Double:
+            os << " (double, default " << flag.doubleValue << ")";
+            break;
+          case FlagType::String:
+            os << " (string, default '" << flag.stringValue << "')";
+            break;
+        }
+        os << "\n      " << flag.help << "\n";
+    }
+    return os.str();
+}
+
+} // namespace mc

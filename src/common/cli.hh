@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A tiny command-line flag parser for the bench and example binaries.
+ *
+ * Accepted syntax: --name=value, --name value, and bare --name for
+ * booleans. Unknown flags are a fatal user error so typos do not silently
+ * fall back to defaults.
+ */
+
+#ifndef MC_COMMON_CLI_HH
+#define MC_COMMON_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/**
+ * Declarative flag registry plus parser.
+ */
+class CliParser
+{
+  public:
+    /** Create a parser; @p program_summary is shown by --help. */
+    explicit CliParser(std::string program_summary);
+
+    /** Register flags before parse(). Defaults define the flag's type. */
+    void addFlag(const std::string &name, bool default_value,
+                 const std::string &help);
+    void addFlag(const std::string &name, std::int64_t default_value,
+                 const std::string &help);
+    void addFlag(const std::string &name, double default_value,
+                 const std::string &help);
+    void addFlag(const std::string &name, const std::string &default_value,
+                 const std::string &help);
+
+    /**
+     * Parse argv. Exits with usage text on --help; fatal on unknown flags
+     * or malformed values.
+     */
+    void parse(int argc, const char *const *argv);
+
+    bool getBool(const std::string &name) const;
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+
+    /** Positional (non-flag) arguments in order. */
+    const std::vector<std::string> &positional() const { return _positional; }
+
+    /** Render the --help text. */
+    std::string usage() const;
+
+  private:
+    enum class FlagType { Bool, Int, Double, String };
+
+    struct Flag
+    {
+        FlagType type;
+        std::string help;
+        bool boolValue = false;
+        std::int64_t intValue = 0;
+        double doubleValue = 0.0;
+        std::string stringValue;
+    };
+
+    const Flag &lookup(const std::string &name, FlagType type) const;
+    void setFromString(Flag &flag, const std::string &name,
+                       const std::string &text);
+
+    std::string _summary;
+    std::string _programName;
+    std::map<std::string, Flag> _flags;
+    std::vector<std::string> _positional;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_CLI_HH

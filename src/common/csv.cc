@@ -1,0 +1,48 @@
+#include "csv.hh"
+
+#include <cstdio>
+
+namespace mc {
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            _os << ',';
+        _os << escape(cells[i]);
+    }
+    _os << '\n';
+}
+
+void
+CsvWriter::writeNumericRow(const std::vector<double> &values)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        cells.emplace_back(buf);
+    }
+    writeRow(cells);
+}
+
+} // namespace mc

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Minimal CSV emission for benchmark series, so figure data can be
+ * re-plotted outside the harness.
+ */
+
+#ifndef MC_COMMON_CSV_HH
+#define MC_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/**
+ * Row-oriented CSV writer with RFC 4180 quoting.
+ */
+class CsvWriter
+{
+  public:
+    /** Create a writer emitting to @p os; the stream must outlive it. */
+    explicit CsvWriter(std::ostream &os) : _os(os) {}
+
+    /** Write a header or data row of pre-formatted cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles with full precision. */
+    void writeNumericRow(const std::vector<double> &values);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ostream &_os;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_CSV_HH

@@ -1,0 +1,74 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace mc {
+
+namespace {
+
+LogLevel g_level = LogLevel::Inform;
+std::mutex g_log_mutex;
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(g_log_mutex);
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Warn)
+        emit("warn", msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Inform)
+        emit("info", msg);
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    if (g_level >= LogLevel::Debug)
+        emit("debug", msg);
+}
+
+} // namespace detail
+
+} // namespace mc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Status-message and error-handling primitives, modelled on gem5's
+ * logging conventions.
+ *
+ * Severity semantics follow gem5:
+ *   - panic(): an internal invariant was violated (a bug in this library);
+ *     aborts so a debugger or core dump can capture the state.
+ *   - fatal(): the simulation cannot continue because of a user error
+ *     (bad configuration, invalid arguments); exits with status 1.
+ *   - warn(): something is suspicious but execution can continue.
+ *   - inform(): plain status output.
+ */
+
+#ifndef MC_COMMON_LOGGING_HH
+#define MC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace mc {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel
+{
+    Silent = 0,
+    Warn = 1,
+    Inform = 2,
+    Debug = 3,
+};
+
+/** Set the global verbosity; messages above this level are dropped. */
+void setLogLevel(LogLevel level);
+
+/** Current global verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+/** Fold a mixed argument pack into one string via operator<<. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    // void-cast: with an empty pack the fold collapses to plain `os`.
+    static_cast<void>((os << ... << std::forward<Args>(args)));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report and abort on an internal library bug. */
+#define mc_panic(...) \
+    ::mc::detail::panicImpl(__FILE__, __LINE__, ::mc::detail::concat(__VA_ARGS__))
+
+/** Report a non-recoverable user error and exit. */
+#define mc_fatal(...) \
+    ::mc::detail::fatalImpl(__FILE__, __LINE__, ::mc::detail::concat(__VA_ARGS__))
+
+namespace logging {
+
+/** Emit a warning message (level Warn). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message (level Inform). */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a debug message (level Debug). */
+template <typename... Args>
+void
+debug(Args &&...args)
+{
+    detail::debugImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace logging
+
+/**
+ * Assert an internal invariant; compiled in all build types because the
+ * simulator's correctness guarantees depend on it.
+ */
+#define mc_assert(cond, ...)                                                  \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::mc::detail::panicImpl(__FILE__, __LINE__,                       \
+                ::mc::detail::concat("assertion failed: " #cond " ",         \
+                                     ##__VA_ARGS__));                         \
+        }                                                                     \
+    } while (0)
+
+} // namespace mc
+
+#endif // MC_COMMON_LOGGING_HH

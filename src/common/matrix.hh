@@ -1,0 +1,94 @@
+/**
+ * @file
+ * A minimal dense row-major matrix container used by the functional
+ * executor, the reference BLAS, and the tests.
+ */
+
+#ifndef MC_COMMON_MATRIX_HH
+#define MC_COMMON_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "logging.hh"
+
+namespace mc {
+
+/**
+ * Dense row-major matrix.
+ *
+ * @tparam T element storage type.
+ */
+template <typename T>
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() : _rows(0), _cols(0) {}
+
+    /** Matrix of @p rows x @p cols, value-initialized elements. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : _rows(rows), _cols(cols), _data(rows * cols)
+    {}
+
+    /** Matrix filled with @p init. */
+    Matrix(std::size_t rows, std::size_t cols, T init)
+        : _rows(rows), _cols(cols), _data(rows * cols, init)
+    {}
+
+    std::size_t rows() const { return _rows; }
+    std::size_t cols() const { return _cols; }
+    std::size_t size() const { return _data.size(); }
+
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+
+    T &
+    operator()(std::size_t r, std::size_t c)
+    {
+        mc_assert(r < _rows && c < _cols, "matrix index (", r, ",", c,
+                  ") out of bounds for ", _rows, "x", _cols);
+        return _data[r * _cols + c];
+    }
+
+    const T &
+    operator()(std::size_t r, std::size_t c) const
+    {
+        mc_assert(r < _rows && c < _cols, "matrix index (", r, ",", c,
+                  ") out of bounds for ", _rows, "x", _cols);
+        return _data[r * _cols + c];
+    }
+
+    /** Set every element to @p value. */
+    void
+    fill(T value)
+    {
+        for (auto &e : _data)
+            e = value;
+    }
+
+    /** Identity-like fill: ones on the diagonal, zeros elsewhere. */
+    void
+    setIdentity()
+    {
+        fill(T(0.0f));
+        const std::size_t n = _rows < _cols ? _rows : _cols;
+        for (std::size_t i = 0; i < n; ++i)
+            (*this)(i, i) = T(1.0f);
+    }
+
+    bool
+    sameShape(const Matrix &other) const
+    {
+        return _rows == other._rows && _cols == other._cols;
+    }
+
+  private:
+    std::size_t _rows;
+    std::size_t _cols;
+    std::vector<T> _data;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_MATRIX_HH

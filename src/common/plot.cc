@@ -1,0 +1,120 @@
+#include "plot.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace mc {
+
+AsciiChart::AsciiChart(int width, int height)
+    : _width(width), _height(height)
+{
+    mc_assert(width >= 16 && height >= 4,
+              "chart area too small to render");
+}
+
+void
+AsciiChart::addSeries(PlotSeries series)
+{
+    _series.push_back(std::move(series));
+}
+
+void
+AsciiChart::print(std::ostream &os) const
+{
+    // Collect the data extent.
+    double xmin = 0.0, xmax = 1.0, ymax = 1.0;
+    bool first = true;
+    for (const auto &s : _series) {
+        for (const auto &[x, y] : s.points) {
+            const double px = _logX ? std::log10(x) : x;
+            if (_logX)
+                mc_assert(x > 0.0, "log-x chart requires positive x");
+            if (first) {
+                xmin = xmax = px;
+                ymax = y;
+                first = false;
+            } else {
+                xmin = std::min(xmin, px);
+                xmax = std::max(xmax, px);
+                ymax = std::max(ymax, y);
+            }
+        }
+    }
+    if (first) {
+        os << "(no data)\n";
+        return;
+    }
+    if (xmax <= xmin)
+        xmax = xmin + 1.0;
+    if (ymax <= 0.0)
+        ymax = 1.0;
+
+    // Rasterize.
+    std::vector<std::string> grid(
+        _height, std::string(static_cast<std::size_t>(_width), ' '));
+    for (const auto &s : _series) {
+        for (const auto &[x, y] : s.points) {
+            const double px = _logX ? std::log10(x) : x;
+            const int col = static_cast<int>(
+                std::lround((px - xmin) / (xmax - xmin) * (_width - 1)));
+            const int row = static_cast<int>(
+                std::lround(y / ymax * (_height - 1)));
+            const int r = _height - 1 - std::clamp(row, 0, _height - 1);
+            const int c = std::clamp(col, 0, _width - 1);
+            grid[r][c] = s.marker;
+        }
+    }
+
+    if (!_title.empty())
+        os << _title << "\n";
+    char buf[32];
+    for (int r = 0; r < _height; ++r) {
+        const double yval =
+            ymax * static_cast<double>(_height - 1 - r) / (_height - 1);
+        std::snprintf(buf, sizeof(buf), "%8.1f |", yval);
+        os << buf << grid[r] << "\n";
+    }
+    os << std::string(9, ' ') << '+' << std::string(_width, '-') << "\n";
+    // X-axis end labels.
+    const double x_lo = _logX ? std::pow(10.0, xmin) : xmin;
+    const double x_hi = _logX ? std::pow(10.0, xmax) : xmax;
+    std::snprintf(buf, sizeof(buf), "%-12.6g", x_lo);
+    std::string axis(10, ' ');
+    axis += buf;
+    std::string hi_label;
+    {
+        char hb[32];
+        std::snprintf(hb, sizeof(hb), "%.6g", x_hi);
+        hi_label = hb;
+    }
+    const std::size_t total = 10 + static_cast<std::size_t>(_width);
+    if (axis.size() + hi_label.size() < total)
+        axis += std::string(total - axis.size() - hi_label.size(), ' ');
+    axis += hi_label;
+    os << axis << "\n";
+    if (!_xLabel.empty() || !_yLabel.empty()) {
+        os << "          x: " << _xLabel;
+        if (!_yLabel.empty())
+            os << "   y: " << _yLabel;
+        os << "\n";
+    }
+    // Legend.
+    for (const auto &s : _series) {
+        if (!s.points.empty())
+            os << "          " << s.marker << " " << s.label << "\n";
+    }
+}
+
+std::string
+AsciiChart::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace mc

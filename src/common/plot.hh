@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Terminal (ASCII) chart rendering for the figure benches, so the
+ * reproduced curves can be eyeballed against the paper's plots without
+ * leaving the terminal.
+ */
+
+#ifndef MC_COMMON_PLOT_HH
+#define MC_COMMON_PLOT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/** One named data series of an AsciiChart. */
+struct PlotSeries
+{
+    std::string label;
+    char marker = '*';
+    /** (x, y) points; x values may differ between series. */
+    std::vector<std::pair<double, double>> points;
+};
+
+/**
+ * A scatter/line chart rendered with ASCII characters.
+ *
+ * The x axis can be linear or logarithmic (the paper's Fig. 3 and 6/7
+ * use log-scaled x axes); the y axis is linear.
+ */
+class AsciiChart
+{
+  public:
+    /**
+     * @param width plot-area columns.
+     * @param height plot-area rows.
+     */
+    AsciiChart(int width = 64, int height = 16);
+
+    void setTitle(std::string title) { _title = std::move(title); }
+    void setXLabel(std::string label) { _xLabel = std::move(label); }
+    void setYLabel(std::string label) { _yLabel = std::move(label); }
+    /** Use a log10 x axis (all x values must be positive). */
+    void setLogX(bool log_x) { _logX = log_x; }
+
+    /** Add a data series; empty series are ignored at render time. */
+    void addSeries(PlotSeries series);
+
+    /** Render the chart. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    int _width;
+    int _height;
+    bool _logX = false;
+    std::string _title;
+    std::string _xLabel;
+    std::string _yLabel;
+    std::vector<PlotSeries> _series;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_PLOT_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Benchmarks and tests need reproducible streams that are independent of
+ * the standard library implementation, so we carry our own xoshiro256**
+ * generator seeded through splitmix64 (the construction recommended by the
+ * xoshiro authors).
+ */
+
+#ifndef MC_COMMON_RANDOM_HH
+#define MC_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+namespace mc {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements, so it can be used
+ * with <random> distributions as well.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t operator()() { return next(); }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, bound); bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Standard normal variate (Box-Muller). */
+    double nextGaussian();
+
+  private:
+    std::uint64_t _state[4];
+    bool _hasSpareGaussian = false;
+    double _spareGaussian = 0.0;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_RANDOM_HH

@@ -1,0 +1,106 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace mc {
+
+double
+SampleStats::relativeSpread() const
+{
+    if (count == 0 || mean == 0.0)
+        return 0.0;
+    return stddev / std::fabs(mean);
+}
+
+SampleStats
+summarize(const std::vector<double> &values)
+{
+    SampleStats out;
+    out.count = values.size();
+    if (values.empty())
+        return out;
+
+    double sum = 0.0;
+    out.min = values.front();
+    out.max = values.front();
+    for (double v : values) {
+        sum += v;
+        out.min = std::min(out.min, v);
+        out.max = std::max(out.max, v);
+    }
+    out.mean = sum / static_cast<double>(values.size());
+
+    if (values.size() > 1) {
+        double ss = 0.0;
+        for (double v : values) {
+            const double d = v - out.mean;
+            ss += d * d;
+        }
+        out.stddev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+    }
+    return out;
+}
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    mc_assert(xs.size() == ys.size(), "fitLinear requires equal-length series");
+    mc_assert(xs.size() >= 2, "fitLinear requires at least two points");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0.0, sy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n;
+    const double my = sy / n;
+
+    double sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    mc_assert(sxx > 0.0, "fitLinear requires non-degenerate x values");
+
+    LinearFit fit;
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+    return fit;
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    mc_assert(!values.empty(), "percentile of an empty sample");
+    mc_assert(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+    std::sort(values.begin(), values.end());
+    if (values.size() == 1)
+        return values.front();
+    const double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double
+geometricMean(const std::vector<double> &values)
+{
+    mc_assert(!values.empty(), "geometricMean of an empty sample");
+    double log_sum = 0.0;
+    for (double v : values) {
+        mc_assert(v > 0.0, "geometricMean requires positive values");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace mc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small statistics helpers used by the benchmark harnesses: summary
+ * statistics over repeated measurements and ordinary least-squares linear
+ * regression (used to fit the paper's Eq. 3 power model).
+ */
+
+#ifndef MC_COMMON_STATS_HH
+#define MC_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mc {
+
+/** Summary statistics of a sample. */
+struct SampleStats
+{
+    std::size_t count = 0;
+    double mean = 0.0;
+    double stddev = 0.0; ///< sample standard deviation (n-1 denominator)
+    double min = 0.0;
+    double max = 0.0;
+
+    /** Coefficient of variation (stddev / |mean|), 0 for empty/zero mean. */
+    double relativeSpread() const;
+};
+
+/** Compute summary statistics; empty input yields a zeroed result. */
+SampleStats summarize(const std::vector<double> &values);
+
+/** Result of an ordinary least-squares fit y = slope * x + intercept. */
+struct LinearFit
+{
+    double slope = 0.0;
+    double intercept = 0.0;
+    double r2 = 0.0; ///< coefficient of determination
+
+    /** Model prediction at @p x. */
+    double predict(double x) const { return slope * x + intercept; }
+};
+
+/**
+ * Least-squares fit of y against x.
+ *
+ * @pre xs.size() == ys.size() and xs.size() >= 2 with non-degenerate xs.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Percentile via linear interpolation; @p p in [0, 100]. */
+double percentile(std::vector<double> values, double p);
+
+/** Geometric mean; all values must be positive. */
+double geometricMean(const std::vector<double> &values);
+
+} // namespace mc
+
+#endif // MC_COMMON_STATS_HH

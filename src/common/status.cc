@@ -1,0 +1,32 @@
+#include "status.hh"
+
+namespace mc {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok: return "Ok";
+      case ErrorCode::InvalidArgument: return "InvalidArgument";
+      case ErrorCode::Unsupported: return "Unsupported";
+      case ErrorCode::OutOfMemory: return "OutOfMemory";
+      case ErrorCode::ResourceExhausted: return "ResourceExhausted";
+      case ErrorCode::NotFound: return "NotFound";
+      case ErrorCode::FailedPrecondition: return "FailedPrecondition";
+      case ErrorCode::Internal: return "Internal";
+    }
+    return "Unknown";
+}
+
+std::string
+Status::toString() const
+{
+    if (isOk())
+        return "ok";
+    std::string out = errorCodeName(_code);
+    out += ": ";
+    out += _message;
+    return out;
+}
+
+} // namespace mc

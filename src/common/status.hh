@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Error propagation types used across the library.
+ *
+ * Recoverable failures — user-visible configuration errors the caller can
+ * react to — are returned as Status / Result values rather than thrown, so
+ * the public API stays usable from exception-free code. Internal bugs still
+ * use mc_panic.
+ */
+
+#ifndef MC_COMMON_STATUS_HH
+#define MC_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "logging.hh"
+
+namespace mc {
+
+/** Machine-inspectable error category. */
+enum class ErrorCode
+{
+    Ok = 0,
+    InvalidArgument,    ///< caller passed a value outside the accepted domain
+    Unsupported,        ///< the operation is valid but this target lacks it
+    OutOfMemory,        ///< simulated device memory exhausted
+    ResourceExhausted,  ///< non-memory resource limit hit (slots, streams)
+    NotFound,           ///< lookup failed (instruction, counter, device)
+    FailedPrecondition, ///< object is not in the state the call requires
+    Internal,           ///< invariant violation surfaced as a status
+};
+
+/** Human-readable name for an ErrorCode. */
+const char *errorCodeName(ErrorCode code);
+
+/**
+ * Success-or-error result of an operation, carrying a message on failure.
+ */
+class Status
+{
+  public:
+    /** Construct a success status. */
+    Status() : _code(ErrorCode::Ok) {}
+
+    /** Construct a failure status with a diagnostic message. */
+    Status(ErrorCode code, std::string message)
+        : _code(code), _message(std::move(message))
+    {
+        mc_assert(code != ErrorCode::Ok, "error status requires nonzero code");
+    }
+
+    static Status ok() { return Status(); }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return Status(ErrorCode::InvalidArgument, std::move(msg));
+    }
+
+    static Status
+    unsupported(std::string msg)
+    {
+        return Status(ErrorCode::Unsupported, std::move(msg));
+    }
+
+    static Status
+    outOfMemory(std::string msg)
+    {
+        return Status(ErrorCode::OutOfMemory, std::move(msg));
+    }
+
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return Status(ErrorCode::ResourceExhausted, std::move(msg));
+    }
+
+    static Status
+    notFound(std::string msg)
+    {
+        return Status(ErrorCode::NotFound, std::move(msg));
+    }
+
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return Status(ErrorCode::FailedPrecondition, std::move(msg));
+    }
+
+    static Status
+    internal(std::string msg)
+    {
+        return Status(ErrorCode::Internal, std::move(msg));
+    }
+
+    bool isOk() const { return _code == ErrorCode::Ok; }
+    explicit operator bool() const { return isOk(); }
+
+    ErrorCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+
+    /** "ok" or "<code>: <message>". */
+    std::string toString() const;
+
+  private:
+    ErrorCode _code;
+    std::string _message;
+};
+
+/**
+ * A value or a Status error.
+ *
+ * @tparam T the success payload type.
+ */
+template <typename T>
+class Result
+{
+  public:
+    /** Construct a successful result. */
+    Result(T value) : _value(std::move(value)) {}
+
+    /** Construct a failed result; @p status must not be ok. */
+    Result(Status status) : _status(std::move(status))
+    {
+        mc_assert(!_status.isOk(), "Result error requires a non-ok status");
+    }
+
+    bool isOk() const { return _status.isOk(); }
+    explicit operator bool() const { return isOk(); }
+
+    const Status &status() const { return _status; }
+
+    /** Access the payload; panics if the result holds an error. */
+    const T &
+    value() const
+    {
+        mc_assert(_value.has_value(), "value() on error Result: ",
+                  _status.toString());
+        return *_value;
+    }
+
+    T &
+    value()
+    {
+        mc_assert(_value.has_value(), "value() on error Result: ",
+                  _status.toString());
+        return *_value;
+    }
+
+    /** Move the payload out; panics if the result holds an error. */
+    T
+    take()
+    {
+        mc_assert(_value.has_value(), "take() on error Result: ",
+                  _status.toString());
+        return std::move(*_value);
+    }
+
+  private:
+    Status _status;
+    std::optional<T> _value;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_STATUS_HH

@@ -1,0 +1,108 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "logging.hh"
+
+namespace mc {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : _headers(std::move(headers)),
+      _alignment(_headers.size(), Align::Right)
+{
+    mc_assert(!_headers.empty(), "table requires at least one column");
+}
+
+void
+TextTable::setAlignment(std::vector<Align> alignment)
+{
+    mc_assert(alignment.size() == _headers.size(),
+              "alignment must cover every column");
+    _alignment = std::move(alignment);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    mc_assert(cells.size() == _headers.size(),
+              "row has ", cells.size(), " cells, expected ", _headers.size());
+    Row row;
+    row.cells = std::move(cells);
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    Row row;
+    row.separator = true;
+    _rows.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(_headers.size());
+    for (std::size_t c = 0; c < _headers.size(); ++c)
+        widths[c] = _headers[c].size();
+    for (const Row &row : _rows) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    auto print_cell = [&](const std::string &text, std::size_t c) {
+        const std::size_t pad = widths[c] - text.size();
+        if (_alignment[c] == Align::Right)
+            os << std::string(pad, ' ') << text;
+        else
+            os << text << std::string(pad, ' ');
+    };
+
+    auto print_rule = [&]() {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << (c == 0 ? "+" : "+") << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+
+    if (!_title.empty())
+        os << _title << "\n";
+
+    print_rule();
+    os << "|";
+    for (std::size_t c = 0; c < _headers.size(); ++c) {
+        os << ' ';
+        print_cell(_headers[c], c);
+        os << " |";
+    }
+    os << "\n";
+    print_rule();
+
+    for (const Row &row : _rows) {
+        if (row.separator) {
+            print_rule();
+            continue;
+        }
+        os << "|";
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            os << ' ';
+            print_cell(row.cells[c], c);
+            os << " |";
+        }
+        os << "\n";
+    }
+    print_rule();
+}
+
+std::string
+TextTable::toString() const
+{
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+} // namespace mc

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Plain-text table rendering for benchmark output.
+ *
+ * Each per-figure/per-table bench binary prints the rows the paper
+ * reports; this formatter keeps the output aligned and diff-friendly.
+ */
+
+#ifndef MC_COMMON_TABLE_HH
+#define MC_COMMON_TABLE_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mc {
+
+/** Column alignment for TextTable. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/**
+ * An aligned text table with a header row and optional title.
+ *
+ * Numeric cells should be pre-formatted by the caller (typically via the
+ * units:: helpers) so the table stays unit-aware.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title) { _title = std::move(title); }
+
+    /** Per-column alignment; defaults to Right for every column. */
+    void setAlignment(std::vector<Align> alignment);
+
+    /** Append a row; must have exactly as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    std::size_t numRows() const { return _rows.size(); }
+
+    /** Render to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render to a string. */
+    std::string toString() const;
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::string _title;
+    std::vector<std::string> _headers;
+    std::vector<Align> _alignment;
+    std::vector<Row> _rows;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_TABLE_HH

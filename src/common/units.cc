@@ -1,0 +1,89 @@
+#include "units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mc {
+namespace units {
+
+namespace {
+
+std::string
+formatScaled(double value, const char *unit, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s", precision, value, unit);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatFlops(double flops_per_sec, int precision)
+{
+    const double abs = std::fabs(flops_per_sec);
+    if (abs >= tera)
+        return formatScaled(flops_per_sec / tera, "TFLOPS", precision);
+    if (abs >= giga)
+        return formatScaled(flops_per_sec / giga, "GFLOPS", precision);
+    if (abs >= mega)
+        return formatScaled(flops_per_sec / mega, "MFLOPS", precision);
+    return formatScaled(flops_per_sec, "FLOPS", precision);
+}
+
+std::string
+formatWatts(double watts, int precision)
+{
+    return formatScaled(watts, "W", precision);
+}
+
+std::string
+formatEfficiency(double flops_per_watt, int precision)
+{
+    // GFLOPS/W is the customary unit (the paper reports 1020 GFLOPS/W);
+    // only switch to TFLOPS/W for values that would be unwieldy.
+    const double abs = std::fabs(flops_per_watt);
+    if (abs >= 10.0 * tera)
+        return formatScaled(flops_per_watt / tera, "TFLOPS/W", precision);
+    return formatScaled(flops_per_watt / giga, "GFLOPS/W", precision);
+}
+
+std::string
+formatBytes(double bytes, int precision)
+{
+    const double abs = std::fabs(bytes);
+    if (abs >= gibi)
+        return formatScaled(bytes / gibi, "GiB", precision);
+    if (abs >= mebi)
+        return formatScaled(bytes / mebi, "MiB", precision);
+    if (abs >= kibi)
+        return formatScaled(bytes / kibi, "KiB", precision);
+    return formatScaled(bytes, "B", precision);
+}
+
+std::string
+formatSeconds(double seconds, int precision)
+{
+    const double abs = std::fabs(seconds);
+    if (abs >= 1.0)
+        return formatScaled(seconds, "s", precision);
+    if (abs >= 1e-3)
+        return formatScaled(seconds * 1e3, "ms", precision);
+    if (abs >= 1e-6)
+        return formatScaled(seconds * 1e6, "us", precision);
+    return formatScaled(seconds * 1e9, "ns", precision);
+}
+
+std::string
+formatHertz(double hertz, int precision)
+{
+    const double abs = std::fabs(hertz);
+    if (abs >= giga)
+        return formatScaled(hertz / giga, "GHz", precision);
+    if (abs >= mega)
+        return formatScaled(hertz / mega, "MHz", precision);
+    return formatScaled(hertz, "Hz", precision);
+}
+
+} // namespace units
+} // namespace mc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Unit helpers and formatting for the quantities the characterization
+ * reports: floating-point throughput, power, energy, frequency, and bytes.
+ *
+ * Values are carried as plain doubles in SI base units (FLOP/s, Watt,
+ * Joule, Hz, byte); these helpers only provide named constructors and
+ * consistent formatting so "43 TFLOPS" means the same thing everywhere.
+ */
+
+#ifndef MC_COMMON_UNITS_HH
+#define MC_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mc {
+namespace units {
+
+// Decimal scale factors (throughput/power follow SI decimal prefixes).
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+inline constexpr double tera = 1e12;
+
+// Binary scale factors (memory capacities follow IEC binary prefixes).
+inline constexpr double kibi = 1024.0;
+inline constexpr double mebi = 1024.0 * 1024.0;
+inline constexpr double gibi = 1024.0 * 1024.0 * 1024.0;
+
+/** FLOP/s from a TFLOPS figure. */
+constexpr double tflops(double v) { return v * tera; }
+/** FLOP/s from a GFLOPS figure. */
+constexpr double gflops(double v) { return v * giga; }
+/** Hz from a MHz figure. */
+constexpr double megahertz(double v) { return v * mega; }
+/** Hz from a GHz figure. */
+constexpr double gigahertz(double v) { return v * giga; }
+/** Bytes from a GiB figure. */
+constexpr double gibibytes(double v) { return v * gibi; }
+/** Bytes/s from a GB/s figure. */
+constexpr double gbPerSec(double v) { return v * giga; }
+/** Bytes/s from a TB/s figure. */
+constexpr double tbPerSec(double v) { return v * tera; }
+
+/** FLOP/s -> TFLOPS. */
+constexpr double toTflops(double flops_per_sec) { return flops_per_sec / tera; }
+/** FLOP/s -> GFLOPS. */
+constexpr double toGflops(double flops_per_sec) { return flops_per_sec / giga; }
+
+/** Format a throughput as e.g. "42.7 TFLOPS". */
+std::string formatFlops(double flops_per_sec, int precision = 1);
+
+/** Format a power as e.g. "318.5 W". */
+std::string formatWatts(double watts, int precision = 1);
+
+/** Format an efficiency as e.g. "1020 GFLOPS/W". */
+std::string formatEfficiency(double flops_per_watt, int precision = 0);
+
+/** Format a byte count with a binary prefix, e.g. "64.0 GiB". */
+std::string formatBytes(double bytes, int precision = 1);
+
+/** Format a duration in seconds with an adaptive unit (s, ms, us, ns). */
+std::string formatSeconds(double seconds, int precision = 2);
+
+/** Format a frequency, e.g. "1.70 GHz". */
+std::string formatHertz(double hertz, int precision = 2);
+
+} // namespace units
+} // namespace mc
+
+#endif // MC_COMMON_UNITS_HH

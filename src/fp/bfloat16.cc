@@ -1,0 +1,63 @@
+#include "bfloat16.hh"
+
+#include <bit>
+#include <cstdio>
+
+namespace mc {
+namespace fp {
+
+std::uint16_t
+BFloat16::fromFloatBits(float value)
+{
+    const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+
+    // NaN: truncation could zero the payload and turn it into infinity.
+    if ((f & 0x7f800000u) == 0x7f800000u && (f & 0x007fffffu)) {
+        return static_cast<std::uint16_t>((f >> 16) | 0x0040u);
+    }
+
+    // Round to nearest even on the 16 discarded bits.
+    const std::uint32_t kept = f >> 16;
+    const std::uint32_t rounding =
+        0x7fffu + (kept & 1u);
+    return static_cast<std::uint16_t>((f + rounding) >> 16);
+}
+
+float
+BFloat16::toFloat() const
+{
+    return std::bit_cast<float>(static_cast<std::uint32_t>(_bits) << 16);
+}
+
+bool
+BFloat16::isNan() const
+{
+    return ((_bits & 0x7f80u) == 0x7f80u) && (_bits & 0x007fu);
+}
+
+bool
+BFloat16::isInf() const
+{
+    return (_bits & 0x7fffu) == 0x7f80u;
+}
+
+std::string
+BFloat16::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%04x", _bits);
+    return buf;
+}
+
+bool
+operator==(BFloat16 a, BFloat16 b)
+{
+    if (a.isNan() || b.isNan())
+        return false;
+    if (a.isZero() && b.isZero())
+        return true;
+    return a._bits == b._bits;
+}
+
+} // namespace fp
+} // namespace mc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Software bfloat16 ("brain float") arithmetic.
+ *
+ * CDNA2 Matrix Cores support BF16 operands for ML workloads; the paper
+ * focuses on the IEEE types but the ISA model is complete, so the
+ * functional executor needs BF16 as well. bfloat16 is the top 16 bits of
+ * an IEEE binary32 value; conversion rounds to nearest even.
+ */
+
+#ifndef MC_FP_BFLOAT16_HH
+#define MC_FP_BFLOAT16_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mc {
+namespace fp {
+
+/**
+ * bfloat16 value stored as its raw 16-bit pattern (sign, 8-bit exponent,
+ * 7-bit fraction).
+ */
+class BFloat16
+{
+  public:
+    /** Positive zero. */
+    constexpr BFloat16() : _bits(0) {}
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit BFloat16(float value) : _bits(fromFloatBits(value)) {}
+
+    /** Convert from double via float. */
+    explicit BFloat16(double value) : BFloat16(static_cast<float>(value)) {}
+
+    /** Reinterpret a raw bit pattern. */
+    static constexpr BFloat16
+    fromBits(std::uint16_t bits)
+    {
+        BFloat16 b;
+        b._bits = bits;
+        return b;
+    }
+
+    constexpr std::uint16_t bits() const { return _bits; }
+
+    /** Widen to float (exact). */
+    float toFloat() const;
+
+    explicit operator float() const { return toFloat(); }
+    explicit operator double() const { return toFloat(); }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const { return (_bits & 0x7fffu) == 0; }
+    bool signBit() const { return (_bits & 0x8000u) != 0; }
+
+    static BFloat16 one() { return fromBits(0x3f80); }
+    static BFloat16 infinity() { return fromBits(0x7f80); }
+    static BFloat16 quietNan() { return fromBits(0x7fc0); }
+
+    /** Hex bit-pattern string, e.g. "0x3f80". */
+    std::string toString() const;
+
+    friend BFloat16 operator+(BFloat16 a, BFloat16 b)
+    { return BFloat16(a.toFloat() + b.toFloat()); }
+    friend BFloat16 operator-(BFloat16 a, BFloat16 b)
+    { return BFloat16(a.toFloat() - b.toFloat()); }
+    friend BFloat16 operator*(BFloat16 a, BFloat16 b)
+    { return BFloat16(a.toFloat() * b.toFloat()); }
+    BFloat16 operator-() const { return fromBits(_bits ^ 0x8000u); }
+
+    /** IEEE equality: NaN != NaN, -0 == +0. */
+    friend bool operator==(BFloat16 a, BFloat16 b);
+    friend bool operator!=(BFloat16 a, BFloat16 b) { return !(a == b); }
+
+  private:
+    static std::uint16_t fromFloatBits(float value);
+
+    std::uint16_t _bits;
+};
+
+} // namespace fp
+} // namespace mc
+
+#endif // MC_FP_BFLOAT16_HH

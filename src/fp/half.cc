@@ -1,0 +1,157 @@
+#include "half.hh"
+
+#include <bit>
+#include <cstdio>
+
+namespace mc {
+namespace fp {
+
+namespace {
+
+constexpr std::uint32_t f32SignMask = 0x80000000u;
+constexpr int f32ExpBias = 127;
+constexpr int f16ExpBias = 15;
+
+} // namespace
+
+std::uint16_t
+Half::fromFloatBits(float value)
+{
+    const std::uint32_t f = std::bit_cast<std::uint32_t>(value);
+    const std::uint16_t sign = static_cast<std::uint16_t>((f & f32SignMask) >> 16);
+    const std::uint32_t abs = f & 0x7fffffffu;
+
+    // NaN and infinity.
+    if (abs >= 0x7f800000u) {
+        if (abs > 0x7f800000u) {
+            // Preserve quietness and a payload bit so NaNs stay NaNs.
+            const std::uint16_t payload =
+                static_cast<std::uint16_t>((abs >> 13) & 0x03ffu);
+            return static_cast<std::uint16_t>(
+                sign | 0x7c00u | 0x0200u | payload);
+        }
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    const int exp32 = static_cast<int>(abs >> 23);
+    const std::uint32_t frac32 = abs & 0x007fffffu;
+    // Unbiased exponent; float subnormals (exp32 == 0) are far below the
+    // half subnormal range and flush through the tiny path below anyway.
+    const int exp_unbiased = exp32 - f32ExpBias;
+    const int exp16 = exp_unbiased + f16ExpBias;
+
+    if (exp16 >= 0x1f) {
+        // Overflow to infinity.
+        return static_cast<std::uint16_t>(sign | 0x7c00u);
+    }
+
+    if (exp16 <= 0) {
+        // Subnormal half (or underflow to zero). The implicit leading one
+        // joins the fraction; then shift right by (1 - exp16) extra bits.
+        if (exp16 < -10) {
+            // Even the largest float fraction rounds to zero here: the
+            // value is below half of the smallest subnormal.
+            return sign;
+        }
+        const std::uint32_t mantissa = frac32 | 0x00800000u;
+        const int shift = 14 - exp16; // 23 - 10 + (1 - exp16)
+        const std::uint32_t kept = mantissa >> shift;
+        const std::uint32_t round_bit = (mantissa >> (shift - 1)) & 1u;
+        const std::uint32_t sticky =
+            (mantissa & ((1u << (shift - 1)) - 1u)) != 0;
+        std::uint32_t result = kept;
+        if (round_bit && (sticky || (kept & 1u)))
+            ++result;
+        return static_cast<std::uint16_t>(sign | result);
+    }
+
+    // Normal half: keep the top 10 fraction bits, round to nearest even.
+    std::uint32_t kept = frac32 >> 13;
+    const std::uint32_t round_bit = (frac32 >> 12) & 1u;
+    const std::uint32_t sticky = (frac32 & 0x0fffu) != 0;
+    std::uint32_t result =
+        (static_cast<std::uint32_t>(exp16) << 10) | kept;
+    if (round_bit && (sticky || (kept & 1u)))
+        ++result; // may carry into the exponent, which is exactly right
+    if (result >= 0x7c00u)
+        return static_cast<std::uint16_t>(sign | 0x7c00u); // rounded to inf
+    return static_cast<std::uint16_t>(sign | result);
+}
+
+float
+Half::toFloat() const
+{
+    const std::uint32_t sign = static_cast<std::uint32_t>(_bits & 0x8000u) << 16;
+    const std::uint32_t exp16 = (_bits >> 10) & 0x1fu;
+    const std::uint32_t frac16 = _bits & 0x03ffu;
+
+    std::uint32_t f;
+    if (exp16 == 0x1f) {
+        // Inf / NaN.
+        f = sign | 0x7f800000u | (frac16 << 13);
+    } else if (exp16 == 0) {
+        if (frac16 == 0) {
+            f = sign; // signed zero
+        } else {
+            // Subnormal: normalize by shifting the fraction up.
+            int exp = -1;
+            std::uint32_t frac = frac16;
+            do {
+                ++exp;
+                frac <<= 1;
+            } while ((frac & 0x0400u) == 0);
+            const std::uint32_t exp32 =
+                static_cast<std::uint32_t>(f32ExpBias - f16ExpBias - exp);
+            f = sign | (exp32 << 23) | ((frac & 0x03ffu) << 13);
+        }
+    } else {
+        const std::uint32_t exp32 = exp16 + (f32ExpBias - f16ExpBias);
+        f = sign | (exp32 << 23) | (frac16 << 13);
+    }
+    return std::bit_cast<float>(f);
+}
+
+bool
+Half::isNan() const
+{
+    return ((_bits & 0x7c00u) == 0x7c00u) && (_bits & 0x03ffu);
+}
+
+bool
+Half::isInf() const
+{
+    return (_bits & 0x7fffu) == 0x7c00u;
+}
+
+bool
+Half::isZero() const
+{
+    return (_bits & 0x7fffu) == 0;
+}
+
+bool
+Half::isSubnormal() const
+{
+    return ((_bits & 0x7c00u) == 0) && (_bits & 0x03ffu);
+}
+
+std::string
+Half::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "0x%04x", _bits);
+    return buf;
+}
+
+bool
+operator==(Half a, Half b)
+{
+    if (a.isNan() || b.isNan())
+        return false;
+    if (a.isZero() && b.isZero())
+        return true;
+    return a._bits == b._bits;
+}
+
+} // namespace fp
+} // namespace mc

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Software IEEE 754 binary16 ("half precision") arithmetic.
+ *
+ * The host toolchain has no native FP16 type, but the Matrix Core model
+ * must execute mixed-precision MFMA operations (FP32 <- FP16) with the
+ * exact storage semantics of the hardware: FP16 operands in registers,
+ * widened to FP32 inside the Matrix Core accumulator. This class stores
+ * the 16-bit pattern and provides correctly rounded (round-to-nearest-
+ * even) conversions, including subnormals, infinities, and NaNs.
+ */
+
+#ifndef MC_FP_HALF_HH
+#define MC_FP_HALF_HH
+
+#include <cstdint>
+#include <string>
+
+namespace mc {
+namespace fp {
+
+/**
+ * IEEE 754 binary16 value stored as its raw 16-bit pattern.
+ *
+ * Arithmetic widens to float, computes, and rounds back — matching the
+ * behaviour of scalar FP16 ALUs, which round each operation to binary16.
+ */
+class Half
+{
+  public:
+    /** Positive zero. */
+    constexpr Half() : _bits(0) {}
+
+    /** Convert from float with round-to-nearest-even. */
+    explicit Half(float value) : _bits(fromFloatBits(value)) {}
+
+    /** Convert from double via float (double -> float -> half). */
+    explicit Half(double value) : Half(static_cast<float>(value)) {}
+
+    /** Reinterpret a raw bit pattern as a Half. */
+    static constexpr Half
+    fromBits(std::uint16_t bits)
+    {
+        Half h;
+        h._bits = bits;
+        return h;
+    }
+
+    /** The raw 16-bit pattern. */
+    constexpr std::uint16_t bits() const { return _bits; }
+
+    /** Widen to float (exact: every binary16 value is a float). */
+    float toFloat() const;
+
+    explicit operator float() const { return toFloat(); }
+    explicit operator double() const { return toFloat(); }
+
+    bool isNan() const;
+    bool isInf() const;
+    bool isZero() const;
+    bool isSubnormal() const;
+    bool signBit() const { return (_bits & 0x8000u) != 0; }
+
+    /** Smallest positive normal value (2^-14). */
+    static Half minNormal() { return fromBits(0x0400); }
+    /** Smallest positive subnormal value (2^-24). */
+    static Half minSubnormal() { return fromBits(0x0001); }
+    /** Largest finite value (65504). */
+    static Half maxFinite() { return fromBits(0x7bff); }
+    /** Positive infinity. */
+    static Half infinity() { return fromBits(0x7c00); }
+    /** A quiet NaN. */
+    static Half quietNan() { return fromBits(0x7e00); }
+    /** One. */
+    static Half one() { return fromBits(0x3c00); }
+
+    /** Hex bit-pattern string, e.g. "0x3c00". */
+    std::string toString() const;
+
+    friend Half operator+(Half a, Half b) { return Half(a.toFloat() + b.toFloat()); }
+    friend Half operator-(Half a, Half b) { return Half(a.toFloat() - b.toFloat()); }
+    friend Half operator*(Half a, Half b) { return Half(a.toFloat() * b.toFloat()); }
+    friend Half operator/(Half a, Half b) { return Half(a.toFloat() / b.toFloat()); }
+    Half operator-() const { return fromBits(_bits ^ 0x8000u); }
+
+    /** IEEE equality: NaN != NaN, -0 == +0. */
+    friend bool operator==(Half a, Half b);
+    friend bool operator!=(Half a, Half b) { return !(a == b); }
+    friend bool operator<(Half a, Half b) { return a.toFloat() < b.toFloat(); }
+    friend bool operator<=(Half a, Half b) { return a.toFloat() <= b.toFloat(); }
+    friend bool operator>(Half a, Half b) { return a.toFloat() > b.toFloat(); }
+    friend bool operator>=(Half a, Half b) { return a.toFloat() >= b.toFloat(); }
+
+  private:
+    /** Round a float to the nearest binary16 bit pattern (RNE). */
+    static std::uint16_t fromFloatBits(float value);
+
+    std::uint16_t _bits;
+};
+
+} // namespace fp
+} // namespace mc
+
+#endif // MC_FP_HALF_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Compile-time traits connecting C++ storage types to the numeric
+ * behaviour the simulator needs: widening to the accumulation type and
+ * rounding back to storage.
+ */
+
+#ifndef MC_FP_TRAITS_HH
+#define MC_FP_TRAITS_HH
+
+#include <cstdint>
+#include <type_traits>
+
+#include "fp/bfloat16.hh"
+#include "fp/half.hh"
+
+namespace mc {
+namespace fp {
+
+/**
+ * Numeric traits for a storage type.
+ *
+ * @tparam T storage type (Half, BFloat16, float, double, int8, int32).
+ */
+template <typename T>
+struct NumericTraits;
+
+template <>
+struct NumericTraits<Half>
+{
+    /// Type used by Matrix Core accumulators for this operand type.
+    using AccumType = float;
+    static constexpr const char *name = "fp16";
+    static constexpr std::size_t bytes = 2;
+    static float widen(Half v) { return v.toFloat(); }
+    static Half narrow(float v) { return Half(v); }
+};
+
+template <>
+struct NumericTraits<BFloat16>
+{
+    using AccumType = float;
+    static constexpr const char *name = "bf16";
+    static constexpr std::size_t bytes = 2;
+    static float widen(BFloat16 v) { return v.toFloat(); }
+    static BFloat16 narrow(float v) { return BFloat16(v); }
+};
+
+template <>
+struct NumericTraits<float>
+{
+    using AccumType = float;
+    static constexpr const char *name = "fp32";
+    static constexpr std::size_t bytes = 4;
+    static float widen(float v) { return v; }
+    static float narrow(float v) { return v; }
+};
+
+template <>
+struct NumericTraits<double>
+{
+    using AccumType = double;
+    static constexpr const char *name = "fp64";
+    static constexpr std::size_t bytes = 8;
+    static double widen(double v) { return v; }
+    static double narrow(double v) { return v; }
+};
+
+template <>
+struct NumericTraits<std::int8_t>
+{
+    using AccumType = std::int32_t;
+    static constexpr const char *name = "int8";
+    static constexpr std::size_t bytes = 1;
+    static std::int32_t widen(std::int8_t v) { return v; }
+    static std::int8_t narrow(std::int32_t v)
+    {
+        // Integer accumulators saturate on writeback in CDNA2.
+        if (v > 127) return 127;
+        if (v < -128) return -128;
+        return static_cast<std::int8_t>(v);
+    }
+};
+
+template <>
+struct NumericTraits<std::int32_t>
+{
+    using AccumType = std::int32_t;
+    static constexpr const char *name = "int32";
+    static constexpr std::size_t bytes = 4;
+    static std::int32_t widen(std::int32_t v) { return v; }
+    static std::int32_t narrow(std::int32_t v) { return v; }
+};
+
+/** True when T is one of the 16-bit reduced-precision float types. */
+template <typename T>
+inline constexpr bool isReducedFloat =
+    std::is_same_v<T, Half> || std::is_same_v<T, BFloat16>;
+
+} // namespace fp
+} // namespace mc
+
+#endif // MC_FP_TRAITS_HH

@@ -1,0 +1,215 @@
+#include "runtime.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace hip {
+
+Runtime::Runtime(const arch::Cdna2Calibration &cal,
+                 const sim::SimOptions &opts)
+    : _gpu(cal, opts),
+      _allocatedPerDevice(cal.gcdsPerPackage, 0),
+      _deviceTailSec(cal.gcdsPerPackage, 0.0),
+      _asyncTrace(cal.idlePowerW)
+{}
+
+int
+Runtime::deviceCount() const
+{
+    return _gpu.calibration().gcdsPerPackage;
+}
+
+DeviceProperties
+Runtime::properties(int device) const
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    const auto &cal = _gpu.calibration();
+    DeviceProperties props;
+    std::ostringstream name;
+    name << cal.deviceName << " (simulated GCD " << device << ")";
+    props.name = name.str();
+    props.totalGlobalMem = cal.hbmBytesPerGcd;
+    props.multiProcessorCount = cal.cusPerGcd;
+    props.clockRateKhz = static_cast<int>(cal.clockHz / 1000.0);
+    props.warpSize = cal.wavefrontSize;
+    props.matrixCores = cal.matrixCoresPerGcd();
+    return props;
+}
+
+Result<BufferId>
+Runtime::malloc(int device, std::size_t bytes, bool materialize)
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    const std::size_t capacity = _gpu.calibration().hbmBytesPerGcd;
+    if (_allocatedPerDevice[device] + bytes > capacity) {
+        std::ostringstream msg;
+        msg << "allocation of " << bytes << " bytes exceeds device "
+            << device << " HBM capacity (" << _allocatedPerDevice[device]
+            << " of " << capacity << " bytes in use)";
+        return Status::outOfMemory(msg.str());
+    }
+
+    Allocation alloc;
+    alloc.device = device;
+    alloc.bytes = bytes;
+    if (materialize)
+        alloc.storage.assign(bytes, std::byte{0});
+
+    const BufferId id{_nextBufferId++};
+    _allocations.emplace(id, std::move(alloc));
+    _allocatedPerDevice[device] += bytes;
+    return id;
+}
+
+void
+Runtime::free(BufferId buffer)
+{
+    auto it = _allocations.find(buffer);
+    mc_assert(it != _allocations.end(),
+              "free of unknown buffer id ", buffer.id);
+    _allocatedPerDevice[it->second.device] -= it->second.bytes;
+    _allocations.erase(it);
+}
+
+std::size_t
+Runtime::allocatedBytes(int device) const
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    return _allocatedPerDevice[device];
+}
+
+std::size_t
+Runtime::freeBytes(int device) const
+{
+    return _gpu.calibration().hbmBytesPerGcd - allocatedBytes(device);
+}
+
+const Runtime::Allocation &
+Runtime::lookup(BufferId buffer) const
+{
+    auto it = _allocations.find(buffer);
+    mc_assert(it != _allocations.end(),
+              "unknown buffer id ", buffer.id);
+    return it->second;
+}
+
+std::byte *
+Runtime::hostPtr(BufferId buffer)
+{
+    auto &alloc = const_cast<Allocation &>(lookup(buffer));
+    return alloc.storage.empty() ? nullptr : alloc.storage.data();
+}
+
+const std::byte *
+Runtime::hostPtr(BufferId buffer) const
+{
+    const auto &alloc = lookup(buffer);
+    return alloc.storage.empty() ? nullptr : alloc.storage.data();
+}
+
+std::size_t
+Runtime::bufferBytes(BufferId buffer) const
+{
+    return lookup(buffer).bytes;
+}
+
+sim::KernelResult
+Runtime::launch(const sim::KernelProfile &profile, int device)
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    return _gpu.runOnGcd(profile, device);
+}
+
+sim::KernelResult
+Runtime::launchMulti(const sim::KernelProfile &profile,
+                     const std::vector<int> &devices)
+{
+    return _gpu.run(profile, devices);
+}
+
+sim::KernelResult
+Runtime::launchAsync(const sim::KernelProfile &profile, int device)
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    sim::KernelResult result = _gpu.measureKernel(profile);
+    result.startSec = _deviceTailSec[device];
+    result.endSec = result.startSec + result.seconds;
+    _deviceTailSec[device] = result.endSec;
+
+    // The contribution above idle: measureKernel reports single-GCD
+    // package power (idle + this GCD's share), so subtracting idle
+    // leaves exactly this kernel's share; overlapping contributions
+    // then sum to the package-level Eq. 3 power.
+    _asyncTrace.addContribution(
+        result.startSec, result.endSec,
+        std::max(0.0, result.avgPowerW - _gpu.powerModel().idleWatts()));
+    return result;
+}
+
+double
+Runtime::deviceTailSec(int device) const
+{
+    mc_assert(device >= 0 && device < deviceCount(),
+              "device ", device, " out of range");
+    return _deviceTailSec[device];
+}
+
+double
+Runtime::asyncTailSec() const
+{
+    double tail = 0.0;
+    for (double t : _deviceTailSec)
+        tail = std::max(tail, t);
+    return tail;
+}
+
+bool
+Runtime::asyncPowerOk(double start_sec, double end_sec) const
+{
+    return _asyncTrace.maxWatts(start_sec, end_sec) <=
+           _gpu.powerModel().governorTargetWatts();
+}
+
+Stream::Stream(Runtime &rt, int device) : _rt(&rt), _device(device)
+{
+    mc_assert(device >= 0 && device < rt.deviceCount(),
+              "stream device ", device, " out of range");
+}
+
+sim::KernelResult
+Stream::launch(const sim::KernelProfile &profile)
+{
+    return _rt->launchAsync(profile, _device);
+}
+
+double
+Stream::synchronize() const
+{
+    return _rt->deviceTailSec(_device);
+}
+
+void
+Runtime::eventRecord(Event &event)
+{
+    event.timeSec = _gpu.timelineSec();
+    event.recorded = true;
+}
+
+float
+Runtime::eventElapsedMs(const Event &start, const Event &stop) const
+{
+    mc_assert(start.recorded && stop.recorded,
+              "elapsed time requires two recorded events");
+    return static_cast<float>((stop.timeSec - start.timeSec) * 1e3);
+}
+
+} // namespace hip
+} // namespace mc

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * A HIP-runtime-shaped facade over the simulated MI250X.
+ *
+ * The paper's benchmarks talk to the GPU through the HIP runtime: device
+ * enumeration (each GCD appears as its own device), device memory
+ * allocation, event-based kernel timing, and kernel launches. This
+ * module reproduces those interaction patterns against the simulator so
+ * the benchmark code reads like the original HIP code.
+ *
+ * Buffers default to *virtual* allocations: capacity accounting without
+ * host backing, so a 50 GB GEMM operand can be "allocated" the way the
+ * paper allocates it (and exhaust device memory the same way) without
+ * consuming host RAM. Functional kernels materialize their buffers.
+ */
+
+#ifndef MC_HIP_RUNTIME_HH
+#define MC_HIP_RUNTIME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "sim/device.hh"
+
+namespace mc {
+namespace hip {
+
+/** Opaque handle to a device allocation. */
+struct BufferId
+{
+    std::uint64_t id = 0;
+    friend bool operator==(const BufferId &, const BufferId &) = default;
+    friend auto operator<=>(const BufferId &, const BufferId &) = default;
+};
+
+/** Device properties, in the spirit of hipGetDeviceProperties. */
+struct DeviceProperties
+{
+    std::string name;
+    std::uint64_t totalGlobalMem = 0; ///< bytes
+    int multiProcessorCount = 0;      ///< CUs
+    int clockRateKhz = 0;
+    int warpSize = 64;
+    int matrixCores = 0;
+};
+
+/** Timestamp recorded on the device timeline (hipEvent_t). */
+struct Event
+{
+    double timeSec = 0.0;
+    bool recorded = false;
+};
+
+/**
+ * The simulated runtime: owns the device model, its allocations, and
+ * the device timeline.
+ */
+class Runtime
+{
+  public:
+    explicit Runtime(const arch::Cdna2Calibration &cal = arch::defaultCdna2(),
+                     const sim::SimOptions &opts = sim::SimOptions());
+
+    /** Number of visible devices (one per GCD, as on real MI250X). */
+    int deviceCount() const;
+
+    /** Properties of device @p device. */
+    DeviceProperties properties(int device) const;
+
+    /** The underlying package model. */
+    sim::Mi250x &gpu() { return _gpu; }
+    const sim::Mi250x &gpu() const { return _gpu; }
+
+    // ---- Memory ---------------------------------------------------------
+
+    /**
+     * Allocate @p bytes on @p device.
+     *
+     * @param materialize when true, host backing storage is allocated
+     *        and zero-initialized so functional kernels can use it.
+     * @return the buffer handle, or OutOfMemory when the GCD's HBM is
+     *         exhausted (the condition that ends the paper's GEMM sweep).
+     */
+    Result<BufferId> malloc(int device, std::size_t bytes,
+                            bool materialize = false);
+
+    /** Release an allocation; unknown handles are a fatal error. */
+    void free(BufferId buffer);
+
+    /** Bytes currently allocated on @p device. */
+    std::size_t allocatedBytes(int device) const;
+
+    /** Free HBM remaining on @p device, bytes. */
+    std::size_t freeBytes(int device) const;
+
+    /** Host backing of a materialized buffer; null for virtual ones. */
+    std::byte *hostPtr(BufferId buffer);
+    const std::byte *hostPtr(BufferId buffer) const;
+
+    /** Size in bytes of an allocation. */
+    std::size_t bufferBytes(BufferId buffer) const;
+
+    // ---- Kernel execution ------------------------------------------------
+
+    /** Launch a kernel on one device (GCD). */
+    sim::KernelResult launch(const sim::KernelProfile &profile, int device);
+
+    /** Launch the same kernel concurrently on several devices. */
+    sim::KernelResult launchMulti(const sim::KernelProfile &profile,
+                                  const std::vector<int> &devices);
+
+    // ---- Asynchronous (stream) execution ----------------------------------
+
+    /**
+     * Enqueue a kernel on @p device's asynchronous timeline: it starts
+     * when the device's previous async work finishes, and kernels on
+     * *different* devices overlap — the paper's one-process-per-GCD
+     * measurement setup. The returned result carries the async-
+     * timeline start/end. Package DVFS coupling between concurrently
+     * running GCDs is not modelled on this path; use asyncPowerOk()
+     * to check the merged power against the regulation target.
+     */
+    sim::KernelResult launchAsync(const sim::KernelProfile &profile,
+                                  int device);
+
+    /** End of @p device's async timeline, seconds. */
+    double deviceTailSec(int device) const;
+
+    /** End of the latest async work across all devices, seconds. */
+    double asyncTailSec() const;
+
+    /** The merged package power view of the async timeline. */
+    const sim::ContributionTrace &asyncTrace() const { return _asyncTrace; }
+
+    /**
+     * True when the merged async power never exceeded the package
+     * power-regulation target over [start, end) — the condition under
+     * which ignoring cross-GCD DVFS coupling is exact.
+     */
+    bool asyncPowerOk(double start_sec, double end_sec) const;
+
+    // ---- Events ----------------------------------------------------------
+
+    /** Record the current device-timeline time into @p event. */
+    void eventRecord(Event &event);
+
+    /** Elapsed milliseconds between two recorded events. */
+    float eventElapsedMs(const Event &start, const Event &stop) const;
+
+  private:
+    struct Allocation
+    {
+        int device = 0;
+        std::size_t bytes = 0;
+        std::vector<std::byte> storage; ///< empty for virtual buffers
+    };
+
+    const Allocation &lookup(BufferId buffer) const;
+
+    sim::Mi250x _gpu;
+    std::map<BufferId, Allocation> _allocations;
+    std::vector<std::size_t> _allocatedPerDevice;
+    std::vector<double> _deviceTailSec;
+    sim::ContributionTrace _asyncTrace;
+    std::uint64_t _nextBufferId = 1;
+};
+
+/**
+ * An ordered asynchronous work queue on one device (hipStream_t).
+ *
+ * Kernels submitted to one stream execute in order; streams bound to
+ * different devices overlap in simulated time. Streams on the same
+ * device also serialize (each GCD runs one kernel at a time).
+ */
+class Stream
+{
+  public:
+    /** Bind a stream to @p device of @p rt; rt must outlive it. */
+    Stream(Runtime &rt, int device);
+
+    int device() const { return _device; }
+
+    /** Enqueue a kernel; returns its async-timeline result. */
+    sim::KernelResult launch(const sim::KernelProfile &profile);
+
+    /**
+     * Wait for everything enqueued so far (hipStreamSynchronize);
+     * returns the stream's completion time on the async timeline.
+     */
+    double synchronize() const;
+
+  private:
+    Runtime *_rt;
+    int _device;
+};
+
+/**
+ * Typed RAII view of a device allocation.
+ *
+ * @tparam T element type.
+ */
+template <typename T>
+class DeviceBuffer
+{
+  public:
+    /** Allocate @p count elements on @p device; fatal on OOM. */
+    DeviceBuffer(Runtime &rt, int device, std::size_t count,
+                 bool materialize = false)
+        : _rt(&rt), _count(count)
+    {
+        auto result = rt.malloc(device, count * sizeof(T), materialize);
+        if (!result.isOk())
+            mc_fatal("device allocation failed: ",
+                     result.status().toString());
+        _id = result.value();
+    }
+
+    DeviceBuffer(const DeviceBuffer &) = delete;
+    DeviceBuffer &operator=(const DeviceBuffer &) = delete;
+
+    DeviceBuffer(DeviceBuffer &&other) noexcept
+        : _rt(other._rt), _id(other._id), _count(other._count)
+    {
+        other._rt = nullptr;
+    }
+
+    ~DeviceBuffer()
+    {
+        if (_rt)
+            _rt->free(_id);
+    }
+
+    BufferId id() const { return _id; }
+    std::size_t count() const { return _count; }
+    std::size_t bytes() const { return _count * sizeof(T); }
+
+    /** Typed host pointer; null for virtual buffers. */
+    T *
+    data()
+    {
+        return reinterpret_cast<T *>(_rt->hostPtr(_id));
+    }
+
+    const T *
+    data() const
+    {
+        return reinterpret_cast<const T *>(
+            static_cast<const Runtime *>(_rt)->hostPtr(_id));
+    }
+
+  private:
+    Runtime *_rt;
+    BufferId _id;
+    std::size_t _count;
+};
+
+} // namespace hip
+} // namespace mc
+
+#endif // MC_HIP_RUNTIME_HH

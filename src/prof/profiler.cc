@@ -1,0 +1,85 @@
+#include "profiler.hh"
+
+namespace mc {
+namespace prof {
+
+namespace {
+
+constexpr double flopsPerMops = 512.0;
+constexpr double flopsPerValuAddMul = 64.0;  ///< 64 threads x 1 op
+constexpr double flopsPerValuFma = 128.0;    ///< 64 threads x 2 ops
+
+} // namespace
+
+double
+totalFlops(const sim::HwCounters &counters, arch::DataType dt)
+{
+    return flopBreakdown(counters, dt).total();
+}
+
+double
+totalFlopsAllTypes(const sim::HwCounters &counters)
+{
+    return flopBreakdown(counters).total();
+}
+
+FlopBreakdown
+flopBreakdown(const sim::HwCounters &counters, arch::DataType dt)
+{
+    FlopBreakdown out;
+    out.matrixCoreFlops =
+        flopsPerMops * static_cast<double>(counters.mops(dt));
+    out.simdFlops =
+        flopsPerValuAddMul *
+            static_cast<double>(counters.valuCount(dt, sim::ValuOp::Add)) +
+        flopsPerValuAddMul *
+            static_cast<double>(counters.valuCount(dt, sim::ValuOp::Mul)) +
+        flopsPerValuFma *
+            static_cast<double>(counters.valuCount(dt, sim::ValuOp::Fma));
+    return out;
+}
+
+FlopBreakdown
+flopBreakdown(const sim::HwCounters &counters)
+{
+    FlopBreakdown out;
+    for (arch::DataType dt : sim::counterTypes) {
+        const FlopBreakdown part = flopBreakdown(counters, dt);
+        out.matrixCoreFlops += part.matrixCoreFlops;
+        out.simdFlops += part.simdFlops;
+    }
+    return out;
+}
+
+void
+Profiler::record(const sim::KernelResult &result)
+{
+    KernelRecord record;
+    record.name = result.label;
+    record.durationSec = result.seconds;
+    record.counters = result.counters;
+    _records.push_back(std::move(record));
+}
+
+sim::HwCounters
+Profiler::aggregate() const
+{
+    sim::HwCounters total;
+    for (const auto &record : _records)
+        total += record.counters;
+    return total;
+}
+
+std::vector<KernelRecord>
+Profiler::byName(const std::string &name) const
+{
+    std::vector<KernelRecord> out;
+    for (const auto &record : _records) {
+        if (record.name == name)
+            out.push_back(record);
+    }
+    return out;
+}
+
+} // namespace prof
+} // namespace mc

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * rocprof-equivalent derived metrics over the hardware counters.
+ *
+ * The paper cannot observe rocBLAS's Matrix Core usage directly, so it
+ * derives FLOP counts from SQ counters (Eq. 1) and splits them between
+ * Matrix Cores and SIMDs. This module implements those formulas against
+ * the simulator's HwCounters, plus a per-kernel collection facility in
+ * the shape of a rocprof session.
+ */
+
+#ifndef MC_PROF_PROFILER_HH
+#define MC_PROF_PROFILER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/types.hh"
+#include "sim/counters.hh"
+#include "sim/device.hh"
+
+namespace mc {
+namespace prof {
+
+/** FLOPs split by executing unit, derived from counters. */
+struct FlopBreakdown
+{
+    double matrixCoreFlops = 0.0;
+    double simdFlops = 0.0;
+
+    double total() const { return matrixCoreFlops + simdFlops; }
+
+    /** Fraction of FLOPs delivered by Matrix Cores (Fig. 8's metric). */
+    double
+    matrixCoreFraction() const
+    {
+        const double t = total();
+        return t > 0.0 ? matrixCoreFlops / t : 0.0;
+    }
+};
+
+/**
+ * Eq. 1 for one datatype bank: total FLOPs =
+ *   512 * SQ_INSTS_VALU_MFMA_MOPS_<T>
+ *   + 64 * SQ_INSTS_VALU_ADD_<T> + 64 * SQ_INSTS_VALU_MUL_<T>
+ *   + 128 * SQ_INSTS_VALU_FMA_<T>
+ */
+double totalFlops(const sim::HwCounters &counters, arch::DataType dt);
+
+/** Eq. 1 summed over every datatype bank. */
+double totalFlopsAllTypes(const sim::HwCounters &counters);
+
+/** Split Eq. 1 into the Matrix Core and SIMD contributions. */
+FlopBreakdown flopBreakdown(const sim::HwCounters &counters);
+
+/** Matrix Core / SIMD split for one datatype bank only. */
+FlopBreakdown flopBreakdown(const sim::HwCounters &counters,
+                            arch::DataType dt);
+
+/** One profiled kernel dispatch. */
+struct KernelRecord
+{
+    std::string name;
+    double durationSec = 0.0;
+    sim::HwCounters counters;
+};
+
+/**
+ * A profiling session: collects per-kernel counter records the way a
+ * rocprof run collects rows of its results file.
+ */
+class Profiler
+{
+  public:
+    /** Record a kernel execution. */
+    void record(const sim::KernelResult &result);
+
+    const std::vector<KernelRecord> &records() const { return _records; }
+
+    /** Counters summed over all recorded kernels. */
+    sim::HwCounters aggregate() const;
+
+    /** Records whose kernel name matches @p name. */
+    std::vector<KernelRecord> byName(const std::string &name) const;
+
+    void clear() { _records.clear(); }
+
+  private:
+    std::vector<KernelRecord> _records;
+};
+
+} // namespace prof
+} // namespace mc
+
+#endif // MC_PROF_PROFILER_HH

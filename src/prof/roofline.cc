@@ -1,0 +1,109 @@
+#include "roofline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace prof {
+
+std::string
+ComputeRoof::name() const
+{
+    std::string out = arch::dataTypeName(dtype);
+    out += kind == RoofKind::MatrixCore ? " MatrixCore" : " SIMD";
+    return out;
+}
+
+RooflineModel::RooflineModel(const arch::Cdna2Calibration &cal)
+    : _bandwidth(cal.hbmBwPerGcd)
+{
+    // Matrix Core roofs: best dense instruction per datatype pair,
+    // scaled to one GCD.
+    const double cu_cycles = cal.cusPerGcd * cal.clockHz;
+    for (arch::DataType dt :
+         {arch::DataType::F64, arch::DataType::F32, arch::DataType::F16,
+          arch::DataType::BF16, arch::DataType::I8}) {
+        double best = 0.0;
+        for (const auto &inst : arch::instructionsFor(cal.arch)) {
+            if (inst.typeAB != dt)
+                continue;
+            best = std::max(best, inst.flopsPerCuPerCycle());
+        }
+        if (best > 0.0) {
+            _roofs.push_back(ComputeRoof{dt, RoofKind::MatrixCore,
+                                         best * cu_cycles});
+        }
+    }
+
+    // SIMD roofs: each 16-wide SIMD retires one VALU instruction per
+    // cycle for a 64-thread wavefront every 4 cycles; FMA counts two
+    // ops, and f16 packs two lanes' worth per thread.
+    const double simd_insts_per_sec =
+        static_cast<double>(cal.cusPerGcd) * cal.simdsPerCu *
+        cal.clockHz / cal.cyclesPerValuInst;
+    const double wave = cal.wavefrontSize;
+    for (arch::DataType dt :
+         {arch::DataType::F64, arch::DataType::F32, arch::DataType::F16}) {
+        const double flops_per_inst =
+            (dt == arch::DataType::F16) ? wave * 4.0 : wave * 2.0;
+        _roofs.push_back(ComputeRoof{dt, RoofKind::Simd,
+                                     simd_insts_per_sec * flops_per_inst});
+    }
+}
+
+const ComputeRoof &
+RooflineModel::roof(arch::DataType dtype, RoofKind kind) const
+{
+    for (const auto &r : _roofs) {
+        if (r.dtype == dtype && r.kind == kind)
+            return r;
+    }
+    mc_fatal("no ", kind == RoofKind::MatrixCore ? "Matrix Core" : "SIMD",
+             " roof for datatype ", arch::dataTypeName(dtype));
+}
+
+double
+RooflineModel::machineBalance(arch::DataType dtype, RoofKind kind) const
+{
+    return roof(dtype, kind).flopsPerSec / _bandwidth;
+}
+
+double
+RooflineModel::attainable(arch::DataType dtype, RoofKind kind,
+                          double intensity) const
+{
+    mc_assert(intensity >= 0.0, "negative arithmetic intensity");
+    return std::min(roof(dtype, kind).flopsPerSec,
+                    _bandwidth * intensity);
+}
+
+RooflinePoint
+RooflineModel::classify(const sim::KernelProfile &profile,
+                        const sim::KernelResult &result) const
+{
+    RooflinePoint point;
+    point.label = profile.label;
+
+    const double flops = result.mfmaFlops + result.simdFlops;
+    const double bytes =
+        (profile.hbmReadBytes + profile.hbmWriteBytes) *
+        result.activeGcds;
+    point.intensity = bytes > 0.0 ? flops / bytes : 1e30;
+    point.achieved =
+        result.seconds > 0.0 ? flops / result.seconds : 0.0;
+
+    const RoofKind kind = result.mfmaFlops >= result.simdFlops
+                              ? RoofKind::MatrixCore
+                              : RoofKind::Simd;
+    const arch::DataType dt = profile.dominantType();
+    const double per_gcd_attainable =
+        attainable(dt, kind, point.intensity);
+    point.attainable = per_gcd_attainable * result.activeGcds;
+    point.memoryBound =
+        _bandwidth * point.intensity < roof(dt, kind).flopsPerSec;
+    return point;
+}
+
+} // namespace prof
+} // namespace mc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * A roofline model over the simulated devices.
+ *
+ * The paper's profiling methodology descends from the instruction
+ * roofline work it cites (Leinhauser et al., its reference [14]):
+ * position each kernel by arithmetic intensity (FLOPs per HBM byte)
+ * against the device's compute roofs (per datatype, Matrix Core and
+ * SIMD) and its memory roof. The model explains at a glance *why* the
+ * GEMM curves of Figs. 6/7 bend: the large-N points slide left past
+ * the machine-balance point when the L2 panel reuse collapses.
+ */
+
+#ifndef MC_PROF_ROOFLINE_HH
+#define MC_PROF_ROOFLINE_HH
+
+#include <string>
+#include <vector>
+
+#include "arch/calibration.hh"
+#include "sim/device.hh"
+#include "sim/kernel.hh"
+
+namespace mc {
+namespace prof {
+
+/** Which unit's compute roof applies. */
+enum class RoofKind
+{
+    MatrixCore,
+    Simd,
+};
+
+/** One compute roof of the device. */
+struct ComputeRoof
+{
+    arch::DataType dtype;
+    RoofKind kind = RoofKind::MatrixCore;
+    double flopsPerSec = 0.0;
+
+    std::string name() const;
+};
+
+/** A kernel's position in the roofline plot. */
+struct RooflinePoint
+{
+    std::string label;
+    /** Arithmetic intensity, FLOPs per HBM byte. */
+    double intensity = 0.0;
+    /** Achieved FLOP/s. */
+    double achieved = 0.0;
+    /** min(compute roof, bandwidth * intensity) for the kernel's roof. */
+    double attainable = 0.0;
+    /** True when the binding roof is the memory roof. */
+    bool memoryBound = false;
+
+    /** Achieved / attainable. */
+    double
+    efficiency() const
+    {
+        return attainable > 0.0 ? achieved / attainable : 0.0;
+    }
+};
+
+/**
+ * Roofline model of one GCD of a CDNA-family device.
+ */
+class RooflineModel
+{
+  public:
+    /** Build the roofs from a device calibration (per-GCD scope). */
+    explicit RooflineModel(const arch::Cdna2Calibration &cal);
+
+    /** Peak HBM bandwidth, bytes/s (the memory roof's slope). */
+    double memoryBandwidth() const { return _bandwidth; }
+
+    /** All compute roofs (Matrix Core per datatype, SIMD per datatype). */
+    const std::vector<ComputeRoof> &roofs() const { return _roofs; }
+
+    /** The compute roof for a datatype/unit pair; fatal if absent. */
+    const ComputeRoof &roof(arch::DataType dtype, RoofKind kind) const;
+
+    /**
+     * Intensity at which the compute roof meets the memory roof
+     * (the machine-balance point), FLOPs/byte.
+     */
+    double machineBalance(arch::DataType dtype, RoofKind kind) const;
+
+    /** Attainable FLOP/s at @p intensity under the given roof. */
+    double attainable(arch::DataType dtype, RoofKind kind,
+                      double intensity) const;
+
+    /**
+     * Place a simulated kernel in the plot. The kernel's dominant
+     * datatype selects the roof; Matrix Core vs SIMD is chosen by
+     * where its FLOPs ran.
+     */
+    RooflinePoint classify(const sim::KernelProfile &profile,
+                           const sim::KernelResult &result) const;
+
+  private:
+    double _bandwidth;
+    std::vector<ComputeRoof> _roofs;
+};
+
+} // namespace prof
+} // namespace mc
+
+#endif // MC_PROF_ROOFLINE_HH

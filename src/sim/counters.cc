@@ -1,0 +1,132 @@
+#include "counters.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace sim {
+
+namespace {
+
+const char *
+typeSuffix(int bank)
+{
+    switch (bank) {
+      case 0: return "F16";
+      case 1: return "BF16";
+      case 2: return "F32";
+      case 3: return "F64";
+      case 4: return "I8";
+    }
+    return "?";
+}
+
+const char *
+opName(int op)
+{
+    switch (static_cast<ValuOp>(op)) {
+      case ValuOp::Add: return "ADD";
+      case ValuOp::Mul: return "MUL";
+      case ValuOp::Fma: return "FMA";
+      case ValuOp::Xfer: return "XFER";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+counterTypeIndex(arch::DataType dt)
+{
+    switch (dt) {
+      case arch::DataType::F16: return 0;
+      case arch::DataType::BF16: return 1;
+      case arch::DataType::F32: return 2;
+      case arch::DataType::F64: return 3;
+      case arch::DataType::I8: return 4;
+      default:
+        mc_fatal("datatype ", arch::dataTypeName(dt),
+                 " has no SQ counter bank");
+    }
+}
+
+HwCounters &
+HwCounters::operator+=(const HwCounters &other)
+{
+    for (int t = 0; t < numCounterTypes; ++t) {
+        mfmaMops[t] += other.mfmaMops[t];
+        for (int op = 0; op < numValuOps; ++op)
+            valu[t][op] += other.valu[t][op];
+    }
+    mfmaInstructions += other.mfmaInstructions;
+    return *this;
+}
+
+void
+HwCounters::addMfmaOps(arch::DataType ab_type, std::uint64_t matrix_ops,
+                       std::uint64_t instructions)
+{
+    mc_assert(matrix_ops % mopsGranularity == 0,
+              "MFMA op count ", matrix_ops, " is not a multiple of ",
+              mopsGranularity);
+    mfmaMops[counterTypeIndex(ab_type)] += matrix_ops / mopsGranularity;
+    mfmaInstructions += instructions;
+}
+
+void
+HwCounters::addValu(arch::DataType dt, ValuOp op, std::uint64_t count)
+{
+    valu[counterTypeIndex(dt)][static_cast<int>(op)] += count;
+}
+
+std::uint64_t
+HwCounters::mops(arch::DataType ab_type) const
+{
+    return mfmaMops[counterTypeIndex(ab_type)];
+}
+
+std::uint64_t
+HwCounters::valuCount(arch::DataType dt, ValuOp op) const
+{
+    return valu[counterTypeIndex(dt)][static_cast<int>(op)];
+}
+
+std::uint64_t
+HwCounters::byName(const std::string &name) const
+{
+    for (int t = 0; t < numCounterTypes; ++t) {
+        std::string mops_name = "SQ_INSTS_VALU_MFMA_MOPS_";
+        mops_name += typeSuffix(t);
+        if (name == mops_name)
+            return mfmaMops[t];
+        for (int op = 0; op < numValuOps; ++op) {
+            std::string valu_name = "SQ_INSTS_VALU_";
+            valu_name += opName(op);
+            valu_name += '_';
+            valu_name += typeSuffix(t);
+            if (name == valu_name)
+                return valu[t][op];
+        }
+    }
+    if (name == "SQ_INSTS_MFMA")
+        return mfmaInstructions;
+    mc_fatal("unknown hardware counter '", name, "'");
+}
+
+std::vector<std::string>
+HwCounters::counterNames()
+{
+    std::vector<std::string> names;
+    for (int t = 0; t < numCounterTypes; ++t) {
+        names.push_back(std::string("SQ_INSTS_VALU_MFMA_MOPS_") +
+                        typeSuffix(t));
+        for (int op = 0; op < numValuOps; ++op) {
+            names.push_back(std::string("SQ_INSTS_VALU_") + opName(op) +
+                            "_" + typeSuffix(t));
+        }
+    }
+    names.push_back("SQ_INSTS_MFMA");
+    return names;
+}
+
+} // namespace sim
+} // namespace mc

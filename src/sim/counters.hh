@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hardware performance counters of the simulated GPU.
+ *
+ * Models the SQ (sequencer) counters rocprof exposes on CDNA2, with the
+ * documented semantics the paper's Eq. 1 relies on:
+ *  - SQ_INSTS_VALU_MFMA_MOPS_<T> increments once per 512 matrix
+ *    floating-point operations performed by Matrix Cores with A/B
+ *    element type <T>;
+ *  - SQ_INSTS_VALU_{ADD,MUL,FMA,TRANS,XFER}_<T> increment once per
+ *    wavefront VALU instruction (packed 2-wide F16 ops count as two
+ *    instruction-equivalents so the FLOP formulas stay exact).
+ */
+
+#ifndef MC_SIM_COUNTERS_HH
+#define MC_SIM_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/types.hh"
+
+namespace mc {
+namespace sim {
+
+/** VALU instruction categories tracked per datatype. */
+enum class ValuOp
+{
+    Add,
+    Mul,
+    Fma,
+    Xfer, ///< conversions and register moves (no FLOPs)
+};
+
+/** Number of ValuOp categories. */
+inline constexpr int numValuOps = 4;
+
+/** Datatypes with dedicated counter banks. */
+inline constexpr arch::DataType counterTypes[] = {
+    arch::DataType::F16,
+    arch::DataType::BF16,
+    arch::DataType::F32,
+    arch::DataType::F64,
+    arch::DataType::I8,
+};
+
+/** Number of counter datatype banks. */
+inline constexpr int numCounterTypes = 5;
+
+/** Index of a datatype's counter bank; fatal for non-counted types. */
+int counterTypeIndex(arch::DataType dt);
+
+/**
+ * A snapshot of the per-kernel SQ counters.
+ */
+struct HwCounters
+{
+    /** MFMA matrix ops / 512, indexed by counterTypeIndex of the AB type. */
+    std::uint64_t mfmaMops[numCounterTypes] = {};
+    /** VALU wavefront instructions, [type bank][ValuOp]. */
+    std::uint64_t valu[numCounterTypes][numValuOps] = {};
+    /** Total MFMA instruction issues (all types). */
+    std::uint64_t mfmaInstructions = 0;
+
+    /** Accumulate another snapshot into this one. */
+    HwCounters &operator+=(const HwCounters &other);
+
+    /** Record @p matrix_ops MFMA matrix operations of AB type @p dt. */
+    void addMfmaOps(arch::DataType ab_type, std::uint64_t matrix_ops,
+                    std::uint64_t instructions);
+
+    /** Record @p count VALU wavefront instructions. */
+    void addValu(arch::DataType dt, ValuOp op, std::uint64_t count);
+
+    std::uint64_t mops(arch::DataType ab_type) const;
+    std::uint64_t valuCount(arch::DataType dt, ValuOp op) const;
+
+    /**
+     * Look a counter up by its rocprof name, e.g.
+     * "SQ_INSTS_VALU_MFMA_MOPS_F64" or "SQ_INSTS_VALU_ADD_F32".
+     * Unknown names are a fatal error, mirroring rocprof's input check.
+     */
+    std::uint64_t byName(const std::string &name) const;
+
+    /** All counter names this model exposes. */
+    static std::vector<std::string> counterNames();
+};
+
+/** The 512 matrix-ops-per-MOPS-increment hardware constant. */
+inline constexpr std::uint64_t mopsGranularity = 512;
+
+} // namespace sim
+} // namespace mc
+
+#endif // MC_SIM_COUNTERS_HH

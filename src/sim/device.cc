@@ -1,0 +1,280 @@
+#include "device.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace sim {
+
+std::uint64_t
+schedulePhases(std::uint64_t wavefronts, std::uint64_t slots)
+{
+    mc_assert(slots > 0, "scheduling requires at least one matrix unit");
+    if (wavefronts == 0)
+        return 1;
+    return (wavefronts + slots - 1) / slots;
+}
+
+Mi250x::Mi250x(const arch::Cdna2Calibration &cal, const SimOptions &opts)
+    : _cal(cal), _opts(opts), _power(_cal), _trace(_cal.idlePowerW),
+      _noise(opts.noiseSeed)
+{}
+
+void
+Mi250x::idle(double seconds)
+{
+    mc_assert(seconds >= 0.0, "cannot idle for negative time");
+    _timelineSec += seconds;
+}
+
+double
+Mi250x::mfmaCyclesPerWavefront(const KernelProfile &profile) const
+{
+    // Issue overhead comes from wavefronts contending for the CU's
+    // shared issue resources, so it scales with Matrix Core occupancy:
+    // a single wavefront measures the raw Table II latency, a
+    // saturating kernel the full calibrated overhead.
+    const double occupancy = std::min(
+        1.0, static_cast<double>(profile.numWavefronts) /
+                 static_cast<double>(_cal.matrixCoresPerGcd()));
+
+    double cycles = 0.0;
+    for (const auto &seg : profile.mfmaPerWavefront) {
+        mc_assert(seg.inst->arch == _cal.arch,
+                  "kernel '", profile.label, "' contains a ",
+                  arch::gpuArchName(seg.inst->arch),
+                  " instruction on a ", arch::gpuArchName(_cal.arch),
+                  " device: ", seg.inst->mnemonic);
+        const double overhead =
+            _cal.perfFor(seg.inst->typeAB).issueOverheadFrac * occupancy;
+        cycles += static_cast<double>(seg.countPerWavefront) *
+                  seg.inst->latencyCycles * (1.0 + overhead);
+    }
+    return cycles;
+}
+
+double
+Mi250x::gcdBusySeconds(const KernelProfile &profile, double freq_hz,
+                       std::uint64_t *phases_out) const
+{
+    const auto mc_slots =
+        static_cast<std::uint64_t>(_cal.matrixCoresPerGcd());
+    const std::uint64_t phases =
+        schedulePhases(profile.numWavefronts, mc_slots);
+    if (phases_out)
+        *phases_out = phases;
+
+    mc_assert(profile.mcEfficiency > 0.0 && profile.mcEfficiency <= 1.0,
+              "mcEfficiency must be in (0, 1]");
+    const double rounds =
+        profile.scheduleMode == ScheduleMode::Quantized
+            ? static_cast<double>(phases)
+            : std::max(1.0, static_cast<double>(profile.numWavefronts) /
+                                static_cast<double>(mc_slots));
+    const double mc_cycles = rounds * mfmaCyclesPerWavefront(profile) /
+                             profile.mcEfficiency;
+
+    // VALU work spreads over the SIMDs the launched wavefronts can
+    // occupy; it overlaps with Matrix Core execution.
+    const auto simd_slots = static_cast<std::uint64_t>(
+        _cal.cusPerGcd * _cal.simdsPerCu);
+    const std::uint64_t active_simds =
+        std::max<std::uint64_t>(1,
+            std::min(profile.numWavefronts, simd_slots));
+    double valu_insts = 0.0;
+    for (const auto &seg : profile.valuTotal)
+        valu_insts += static_cast<double>(seg.instCount);
+    mc_assert(profile.simdEfficiency > 0.0 && profile.simdEfficiency <= 1.0,
+              "simdEfficiency must be in (0, 1]");
+    const double valu_cycles =
+        valu_insts * _cal.cyclesPerValuInst /
+        (static_cast<double>(active_simds) * profile.simdEfficiency);
+
+    const double compute_sec = std::max(mc_cycles, valu_cycles) / freq_hz;
+
+    mc_assert(profile.bwEfficiency > 0.0 && profile.bwEfficiency <= 1.0,
+              "bwEfficiency must be in (0, 1]");
+    const double bytes = profile.hbmReadBytes + profile.hbmWriteBytes;
+    const double mem_sec = bytes / (_cal.hbmBwPerGcd * profile.bwEfficiency);
+
+    // Dispatch overlaps with execution once the device is full; only
+    // the pipeline-fill prefix is serial.
+    const double serial_wgs = static_cast<double>(
+        std::min<std::uint64_t>(profile.numWorkgroups,
+                                _cal.dispatchPipelineDepth));
+    const double dispatch_sec =
+        serial_wgs * _cal.dispatchCyclesPerWorkgroup / freq_hz;
+
+    return std::max(compute_sec, mem_sec) + dispatch_sec;
+}
+
+KernelResult
+Mi250x::run(const KernelProfile &profile, const std::vector<int> &gcds)
+{
+    mc_assert(!gcds.empty(), "run requires at least one GCD");
+    mc_assert(static_cast<int>(gcds.size()) <= _cal.gcdsPerPackage,
+              "more GCDs requested than the package has");
+    for (std::size_t i = 0; i < gcds.size(); ++i) {
+        mc_assert(gcds[i] >= 0 && gcds[i] < _cal.gcdsPerPackage,
+                  "GCD id ", gcds[i], " out of range");
+        for (std::size_t j = i + 1; j < gcds.size(); ++j)
+            mc_assert(gcds[i] != gcds[j], "duplicate GCD id in run");
+    }
+
+    const int active_gcds = static_cast<int>(gcds.size());
+    const arch::DataType dom = profile.dominantType();
+    const double flops_per_gcd = profile.mfmaFlops() + profile.simdFlops();
+    const double total_flops = flops_per_gcd * active_gcds;
+
+    std::uint64_t phases = 1;
+    const double launch = _cal.launchLatencySec;
+
+    // --- DVFS governor ---------------------------------------------------
+    // Package power is linear in throughput (Eq. 3); if the projected
+    // steady-state power exceeds the regulation target, the governor
+    // lowers the engine clock. Compute-bound time scales inversely with
+    // clock; memory-bound time does not, so we bisect on the clock scale.
+    double clock_scale = 1.0;
+    bool throttled = false;
+    if (_opts.enableDvfs) {
+        auto power_at = [&](double scale) {
+            const double busy =
+                gcdBusySeconds(profile, _cal.clockHz * scale, nullptr);
+            const double th = total_flops / (busy + launch);
+            return _power.activeWatts(dom, active_gcds, th);
+        };
+        const double target = _power.governorTargetWatts();
+        if (power_at(1.0) > target) {
+            throttled = true;
+            double lo = 0.05, hi = 1.0;
+            for (int iter = 0; iter < 60; ++iter) {
+                const double mid = 0.5 * (lo + hi);
+                if (power_at(mid) > target)
+                    hi = mid;
+                else
+                    lo = mid;
+            }
+            clock_scale = lo;
+        }
+    }
+
+    double busy = gcdBusySeconds(profile, _cal.clockHz * clock_scale,
+                                 &phases) + launch;
+
+    if (_opts.enableNoise && _opts.noiseSigma > 0.0) {
+        const double factor =
+            1.0 + _opts.noiseSigma * _noise.nextGaussian();
+        busy *= std::max(0.5, factor);
+    }
+
+    KernelResult result;
+    result.label = profile.label;
+    result.startSec = _timelineSec;
+    result.endSec = _timelineSec + busy;
+    result.seconds = busy;
+    result.mfmaFlops = profile.mfmaFlops() * active_gcds;
+    result.simdFlops = profile.simdFlops() * active_gcds;
+    result.effClockHz = _cal.clockHz * clock_scale;
+    result.throttled = throttled;
+    result.phases = phases;
+    result.activeGcds = active_gcds;
+
+    HwCounters counters = profile.expectedCounters();
+    for (int g = 1; g < active_gcds; ++g)
+        counters += profile.expectedCounters();
+    result.counters = counters;
+
+    result.avgPowerW =
+        _power.activeWatts(dom, active_gcds, result.throughput());
+
+    _trace.addSegment(result.startSec, result.endSec, result.avgPowerW);
+    _timelineSec = result.endSec;
+    return result;
+}
+
+KernelResult
+Mi250x::runOnGcd(const KernelProfile &profile, int gcd)
+{
+    return run(profile, {gcd});
+}
+
+KernelResult
+Mi250x::measureKernel(const KernelProfile &profile)
+{
+    const arch::DataType dom = profile.dominantType();
+
+    std::uint64_t phases = 1;
+    double busy = gcdBusySeconds(profile, _cal.clockHz, &phases) +
+                  _cal.launchLatencySec;
+    if (_opts.enableNoise && _opts.noiseSigma > 0.0) {
+        const double factor =
+            1.0 + _opts.noiseSigma * _noise.nextGaussian();
+        busy *= std::max(0.5, factor);
+    }
+
+    KernelResult result;
+    result.label = profile.label;
+    result.seconds = busy;
+    result.endSec = busy;
+    result.mfmaFlops = profile.mfmaFlops();
+    result.simdFlops = profile.simdFlops();
+    result.counters = profile.expectedCounters();
+    result.effClockHz = _cal.clockHz;
+    result.phases = phases;
+    result.activeGcds = 1;
+    result.avgPowerW = _power.activeWatts(dom, 1, result.throughput());
+    return result;
+}
+
+A100::A100(const arch::AmpereCalibration &cal, const SimOptions &opts)
+    : _cal(cal), _opts(opts), _noise(opts.noiseSeed ^ 0xa100)
+{}
+
+KernelResult
+A100::run(const KernelProfile &profile)
+{
+    mc_assert(profile.valuTotal.empty(),
+              "the A100 model only executes Tensor Core profiles");
+
+    const double occupancy = std::min(
+        1.0, static_cast<double>(profile.numWavefronts) /
+                 static_cast<double>(tensorCores()));
+
+    double cycles_per_warp = 0.0;
+    for (const auto &seg : profile.mfmaPerWavefront) {
+        mc_assert(seg.inst->arch == arch::GpuArch::Ampere,
+                  "kernel '", profile.label, "' contains a non-Ampere "
+                  "instruction: ", seg.inst->mnemonic);
+        const double overhead =
+            _cal.issueOverheadFor(seg.inst->typeAB) * occupancy;
+        cycles_per_warp += static_cast<double>(seg.countPerWavefront) *
+                           seg.inst->latencyCycles * (1.0 + overhead);
+    }
+
+    const auto slots = static_cast<std::uint64_t>(tensorCores());
+    const std::uint64_t phases =
+        schedulePhases(profile.numWavefronts, slots);
+    double busy = static_cast<double>(phases) * cycles_per_warp /
+                  _cal.clockHz + 5.0e-6;
+
+    if (_opts.enableNoise && _opts.noiseSigma > 0.0) {
+        const double factor =
+            1.0 + _opts.noiseSigma * _noise.nextGaussian();
+        busy *= std::max(0.5, factor);
+    }
+
+    KernelResult result;
+    result.label = profile.label;
+    result.seconds = busy;
+    result.endSec = busy;
+    result.mfmaFlops = profile.mfmaFlops();
+    result.counters = profile.expectedCounters();
+    result.effClockHz = _cal.clockHz;
+    result.phases = phases;
+    return result;
+}
+
+} // namespace sim
+} // namespace mc

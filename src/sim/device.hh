@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The cycle-accounting device models: the MI250X package (two CDNA2
+ * GCDs) and the A100 comparison device.
+ *
+ * Execution model for one GCD:
+ *  - each CU owns four Matrix Cores; a wavefront executing MFMA work
+ *    occupies one Matrix Core, so one GCD sustains at most
+ *    440 concurrently executing MFMA wavefronts (the min(N_WF, 440)
+ *    term of the paper's Eq. 2);
+ *  - wavefronts beyond that run in additional phases, exactly the
+ *    behaviour Section V-B describes for 660 wavefronts;
+ *  - the sustained issue interval of an MFMA instruction is its Table II
+ *    latency inflated by the calibrated per-datatype overhead;
+ *  - VALU work occupies the CU SIMDs in parallel with the Matrix Cores;
+ *  - memory-bound kernels are limited by the HBM bandwidth model;
+ *  - a package-level DVFS governor scales the clock down when projected
+ *    power exceeds the regulation target (which is what caps two-GCD
+ *    FP64 at 72 % of peak while one GCD reaches 85 %).
+ */
+
+#ifndef MC_SIM_DEVICE_HH
+#define MC_SIM_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/calibration.hh"
+#include "common/random.hh"
+#include "sim/counters.hh"
+#include "sim/kernel.hh"
+#include "sim/power.hh"
+
+namespace mc {
+namespace sim {
+
+/** Tunable simulation options on top of the device calibration. */
+struct SimOptions
+{
+    /** Relative sigma of the multiplicative run-to-run timing noise. */
+    double noiseSigma = 0.003;
+    /** Disable to get perfectly deterministic timing (used by tests). */
+    bool enableNoise = true;
+    /** Disable to model a device with the power governor off. */
+    bool enableDvfs = true;
+    /** Seed of the measurement-noise stream. */
+    std::uint64_t noiseSeed = 0x6d6331;
+};
+
+/** Outcome of one kernel execution on the simulated device. */
+struct KernelResult
+{
+    std::string label;
+
+    double startSec = 0.0; ///< device-timeline start
+    double endSec = 0.0;   ///< device-timeline end
+    /** Kernel duration including launch/dispatch overhead, seconds. */
+    double seconds = 0.0;
+
+    double mfmaFlops = 0.0; ///< matrix ops executed on Matrix Cores
+    double simdFlops = 0.0; ///< vector ops executed on SIMDs
+
+    HwCounters counters;
+
+    double avgPowerW = 0.0;
+    double effClockHz = 0.0;
+    bool throttled = false;
+    /** Wavefront execution phases (ceil(N_WF / matrix cores)). */
+    std::uint64_t phases = 1;
+    int activeGcds = 1;
+
+    /** Total delivered FLOP/s. */
+    double throughput() const
+    {
+        return seconds > 0.0 ? (mfmaFlops + simdFlops) / seconds : 0.0;
+    }
+};
+
+/**
+ * The simulated MI250X package.
+ */
+class Mi250x
+{
+  public:
+    explicit Mi250x(const arch::Cdna2Calibration &cal = arch::defaultCdna2(),
+                    const SimOptions &opts = SimOptions());
+
+    const arch::Cdna2Calibration &calibration() const { return _cal; }
+    const SimOptions &options() const { return _opts; }
+    const PowerModel &powerModel() const { return _power; }
+
+    /** Package power trace over the device timeline. */
+    const PowerTrace &trace() const { return _trace; }
+
+    /** Current end of the device timeline, seconds. */
+    double timelineSec() const { return _timelineSec; }
+
+    /** Advance the timeline at idle power (between experiments). */
+    void idle(double seconds);
+
+    /**
+     * Run @p profile concurrently on the GCDs listed in @p gcds (each
+     * GCD executes the full profile, as the paper does when using both
+     * dies). GCD ids are 0 or 1; duplicates are a fatal error.
+     */
+    KernelResult run(const KernelProfile &profile,
+                     const std::vector<int> &gcds);
+
+    /** Run on a single GCD. */
+    KernelResult runOnGcd(const KernelProfile &profile, int gcd = 0);
+
+    /**
+     * Compute the result of running @p profile on one GCD *without*
+     * advancing the device timeline or writing the power trace. Used
+     * by the asynchronous runtime, which manages its own overlapping
+     * timeline per GCD. Package-level DVFS coupling between
+     * concurrently running GCDs is not modelled on this path.
+     */
+    KernelResult measureKernel(const KernelProfile &profile);
+
+    /** Matrix Cores per GCD (the 440 of Eq. 2). */
+    int matrixCoresPerGcd() const { return _cal.matrixCoresPerGcd(); }
+
+  private:
+    /** Per-wavefront MFMA cycles at the sustained issue interval. */
+    double mfmaCyclesPerWavefront(const KernelProfile &profile) const;
+
+    /** GCD busy seconds at clock @p freq_hz (excludes fixed launch). */
+    double gcdBusySeconds(const KernelProfile &profile, double freq_hz,
+                          std::uint64_t *phases_out) const;
+
+    arch::Cdna2Calibration _cal;
+    SimOptions _opts;
+    PowerModel _power;
+    PowerTrace _trace;
+    double _timelineSec = 0.0;
+    Rng _noise;
+};
+
+/**
+ * The simulated A100 used by the cross-vendor comparison (Fig. 4).
+ * Only the Tensor Core throughput path is modelled; the paper does not
+ * characterize A100 power.
+ */
+class A100
+{
+  public:
+    explicit A100(const arch::AmpereCalibration &cal = arch::defaultAmpere(),
+                  const SimOptions &opts = SimOptions());
+
+    const arch::AmpereCalibration &calibration() const { return _cal; }
+
+    /** Run a Tensor-Core-only profile on the whole device. */
+    KernelResult run(const KernelProfile &profile);
+
+    /** Tensor Cores on the device. */
+    int tensorCores() const { return _cal.smCount * _cal.tensorCoresPerSm; }
+
+  private:
+    arch::AmpereCalibration _cal;
+    SimOptions _opts;
+    Rng _noise;
+};
+
+/**
+ * Phase count for distributing @p wavefronts over @p slots matrix
+ * units: ceil(wavefronts / slots), minimum 1.
+ */
+std::uint64_t schedulePhases(std::uint64_t wavefronts, std::uint64_t slots);
+
+} // namespace sim
+} // namespace mc
+
+#endif // MC_SIM_DEVICE_HH

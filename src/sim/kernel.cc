@@ -1,0 +1,111 @@
+#include "kernel.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace sim {
+
+namespace {
+
+/// VALU instructions operate on all 64 threads of a CDNA2 wavefront.
+constexpr int valuThreadsPerInst = 64;
+
+} // namespace
+
+double
+KernelProfile::mfmaFlops() const
+{
+    if (mfmaFlopsOverride)
+        return *mfmaFlopsOverride;
+    double total = 0.0;
+    for (const auto &seg : mfmaPerWavefront) {
+        total += static_cast<double>(seg.inst->flopsPerInstruction()) *
+                 static_cast<double>(seg.countPerWavefront);
+    }
+    return total * static_cast<double>(numWavefronts);
+}
+
+double
+KernelProfile::simdFlops() const
+{
+    double total = 0.0;
+    for (const auto &seg : valuTotal) {
+        total += static_cast<double>(seg.instCount) *
+                 static_cast<double>(seg.flopsPerThread) * valuThreadsPerInst;
+    }
+    return total;
+}
+
+std::uint64_t
+KernelProfile::mfmaInstsPerWavefront() const
+{
+    std::uint64_t total = 0;
+    for (const auto &seg : mfmaPerWavefront)
+        total += seg.countPerWavefront;
+    return total;
+}
+
+arch::DataType
+KernelProfile::dominantType() const
+{
+    std::map<arch::DataType, double> flops_by_type;
+    for (const auto &seg : mfmaPerWavefront) {
+        flops_by_type[seg.inst->typeAB] +=
+            static_cast<double>(seg.inst->flopsPerInstruction()) *
+            static_cast<double>(seg.countPerWavefront) *
+            static_cast<double>(numWavefronts);
+    }
+    for (const auto &seg : valuTotal) {
+        flops_by_type[seg.dtype] +=
+            static_cast<double>(seg.instCount) *
+            static_cast<double>(seg.flopsPerThread) * valuThreadsPerInst;
+    }
+
+    arch::DataType best = arch::DataType::F32;
+    double best_flops = -1.0;
+    for (const auto &[dt, fl] : flops_by_type) {
+        if (fl > best_flops) {
+            best = dt;
+            best_flops = fl;
+        }
+    }
+    return best;
+}
+
+HwCounters
+KernelProfile::expectedCounters() const
+{
+    if (countersOverride)
+        return *countersOverride;
+    HwCounters counters;
+    for (const auto &seg : mfmaPerWavefront) {
+        const std::uint64_t insts = seg.countPerWavefront * numWavefronts;
+        const std::uint64_t ops =
+            insts * static_cast<std::uint64_t>(
+                        seg.inst->flopsPerInstruction());
+        counters.addMfmaOps(seg.inst->typeAB, ops, insts);
+    }
+    for (const auto &seg : valuTotal)
+        counters.addValu(seg.dtype, seg.op, seg.instCount);
+    return counters;
+}
+
+void
+KernelProfile::addMfma(const arch::MfmaInstruction *inst,
+                       std::uint64_t count_per_wavefront)
+{
+    mc_assert(inst != nullptr, "MFMA segment requires an instruction");
+    mfmaPerWavefront.push_back(MfmaSegment{inst, count_per_wavefront});
+}
+
+void
+KernelProfile::addValu(arch::DataType dtype, ValuOp op,
+                       std::uint64_t inst_count, int flops_per_thread)
+{
+    valuTotal.push_back(ValuSegment{dtype, op, inst_count, flops_per_thread});
+}
+
+} // namespace sim
+} // namespace mc

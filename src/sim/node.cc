@@ -1,0 +1,76 @@
+#include "node.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace sim {
+
+Node::Node(int packages, const arch::Cdna2Calibration &cal,
+           const SimOptions &opts)
+{
+    mc_assert(packages > 0, "a node needs at least one package");
+    _gpus.reserve(packages);
+    for (int i = 0; i < packages; ++i) {
+        SimOptions per_gpu = opts;
+        // De-correlate the measurement noise across packages.
+        per_gpu.noiseSeed = opts.noiseSeed + 0x9e37 * (i + 1);
+        _gpus.push_back(std::make_unique<Mi250x>(cal, per_gpu));
+    }
+}
+
+Mi250x &
+Node::package(int index)
+{
+    mc_assert(index >= 0 && index < packageCount(),
+              "package ", index, " out of range");
+    return *_gpus[index];
+}
+
+const Mi250x &
+Node::package(int index) const
+{
+    mc_assert(index >= 0 && index < packageCount(),
+              "package ", index, " out of range");
+    return *_gpus[index];
+}
+
+NodeRunResult
+Node::runEverywhere(const KernelProfile &profile, int packages)
+{
+    if (packages < 0)
+        packages = packageCount();
+    mc_assert(packages >= 1 && packages <= packageCount(),
+              "cannot run on ", packages, " of ", packageCount(),
+              " packages");
+
+    NodeRunResult result;
+    std::vector<int> gcds;
+    for (int g = 0; g < _gpus.front()->calibration().gcdsPerPackage; ++g)
+        gcds.push_back(g);
+
+    for (int p = 0; p < packages; ++p) {
+        const KernelResult r = _gpus[p]->run(profile, gcds);
+        result.seconds = std::max(result.seconds, r.seconds);
+        result.totalFlops += r.mfmaFlops + r.simdFlops;
+        result.totalPowerW += r.avgPowerW;
+        result.perPackage.push_back(r);
+    }
+    // Idle packages still draw their idle power at the node level.
+    for (int p = packages; p < packageCount(); ++p)
+        result.totalPowerW += _gpus[p]->powerModel().idleWatts();
+    return result;
+}
+
+double
+Node::idlePowerW() const
+{
+    double total = 0.0;
+    for (const auto &gpu : _gpus)
+        total += gpu->powerModel().idleWatts();
+    return total;
+}
+
+} // namespace sim
+} // namespace mc

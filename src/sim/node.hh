@@ -1,0 +1,88 @@
+/**
+ * @file
+ * A multi-GPU node model.
+ *
+ * The paper's AMD testbed is a node with four MI250X packages (the
+ * Frontier blade configuration). Packages are independent for compute
+ * and power — there is no package-to-package work sharing in any of
+ * the paper's experiments — so the node model owns N package models,
+ * broadcasts kernels, and aggregates throughput, power, and energy at
+ * the node level.
+ */
+
+#ifndef MC_SIM_NODE_HH
+#define MC_SIM_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/device.hh"
+
+namespace mc {
+namespace sim {
+
+/** Aggregate outcome of one node-wide kernel broadcast. */
+struct NodeRunResult
+{
+    /** Per-package results, one per package. */
+    std::vector<KernelResult> perPackage;
+
+    /** Slowest package's duration (the node-level completion time). */
+    double seconds = 0.0;
+    /** Total FLOPs executed across the node. */
+    double totalFlops = 0.0;
+    /** Sum of package average powers while running, watts. */
+    double totalPowerW = 0.0;
+
+    /** Node-level delivered FLOP/s. */
+    double
+    throughput() const
+    {
+        return seconds > 0.0 ? totalFlops / seconds : 0.0;
+    }
+
+    /** Node-level FLOP/s per watt. */
+    double
+    efficiency() const
+    {
+        return totalPowerW > 0.0 ? throughput() / totalPowerW : 0.0;
+    }
+};
+
+/**
+ * N independent MI250X packages sharing a chassis.
+ */
+class Node
+{
+  public:
+    /**
+     * @param packages number of GPU packages (the testbed has four).
+     */
+    explicit Node(int packages = 4,
+                  const arch::Cdna2Calibration &cal = arch::defaultCdna2(),
+                  const SimOptions &opts = SimOptions());
+
+    int packageCount() const { return static_cast<int>(_gpus.size()); }
+
+    /** Access one package model. */
+    Mi250x &package(int index);
+    const Mi250x &package(int index) const;
+
+    /**
+     * Run @p profile concurrently on every GCD of the first
+     * @p packages packages (all of them by default).
+     */
+    NodeRunResult runEverywhere(const KernelProfile &profile,
+                                int packages = -1);
+
+    /** Node idle power (sum of package idle powers), watts. */
+    double idlePowerW() const;
+
+  private:
+    std::vector<std::unique_ptr<Mi250x>> _gpus;
+};
+
+} // namespace sim
+} // namespace mc
+
+#endif // MC_SIM_NODE_HH

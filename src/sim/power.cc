@@ -1,0 +1,149 @@
+#include "power.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace sim {
+
+double
+PowerModel::baseWatts(arch::DataType dt, int active_gcds) const
+{
+    mc_assert(active_gcds >= 0 && active_gcds <= _cal.gcdsPerPackage,
+              "active GCD count ", active_gcds, " out of range");
+    if (active_gcds == 0)
+        return idleWatts();
+    // Eq. 3 intercepts were measured with both GCDs active; the
+    // above-idle component splits evenly between the dies.
+    const double both_active = _cal.perfFor(dt).basePowerW;
+    const double per_gcd =
+        (both_active - idleWatts()) / _cal.gcdsPerPackage;
+    return idleWatts() + per_gcd * active_gcds;
+}
+
+double
+PowerModel::activeWatts(arch::DataType dt, int active_gcds,
+                        double flops_per_sec) const
+{
+    return baseWatts(dt, active_gcds) +
+           energyPerFlop(dt) * flops_per_sec;
+}
+
+void
+PowerTrace::addSegment(double start_sec, double end_sec, double watts)
+{
+    mc_assert(end_sec >= start_sec, "power segment ends before it starts");
+    if (!_segments.empty()) {
+        mc_assert(start_sec >= _segments.back().endSec,
+                  "power segments must be appended in time order");
+    }
+    _segments.push_back(PowerSegment{start_sec, end_sec, watts});
+}
+
+double
+PowerTrace::wattsAt(double t) const
+{
+    // Binary search for the first segment ending after t.
+    auto it = std::upper_bound(
+        _segments.begin(), _segments.end(), t,
+        [](double value, const PowerSegment &seg) {
+            return value < seg.endSec;
+        });
+    if (it != _segments.end() && t >= it->startSec)
+        return it->watts;
+    return _idleWatts;
+}
+
+double
+PowerTrace::energyJoules(double start_sec, double end_sec) const
+{
+    mc_assert(end_sec >= start_sec, "energy over a negative interval");
+    double energy = 0.0;
+    double cursor = start_sec;
+    for (const auto &seg : _segments) {
+        if (seg.endSec <= cursor || seg.startSec >= end_sec)
+            continue;
+        const double lo = std::max(cursor, seg.startSec);
+        const double hi = std::min(end_sec, seg.endSec);
+        // Idle gap before this segment.
+        if (lo > cursor)
+            energy += _idleWatts * (lo - cursor);
+        energy += seg.watts * (hi - lo);
+        cursor = hi;
+    }
+    if (cursor < end_sec)
+        energy += _idleWatts * (end_sec - cursor);
+    return energy;
+}
+
+double
+PowerTrace::endSec() const
+{
+    return _segments.empty() ? 0.0 : _segments.back().endSec;
+}
+
+void
+ContributionTrace::addContribution(double start_sec, double end_sec,
+                                   double watts_above_idle)
+{
+    mc_assert(end_sec >= start_sec,
+              "power contribution ends before it starts");
+    mc_assert(watts_above_idle >= 0.0,
+              "power contribution must be non-negative");
+    _contributions.push_back(
+        Contribution{start_sec, end_sec, watts_above_idle});
+}
+
+double
+ContributionTrace::wattsAt(double t) const
+{
+    double watts = _idleWatts;
+    for (const auto &c : _contributions) {
+        if (t >= c.startSec && t < c.endSec)
+            watts += c.watts;
+    }
+    return watts;
+}
+
+double
+ContributionTrace::energyJoules(double start_sec, double end_sec) const
+{
+    mc_assert(end_sec >= start_sec, "energy over a negative interval");
+    double energy = _idleWatts * (end_sec - start_sec);
+    for (const auto &c : _contributions) {
+        const double lo = std::max(start_sec, c.startSec);
+        const double hi = std::min(end_sec, c.endSec);
+        if (hi > lo)
+            energy += c.watts * (hi - lo);
+    }
+    return energy;
+}
+
+double
+ContributionTrace::endSec() const
+{
+    double end = 0.0;
+    for (const auto &c : _contributions)
+        end = std::max(end, c.endSec);
+    return end;
+}
+
+double
+ContributionTrace::maxWatts(double start_sec, double end_sec) const
+{
+    mc_assert(end_sec > start_sec, "max over an empty interval");
+    // Power is piecewise constant with changes only at contribution
+    // boundaries: evaluate just after each boundary in range.
+    double best = wattsAt(start_sec);
+    for (const auto &c : _contributions) {
+        for (double edge : {c.startSec, c.endSec}) {
+            if (edge >= start_sec && edge < end_sec)
+                best = std::max(best, wattsAt(edge));
+        }
+    }
+    return best;
+}
+
+} // namespace sim
+} // namespace mc

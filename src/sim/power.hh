@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Package power model and power trace of the simulated MI250X.
+ *
+ * The paper (Section VI) finds package power to be linear in delivered
+ * throughput per datatype:  PC = slope * Th + intercept  (Eq. 3), on top
+ * of an 88 W idle floor. The model here generates instantaneous power
+ * from activity, and the trace records it over simulated time so the SMI
+ * sampler can observe it exactly the way rocm-smi observes hardware.
+ */
+
+#ifndef MC_SIM_POWER_HH
+#define MC_SIM_POWER_HH
+
+#include <vector>
+
+#include "arch/calibration.hh"
+#include "arch/types.hh"
+
+namespace mc {
+namespace sim {
+
+/**
+ * Linear activity-to-power model for the MI250X package.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const arch::Cdna2Calibration &cal) : _cal(cal) {}
+
+    /** Whole-package idle power, watts. */
+    double idleWatts() const { return _cal.idlePowerW; }
+
+    /**
+     * Package base power with a kernel of dominant datatype @p dt
+     * resident on @p active_gcds of the two GCDs (clocks ramped, zero
+     * throughput extrapolation of Eq. 3).
+     */
+    double baseWatts(arch::DataType dt, int active_gcds) const;
+
+    /**
+     * Package power at @p flops_per_sec aggregate delivered throughput
+     * of dominant datatype @p dt on @p active_gcds.
+     */
+    double activeWatts(arch::DataType dt, int active_gcds,
+                       double flops_per_sec) const;
+
+    /** Dynamic energy per operation for datatype @p dt, joules. */
+    double
+    energyPerFlop(arch::DataType dt) const
+    {
+        return _cal.perfFor(dt).energyPerFlopJ;
+    }
+
+    /** The vendor power cap, watts. */
+    double capWatts() const { return _cal.powerCapW; }
+
+    /** The steady-state power the DVFS governor regulates to, watts. */
+    double governorTargetWatts() const { return _cal.dvfsTargetW; }
+
+  private:
+    const arch::Cdna2Calibration &_cal;
+};
+
+/** One constant-power interval of the package power trace. */
+struct PowerSegment
+{
+    double startSec = 0.0;
+    double endSec = 0.0;
+    double watts = 0.0;
+};
+
+/**
+ * Anything that can report package power over simulated time: the
+ * sequential trace the device model writes, or the merged view of
+ * overlapping per-GCD contributions the async runtime builds.
+ */
+class PowerSource
+{
+  public:
+    virtual ~PowerSource() = default;
+
+    /** Instantaneous power at time @p t, watts. */
+    virtual double wattsAt(double t) const = 0;
+
+    /** Energy over [start, end), joules. */
+    virtual double energyJoules(double start_sec,
+                                double end_sec) const = 0;
+
+    /** Power with no activity recorded, watts. */
+    virtual double idleWatts() const = 0;
+
+    /** Mean power over [start, end), watts. */
+    double
+    averageWatts(double start_sec, double end_sec) const
+    {
+        return energyJoules(start_sec, end_sec) / (end_sec - start_sec);
+    }
+};
+
+/**
+ * Piecewise-constant package power over simulated time.
+ *
+ * Gaps between segments are implicitly at idle power.
+ */
+class PowerTrace : public PowerSource
+{
+  public:
+    explicit PowerTrace(double idle_watts) : _idleWatts(idle_watts) {}
+
+    /** Record power @p watts over [start, end) seconds. */
+    void addSegment(double start_sec, double end_sec, double watts);
+
+    double wattsAt(double t) const override;
+    double energyJoules(double start_sec, double end_sec) const override;
+    double idleWatts() const override { return _idleWatts; }
+
+    /** End time of the last recorded segment, seconds. */
+    double endSec() const;
+
+    const std::vector<PowerSegment> &segments() const { return _segments; }
+
+  private:
+    double _idleWatts;
+    std::vector<PowerSegment> _segments; ///< kept sorted by startSec
+};
+
+/**
+ * Package power as the sum of overlapping per-GCD contributions above
+ * the idle floor — the view that matches concurrently running kernels
+ * (the paper's one-process-per-GCD measurement setup).
+ */
+class ContributionTrace : public PowerSource
+{
+  public:
+    explicit ContributionTrace(double idle_watts)
+        : _idleWatts(idle_watts)
+    {}
+
+    /**
+     * Record a kernel drawing @p watts_above_idle over [start, end).
+     * Contributions may overlap arbitrarily.
+     */
+    void addContribution(double start_sec, double end_sec,
+                         double watts_above_idle);
+
+    double wattsAt(double t) const override;
+    double energyJoules(double start_sec, double end_sec) const override;
+    double idleWatts() const override { return _idleWatts; }
+
+    /** Latest contribution end, seconds. */
+    double endSec() const;
+
+    /** Peak instantaneous power over [start, end), watts. */
+    double maxWatts(double start_sec, double end_sec) const;
+
+    std::size_t contributionCount() const { return _contributions.size(); }
+
+  private:
+    struct Contribution
+    {
+        double startSec;
+        double endSec;
+        double watts;
+    };
+
+    double _idleWatts;
+    std::vector<Contribution> _contributions;
+};
+
+} // namespace sim
+} // namespace mc
+
+#endif // MC_SIM_POWER_HH

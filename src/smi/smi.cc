@@ -1,0 +1,116 @@
+#include "smi.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace smi {
+
+PowerSensor::PowerSensor(const sim::PowerSource &trace,
+                         double averaging_window_sec, double noise_watts,
+                         std::uint64_t seed)
+    : _trace(trace), _windowSec(averaging_window_sec),
+      _noiseWatts(noise_watts), _rng(seed)
+{
+    mc_assert(averaging_window_sec > 0.0,
+              "sensor averaging window must be positive");
+    mc_assert(noise_watts >= 0.0, "sensor noise must be non-negative");
+}
+
+double
+PowerSensor::averagePower(double t)
+{
+    const double start = std::max(0.0, t - _windowSec);
+    double watts = (t > start) ? _trace.averageWatts(start, t)
+                               : _trace.wattsAt(t);
+    if (_noiseWatts > 0.0)
+        watts += _noiseWatts * _rng.nextGaussian();
+    // The SMI reports power in units of 1/256 W.
+    watts = std::round(watts * 256.0) / 256.0;
+    return std::max(0.0, watts);
+}
+
+PowerSampler::PowerSampler(PowerSensor &sensor, double period_sec)
+    : _sensor(sensor), _periodSec(period_sec)
+{
+    mc_assert(period_sec > 0.0, "sampling period must be positive");
+}
+
+std::vector<PowerSample>
+PowerSampler::sampleInterval(double start_sec, double end_sec)
+{
+    mc_assert(end_sec >= start_sec, "sampling interval is reversed");
+    std::vector<PowerSample> samples;
+    // Index-based stepping avoids floating-point drift over long runs.
+    for (std::size_t i = 0;; ++i) {
+        const double t = start_sec + static_cast<double>(i) * _periodSec;
+        if (t >= end_sec)
+            break;
+        samples.push_back(PowerSample{t, _sensor.averagePower(t)});
+    }
+    return samples;
+}
+
+PmCounters::PmCounters(const sim::PowerSource &trace,
+                       double update_period_sec)
+    : _trace(trace), _periodSec(update_period_sec)
+{
+    mc_assert(update_period_sec > 0.0,
+              "counter update period must be positive");
+}
+
+double
+PmCounters::quantize(double t) const
+{
+    if (t <= 0.0)
+        return 0.0;
+    return std::floor(t / _periodSec) * _periodSec;
+}
+
+double
+PmCounters::energyJoules(double t) const
+{
+    const double edge = quantize(t);
+    return edge > 0.0 ? _trace.energyJoules(0.0, edge) : 0.0;
+}
+
+double
+PmCounters::powerWatts(double t) const
+{
+    return _trace.wattsAt(quantize(t));
+}
+
+double
+PmCounters::averageWatts(double start_sec, double end_sec) const
+{
+    const double e0 = energyJoules(start_sec);
+    const double e1 = energyJoules(end_sec);
+    const double span = quantize(end_sec) - quantize(start_sec);
+    mc_assert(span > 0.0,
+              "pm_counters average needs an interval spanning at least "
+              "one counter update");
+    return (e1 - e0) / span;
+}
+
+double
+meanWatts(const std::vector<PowerSample> &samples)
+{
+    mc_assert(!samples.empty(), "mean of an empty sample set");
+    double sum = 0.0;
+    for (const auto &s : samples)
+        sum += s.watts;
+    return sum / static_cast<double>(samples.size());
+}
+
+double
+efficiencyFlopsPerWatt(double flops_per_sec,
+                       const std::vector<PowerSample> &samples)
+{
+    const double watts = meanWatts(samples);
+    mc_assert(watts > 0.0, "efficiency requires positive power");
+    return flops_per_sec / watts;
+}
+
+} // namespace smi
+} // namespace mc

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The ROCm-SMI-equivalent power instrumentation.
+ *
+ * The paper measures power by polling rsmi_dev_power_ave_get() from a
+ * background process at a 100 ms period, collecting at least 1000
+ * samples per kernel, and cross-validating against the Cray pm_counters
+ * energy accounting. This module reproduces both instruments against
+ * the simulator's power trace:
+ *  - PowerSensor::averagePower mimics the SMI's rolling-average sensor
+ *    (a short hardware averaging window plus quantization);
+ *  - PowerSampler walks simulated time at a fixed period and records
+ *    samples;
+ *  - energy integration over an interval stands in for pm_counters.
+ */
+
+#ifndef MC_SMI_SMI_HH
+#define MC_SMI_SMI_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "sim/power.hh"
+
+namespace mc {
+namespace smi {
+
+/** One power sample, as a polling loop would record it. */
+struct PowerSample
+{
+    double timeSec = 0.0;
+    double watts = 0.0;
+};
+
+/**
+ * The package power sensor (rsmi_dev_power_ave_get equivalent).
+ */
+class PowerSensor
+{
+  public:
+    /**
+     * @param trace the package power trace to observe.
+     * @param averaging_window_sec the hardware averaging window.
+     * @param noise_watts sigma of the sensor's gaussian read noise.
+     * @param seed noise stream seed.
+     */
+    explicit PowerSensor(const sim::PowerSource &trace,
+                         double averaging_window_sec = 0.05,
+                         double noise_watts = 1.5,
+                         std::uint64_t seed = 0x7357);
+
+    /**
+     * Average power reported when polled at simulated time @p t: the
+     * trace averaged over the trailing window, plus read noise,
+     * quantized to the SMI's 1/256 W resolution.
+     */
+    double averagePower(double t);
+
+  private:
+    const sim::PowerSource &_trace;
+    double _windowSec;
+    double _noiseWatts;
+    Rng _rng;
+};
+
+/**
+ * A background sampling loop over simulated time.
+ */
+class PowerSampler
+{
+  public:
+    /**
+     * @param sensor the sensor to poll.
+     * @param period_sec polling period (the paper uses 100 ms).
+     */
+    PowerSampler(PowerSensor &sensor, double period_sec = 0.1);
+
+    /** Poll over [start, end), one sample per period. */
+    std::vector<PowerSample> sampleInterval(double start_sec,
+                                            double end_sec);
+
+    double periodSec() const { return _periodSec; }
+
+  private:
+    PowerSensor &_sensor;
+    double _periodSec;
+};
+
+/**
+ * The Cray pm_counters-style energy accounting the paper uses to
+ * cross-validate the SMI readings (its reference [17]): a free-running
+ * accumulated-energy counter plus instantaneous power, as exposed by
+ * the /sys/cray/pm_counters files on Cray EX nodes.
+ */
+class PmCounters
+{
+  public:
+    /**
+     * @param trace the package power trace to account.
+     * @param update_period_sec counter refresh period (10 Hz on the
+     *        real interface).
+     */
+    explicit PmCounters(const sim::PowerSource &trace,
+                        double update_period_sec = 0.1);
+
+    /**
+     * Accumulated energy in joules at simulated time @p t, quantized
+     * to the last counter update (monotonically non-decreasing).
+     */
+    double energyJoules(double t) const;
+
+    /** Instantaneous power at the last update before @p t, watts. */
+    double powerWatts(double t) const;
+
+    /**
+     * Average power over [start, end) derived from the energy counter
+     * — the cross-check the paper performs against the SMI sampler.
+     */
+    double averageWatts(double start_sec, double end_sec) const;
+
+  private:
+    /** Quantize @p t down to the counter update grid. */
+    double quantize(double t) const;
+
+    const sim::PowerSource &_trace;
+    double _periodSec;
+};
+
+/** Mean of the sampled watts; fatal on an empty sample set. */
+double meanWatts(const std::vector<PowerSample> &samples);
+
+/**
+ * Power efficiency in FLOP/s per watt given delivered throughput and
+ * samples (the paper's performance-per-watt metric).
+ */
+double efficiencyFlopsPerWatt(double flops_per_sec,
+                              const std::vector<PowerSample> &samples);
+
+} // namespace smi
+} // namespace mc
+
+#endif // MC_SMI_SMI_HH

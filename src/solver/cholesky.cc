@@ -1,0 +1,154 @@
+#include "cholesky.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace solver {
+
+namespace {
+
+/** Accumulate one timed device call into the stats. */
+void
+account(SolveStats *stats, const Result<blas::GemmResult> &result)
+{
+    if (!result.isOk())
+        mc_fatal("device update failed: ", result.status().toString());
+    if (stats) {
+        stats->gemmSeconds += result.value().kernel.seconds;
+        stats->gemmEnergyJ += result.value().kernel.avgPowerW *
+                              result.value().kernel.seconds;
+        ++stats->gemmCalls;
+    }
+}
+
+} // namespace
+
+CholeskySolver::CholeskySolver(blas::GemmEngine &engine,
+                               std::size_t block_size)
+    : _engine(engine), _level3(engine), _blockSize(block_size)
+{
+    mc_assert(block_size > 0, "block size must be positive");
+}
+
+Status
+CholeskySolver::factor(Matrix<double> &a, SolveStats *stats)
+{
+    if (a.rows() != a.cols())
+        return Status::invalidArgument(
+            "Cholesky requires a square matrix");
+    const std::size_t n = a.rows();
+
+    for (std::size_t j0 = 0; j0 < n; j0 += _blockSize) {
+        const std::size_t jb = std::min(_blockSize, n - j0);
+
+        // Unblocked Cholesky of the diagonal panel.
+        for (std::size_t j = j0; j < j0 + jb; ++j) {
+            double diag = a(j, j);
+            for (std::size_t kk = j0; kk < j; ++kk)
+                diag -= a(j, kk) * a(j, kk);
+            if (diag <= 0.0)
+                return Status::failedPrecondition(
+                    "matrix is not positive definite");
+            const double ljj = std::sqrt(diag);
+            a(j, j) = ljj;
+            for (std::size_t i = j + 1; i < j0 + jb; ++i) {
+                double acc = a(i, j);
+                for (std::size_t kk = j0; kk < j; ++kk)
+                    acc -= a(i, kk) * a(j, kk);
+                a(i, j) = acc / ljj;
+            }
+        }
+
+        if (j0 + jb >= n)
+            continue;
+        const std::size_t rest = n - j0 - jb;
+
+        // Panel solve: L21 = A21 * inv(L11^T) — a Right-side TRSM.
+        for (std::size_t i = j0 + jb; i < n; ++i) {
+            for (std::size_t j = j0; j < j0 + jb; ++j) {
+                double acc = a(i, j);
+                for (std::size_t kk = j0; kk < j; ++kk)
+                    acc -= a(i, kk) * a(j, kk);
+                a(i, j) = acc / a(j, j);
+            }
+        }
+        blas::TrsmConfig trsm;
+        trsm.combo = blas::GemmCombo::Dgemm;
+        trsm.side = blas::Side::Right;
+        trsm.fill = blas::Fill::Lower;
+        trsm.m = rest;
+        trsm.n = jb;
+        account(stats, _level3.runTrsm(trsm));
+
+        // Trailing update: A22 -= L21 * L21^T — a SYRK.
+        for (std::size_t i = j0 + jb; i < n; ++i) {
+            for (std::size_t j = j0 + jb; j <= i; ++j) {
+                double acc = a(i, j);
+                for (std::size_t kk = j0; kk < j0 + jb; ++kk)
+                    acc -= a(i, kk) * a(j, kk);
+                a(i, j) = acc;
+            }
+        }
+        blas::SyrkConfig syrk;
+        syrk.combo = blas::GemmCombo::Dgemm;
+        syrk.fill = blas::Fill::Lower;
+        syrk.n = rest;
+        syrk.k = jb;
+        syrk.alpha = -1.0;
+        syrk.beta = 1.0;
+        account(stats, _level3.runSyrk(syrk));
+    }
+    return Status::ok();
+}
+
+Status
+CholeskySolver::solve(const Matrix<double> &l,
+                      const std::vector<double> &b,
+                      std::vector<double> &x) const
+{
+    if (l.rows() != l.cols() || l.rows() != b.size())
+        return Status::invalidArgument("solve shape mismatch");
+    const std::size_t n = l.rows();
+    x = b;
+    // Forward: L y = b.
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = x[i];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= l(i, j) * x[j];
+        if (l(i, i) == 0.0)
+            return Status::failedPrecondition("zero pivot in solve");
+        x[i] = acc / l(i, i);
+    }
+    // Backward: L^T x = y.
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = x[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= l(j, i) * x[j];
+        x[i] = acc / l(i, i);
+    }
+    return Status::ok();
+}
+
+Status
+CholeskySolver::solveSystem(const Matrix<double> &a,
+                            const std::vector<double> &b,
+                            std::vector<double> &x, SolveStats *stats)
+{
+    Matrix<double> l = a;
+    if (Status s = factor(l, stats); !s.isOk())
+        return s;
+    if (Status s = solve(l, b, x); !s.isOk())
+        return s;
+    if (stats) {
+        const std::vector<double> r = residual(a, x, b);
+        const double denom = normInf(a) * std::max(normInf(x), 1e-300);
+        stats->relativeResidual = normInf(r) / denom;
+    }
+    return Status::ok();
+}
+
+} // namespace solver
+} // namespace mc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Blocked Cholesky factorization (potrf) and solve (potrs) for
+ * symmetric positive-definite systems — the second rocSOLVER-style
+ * factorization, whose trailing updates exercise TRSM and SYRK on the
+ * Matrix Cores rather than plain GEMM.
+ */
+
+#ifndef MC_SOLVER_CHOLESKY_HH
+#define MC_SOLVER_CHOLESKY_HH
+
+#include "blas/level3.hh"
+#include "solver/lu.hh"
+
+namespace mc {
+namespace solver {
+
+/**
+ * Blocked lower-triangular Cholesky: A = L L^T for SPD A.
+ *
+ * Functional math runs on the host; the panel TRSM and trailing SYRK
+ * updates are mirrored onto the simulated device for time and energy
+ * accounting, as the LU solver mirrors its GEMM updates.
+ */
+class CholeskySolver
+{
+  public:
+    /**
+     * @param engine GEMM engine whose runtime times the updates.
+     * @param block_size panel width of the blocked factorization.
+     */
+    explicit CholeskySolver(blas::GemmEngine &engine,
+                            std::size_t block_size = 128);
+
+    /**
+     * Factor @p a in place: on success the lower triangle holds L (the
+     * strict upper triangle is left untouched).
+     *
+     * @return InvalidArgument for non-square input; FailedPrecondition
+     *         when a non-positive pivot shows A is not positive
+     *         definite.
+     */
+    Status factor(Matrix<double> &a, SolveStats *stats = nullptr);
+
+    /** Solve A x = b from a factorization produced by factor(). */
+    Status solve(const Matrix<double> &l, const std::vector<double> &b,
+                 std::vector<double> &x) const;
+
+    /** Factor-and-solve convenience. */
+    Status solveSystem(const Matrix<double> &a,
+                       const std::vector<double> &b,
+                       std::vector<double> &x,
+                       SolveStats *stats = nullptr);
+
+    std::size_t blockSize() const { return _blockSize; }
+
+  private:
+    blas::GemmEngine &_engine;
+    blas::Level3Engine _level3;
+    std::size_t _blockSize;
+};
+
+} // namespace solver
+} // namespace mc
+
+#endif // MC_SOLVER_CHOLESKY_HH

@@ -1,0 +1,313 @@
+#include "lu.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace solver {
+
+namespace {
+
+/**
+ * Blocked right-looking LU with partial pivoting over any scalar type.
+ * @p gemm_hook is invoked for each trailing-matrix update with its
+ * (m, n, k) extents so the caller can mirror it onto the device.
+ */
+template <typename T, typename GemmHook>
+Status
+factorBlocked(Matrix<T> &a, std::vector<int> &pivots,
+              std::size_t block_size, GemmHook &&gemm_hook)
+{
+    if (a.rows() != a.cols())
+        return Status::invalidArgument("LU requires a square matrix");
+    const std::size_t n = a.rows();
+    pivots.assign(n, 0);
+
+    for (std::size_t j0 = 0; j0 < n; j0 += block_size) {
+        const std::size_t jb = std::min(block_size, n - j0);
+
+        // Unblocked factorization of the panel columns.
+        for (std::size_t j = j0; j < j0 + jb; ++j) {
+            std::size_t piv = j;
+            T best = std::abs(a(j, j));
+            for (std::size_t i = j + 1; i < n; ++i) {
+                const T cand = std::abs(a(i, j));
+                if (cand > best) {
+                    best = cand;
+                    piv = i;
+                }
+            }
+            pivots[j] = static_cast<int>(piv);
+            if (piv != j) {
+                for (std::size_t c = 0; c < n; ++c)
+                    std::swap(a(j, c), a(piv, c));
+            }
+            if (a(j, j) == T(0))
+                return Status::failedPrecondition(
+                    "matrix is singular to working precision");
+
+            const T inv_pivot = T(1) / a(j, j);
+            for (std::size_t i = j + 1; i < n; ++i) {
+                a(i, j) *= inv_pivot;
+                const T lij = a(i, j);
+                for (std::size_t c = j + 1; c < j0 + jb; ++c)
+                    a(i, c) -= lij * a(j, c);
+            }
+        }
+
+        if (j0 + jb >= n)
+            continue;
+
+        // U12 = L11^{-1} A12 (unit lower triangular solve).
+        for (std::size_t k = j0; k < j0 + jb; ++k) {
+            for (std::size_t i = k + 1; i < j0 + jb; ++i) {
+                const T lik = a(i, k);
+                for (std::size_t c = j0 + jb; c < n; ++c)
+                    a(i, c) -= lik * a(k, c);
+            }
+        }
+
+        // Trailing update A22 -= L21 * U12: the GEMM that dominates the
+        // factorization and lands on Matrix Cores.
+        const std::size_t n2 = n - j0 - jb;
+        for (std::size_t i = j0 + jb; i < n; ++i) {
+            for (std::size_t c = j0 + jb; c < n; ++c) {
+                T acc = a(i, c);
+                for (std::size_t k = j0; k < j0 + jb; ++k)
+                    acc -= a(i, k) * a(k, c);
+                a(i, c) = acc;
+            }
+        }
+        gemm_hook(n2, n2, jb);
+    }
+    return Status::ok();
+}
+
+/** Apply the factorization's row swaps to a right-hand side. */
+template <typename T>
+void
+applyPivots(const std::vector<int> &pivots, std::vector<T> &b)
+{
+    for (std::size_t i = 0; i < pivots.size(); ++i) {
+        const auto piv = static_cast<std::size_t>(pivots[i]);
+        if (piv != i)
+            std::swap(b[i], b[piv]);
+    }
+}
+
+/** Solve L y = b (unit lower) then U x = y in place. */
+template <typename T>
+Status
+luTriangularSolve(const Matrix<T> &lu, std::vector<T> &b)
+{
+    const std::size_t n = lu.rows();
+    for (std::size_t i = 1; i < n; ++i) {
+        T acc = b[i];
+        for (std::size_t j = 0; j < i; ++j)
+            acc -= lu(i, j) * b[j];
+        b[i] = acc;
+    }
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        T acc = b[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= lu(i, j) * b[j];
+        if (lu(i, i) == T(0))
+            return Status::failedPrecondition("zero pivot in solve");
+        b[i] = acc / lu(i, i);
+    }
+    return Status::ok();
+}
+
+/** Issue a timed GEMM mirroring a trailing update, accumulating stats. */
+void
+timeTrailingUpdate(blas::GemmEngine &engine, blas::GemmCombo combo,
+                   std::size_t m, std::size_t n, std::size_t k,
+                   SolveStats *stats)
+{
+    blas::GemmConfig cfg;
+    cfg.combo = combo;
+    cfg.m = m;
+    cfg.n = n;
+    cfg.k = k;
+    cfg.alpha = -1.0;
+    cfg.beta = 1.0;
+    auto result = engine.run(cfg);
+    if (!result.isOk())
+        mc_fatal("trailing-update GEMM failed: ",
+                 result.status().toString());
+    if (stats) {
+        stats->gemmSeconds += result.value().kernel.seconds;
+        stats->gemmEnergyJ += result.value().kernel.avgPowerW *
+                              result.value().kernel.seconds;
+        ++stats->gemmCalls;
+    }
+}
+
+} // namespace
+
+double
+normInf(const Matrix<double> &a)
+{
+    double best = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            row += std::fabs(a(i, j));
+        best = std::max(best, row);
+    }
+    return best;
+}
+
+double
+normInf(const std::vector<double> &v)
+{
+    double best = 0.0;
+    for (double x : v)
+        best = std::max(best, std::fabs(x));
+    return best;
+}
+
+std::vector<double>
+residual(const Matrix<double> &a, const std::vector<double> &x,
+         const std::vector<double> &b)
+{
+    mc_assert(a.cols() == x.size() && a.rows() == b.size(),
+              "residual shape mismatch");
+    std::vector<double> r(b);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            acc += a(i, j) * x[j];
+        r[i] -= acc;
+    }
+    return r;
+}
+
+LuSolver::LuSolver(blas::GemmEngine &engine, std::size_t block_size)
+    : _engine(engine), _blockSize(block_size)
+{
+    mc_assert(block_size > 0, "block size must be positive");
+}
+
+Status
+LuSolver::factor(Matrix<double> &a, std::vector<int> &pivots,
+                 SolveStats *stats)
+{
+    return factorBlocked(a, pivots, _blockSize,
+        [&](std::size_t m, std::size_t n, std::size_t k) {
+            timeTrailingUpdate(_engine, blas::GemmCombo::Dgemm, m, n, k,
+                               stats);
+        });
+}
+
+Status
+LuSolver::solve(const Matrix<double> &lu, const std::vector<int> &pivots,
+                const std::vector<double> &b, std::vector<double> &x) const
+{
+    if (lu.rows() != lu.cols() || lu.rows() != b.size())
+        return Status::invalidArgument("solve shape mismatch");
+    x = b;
+    applyPivots(pivots, x);
+    return luTriangularSolve(lu, x);
+}
+
+Status
+LuSolver::solveSystem(const Matrix<double> &a, const std::vector<double> &b,
+                      std::vector<double> &x, SolveStats *stats)
+{
+    Matrix<double> lu = a;
+    std::vector<int> pivots;
+    if (Status s = factor(lu, pivots, stats); !s.isOk())
+        return s;
+    if (Status s = solve(lu, pivots, b, x); !s.isOk())
+        return s;
+    if (stats) {
+        const std::vector<double> r = residual(a, x, b);
+        const double denom = normInf(a) * std::max(normInf(x), 1e-300);
+        stats->relativeResidual = normInf(r) / denom;
+    }
+    return Status::ok();
+}
+
+IterativeRefinementSolver::IterativeRefinementSolver(
+    blas::GemmEngine &engine, std::size_t block_size, int max_iters,
+    double tolerance)
+    : _engine(engine), _blockSize(block_size), _maxIters(max_iters),
+      _tolerance(tolerance)
+{
+    mc_assert(max_iters > 0, "refinement needs a positive iteration cap");
+    mc_assert(tolerance > 0.0, "tolerance must be positive");
+}
+
+Status
+IterativeRefinementSolver::solve(const Matrix<double> &a,
+                                 const std::vector<double> &b,
+                                 std::vector<double> &x, SolveStats *stats)
+{
+    if (a.rows() != a.cols() || a.rows() != b.size())
+        return Status::invalidArgument("refinement solve shape mismatch");
+    const std::size_t n = a.rows();
+
+    // Reduced-precision working copy: FP16 storage rounding on the way
+    // in, FP32 factorization arithmetic — the Matrix Core accumulation
+    // precision for f16 operands.
+    Matrix<float> a_low(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            a_low(i, j) = fp::Half(a(i, j)).toFloat();
+
+    std::vector<int> pivots;
+    Status s = factorBlocked(a_low, pivots, _blockSize,
+        [&](std::size_t m2, std::size_t n2, std::size_t k2) {
+            timeTrailingUpdate(_engine, blas::GemmCombo::Hhs, m2, n2, k2,
+                               stats);
+        });
+    if (!s.isOk())
+        return s;
+
+    const double a_norm = normInf(a);
+
+    // Initial solve in reduced precision.
+    std::vector<float> work(n);
+    for (std::size_t i = 0; i < n; ++i)
+        work[i] = static_cast<float>(b[i]);
+    applyPivots(pivots, work);
+    if (Status ts = luTriangularSolve(a_low, work); !ts.isOk())
+        return ts;
+    x.assign(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = work[i];
+
+    // Refinement loop: FP64 residual, reduced-precision correction.
+    for (int iter = 0; iter < _maxIters; ++iter) {
+        const std::vector<double> r = residual(a, x, b);
+        const double rel =
+            normInf(r) / (a_norm * std::max(normInf(x), 1e-300));
+        if (stats) {
+            stats->refinementIters = iter;
+            stats->relativeResidual = rel;
+        }
+        if (rel <= _tolerance)
+            return Status::ok();
+
+        // The FP64 residual is a matrix-vector product; mirror it as a
+        // thin DGEMM so its device cost is accounted.
+        timeTrailingUpdate(_engine, blas::GemmCombo::Dgemm, n, 1, n, stats);
+
+        for (std::size_t i = 0; i < n; ++i)
+            work[i] = static_cast<float>(r[i]);
+        applyPivots(pivots, work);
+        if (Status ts = luTriangularSolve(a_low, work); !ts.isOk())
+            return ts;
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] += work[i];
+    }
+    return Status::failedPrecondition(
+        "iterative refinement did not converge (matrix too "
+        "ill-conditioned for FP16 factorization)");
+}
+
+} // namespace solver
+} // namespace mc

@@ -1,0 +1,94 @@
+#include "recorder.hh"
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace wmma {
+
+KernelRecorder &
+KernelRecorder::active()
+{
+    thread_local KernelRecorder recorder;
+    return recorder;
+}
+
+void
+KernelRecorder::reset(std::string label)
+{
+    _label = std::move(label);
+    _mfma.clear();
+    _loadBytes = 0;
+    _storeBytes = 0;
+}
+
+void
+KernelRecorder::noteMfma(const arch::MfmaInstruction *inst)
+{
+    mc_assert(inst != nullptr, "recorded MFMA requires an instruction");
+    ++_mfma[inst];
+}
+
+void
+KernelRecorder::noteFragmentLoad(std::uint64_t bytes)
+{
+    _loadBytes += bytes;
+}
+
+void
+KernelRecorder::noteFragmentStore(std::uint64_t bytes)
+{
+    _storeBytes += bytes;
+}
+
+std::uint64_t
+KernelRecorder::mfmaCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[inst, count] : _mfma)
+        total += count;
+    return total;
+}
+
+std::uint64_t
+KernelRecorder::mfmaCount(const std::string &mnemonic) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[inst, count] : _mfma) {
+        if (inst->mnemonic == mnemonic)
+            total += count;
+    }
+    return total;
+}
+
+sim::KernelProfile
+KernelRecorder::buildProfile(std::uint64_t wavefronts,
+                             std::uint64_t iterations) const
+{
+    mc_assert(wavefronts > 0, "profile requires at least one wavefront");
+    sim::KernelProfile profile;
+    profile.label = _label;
+    profile.numWavefronts = wavefronts;
+    profile.numWorkgroups = (wavefronts + 3) / 4;
+    for (const auto &[inst, count] : _mfma)
+        profile.addMfma(inst, count * iterations);
+    profile.hbmReadBytes = static_cast<double>(_loadBytes) *
+                           static_cast<double>(wavefronts);
+    profile.hbmWriteBytes = static_cast<double>(_storeBytes) *
+                            static_cast<double>(wavefronts);
+    return profile;
+}
+
+sim::KernelProfile
+mfmaLoopProfile(const arch::MfmaInstruction &inst, std::uint64_t iterations,
+                std::uint64_t wavefronts, const std::string &label)
+{
+    sim::KernelProfile profile;
+    profile.label = label;
+    profile.numWavefronts = wavefronts;
+    profile.numWorkgroups = (wavefronts + 3) / 4;
+    profile.addMfma(&inst, iterations);
+    return profile;
+}
+
+} // namespace wmma
+} // namespace mc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Recording of WMMA operations into a kernel profile.
+ *
+ * The paper's micro-benchmarks verify — by inspecting the generated
+ * assembly — that each rocWMMA mma_sync lowers to exactly one MFMA
+ * instruction, then time loops of them. The KernelRecorder is this
+ * model's equivalent of that assembly listing: every mma_sync and
+ * fragment load/store appends to the active recorder, and the recorded
+ * single-iteration body can be replayed N_iter times by N_WF wavefronts
+ * as a simulator kernel.
+ */
+
+#ifndef MC_WMMA_RECORDER_HH
+#define MC_WMMA_RECORDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "arch/mfma_isa.hh"
+#include "sim/kernel.hh"
+
+namespace mc {
+namespace wmma {
+
+/**
+ * Collects the instruction trace of one wavefront's WMMA code.
+ */
+class KernelRecorder
+{
+  public:
+    /** The thread-local active recorder used by the WMMA entry points. */
+    static KernelRecorder &active();
+
+    /** Clear the trace and start a new kernel body. */
+    void reset(std::string label = "wmma_kernel");
+
+    /** Record one MFMA instruction issue. */
+    void noteMfma(const arch::MfmaInstruction *inst);
+
+    /** Record a fragment load of @p bytes from memory. */
+    void noteFragmentLoad(std::uint64_t bytes);
+
+    /** Record a fragment store of @p bytes to memory. */
+    void noteFragmentStore(std::uint64_t bytes);
+
+    /** MFMA instructions recorded since reset (the "assembly check"). */
+    std::uint64_t mfmaCount() const;
+
+    /** MFMA instructions recorded for one specific mnemonic. */
+    std::uint64_t mfmaCount(const std::string &mnemonic) const;
+
+    /** Bytes of fragment traffic recorded since reset. */
+    std::uint64_t loadBytes() const { return _loadBytes; }
+    std::uint64_t storeBytes() const { return _storeBytes; }
+
+    /**
+     * Build a kernel profile that executes the recorded body
+     * @p iterations times in each of @p wavefronts wavefronts.
+     */
+    sim::KernelProfile buildProfile(std::uint64_t wavefronts = 1,
+                                    std::uint64_t iterations = 1) const;
+
+  private:
+    std::string _label = "wmma_kernel";
+    std::map<const arch::MfmaInstruction *, std::uint64_t> _mfma;
+    std::uint64_t _loadBytes = 0;
+    std::uint64_t _storeBytes = 0;
+};
+
+/**
+ * Convenience for the micro-benchmarks: a profile whose wavefronts each
+ * iterate @p iterations issues of @p inst (the paper's timed loop).
+ */
+sim::KernelProfile mfmaLoopProfile(const arch::MfmaInstruction &inst,
+                                   std::uint64_t iterations,
+                                   std::uint64_t wavefronts,
+                                   const std::string &label = "mfma_loop");
+
+} // namespace wmma
+} // namespace mc
+
+#endif // MC_WMMA_RECORDER_HH

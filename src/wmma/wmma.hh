@@ -1,0 +1,331 @@
+/**
+ * @file
+ * A rocWMMA-style wave matrix multiply-accumulate API.
+ *
+ * rocWMMA abstracts the Matrix Core register layouts behind C++
+ * "fragment" objects: load_matrix_sync / store_matrix_sync move matrix
+ * tiles between memory and registers without the user knowing the
+ * in-register layout, and mma_sync performs the fused multiply-add on
+ * Matrix Cores. This module reproduces that API against the simulator:
+ * a Fragment holds the full wavefront's view of one operand (the
+ * simulator is host-side, so the 64 per-thread slices live together),
+ * and mma_sync executes functionally through the register layouts while
+ * recording the instruction into the active KernelRecorder for timing.
+ *
+ * Shape/type validity is checked against the instruction table of the
+ * target architecture, mirroring the cross-platform constraint the paper
+ * highlights: the same WMMA source runs on CDNA2 and Ampere only when
+ * the fragment configuration exists on both.
+ */
+
+#ifndef MC_WMMA_WMMA_HH
+#define MC_WMMA_WMMA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <type_traits>
+
+#include "arch/layout.hh"
+#include "arch/mfma_exec.hh"
+#include "arch/mfma_isa.hh"
+#include "common/logging.hh"
+#include "fp/traits.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace wmma {
+
+/** Which operand of D <- A*B + C a fragment holds. */
+enum class FragmentUse
+{
+    MatrixA,
+    MatrixB,
+    Accumulator,
+};
+
+/** Memory layout of the source/destination matrix tile. */
+enum class MemLayout
+{
+    RowMajor,
+    ColMajor,
+};
+
+namespace detail {
+
+/** Map a C++ storage type to its arch::DataType tag. */
+template <typename T>
+constexpr arch::DataType
+dataTypeOf()
+{
+    if constexpr (std::is_same_v<T, double>)
+        return arch::DataType::F64;
+    else if constexpr (std::is_same_v<T, float>)
+        return arch::DataType::F32;
+    else if constexpr (std::is_same_v<T, fp::Half>)
+        return arch::DataType::F16;
+    else if constexpr (std::is_same_v<T, fp::BFloat16>)
+        return arch::DataType::BF16;
+    else if constexpr (std::is_same_v<T, std::int8_t>)
+        return arch::DataType::I8;
+    else if constexpr (std::is_same_v<T, std::int32_t>)
+        return arch::DataType::I32;
+    else
+        static_assert(!sizeof(T), "unsupported WMMA element type");
+}
+
+/** Operand role of a fragment use (Accumulator loads use C's layout). */
+constexpr arch::Operand
+operandOf(FragmentUse use)
+{
+    switch (use) {
+      case FragmentUse::MatrixA: return arch::Operand::A;
+      case FragmentUse::MatrixB: return arch::Operand::B;
+      case FragmentUse::Accumulator: return arch::Operand::C;
+    }
+    return arch::Operand::C;
+}
+
+} // namespace detail
+
+/**
+ * Check whether an M x N x K (x Blocks) fragment configuration with
+ * the given A/B and C/D element types maps to a Matrix (or Tensor)
+ * Core instruction on @p target.
+ */
+template <typename TCD, typename TAB>
+bool
+shapeSupported(int m, int n, int k,
+               arch::GpuArch target = arch::GpuArch::Cdna2,
+               int blocks = 1)
+{
+    return arch::findInstruction(target, detail::dataTypeOf<TCD>(),
+                                 detail::dataTypeOf<TAB>(),
+                                 arch::MfmaShape{m, n, k, blocks}) !=
+           nullptr;
+}
+
+/**
+ * A wavefront-collective operand fragment.
+ *
+ * @tparam Use operand role.
+ * @tparam M,N,K MFMA shape the fragment belongs to.
+ * @tparam T element storage type.
+ * @tparam Blocks independent matrices the instruction processes in
+ *         parallel (Section II's "up to four parallel MFMA
+ *         operations"; 1 for the dense shapes).
+ * @tparam Target architecture whose instruction provides the layout.
+ */
+template <FragmentUse Use, int M, int N, int K, typename T,
+          int Blocks = 1, arch::GpuArch Target = arch::GpuArch::Cdna2>
+class Fragment
+{
+  public:
+    /**
+     * Build the fragment, resolving the backing instruction. The C/D
+     * type must be supplied for A/B fragments via lookup from the
+     * matching mma_sync call; to keep the API close to rocWMMA, the
+     * fragment resolves its layout against *any* table instruction of
+     * this shape whose A/B (or C/D) type matches — layouts within the
+     * family are identical by construction.
+     */
+    Fragment()
+    {
+        const arch::MfmaShape shape{M, N, K, Blocks};
+        const arch::DataType dt = detail::dataTypeOf<T>();
+        for (const auto &inst : arch::instructionsFor(Target)) {
+            if (inst.shape != shape)
+                continue;
+            const bool matches =
+                (Use == FragmentUse::Accumulator) ? inst.typeCD == dt
+                                                  : inst.typeAB == dt;
+            if (matches) {
+                _inst = &inst;
+                break;
+            }
+        }
+        if (_inst == nullptr) {
+            mc_fatal("no ", arch::gpuArchName(Target), " instruction backs a ",
+                     M, "x", N, "x", K, Blocks > 1 ? "xB" : "", " ",
+                     fp::NumericTraits<T>::name, " ",
+                     Use == FragmentUse::Accumulator ? "accumulator"
+                                                     : "multiplicand",
+                     " fragment");
+        }
+        _layout = arch::OperandLayout(*_inst, detail::operandOf(Use));
+        _regs = arch::FragmentRegs<T>(_layout->waveSize(),
+                                      _layout->elementsPerLane());
+    }
+
+    /** The instruction whose layout this fragment uses. */
+    const arch::MfmaInstruction &instruction() const { return *_inst; }
+
+    /** Per-lane register storage. */
+    arch::FragmentRegs<T> &regs() { return _regs; }
+    const arch::FragmentRegs<T> &regs() const { return _regs; }
+
+    /** Total elements across the wavefront. */
+    std::size_t
+    numElements() const
+    {
+        return static_cast<std::size_t>(_layout->waveSize()) *
+               _layout->elementsPerLane();
+    }
+
+    /** The operand layout (rows/cols and register mapping). */
+    const arch::OperandLayout &layout() const { return *_layout; }
+
+  private:
+    const arch::MfmaInstruction *_inst = nullptr;
+    std::optional<arch::OperandLayout> _layout;
+    arch::FragmentRegs<T> _regs;
+};
+
+/** Set every element of a fragment to @p value. */
+template <FragmentUse Use, int M, int N, int K, typename T, int Blocks,
+          arch::GpuArch Target>
+void
+fill_fragment(Fragment<Use, M, N, K, T, Blocks, Target> &frag, T value)
+{
+    for (auto &e : frag.regs().laneData)
+        e = value;
+}
+
+/**
+ * Load one block's tile from memory into a fragment.
+ *
+ * @param ptr base of the tile.
+ * @param ld leading dimension of the source matrix in elements.
+ * @param block which independent block to fill (multi-block shapes).
+ * @param layout memory order of the source matrix.
+ */
+template <FragmentUse Use, int M, int N, int K, typename T, int Blocks,
+          arch::GpuArch Target>
+void
+load_matrix_block_sync(Fragment<Use, M, N, K, T, Blocks, Target> &frag,
+                       const T *ptr, std::size_t ld, int block,
+                       MemLayout layout = MemLayout::RowMajor)
+{
+    const auto &ol = frag.layout();
+    mc_assert(block >= 0 && block < ol.blocks(),
+              "block ", block, " out of range for fragment");
+    mc_assert(ld >= static_cast<std::size_t>(
+                  layout == MemLayout::RowMajor ? ol.cols() : ol.rows()),
+              "leading dimension too small for fragment tile");
+    for (int r = 0; r < ol.rows(); ++r) {
+        for (int c = 0; c < ol.cols(); ++c) {
+            const std::size_t idx =
+                layout == MemLayout::RowMajor
+                    ? static_cast<std::size_t>(r) * ld + c
+                    : static_cast<std::size_t>(c) * ld + r;
+            const arch::RegLocation loc =
+                ol.locationOf(arch::ElementCoord{block, r, c});
+            frag.regs().at(loc.lane, loc.slot) = ptr[idx];
+        }
+    }
+    KernelRecorder::active().noteFragmentLoad(
+        static_cast<std::uint64_t>(ol.rows()) * ol.cols() * sizeof(T));
+}
+
+/**
+ * Load a fragment from memory. For multi-block fragments the blocks'
+ * tiles are read from consecutive tile-sized slabs of @p ptr.
+ */
+template <FragmentUse Use, int M, int N, int K, typename T, int Blocks,
+          arch::GpuArch Target>
+void
+load_matrix_sync(Fragment<Use, M, N, K, T, Blocks, Target> &frag,
+                 const T *ptr, std::size_t ld,
+                 MemLayout layout = MemLayout::RowMajor)
+{
+    const auto &ol = frag.layout();
+    const std::size_t tile_elems =
+        static_cast<std::size_t>(ol.rows()) * ol.cols();
+    for (int blk = 0; blk < ol.blocks(); ++blk)
+        load_matrix_block_sync(frag, ptr + blk * tile_elems, ld, blk,
+                               layout);
+}
+
+/** Store one block's tile of a fragment back to memory. */
+template <FragmentUse Use, int M, int N, int K, typename T, int Blocks,
+          arch::GpuArch Target>
+void
+store_matrix_block_sync(T *ptr,
+                        const Fragment<Use, M, N, K, T, Blocks, Target> &frag,
+                        std::size_t ld, int block,
+                        MemLayout layout = MemLayout::RowMajor)
+{
+    const auto &ol = frag.layout();
+    mc_assert(block >= 0 && block < ol.blocks(),
+              "block ", block, " out of range for fragment");
+    mc_assert(ld >= static_cast<std::size_t>(
+                  layout == MemLayout::RowMajor ? ol.cols() : ol.rows()),
+              "leading dimension too small for fragment tile");
+    for (int r = 0; r < ol.rows(); ++r) {
+        for (int c = 0; c < ol.cols(); ++c) {
+            const std::size_t idx =
+                layout == MemLayout::RowMajor
+                    ? static_cast<std::size_t>(r) * ld + c
+                    : static_cast<std::size_t>(c) * ld + r;
+            const arch::RegLocation loc =
+                ol.locationOf(arch::ElementCoord{block, r, c});
+            ptr[idx] = frag.regs().at(loc.lane, loc.slot);
+        }
+    }
+    KernelRecorder::active().noteFragmentStore(
+        static_cast<std::uint64_t>(ol.rows()) * ol.cols() * sizeof(T));
+}
+
+/** Store a fragment; multi-block tiles go to consecutive slabs. */
+template <FragmentUse Use, int M, int N, int K, typename T, int Blocks,
+          arch::GpuArch Target>
+void
+store_matrix_sync(T *ptr,
+                  const Fragment<Use, M, N, K, T, Blocks, Target> &frag,
+                  std::size_t ld, MemLayout layout = MemLayout::RowMajor)
+{
+    const auto &ol = frag.layout();
+    const std::size_t tile_elems =
+        static_cast<std::size_t>(ol.rows()) * ol.cols();
+    for (int blk = 0; blk < ol.blocks(); ++blk)
+        store_matrix_block_sync(ptr + blk * tile_elems, frag, ld, blk,
+                                layout);
+}
+
+/**
+ * D <- A*B + C on the matrix unit (all blocks in parallel).
+ *
+ * Executes functionally through the register layouts and records one
+ * MFMA instruction into the active KernelRecorder.
+ */
+template <int M, int N, int K, typename TCD, typename TAB, int Blocks,
+          arch::GpuArch Target>
+void
+mma_sync(Fragment<FragmentUse::Accumulator, M, N, K, TCD, Blocks,
+                  Target> &d,
+         const Fragment<FragmentUse::MatrixA, M, N, K, TAB, Blocks,
+                        Target> &a,
+         const Fragment<FragmentUse::MatrixB, M, N, K, TAB, Blocks,
+                        Target> &b,
+         const Fragment<FragmentUse::Accumulator, M, N, K, TCD, Blocks,
+                        Target> &c)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        Target, detail::dataTypeOf<TCD>(), detail::dataTypeOf<TAB>(),
+        arch::MfmaShape{M, N, K, Blocks});
+    if (inst == nullptr) {
+        mc_fatal("mma_sync: ", arch::gpuArchName(Target),
+                 " has no ", M, "x", N, "x", K, " ",
+                 fp::NumericTraits<TCD>::name, " <- ",
+                 fp::NumericTraits<TAB>::name, " instruction");
+    }
+
+    d.regs() = arch::executeMfmaInRegisters<TCD, TAB>(*inst, a.regs(),
+                                                      b.regs(), c.regs());
+    KernelRecorder::active().noteMfma(inst);
+}
+
+} // namespace wmma
+} // namespace mc
+
+#endif // MC_WMMA_WMMA_HH

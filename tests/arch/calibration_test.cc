@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests pinning the calibration constants to the paper's published
+ * values, so an accidental edit is caught as a regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/calibration.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+TEST(Cdna2Calibration, TopologyMatchesMi250x)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    EXPECT_EQ(cal.gcdsPerPackage, 2);
+    EXPECT_EQ(cal.cusPerGcd, 110);
+    EXPECT_EQ(cal.matrixCoresPerCu, 4);
+    EXPECT_EQ(cal.simdsPerCu, 4);
+    EXPECT_EQ(cal.wavefrontSize, 64);
+    EXPECT_EQ(cal.matrixCoresPerGcd(), 440); // Eq. 2's threshold
+    EXPECT_DOUBLE_EQ(cal.clockHz, 1.7e9);    // the paper's f
+}
+
+TEST(Cdna2Calibration, MemorySystem)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    EXPECT_EQ(cal.hbmBytesPerGcd, 64ull << 30); // 64 GiB per GCD
+    EXPECT_DOUBLE_EQ(cal.hbmBwPerGcd, 1.6e12);  // 3.2 TB/s per package
+    EXPECT_EQ(cal.l2BytesPerGcd, 8ull << 20);
+}
+
+TEST(Cdna2Calibration, PowerConstants)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    EXPECT_DOUBLE_EQ(cal.powerCapW, 560.0);  // datasheet cap
+    EXPECT_DOUBLE_EQ(cal.idlePowerW, 88.0);  // Section VI measurement
+    EXPECT_DOUBLE_EQ(cal.dvfsTargetW, 541.0); // FP64-peak observation
+}
+
+TEST(Cdna2Calibration, Eq3Coefficients)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    // Slopes in W per TFLOPS == energy per flop in J * 1e12.
+    EXPECT_DOUBLE_EQ(cal.f64.energyPerFlopJ * 1e12, 5.88);
+    EXPECT_DOUBLE_EQ(cal.f32.energyPerFlopJ * 1e12, 2.18);
+    EXPECT_DOUBLE_EQ(cal.f16.energyPerFlopJ * 1e12, 0.61);
+    EXPECT_DOUBLE_EQ(cal.f64.basePowerW, 130.0);
+    EXPECT_DOUBLE_EQ(cal.f32.basePowerW, 125.5);
+    EXPECT_DOUBLE_EQ(cal.f16.basePowerW, 123.0);
+}
+
+TEST(Cdna2Calibration, PerfLookupCoversAllTypes)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    EXPECT_EQ(&cal.perfFor(DataType::F64), &cal.f64);
+    EXPECT_EQ(&cal.perfFor(DataType::F32), &cal.f32);
+    EXPECT_EQ(&cal.perfFor(DataType::F16), &cal.f16);
+    EXPECT_EQ(&cal.perfFor(DataType::BF16), &cal.bf16);
+    EXPECT_EQ(&cal.perfFor(DataType::I8), &cal.i8);
+}
+
+TEST(Cdna2Calibration, TheoreticalPeaksFollowFromConstants)
+{
+    const Cdna2Calibration &cal = defaultCdna2();
+    // 1024 FP16 FLOPS/CU/cycle x 110 CUs x 1.7 GHz x 2 GCDs = 383 TFLOPS
+    // (the advertised mixed-precision peak).
+    const double mixed_peak =
+        1024.0 * cal.cusPerGcd * cal.clockHz * cal.gcdsPerPackage;
+    EXPECT_NEAR(mixed_peak / 1e12, 383.0, 0.5);
+    // 256 FP64 FLOPS/CU/cycle -> 95.7 TFLOPS per package.
+    const double double_peak =
+        256.0 * cal.cusPerGcd * cal.clockHz * cal.gcdsPerPackage;
+    EXPECT_NEAR(double_peak / 1e12, 95.7, 0.1);
+}
+
+TEST(AmpereCalibration, TopologyMatchesA100)
+{
+    const AmpereCalibration &cal = defaultAmpere();
+    EXPECT_EQ(cal.smCount, 108);
+    EXPECT_EQ(cal.tensorCoresPerSm, 4);
+    EXPECT_EQ(cal.warpSize, 32);
+    EXPECT_DOUBLE_EQ(cal.clockHz, 1.41e9);
+    EXPECT_EQ(cal.hbmBytes, 40ull << 30);
+}
+
+TEST(AmpereCalibration, TheoreticalPeaksFollowFromConstants)
+{
+    const AmpereCalibration &cal = defaultAmpere();
+    const double mixed_peak = 2048.0 * cal.smCount * cal.clockHz;
+    EXPECT_NEAR(mixed_peak / 1e12, 312.0, 0.5);
+    const double double_peak = 128.0 * cal.smCount * cal.clockHz;
+    EXPECT_NEAR(double_peak / 1e12, 19.5, 0.1);
+}
+
+TEST(AmpereCalibration, OverheadLookup)
+{
+    const AmpereCalibration &cal = defaultAmpere();
+    EXPECT_DOUBLE_EQ(cal.issueOverheadFor(DataType::F64),
+                     cal.issueOverheadF64);
+    EXPECT_DOUBLE_EQ(cal.issueOverheadFor(DataType::F16),
+                     cal.issueOverheadF16);
+    EXPECT_DOUBLE_EQ(cal.issueOverheadFor(DataType::BF16),
+                     cal.issueOverheadF16);
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

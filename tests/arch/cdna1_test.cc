@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests of the first-generation (MI100 / CDNA1) model: instruction
+ * table gaps and rates, calibration, and the generational GEMM
+ * behaviour (FP64 falls back to SIMDs).
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "hip/runtime.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+TEST(Cdna1Isa, NoFp64MatrixInstructions)
+{
+    EXPECT_FALSE(typesSupported(GpuArch::Cdna1, DataType::F64,
+                                DataType::F64));
+    for (const auto &inst : cdna1Instructions()) {
+        EXPECT_NE(inst.typeAB, DataType::F64) << inst.mnemonic;
+        EXPECT_NE(inst.typeCD, DataType::F64) << inst.mnemonic;
+    }
+}
+
+TEST(Cdna1Isa, SharedRatesWithCdna2)
+{
+    // FP32 and FP16 per-CU rates carried over unchanged.
+    const MfmaInstruction *f32 =
+        findInstruction(GpuArch::Cdna1, "v_mfma_f32_16x16x4f32");
+    ASSERT_NE(f32, nullptr);
+    EXPECT_DOUBLE_EQ(f32->flopsPerCuPerCycle(), 256.0);
+
+    const MfmaInstruction *f16 =
+        findInstruction(GpuArch::Cdna1, "v_mfma_f32_16x16x16f16");
+    ASSERT_NE(f16, nullptr);
+    EXPECT_DOUBLE_EQ(f16->flopsPerCuPerCycle(), 1024.0);
+}
+
+TEST(Cdna1Isa, Bf16IsHalfRate)
+{
+    const MfmaInstruction *bf16 =
+        findInstruction(GpuArch::Cdna1, "v_mfma_f32_16x16x8bf16");
+    ASSERT_NE(bf16, nullptr);
+    EXPECT_DOUBLE_EQ(bf16->flopsPerCuPerCycle(), 512.0);
+    // And the full-rate _1k shapes do not exist on CDNA1.
+    EXPECT_EQ(findInstruction(GpuArch::Cdna1, DataType::F32,
+                              DataType::BF16, MfmaShape{16, 16, 16, 1}),
+              nullptr);
+}
+
+TEST(Cdna1Isa, Wave64)
+{
+    for (const auto &inst : cdna1Instructions())
+        EXPECT_EQ(inst.waveSize, 64) << inst.mnemonic;
+}
+
+TEST(Mi100Calibration, MatchesDatasheet)
+{
+    const Cdna2Calibration &cal = mi100Calibration();
+    EXPECT_EQ(cal.arch, GpuArch::Cdna1);
+    EXPECT_EQ(cal.gcdsPerPackage, 1);
+    EXPECT_EQ(cal.cusPerGcd, 120);
+    EXPECT_DOUBLE_EQ(cal.clockHz, 1.502e9);
+    EXPECT_EQ(cal.hbmBytesPerGcd, 32ull << 30);
+    EXPECT_DOUBLE_EQ(cal.powerCapW, 300.0);
+    // Theoretical FP16 peak: 1024 * 120 * 1.502 GHz = 184.6 TFLOPS.
+    EXPECT_NEAR(1024.0 * cal.cusPerGcd * cal.clockHz / 1e12, 184.6,
+                0.2);
+}
+
+TEST(Mi100Device, PeakPlateaus)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(mi100Calibration(), opts);
+    EXPECT_EQ(rt.deviceCount(), 1);
+    EXPECT_NE(rt.properties(0).name.find("MI100"), std::string::npos);
+
+    const MfmaInstruction *f16 =
+        findInstruction(GpuArch::Cdna1, "v_mfma_f32_16x16x16f16");
+    ASSERT_NE(f16, nullptr);
+    const auto slots = static_cast<std::uint64_t>(
+        rt.gpu().calibration().matrixCoresPerGcd());
+    EXPECT_EQ(slots, 480u);
+    const auto r =
+        rt.launch(wmma::mfmaLoopProfile(*f16, 1000000, slots), 0);
+    // 184.6 theoretical less the calibrated issue overhead.
+    EXPECT_NEAR(r.throughput() / 1e12, 168.7, 1.5);
+}
+
+TEST(Mi100Device, RejectsCdna2Instructions)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    sim::Mi250x gpu(mi100Calibration(), opts);
+    const MfmaInstruction *cdna2 =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    ASSERT_NE(cdna2, nullptr);
+    EXPECT_DEATH(gpu.runOnGcd(wmma::mfmaLoopProfile(*cdna2, 10, 1)),
+                 "AMD CDNA2 instruction on a AMD CDNA1 device");
+}
+
+TEST(Mi100Gemm, DgemmFallsBackToSimd)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(mi100Calibration(), opts);
+    blas::GemmEngine engine(rt);
+
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 2048;
+    cfg.alpha = cfg.beta = 0.1;
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_FALSE(result.value().usedMatrixCores);
+
+    // SGEMM still takes the Matrix Core path on CDNA1.
+    cfg.combo = blas::GemmCombo::Sgemm;
+    auto sgemm = engine.run(cfg);
+    ASSERT_TRUE(sgemm.isOk());
+    EXPECT_TRUE(sgemm.value().usedMatrixCores);
+    EXPECT_GT(sgemm.value().throughput(),
+              2.0 * result.value().throughput());
+}
+
+TEST(Mi100Gemm, SmallerMemoryExhaustsSooner)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(mi100Calibration(), opts);
+    blas::GemmEngine engine(rt);
+
+    // 3 x 49152^2 x 4 B = 27 GiB fits in 32 GiB; 65536 does not.
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Sgemm;
+    cfg.m = cfg.n = cfg.k = 49152;
+    EXPECT_TRUE(engine.run(cfg).isOk());
+    cfg.m = cfg.n = cfg.k = 65536;
+    auto result = engine.run(cfg);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::OutOfMemory);
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Fuzz tests of the layout calculator over *synthetic* instruction
+ * shapes — every (m, n, k, blocks, waveSize) combination satisfying
+ * the CDNA mapping family's divisibility constraints must produce a
+ * bijective, self-inverse layout, not just the shapes in the shipped
+ * tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "arch/layout.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+/** Whether the mapping family's constraints admit this shape. */
+bool
+shapeAdmissible(int m, int n, int k, int blocks, int wave)
+{
+    if (wave % blocks != 0)
+        return false;
+    const int lanes = wave / blocks;
+    if (lanes % m != 0 || lanes % n != 0)
+        return false;
+    if (k % (lanes / m) != 0 || k % (lanes / n) != 0)
+        return false;
+    if ((m * n) % lanes != 0)
+        return false;
+    const int elems = (m * n) / lanes;
+    const int sub = elems < 4 ? elems : 4;
+    if (m % (sub * (lanes / n)) != 0)
+        return false;
+    return true;
+}
+
+MfmaInstruction
+syntheticInstruction(int m, int n, int k, int blocks, int wave)
+{
+    MfmaInstruction inst;
+    inst.mnemonic = "synthetic_" + std::to_string(m) + "x" +
+                    std::to_string(n) + "x" + std::to_string(k) + "x" +
+                    std::to_string(blocks) + "w" + std::to_string(wave);
+    inst.arch = GpuArch::Cdna2;
+    inst.typeCD = DataType::F32;
+    inst.typeAB = DataType::F32;
+    inst.shape = MfmaShape{m, n, k, blocks};
+    inst.latencyCycles = 32;
+    inst.waveSize = wave;
+    return inst;
+}
+
+void
+checkBijective(const MfmaInstruction &inst, Operand op)
+{
+    const OperandLayout layout(inst, op);
+    std::set<std::pair<int, int>> seen;
+    for (int blk = 0; blk < layout.blocks(); ++blk) {
+        for (int r = 0; r < layout.rows(); ++r) {
+            for (int c = 0; c < layout.cols(); ++c) {
+                const ElementCoord coord{blk, r, c};
+                const RegLocation loc = layout.locationOf(coord);
+                ASSERT_TRUE(seen.insert({loc.lane, loc.slot}).second)
+                    << inst.mnemonic << " " << operandName(op)
+                    << " collides at (" << blk << "," << r << "," << c
+                    << ")";
+                ASSERT_EQ(layout.elementAt(loc), coord)
+                    << inst.mnemonic << " " << operandName(op);
+            }
+        }
+    }
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(layout.waveSize()) *
+                               layout.elementsPerLane());
+}
+
+TEST(LayoutFuzz, AllAdmissibleShapesAreBijective)
+{
+    const int dims[] = {1, 2, 4, 8, 16, 32, 64};
+    const int blocks_opts[] = {1, 2, 4, 8, 16};
+    const int waves[] = {32, 64};
+
+    int tested = 0;
+    for (int wave : waves) {
+        for (int m : dims) {
+            for (int n : dims) {
+                for (int k : dims) {
+                    for (int blocks : blocks_opts) {
+                        if (!shapeAdmissible(m, n, k, blocks, wave))
+                            continue;
+                        // Keep the sweep quick.
+                        if (static_cast<long long>(m) * n * k * blocks >
+                            16384)
+                            continue;
+                        const MfmaInstruction inst =
+                            syntheticInstruction(m, n, k, blocks, wave);
+                        for (Operand op :
+                             {Operand::A, Operand::B, Operand::C,
+                              Operand::D}) {
+                            checkBijective(inst, op);
+                        }
+                        ++tested;
+                    }
+                }
+            }
+        }
+    }
+    // The sweep must have actually covered a healthy shape variety.
+    EXPECT_GT(tested, 100);
+}
+
+TEST(LayoutFuzz, InadmissibleShapesPanicInsteadOfCorrupting)
+{
+    // lanesPerBlock not divisible by m.
+    const MfmaInstruction bad = syntheticInstruction(48, 16, 4, 1, 64);
+    EXPECT_DEATH(OperandLayout(bad, Operand::A), "not divisible");
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Property tests of the register-layout calculator: for every
+ * instruction in both tables and every operand role, the element-to-
+ * register mapping must be a bijection, and its inverse must invert it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "arch/layout.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+struct LayoutCase
+{
+    GpuArch arch;
+    std::string mnemonic;
+    Operand operand;
+};
+
+std::vector<LayoutCase>
+allLayoutCases()
+{
+    std::vector<LayoutCase> cases;
+    for (GpuArch a : {GpuArch::Cdna1, GpuArch::Cdna2, GpuArch::Ampere}) {
+        for (const auto &inst : instructionsFor(a)) {
+            for (Operand op : {Operand::A, Operand::B, Operand::C,
+                               Operand::D}) {
+                cases.push_back(LayoutCase{a, inst.mnemonic, op});
+            }
+        }
+    }
+    return cases;
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<LayoutCase> &info)
+{
+    std::string name = gpuArchName(info.param.arch);
+    name += "_";
+    name += info.param.mnemonic;
+    for (char &ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch)))
+            ch = '_';
+    }
+    name += "_";
+    name += operandName(info.param.operand);
+    return name;
+}
+
+class LayoutProperty : public ::testing::TestWithParam<LayoutCase>
+{
+  protected:
+    const MfmaInstruction &
+    instruction() const
+    {
+        const MfmaInstruction *inst =
+            findInstruction(GetParam().arch, GetParam().mnemonic);
+        EXPECT_NE(inst, nullptr);
+        return *inst;
+    }
+};
+
+TEST_P(LayoutProperty, MappingIsBijective)
+{
+    const MfmaInstruction &inst = instruction();
+    const OperandLayout layout(inst, GetParam().operand);
+
+    std::set<std::pair<int, int>> seen;
+    for (int blk = 0; blk < layout.blocks(); ++blk) {
+        for (int r = 0; r < layout.rows(); ++r) {
+            for (int c = 0; c < layout.cols(); ++c) {
+                const RegLocation loc =
+                    layout.locationOf(ElementCoord{blk, r, c});
+                EXPECT_GE(loc.lane, 0);
+                EXPECT_LT(loc.lane, layout.waveSize());
+                EXPECT_GE(loc.slot, 0);
+                EXPECT_LT(loc.slot, layout.elementsPerLane());
+                const bool inserted =
+                    seen.insert({loc.lane, loc.slot}).second;
+                EXPECT_TRUE(inserted)
+                    << "duplicate location lane=" << loc.lane
+                    << " slot=" << loc.slot;
+            }
+        }
+    }
+    // Every register slot is used exactly once.
+    EXPECT_EQ(seen.size(),
+              static_cast<std::size_t>(layout.waveSize()) *
+                  layout.elementsPerLane());
+}
+
+TEST_P(LayoutProperty, InverseInvertsForward)
+{
+    const MfmaInstruction &inst = instruction();
+    const OperandLayout layout(inst, GetParam().operand);
+
+    for (int blk = 0; blk < layout.blocks(); ++blk) {
+        for (int r = 0; r < layout.rows(); ++r) {
+            for (int c = 0; c < layout.cols(); ++c) {
+                const ElementCoord coord{blk, r, c};
+                const RegLocation loc = layout.locationOf(coord);
+                EXPECT_EQ(layout.elementAt(loc), coord);
+            }
+        }
+    }
+}
+
+TEST_P(LayoutProperty, ForwardInvertsInverse)
+{
+    const MfmaInstruction &inst = instruction();
+    const OperandLayout layout(inst, GetParam().operand);
+
+    for (int lane = 0; lane < layout.waveSize(); ++lane) {
+        for (int slot = 0; slot < layout.elementsPerLane(); ++slot) {
+            const RegLocation loc{lane, slot};
+            EXPECT_EQ(layout.locationOf(layout.elementAt(loc)), loc);
+        }
+    }
+}
+
+TEST_P(LayoutProperty, ElementCountMatchesOperandSize)
+{
+    const MfmaInstruction &inst = instruction();
+    const OperandLayout layout(inst, GetParam().operand);
+    EXPECT_EQ(static_cast<long long>(layout.waveSize()) *
+                  layout.elementsPerLane(),
+              static_cast<long long>(layout.rows()) * layout.cols() *
+                  layout.blocks());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInstructions, LayoutProperty,
+                         ::testing::ValuesIn(allLayoutCases()), caseName);
+
+TEST(Layout, KnownCdna2F32Mapping)
+{
+    // The classic CDNA2 16x16x4 f32 layout: A holds one element per
+    // lane with row = lane % 16 and k = lane / 16; the accumulator
+    // holds four consecutive rows per lane group.
+    const MfmaInstruction *inst =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_16x16x4_f32");
+    ASSERT_NE(inst, nullptr);
+
+    const OperandLayout a(*inst, Operand::A);
+    EXPECT_EQ(a.elementsPerLane(), 1);
+    EXPECT_EQ(a.locationOf(ElementCoord{0, 5, 0}).lane, 5);
+    EXPECT_EQ(a.locationOf(ElementCoord{0, 5, 2}).lane, 2 * 16 + 5);
+
+    const OperandLayout d(*inst, Operand::D);
+    EXPECT_EQ(d.elementsPerLane(), 4);
+    // Element (row=0, col=3) lives in lane 3 slot 0; (row=1, col=3) in
+    // lane 3 slot 1; (row=4, col=3) moves to the next lane group.
+    EXPECT_EQ(d.locationOf(ElementCoord{0, 0, 3}),
+              (RegLocation{3, 0}));
+    EXPECT_EQ(d.locationOf(ElementCoord{0, 1, 3}),
+              (RegLocation{3, 1}));
+    EXPECT_EQ(d.locationOf(ElementCoord{0, 4, 3}),
+              (RegLocation{16 + 3, 0}));
+}
+
+TEST(Layout, KnownMixedPrecisionMapping)
+{
+    // 16x16x16 f16: each lane holds four consecutive k slices of A.
+    const MfmaInstruction *inst =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+    const OperandLayout a(*inst, Operand::A);
+    EXPECT_EQ(a.elementsPerLane(), 4);
+    EXPECT_EQ(a.locationOf(ElementCoord{0, 7, 0}), (RegLocation{7, 0}));
+    EXPECT_EQ(a.locationOf(ElementCoord{0, 7, 3}), (RegLocation{7, 3}));
+    EXPECT_EQ(a.locationOf(ElementCoord{0, 7, 4}),
+              (RegLocation{16 + 7, 0}));
+}
+
+TEST(Layout, BlocksPartitionLanes)
+{
+    // 4x4x4 with 16 blocks: each block owns 4 consecutive lanes.
+    const MfmaInstruction *inst =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_4x4x4_16b_f16");
+    ASSERT_NE(inst, nullptr);
+    const OperandLayout a(*inst, Operand::A);
+    for (int blk = 0; blk < 16; ++blk) {
+        const RegLocation loc = a.locationOf(ElementCoord{blk, 0, 0});
+        EXPECT_EQ(loc.lane / 4, blk);
+    }
+}
+
+TEST(Layout, VgprCountsFollowElementSize)
+{
+    const MfmaInstruction *f16 =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(f16, nullptr);
+    // A: 4 f16 elements = 8 bytes = 2 VGPRs; D: 4 f32 = 4 VGPRs.
+    EXPECT_EQ(OperandLayout(*f16, Operand::A).vgprCount(2), 2);
+    EXPECT_EQ(OperandLayout(*f16, Operand::D).vgprCount(4), 4);
+
+    const MfmaInstruction *f64 =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    ASSERT_NE(f64, nullptr);
+    // A: 1 f64 = 2 VGPRs; D: 4 f64 = 8 VGPRs.
+    EXPECT_EQ(OperandLayout(*f64, Operand::A).vgprCount(8), 2);
+    EXPECT_EQ(OperandLayout(*f64, Operand::D).vgprCount(8), 8);
+}
+
+TEST(LayoutDeathTest, OutOfRangeCoordinatesPanic)
+{
+    const MfmaInstruction *inst =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_16x16x4_f32");
+    ASSERT_NE(inst, nullptr);
+    const OperandLayout a(*inst, Operand::A);
+    EXPECT_DEATH(a.locationOf(ElementCoord{0, 16, 0}), "out of range");
+    EXPECT_DEATH(a.locationOf(ElementCoord{0, 0, 4}), "out of range");
+    EXPECT_DEATH(a.locationOf(ElementCoord{1, 0, 0}), "out of range");
+    EXPECT_DEATH(a.elementAt(RegLocation{64, 0}), "out of range");
+    EXPECT_DEATH(a.elementAt(RegLocation{0, 1}), "out of range");
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Tests of the MFMA instruction tables against the paper's Table I
+ * (supported shapes per architecture) and Table II (latencies), and of
+ * the documented per-CU throughput rates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mfma_isa.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+TEST(MfmaIsa, TableIIMeasuredLatencies)
+{
+    // The five rows of the paper's Table II.
+    struct Row { const char *mnemonic; int latency; };
+    const Row rows[] = {
+        {"v_mfma_f32_32x32x2_f32", 64},
+        {"v_mfma_f32_16x16x4_f32", 32},
+        {"v_mfma_f32_32x32x8_f16", 64},
+        {"v_mfma_f32_16x16x16_f16", 32},
+        {"v_mfma_f64_16x16x4_f64", 32},
+    };
+    for (const Row &row : rows) {
+        const MfmaInstruction *inst =
+            findInstruction(GpuArch::Cdna2, row.mnemonic);
+        ASSERT_NE(inst, nullptr) << row.mnemonic;
+        EXPECT_EQ(inst->latencyCycles, row.latency) << row.mnemonic;
+    }
+}
+
+TEST(MfmaIsa, TableISupportMatrix)
+{
+    using DT = DataType;
+    // AMD CDNA2 column.
+    EXPECT_TRUE(typesSupported(GpuArch::Cdna2, DT::F64, DT::F64));
+    EXPECT_TRUE(typesSupported(GpuArch::Cdna2, DT::F32, DT::F32));
+    EXPECT_TRUE(typesSupported(GpuArch::Cdna2, DT::F32, DT::F16));
+    EXPECT_FALSE(typesSupported(GpuArch::Cdna2, DT::F16, DT::F16));
+    // Nvidia Ampere column.
+    EXPECT_TRUE(typesSupported(GpuArch::Ampere, DT::F64, DT::F64));
+    EXPECT_FALSE(typesSupported(GpuArch::Ampere, DT::F32, DT::F32));
+    EXPECT_TRUE(typesSupported(GpuArch::Ampere, DT::F32, DT::F16));
+    EXPECT_TRUE(typesSupported(GpuArch::Ampere, DT::F16, DT::F16));
+}
+
+TEST(MfmaIsa, TableIShapes)
+{
+    using DT = DataType;
+    // CDNA2 f64: 16x16x4 only (dense).
+    EXPECT_NE(findInstruction(GpuArch::Cdna2, DT::F64, DT::F64,
+                              MfmaShape{16, 16, 4, 1}), nullptr);
+    // CDNA2 f32<-f32: 16x16x4 and 32x32x2.
+    EXPECT_NE(findInstruction(GpuArch::Cdna2, DT::F32, DT::F32,
+                              MfmaShape{16, 16, 4, 1}), nullptr);
+    EXPECT_NE(findInstruction(GpuArch::Cdna2, DT::F32, DT::F32,
+                              MfmaShape{32, 32, 2, 1}), nullptr);
+    // CDNA2 f32<-f16: 16x16x16 and 32x32x8.
+    EXPECT_NE(findInstruction(GpuArch::Cdna2, DT::F32, DT::F16,
+                              MfmaShape{16, 16, 16, 1}), nullptr);
+    EXPECT_NE(findInstruction(GpuArch::Cdna2, DT::F32, DT::F16,
+                              MfmaShape{32, 32, 8, 1}), nullptr);
+    // Ampere f64: 8x8x4.
+    EXPECT_NE(findInstruction(GpuArch::Ampere, DT::F64, DT::F64,
+                              MfmaShape{8, 8, 4, 1}), nullptr);
+    // Ampere f32<-f16: 16x8x8 and 16x8x16.
+    EXPECT_NE(findInstruction(GpuArch::Ampere, DT::F32, DT::F16,
+                              MfmaShape{16, 8, 8, 1}), nullptr);
+    EXPECT_NE(findInstruction(GpuArch::Ampere, DT::F32, DT::F16,
+                              MfmaShape{16, 8, 16, 1}), nullptr);
+}
+
+TEST(MfmaIsa, MultiBlockParallelVariantsExist)
+{
+    // Section II: "with the shape 16x16x4, one can execute four parallel
+    // matrix FMA operations for the datatypes FP32 <- FP16".
+    const MfmaInstruction *inst = findInstruction(
+        GpuArch::Cdna2, DataType::F32, DataType::F16,
+        MfmaShape{16, 16, 4, 4});
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->shape.blocks, 4);
+}
+
+TEST(MfmaIsa, PerCuRatesMatchCdna2Documentation)
+{
+    // The CDNA2 whitepaper rates the paper quotes: 256 FP64 and FP32
+    // FLOPS/CU/cycle, 1024 FP16 FLOPS/CU/cycle.
+    const auto rate = [](const char *mnemonic) {
+        const MfmaInstruction *inst =
+            findInstruction(GpuArch::Cdna2, mnemonic);
+        EXPECT_NE(inst, nullptr) << mnemonic;
+        return inst ? inst->flopsPerCuPerCycle() : 0.0;
+    };
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f64_16x16x4_f64"), 256.0);
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f32_16x16x4_f32"), 256.0);
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f32_32x32x2_f32"), 256.0);
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f32_16x16x16_f16"), 1024.0);
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f32_32x32x8_f16"), 1024.0);
+    EXPECT_DOUBLE_EQ(rate("v_mfma_f32_4x4x1_16b_f32"), 256.0);
+}
+
+TEST(MfmaIsa, AmperePerSmRatesMatchDatasheet)
+{
+    // 2048 FP16 FLOP/SM/cycle (312 TFLOPS at 1.41 GHz x 108 SMs) and
+    // 128 FP64 FLOP/SM/cycle (19.5 TFLOPS).
+    const MfmaInstruction *hmma =
+        findInstruction(GpuArch::Ampere, "mma.m16n8k16.f32.f16");
+    ASSERT_NE(hmma, nullptr);
+    EXPECT_DOUBLE_EQ(hmma->flopsPerCuPerCycle(), 2048.0);
+
+    const MfmaInstruction *dmma =
+        findInstruction(GpuArch::Ampere, "mma.m8n8k4.f64");
+    ASSERT_NE(dmma, nullptr);
+    EXPECT_DOUBLE_EQ(dmma->flopsPerCuPerCycle(), 128.0);
+}
+
+TEST(MfmaIsa, WaveSizesPerArch)
+{
+    for (const auto &inst : cdna2Instructions())
+        EXPECT_EQ(inst.waveSize, 64) << inst.mnemonic;
+    for (const auto &inst : ampereInstructions())
+        EXPECT_EQ(inst.waveSize, 32) << inst.mnemonic;
+}
+
+TEST(MfmaIsa, MnemonicsAreUnique)
+{
+    for (GpuArch a : {GpuArch::Cdna2, GpuArch::Ampere}) {
+        const auto &insts = instructionsFor(a);
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+            for (std::size_t j = i + 1; j < insts.size(); ++j) {
+                EXPECT_NE(insts[i].mnemonic, insts[j].mnemonic);
+            }
+        }
+    }
+}
+
+TEST(MfmaIsa, FlopsDivisibleByMopsGranularity)
+{
+    // The MOPS counters increment once per 512 ops; every instruction's
+    // op count must be a multiple for the counter model to be exact.
+    for (GpuArch a : {GpuArch::Cdna2, GpuArch::Ampere}) {
+        for (const auto &inst : instructionsFor(a)) {
+            EXPECT_EQ(inst.flopsPerInstruction() % 512, 0)
+                << inst.mnemonic;
+        }
+    }
+}
+
+TEST(MfmaIsa, LookupMissesReturnNull)
+{
+    EXPECT_EQ(findInstruction(GpuArch::Cdna2, "v_mfma_bogus"), nullptr);
+    EXPECT_EQ(findInstruction(GpuArch::Cdna2, DataType::F16, DataType::F16,
+                              MfmaShape{16, 16, 16, 1}), nullptr);
+}
+
+TEST(MfmaIsa, TypeStringFormat)
+{
+    const MfmaInstruction *inst =
+        findInstruction(GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+    EXPECT_EQ(inst->typeString(), "f32 <- f16");
+}
+
+TEST(MfmaIsa, ArchNames)
+{
+    EXPECT_STREQ(gpuArchName(GpuArch::Cdna2), "AMD CDNA2");
+    EXPECT_STREQ(gpuArchName(GpuArch::Ampere), "Nvidia Ampere");
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

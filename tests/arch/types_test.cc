@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests of the architecture-level type utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/types.hh"
+
+namespace mc {
+namespace arch {
+namespace {
+
+TEST(DataTypes, NamesAndSizes)
+{
+    EXPECT_STREQ(dataTypeName(DataType::F64), "f64");
+    EXPECT_STREQ(dataTypeName(DataType::F32), "f32");
+    EXPECT_STREQ(dataTypeName(DataType::F16), "f16");
+    EXPECT_STREQ(dataTypeName(DataType::BF16), "bf16");
+    EXPECT_STREQ(dataTypeName(DataType::I8), "i8");
+    EXPECT_STREQ(dataTypeName(DataType::I32), "i32");
+
+    EXPECT_EQ(dataTypeBytes(DataType::F64), 8u);
+    EXPECT_EQ(dataTypeBytes(DataType::F32), 4u);
+    EXPECT_EQ(dataTypeBytes(DataType::F16), 2u);
+    EXPECT_EQ(dataTypeBytes(DataType::BF16), 2u);
+    EXPECT_EQ(dataTypeBytes(DataType::I8), 1u);
+    EXPECT_EQ(dataTypeBytes(DataType::I32), 4u);
+}
+
+TEST(DataTypes, FloatPredicate)
+{
+    EXPECT_TRUE(isFloatType(DataType::F64));
+    EXPECT_TRUE(isFloatType(DataType::BF16));
+    EXPECT_FALSE(isFloatType(DataType::I8));
+    EXPECT_FALSE(isFloatType(DataType::I32));
+}
+
+TEST(DataTypes, ParseAcceptsAliases)
+{
+    EXPECT_EQ(parseDataType("f64"), DataType::F64);
+    EXPECT_EQ(parseDataType("fp64"), DataType::F64);
+    EXPECT_EQ(parseDataType("double"), DataType::F64);
+    EXPECT_EQ(parseDataType("half"), DataType::F16);
+    EXPECT_EQ(parseDataType("bfloat16"), DataType::BF16);
+    EXPECT_EQ(parseDataType("int8"), DataType::I8);
+}
+
+TEST(DataTypesDeathTest, ParseRejectsUnknown)
+{
+    EXPECT_EXIT(parseDataType("fp8"), ::testing::ExitedWithCode(1),
+                "unknown datatype");
+}
+
+TEST(MfmaShape, FlopsIsTwoMnkPerBlock)
+{
+    const MfmaShape dense{16, 16, 16, 1};
+    EXPECT_EQ(dense.flops(), 2ll * 16 * 16 * 16);
+
+    const MfmaShape blocked{4, 4, 4, 16};
+    EXPECT_EQ(blocked.flops(), 2ll * 4 * 4 * 4 * 16);
+}
+
+TEST(MfmaShape, ToStringFormats)
+{
+    EXPECT_EQ((MfmaShape{16, 16, 4, 1}).toString(), "16x16x4");
+    EXPECT_EQ((MfmaShape{4, 4, 4, 16}).toString(), "4x4x4 (x16 blocks)");
+}
+
+TEST(MfmaShape, EqualityIsMemberwise)
+{
+    const MfmaShape a{16, 16, 4, 1};
+    EXPECT_EQ(a, (MfmaShape{16, 16, 4, 1}));
+    EXPECT_NE(a, (MfmaShape{16, 16, 4, 4}));
+    EXPECT_NE(a, (MfmaShape{16, 16, 16, 1}));
+}
+
+TEST(Operands, Names)
+{
+    EXPECT_STREQ(operandName(Operand::A), "A");
+    EXPECT_STREQ(operandName(Operand::D), "D");
+}
+
+} // namespace
+} // namespace arch
+} // namespace mc

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests of strided-batched GEMM planning and execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "prof/profiler.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+GemmConfig
+batchedConfig(std::size_t n, std::size_t batch)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Hhs;
+    cfg.m = cfg.n = cfg.k = n;
+    cfg.alpha = cfg.beta = 0.1;
+    cfg.batchCount = batch;
+    return cfg;
+}
+
+TEST(BatchedGemm, WorkScalesLinearlyWithBatch)
+{
+    // Pin the macro tile: the heuristic otherwise (correctly) picks
+    // different tiles for the two occupancy situations.
+    const auto &cal = arch::defaultCdna2();
+    GemmConfig single_cfg = batchedConfig(256, 1);
+    GemmConfig many_cfg = batchedConfig(256, 64);
+    single_cfg.forceMacroTile = 64;
+    many_cfg.forceMacroTile = 64;
+    const GemmPlan one = planGemm(single_cfg, cal);
+    const GemmPlan many = planGemm(many_cfg, cal);
+    EXPECT_EQ(many.mfmaInstsTotal, 64 * one.mfmaInstsTotal);
+    EXPECT_EQ(many.numWorkgroups, 64 * one.numWorkgroups);
+    EXPECT_DOUBLE_EQ(many.profile.mfmaFlops(),
+                     64.0 * one.profile.mfmaFlops());
+    EXPECT_DOUBLE_EQ(many.profile.simdFlops(),
+                     64.0 * one.profile.simdFlops());
+}
+
+TEST(BatchedGemm, CountersScaleWithBatch)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(batchedConfig(128, 32), cal);
+    const auto split =
+        prof::flopBreakdown(plan.profile.expectedCounters());
+    EXPECT_DOUBLE_EQ(split.matrixCoreFlops, 32.0 * 2.0 * 128 * 128 * 128);
+    EXPECT_DOUBLE_EQ(split.simdFlops, 32.0 * 3.0 * 128 * 128);
+}
+
+TEST(BatchedGemm, BatchingRecoversSmallProblemThroughput)
+{
+    // The ML-workload motivation: one 256^3 GEMM cannot fill the
+    // device, but a batch of 256 of them can.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+
+    auto single = engine.run(batchedConfig(256, 1));
+    auto batched = engine.run(batchedConfig(256, 256));
+    ASSERT_TRUE(single.isOk() && batched.isOk());
+
+    EXPECT_GT(batched.value().throughput(),
+              10.0 * single.value().throughput());
+    // And the batched throughput reaches well into the tens of TFLOPS
+    // (a single 256^3 problem manages ~2).
+    EXPECT_GT(batched.value().throughput() / 1e12, 50.0);
+}
+
+TEST(BatchedGemm, SmallTileKeptForSmallEntriesDespiteBatch)
+{
+    // Macro-tile selection sees the whole grid: a large batch of small
+    // problems already fills the device, so tiles stay entry-sized.
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(batchedConfig(128, 512), cal);
+    EXPECT_LE(plan.macroTile, 128);
+    EXPECT_GE(plan.numWavefronts,
+              2ull * cal.matrixCoresPerGcd());
+}
+
+TEST(BatchedGemm, MemoryExhaustionIncludesBatch)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+    // 8192^2 fp16 operands: ~0.4 GiB per entry set; 512 entries
+    // exceed 64 GiB.
+    auto result = engine.run(batchedConfig(8192, 512));
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::OutOfMemory);
+}
+
+TEST(BatchedGemm, OperandBytesIncludeBatch)
+{
+    const GemmConfig cfg = batchedConfig(64, 10);
+    // Per entry: A 64x64 f16 + B 64x64 f16 + C 64x64 f16 (HHS C/D f16).
+    EXPECT_EQ(GemmEngine::operandBytes(cfg),
+              10u * (64 * 64 * 2 * 3));
+}
+
+TEST(BatchedGemmDeathTest, ZeroBatchPanics)
+{
+    const auto &cal = arch::defaultCdna2();
+    GemmConfig cfg = batchedConfig(64, 1);
+    cfg.batchCount = 0;
+    EXPECT_DEATH(planGemm(cfg, cal), "batch count must be positive");
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

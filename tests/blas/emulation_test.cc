@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests of the Matrix-Core-emulated HGEMM path (the forced what-if the
+ * emulation ablation studies) and of the planner's architecture
+ * awareness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "prof/profiler.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+GemmConfig
+hgemmConfig(std::size_t n, bool force_mc)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Hgemm;
+    cfg.m = cfg.n = cfg.k = n;
+    cfg.alpha = cfg.beta = 0.1;
+    if (force_mc)
+        cfg.forceMatrixCorePath = true;
+    return cfg;
+}
+
+TEST(HgemmEmulation, ForcedPathUsesMixedPrecisionInstruction)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(hgemmConfig(1024, true), cal);
+    EXPECT_TRUE(plan.useMatrixCores);
+    ASSERT_NE(plan.inst, nullptr);
+    EXPECT_EQ(plan.inst->mnemonic, "v_mfma_f32_16x16x16_f16");
+}
+
+TEST(HgemmEmulation, DefaultPathStaysOnSimds)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(hgemmConfig(1024, false), cal);
+    EXPECT_FALSE(plan.useMatrixCores);
+    EXPECT_EQ(plan.inst, nullptr);
+}
+
+TEST(HgemmEmulation, ConversionCostCharged)
+{
+    // The emulated path converts C on read and D on write between the
+    // f16 storage and the f32 Matrix Core accumulators.
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(hgemmConfig(256, true), cal);
+    const auto counters = plan.profile.expectedCounters();
+    EXPECT_EQ(counters.valuCount(arch::DataType::F16, sim::ValuOp::Xfer),
+              2u * (256u * 256u / 64u));
+}
+
+TEST(HgemmEmulation, EmulationBeatsSimdButTrailsHhs)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+
+    auto simd = engine.run(hgemmConfig(4096, false));
+    auto emulated = engine.run(hgemmConfig(4096, true));
+    GemmConfig hhs_cfg = hgemmConfig(4096, false);
+    hhs_cfg.combo = GemmCombo::Hhs;
+    auto hhs = engine.run(hhs_cfg);
+    ASSERT_TRUE(simd.isOk() && emulated.isOk() && hhs.isOk());
+
+    EXPECT_GT(emulated.value().throughput(),
+              4.0 * simd.value().throughput());
+    EXPECT_LT(emulated.value().throughput(),
+              hhs.value().throughput());
+    // Within ~10% of HHS (only conversions separate them).
+    EXPECT_GT(emulated.value().throughput(),
+              0.9 * hhs.value().throughput());
+}
+
+TEST(HgemmEmulation, Fig8FractionBecomesNonZero)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+    auto emulated = engine.run(hgemmConfig(512, true));
+    ASSERT_TRUE(emulated.isOk());
+    const auto split =
+        prof::flopBreakdown(emulated.value().kernel.counters);
+    EXPECT_GT(split.matrixCoreFraction(), 0.99);
+}
+
+TEST(PlannerArchAwareness, Mi100DgemmHasNoMatrixCorePath)
+{
+    const auto &cal = arch::mi100Calibration();
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 1024;
+    cfg.alpha = cfg.beta = 0.1;
+    const GemmPlan plan = planGemm(cfg, cal);
+    EXPECT_FALSE(plan.useMatrixCores);
+    // Even forcing cannot conjure an instruction that does not exist.
+    cfg.forceMatrixCorePath = true;
+    const GemmPlan forced = planGemm(cfg, cal);
+    EXPECT_FALSE(forced.useMatrixCores);
+}
+
+TEST(PlannerArchAwareness, Mi100MixedPrecisionUsesCdna1Instruction)
+{
+    const auto &cal = arch::mi100Calibration();
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Hhs;
+    cfg.m = cfg.n = cfg.k = 1024;
+    cfg.alpha = cfg.beta = 0.1;
+    const GemmPlan plan = planGemm(cfg, cal);
+    EXPECT_TRUE(plan.useMatrixCores);
+    ASSERT_NE(plan.inst, nullptr);
+    EXPECT_EQ(plan.inst->arch, arch::GpuArch::Cdna1);
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests of the GEMM engine end to end on the simulator: throughput
+ * shapes, memory exhaustion, and the counter-derived Matrix Core
+ * utilization the paper reports in Figs. 6-8.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "prof/profiler.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+class GemmEngineTest : public ::testing::Test
+{
+  protected:
+    GemmEngineTest() : rt(arch::defaultCdna2(), quietOptions()), engine(rt)
+    {}
+
+    GemmResult
+    runSquare(GemmCombo combo, std::size_t n)
+    {
+        GemmConfig cfg;
+        cfg.combo = combo;
+        cfg.m = cfg.n = cfg.k = n;
+        cfg.alpha = cfg.beta = 0.1;
+        auto result = engine.run(cfg);
+        EXPECT_TRUE(result.isOk()) << result.status().toString();
+        return result.take();
+    }
+
+    hip::Runtime rt;
+    GemmEngine engine;
+};
+
+TEST_F(GemmEngineTest, ThroughputGrowsThenSaturates)
+{
+    double prev = 0.0;
+    for (std::size_t n : {256u, 1024u, 4096u}) {
+        const GemmResult r = runSquare(GemmCombo::Sgemm, n);
+        EXPECT_GT(r.throughput(), prev);
+        prev = r.throughput();
+    }
+    // Near the paper's 43 TFLOPS SGEMM plateau.
+    EXPECT_NEAR(prev / 1e12, 43.0, 2.0);
+}
+
+TEST_F(GemmEngineTest, PeaksMatchPaperFig6And7)
+{
+    // SGEMM ~43 TFLOPS at N=8192; DGEMM ~37 TFLOPS at N=4096;
+    // HHS ~155 TFLOPS (88% of the 175 plateau).
+    EXPECT_NEAR(runSquare(GemmCombo::Sgemm, 8192).throughput() / 1e12,
+                43.0, 2.0);
+    EXPECT_NEAR(runSquare(GemmCombo::Dgemm, 4096).throughput() / 1e12,
+                37.0, 2.0);
+    EXPECT_NEAR(runSquare(GemmCombo::Hhs, 8192).throughput() / 1e12,
+                150.0, 10.0);
+}
+
+TEST_F(GemmEngineTest, DgemmDropsAfter4096)
+{
+    const double at4k = runSquare(GemmCombo::Dgemm, 4096).throughput();
+    const double at8k = runSquare(GemmCombo::Dgemm, 8192).throughput();
+    EXPECT_LT(at8k, 0.8 * at4k);
+}
+
+TEST_F(GemmEngineTest, SgemmDipsThenRecovers)
+{
+    const double peak = runSquare(GemmCombo::Sgemm, 8192).throughput();
+    const double dip = runSquare(GemmCombo::Sgemm, 32768).throughput();
+    const double recovered =
+        runSquare(GemmCombo::Sgemm, 65536).throughput();
+    EXPECT_LT(dip, peak);
+    EXPECT_GT(recovered, dip);
+    EXPECT_NEAR(recovered / peak, 1.0, 0.05);
+}
+
+TEST_F(GemmEngineTest, HhsOutperformsHssAboveOneK)
+{
+    for (std::size_t n : {2048u, 8192u}) {
+        const double hhs = runSquare(GemmCombo::Hhs, n).throughput();
+        const double hss = runSquare(GemmCombo::Hss, n).throughput();
+        EXPECT_GT(hhs, hss) << n;
+    }
+}
+
+TEST_F(GemmEngineTest, HgemmConsistentlyBelowHhsAndHss)
+{
+    for (std::size_t n : {1024u, 4096u, 16384u}) {
+        const double hgemm = runSquare(GemmCombo::Hgemm, n).throughput();
+        EXPECT_LT(hgemm, runSquare(GemmCombo::Hss, n).throughput()) << n;
+        EXPECT_LT(hgemm, runSquare(GemmCombo::Hhs, n).throughput()) << n;
+    }
+}
+
+TEST_F(GemmEngineTest, MatrixCoreSpeedupInPaperRange)
+{
+    // Section VII: 2.3x-7.5x over the SIMD-only HGEMM reference in
+    // mixed precision; up to ~2.2x in single precision.
+    const double hgemm8k = runSquare(GemmCombo::Hgemm, 8192).throughput();
+    const double hhs8k = runSquare(GemmCombo::Hhs, 8192).throughput();
+    const double ratio = hhs8k / hgemm8k;
+    EXPECT_GE(ratio, 2.3);
+    EXPECT_LE(ratio, 7.6);
+
+    const double sgemm8k = runSquare(GemmCombo::Sgemm, 8192).throughput();
+    EXPECT_LE(sgemm8k / hgemm8k, 2.3);
+    EXPECT_GE(sgemm8k / hgemm8k, 1.5);
+}
+
+TEST_F(GemmEngineTest, MatrixCoreFractionMatchesFig8)
+{
+    // >90% of FLOPs from Matrix Cores for N>16, >99% for N>256.
+    for (std::size_t n : {32u, 64u}) {
+        const GemmResult r = runSquare(GemmCombo::Sgemm, n);
+        const auto split = prof::flopBreakdown(r.kernel.counters);
+        EXPECT_GT(split.matrixCoreFraction(), 0.90) << n;
+    }
+    for (std::size_t n : {512u, 2048u}) {
+        const GemmResult r = runSquare(GemmCombo::Dgemm, n);
+        const auto split = prof::flopBreakdown(r.kernel.counters);
+        EXPECT_GT(split.matrixCoreFraction(), 0.99) << n;
+    }
+}
+
+TEST_F(GemmEngineTest, HgemmFractionIsZero)
+{
+    const GemmResult r = runSquare(GemmCombo::Hgemm, 1024);
+    EXPECT_FALSE(r.usedMatrixCores);
+    const auto split = prof::flopBreakdown(r.kernel.counters);
+    EXPECT_EQ(split.matrixCoreFraction(), 0.0);
+}
+
+TEST_F(GemmEngineTest, MixedPrecisionN16FractionIsZero)
+{
+    const GemmResult r = runSquare(GemmCombo::Hhs, 16);
+    EXPECT_FALSE(r.usedMatrixCores);
+    EXPECT_EQ(prof::flopBreakdown(r.kernel.counters).matrixCoreFraction(),
+              0.0);
+}
+
+TEST_F(GemmEngineTest, DgemmExhaustsMemoryAt65536)
+{
+    // 3 x 65536^2 x 8 bytes = 96 GiB > 64 GiB per GCD: the condition
+    // that terminates the paper's sweep.
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 65536;
+    auto result = engine.run(cfg);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), ErrorCode::OutOfMemory);
+
+    // SGEMM at the same size still fits (48 GiB).
+    cfg.combo = GemmCombo::Sgemm;
+    EXPECT_TRUE(engine.run(cfg).isOk());
+}
+
+TEST_F(GemmEngineTest, FailedRunLeaksNoDeviceMemory)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 65536;
+    (void)engine.run(cfg);
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+}
+
+TEST_F(GemmEngineTest, OperandBytesArithmetic)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Hss;
+    cfg.m = 100;
+    cfg.n = 200;
+    cfg.k = 50;
+    // A: 100x50 f16, B: 50x200 f16, C/D: 100x200 f32.
+    EXPECT_EQ(GemmEngine::operandBytes(cfg),
+              100u * 50 * 2 + 50u * 200 * 2 + 100u * 200 * 4);
+}
+
+TEST_F(GemmEngineTest, SecondDeviceIndependent)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Sgemm;
+    cfg.m = cfg.n = cfg.k = 1024;
+    cfg.device = 1;
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_GT(result.value().throughput(), 0.0);
+}
+
+TEST_F(GemmEngineTest, AblationForcedSimdPathIsSlower)
+{
+    GemmConfig cfg;
+    cfg.combo = GemmCombo::Sgemm;
+    cfg.m = cfg.n = cfg.k = 4096;
+    cfg.alpha = cfg.beta = 0.1;
+    auto mc_result = engine.run(cfg);
+    cfg.forceMatrixCorePath = false;
+    auto simd_result = engine.run(cfg);
+    ASSERT_TRUE(mc_result.isOk());
+    ASSERT_TRUE(simd_result.isOk());
+    EXPECT_GT(mc_result.value().throughput(),
+              1.5 * simd_result.value().throughput());
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests of the TRSM and SYRK routines: functional correctness of the
+ * host references and timing-model invariants of the device path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/level3.hh"
+#include "common/random.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+Matrix<double>
+randomLowerTriangular(Rng &rng, std::size_t n)
+{
+    Matrix<double> l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < i; ++j)
+            l(i, j) = rng.uniform(-1.0, 1.0);
+        l(i, i) = rng.uniform(1.0, 2.0); // well away from zero
+    }
+    return l;
+}
+
+TEST(ReferenceTrsm, LowerSolveInvertsMultiply)
+{
+    Rng rng(401);
+    const std::size_t m = 24, n = 8;
+    const Matrix<double> l = randomLowerTriangular(rng, m);
+    Matrix<double> x_true(m, n), b(m, n);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            x_true(i, j) = rng.uniform(-1.0, 1.0);
+    // b = L * x_true.
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk <= i; ++kk)
+                acc += l(i, kk) * x_true(kk, j);
+            b(i, j) = acc;
+        }
+    }
+    referenceTrsmLeft(Fill::Lower, false, 1.0, l, b);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(b(i, j), x_true(i, j), 1e-10);
+}
+
+TEST(ReferenceTrsm, UpperSolveAndAlpha)
+{
+    Rng rng(409);
+    const std::size_t m = 16;
+    Matrix<double> u(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = i + 1; j < m; ++j)
+            u(i, j) = rng.uniform(-1.0, 1.0);
+        u(i, i) = rng.uniform(1.0, 2.0);
+    }
+    Matrix<double> x_true(m, 4), b(m, 4);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            x_true(i, j) = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < 4; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = i; kk < m; ++kk)
+                acc += u(i, kk) * x_true(kk, j);
+            b(i, j) = acc / 2.0; // alpha = 2 scales it back
+        }
+    }
+    referenceTrsmLeft(Fill::Upper, false, 2.0, u, b);
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_NEAR(b(i, j), x_true(i, j), 1e-10);
+}
+
+TEST(ReferenceTrsm, UnitDiagonalSkipsDivision)
+{
+    Matrix<double> l(2, 2);
+    l(0, 0) = 5.0; // must be ignored with unit diagonal
+    l(1, 0) = 2.0;
+    l(1, 1) = 7.0;
+    Matrix<double> b(2, 1);
+    b(0, 0) = 3.0;
+    b(1, 0) = 8.0;
+    referenceTrsmLeft(Fill::Lower, true, 1.0, l, b);
+    EXPECT_DOUBLE_EQ(b(0, 0), 3.0);
+    EXPECT_DOUBLE_EQ(b(1, 0), 8.0 - 2.0 * 3.0);
+}
+
+TEST(ReferenceSyrk, MatchesExplicitProduct)
+{
+    Rng rng(419);
+    const std::size_t n = 12, k = 20;
+    Matrix<double> a(n, k), c(n, n, 1.0);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < k; ++j)
+            a(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix<double> c_ref = c;
+    referenceSyrk(Fill::Lower, 0.5, a, 2.0, c);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j > i) {
+                // Upper triangle untouched.
+                EXPECT_DOUBLE_EQ(c(i, j), c_ref(i, j));
+                continue;
+            }
+            double dot = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk)
+                dot += a(i, kk) * a(j, kk);
+            EXPECT_NEAR(c(i, j), 0.5 * dot + 2.0, 1e-10);
+        }
+    }
+}
+
+class Level3Timing : public ::testing::Test
+{
+  protected:
+    Level3Timing()
+        : rt(arch::defaultCdna2(), quietOptions()), engine(rt),
+          level3(engine)
+    {}
+
+    hip::Runtime rt;
+    GemmEngine engine;
+    Level3Engine level3;
+};
+
+TEST_F(Level3Timing, TrsmReportsAlgorithmicFlops)
+{
+    TrsmConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.m = 2048;
+    cfg.n = 512;
+    auto result = level3.runTrsm(cfg);
+    ASSERT_TRUE(result.isOk());
+    const auto &r = result.value();
+    EXPECT_TRUE(r.usedMatrixCores);
+    // m^2 n FLOPs over the kernel duration.
+    EXPECT_NEAR(r.kernel.mfmaFlops, 2048.0 * 2048.0 * 512.0, 1.0);
+    EXPECT_GT(r.throughput(), 0.0);
+}
+
+TEST_F(Level3Timing, TrsmRunsAtRoughlyHalfGemmTime)
+{
+    TrsmConfig trsm;
+    trsm.combo = GemmCombo::Sgemm;
+    trsm.m = 4096;
+    trsm.n = 4096;
+    auto trsm_result = level3.runTrsm(trsm);
+    ASSERT_TRUE(trsm_result.isOk());
+
+    GemmConfig gemm;
+    gemm.combo = GemmCombo::Sgemm;
+    gemm.m = gemm.n = gemm.k = 4096;
+    auto gemm_result = engine.run(gemm);
+    ASSERT_TRUE(gemm_result.isOk());
+
+    const double ratio = trsm_result.value().kernel.seconds /
+                         gemm_result.value().kernel.seconds;
+    // Half the work at slightly lower pipeline efficiency.
+    EXPECT_GT(ratio, 0.4);
+    EXPECT_LT(ratio, 0.75);
+}
+
+TEST_F(Level3Timing, SyrkReportsHalfGemmFlops)
+{
+    SyrkConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.n = 2048;
+    cfg.k = 1024;
+    cfg.alpha = -1.0;
+    cfg.beta = 1.0;
+    auto result = level3.runSyrk(cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_NEAR(result.value().kernel.mfmaFlops,
+                2048.0 * 2048.0 * 1024.0, 1.0);
+}
+
+TEST_F(Level3Timing, HgemmComboStaysOnSimds)
+{
+    TrsmConfig cfg;
+    cfg.combo = GemmCombo::Hgemm;
+    cfg.m = 1024;
+    cfg.n = 256;
+    auto result = level3.runTrsm(cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_FALSE(result.value().usedMatrixCores);
+}
+
+TEST_F(Level3Timing, InvalidDimensionsRejected)
+{
+    TrsmConfig trsm;
+    trsm.m = 0;
+    trsm.n = 4;
+    EXPECT_EQ(level3.runTrsm(trsm).status().code(),
+              ErrorCode::InvalidArgument);
+    SyrkConfig syrk;
+    syrk.n = 4;
+    syrk.k = 0;
+    EXPECT_EQ(level3.runSyrk(syrk).status().code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST_F(Level3Timing, GemvIsMemoryBound)
+{
+    GemvConfig cfg;
+    cfg.combo = GemmCombo::Dgemm;
+    cfg.m = 16384;
+    cfg.n = 16384;
+    auto result = level3.runGemv(cfg);
+    ASSERT_TRUE(result.isOk());
+    const auto &r = result.value();
+    EXPECT_FALSE(r.usedMatrixCores);
+    // 2mn FLOPs over bytes ~ 8mn: intensity 0.25 FLOP/byte, so the
+    // achieved rate is bandwidth x intensity, far below compute peaks.
+    const double expected =
+        2.0 * 16384.0 * 16384.0 /
+        (16384.0 * 16384.0 * 8.0 / (1.6e12 * 0.85));
+    EXPECT_NEAR(r.throughput(), expected, expected * 0.1);
+    EXPECT_LT(r.throughput() / 1e12, 1.0); // well under a TFLOPS
+}
+
+TEST_F(Level3Timing, GemvFlopsAreSimdOnly)
+{
+    GemvConfig cfg;
+    cfg.combo = GemmCombo::Sgemm;
+    cfg.m = 4096;
+    cfg.n = 4096;
+    auto result = level3.runGemv(cfg);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_DOUBLE_EQ(result.value().kernel.mfmaFlops, 0.0);
+    EXPECT_NEAR(result.value().kernel.simdFlops, cfg.flops(),
+                cfg.flops() * 0.01);
+}
+
+TEST_F(Level3Timing, GemvInvalidDimensionsRejected)
+{
+    GemvConfig cfg;
+    cfg.m = 0;
+    cfg.n = 5;
+    EXPECT_EQ(level3.runGemv(cfg).status().code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST_F(Level3Timing, NoDeviceMemoryLeaked)
+{
+    TrsmConfig cfg;
+    cfg.combo = GemmCombo::Sgemm;
+    cfg.m = 1024;
+    cfg.n = 1024;
+    (void)level3.runTrsm(cfg);
+    SyrkConfig syrk;
+    syrk.combo = GemmCombo::Sgemm;
+    syrk.n = 1024;
+    syrk.k = 512;
+    (void)level3.runSyrk(syrk);
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

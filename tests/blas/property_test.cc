@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Property (fuzz-style) tests of the GEMM planner and simulator over
+ * randomized problem configurations: the structural invariants that
+ * must hold for *every* plan, not just the swept sizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "common/random.hh"
+#include "prof/profiler.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+struct FuzzCase
+{
+    GemmConfig config;
+    std::string name;
+};
+
+std::vector<FuzzCase>
+fuzzCases()
+{
+    Rng rng(0xf022);
+    const double scale_values[] = {0.0, 0.1, 1.0, -1.0, 2.5};
+    std::vector<FuzzCase> cases;
+    for (int i = 0; i < 60; ++i) {
+        FuzzCase fc;
+        fc.config.combo =
+            static_cast<GemmCombo>(rng.nextBelow(5));
+        fc.config.m = 1 + rng.nextBelow(3000);
+        fc.config.n = 1 + rng.nextBelow(3000);
+        fc.config.k = 1 + rng.nextBelow(3000);
+        fc.config.alpha = scale_values[rng.nextBelow(5)];
+        fc.config.beta = scale_values[rng.nextBelow(5)];
+        fc.config.batchCount = 1 + rng.nextBelow(8);
+        fc.name = std::string(comboInfo(fc.config.combo).name) + "_" +
+                  std::to_string(i);
+        cases.push_back(std::move(fc));
+    }
+    return cases;
+}
+
+class PlannerFuzz : public ::testing::TestWithParam<FuzzCase>
+{};
+
+TEST_P(PlannerFuzz, StructuralInvariants)
+{
+    const GemmConfig &cfg = GetParam().config;
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(cfg, cal);
+
+    // Padding never shrinks and respects the instruction shape.
+    EXPECT_GE(plan.paddedM, cfg.m);
+    EXPECT_GE(plan.paddedN, cfg.n);
+    EXPECT_GE(plan.paddedK, cfg.k);
+    if (plan.useMatrixCores) {
+        ASSERT_NE(plan.inst, nullptr);
+        EXPECT_EQ(plan.paddedM %
+                      static_cast<std::size_t>(plan.inst->shape.m), 0u);
+        EXPECT_EQ(plan.paddedN %
+                      static_cast<std::size_t>(plan.inst->shape.n), 0u);
+        EXPECT_EQ(plan.paddedK %
+                      static_cast<std::size_t>(plan.inst->shape.k), 0u);
+
+        // MFMA instruction count covers the padded volume exactly.
+        const std::uint64_t expected =
+            (plan.paddedM / plan.inst->shape.m) *
+            (plan.paddedN / plan.inst->shape.n) *
+            (plan.paddedK / plan.inst->shape.k) * cfg.batchCount;
+        EXPECT_EQ(plan.mfmaInstsTotal, expected);
+
+        // Counter MOPS encode the padded hardware work exactly.
+        const auto counters = plan.profile.expectedCounters();
+        const double mc_flops =
+            512.0 * static_cast<double>(counters.mops(
+                        comboInfo(cfg.combo).typeAB));
+        EXPECT_DOUBLE_EQ(mc_flops,
+                         2.0 * static_cast<double>(plan.paddedM) *
+                             plan.paddedN * plan.paddedK *
+                             cfg.batchCount);
+    } else {
+        // All product FLOPs appear as SIMD work.
+        EXPECT_DOUBLE_EQ(plan.profile.mfmaFlops(), 0.0);
+        EXPECT_GE(plan.profile.simdFlops(), cfg.productFlops());
+    }
+
+    // Reported algorithmic FLOPs never exceed padded hardware work and
+    // match 2mnk*batch on the Matrix Core path.
+    if (plan.useMatrixCores) {
+        EXPECT_DOUBLE_EQ(plan.profile.mfmaFlops(), cfg.productFlops());
+    }
+
+    // Wavefronts cover the workgroups.
+    EXPECT_EQ(plan.numWavefronts,
+              plan.numWorkgroups * plan.wavesPerWorkgroup);
+    EXPECT_GT(plan.numWorkgroups, 0u);
+
+    // Traffic at least covers the compulsory bytes: one read of A and
+    // B, one write of D.
+    const auto &info = comboInfo(cfg.combo);
+    const double compulsory_read =
+        static_cast<double>(cfg.m) * cfg.k *
+            arch::dataTypeBytes(info.typeAB) +
+        static_cast<double>(cfg.k) * cfg.n *
+            arch::dataTypeBytes(info.typeAB);
+    const double compulsory_write =
+        static_cast<double>(cfg.m) * cfg.n *
+        arch::dataTypeBytes(info.typeCD);
+    EXPECT_GE(plan.hbmReadBytes,
+              compulsory_read * cfg.batchCount * 0.999);
+    EXPECT_GE(plan.hbmWriteBytes,
+              compulsory_write * cfg.batchCount * 0.999);
+
+    // Efficiencies are valid fractions.
+    EXPECT_GT(plan.bwEfficiency, 0.0);
+    EXPECT_LE(plan.bwEfficiency, 1.0);
+    EXPECT_GE(plan.l2MissFrac, 0.0);
+    EXPECT_LE(plan.l2MissFrac, 1.0);
+}
+
+TEST_P(PlannerFuzz, PlanningIsDeterministic)
+{
+    const GemmConfig &cfg = GetParam().config;
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan a = planGemm(cfg, cal);
+    const GemmPlan b = planGemm(cfg, cal);
+    EXPECT_EQ(a.useMatrixCores, b.useMatrixCores);
+    EXPECT_EQ(a.macroTile, b.macroTile);
+    EXPECT_EQ(a.mfmaInstsTotal, b.mfmaInstsTotal);
+    EXPECT_DOUBLE_EQ(a.hbmReadBytes, b.hbmReadBytes);
+}
+
+TEST_P(PlannerFuzz, SimulatedRunIsConsistent)
+{
+    const GemmConfig &cfg = GetParam().config;
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    sim::Mi250x gpu(arch::defaultCdna2(), opts);
+    const GemmPlan plan = planGemm(cfg, gpu.calibration());
+
+    const sim::KernelResult r = gpu.runOnGcd(plan.profile);
+    EXPECT_GT(r.seconds, 0.0);
+    // Power stays within physical bounds.
+    EXPECT_GE(r.avgPowerW, gpu.powerModel().idleWatts());
+    EXPECT_LE(r.avgPowerW, gpu.powerModel().capWatts());
+    // Eq. 1 over the counters equals the FLOPs the result reports,
+    // modulo the padding the counters see and the report does not.
+    const auto split = prof::flopBreakdown(r.counters);
+    EXPECT_GE(split.total() * 1.0001,
+              (plan.useMatrixCores ? plan.profile.mfmaFlops() : 0.0) +
+                  plan.profile.simdFlops());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, PlannerFuzz, ::testing::ValuesIn(fuzzCases()),
+    [](const ::testing::TestParamInfo<FuzzCase> &info) {
+        return info.param.name;
+    });
+
+} // namespace
+} // namespace blas
+} // namespace mc

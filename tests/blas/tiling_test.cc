@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Tests of the GEMM planner: path selection, instruction counts, the
+ * Fig. 9 FLOP-distribution model, and the memory-traffic model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/tiling.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+GemmConfig
+squareConfig(GemmCombo combo, std::size_t n, double alpha = 0.1,
+             double beta = 0.1)
+{
+    GemmConfig cfg;
+    cfg.combo = combo;
+    cfg.m = cfg.n = cfg.k = n;
+    cfg.alpha = alpha;
+    cfg.beta = beta;
+    return cfg;
+}
+
+TEST(PathSelection, HgemmNeverUsesMatrixCores)
+{
+    for (std::size_t n : {16u, 64u, 1024u, 8192u})
+        EXPECT_FALSE(selectsMatrixCorePath(
+            squareConfig(GemmCombo::Hgemm, n)));
+}
+
+TEST(PathSelection, MixedPrecisionSkipsMatrixCoresAtN16)
+{
+    // Fig. 8: HHS and HSS do not use Matrix Cores at N = 16.
+    EXPECT_FALSE(selectsMatrixCorePath(squareConfig(GemmCombo::Hhs, 16)));
+    EXPECT_FALSE(selectsMatrixCorePath(squareConfig(GemmCombo::Hss, 16)));
+    EXPECT_TRUE(selectsMatrixCorePath(squareConfig(GemmCombo::Hhs, 32)));
+    EXPECT_TRUE(selectsMatrixCorePath(squareConfig(GemmCombo::Hss, 32)));
+}
+
+TEST(PathSelection, FloatAndDoubleAlwaysUseMatrixCores)
+{
+    for (std::size_t n : {16u, 32u, 1024u}) {
+        EXPECT_TRUE(selectsMatrixCorePath(
+            squareConfig(GemmCombo::Sgemm, n)));
+        EXPECT_TRUE(selectsMatrixCorePath(
+            squareConfig(GemmCombo::Dgemm, n)));
+    }
+}
+
+TEST(PathSelection, ForceOverridesHeuristic)
+{
+    GemmConfig cfg = squareConfig(GemmCombo::Hgemm, 1024);
+    cfg.forceMatrixCorePath = true;
+    EXPECT_TRUE(selectsMatrixCorePath(cfg));
+
+    GemmConfig cfg2 = squareConfig(GemmCombo::Sgemm, 1024);
+    cfg2.forceMatrixCorePath = false;
+    EXPECT_FALSE(selectsMatrixCorePath(cfg2));
+}
+
+TEST(Planner, MfmaInstructionCountsAreExact)
+{
+    const auto &cal = arch::defaultCdna2();
+    // SGEMM N=1024 on 16x16x4 tiles: (1024/16)^2 * (1024/4) insts.
+    const GemmPlan plan =
+        planGemm(squareConfig(GemmCombo::Sgemm, 1024), cal);
+    EXPECT_TRUE(plan.useMatrixCores);
+    EXPECT_EQ(plan.mfmaInstsTotal, 64ull * 64ull * 256ull);
+    // HHS N=1024 on 16x16x16 tiles.
+    const GemmPlan hhs =
+        planGemm(squareConfig(GemmCombo::Hhs, 1024), cal);
+    EXPECT_EQ(hhs.mfmaInstsTotal, 64ull * 64ull * 64ull);
+}
+
+TEST(Planner, CountersEncodeTwoNCubedOnMatrixCores)
+{
+    // The Fig. 9 model: exactly 2N^3 FLOPs on Matrix Cores...
+    const auto &cal = arch::defaultCdna2();
+    for (std::size_t n : {32u, 256u, 1024u}) {
+        const GemmPlan plan =
+            planGemm(squareConfig(GemmCombo::Dgemm, n), cal);
+        const auto counters = plan.profile.expectedCounters();
+        const double mc_flops =
+            512.0 * static_cast<double>(counters.mops(arch::DataType::F64));
+        EXPECT_DOUBLE_EQ(mc_flops, 2.0 * n * n * n) << n;
+    }
+}
+
+TEST(Planner, ScalingWorkIsThreeNSquaredOnSimds)
+{
+    // ...and 3N^2 on the SIMDs when alpha and beta are both nontrivial.
+    const auto &cal = arch::defaultCdna2();
+    for (std::size_t n : {64u, 512u}) {
+        const GemmPlan plan =
+            planGemm(squareConfig(GemmCombo::Sgemm, n), cal);
+        EXPECT_DOUBLE_EQ(plan.profile.simdFlops(),
+                         3.0 * static_cast<double>(n) * n) << n;
+    }
+}
+
+TEST(Planner, AlphaOneBetaZeroElidesScaling)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(
+        squareConfig(GemmCombo::Sgemm, 256, /*alpha=*/1.0, /*beta=*/0.0),
+        cal);
+    EXPECT_DOUBLE_EQ(plan.profile.simdFlops(), 0.0);
+}
+
+TEST(Planner, BetaOneSkipsOneMultiply)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan = planGemm(
+        squareConfig(GemmCombo::Sgemm, 256, /*alpha=*/0.5, /*beta=*/1.0),
+        cal);
+    // alpha multiply + add, but no beta multiply: 2N^2.
+    EXPECT_DOUBLE_EQ(plan.profile.simdFlops(), 2.0 * 256.0 * 256.0);
+}
+
+TEST(Planner, HhsEmitsConversionXferInstructions)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan hhs = planGemm(squareConfig(GemmCombo::Hhs, 256), cal);
+    const auto counters = hhs.profile.expectedCounters();
+    // C read + D write conversions, one inst per 64 elements each.
+    EXPECT_EQ(counters.valuCount(arch::DataType::F16, sim::ValuOp::Xfer),
+              2u * (256u * 256u / 64u));
+    // HSS keeps C/D in the compute type: no conversions.
+    const GemmPlan hss = planGemm(squareConfig(GemmCombo::Hss, 256), cal);
+    EXPECT_EQ(hss.profile.expectedCounters().valuCount(
+                  arch::DataType::F32, sim::ValuOp::Xfer), 0u);
+}
+
+TEST(Planner, PaddingRoundsUpToInstructionShape)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan =
+        planGemm(squareConfig(GemmCombo::Hhs, 100), cal);
+    EXPECT_EQ(plan.paddedM, 112u); // next multiple of 16
+    EXPECT_EQ(plan.paddedN, 112u);
+    EXPECT_EQ(plan.paddedK, 112u);
+    // Counter FLOPs reflect the padded (hardware) work...
+    const auto counters = plan.profile.expectedCounters();
+    EXPECT_DOUBLE_EQ(
+        512.0 * static_cast<double>(counters.mops(arch::DataType::F16)),
+        2.0 * 112 * 112 * 112);
+    // ...while the reported algorithmic FLOPs stay exact.
+    EXPECT_DOUBLE_EQ(plan.profile.mfmaFlops(), 2.0 * 100 * 100 * 100);
+}
+
+TEST(Planner, MacroTileWidensForHugeProblems)
+{
+    const auto &cal = arch::defaultCdna2();
+    EXPECT_EQ(planGemm(squareConfig(GemmCombo::Sgemm, 16384), cal)
+                  .macroTile, 128);
+    EXPECT_EQ(planGemm(squareConfig(GemmCombo::Sgemm, 65536), cal)
+                  .macroTile, 256);
+}
+
+TEST(Planner, MacroTileShrinksForSmallProblems)
+{
+    const auto &cal = arch::defaultCdna2();
+    // A small problem cannot fill 440 Matrix Cores with 128-tiles.
+    const GemmPlan plan =
+        planGemm(squareConfig(GemmCombo::Sgemm, 512), cal);
+    EXPECT_LT(plan.macroTile, 128);
+    EXPECT_GE(plan.macroTile, 32);
+}
+
+TEST(Planner, ForceMacroTileHonored)
+{
+    const auto &cal = arch::defaultCdna2();
+    GemmConfig cfg = squareConfig(GemmCombo::Sgemm, 4096);
+    cfg.forceMacroTile = 64;
+    EXPECT_EQ(planGemm(cfg, cal).macroTile, 64);
+}
+
+TEST(Planner, L2MissFractionGrowsWithK)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan small =
+        planGemm(squareConfig(GemmCombo::Dgemm, 2048), cal);
+    const GemmPlan large =
+        planGemm(squareConfig(GemmCombo::Dgemm, 16384), cal);
+    EXPECT_EQ(small.l2MissFrac, 0.0);
+    EXPECT_EQ(large.l2MissFrac, 1.0);
+    EXPECT_GT(large.hbmReadBytes,
+              small.hbmReadBytes * 8 * 8 * 8); // superlinear growth
+}
+
+TEST(Planner, DoubleMissesL2BeforeFloat)
+{
+    // The f64 panel strip is twice the f32 strip, so DGEMM starts
+    // missing at half the N — why its Fig. 6 drop comes earlier.
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan d8k = planGemm(squareConfig(GemmCombo::Dgemm, 8192), cal);
+    const GemmPlan s8k = planGemm(squareConfig(GemmCombo::Sgemm, 8192), cal);
+    EXPECT_GT(d8k.l2MissFrac, s8k.l2MissFrac);
+}
+
+TEST(Planner, SimdPathCarriesFmaWork)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan =
+        planGemm(squareConfig(GemmCombo::Hgemm, 512), cal);
+    EXPECT_FALSE(plan.useMatrixCores);
+    EXPECT_EQ(plan.inst, nullptr);
+    // All 2N^3 product FLOPs appear as SIMD work.
+    EXPECT_DOUBLE_EQ(plan.profile.mfmaFlops(), 0.0);
+    EXPECT_NEAR(plan.profile.simdFlops(),
+                2.0 * 512 * 512 * 512 + 3.0 * 512 * 512,
+                1e-6 * 2.0 * 512 * 512 * 512);
+    EXPECT_DOUBLE_EQ(plan.profile.simdEfficiency,
+                     cal.simdGemmEfficiency);
+}
+
+TEST(Planner, WavefrontsAreFourPerWorkgroup)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan plan =
+        planGemm(squareConfig(GemmCombo::Sgemm, 4096), cal);
+    EXPECT_EQ(plan.numWorkgroups, 32ull * 32ull);
+    EXPECT_EQ(plan.numWavefronts, plan.numWorkgroups * 4);
+    EXPECT_EQ(plan.profile.scheduleMode, sim::ScheduleMode::Fluid);
+}
+
+TEST(Planner, TrafficIncludesCReadOnlyWithBeta)
+{
+    const auto &cal = arch::defaultCdna2();
+    const GemmPlan with_beta =
+        planGemm(squareConfig(GemmCombo::Sgemm, 1024, 0.1, 0.1), cal);
+    const GemmPlan without_beta =
+        planGemm(squareConfig(GemmCombo::Sgemm, 1024, 0.1, 0.0), cal);
+    EXPECT_NEAR(with_beta.hbmReadBytes - without_beta.hbmReadBytes,
+                4.0 * 1024 * 1024, 1.0);
+}
+
+TEST(PlannerDeathTest, ZeroDimensionsPanic)
+{
+    const auto &cal = arch::defaultCdna2();
+    GemmConfig cfg = squareConfig(GemmCombo::Sgemm, 0);
+    EXPECT_DEATH(planGemm(cfg, cal), "must be positive");
+}
+
+TEST(ComboInfo, TableIII)
+{
+    using DT = arch::DataType;
+    EXPECT_EQ(comboInfo(GemmCombo::Hgemm).typeAB, DT::F16);
+    EXPECT_EQ(comboInfo(GemmCombo::Hgemm).typeCD, DT::F16);
+    EXPECT_EQ(comboInfo(GemmCombo::Hgemm).computeType, DT::F16);
+    EXPECT_EQ(comboInfo(GemmCombo::Hhs).typeCD, DT::F16);
+    EXPECT_EQ(comboInfo(GemmCombo::Hhs).computeType, DT::F32);
+    EXPECT_EQ(comboInfo(GemmCombo::Hss).typeCD, DT::F32);
+    EXPECT_EQ(comboInfo(GemmCombo::Hss).computeType, DT::F32);
+}
+
+TEST(ComboInfo, ParseRoundTrips)
+{
+    for (GemmCombo combo : allCombos)
+        EXPECT_EQ(parseCombo(comboInfo(combo).name), combo);
+}
+
+TEST(ComboInfoDeathTest, ParseRejectsUnknown)
+{
+    EXPECT_EXIT(parseCombo("zgemm"), ::testing::ExitedWithCode(1),
+                "unknown GEMM combo");
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

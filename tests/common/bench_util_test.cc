@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Tests of the shared bench helpers (repetition + the paper's error
+ * bound reporting convention).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bench/common/bench_util.hh"
+
+namespace mc {
+namespace bench {
+namespace {
+
+TEST(RepeatMeasure, RunsRequestedRepetitions)
+{
+    int calls = 0;
+    const Measurement m = repeatMeasure([&]() {
+        ++calls;
+        return 2.0;
+    }, 7);
+    EXPECT_EQ(calls, 7);
+    EXPECT_EQ(m.stats.count, 7u);
+    EXPECT_DOUBLE_EQ(m.value(), 2.0);
+}
+
+TEST(RepeatMeasure, SummarizesVaryingSamples)
+{
+    int i = 0;
+    const double values[] = {10.0, 20.0, 30.0};
+    const Measurement m =
+        repeatMeasure([&]() { return values[i++]; }, 3);
+    EXPECT_DOUBLE_EQ(m.value(), 20.0);
+    EXPECT_DOUBLE_EQ(m.stats.min, 10.0);
+    EXPECT_DOUBLE_EQ(m.stats.max, 30.0);
+}
+
+TEST(Measurement, NoErrorBoundWhenSpreadTight)
+{
+    // Spread <= 2%: only the mean is printed (Section IV convention).
+    int i = 0;
+    const double values[] = {100.0, 100.5, 99.5, 100.0};
+    const Measurement m =
+        repeatMeasure([&]() { return values[i++]; }, 4);
+    EXPECT_EQ(m.format(1.0, 1), "100.0");
+}
+
+TEST(Measurement, ErrorBoundWhenSpreadExceedsTwoPercent)
+{
+    int i = 0;
+    const double values[] = {90.0, 110.0};
+    const Measurement m =
+        repeatMeasure([&]() { return values[i++]; }, 2);
+    const std::string text = m.format(1.0, 1);
+    EXPECT_NE(text.find("100.0"), std::string::npos);
+    EXPECT_NE(text.find("+/-"), std::string::npos);
+}
+
+TEST(Measurement, ScalingApplied)
+{
+    const Measurement m = repeatMeasure([]() { return 43.6e12; }, 3);
+    EXPECT_EQ(tflopsCell(m), "43.6");
+}
+
+TEST(RepeatMeasureDeathTest, ZeroRepetitionsPanics)
+{
+    EXPECT_DEATH(repeatMeasure([]() { return 1.0; }, 0),
+                 "at least one repetition");
+}
+
+} // namespace
+} // namespace bench
+} // namespace mc

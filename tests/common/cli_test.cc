@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests of the command-line flag parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.hh"
+
+namespace mc {
+namespace {
+
+CliParser
+makeParser()
+{
+    CliParser p("test program");
+    p.addFlag("verbose", false, "enable verbose output");
+    p.addFlag("iters", static_cast<std::int64_t>(100), "iteration count");
+    p.addFlag("alpha", 0.1, "alpha scale");
+    p.addFlag("combo", std::string("sgemm"), "GEMM combo");
+    return p;
+}
+
+TEST(CliParser, DefaultsApply)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog"};
+    p.parse(1, argv);
+    EXPECT_FALSE(p.getBool("verbose"));
+    EXPECT_EQ(p.getInt("iters"), 100);
+    EXPECT_DOUBLE_EQ(p.getDouble("alpha"), 0.1);
+    EXPECT_EQ(p.getString("combo"), "sgemm");
+}
+
+TEST(CliParser, EqualsSyntax)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--iters=250", "--alpha=0.5",
+                          "--combo=hss", "--verbose=true"};
+    p.parse(5, argv);
+    EXPECT_EQ(p.getInt("iters"), 250);
+    EXPECT_DOUBLE_EQ(p.getDouble("alpha"), 0.5);
+    EXPECT_EQ(p.getString("combo"), "hss");
+    EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(CliParser, SpaceSeparatedValue)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--iters", "42"};
+    p.parse(3, argv);
+    EXPECT_EQ(p.getInt("iters"), 42);
+}
+
+TEST(CliParser, BareBooleanFlag)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--verbose"};
+    p.parse(2, argv);
+    EXPECT_TRUE(p.getBool("verbose"));
+}
+
+TEST(CliParser, PositionalArgumentsCollected)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "input.csv", "--verbose", "out.csv"};
+    p.parse(4, argv);
+    ASSERT_EQ(p.positional().size(), 2u);
+    EXPECT_EQ(p.positional()[0], "input.csv");
+    EXPECT_EQ(p.positional()[1], "out.csv");
+}
+
+TEST(CliParser, NegativeNumbers)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--iters=-5", "--alpha=-1.5"};
+    p.parse(3, argv);
+    EXPECT_EQ(p.getInt("iters"), -5);
+    EXPECT_DOUBLE_EQ(p.getDouble("alpha"), -1.5);
+}
+
+TEST(CliParser, UsageMentionsFlagsAndHelp)
+{
+    CliParser p = makeParser();
+    const std::string usage = p.usage();
+    EXPECT_NE(usage.find("--iters"), std::string::npos);
+    EXPECT_NE(usage.find("iteration count"), std::string::npos);
+    EXPECT_NE(usage.find("--help"), std::string::npos);
+}
+
+TEST(CliParserDeathTest, UnknownFlagIsFatal)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--no-such-flag"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown flag --no-such-flag");
+}
+
+TEST(CliParserDeathTest, MalformedIntIsFatal)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--iters=abc"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "expects an integer");
+}
+
+TEST(CliParserDeathTest, MissingValueIsFatal)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--iters"};
+    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
+                "requires a value");
+}
+
+TEST(CliParserDeathTest, WrongTypeAccessPanics)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog"};
+    p.parse(1, argv);
+    EXPECT_DEATH((void)p.getBool("iters"), "wrong type");
+    EXPECT_DEATH((void)p.getInt("never-registered"), "never registered");
+}
+
+} // namespace
+} // namespace mc

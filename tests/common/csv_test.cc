@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Tests of the CSV writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace mc {
+namespace {
+
+TEST(CsvWriter, PlainRow)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"n", "tflops", "watts"});
+    EXPECT_EQ(os.str(), "n,tflops,watts\n");
+}
+
+TEST(CsvWriter, QuotesCellsWithCommas)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a,b", "plain"});
+    EXPECT_EQ(os.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriter, EscapesEmbeddedQuotes)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"say \"hi\""});
+    EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriter, QuotesNewlines)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"line1\nline2"});
+    EXPECT_EQ(os.str(), "\"line1\nline2\"\n");
+}
+
+TEST(CsvWriter, NumericRowUsesFullPrecision)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeNumericRow({1.5, 350.0, 0.61});
+    EXPECT_EQ(os.str(), "1.5,350,0.61\n");
+}
+
+TEST(CsvWriter, MultipleRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os);
+    csv.writeRow({"a"});
+    csv.writeRow({"b"});
+    EXPECT_EQ(os.str(), "a\nb\n");
+}
+
+} // namespace
+} // namespace mc

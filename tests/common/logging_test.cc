@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tests of the logging and assertion primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace {
+
+TEST(Logging, ConcatFoldsMixedArguments)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    const std::string empty = detail::concat();
+    EXPECT_EQ(empty, "");
+    EXPECT_EQ(detail::concat("solo"), "solo");
+}
+
+TEST(Logging, LogLevelRoundTrips)
+{
+    const LogLevel saved = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    setLogLevel(saved);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(mc_panic("boom ", 123), "panic: boom 123");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithError)
+{
+    EXPECT_EXIT(mc_fatal("bad config"), ::testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+TEST(LoggingDeathTest, AssertFiresOnFalse)
+{
+    EXPECT_DEATH(mc_assert(1 == 2, "math broke"),
+                 "assertion failed: 1 == 2 math broke");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    mc_assert(2 + 2 == 4, "never shown");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace mc

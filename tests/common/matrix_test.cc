@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests of the dense matrix container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hh"
+#include "fp/half.hh"
+
+namespace mc {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty)
+{
+    Matrix<double> m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(Matrix, ValueInitialized)
+{
+    Matrix<float> m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    EXPECT_EQ(m.size(), 12u);
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(m(i, j), 0.0f);
+}
+
+TEST(Matrix, InitFillConstructor)
+{
+    Matrix<double> m(2, 2, 1.5);
+    EXPECT_EQ(m(0, 0), 1.5);
+    EXPECT_EQ(m(1, 1), 1.5);
+}
+
+TEST(Matrix, RowMajorStorageOrder)
+{
+    Matrix<int> m(2, 3);
+    m(0, 0) = 1;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    EXPECT_EQ(m.data()[0], 1);
+    EXPECT_EQ(m.data()[2], 3);
+    EXPECT_EQ(m.data()[3], 4);
+}
+
+TEST(Matrix, SetIdentity)
+{
+    Matrix<double> m(3, 3, 7.0);
+    m.setIdentity();
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_EQ(m(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, SetIdentityRectangular)
+{
+    Matrix<double> m(2, 4);
+    m.setIdentity();
+    EXPECT_EQ(m(0, 0), 1.0);
+    EXPECT_EQ(m(1, 1), 1.0);
+    EXPECT_EQ(m(1, 3), 0.0);
+}
+
+TEST(Matrix, IdentityWorksForHalf)
+{
+    // setIdentity goes through T(float) conversion; make sure the
+    // reduced-precision type paths compile and behave.
+    Matrix<fp::Half> m(2, 2);
+    m.setIdentity();
+    EXPECT_EQ(m(0, 0).toFloat(), 1.0f);
+    EXPECT_EQ(m(0, 1).toFloat(), 0.0f);
+}
+
+TEST(Matrix, SameShape)
+{
+    Matrix<double> a(2, 3), b(2, 3), c(3, 2);
+    EXPECT_TRUE(a.sameShape(b));
+    EXPECT_FALSE(a.sameShape(c));
+}
+
+TEST(MatrixDeathTest, OutOfBoundsPanics)
+{
+    Matrix<double> m(2, 2);
+    EXPECT_DEATH((void)m(2, 0), "out of bounds");
+    EXPECT_DEATH((void)m(0, 2), "out of bounds");
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the ASCII chart renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/plot.hh"
+
+namespace mc {
+namespace {
+
+TEST(AsciiChart, EmptyChartSaysNoData)
+{
+    AsciiChart chart;
+    EXPECT_NE(chart.toString().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, RendersTitleAxesAndLegend)
+{
+    AsciiChart chart(32, 8);
+    chart.setTitle("demo");
+    chart.setXLabel("N");
+    chart.setYLabel("TFLOPS");
+    PlotSeries s;
+    s.label = "series-a";
+    s.marker = 'a';
+    s.points = {{1.0, 1.0}, {2.0, 2.0}};
+    chart.addSeries(s);
+
+    const std::string out = chart.toString();
+    EXPECT_EQ(out.rfind("demo\n", 0), 0u);
+    EXPECT_NE(out.find("x: N"), std::string::npos);
+    EXPECT_NE(out.find("y: TFLOPS"), std::string::npos);
+    EXPECT_NE(out.find("a series-a"), std::string::npos);
+}
+
+TEST(AsciiChart, MarkersLandAtExtremes)
+{
+    AsciiChart chart(32, 8);
+    PlotSeries s;
+    s.label = "line";
+    s.marker = '*';
+    s.points = {{0.0, 0.0}, {10.0, 100.0}};
+    chart.addSeries(s);
+    const std::string out = chart.toString();
+
+    // The max point renders on the top row, the min on the bottom row.
+    std::istringstream is(out);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(is, line);)
+        lines.push_back(line);
+    EXPECT_NE(lines[0].find('*'), std::string::npos); // top row
+    EXPECT_NE(lines[7].find('*'), std::string::npos); // bottom data row
+}
+
+TEST(AsciiChart, LogXPlacesDecadesEvenly)
+{
+    AsciiChart chart(31, 8);
+    chart.setLogX(true);
+    PlotSeries s;
+    s.label = "decades";
+    s.marker = 'o';
+    s.points = {{1.0, 1.0}, {10.0, 1.0}, {100.0, 1.0}};
+    chart.addSeries(s);
+    const std::string out = chart.toString();
+
+    // All points share y = ymax, so they render on the top data row;
+    // log placement puts the decades at evenly spaced columns.
+    std::istringstream is(out);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(is, line);)
+        lines.push_back(line);
+    const std::string &row = lines[0];
+    const std::size_t first = row.find('o');
+    const std::size_t second = row.find('o', first + 1);
+    const std::size_t third = row.find('o', second + 1);
+    ASSERT_NE(third, std::string::npos);
+    EXPECT_EQ(second - first, third - second);
+}
+
+TEST(AsciiChart, AxisEndLabels)
+{
+    AsciiChart chart(32, 8);
+    PlotSeries s;
+    s.label = "x";
+    s.points = {{16.0, 1.0}, {65536.0, 2.0}};
+    chart.addSeries(s);
+    const std::string out = chart.toString();
+    EXPECT_NE(out.find("16"), std::string::npos);
+    EXPECT_NE(out.find("65536"), std::string::npos);
+}
+
+TEST(AsciiChartDeathTest, TooSmallAreaPanics)
+{
+    EXPECT_DEATH(AsciiChart(4, 2), "too small");
+}
+
+TEST(AsciiChartDeathTest, LogXRejectsNonPositive)
+{
+    AsciiChart chart(32, 8);
+    chart.setLogX(true);
+    PlotSeries s;
+    s.label = "bad";
+    s.points = {{0.0, 1.0}};
+    chart.addSeries(s);
+    EXPECT_DEATH(chart.toString(), "positive x");
+}
+
+} // namespace
+} // namespace mc

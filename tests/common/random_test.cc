@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests of the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace mc {
+namespace {
+
+TEST(Rng, EqualSeedsGiveEqualStreams)
+{
+    Rng a(1234), b(1234);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int differences = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (a.next() != b.next())
+            ++differences;
+    }
+    EXPECT_GT(differences, 5);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRespectsBounds)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, NextBelowStaysBelow)
+{
+    Rng rng(13);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+}
+
+TEST(Rng, NextBelowCoversSmallRange)
+{
+    Rng rng(17);
+    bool seen[5] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.nextBelow(5)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMomentsAreSane)
+{
+    Rng rng(23);
+    const int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.nextGaussian();
+        sum += v;
+        sum_sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sum_sq / n - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngDeathTest, NextBelowZeroBoundPanics)
+{
+    Rng rng(29);
+    EXPECT_DEATH(rng.nextBelow(0), "nonzero bound");
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests of the statistics helpers, in particular the linear fitter used
+ * to recover the paper's Eq. 3 power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "common/stats.hh"
+
+namespace mc {
+namespace {
+
+TEST(Summarize, EmptyInputIsZeroed)
+{
+    const SampleStats s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, SingleValue)
+{
+    const SampleStats s = summarize({3.5});
+    EXPECT_EQ(s.count, 1u);
+    EXPECT_DOUBLE_EQ(s.mean, 3.5);
+    EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+    EXPECT_DOUBLE_EQ(s.min, 3.5);
+    EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Summarize, KnownSample)
+{
+    const SampleStats s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+    EXPECT_DOUBLE_EQ(s.mean, 5.0);
+    EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min, 2.0);
+    EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summarize, RelativeSpread)
+{
+    const SampleStats s = summarize({9.0, 10.0, 11.0});
+    EXPECT_NEAR(s.relativeSpread(), 1.0 / 10.0, 1e-12);
+}
+
+TEST(FitLinear, RecoversExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20; ++i) {
+        xs.push_back(i);
+        ys.push_back(5.88 * i + 130.0); // the paper's FP64 power model
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 5.88, 1e-9);
+    EXPECT_NEAR(fit.intercept, 130.0, 1e-9);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+    EXPECT_NEAR(fit.predict(41.0), 5.88 * 41.0 + 130.0, 1e-9);
+}
+
+TEST(FitLinear, NoisyLineStillCloselyRecovered)
+{
+    Rng rng(31);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        xs.push_back(x);
+        ys.push_back(2.18 * x + 125.5 + rng.nextGaussian() * 2.0);
+    }
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.18, 0.02);
+    EXPECT_NEAR(fit.intercept, 125.5, 1.0);
+    EXPECT_GT(fit.r2, 0.99);
+}
+
+TEST(FitLinearDeathTest, RejectsDegenerateInput)
+{
+    EXPECT_DEATH(fitLinear({1.0}, {1.0}), "at least two points");
+    EXPECT_DEATH(fitLinear({1.0, 1.0}, {1.0, 2.0}), "non-degenerate");
+    EXPECT_DEATH(fitLinear({1.0, 2.0}, {1.0}), "equal-length");
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    std::vector<double> v{10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 40.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 25.0);
+}
+
+TEST(Percentile, UnsortedInputHandled)
+{
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(GeometricMean, KnownValues)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geometricMean({5.0}), 5.0, 1e-12);
+}
+
+TEST(GeometricMeanDeathTest, RejectsNonPositive)
+{
+    EXPECT_DEATH(geometricMean({1.0, 0.0}), "positive values");
+    EXPECT_DEATH(geometricMean({}), "empty");
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests of Status and Result error propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/status.hh"
+
+namespace mc {
+namespace {
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.isOk());
+    EXPECT_TRUE(static_cast<bool>(s));
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage)
+{
+    const Status s = Status::invalidArgument("n must be positive");
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(s.message(), "n must be positive");
+    EXPECT_EQ(s.toString(), "InvalidArgument: n must be positive");
+}
+
+TEST(Status, AllErrorCodesHaveNames)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "Ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "InvalidArgument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Unsupported), "Unsupported");
+    EXPECT_STREQ(errorCodeName(ErrorCode::OutOfMemory), "OutOfMemory");
+    EXPECT_STREQ(errorCodeName(ErrorCode::ResourceExhausted),
+                 "ResourceExhausted");
+    EXPECT_STREQ(errorCodeName(ErrorCode::NotFound), "NotFound");
+    EXPECT_STREQ(errorCodeName(ErrorCode::FailedPrecondition),
+                 "FailedPrecondition");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "Internal");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(42);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(r.take(), 42);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::notFound("no such counter"));
+    EXPECT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+}
+
+TEST(Result, MoveOnlyPayload)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+    ASSERT_TRUE(r.isOk());
+    auto p = r.take();
+    EXPECT_EQ(*p, 7);
+}
+
+TEST(ResultDeathTest, ValueOnErrorPanics)
+{
+    Result<int> r(Status::internal("whoops"));
+    EXPECT_DEATH((void)r.value(), "value\\(\\) on error Result");
+}
+
+TEST(ResultDeathTest, OkStatusIntoResultPanics)
+{
+    EXPECT_DEATH(Result<int>(Status::ok()), "non-ok status");
+}
+
+} // namespace
+} // namespace mc

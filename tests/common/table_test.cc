@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tests of the text-table renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace mc {
+namespace {
+
+TEST(TextTable, RendersAlignedCells)
+{
+    TextTable t({"name", "TFLOPS"});
+    t.setAlignment({Align::Left, Align::Right});
+    t.addRow({"mixed", "350.0"});
+    t.addRow({"double", "69.0"});
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("| name   |"), std::string::npos);
+    EXPECT_NE(out.find("|  350.0 |"), std::string::npos);
+    EXPECT_NE(out.find("|   69.0 |"), std::string::npos);
+}
+
+TEST(TextTable, TitlePrintedFirst)
+{
+    TextTable t({"a"});
+    t.setTitle("Table II");
+    t.addRow({"x"});
+    const std::string out = t.toString();
+    EXPECT_EQ(out.rfind("Table II\n", 0), 0u);
+}
+
+TEST(TextTable, SeparatorAddsRule)
+{
+    TextTable t({"a"});
+    t.addRow({"1"});
+    t.addSeparator();
+    t.addRow({"2"});
+    const std::string out = t.toString();
+    // Header rule, top rule, separator, bottom rule = 4 dashes lines.
+    int rules = 0;
+    for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+         ++pos) {
+        ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, NumRowsCountsDataRows)
+{
+    TextTable t({"a", "b"});
+    EXPECT_EQ(t.numRows(), 0u);
+    t.addRow({"1", "2"});
+    t.addRow({"3", "4"});
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTableDeathTest, WrongCellCountPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "row has 1 cells, expected 2");
+}
+
+TEST(TextTableDeathTest, EmptyHeaderPanics)
+{
+    EXPECT_DEATH(TextTable({}), "at least one column");
+}
+
+TEST(TextTableDeathTest, WrongAlignmentSizePanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.setAlignment({Align::Left}), "every column");
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests of unit constructors and formatting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace mc {
+namespace {
+
+TEST(Units, Constructors)
+{
+    EXPECT_DOUBLE_EQ(units::tflops(1.5), 1.5e12);
+    EXPECT_DOUBLE_EQ(units::gflops(2.0), 2.0e9);
+    EXPECT_DOUBLE_EQ(units::megahertz(1700), 1.7e9);
+    EXPECT_DOUBLE_EQ(units::gigahertz(1.41), 1.41e9);
+    EXPECT_DOUBLE_EQ(units::gibibytes(64), 64.0 * (1ull << 30));
+    EXPECT_DOUBLE_EQ(units::tbPerSec(3.2), 3.2e12);
+}
+
+TEST(Units, RoundTripConversions)
+{
+    EXPECT_DOUBLE_EQ(units::toTflops(units::tflops(95.7)), 95.7);
+    EXPECT_DOUBLE_EQ(units::toGflops(units::gflops(1020)), 1020);
+}
+
+TEST(Units, FormatFlopsPicksScale)
+{
+    EXPECT_EQ(units::formatFlops(350.0e12), "350.0 TFLOPS");
+    EXPECT_EQ(units::formatFlops(19.4e12), "19.4 TFLOPS");
+    EXPECT_EQ(units::formatFlops(5.0e9), "5.0 GFLOPS");
+    EXPECT_EQ(units::formatFlops(2.5e6), "2.5 MFLOPS");
+    EXPECT_EQ(units::formatFlops(100.0), "100.0 FLOPS");
+}
+
+TEST(Units, FormatWatts)
+{
+    EXPECT_EQ(units::formatWatts(541.0), "541.0 W");
+    EXPECT_EQ(units::formatWatts(88.25, 2), "88.25 W");
+}
+
+TEST(Units, FormatEfficiency)
+{
+    EXPECT_EQ(units::formatEfficiency(1020e9), "1020 GFLOPS/W");
+    EXPECT_EQ(units::formatEfficiency(1.5e12, 1), "1500.0 GFLOPS/W");
+    EXPECT_EQ(units::formatEfficiency(15e12, 1), "15.0 TFLOPS/W");
+}
+
+TEST(Units, FormatBytesBinaryPrefixes)
+{
+    EXPECT_EQ(units::formatBytes(64.0 * (1ull << 30)), "64.0 GiB");
+    EXPECT_EQ(units::formatBytes(8.0 * (1ull << 20)), "8.0 MiB");
+    EXPECT_EQ(units::formatBytes(2048.0), "2.0 KiB");
+    EXPECT_EQ(units::formatBytes(100.0), "100.0 B");
+}
+
+TEST(Units, FormatSecondsAdaptiveUnit)
+{
+    EXPECT_EQ(units::formatSeconds(2.5), "2.50 s");
+    EXPECT_EQ(units::formatSeconds(0.0125), "12.50 ms");
+    EXPECT_EQ(units::formatSeconds(3.2e-5), "32.00 us");
+    EXPECT_EQ(units::formatSeconds(5.0e-8), "50.00 ns");
+}
+
+TEST(Units, FormatHertz)
+{
+    EXPECT_EQ(units::formatHertz(1.7e9), "1.70 GHz");
+    EXPECT_EQ(units::formatHertz(100.0e6), "100.00 MHz");
+}
+
+} // namespace
+} // namespace mc

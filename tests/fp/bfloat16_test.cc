@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests of the bfloat16 implementation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/random.hh"
+#include "fp/bfloat16.hh"
+#include "fp/traits.hh"
+
+namespace mc {
+namespace fp {
+namespace {
+
+TEST(BFloat16, KnownBitPatterns)
+{
+    EXPECT_EQ(BFloat16(0.0f).bits(), 0x0000);
+    EXPECT_EQ(BFloat16(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(BFloat16(1.0f).bits(), 0x3f80);
+    EXPECT_EQ(BFloat16(-2.0f).bits(), 0xc000);
+    // bfloat16 shares the float exponent range: no overflow at 1e38.
+    EXPECT_FALSE(BFloat16(1.0e38f).isInf());
+    EXPECT_TRUE(BFloat16(INFINITY).isInf());
+}
+
+TEST(BFloat16, TruncationIsTopHalfOfFloat)
+{
+    const float x = 3.14159265f;
+    const auto fbits = std::bit_cast<std::uint32_t>(x);
+    const BFloat16 b(x);
+    // Rounded value differs from the truncated top half by at most 1.
+    const auto truncated = static_cast<std::uint16_t>(fbits >> 16);
+    EXPECT_LE(static_cast<int>(b.bits()) - static_cast<int>(truncated), 1);
+    EXPECT_GE(static_cast<int>(b.bits()) - static_cast<int>(truncated), 0);
+}
+
+TEST(BFloat16, RoundToNearestEven)
+{
+    // 1 + 2^-8 is halfway between 1.0 (even) and 1 + 2^-7: ties to even.
+    EXPECT_EQ(BFloat16(1.0f + 0x1.0p-8f).bits(), 0x3f80);
+    // 1 + 3*2^-8 ties up to the even neighbour 1 + 2^-6.
+    EXPECT_EQ(BFloat16(1.0f + 3 * 0x1.0p-8f).bits(), 0x3f82);
+    // Slightly above a tie rounds up.
+    EXPECT_EQ(BFloat16(1.0f + 0x1.0p-8f + 0x1.0p-16f).bits(), 0x3f81);
+}
+
+TEST(BFloat16, NanPreservedUnderRounding)
+{
+    const BFloat16 nan(std::nanf(""));
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    // A NaN whose payload lives only in the low 16 bits must not be
+    // truncated into an infinity.
+    const float sneaky = std::bit_cast<float>(0x7f800001u);
+    EXPECT_TRUE(BFloat16(sneaky).isNan());
+}
+
+TEST(BFloat16, RoundTripAllPatterns)
+{
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const BFloat16 v = BFloat16::fromBits(static_cast<std::uint16_t>(b));
+        const BFloat16 back(v.toFloat());
+        if (v.isNan()) {
+            EXPECT_TRUE(back.isNan()) << "pattern " << v.toString();
+        } else {
+            EXPECT_EQ(back.bits(), v.bits()) << "pattern " << v.toString();
+        }
+    }
+}
+
+TEST(BFloat16, RelativeErrorBounded)
+{
+    Rng rng(43);
+    for (int i = 0; i < 20000; ++i) {
+        const float x = static_cast<float>(rng.uniform(-1e6, 1e6));
+        if (x == 0.0f)
+            continue;
+        const float back = BFloat16(x).toFloat();
+        // 8 mantissa bits -> relative error at most 2^-8.
+        EXPECT_LE(std::fabs(back - x) / std::fabs(x), 0x1.0p-8f);
+    }
+}
+
+TEST(BFloat16, Arithmetic)
+{
+    EXPECT_EQ((BFloat16(3.0f) * BFloat16(4.0f)).toFloat(), 12.0f);
+    EXPECT_EQ((BFloat16(1.0f) + BFloat16(2.0f)).toFloat(), 3.0f);
+    EXPECT_EQ((-BFloat16(1.5f)).toFloat(), -1.5f);
+}
+
+TEST(BFloat16, ComparisonSemantics)
+{
+    EXPECT_TRUE(BFloat16(0.0f) == BFloat16(-0.0f));
+    EXPECT_FALSE(BFloat16::quietNan() == BFloat16::quietNan());
+    EXPECT_TRUE(BFloat16(1.0f) != BFloat16(2.0f));
+}
+
+TEST(NumericTraits, WidenNarrowConsistency)
+{
+    EXPECT_EQ(NumericTraits<Half>::widen(Half(1.5f)), 1.5f);
+    EXPECT_EQ(NumericTraits<BFloat16>::narrow(2.0f).toFloat(), 2.0f);
+    EXPECT_EQ(NumericTraits<float>::widen(3.5f), 3.5f);
+    EXPECT_EQ(NumericTraits<double>::widen(4.5), 4.5);
+    EXPECT_EQ(NumericTraits<std::int8_t>::widen(-5), -5);
+}
+
+TEST(NumericTraits, Int8SaturatesOnNarrow)
+{
+    EXPECT_EQ(NumericTraits<std::int8_t>::narrow(1000), 127);
+    EXPECT_EQ(NumericTraits<std::int8_t>::narrow(-1000), -128);
+    EXPECT_EQ(NumericTraits<std::int8_t>::narrow(7), 7);
+}
+
+TEST(NumericTraits, SizesAndNames)
+{
+    EXPECT_EQ(NumericTraits<Half>::bytes, 2u);
+    EXPECT_EQ(NumericTraits<BFloat16>::bytes, 2u);
+    EXPECT_EQ(NumericTraits<float>::bytes, 4u);
+    EXPECT_EQ(NumericTraits<double>::bytes, 8u);
+    EXPECT_STREQ(NumericTraits<Half>::name, "fp16");
+    EXPECT_STREQ(NumericTraits<BFloat16>::name, "bf16");
+}
+
+} // namespace
+} // namespace fp
+} // namespace mc

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests of the software IEEE 754 binary16 implementation, including an
+ * exhaustive round-trip over all 65536 bit patterns and known
+ * round-to-nearest-even vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/random.hh"
+#include "fp/half.hh"
+
+namespace mc {
+namespace fp {
+namespace {
+
+TEST(Half, KnownBitPatterns)
+{
+    EXPECT_EQ(Half(0.0f).bits(), 0x0000);
+    EXPECT_EQ(Half(-0.0f).bits(), 0x8000);
+    EXPECT_EQ(Half(1.0f).bits(), 0x3c00);
+    EXPECT_EQ(Half(-1.0f).bits(), 0xbc00);
+    EXPECT_EQ(Half(2.0f).bits(), 0x4000);
+    EXPECT_EQ(Half(0.5f).bits(), 0x3800);
+    EXPECT_EQ(Half(65504.0f).bits(), 0x7bff); // max finite
+    EXPECT_EQ(Half(0.099975586f).bits(), 0x2e66); // ~0.1 in half
+}
+
+TEST(Half, NamedConstants)
+{
+    EXPECT_EQ(Half::one().bits(), 0x3c00);
+    EXPECT_EQ(Half::infinity().bits(), 0x7c00);
+    EXPECT_EQ(Half::maxFinite().toFloat(), 65504.0f);
+    EXPECT_EQ(Half::minNormal().toFloat(), 6.103515625e-05f); // 2^-14
+    EXPECT_EQ(Half::minSubnormal().toFloat(), 5.9604644775390625e-08f);
+}
+
+TEST(Half, OverflowGoesToInfinity)
+{
+    EXPECT_TRUE(Half(65520.0f).isInf()); // rounds up past max finite
+    EXPECT_TRUE(Half(1e6f).isInf());
+    EXPECT_TRUE(Half(-1e6f).isInf());
+    EXPECT_TRUE(Half(-1e6f).signBit());
+    // 65519 rounds down to 65504 (max finite), not infinity.
+    EXPECT_EQ(Half(65519.0f).bits(), 0x7bff);
+}
+
+TEST(Half, UnderflowGoesToZero)
+{
+    // Below half of the smallest subnormal (2^-25).
+    EXPECT_TRUE(Half(1e-9f).isZero());
+    EXPECT_TRUE(Half(-1e-9f).isZero());
+    EXPECT_TRUE(Half(-1e-9f).signBit());
+}
+
+TEST(Half, SubnormalsRepresented)
+{
+    const Half tiny(6.0e-8f); // near 2^-24
+    EXPECT_TRUE(tiny.isSubnormal());
+    EXPECT_EQ(tiny.bits(), 0x0001);
+
+    const Half mid(3.0e-5f); // below min normal 6.1e-5
+    EXPECT_TRUE(mid.isSubnormal());
+    EXPECT_NEAR(mid.toFloat(), 3.0e-5f, 6e-8f);
+}
+
+TEST(Half, RoundToNearestEvenTiesToEven)
+{
+    // 1 + 2^-11 is exactly halfway between 1.0 (even) and 1 + 2^-10:
+    // RNE keeps the even 1.0.
+    EXPECT_EQ(Half(1.0f + 0x1.0p-11f).bits(), 0x3c00);
+    // 1 + 3*2^-11 is halfway between 1+2^-10 (odd lsb) and 1+2^-9:
+    // RNE rounds up to the even pattern.
+    EXPECT_EQ(Half(1.0f + 3 * 0x1.0p-11f).bits(), 0x3c02);
+    // Slightly above the tie rounds up.
+    EXPECT_EQ(Half(1.0f + 0x1.0p-11f + 0x1.0p-20f).bits(), 0x3c01);
+}
+
+TEST(Half, NanPropagation)
+{
+    const Half nan(std::nanf(""));
+    EXPECT_TRUE(nan.isNan());
+    EXPECT_FALSE(nan.isInf());
+    EXPECT_TRUE(std::isnan(nan.toFloat()));
+    EXPECT_TRUE(Half::quietNan().isNan());
+}
+
+TEST(Half, InfinityConversion)
+{
+    const Half inf(INFINITY);
+    EXPECT_TRUE(inf.isInf());
+    EXPECT_FALSE(inf.isNan());
+    EXPECT_EQ(inf.toFloat(), INFINITY);
+    EXPECT_EQ(Half(-INFINITY).toFloat(), -INFINITY);
+}
+
+TEST(Half, ExhaustiveRoundTripAllPatterns)
+{
+    // Every binary16 value is exactly representable in binary32, so
+    // bits -> float -> bits must be the identity for every non-NaN
+    // pattern, and NaNs must stay NaNs.
+    for (std::uint32_t b = 0; b <= 0xffff; ++b) {
+        const Half h = Half::fromBits(static_cast<std::uint16_t>(b));
+        const Half back(h.toFloat());
+        if (h.isNan()) {
+            EXPECT_TRUE(back.isNan()) << "pattern " << h.toString();
+        } else {
+            EXPECT_EQ(back.bits(), h.bits()) << "pattern " << h.toString();
+        }
+    }
+}
+
+TEST(Half, ConversionMatchesRintOfScaledValues)
+{
+    // Property: for random floats in the normal half range, conversion
+    // error is at most half a ulp.
+    Rng rng(41);
+    for (int i = 0; i < 20000; ++i) {
+        const float x =
+            static_cast<float>(rng.uniform(-60000.0, 60000.0));
+        const Half h(x);
+        const float back = h.toFloat();
+        const float ulp = std::max(std::fabs(x) * 0x1.0p-10f, 0x1.0p-24f);
+        EXPECT_LE(std::fabs(back - x), 0.5f * ulp + 1e-12f)
+            << "x=" << x << " half=" << h.toString();
+    }
+}
+
+TEST(Half, ArithmeticRoundsPerOperation)
+{
+    const Half a(1.0f), b(0x1.0p-11f);
+    // 1 + 2^-11 rounds back to 1 in half precision: an FP16 FMA chain
+    // loses tiny addends, which is exactly why HGEMM accuracy suffers.
+    EXPECT_EQ((a + b).bits(), Half(1.0f).bits());
+
+    EXPECT_EQ((Half(3.0f) * Half(4.0f)).toFloat(), 12.0f);
+    EXPECT_EQ((Half(10.0f) / Half(4.0f)).toFloat(), 2.5f);
+    EXPECT_EQ((Half(5.0f) - Half(2.0f)).toFloat(), 3.0f);
+}
+
+TEST(Half, NegationFlipsSignBitOnly)
+{
+    const Half h(1.5f);
+    EXPECT_EQ((-h).bits(), h.bits() ^ 0x8000u);
+    EXPECT_TRUE((-Half::quietNan()).isNan());
+}
+
+TEST(Half, ComparisonSemantics)
+{
+    EXPECT_TRUE(Half(1.0f) == Half(1.0f));
+    EXPECT_FALSE(Half(1.0f) == Half(2.0f));
+    EXPECT_TRUE(Half(0.0f) == Half(-0.0f)); // signed zeros compare equal
+    EXPECT_FALSE(Half::quietNan() == Half::quietNan());
+    EXPECT_TRUE(Half::quietNan() != Half::quietNan());
+    EXPECT_TRUE(Half(1.0f) < Half(2.0f));
+    EXPECT_TRUE(Half(2.0f) >= Half(2.0f));
+}
+
+TEST(Half, DoubleConstructorGoesThroughFloat)
+{
+    EXPECT_EQ(Half(1.0).bits(), 0x3c00);
+    EXPECT_EQ(Half(0.1).bits(), Half(0.1f).bits());
+}
+
+TEST(Half, ToStringIsHex)
+{
+    EXPECT_EQ(Half(1.0f).toString(), "0x3c00");
+    EXPECT_EQ(Half::fromBits(0xdead).toString(), "0xdead");
+}
+
+} // namespace
+} // namespace fp
+} // namespace mc

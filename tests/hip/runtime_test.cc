@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the HIP-style runtime facade: device enumeration, memory
+ * accounting (including the sweep-ending OOM), events, and launches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hip/runtime.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace hip {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+TEST(Runtime, TwoGcdsVisibleAsTwoDevices)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    EXPECT_EQ(rt.deviceCount(), 2);
+}
+
+TEST(Runtime, PropertiesMatchCalibration)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    const DeviceProperties props = rt.properties(0);
+    EXPECT_NE(props.name.find("MI250X"), std::string::npos);
+    EXPECT_EQ(props.totalGlobalMem, 64ull << 30);
+    EXPECT_EQ(props.multiProcessorCount, 110);
+    EXPECT_EQ(props.warpSize, 64);
+    EXPECT_EQ(props.matrixCores, 440);
+    EXPECT_EQ(props.clockRateKhz, 1700000);
+}
+
+TEST(Runtime, AllocationAccounting)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+    auto buf = rt.malloc(0, 1024);
+    ASSERT_TRUE(buf.isOk());
+    EXPECT_EQ(rt.allocatedBytes(0), 1024u);
+    EXPECT_EQ(rt.allocatedBytes(1), 0u); // devices are independent
+    EXPECT_EQ(rt.bufferBytes(buf.value()), 1024u);
+    rt.free(buf.value());
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+}
+
+TEST(Runtime, OutOfMemoryAtHbmCapacity)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    const std::size_t capacity = 64ull << 30;
+    auto big = rt.malloc(0, capacity - 100);
+    ASSERT_TRUE(big.isOk());
+    auto too_much = rt.malloc(0, 200);
+    EXPECT_FALSE(too_much.isOk());
+    EXPECT_EQ(too_much.status().code(), ErrorCode::OutOfMemory);
+    // The other device still has room.
+    auto other = rt.malloc(1, 200);
+    EXPECT_TRUE(other.isOk());
+    rt.free(big.value());
+    rt.free(other.value());
+    // Freed capacity is reusable.
+    auto again = rt.malloc(0, capacity);
+    EXPECT_TRUE(again.isOk());
+    rt.free(again.value());
+}
+
+TEST(Runtime, FreeBytesComplement)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    auto buf = rt.malloc(0, 1ull << 30);
+    ASSERT_TRUE(buf.isOk());
+    EXPECT_EQ(rt.freeBytes(0), (64ull << 30) - (1ull << 30));
+    rt.free(buf.value());
+}
+
+TEST(Runtime, VirtualBuffersHaveNoHostBacking)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    auto virt = rt.malloc(0, 4096, /*materialize=*/false);
+    ASSERT_TRUE(virt.isOk());
+    EXPECT_EQ(rt.hostPtr(virt.value()), nullptr);
+
+    auto real = rt.malloc(0, 4096, /*materialize=*/true);
+    ASSERT_TRUE(real.isOk());
+    std::byte *p = rt.hostPtr(real.value());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(static_cast<int>(p[0]), 0); // zero-initialized
+    rt.free(virt.value());
+    rt.free(real.value());
+}
+
+TEST(Runtime, DeviceBufferRaii)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    {
+        DeviceBuffer<float> buf(rt, 0, 1000, /*materialize=*/true);
+        EXPECT_EQ(buf.count(), 1000u);
+        EXPECT_EQ(buf.bytes(), 4000u);
+        EXPECT_EQ(rt.allocatedBytes(0), 4000u);
+        buf.data()[999] = 2.5f;
+        EXPECT_EQ(buf.data()[999], 2.5f);
+    }
+    EXPECT_EQ(rt.allocatedBytes(0), 0u); // destructor freed it
+}
+
+TEST(Runtime, DeviceBufferMoveTransfersOwnership)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    DeviceBuffer<double> a(rt, 0, 10);
+    DeviceBuffer<double> b(std::move(a));
+    EXPECT_EQ(b.count(), 10u);
+    EXPECT_EQ(rt.allocatedBytes(0), 80u);
+}
+
+TEST(Runtime, EventsMeasureSimulatedTime)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+
+    Event start, stop;
+    rt.eventRecord(start);
+    const sim::KernelResult r =
+        rt.launch(wmma::mfmaLoopProfile(*inst, 1000000, 440), 0);
+    rt.eventRecord(stop);
+    EXPECT_NEAR(rt.eventElapsedMs(start, stop), r.seconds * 1e3, 1e-6);
+}
+
+TEST(Runtime, LaunchMultiUsesBothGcds)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+    const auto profile = wmma::mfmaLoopProfile(*inst, 1000000, 440);
+    const sim::KernelResult one = rt.launch(profile, 0);
+    const sim::KernelResult both = rt.launchMulti(profile, {0, 1});
+    EXPECT_EQ(both.activeGcds, 2);
+    EXPECT_NEAR(both.throughput() / one.throughput(), 2.0, 0.02);
+}
+
+TEST(RuntimeDeathTest, InvalidHandles)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    EXPECT_DEATH((void)rt.properties(5), "out of range");
+    EXPECT_DEATH(rt.free(BufferId{999}), "unknown buffer");
+    Event never;
+    Event once;
+    rt.eventRecord(once);
+    EXPECT_DEATH((void)rt.eventElapsedMs(never, once),
+                 "two recorded events");
+}
+
+} // namespace
+} // namespace hip
+} // namespace mc

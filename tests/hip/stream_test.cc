@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests of asynchronous streams and the merged (overlapping)
+ * contribution power trace — the model of the paper's
+ * one-process-per-GCD measurement setup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hip/runtime.hh"
+#include "smi/smi.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace hip {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+const arch::MfmaInstruction *
+inst(const char *name)
+{
+    const auto *p = arch::findInstruction(arch::GpuArch::Cdna2, name);
+    EXPECT_NE(p, nullptr);
+    return p;
+}
+
+TEST(Stream, SameStreamSerializes)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream stream(rt, 0);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f32_16x16x16_f16"), 1000000, 440);
+    const auto r1 = stream.launch(profile);
+    const auto r2 = stream.launch(profile);
+    EXPECT_DOUBLE_EQ(r2.startSec, r1.endSec);
+    EXPECT_DOUBLE_EQ(stream.synchronize(), r2.endSec);
+}
+
+TEST(Stream, DifferentDevicesOverlap)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream s0(rt, 0), s1(rt, 1);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f32_16x16x16_f16"), 1000000, 440);
+    const auto r0 = s0.launch(profile);
+    const auto r1 = s1.launch(profile);
+    // Both start at t = 0 on their own GCDs.
+    EXPECT_DOUBLE_EQ(r0.startSec, 0.0);
+    EXPECT_DOUBLE_EQ(r1.startSec, 0.0);
+    EXPECT_NEAR(rt.asyncTailSec(), r0.endSec, 1e-12);
+}
+
+TEST(Stream, SameDeviceStreamsSerialize)
+{
+    // One GCD runs one kernel at a time even across streams.
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream a(rt, 0), b(rt, 0);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f32_16x16x16_f16"), 100000, 440);
+    const auto r1 = a.launch(profile);
+    const auto r2 = b.launch(profile);
+    EXPECT_DOUBLE_EQ(r2.startSec, r1.endSec);
+}
+
+TEST(Stream, OverlappedPowerSumsToEq3)
+{
+    // The paper's Fig. 5 method: one process per GCD, package power
+    // sampled while both run. The merged trace must reproduce the
+    // Eq. 3 package power for the combined throughput.
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream s0(rt, 0), s1(rt, 1);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f32_16x16x16_f16"), 100000000, 440);
+    const auto r0 = s0.launch(profile);
+    const auto r1 = s1.launch(profile);
+
+    const double mid = 0.5 * (r0.startSec + r0.endSec);
+    const double combined_th =
+        (r0.throughput() + r1.throughput()) / 1e12;
+    const double expect = 0.61 * combined_th + 123.0;
+    EXPECT_NEAR(rt.asyncTrace().wattsAt(mid), expect, 1.0);
+}
+
+TEST(Stream, SmiSamplerWorksOnAsyncTrace)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream s0(rt, 0), s1(rt, 1);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f32_16x16x4_f32"), 6000000000ull, 440);
+    const auto r0 = s0.launch(profile);
+    s1.launch(profile);
+
+    smi::PowerSensor sensor(rt.asyncTrace());
+    smi::PowerSampler sampler(sensor, 0.1);
+    const auto samples =
+        sampler.sampleInterval(r0.startSec + 0.5, r0.endSec - 0.5);
+    ASSERT_GE(samples.size(), 1000u);
+    // 2 GCDs of float at ~43.6 TFLOPS each: Eq. 3 gives ~316 W.
+    EXPECT_NEAR(smi::meanWatts(samples), 2.18 * 87.2 + 125.5, 2.0);
+}
+
+TEST(Stream, PowerCapCheckFlagsDualFp64)
+{
+    // Two concurrently running FP64 GCDs exceed the regulation target;
+    // the async path does not model the throttle but must report it.
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    Stream s0(rt, 0), s1(rt, 1);
+    const auto profile = wmma::mfmaLoopProfile(
+        *inst("v_mfma_f64_16x16x4_f64"), 1000000, 440);
+    const auto r0 = s0.launch(profile);
+    s1.launch(profile);
+    EXPECT_FALSE(rt.asyncPowerOk(r0.startSec, r0.endSec));
+
+    // A single GCD of FP64 stays within the target.
+    Runtime rt2(arch::defaultCdna2(), quietOptions());
+    Stream only(rt2, 0);
+    const auto r = only.launch(profile);
+    EXPECT_TRUE(rt2.asyncPowerOk(r.startSec, r.endSec));
+}
+
+TEST(ContributionTrace, OverlapArithmetic)
+{
+    sim::ContributionTrace trace(88.0);
+    trace.addContribution(0.0, 10.0, 100.0);
+    trace.addContribution(5.0, 15.0, 50.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(2.0), 188.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(7.0), 238.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(12.0), 138.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(20.0), 88.0);
+    // Energy over [0, 15): idle 15*88 + 10*100 + 10*50.
+    EXPECT_DOUBLE_EQ(trace.energyJoules(0.0, 15.0),
+                     15 * 88.0 + 1000.0 + 500.0);
+    EXPECT_DOUBLE_EQ(trace.maxWatts(0.0, 20.0), 238.0);
+    EXPECT_DOUBLE_EQ(trace.endSec(), 15.0);
+    EXPECT_EQ(trace.contributionCount(), 2u);
+}
+
+TEST(ContributionTraceDeathTest, InvalidContributions)
+{
+    sim::ContributionTrace trace(88.0);
+    EXPECT_DEATH(trace.addContribution(2.0, 1.0, 10.0), "ends before");
+    EXPECT_DEATH(trace.addContribution(0.0, 1.0, -5.0), "non-negative");
+}
+
+TEST(StreamDeathTest, InvalidDevice)
+{
+    Runtime rt(arch::defaultCdna2(), quietOptions());
+    EXPECT_DEATH(Stream(rt, 7), "out of range");
+}
+
+} // namespace
+} // namespace hip
+} // namespace mc

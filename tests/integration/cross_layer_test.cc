@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Cross-layer integration tests: each test drives a vertical slice of
+ * the stack (wmma -> recorder -> hip -> sim; blas -> sim -> prof;
+ * solver -> blas -> trace -> smi) and checks that the layers agree
+ * about the same physical quantities — time, FLOPs, counters, energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "blas/gemm.hh"
+#include "blas/level3.hh"
+#include "blas/verify.hh"
+#include "common/matrix.hh"
+#include "common/random.hh"
+#include "prof/profiler.hh"
+#include "prof/roofline.hh"
+#include "sim/node.hh"
+#include "smi/smi.hh"
+#include "solver/cholesky.hh"
+#include "solver/lu.hh"
+#include "wmma/wmma.hh"
+
+namespace mc {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+TEST(CrossLayer, RecordedWmmaKernelTimesLikeHandBuiltProfile)
+{
+    // A kernel built by recording fragment code must time identically
+    // to the equivalent hand-built loop profile.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+
+    wmma::KernelRecorder::active().reset("recorded");
+    Matrix<fp::Half> a(16, 16, fp::Half(1.0f)), b(16, 16);
+    b.setIdentity();
+    Matrix<float> c(16, 16, 0.0f);
+    wmma::Fragment<wmma::FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    wmma::Fragment<wmma::FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    wmma::Fragment<wmma::FragmentUse::Accumulator, 16, 16, 16, float> fc;
+    wmma::Fragment<wmma::FragmentUse::Accumulator, 16, 16, 16, float> fd;
+    wmma::load_matrix_sync(fa, a.data(), 16);
+    wmma::load_matrix_sync(fb, b.data(), 16);
+    wmma::load_matrix_sync(fc, c.data(), 16);
+    wmma::mma_sync(fd, fa, fb, fc);
+
+    sim::KernelProfile recorded =
+        wmma::KernelRecorder::active().buildProfile(440, 1000000);
+    recorded.hbmReadBytes = 0.0; // compare the pure loop, as the bench
+    recorded.hbmWriteBytes = 0.0;
+
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    const auto hand = wmma::mfmaLoopProfile(*inst, 1000000, 440);
+
+    const auto r1 = rt.launch(recorded, 0);
+    const auto r2 = rt.launch(hand, 0);
+    EXPECT_DOUBLE_EQ(r1.seconds, r2.seconds);
+    EXPECT_EQ(r1.counters.mops(arch::DataType::F16),
+              r2.counters.mops(arch::DataType::F16));
+}
+
+TEST(CrossLayer, GemmCountersFeedEq1AndRoofline)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Hss;
+    cfg.m = cfg.n = cfg.k = 2048;
+    cfg.alpha = cfg.beta = 0.1;
+
+    const blas::GemmPlan plan = engine.plan(cfg);
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+
+    // Eq. 1 over the run's counters reproduces the algorithmic FLOPs.
+    const auto split = prof::flopBreakdown(result.value().kernel.counters);
+    EXPECT_DOUBLE_EQ(split.matrixCoreFlops, 2.0 * 2048 * 2048 * 2048);
+    EXPECT_DOUBLE_EQ(split.simdFlops, 3.0 * 2048 * 2048);
+
+    // The roofline classifies the same run as compute-bound at this
+    // size and its achieved rate stays below attainable.
+    const prof::RooflineModel roofline(rt.gpu().calibration());
+    const auto point =
+        roofline.classify(plan.profile, result.value().kernel);
+    EXPECT_FALSE(point.memoryBound);
+    EXPECT_LE(point.achieved, point.attainable * 1.001);
+    // And the verifier agrees the mapping computes correct numbers.
+    blas::GemmConfig small = cfg;
+    small.m = small.n = small.k = 64;
+    EXPECT_TRUE(blas::verifyGemm(small).passed);
+}
+
+TEST(CrossLayer, SolverEnergyMatchesPowerTrace)
+{
+    // The LU solver's accumulated GEMM energy must equal the package
+    // trace's energy over the same interval, minus nothing (its GEMM
+    // launches are the only activity).
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    solver::LuSolver lu(engine, 128);
+
+    Rng rng(3001);
+    const std::size_t n = 384;
+    Matrix<double> a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double row = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.uniform(-1.0, 1.0);
+            row += std::fabs(a(i, j));
+        }
+        a(i, i) += row + 1.0;
+    }
+
+    const double t0 = rt.gpu().timelineSec();
+    std::vector<int> pivots;
+    solver::SolveStats stats;
+    ASSERT_TRUE(lu.factor(a, pivots, &stats).isOk());
+    const double t1 = rt.gpu().timelineSec();
+
+    const double trace_energy = rt.gpu().trace().energyJoules(t0, t1);
+    // The trace interval includes only the solver's kernels; both
+    // accountings integrate power x time over the same segments.
+    EXPECT_NEAR(stats.gemmEnergyJ, trace_energy,
+                1e-6 * std::max(1.0, trace_energy));
+    EXPECT_NEAR(stats.gemmSeconds, t1 - t0, 1e-12);
+}
+
+TEST(CrossLayer, CholeskyTrailingUpdateCostsHalfOfLuAtScale)
+{
+    // One trailing update at production scale: Cholesky's SYRK (n^2 k
+    // FLOPs) must cost roughly half of LU's full GEMM (2 n^2 k FLOPs)
+    // on the device. At small sizes launch latency hides this, which
+    // is why the comparison runs at HPC scale, timing-only.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    blas::Level3Engine level3(engine);
+
+    const std::size_t trailing = 15360, panel = 1024;
+
+    blas::GemmConfig gemm;
+    gemm.combo = blas::GemmCombo::Dgemm;
+    gemm.m = gemm.n = trailing;
+    gemm.k = panel;
+    gemm.alpha = -1.0;
+    gemm.beta = 1.0;
+    auto lu_update = engine.run(gemm);
+    ASSERT_TRUE(lu_update.isOk());
+
+    blas::SyrkConfig syrk;
+    syrk.combo = blas::GemmCombo::Dgemm;
+    syrk.n = trailing;
+    syrk.k = panel;
+    syrk.alpha = -1.0;
+    syrk.beta = 1.0;
+    auto chol_update = level3.runSyrk(syrk);
+    ASSERT_TRUE(chol_update.isOk());
+
+    const double ratio = chol_update.value().kernel.seconds /
+                         lu_update.value().kernel.seconds;
+    EXPECT_GT(ratio, 0.35);
+    EXPECT_LT(ratio, 0.75);
+}
+
+TEST(CrossLayer, AsyncTraceCrossValidatesWithPmCounters)
+{
+    // SMI sampler and pm_counters read the *same* merged async trace
+    // and must agree — the paper's instrument cross-validation on the
+    // stream path.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    hip::Stream s0(rt, 0), s1(rt, 1);
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x4_f32");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 3000000000ull, 440);
+    const auto r0 = s0.launch(profile);
+    s1.launch(profile);
+
+    smi::PowerSensor sensor(rt.asyncTrace(), 0.05, 1.0);
+    smi::PowerSampler sampler(sensor, 0.1);
+    const auto samples =
+        sampler.sampleInterval(r0.startSec + 1.0, r0.endSec - 1.0);
+    ASSERT_GE(samples.size(), 100u);
+
+    smi::PmCounters pm(rt.asyncTrace());
+    const double pm_avg =
+        pm.averageWatts(r0.startSec + 1.0, r0.endSec - 1.0);
+    EXPECT_NEAR(smi::meanWatts(samples), pm_avg, 1.0);
+}
+
+TEST(CrossLayer, NodeOfMi100sRunsTheGenerationalStack)
+{
+    // The node model composes with the CDNA1 calibration: a 2-package
+    // MI100 node executes CDNA1 kernels with its own peaks.
+    sim::Node node(2, arch::mi100Calibration(), quietOptions());
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna1, "v_mfma_f32_16x16x16f16");
+    ASSERT_NE(inst, nullptr);
+    const auto r = node.runEverywhere(
+        wmma::mfmaLoopProfile(*inst, 1000000, 480));
+    EXPECT_NEAR(r.throughput() / 1e12, 2 * 168.7, 3.0);
+    EXPECT_DOUBLE_EQ(node.idlePowerW(), 2 * 40.0);
+}
+
+TEST(CrossLayer, BatchedGemmThroughLevel3Runtime)
+{
+    // Level-3 routines and batched GEMM share one runtime: device
+    // memory accounting must stay consistent across interleaved use.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    blas::Level3Engine level3(engine);
+
+    blas::GemmConfig gemm;
+    gemm.combo = blas::GemmCombo::Hhs;
+    gemm.m = gemm.n = gemm.k = 512;
+    gemm.batchCount = 16;
+    ASSERT_TRUE(engine.run(gemm).isOk());
+
+    blas::TrsmConfig trsm;
+    trsm.combo = blas::GemmCombo::Sgemm;
+    trsm.m = 1024;
+    trsm.n = 256;
+    ASSERT_TRUE(level3.runTrsm(trsm).isOk());
+
+    blas::GemvConfig gemv;
+    gemv.combo = blas::GemmCombo::Dgemm;
+    gemv.m = gemv.n = 4096;
+    ASSERT_TRUE(level3.runGemv(gemv).isOk());
+
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+    EXPECT_EQ(rt.allocatedBytes(1), 0u);
+}
+
+TEST(CrossLayer, ProfilerAggregatesAcrossWorkloadKinds)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    prof::Profiler profiler;
+
+    // One micro-benchmark kernel + one GEMM.
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    profiler.record(
+        rt.launch(wmma::mfmaLoopProfile(*inst, 1000, 4, "micro"), 0));
+
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 256;
+    cfg.alpha = cfg.beta = 0.1;
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+    profiler.record(result.value().kernel);
+
+    const double total =
+        prof::totalFlops(profiler.aggregate(), arch::DataType::F64);
+    const double micro_flops = 2048.0 * 1000 * 4;
+    const double gemm_flops = 2.0 * 256 * 256 * 256 + 3.0 * 256 * 256;
+    EXPECT_DOUBLE_EQ(total, micro_flops + gemm_flops);
+    EXPECT_EQ(profiler.byName("micro").size(), 1u);
+    EXPECT_EQ(profiler.byName("dgemm_gemm").size(), 1u);
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * End-to-end integration tests pinning the paper's headline results:
+ * each test reproduces one quantitative claim of the evaluation using
+ * the full stack (wmma -> hip -> sim, blas -> sim, smi over the trace).
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "common/stats.hh"
+#include "hip/runtime.hh"
+#include "prof/profiler.hh"
+#include "smi/smi.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+const arch::MfmaInstruction *
+cdna2(const char *mnemonic)
+{
+    const auto *inst =
+        arch::findInstruction(arch::GpuArch::Cdna2, mnemonic);
+    EXPECT_NE(inst, nullptr);
+    return inst;
+}
+
+TEST(PaperSectionV, Eq2ModelTracksSimulatedThroughput)
+{
+    // FLOPS(N_WF) = 2mnk/c * min(N_WF, 440) * f, validated within the
+    // percentages the paper reports (85-92% at the plateau).
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2("v_mfma_f32_16x16x16_f16");
+    const double f = 1.7e9;
+
+    for (std::uint64_t wf : {4u, 16u, 64u, 256u, 440u, 880u}) {
+        const auto r =
+            rt.launch(wmma::mfmaLoopProfile(*inst, 1000000, wf), 0);
+        const double model =
+            2.0 * 16 * 16 * 16 / 32.0 * std::min<double>(wf, 440) * f;
+        const double ratio = r.throughput() / model;
+        EXPECT_GT(ratio, 0.85) << wf;
+        EXPECT_LE(ratio, 1.001) << wf;
+    }
+}
+
+TEST(PaperSectionV, Fig4PeakTable)
+{
+    // One MI250X package vs one A100, all supported combos.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    const auto amd = [&](const char *name) {
+        return rt.launchMulti(wmma::mfmaLoopProfile(*cdna2(name), 1000000,
+                                                    440), {0, 1})
+                   .throughput() / 1e12;
+    };
+    EXPECT_NEAR(amd("v_mfma_f32_16x16x16_f16"), 350.0, 4.0);
+    EXPECT_NEAR(amd("v_mfma_f32_16x16x4_f32"), 87.2, 1.0);
+    EXPECT_NEAR(amd("v_mfma_f64_16x16x4_f64"), 69.9, 1.0);
+
+    sim::A100 a100(arch::defaultAmpere(), quietOptions());
+    const auto nv = [&](const char *name) {
+        const auto *inst =
+            arch::findInstruction(arch::GpuArch::Ampere, name);
+        EXPECT_NE(inst, nullptr);
+        return a100.run(wmma::mfmaLoopProfile(*inst, 1000000, 432))
+                   .throughput() / 1e12;
+    };
+    EXPECT_NEAR(nv("mma.m16n8k16.f32.f16"), 290.0, 3.0);
+    EXPECT_NEAR(nv("mma.m8n8k4.f64"), 19.4, 0.3);
+
+    // The 3.5x double-precision advantage.
+    EXPECT_NEAR(amd("v_mfma_f64_16x16x4_f64") / nv("mma.m8n8k4.f64"),
+                3.5, 0.2);
+}
+
+TEST(PaperSectionVI, Eq3RecoveredFromSampledPower)
+{
+    // Sweep utilization, sample power through the SMI path, and fit a
+    // line: slope and intercept must recover the Eq. 3 coefficients.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2("v_mfma_f64_16x16x4_f64");
+
+    std::vector<double> th_tflops, watts;
+    for (std::uint64_t wf : {40u, 80u, 160u, 240u, 320u, 400u}) {
+        // Long-running kernel so the sampler gets >= 1000 samples
+        // (the paper sizes kernels to >= 100 s of sampling).
+        const auto r = rt.launchMulti(
+            wmma::mfmaLoopProfile(*inst, 6000000000ull, wf), {0, 1});
+        smi::PowerSensor sensor(rt.gpu().trace(), 0.05, 1.5);
+        smi::PowerSampler sampler(sensor, 0.1);
+        const auto samples =
+            sampler.sampleInterval(r.startSec + 0.2, r.endSec);
+        ASSERT_GE(samples.size(), 1000u);
+        th_tflops.push_back(r.throughput() / 1e12);
+        watts.push_back(smi::meanWatts(samples));
+    }
+    const LinearFit fit = fitLinear(th_tflops, watts);
+    EXPECT_NEAR(fit.slope, 5.88, 0.15);
+    EXPECT_NEAR(fit.intercept, 130.0, 3.0);
+    EXPECT_GT(fit.r2, 0.999);
+}
+
+TEST(PaperSectionVI, PowerEfficiencyOrdering)
+{
+    // Mixed ~1020, float ~273, double ~127 GFLOPS/W at their peaks:
+    // check the ordering and rough magnitudes.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    const auto efficiency = [&](const char *name) {
+        const auto r = rt.launchMulti(
+            wmma::mfmaLoopProfile(*cdna2(name), 1000000, 440), {0, 1});
+        return r.throughput() / r.avgPowerW / 1e9; // GFLOPS/W
+    };
+    const double mixed = efficiency("v_mfma_f32_16x16x16_f16");
+    const double single = efficiency("v_mfma_f32_16x16x4_f32");
+    const double dbl = efficiency("v_mfma_f64_16x16x4_f64");
+
+    EXPECT_NEAR(mixed, 1040.0, 60.0);  // paper: 1020
+    EXPECT_NEAR(single, 276.0, 20.0);  // paper: 273
+    EXPECT_NEAR(dbl, 129.0, 10.0);     // paper: 127
+    EXPECT_NEAR(single / dbl, 2.0, 0.3);   // "approximately two times"
+    EXPECT_NEAR(mixed / single, 3.7, 0.4); // "3.7x higher"
+}
+
+TEST(PaperSectionVI, Fp64PeakApproachesPowerCap)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    const auto r = rt.launchMulti(
+        wmma::mfmaLoopProfile(*cdna2("v_mfma_f64_16x16x4_f64"), 1000000,
+                              440), {0, 1});
+    EXPECT_NEAR(r.avgPowerW, 541.0, 2.0);
+    EXPECT_LT(r.avgPowerW, 560.0);
+    // 69.9/95.7 = 73% of theoretical peak vs 85.6% on one GCD.
+    const auto one = rt.launch(
+        wmma::mfmaLoopProfile(*cdna2("v_mfma_f64_16x16x4_f64"), 1000000,
+                              440), 0);
+    EXPECT_NEAR(one.throughput() / 47.87e12, 0.856, 0.01);
+    EXPECT_NEAR(r.throughput() / 95.7e12, 0.73, 0.01);
+}
+
+TEST(PaperSectionVII, RocBlasNearPeakFractions)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    const auto run = [&](blas::GemmCombo combo, std::size_t n) {
+        blas::GemmConfig cfg;
+        cfg.combo = combo;
+        cfg.m = cfg.n = cfg.k = n;
+        cfg.alpha = cfg.beta = 0.1;
+        auto r = engine.run(cfg);
+        EXPECT_TRUE(r.isOk());
+        return r.take().throughput() / 1e12;
+    };
+    // "rocBLAS reaches almost 100% and 90% of the peak performance" of
+    // the micro-benchmark plateaus (43.6 and 41 TFLOPS).
+    EXPECT_GT(run(blas::GemmCombo::Sgemm, 8192) / 43.6, 0.95);
+    EXPECT_GT(run(blas::GemmCombo::Dgemm, 4096) / 41.0, 0.85);
+    // "155 TFLOPS ... 88% of the peak attainable on one GCD".
+    EXPECT_NEAR(run(blas::GemmCombo::Hhs, 16384) / 175.0, 0.86, 0.04);
+}
+
+TEST(PaperSectionVII, Fig8FractionCurve)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    blas::GemmEngine engine(rt);
+    const auto fraction = [&](blas::GemmCombo combo, std::size_t n) {
+        blas::GemmConfig cfg;
+        cfg.combo = combo;
+        cfg.m = cfg.n = cfg.k = n;
+        cfg.alpha = cfg.beta = 0.1;
+        auto r = engine.run(cfg);
+        EXPECT_TRUE(r.isOk());
+        return prof::flopBreakdown(r.take().kernel.counters)
+            .matrixCoreFraction();
+    };
+    for (blas::GemmCombo combo :
+         {blas::GemmCombo::Sgemm, blas::GemmCombo::Dgemm,
+          blas::GemmCombo::Hhs, blas::GemmCombo::Hss}) {
+        EXPECT_GT(fraction(combo, 32), 0.90);
+        EXPECT_GT(fraction(combo, 512), 0.99);
+    }
+    EXPECT_EQ(fraction(blas::GemmCombo::Hgemm, 512), 0.0);
+    EXPECT_EQ(fraction(blas::GemmCombo::Hhs, 16), 0.0);
+    EXPECT_EQ(fraction(blas::GemmCombo::Hss, 16), 0.0);
+}
+
+TEST(PaperSectionVII, RepeatedMeasurementsAreStable)
+{
+    // The paper repeats each experiment >= 10 times and reports error
+    // bounds when variance exceeds 2%; with the default noise model the
+    // spread must stay well inside that.
+    sim::SimOptions opts; // noise enabled
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+    const auto *inst = cdna2("v_mfma_f32_16x16x16_f16");
+    std::vector<double> runs;
+    for (int i = 0; i < 10; ++i) {
+        runs.push_back(
+            rt.launch(wmma::mfmaLoopProfile(*inst, 1000000, 440), 0)
+                .throughput());
+    }
+    EXPECT_LT(summarize(runs).relativeSpread(), 0.02);
+}
+
+} // namespace
+} // namespace mc

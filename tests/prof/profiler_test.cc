@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the Eq. 1 FLOP derivation and the profiling session.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "prof/profiler.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace prof {
+namespace {
+
+TEST(Eq1, MatrixCoreTermOnly)
+{
+    sim::HwCounters c;
+    c.addMfmaOps(arch::DataType::F64, 512 * 100, 50);
+    EXPECT_DOUBLE_EQ(totalFlops(c, arch::DataType::F64), 512.0 * 100);
+}
+
+TEST(Eq1, ValuTermsWeighted)
+{
+    sim::HwCounters c;
+    c.addValu(arch::DataType::F64, sim::ValuOp::Add, 3);
+    c.addValu(arch::DataType::F64, sim::ValuOp::Mul, 5);
+    c.addValu(arch::DataType::F64, sim::ValuOp::Fma, 7);
+    c.addValu(arch::DataType::F64, sim::ValuOp::Xfer, 100); // no FLOPs
+    // 64*3 + 64*5 + 128*7.
+    EXPECT_DOUBLE_EQ(totalFlops(c, arch::DataType::F64),
+                     64.0 * 3 + 64.0 * 5 + 128.0 * 7);
+}
+
+TEST(Eq1, TypesAreIndependent)
+{
+    sim::HwCounters c;
+    c.addMfmaOps(arch::DataType::F16, 512 * 10, 1);
+    c.addValu(arch::DataType::F32, sim::ValuOp::Add, 2);
+    EXPECT_DOUBLE_EQ(totalFlops(c, arch::DataType::F16), 5120.0);
+    EXPECT_DOUBLE_EQ(totalFlops(c, arch::DataType::F32), 128.0);
+    EXPECT_DOUBLE_EQ(totalFlopsAllTypes(c), 5120.0 + 128.0);
+}
+
+TEST(Eq1, GemmCountersReproduceAlgorithmicFlops)
+{
+    // The key property behind Fig. 9: for an N multiple of 16 with
+    // alpha, beta not in {0, 1}, Eq. 1 over the GEMM's counters must
+    // give exactly 2N^3 (Matrix Cores) + 3N^2 (SIMDs).
+    const auto &cal = arch::defaultCdna2();
+    for (blas::GemmCombo combo :
+         {blas::GemmCombo::Dgemm, blas::GemmCombo::Sgemm,
+          blas::GemmCombo::Hhs, blas::GemmCombo::Hss}) {
+        for (std::size_t n : {32u, 128u, 1024u}) {
+            blas::GemmConfig cfg;
+            cfg.combo = combo;
+            cfg.m = cfg.n = cfg.k = n;
+            cfg.alpha = cfg.beta = 0.1;
+            const blas::GemmPlan plan = blas::planGemm(cfg, cal);
+            const auto split =
+                flopBreakdown(plan.profile.expectedCounters());
+            EXPECT_DOUBLE_EQ(split.matrixCoreFlops,
+                             2.0 * n * n * n)
+                << blas::comboInfo(combo).name << " N=" << n;
+            EXPECT_DOUBLE_EQ(split.simdFlops, 3.0 * n * n)
+                << blas::comboInfo(combo).name << " N=" << n;
+        }
+    }
+}
+
+TEST(Eq1, HgemmFlopsAllOnSimds)
+{
+    const auto &cal = arch::defaultCdna2();
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Hgemm;
+    cfg.m = cfg.n = cfg.k = 256;
+    cfg.alpha = cfg.beta = 0.1;
+    const blas::GemmPlan plan = blas::planGemm(cfg, cal);
+    const auto split = flopBreakdown(plan.profile.expectedCounters());
+    EXPECT_DOUBLE_EQ(split.matrixCoreFlops, 0.0);
+    EXPECT_DOUBLE_EQ(split.simdFlops,
+                     2.0 * 256 * 256 * 256 + 3.0 * 256 * 256);
+}
+
+TEST(FlopBreakdown, FractionFollowsFig8Model)
+{
+    // fraction = 2N^3 / (2N^3 + 3N^2) = 1 / (1 + 1.5/N).
+    const auto &cal = arch::defaultCdna2();
+    for (std::size_t n : {32u, 256u, 4096u}) {
+        blas::GemmConfig cfg;
+        cfg.combo = blas::GemmCombo::Sgemm;
+        cfg.m = cfg.n = cfg.k = n;
+        cfg.alpha = cfg.beta = 0.1;
+        const blas::GemmPlan plan = blas::planGemm(cfg, cal);
+        const auto split = flopBreakdown(plan.profile.expectedCounters());
+        EXPECT_NEAR(split.matrixCoreFraction(),
+                    1.0 / (1.0 + 1.5 / static_cast<double>(n)), 1e-12);
+    }
+}
+
+TEST(FlopBreakdown, EmptyCountersGiveZeroFraction)
+{
+    const sim::HwCounters empty;
+    EXPECT_EQ(flopBreakdown(empty).matrixCoreFraction(), 0.0);
+    EXPECT_EQ(flopBreakdown(empty).total(), 0.0);
+}
+
+TEST(Profiler, RecordsKernelsByName)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    sim::Mi250x gpu(arch::defaultCdna2(), opts);
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+
+    Profiler profiler;
+    profiler.record(gpu.runOnGcd(
+        wmma::mfmaLoopProfile(*inst, 1000, 4, "kernel_a")));
+    profiler.record(gpu.runOnGcd(
+        wmma::mfmaLoopProfile(*inst, 1000, 4, "kernel_b")));
+    profiler.record(gpu.runOnGcd(
+        wmma::mfmaLoopProfile(*inst, 1000, 4, "kernel_a")));
+
+    EXPECT_EQ(profiler.records().size(), 3u);
+    EXPECT_EQ(profiler.byName("kernel_a").size(), 2u);
+    EXPECT_EQ(profiler.byName("kernel_b").size(), 1u);
+    EXPECT_EQ(profiler.byName("missing").size(), 0u);
+
+    const sim::HwCounters total = profiler.aggregate();
+    EXPECT_EQ(total.mops(arch::DataType::F16),
+              3u * 4u * 1000u * 8192u / 512u);
+
+    profiler.clear();
+    EXPECT_TRUE(profiler.records().empty());
+}
+
+} // namespace
+} // namespace prof
+} // namespace mc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests of the roofline model: roof values from the calibration,
+ * machine-balance arithmetic, and kernel classification.
+ */
+
+#include <gtest/gtest.h>
+
+#include "blas/gemm.hh"
+#include "prof/roofline.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace prof {
+namespace {
+
+TEST(Roofline, MatrixCoreRoofsMatchGcdPeaks)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    // 1024 FLOPS/CU/cycle x 110 CUs x 1.7 GHz = 191.5 TFLOPS (f16).
+    EXPECT_NEAR(model.roof(arch::DataType::F16,
+                           RoofKind::MatrixCore).flopsPerSec / 1e12,
+                191.5, 0.2);
+    EXPECT_NEAR(model.roof(arch::DataType::F64,
+                           RoofKind::MatrixCore).flopsPerSec / 1e12,
+                47.9, 0.1);
+    EXPECT_NEAR(model.roof(arch::DataType::F32,
+                           RoofKind::MatrixCore).flopsPerSec / 1e12,
+                47.9, 0.1);
+}
+
+TEST(Roofline, SimdRoofs)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    // 440 SIMDs, one 64-thread VALU inst per 4 cycles, FMA = 2 ops:
+    // 440 * 1.7e9 / 4 * 128 = 23.9 TFLOPS; f16 packs 2x.
+    EXPECT_NEAR(model.roof(arch::DataType::F32,
+                           RoofKind::Simd).flopsPerSec / 1e12,
+                23.9, 0.1);
+    EXPECT_NEAR(model.roof(arch::DataType::F16,
+                           RoofKind::Simd).flopsPerSec / 1e12,
+                47.9, 0.1);
+}
+
+TEST(Roofline, MachineBalance)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    EXPECT_NEAR(model.memoryBandwidth(), 1.6e12, 1.0);
+    // f64 Matrix Core balance: 47.9e12 / 1.6e12 ~ 29.9 FLOP/byte.
+    EXPECT_NEAR(model.machineBalance(arch::DataType::F64,
+                                     RoofKind::MatrixCore), 29.9, 0.1);
+}
+
+TEST(Roofline, AttainableIsMinOfRoofs)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    const double low = model.attainable(arch::DataType::F64,
+                                        RoofKind::MatrixCore, 1.0);
+    EXPECT_NEAR(low, 1.6e12, 1.0); // bandwidth-limited
+    const double high = model.attainable(arch::DataType::F64,
+                                         RoofKind::MatrixCore, 1000.0);
+    EXPECT_NEAR(high / 1e12, 47.9, 0.1); // compute-limited
+}
+
+TEST(Roofline, Mi100RoofsDifferAndLackNothingSupported)
+{
+    const RooflineModel model(arch::mi100Calibration());
+    // 120 CUs at 1.502 GHz: f16 roof 184.6 TFLOPS.
+    EXPECT_NEAR(model.roof(arch::DataType::F16,
+                           RoofKind::MatrixCore).flopsPerSec / 1e12,
+                184.6, 0.3);
+    // BF16 is half rate on CDNA1.
+    EXPECT_NEAR(model.roof(arch::DataType::BF16,
+                           RoofKind::MatrixCore).flopsPerSec / 1e12,
+                92.3, 0.3);
+    // No FP64 Matrix Core roof exists on CDNA1.
+    bool has_f64_mc = false;
+    for (const auto &roof : model.roofs()) {
+        if (roof.dtype == arch::DataType::F64 &&
+            roof.kind == RoofKind::MatrixCore)
+            has_f64_mc = true;
+    }
+    EXPECT_FALSE(has_f64_mc);
+}
+
+TEST(Roofline, ClassifyComputeBoundMicrobench)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    sim::Mi250x gpu(arch::defaultCdna2(), opts);
+    const RooflineModel model(gpu.calibration());
+
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+    const auto profile = wmma::mfmaLoopProfile(*inst, 1000000, 440);
+    const auto result = gpu.runOnGcd(profile);
+
+    const RooflinePoint point = model.classify(profile, result);
+    // A register-resident loop has effectively infinite intensity.
+    EXPECT_FALSE(point.memoryBound);
+    EXPECT_GT(point.intensity, 1e6);
+    EXPECT_NEAR(point.attainable / 1e12, 191.5, 0.5);
+    EXPECT_NEAR(point.efficiency(), 0.915, 0.01); // the Fig. 3 plateau
+}
+
+TEST(Roofline, ClassifyMemoryBoundGemm)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+    blas::GemmEngine engine(rt);
+    const RooflineModel model(rt.gpu().calibration());
+
+    // DGEMM at N=16384 sits in the dipped region: full L2 miss makes
+    // it memory-bound (intensity below the 29.9 FLOP/byte balance).
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Dgemm;
+    cfg.m = cfg.n = cfg.k = 16384;
+    cfg.alpha = cfg.beta = 0.1;
+    const blas::GemmPlan plan = engine.plan(cfg);
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+
+    const RooflinePoint point =
+        model.classify(plan.profile, result.value().kernel);
+    EXPECT_TRUE(point.memoryBound);
+    EXPECT_LT(point.intensity, 29.9);
+    EXPECT_LT(point.achieved, point.attainable * 1.001);
+}
+
+TEST(Roofline, ClassifySimdKernelUsesSimdRoof)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    hip::Runtime rt(arch::defaultCdna2(), opts);
+    blas::GemmEngine engine(rt);
+    const RooflineModel model(rt.gpu().calibration());
+
+    blas::GemmConfig cfg;
+    cfg.combo = blas::GemmCombo::Hgemm;
+    cfg.m = cfg.n = cfg.k = 4096;
+    cfg.alpha = cfg.beta = 0.1;
+    const blas::GemmPlan plan = engine.plan(cfg);
+    auto result = engine.run(cfg);
+    ASSERT_TRUE(result.isOk());
+
+    const RooflinePoint point =
+        model.classify(plan.profile, result.value().kernel);
+    // HGEMM runs on the SIMDs: its attainable roof is the f16 SIMD
+    // peak, not the Matrix Core peak.
+    EXPECT_LE(point.attainable / 1e12, 47.9 + 0.1);
+    EXPECT_FALSE(point.memoryBound);
+}
+
+TEST(RooflineDeathTest, MissingRoofIsFatal)
+{
+    const RooflineModel model(arch::mi100Calibration());
+    EXPECT_EXIT((void)model.roof(arch::DataType::F64,
+                                 RoofKind::MatrixCore),
+                ::testing::ExitedWithCode(1), "no Matrix Core roof");
+}
+
+TEST(RooflineDeathTest, NegativeIntensityPanics)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    EXPECT_DEATH((void)model.attainable(arch::DataType::F32,
+                                        RoofKind::MatrixCore, -1.0),
+                 "negative arithmetic intensity");
+}
+
+TEST(Roofline, RoofNames)
+{
+    const RooflineModel model(arch::defaultCdna2());
+    EXPECT_EQ(model.roof(arch::DataType::F16,
+                         RoofKind::MatrixCore).name(),
+              "f16 MatrixCore");
+    EXPECT_EQ(model.roof(arch::DataType::F32, RoofKind::Simd).name(),
+              "f32 SIMD");
+}
+
+} // namespace
+} // namespace prof
+} // namespace mc

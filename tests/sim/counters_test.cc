@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the hardware-counter model's documented semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/counters.hh"
+
+namespace mc {
+namespace sim {
+namespace {
+
+TEST(HwCounters, MopsIncrementOncePer512Ops)
+{
+    HwCounters c;
+    c.addMfmaOps(arch::DataType::F64, 2048, 1); // one 16x16x4 f64 inst
+    EXPECT_EQ(c.mops(arch::DataType::F64), 4u);
+    EXPECT_EQ(c.mfmaInstructions, 1u);
+
+    c.addMfmaOps(arch::DataType::F64, 512 * 10, 5);
+    EXPECT_EQ(c.mops(arch::DataType::F64), 14u);
+    EXPECT_EQ(c.mfmaInstructions, 6u);
+}
+
+TEST(HwCounters, BanksAreIndependent)
+{
+    HwCounters c;
+    c.addMfmaOps(arch::DataType::F16, 512, 1);
+    c.addMfmaOps(arch::DataType::F32, 1024, 1);
+    EXPECT_EQ(c.mops(arch::DataType::F16), 1u);
+    EXPECT_EQ(c.mops(arch::DataType::F32), 2u);
+    EXPECT_EQ(c.mops(arch::DataType::F64), 0u);
+    EXPECT_EQ(c.mops(arch::DataType::BF16), 0u);
+    EXPECT_EQ(c.mops(arch::DataType::I8), 0u);
+}
+
+TEST(HwCounters, ValuPerOpPerType)
+{
+    HwCounters c;
+    c.addValu(arch::DataType::F32, ValuOp::Add, 10);
+    c.addValu(arch::DataType::F32, ValuOp::Mul, 20);
+    c.addValu(arch::DataType::F64, ValuOp::Fma, 30);
+    EXPECT_EQ(c.valuCount(arch::DataType::F32, ValuOp::Add), 10u);
+    EXPECT_EQ(c.valuCount(arch::DataType::F32, ValuOp::Mul), 20u);
+    EXPECT_EQ(c.valuCount(arch::DataType::F32, ValuOp::Fma), 0u);
+    EXPECT_EQ(c.valuCount(arch::DataType::F64, ValuOp::Fma), 30u);
+}
+
+TEST(HwCounters, AccumulationOperator)
+{
+    HwCounters a, b;
+    a.addMfmaOps(arch::DataType::F16, 512, 1);
+    a.addValu(arch::DataType::F32, ValuOp::Add, 5);
+    b.addMfmaOps(arch::DataType::F16, 1024, 2);
+    b.addValu(arch::DataType::F32, ValuOp::Add, 7);
+    a += b;
+    EXPECT_EQ(a.mops(arch::DataType::F16), 3u);
+    EXPECT_EQ(a.valuCount(arch::DataType::F32, ValuOp::Add), 12u);
+    EXPECT_EQ(a.mfmaInstructions, 3u);
+}
+
+TEST(HwCounters, ByNameMatchesRocprofSpelling)
+{
+    HwCounters c;
+    c.addMfmaOps(arch::DataType::F64, 512 * 7, 7);
+    c.addValu(arch::DataType::F64, ValuOp::Add, 3);
+    c.addValu(arch::DataType::F64, ValuOp::Mul, 4);
+    c.addValu(arch::DataType::F64, ValuOp::Fma, 5);
+    c.addValu(arch::DataType::F16, ValuOp::Xfer, 6);
+
+    EXPECT_EQ(c.byName("SQ_INSTS_VALU_MFMA_MOPS_F64"), 7u);
+    EXPECT_EQ(c.byName("SQ_INSTS_VALU_ADD_F64"), 3u);
+    EXPECT_EQ(c.byName("SQ_INSTS_VALU_MUL_F64"), 4u);
+    EXPECT_EQ(c.byName("SQ_INSTS_VALU_FMA_F64"), 5u);
+    EXPECT_EQ(c.byName("SQ_INSTS_VALU_XFER_F16"), 6u);
+    EXPECT_EQ(c.byName("SQ_INSTS_MFMA"), 7u);
+}
+
+TEST(HwCounters, CounterNamesEnumerateAllBanks)
+{
+    const auto names = HwCounters::counterNames();
+    // 5 type banks x (1 MOPS + 4 VALU ops) + SQ_INSTS_MFMA.
+    EXPECT_EQ(names.size(), 5u * 5u + 1u);
+    HwCounters c;
+    for (const auto &name : names)
+        EXPECT_EQ(c.byName(name), 0u) << name;
+}
+
+TEST(HwCountersDeathTest, UnknownNameIsFatal)
+{
+    HwCounters c;
+    EXPECT_EXIT((void)c.byName("SQ_INSTS_VALU_BOGUS"),
+                ::testing::ExitedWithCode(1), "unknown hardware counter");
+}
+
+TEST(HwCountersDeathTest, NonMultipleOf512Panics)
+{
+    HwCounters c;
+    EXPECT_DEATH(c.addMfmaOps(arch::DataType::F32, 100, 1),
+                 "not a multiple");
+}
+
+TEST(HwCountersDeathTest, UncountedTypeIsFatal)
+{
+    EXPECT_EXIT((void)counterTypeIndex(arch::DataType::I32),
+                ::testing::ExitedWithCode(1), "no SQ counter bank");
+}
+
+} // namespace
+} // namespace sim
+} // namespace mc

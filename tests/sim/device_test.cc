@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests of the device models: scheduling phases, issue intervals,
+ * throughput scaling (Eq. 2), DVFS throttling, and the A100 comparison
+ * device.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/device.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace sim {
+namespace {
+
+SimOptions
+quietOptions()
+{
+    SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+const arch::MfmaInstruction *
+cdna2Inst(const char *mnemonic)
+{
+    const arch::MfmaInstruction *p =
+        arch::findInstruction(arch::GpuArch::Cdna2, mnemonic);
+    EXPECT_NE(p, nullptr);
+    return p;
+}
+
+TEST(SchedulePhases, CeilSemantics)
+{
+    EXPECT_EQ(schedulePhases(0, 440), 1u);
+    EXPECT_EQ(schedulePhases(1, 440), 1u);
+    EXPECT_EQ(schedulePhases(440, 440), 1u);
+    EXPECT_EQ(schedulePhases(441, 440), 2u);
+    EXPECT_EQ(schedulePhases(660, 440), 2u); // the paper's example
+    EXPECT_EQ(schedulePhases(880, 440), 2u);
+    EXPECT_EQ(schedulePhases(881, 440), 3u);
+}
+
+TEST(Mi250x, SingleWavefrontMeasuresRawLatency)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    for (const char *name : {"v_mfma_f32_16x16x16_f16",
+                             "v_mfma_f32_16x16x4_f32",
+                             "v_mfma_f64_16x16x4_f64"}) {
+        const auto profile =
+            wmma::mfmaLoopProfile(*cdna2Inst(name), 1000000, 1);
+        const KernelResult r = gpu.runOnGcd(profile);
+        const double cycles_per_inst =
+            r.seconds * r.effClockHz / 1000000.0;
+        EXPECT_NEAR(cycles_per_inst, 32.0, 0.5) << name;
+    }
+}
+
+TEST(Mi250x, WideShapesMeasure64Cycles)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    for (const char *name :
+         {"v_mfma_f32_32x32x2_f32", "v_mfma_f32_32x32x8_f16"}) {
+        const auto profile =
+            wmma::mfmaLoopProfile(*cdna2Inst(name), 1000000, 1);
+        const KernelResult r = gpu.runOnGcd(profile);
+        EXPECT_NEAR(r.seconds * r.effClockHz / 1000000.0, 64.0, 0.5)
+            << name;
+    }
+}
+
+TEST(Mi250x, ThroughputScalesLinearlyBelowSaturation)
+{
+    // Eq. 2's linear region: doubling wavefronts doubles throughput.
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    double prev = 0.0;
+    for (std::uint64_t wf : {4, 8, 16, 32, 64, 128}) {
+        const KernelResult r =
+            gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 100000, wf));
+        if (prev > 0.0) {
+            EXPECT_NEAR(r.throughput() / prev, 2.0, 0.05);
+        }
+        prev = r.throughput();
+    }
+}
+
+TEST(Mi250x, PlateausMatchPaperFig3)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const struct { const char *name; double tflops; } rows[] = {
+        {"v_mfma_f32_16x16x16_f16", 175.0},
+        {"v_mfma_f32_16x16x4_f32", 43.6},
+        {"v_mfma_f64_16x16x4_f64", 41.0},
+    };
+    for (const auto &row : rows) {
+        const KernelResult r = gpu.runOnGcd(
+            wmma::mfmaLoopProfile(*cdna2Inst(row.name), 1000000, 440));
+        EXPECT_NEAR(r.throughput() / 1e12, row.tflops, row.tflops * 0.01)
+            << row.name;
+    }
+}
+
+TEST(Mi250x, PhaseQuantizationAt660Wavefronts)
+{
+    // Section V-B's example: 660 wavefronts run as 440 + 220, so the
+    // delivered throughput is 660/880 = 75% of the plateau.
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const KernelResult full =
+        gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 1000000, 440));
+    const KernelResult uneven =
+        gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 1000000, 660));
+    EXPECT_EQ(uneven.phases, 2u);
+    EXPECT_NEAR(uneven.throughput() / full.throughput(), 0.75, 0.01);
+}
+
+TEST(Mi250x, MultiplesOf440KeepThePlateau)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const KernelResult r440 =
+        gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 1000000, 440));
+    const KernelResult r1760 =
+        gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 1000000, 1760));
+    EXPECT_NEAR(r1760.throughput() / r440.throughput(), 1.0, 0.01);
+    EXPECT_EQ(r1760.phases, 4u);
+}
+
+TEST(Mi250x, TwoGcdFp64ThrottlesToPaperNumbers)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f64_16x16x4_f64");
+    const KernelResult r =
+        gpu.run(wmma::mfmaLoopProfile(*inst, 1000000, 440), {0, 1});
+    EXPECT_TRUE(r.throttled);
+    EXPECT_LT(r.effClockHz, 1.7e9);
+    EXPECT_NEAR(r.throughput() / 1e12, 69.9, 1.0); // paper: 69
+    EXPECT_NEAR(r.avgPowerW, 541.0, 2.0);          // paper: 541 W
+}
+
+TEST(Mi250x, TwoGcdMixedAndFloatDoNotThrottle)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const struct { const char *name; double tflops; } rows[] = {
+        {"v_mfma_f32_16x16x16_f16", 350.0}, // paper: 350
+        {"v_mfma_f32_16x16x4_f32", 87.2},   // paper: 88
+    };
+    for (const auto &row : rows) {
+        const KernelResult r = gpu.run(
+            wmma::mfmaLoopProfile(*cdna2Inst(row.name), 1000000, 440),
+            {0, 1});
+        EXPECT_FALSE(r.throttled) << row.name;
+        EXPECT_NEAR(r.throughput() / 1e12, row.tflops, row.tflops * 0.01)
+            << row.name;
+        EXPECT_LT(r.avgPowerW, 400.0) << row.name;
+    }
+}
+
+TEST(Mi250x, DvfsDisabledRemovesThrottle)
+{
+    SimOptions opts = quietOptions();
+    opts.enableDvfs = false;
+    Mi250x gpu(arch::defaultCdna2(), opts);
+    const auto *inst = cdna2Inst("v_mfma_f64_16x16x4_f64");
+    const KernelResult r =
+        gpu.run(wmma::mfmaLoopProfile(*inst, 1000000, 440), {0, 1});
+    EXPECT_FALSE(r.throttled);
+    EXPECT_NEAR(r.throughput() / 1e12, 2 * 41.0, 1.0);
+    // The unconstrained power would exceed the regulation target.
+    EXPECT_GT(r.avgPowerW, 541.0);
+}
+
+TEST(Mi250x, NoiseDisabledIsDeterministic)
+{
+    Mi250x a(arch::defaultCdna2(), quietOptions());
+    Mi250x b(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 100000, 128);
+    EXPECT_DOUBLE_EQ(a.runOnGcd(profile).seconds,
+                     b.runOnGcd(profile).seconds);
+}
+
+TEST(Mi250x, NoiseEnabledVariesRunToRun)
+{
+    SimOptions opts;
+    opts.enableNoise = true;
+    opts.noiseSigma = 0.01;
+    Mi250x gpu(arch::defaultCdna2(), opts);
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 100000, 128);
+    const double t1 = gpu.runOnGcd(profile).seconds;
+    const double t2 = gpu.runOnGcd(profile).seconds;
+    EXPECT_NE(t1, t2);
+    EXPECT_NEAR(t1 / t2, 1.0, 0.1);
+}
+
+TEST(Mi250x, TimelineAdvancesAndTraceRecords)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    EXPECT_DOUBLE_EQ(gpu.timelineSec(), 0.0);
+    gpu.idle(1.0);
+    EXPECT_DOUBLE_EQ(gpu.timelineSec(), 1.0);
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const KernelResult r =
+        gpu.runOnGcd(wmma::mfmaLoopProfile(*inst, 1000000, 440));
+    EXPECT_DOUBLE_EQ(gpu.timelineSec(), r.endSec);
+    EXPECT_GT(r.endSec, 1.0);
+    EXPECT_NEAR(gpu.trace().wattsAt(r.startSec + r.seconds / 2),
+                r.avgPowerW, 1e-6);
+    EXPECT_DOUBLE_EQ(gpu.trace().wattsAt(0.5), 88.0);
+}
+
+TEST(Mi250x, CountersScaleWithActiveGcds)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 1000, 4);
+    const KernelResult one = gpu.runOnGcd(profile);
+    const KernelResult two = gpu.run(profile, {0, 1});
+    EXPECT_EQ(two.counters.mops(arch::DataType::F16),
+              2 * one.counters.mops(arch::DataType::F16));
+}
+
+TEST(Mi250xDeathTest, InvalidGcdListsPanic)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 10, 1);
+    EXPECT_DEATH(gpu.run(profile, {}), "at least one GCD");
+    EXPECT_DEATH(gpu.run(profile, {2}), "out of range");
+    EXPECT_DEATH(gpu.run(profile, {0, 0}), "duplicate GCD");
+}
+
+TEST(Mi250xDeathTest, AmpereInstructionRejected)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const arch::MfmaInstruction *inst =
+        arch::findInstruction(arch::GpuArch::Ampere, "mma.m8n8k4.f64");
+    ASSERT_NE(inst, nullptr);
+    const auto profile = wmma::mfmaLoopProfile(*inst, 10, 1);
+    EXPECT_DEATH(gpu.runOnGcd(profile),
+                 "Nvidia Ampere instruction on a AMD CDNA2 device");
+}
+
+TEST(Mi250x, MeasureKernelMatchesRunWithoutSideEffects)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f32_16x16x16_f16");
+    const auto profile = wmma::mfmaLoopProfile(*inst, 1000000, 440);
+
+    const KernelResult measured = gpu.measureKernel(profile);
+    // No timeline or trace mutation.
+    EXPECT_DOUBLE_EQ(gpu.timelineSec(), 0.0);
+    EXPECT_DOUBLE_EQ(gpu.trace().endSec(), 0.0);
+
+    const KernelResult ran = gpu.runOnGcd(profile);
+    EXPECT_DOUBLE_EQ(measured.seconds, ran.seconds);
+    EXPECT_DOUBLE_EQ(measured.throughput(), ran.throughput());
+    // Single-GCD power accounting matches the synchronous path.
+    EXPECT_DOUBLE_EQ(measured.avgPowerW, ran.avgPowerW);
+}
+
+TEST(Mi250x, MeasureKernelReportsSingleGcdPower)
+{
+    Mi250x gpu(arch::defaultCdna2(), quietOptions());
+    const auto *inst = cdna2Inst("v_mfma_f64_16x16x4_f64");
+    const KernelResult r =
+        gpu.measureKernel(wmma::mfmaLoopProfile(*inst, 1000000, 440));
+    // base(1 GCD) + 5.88 W/TFLOPS x ~41 TFLOPS ~ 350 W: no throttle
+    // on a single die.
+    EXPECT_NEAR(r.avgPowerW, 109.0 + 5.88 * 41.0, 3.0);
+    EXPECT_FALSE(r.throttled);
+}
+
+TEST(A100, PeaksMatchPaperFig4)
+{
+    A100 gpu(arch::defaultAmpere(), quietOptions());
+    const struct { const char *name; double tflops; } rows[] = {
+        {"mma.m16n8k16.f32.f16", 290.0}, // paper: 290
+        {"mma.m8n8k4.f64", 19.4},        // paper: 19.4
+    };
+    for (const auto &row : rows) {
+        const arch::MfmaInstruction *inst =
+            arch::findInstruction(arch::GpuArch::Ampere, row.name);
+        ASSERT_NE(inst, nullptr);
+        const KernelResult r =
+            gpu.run(wmma::mfmaLoopProfile(*inst, 1000000, 432));
+        EXPECT_NEAR(r.throughput() / 1e12, row.tflops, row.tflops * 0.01)
+            << row.name;
+    }
+}
+
+TEST(A100DeathTest, RejectsValuAndCdna2Work)
+{
+    A100 gpu(arch::defaultAmpere(), quietOptions());
+    KernelProfile with_valu;
+    with_valu.addValu(arch::DataType::F32, ValuOp::Add, 1, 1);
+    EXPECT_DEATH(gpu.run(with_valu), "Tensor Core profiles");
+
+    const auto *cdna = arch::findInstruction(arch::GpuArch::Cdna2,
+                                             "v_mfma_f64_16x16x4_f64");
+    ASSERT_NE(cdna, nullptr);
+    EXPECT_DEATH(gpu.run(wmma::mfmaLoopProfile(*cdna, 10, 1)),
+                 "non-Ampere");
+}
+
+} // namespace
+} // namespace sim
+} // namespace mc

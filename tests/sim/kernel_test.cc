@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests of the kernel-profile bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/kernel.hh"
+
+namespace mc {
+namespace sim {
+namespace {
+
+const arch::MfmaInstruction *
+inst(const char *mnemonic)
+{
+    const arch::MfmaInstruction *p =
+        arch::findInstruction(arch::GpuArch::Cdna2, mnemonic);
+    EXPECT_NE(p, nullptr) << mnemonic;
+    return p;
+}
+
+TEST(KernelProfile, MfmaFlopsScaleWithWavefronts)
+{
+    KernelProfile p;
+    p.numWavefronts = 10;
+    p.addMfma(inst("v_mfma_f32_16x16x16_f16"), 100);
+    // 100 insts x 8192 flops x 10 wavefronts.
+    EXPECT_DOUBLE_EQ(p.mfmaFlops(), 100.0 * 8192.0 * 10.0);
+    EXPECT_EQ(p.mfmaInstsPerWavefront(), 100u);
+}
+
+TEST(KernelProfile, SimdFlopsFromSegments)
+{
+    KernelProfile p;
+    // 50 FMA instructions, 2 flops per thread, 64 threads.
+    p.addValu(arch::DataType::F32, ValuOp::Fma, 50, 2);
+    EXPECT_DOUBLE_EQ(p.simdFlops(), 50.0 * 2.0 * 64.0);
+    // Xfer contributes no flops.
+    p.addValu(arch::DataType::F16, ValuOp::Xfer, 100, 0);
+    EXPECT_DOUBLE_EQ(p.simdFlops(), 50.0 * 2.0 * 64.0);
+}
+
+TEST(KernelProfile, DominantTypePicksLargestFlopVolume)
+{
+    KernelProfile p;
+    p.numWavefronts = 1;
+    p.addMfma(inst("v_mfma_f64_16x16x4_f64"), 10);  // 20480 flops
+    p.addMfma(inst("v_mfma_f32_16x16x16_f16"), 100); // 819200 flops
+    EXPECT_EQ(p.dominantType(), arch::DataType::F16);
+}
+
+TEST(KernelProfile, DominantTypeConsidersValuWork)
+{
+    KernelProfile p;
+    // An HGEMM-style SIMD-only kernel.
+    p.addValu(arch::DataType::F16, ValuOp::Fma, 1000, 4);
+    EXPECT_EQ(p.dominantType(), arch::DataType::F16);
+}
+
+TEST(KernelProfile, DominantTypeDefaultsToF32)
+{
+    KernelProfile p;
+    EXPECT_EQ(p.dominantType(), arch::DataType::F32);
+}
+
+TEST(KernelProfile, ExpectedCountersMatchSegments)
+{
+    KernelProfile p;
+    p.numWavefronts = 4;
+    p.addMfma(inst("v_mfma_f64_16x16x4_f64"), 3);
+    p.addValu(arch::DataType::F64, ValuOp::Add, 17, 1);
+
+    const HwCounters c = p.expectedCounters();
+    // 3 insts x 4 wavefronts x 2048 ops / 512.
+    EXPECT_EQ(c.mops(arch::DataType::F64), 48u);
+    EXPECT_EQ(c.mfmaInstructions, 12u);
+    EXPECT_EQ(c.valuCount(arch::DataType::F64, ValuOp::Add), 17u);
+}
+
+TEST(KernelProfile, CountersOverrideWins)
+{
+    KernelProfile p;
+    p.numWavefronts = 4;
+    p.addMfma(inst("v_mfma_f64_16x16x4_f64"), 3);
+    HwCounters exact;
+    exact.addMfmaOps(arch::DataType::F64, 512 * 11, 11);
+    p.countersOverride = exact;
+    EXPECT_EQ(p.expectedCounters().mops(arch::DataType::F64), 11u);
+}
+
+TEST(KernelProfile, MfmaFlopsOverrideWins)
+{
+    KernelProfile p;
+    p.numWavefronts = 4;
+    p.addMfma(inst("v_mfma_f64_16x16x4_f64"), 3);
+    p.mfmaFlopsOverride = 12345.0;
+    EXPECT_DOUBLE_EQ(p.mfmaFlops(), 12345.0);
+}
+
+TEST(KernelProfileDeathTest, NullInstructionPanics)
+{
+    KernelProfile p;
+    EXPECT_DEATH(p.addMfma(nullptr, 1), "requires an instruction");
+}
+
+} // namespace
+} // namespace sim
+} // namespace mc

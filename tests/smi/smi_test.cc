@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests of the SMI power sensor and sampler against known traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "smi/smi.hh"
+
+namespace mc {
+namespace smi {
+namespace {
+
+sim::PowerTrace
+constantTrace(double watts, double duration)
+{
+    sim::PowerTrace trace(88.0);
+    trace.addSegment(0.0, duration, watts);
+    return trace;
+}
+
+TEST(PowerSensor, ReadsConstantPowerAccurately)
+{
+    const auto trace = constantTrace(300.0, 10.0);
+    PowerSensor sensor(trace, 0.05, /*noise=*/0.0);
+    EXPECT_NEAR(sensor.averagePower(5.0), 300.0, 1.0 / 256.0);
+}
+
+TEST(PowerSensor, WindowSmoothsStepEdges)
+{
+    sim::PowerTrace trace(88.0);
+    trace.addSegment(1.0, 2.0, 488.0);
+    // Polled right at the step with a 0.1 s window: half idle (88) and
+    // half active (488) -> about 288.
+    PowerSensor sensor(trace, 0.1, 0.0);
+    EXPECT_NEAR(sensor.averagePower(1.05), 288.0, 1.0);
+}
+
+TEST(PowerSensor, QuantizesTo1Over256W)
+{
+    const auto trace = constantTrace(100.1234, 10.0);
+    PowerSensor sensor(trace, 0.05, 0.0);
+    const double reading = sensor.averagePower(5.0);
+    EXPECT_DOUBLE_EQ(reading * 256.0, std::round(reading * 256.0));
+}
+
+TEST(PowerSensor, NoiseIsBoundedAndZeroMean)
+{
+    const auto trace = constantTrace(300.0, 1000.0);
+    PowerSensor sensor(trace, 0.05, 1.5);
+    double sum = 0.0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum += sensor.averagePower(1.0 + i * 0.1);
+    EXPECT_NEAR(sum / n, 300.0, 0.2);
+}
+
+TEST(PowerSampler, SampleCountMatchesPeriod)
+{
+    const auto trace = constantTrace(300.0, 200.0);
+    PowerSensor sensor(trace, 0.05, 0.0);
+    PowerSampler sampler(sensor, 0.1); // the paper's 100 ms
+    const auto samples = sampler.sampleInterval(0.0, 100.0);
+    // The paper gathers at least 1000 samples per kernel.
+    EXPECT_EQ(samples.size(), 1000u);
+    EXPECT_DOUBLE_EQ(samples.front().timeSec, 0.0);
+    EXPECT_NEAR(samples.back().timeSec, 99.9, 1e-9);
+}
+
+TEST(PowerSampler, ShorterPeriodDeliversSimilarMean)
+{
+    // Section IV-C: 10 ms sampling gives the same results as 100 ms.
+    const auto trace = constantTrace(421.0, 300.0);
+    PowerSensor sensor_a(trace, 0.05, 1.5, 1);
+    PowerSensor sensor_b(trace, 0.05, 1.5, 2);
+    PowerSampler coarse(sensor_a, 0.1);
+    PowerSampler fine(sensor_b, 0.01);
+    const double mean_coarse =
+        meanWatts(coarse.sampleInterval(10.0, 200.0));
+    const double mean_fine = meanWatts(fine.sampleInterval(10.0, 200.0));
+    EXPECT_NEAR(mean_coarse, mean_fine, 0.5);
+}
+
+TEST(MeanWatts, SimpleAverage)
+{
+    std::vector<PowerSample> samples{{0.0, 100.0}, {0.1, 200.0},
+                                     {0.2, 300.0}};
+    EXPECT_DOUBLE_EQ(meanWatts(samples), 200.0);
+}
+
+TEST(Efficiency, FlopsPerWatt)
+{
+    std::vector<PowerSample> samples{{0.0, 320.0}, {0.1, 320.0}};
+    // 350 TFLOPS at 320 W ~ 1094 GFLOPS/W (the paper's mixed-precision
+    // headline is 1020 GFLOPS/W at its measured operating point).
+    EXPECT_NEAR(efficiencyFlopsPerWatt(350e12, samples) / 1e9,
+                350e12 / 320.0 / 1e9, 1e-6);
+}
+
+TEST(PmCounters, EnergyAccumulatesMonotonically)
+{
+    const auto trace = constantTrace(300.0, 100.0);
+    PmCounters pm(trace);
+    double prev = 0.0;
+    for (double t = 0.0; t < 50.0; t += 0.37) {
+        const double e = pm.energyJoules(t);
+        EXPECT_GE(e, prev);
+        prev = e;
+    }
+    // 10 s at 300 W = 3000 J (quantized to the 0.1 s update grid).
+    EXPECT_NEAR(pm.energyJoules(10.0), 3000.0, 300.0 * 0.1 + 1e-9);
+}
+
+TEST(PmCounters, QuantizedToUpdatePeriod)
+{
+    const auto trace = constantTrace(200.0, 100.0);
+    PmCounters pm(trace, 0.1);
+    // Readings within one update period are identical.
+    EXPECT_DOUBLE_EQ(pm.energyJoules(1.01), pm.energyJoules(1.09));
+    EXPECT_LT(pm.energyJoules(1.09), pm.energyJoules(1.11));
+}
+
+TEST(PmCounters, CrossValidatesSmiSampler)
+{
+    // The paper's validation: SMI-sampled average power must agree
+    // with the pm_counters energy-derived average.
+    sim::PowerTrace trace(88.0);
+    trace.addSegment(0.0, 150.0, 412.5);
+
+    PowerSensor sensor(trace, 0.05, 1.5);
+    PowerSampler sampler(sensor, 0.1);
+    const double smi_avg =
+        meanWatts(sampler.sampleInterval(10.0, 140.0));
+
+    PmCounters pm(trace);
+    const double pm_avg = pm.averageWatts(10.0, 140.0);
+
+    EXPECT_NEAR(smi_avg, pm_avg, 1.0);
+    EXPECT_NEAR(pm_avg, 412.5, 0.01);
+}
+
+TEST(PmCounters, InstantaneousPower)
+{
+    sim::PowerTrace trace(88.0);
+    trace.addSegment(1.0, 2.0, 300.0);
+    PmCounters pm(trace, 0.1);
+    EXPECT_DOUBLE_EQ(pm.powerWatts(0.5), 88.0);
+    EXPECT_DOUBLE_EQ(pm.powerWatts(1.55), 300.0);
+    EXPECT_DOUBLE_EQ(pm.powerWatts(3.0), 88.0);
+}
+
+TEST(PmCountersDeathTest, InvalidUse)
+{
+    const auto trace = constantTrace(100.0, 1.0);
+    EXPECT_DEATH(PmCounters(trace, 0.0), "must be positive");
+    PmCounters pm(trace);
+    EXPECT_DEATH((void)pm.averageWatts(1.0, 1.05),
+                 "at least one counter update");
+}
+
+TEST(SmiDeathTest, InvalidConstructionPanics)
+{
+    const auto trace = constantTrace(100.0, 1.0);
+    EXPECT_DEATH(PowerSensor(trace, 0.0), "must be positive");
+    PowerSensor sensor(trace, 0.05, 0.0);
+    EXPECT_DEATH(PowerSampler(sensor, 0.0), "must be positive");
+    EXPECT_DEATH(meanWatts({}), "empty sample");
+}
+
+} // namespace
+} // namespace smi
+} // namespace mc

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests of the blocked Cholesky factorization and solve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "solver/cholesky.hh"
+
+namespace mc {
+namespace solver {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+/** Random symmetric positive-definite matrix: A = M M^T + n I. */
+Matrix<double>
+randomSpd(Rng &rng, std::size_t n)
+{
+    Matrix<double> m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            m(i, j) = rng.uniform(-1.0, 1.0);
+    Matrix<double> a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = (i == j) ? static_cast<double>(n) : 0.0;
+            for (std::size_t kk = 0; kk < n; ++kk)
+                acc += m(i, kk) * m(j, kk);
+            a(i, j) = acc;
+        }
+    }
+    return a;
+}
+
+class CholeskyTest : public ::testing::Test
+{
+  protected:
+    CholeskyTest() : rt(arch::defaultCdna2(), quietOptions()), engine(rt)
+    {}
+
+    hip::Runtime rt;
+    blas::GemmEngine engine;
+};
+
+TEST_F(CholeskyTest, FactorizationReconstructsA)
+{
+    Rng rng(431);
+    const std::size_t n = 96;
+    const Matrix<double> a = randomSpd(rng, n);
+    Matrix<double> l = a;
+    CholeskySolver chol(engine, 32);
+    ASSERT_TRUE(chol.factor(l).isOk());
+
+    // L L^T (lower triangle of l) must reconstruct A.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = 0.0;
+            for (std::size_t kk = 0; kk <= j; ++kk)
+                acc += l(i, kk) * l(j, kk);
+            EXPECT_NEAR(acc, a(i, j), 1e-9 * (1.0 + std::fabs(a(i, j))))
+                << i << "," << j;
+        }
+    }
+}
+
+TEST_F(CholeskyTest, SolvesSpdSystems)
+{
+    Rng rng(433);
+    for (std::size_t n : {8u, 64u, 200u}) {
+        const Matrix<double> a = randomSpd(rng, n);
+        std::vector<double> b(n);
+        for (auto &v : b)
+            v = rng.uniform(-1.0, 1.0);
+        std::vector<double> x;
+        SolveStats stats;
+        CholeskySolver chol(engine, 48);
+        const Status s = chol.solveSystem(a, b, x, &stats);
+        ASSERT_TRUE(s.isOk()) << s.toString() << " n=" << n;
+        EXPECT_LT(stats.relativeResidual, 1e-12) << n;
+    }
+}
+
+TEST_F(CholeskyTest, AgreesWithLuSolver)
+{
+    Rng rng(439);
+    const std::size_t n = 80;
+    const Matrix<double> a = randomSpd(rng, n);
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+
+    std::vector<double> x_chol, x_lu;
+    CholeskySolver chol(engine, 32);
+    LuSolver lu(engine, 32);
+    ASSERT_TRUE(chol.solveSystem(a, b, x_chol).isOk());
+    ASSERT_TRUE(lu.solveSystem(a, b, x_lu).isOk());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x_chol[i], x_lu[i],
+                    1e-9 * (1.0 + std::fabs(x_lu[i])));
+}
+
+TEST_F(CholeskyTest, RejectsIndefiniteMatrices)
+{
+    Matrix<double> a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 2.0;
+    a(1, 1) = 1.0; // eigenvalues 3 and -1
+    CholeskySolver chol(engine);
+    Matrix<double> l = a;
+    const Status s = chol.factor(l);
+    EXPECT_EQ(s.code(), ErrorCode::FailedPrecondition);
+}
+
+TEST_F(CholeskyTest, RejectsNonSquare)
+{
+    Matrix<double> a(3, 4);
+    CholeskySolver chol(engine);
+    EXPECT_EQ(chol.factor(a).code(), ErrorCode::InvalidArgument);
+}
+
+TEST_F(CholeskyTest, StatsCountTrsmAndSyrkUpdates)
+{
+    Rng rng(443);
+    const std::size_t n = 128;
+    Matrix<double> a = randomSpd(rng, n);
+    SolveStats stats;
+    CholeskySolver chol(engine, 32);
+    ASSERT_TRUE(chol.factor(a, &stats).isOk());
+    // Panels at 0, 32, 64 have trailing updates (TRSM + SYRK each);
+    // the last panel does not.
+    EXPECT_EQ(stats.gemmCalls, 6);
+    EXPECT_GT(stats.gemmSeconds, 0.0);
+}
+
+TEST_F(CholeskyTest, BlockSizeDoesNotChangeTheAnswer)
+{
+    Rng rng(449);
+    const std::size_t n = 100;
+    const Matrix<double> a = randomSpd(rng, n);
+    std::vector<double> b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1.0, 1.0);
+    std::vector<double> x1, x2;
+    CholeskySolver c1(engine, 16), c2(engine, 100);
+    ASSERT_TRUE(c1.solveSystem(a, b, x1).isOk());
+    ASSERT_TRUE(c2.solveSystem(a, b, x2).isOk());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x1[i], x2[i], 1e-10 * (1.0 + std::fabs(x2[i])));
+}
+
+} // namespace
+} // namespace solver
+} // namespace mc

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests of the LU factorization and the mixed-precision iterative
+ * refinement solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.hh"
+#include "solver/lu.hh"
+
+namespace mc {
+namespace solver {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+/** Diagonally dominant random system: well conditioned for FP16. */
+Matrix<double>
+wellConditioned(Rng &rng, std::size_t n)
+{
+    Matrix<double> a(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double row_sum = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            a(i, j) = rng.uniform(-1.0, 1.0);
+            row_sum += std::fabs(a(i, j));
+        }
+        a(i, i) += row_sum + 1.0;
+    }
+    return a;
+}
+
+std::vector<double>
+randomVector(Rng &rng, std::size_t n)
+{
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform(-1.0, 1.0);
+    return v;
+}
+
+class LuTest : public ::testing::Test
+{
+  protected:
+    LuTest() : rt(arch::defaultCdna2(), quietOptions()), engine(rt) {}
+
+    hip::Runtime rt;
+    blas::GemmEngine engine;
+};
+
+TEST_F(LuTest, SolvesWellConditionedSystems)
+{
+    Rng rng(211);
+    for (std::size_t n : {5u, 32u, 100u, 250u}) {
+        LuSolver solver(engine, 32);
+        const Matrix<double> a = wellConditioned(rng, n);
+        const std::vector<double> b = randomVector(rng, n);
+        std::vector<double> x;
+        SolveStats stats;
+        const Status s = solver.solveSystem(a, b, x, &stats);
+        ASSERT_TRUE(s.isOk()) << s.toString() << " n=" << n;
+        EXPECT_LT(stats.relativeResidual, 1e-12) << n;
+    }
+}
+
+TEST_F(LuTest, FactorizationSatisfiesPaEqualsLu)
+{
+    Rng rng(223);
+    const std::size_t n = 64;
+    const Matrix<double> a = wellConditioned(rng, n);
+    Matrix<double> lu = a;
+    std::vector<int> pivots;
+    LuSolver solver(engine, 16);
+    ASSERT_TRUE(solver.factor(lu, pivots).isOk());
+
+    // Rebuild P*A by applying the recorded swaps, then check = L*U.
+    Matrix<double> pa = a;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto piv = static_cast<std::size_t>(pivots[i]);
+        if (piv != i)
+            for (std::size_t c = 0; c < n; ++c)
+                std::swap(pa(i, c), pa(piv, c));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            const std::size_t kmax = std::min(i, j + 1);
+            for (std::size_t k = 0; k < kmax; ++k)
+                acc += lu(i, k) * lu(k, j); // strict L part
+            if (i <= j)
+                acc += lu(i, j); // unit diagonal times U row
+            EXPECT_NEAR(acc, pa(i, j), 1e-10 * (1.0 + std::fabs(pa(i, j))));
+        }
+    }
+}
+
+TEST_F(LuTest, PivotingHandlesZeroLeadingElement)
+{
+    // Without pivoting this matrix fails immediately (a00 = 0).
+    Matrix<double> a(2, 2);
+    a(0, 0) = 0.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 0.0;
+    LuSolver solver(engine);
+    std::vector<double> x;
+    const Status s = solver.solveSystem(a, {2.0, 3.0}, x);
+    ASSERT_TRUE(s.isOk());
+    EXPECT_NEAR(x[0], 3.0, 1e-14);
+    EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST_F(LuTest, SingularMatrixReported)
+{
+    Matrix<double> a(3, 3, 1.0); // rank one
+    LuSolver solver(engine);
+    std::vector<double> x;
+    const Status s = solver.solveSystem(a, {1.0, 1.0, 1.0}, x);
+    EXPECT_FALSE(s.isOk());
+    EXPECT_EQ(s.code(), ErrorCode::FailedPrecondition);
+}
+
+TEST_F(LuTest, NonSquareRejected)
+{
+    Matrix<double> a(3, 4);
+    std::vector<int> pivots;
+    LuSolver solver(engine);
+    EXPECT_EQ(solver.factor(a, pivots).code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST_F(LuTest, StatsCountTrailingGemms)
+{
+    Rng rng(227);
+    const std::size_t n = 128;
+    Matrix<double> a = wellConditioned(rng, n);
+    std::vector<int> pivots;
+    SolveStats stats;
+    LuSolver solver(engine, 32);
+    ASSERT_TRUE(solver.factor(a, pivots, &stats).isOk());
+    // Panels at 0, 32, 64 produce trailing updates; the last does not.
+    EXPECT_EQ(stats.gemmCalls, 3);
+    EXPECT_GT(stats.gemmSeconds, 0.0);
+    EXPECT_GT(stats.gemmEnergyJ, 0.0);
+}
+
+TEST_F(LuTest, BlockSizeDoesNotChangeTheAnswer)
+{
+    Rng rng(229);
+    const std::size_t n = 96;
+    const Matrix<double> a = wellConditioned(rng, n);
+    const std::vector<double> b = randomVector(rng, n);
+    std::vector<double> x1, x2;
+    LuSolver s1(engine, 8), s2(engine, 96);
+    ASSERT_TRUE(s1.solveSystem(a, b, x1).isOk());
+    ASSERT_TRUE(s2.solveSystem(a, b, x2).isOk());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x1[i], x2[i], 1e-11);
+}
+
+TEST_F(LuTest, RefinementReachesFp64Accuracy)
+{
+    Rng rng(233);
+    for (std::size_t n : {32u, 128u}) {
+        const Matrix<double> a = wellConditioned(rng, n);
+        const std::vector<double> b = randomVector(rng, n);
+        std::vector<double> x;
+        SolveStats stats;
+        IterativeRefinementSolver solver(engine, 32);
+        const Status s = solver.solve(a, b, x, &stats);
+        ASSERT_TRUE(s.isOk()) << s.toString();
+        EXPECT_LT(stats.relativeResidual, 1e-12) << n;
+        EXPECT_GE(stats.refinementIters, 1) << n;
+        EXPECT_LT(stats.refinementIters, 20) << n;
+    }
+}
+
+TEST_F(LuTest, RefinementMatchesDirectSolve)
+{
+    Rng rng(239);
+    const std::size_t n = 64;
+    const Matrix<double> a = wellConditioned(rng, n);
+    const std::vector<double> b = randomVector(rng, n);
+
+    std::vector<double> x_direct, x_refined;
+    LuSolver direct(engine, 32);
+    IterativeRefinementSolver refined(engine, 32);
+    ASSERT_TRUE(direct.solveSystem(a, b, x_direct).isOk());
+    ASSERT_TRUE(refined.solve(a, b, x_refined).isOk());
+    for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(x_refined[i], x_direct[i],
+                    1e-9 * (1.0 + std::fabs(x_direct[i])));
+}
+
+TEST_F(LuTest, RefinementFailsOnFp16HostileMatrix)
+{
+    // Entries far outside the FP16 range collapse to infinity in the
+    // low-precision factorization; refinement must report failure
+    // rather than return garbage.
+    const std::size_t n = 8;
+    Matrix<double> a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) = 1e30;
+    a(0, 1) = 1.0;
+    std::vector<double> x;
+    IterativeRefinementSolver solver(engine);
+    const Status s = solver.solve(a, std::vector<double>(n, 1.0), x);
+    EXPECT_FALSE(s.isOk());
+}
+
+TEST_F(LuTest, NormHelpers)
+{
+    Matrix<double> a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = -2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 0.5;
+    EXPECT_DOUBLE_EQ(normInf(a), 3.5);
+    EXPECT_DOUBLE_EQ(normInf(std::vector<double>{-4.0, 2.0}), 4.0);
+
+    const std::vector<double> r =
+        residual(a, {1.0, 1.0}, {0.0, 0.0});
+    EXPECT_DOUBLE_EQ(r[0], -(1.0 - 2.0));
+    EXPECT_DOUBLE_EQ(r[1], -(3.0 + 0.5));
+}
+
+} // namespace
+} // namespace solver
+} // namespace mc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Tests of multi-block WMMA fragments: Section II's "a Matrix Core can
+ * execute up to four parallel MFMA operations on independent
+ * (A, B, C, D) matrices".
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hh"
+#include "common/random.hh"
+#include "wmma/wmma.hh"
+
+namespace mc {
+namespace wmma {
+namespace {
+
+TEST(MultiBlock, ShapeSupportQueries)
+{
+    using fp::Half;
+    // The 16x16x4 x4-block mixed-precision shape Section II describes.
+    EXPECT_TRUE((shapeSupported<float, Half>(16, 16, 4,
+                                             arch::GpuArch::Cdna2, 4)));
+    EXPECT_TRUE((shapeSupported<float, float>(4, 4, 1,
+                                              arch::GpuArch::Cdna2, 16)));
+    EXPECT_FALSE((shapeSupported<float, Half>(16, 16, 4,
+                                              arch::GpuArch::Cdna2, 2)));
+    EXPECT_FALSE((shapeSupported<float, Half>(16, 8, 8,
+                                              arch::GpuArch::Ampere, 4)));
+}
+
+TEST(MultiBlock, FourParallelMixedPrecisionProblems)
+{
+    // Four independent 16x16x4 problems through one instruction.
+    constexpr int blocks = 4, m = 16, n = 16, k = 4;
+    Rng rng(311);
+
+    std::vector<Matrix<fp::Half>> as, bs;
+    std::vector<Matrix<float>> cs;
+    for (int blk = 0; blk < blocks; ++blk) {
+        Matrix<fp::Half> a(m, k), b(k, n);
+        Matrix<float> c(m, n);
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < k; ++j)
+                a(i, j) = fp::Half(static_cast<float>(
+                    rng.uniform(-1, 1)));
+        for (int i = 0; i < k; ++i)
+            for (int j = 0; j < n; ++j)
+                b(i, j) = fp::Half(static_cast<float>(
+                    rng.uniform(-1, 1)));
+        for (int i = 0; i < m; ++i)
+            for (int j = 0; j < n; ++j)
+                c(i, j) = static_cast<float>(rng.uniform(-1, 1));
+        as.push_back(std::move(a));
+        bs.push_back(std::move(b));
+        cs.push_back(std::move(c));
+    }
+
+    Fragment<FragmentUse::MatrixA, m, n, k, fp::Half, blocks> fa;
+    Fragment<FragmentUse::MatrixB, m, n, k, fp::Half, blocks> fb;
+    Fragment<FragmentUse::Accumulator, m, n, k, float, blocks> fc, fd;
+    for (int blk = 0; blk < blocks; ++blk) {
+        load_matrix_block_sync(fa, as[blk].data(), k, blk);
+        load_matrix_block_sync(fb, bs[blk].data(), n, blk);
+        load_matrix_block_sync(fc, cs[blk].data(), n, blk);
+    }
+
+    KernelRecorder::active().reset("multiblock");
+    mma_sync(fd, fa, fb, fc);
+    EXPECT_EQ(KernelRecorder::active().mfmaCount(
+                  "v_mfma_f32_16x16x4_4b_f16"), 1u);
+
+    // Each block's result must match its own reference, proving the
+    // blocks stayed independent.
+    for (int blk = 0; blk < blocks; ++blk) {
+        Matrix<float> d(m, n);
+        store_matrix_block_sync(d.data(), fd, n, blk);
+        for (int i = 0; i < m; ++i) {
+            for (int j = 0; j < n; ++j) {
+                float acc = cs[blk](i, j);
+                for (int kk = 0; kk < k; ++kk)
+                    acc += as[blk](i, kk).toFloat() *
+                           bs[blk](kk, j).toFloat();
+                EXPECT_NEAR(d(i, j), acc, 1e-3)
+                    << "block " << blk << " (" << i << "," << j << ")";
+            }
+        }
+    }
+}
+
+TEST(MultiBlock, ContiguousLoadStoreRoundTrip)
+{
+    // Whole-fragment load/store moves blocks through consecutive
+    // tile-sized slabs.
+    constexpr int blocks = 16;
+    std::vector<float> slabs(16 * 4 * 4); // 16 blocks of 4x4
+    for (std::size_t i = 0; i < slabs.size(); ++i)
+        slabs[i] = static_cast<float>(i);
+
+    Fragment<FragmentUse::Accumulator, 4, 4, 1, float, blocks> frag;
+    load_matrix_sync(frag, slabs.data(), 4);
+    std::vector<float> back(slabs.size(), -1.0f);
+    store_matrix_sync(back.data(), frag, 4);
+    EXPECT_EQ(back, slabs);
+}
+
+TEST(MultiBlock, RecorderCountsTileTraffic)
+{
+    KernelRecorder::active().reset("traffic");
+    std::vector<float> slab(16 * 16);
+    Fragment<FragmentUse::Accumulator, 16, 16, 1, float, 4> frag;
+    load_matrix_block_sync(frag, slab.data(), 16, 2);
+    EXPECT_EQ(KernelRecorder::active().loadBytes(), 16u * 16u * 4u);
+}
+
+TEST(MultiBlockDeathTest, BlockIndexValidated)
+{
+    std::vector<float> slab(16 * 16);
+    Fragment<FragmentUse::Accumulator, 16, 16, 1, float, 4> frag;
+    EXPECT_DEATH(load_matrix_block_sync(frag, slab.data(), 16, 4),
+                 "out of range");
+    EXPECT_DEATH(store_matrix_block_sync(slab.data(), frag, 16, -1),
+                 "out of range");
+}
+
+TEST(MultiBlockDeathTest, UnsupportedBlockCountIsFatal)
+{
+    using BadFrag =
+        Fragment<FragmentUse::MatrixA, 16, 16, 16, fp::Half, 2>;
+    EXPECT_EXIT({ BadFrag frag; (void)frag; },
+                ::testing::ExitedWithCode(1), "no AMD CDNA2 instruction");
+}
+
+} // namespace
+} // namespace wmma
+} // namespace mc

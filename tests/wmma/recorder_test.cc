@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Tests of the kernel recorder (the model's "assembly inspection").
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hh"
+#include "wmma/wmma.hh"
+
+namespace mc {
+namespace wmma {
+namespace {
+
+TEST(KernelRecorder, MmaSyncRecordsExactlyOneInstruction)
+{
+    // The paper verifies with -S / cuobjdump that one rocWMMA mma_sync
+    // lowers to one MFMA instruction; the recorder is that check here.
+    KernelRecorder::active().reset("one_tile");
+
+    Matrix<fp::Half> a(16, 16, fp::Half(1.0f)), b(16, 16);
+    b.setIdentity();
+    Matrix<float> c(16, 16, 0.0f);
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    Fragment<FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    Fragment<FragmentUse::Accumulator, 16, 16, 16, float> fc, fd;
+    load_matrix_sync(fa, a.data(), 16);
+    load_matrix_sync(fb, b.data(), 16);
+    load_matrix_sync(fc, c.data(), 16);
+    mma_sync(fd, fa, fb, fc);
+
+    auto &rec = KernelRecorder::active();
+    EXPECT_EQ(rec.mfmaCount(), 1u);
+    EXPECT_EQ(rec.mfmaCount("v_mfma_f32_16x16x16_f16"), 1u);
+    EXPECT_EQ(rec.mfmaCount("v_mfma_f64_16x16x4_f64"), 0u);
+}
+
+TEST(KernelRecorder, FragmentTrafficAccounted)
+{
+    KernelRecorder::active().reset("traffic");
+    Matrix<float> c(16, 16, 0.0f);
+    Fragment<FragmentUse::Accumulator, 16, 16, 4, float> frag;
+    load_matrix_sync(frag, c.data(), 16);
+    store_matrix_sync(c.data(), frag, 16);
+
+    auto &rec = KernelRecorder::active();
+    EXPECT_EQ(rec.loadBytes(), 16u * 16u * 4u);
+    EXPECT_EQ(rec.storeBytes(), 16u * 16u * 4u);
+}
+
+TEST(KernelRecorder, BuildProfileScalesBody)
+{
+    KernelRecorder::active().reset("scaled");
+    Matrix<fp::Half> a(16, 16, fp::Half(1.0f)), b(16, 16);
+    b.setIdentity();
+    Matrix<float> c(16, 16, 0.0f);
+    Fragment<FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    Fragment<FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    Fragment<FragmentUse::Accumulator, 16, 16, 16, float> fc, fd;
+    load_matrix_sync(fa, a.data(), 16);
+    load_matrix_sync(fb, b.data(), 16);
+    load_matrix_sync(fc, c.data(), 16);
+    mma_sync(fd, fa, fb, fc);
+    mma_sync(fd, fa, fb, fd); // two instructions in the body
+
+    const sim::KernelProfile profile =
+        KernelRecorder::active().buildProfile(/*wavefronts=*/8,
+                                              /*iterations=*/1000);
+    EXPECT_EQ(profile.numWavefronts, 8u);
+    EXPECT_EQ(profile.mfmaInstsPerWavefront(), 2000u);
+    EXPECT_EQ(profile.label, "scaled");
+    // Load bytes scale with wavefronts (each wavefront loads its own
+    // fragments).
+    EXPECT_DOUBLE_EQ(profile.hbmReadBytes,
+                     8.0 * (2 * 16 * 16 * 2 + 16 * 16 * 4));
+}
+
+TEST(KernelRecorder, ResetClearsState)
+{
+    auto &rec = KernelRecorder::active();
+    rec.reset("a");
+    rec.noteFragmentLoad(100);
+    rec.reset("b");
+    EXPECT_EQ(rec.loadBytes(), 0u);
+    EXPECT_EQ(rec.mfmaCount(), 0u);
+}
+
+TEST(MfmaLoopProfile, MatchesPaperMicrobenchShape)
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f32_16x16x16_f16");
+    ASSERT_NE(inst, nullptr);
+    const sim::KernelProfile p =
+        mfmaLoopProfile(*inst, 40000000, 1, "latency_probe");
+    EXPECT_EQ(p.numWavefronts, 1u);
+    EXPECT_EQ(p.mfmaInstsPerWavefront(), 40000000u);
+    EXPECT_EQ(p.label, "latency_probe");
+    EXPECT_DOUBLE_EQ(p.hbmReadBytes, 0.0); // register-only loop
+}
+
+TEST(MfmaLoopProfileDeathTest, ZeroWavefrontsPanics)
+{
+    KernelRecorder::active().reset("zero");
+    EXPECT_DEATH(KernelRecorder::active().buildProfile(0, 1),
+                 "at least one wavefront");
+}
+
+} // namespace
+} // namespace wmma
+} // namespace mc

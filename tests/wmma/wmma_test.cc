@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests of the rocWMMA-style fragment API: load/store round trips,
+ * mma_sync correctness against the host reference, and the Table I
+ * cross-platform validity checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/matrix.hh"
+#include "common/random.hh"
+#include "wmma/wmma.hh"
+
+namespace mc {
+namespace wmma {
+namespace {
+
+TEST(Wmma, ShapeSupportedMatchesTableI)
+{
+    using fp::Half;
+    // CDNA2 column of Table I.
+    EXPECT_TRUE((shapeSupported<double, double>(16, 16, 4)));
+    EXPECT_TRUE((shapeSupported<float, float>(16, 16, 4)));
+    EXPECT_TRUE((shapeSupported<float, float>(32, 32, 2)));
+    EXPECT_TRUE((shapeSupported<float, Half>(16, 16, 16)));
+    EXPECT_TRUE((shapeSupported<float, Half>(32, 32, 8)));
+    EXPECT_FALSE((shapeSupported<Half, Half>(16, 16, 16)));
+    EXPECT_FALSE((shapeSupported<double, double>(8, 8, 4)));
+
+    // Ampere column.
+    const auto amp = arch::GpuArch::Ampere;
+    EXPECT_TRUE((shapeSupported<double, double>(8, 8, 4, amp)));
+    EXPECT_TRUE((shapeSupported<float, Half>(16, 8, 16, amp)));
+    EXPECT_TRUE((shapeSupported<Half, Half>(16, 8, 8, amp)));
+    EXPECT_FALSE((shapeSupported<float, float>(16, 16, 4, amp)));
+}
+
+TEST(Wmma, FillFragmentSetsEveryElement)
+{
+    Fragment<FragmentUse::Accumulator, 16, 16, 4, float> frag;
+    fill_fragment(frag, 2.5f);
+    for (float v : frag.regs().laneData)
+        EXPECT_EQ(v, 2.5f);
+    EXPECT_EQ(frag.numElements(), 256u);
+}
+
+TEST(Wmma, LoadStoreRoundTripRowMajor)
+{
+    Rng rng(61);
+    Matrix<float> tile(16, 4);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            tile(i, j) = static_cast<float>(rng.uniform(-1, 1));
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 4, float> frag;
+    load_matrix_sync(frag, tile.data(), 4);
+
+    Matrix<float> back(16, 4);
+    // Store via a same-layout load into another fragment is not
+    // meaningful for A; instead verify through the layout directly.
+    const auto &layout = frag.layout();
+    for (int r = 0; r < 16; ++r) {
+        for (int c = 0; c < 4; ++c) {
+            const arch::RegLocation loc =
+                layout.locationOf(arch::ElementCoord{0, r, c});
+            back(r, c) = frag.regs().at(loc.lane, loc.slot);
+        }
+    }
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 4; ++j)
+            EXPECT_EQ(back(i, j), tile(i, j));
+}
+
+TEST(Wmma, AccumulatorStoreRoundTrip)
+{
+    Rng rng(67);
+    Matrix<float> tile(16, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            tile(i, j) = static_cast<float>(rng.uniform(-1, 1));
+
+    Fragment<FragmentUse::Accumulator, 16, 16, 4, float> frag;
+    load_matrix_sync(frag, tile.data(), 16);
+    Matrix<float> back(16, 16);
+    store_matrix_sync(back.data(), frag, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_EQ(back(i, j), tile(i, j));
+}
+
+TEST(Wmma, ColMajorLoadTransposesIndexing)
+{
+    Matrix<float> col_storage(4, 16); // column-major 16x4 = 4x16 buffer
+    for (int r = 0; r < 16; ++r)
+        for (int c = 0; c < 4; ++c)
+            col_storage(c, r) = static_cast<float>(r * 10 + c);
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 4, float> frag;
+    load_matrix_sync(frag, col_storage.data(), 16, MemLayout::ColMajor);
+
+    const auto &layout = frag.layout();
+    const arch::RegLocation loc =
+        layout.locationOf(arch::ElementCoord{0, 7, 2});
+    EXPECT_EQ(frag.regs().at(loc.lane, loc.slot), 72.0f);
+}
+
+TEST(Wmma, MmaSyncMatchesHostReferenceMixedPrecision)
+{
+    Rng rng(71);
+    Matrix<fp::Half> a(16, 16), b(16, 16);
+    Matrix<float> c(16, 16), expect(16, 16);
+    for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = 0; j < 16; ++j) {
+            a(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            b(i, j) = fp::Half(static_cast<float>(rng.uniform(-1, 1)));
+            c(i, j) = static_cast<float>(rng.uniform(-1, 1));
+        }
+    }
+    for (std::size_t i = 0; i < 16; ++i) {
+        for (std::size_t j = 0; j < 16; ++j) {
+            float acc = c(i, j);
+            for (std::size_t k = 0; k < 16; ++k)
+                acc += a(i, k).toFloat() * b(k, j).toFloat();
+            expect(i, j) = acc;
+        }
+    }
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    Fragment<FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    Fragment<FragmentUse::Accumulator, 16, 16, 16, float> fc, fd;
+    load_matrix_sync(fa, a.data(), 16);
+    load_matrix_sync(fb, b.data(), 16);
+    load_matrix_sync(fc, c.data(), 16);
+    mma_sync(fd, fa, fb, fc);
+
+    Matrix<float> d(16, 16);
+    store_matrix_sync(d.data(), fd, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_NEAR(d(i, j), expect(i, j), 1e-3);
+}
+
+TEST(Wmma, MmaSyncDoublePrecisionExact)
+{
+    Rng rng(73);
+    Matrix<double> a(16, 4), b(4, 16), c(16, 16);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            a(i, j) = rng.uniform(-1, 1);
+    b.setIdentity();
+    c.fill(1.0);
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 4, double> fa;
+    Fragment<FragmentUse::MatrixB, 16, 16, 4, double> fb;
+    Fragment<FragmentUse::Accumulator, 16, 16, 4, double> fc, fd;
+    load_matrix_sync(fa, a.data(), 4);
+    load_matrix_sync(fb, b.data(), 16);
+    load_matrix_sync(fc, c.data(), 16);
+    mma_sync(fd, fa, fb, fc);
+
+    Matrix<double> d(16, 16);
+    store_matrix_sync(d.data(), fd, 16);
+    // With B = [I4; padded], D = A's leading columns + 1 exactly.
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_DOUBLE_EQ(d(i, j), (j < 4 ? a(i, j) : 0.0) + 1.0);
+}
+
+TEST(Wmma, PaperValidationPattern)
+{
+    // The paper's rocBLAS validation scheme scaled to one tile: A all
+    // ones, B identity, C all ones => D all twos.
+    Matrix<fp::Half> a(16, 16, fp::Half(1.0f)), b(16, 16);
+    b.setIdentity();
+    Matrix<float> c(16, 16, 1.0f);
+
+    Fragment<FragmentUse::MatrixA, 16, 16, 16, fp::Half> fa;
+    Fragment<FragmentUse::MatrixB, 16, 16, 16, fp::Half> fb;
+    Fragment<FragmentUse::Accumulator, 16, 16, 16, float> fc, fd;
+    load_matrix_sync(fa, a.data(), 16);
+    load_matrix_sync(fb, b.data(), 16);
+    load_matrix_sync(fc, c.data(), 16);
+    mma_sync(fd, fa, fb, fc);
+
+    Matrix<float> d(16, 16);
+    store_matrix_sync(d.data(), fd, 16);
+    for (std::size_t i = 0; i < 16; ++i)
+        for (std::size_t j = 0; j < 16; ++j)
+            EXPECT_EQ(d(i, j), 2.0f);
+}
+
+TEST(WmmaDeathTest, UnsupportedFragmentIsFatal)
+{
+    // f16 accumulators do not exist on CDNA2 (Table I).
+    using BadFrag =
+        Fragment<FragmentUse::Accumulator, 16, 16, 16, fp::Half>;
+    EXPECT_EXIT({ BadFrag frag; (void)frag; },
+                ::testing::ExitedWithCode(1), "no AMD CDNA2 instruction");
+}
+
+TEST(WmmaDeathTest, LeadingDimensionTooSmallPanics)
+{
+    Fragment<FragmentUse::MatrixA, 16, 16, 4, float> frag;
+    std::vector<float> tiny(16 * 4);
+    EXPECT_DEATH(load_matrix_sync(frag, tiny.data(), 2),
+                 "leading dimension too small");
+}
+
+} // namespace
+} // namespace wmma
+} // namespace mc

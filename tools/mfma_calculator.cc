@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A re-implementation of AMD's amd_matrix_instruction_calculator (the
+ * paper's reference [9]): query which wavefront lane and register slot
+ * holds each element of an MFMA operand, or go the other way.
+ *
+ * Examples:
+ *   mfma_calculator --list
+ *   mfma_calculator --inst v_mfma_f32_16x16x16_f16 --detail
+ *   mfma_calculator --inst v_mfma_f64_16x16x4_f64 --operand D --matrix
+ *   mfma_calculator --inst v_mfma_f32_16x16x4_f32 --operand A \
+ *       --row 5 --col 2
+ *   mfma_calculator --inst v_mfma_f32_16x16x4_f32 --operand B \
+ *       --lane 17 --slot 0
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "arch/layout.hh"
+#include "arch/mfma_isa.hh"
+#include "common/cli.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace {
+
+using namespace mc;
+
+arch::GpuArch
+parseArch(const std::string &name)
+{
+    if (name == "cdna1")
+        return arch::GpuArch::Cdna1;
+    if (name == "cdna2")
+        return arch::GpuArch::Cdna2;
+    if (name == "ampere")
+        return arch::GpuArch::Ampere;
+    mc_fatal("unknown architecture '", name,
+             "' (expected cdna1, cdna2, or ampere)");
+}
+
+arch::Operand
+parseOperand(const std::string &name)
+{
+    if (name == "A" || name == "a")
+        return arch::Operand::A;
+    if (name == "B" || name == "b")
+        return arch::Operand::B;
+    if (name == "C" || name == "c")
+        return arch::Operand::C;
+    if (name == "D" || name == "d")
+        return arch::Operand::D;
+    mc_fatal("unknown operand '", name, "' (expected A, B, C, or D)");
+}
+
+void
+listInstructions(arch::GpuArch a)
+{
+    TextTable table({"mnemonic", "types", "shape", "latency",
+                     "FLOPS/inst"});
+    table.setTitle(std::string(arch::gpuArchName(a)) +
+                   " matrix instructions");
+    table.setAlignment({Align::Left, Align::Left, Align::Left,
+                        Align::Right, Align::Right});
+    for (const auto &inst : arch::instructionsFor(a)) {
+        table.addRow({inst.mnemonic, inst.typeString(),
+                      inst.shape.toString(),
+                      std::to_string(inst.latencyCycles),
+                      std::to_string(inst.flopsPerInstruction())});
+    }
+    table.print(std::cout);
+}
+
+void
+printDetail(const arch::MfmaInstruction &inst)
+{
+    std::printf("%s (%s)\n", inst.mnemonic.c_str(),
+                arch::gpuArchName(inst.arch));
+    std::printf("  types:      %s\n", inst.typeString().c_str());
+    std::printf("  shape:      %s\n", inst.shape.toString().c_str());
+    std::printf("  latency:    %d cycles\n", inst.latencyCycles);
+    std::printf("  FLOPs/inst: %lld\n", inst.flopsPerInstruction());
+    std::printf("  wave size:  %d\n", inst.waveSize);
+    for (arch::Operand op : {arch::Operand::A, arch::Operand::B,
+                             arch::Operand::C, arch::Operand::D}) {
+        const arch::OperandLayout layout(inst, op);
+        const std::size_t bytes = arch::dataTypeBytes(
+            (op == arch::Operand::A || op == arch::Operand::B)
+                ? inst.typeAB : inst.typeCD);
+        std::printf("  operand %s: %dx%d x%d blocks, %d elems/lane, "
+                    "%d VGPRs/lane\n",
+                    arch::operandName(op), layout.rows(), layout.cols(),
+                    layout.blocks(), layout.elementsPerLane(),
+                    layout.vgprCount(bytes));
+    }
+}
+
+/** Full element->register map for one operand, one row per element. */
+void
+printMatrixMap(const arch::MfmaInstruction &inst, arch::Operand op)
+{
+    const arch::OperandLayout layout(inst, op);
+    TextTable table({"block", "row", "col", "lane", "slot"});
+    table.setTitle(inst.mnemonic + " operand " +
+                   arch::operandName(op) + " element-to-register map");
+    for (int blk = 0; blk < layout.blocks(); ++blk) {
+        for (int r = 0; r < layout.rows(); ++r) {
+            for (int c = 0; c < layout.cols(); ++c) {
+                const arch::RegLocation loc =
+                    layout.locationOf(arch::ElementCoord{blk, r, c});
+                table.addRow({std::to_string(blk), std::to_string(r),
+                              std::to_string(c),
+                              std::to_string(loc.lane),
+                              std::to_string(loc.slot)});
+            }
+        }
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("matrix instruction calculator: element <-> register "
+                  "mapping for MFMA operands");
+    cli.addFlag("arch", std::string("cdna2"),
+                "instruction set: cdna1, cdna2, or ampere");
+    cli.addFlag("list", false, "list all instructions and exit");
+    cli.addFlag("inst", std::string(""), "instruction mnemonic");
+    cli.addFlag("detail", false, "print operand/register summary");
+    cli.addFlag("operand", std::string("A"), "operand: A, B, C, or D");
+    cli.addFlag("matrix", false,
+                "dump the full element-to-register map of --operand");
+    cli.addFlag("row", static_cast<std::int64_t>(-1),
+                "element row (with --col): forward query");
+    cli.addFlag("col", static_cast<std::int64_t>(-1), "element column");
+    cli.addFlag("block", static_cast<std::int64_t>(0), "element block");
+    cli.addFlag("lane", static_cast<std::int64_t>(-1),
+                "register lane (with --slot): inverse query");
+    cli.addFlag("slot", static_cast<std::int64_t>(-1),
+                "per-lane register slot");
+    cli.parse(argc, argv);
+
+    const arch::GpuArch target = parseArch(cli.getString("arch"));
+    if (cli.getBool("list")) {
+        listInstructions(target);
+        return 0;
+    }
+
+    const std::string mnemonic = cli.getString("inst");
+    if (mnemonic.empty())
+        mc_fatal("--inst is required (or use --list)\n", cli.usage());
+    const arch::MfmaInstruction *inst =
+        arch::findInstruction(target, mnemonic);
+    if (inst == nullptr)
+        mc_fatal("no instruction '", mnemonic, "' on ",
+                 arch::gpuArchName(target), " (try --list)");
+
+    if (cli.getBool("detail")) {
+        printDetail(*inst);
+        return 0;
+    }
+
+    const arch::Operand op = parseOperand(cli.getString("operand"));
+    if (cli.getBool("matrix")) {
+        printMatrixMap(*inst, op);
+        return 0;
+    }
+
+    const arch::OperandLayout layout(*inst, op);
+    if (cli.getInt("row") >= 0 && cli.getInt("col") >= 0) {
+        const arch::ElementCoord coord{
+            static_cast<int>(cli.getInt("block")),
+            static_cast<int>(cli.getInt("row")),
+            static_cast<int>(cli.getInt("col"))};
+        const arch::RegLocation loc = layout.locationOf(coord);
+        std::printf("%s[%s] block %d element (%d, %d) -> lane %d, "
+                    "slot %d\n",
+                    inst->mnemonic.c_str(), arch::operandName(op),
+                    coord.block, coord.row, coord.col, loc.lane,
+                    loc.slot);
+        return 0;
+    }
+    if (cli.getInt("lane") >= 0 && cli.getInt("slot") >= 0) {
+        const arch::RegLocation loc{
+            static_cast<int>(cli.getInt("lane")),
+            static_cast<int>(cli.getInt("slot"))};
+        const arch::ElementCoord coord = layout.elementAt(loc);
+        std::printf("%s[%s] lane %d, slot %d -> block %d element "
+                    "(%d, %d)\n",
+                    inst->mnemonic.c_str(), arch::operandName(op),
+                    loc.lane, loc.slot, coord.block, coord.row,
+                    coord.col);
+        return 0;
+    }
+
+    printDetail(*inst);
+    return 0;
+}
