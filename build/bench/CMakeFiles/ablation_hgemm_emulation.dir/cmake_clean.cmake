@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hgemm_emulation.dir/ablation_hgemm_emulation.cc.o"
+  "CMakeFiles/ablation_hgemm_emulation.dir/ablation_hgemm_emulation.cc.o.d"
+  "ablation_hgemm_emulation"
+  "ablation_hgemm_emulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hgemm_emulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

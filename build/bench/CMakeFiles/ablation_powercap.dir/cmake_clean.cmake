@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_powercap.dir/ablation_powercap.cc.o"
+  "CMakeFiles/ablation_powercap.dir/ablation_powercap.cc.o.d"
+  "ablation_powercap"
+  "ablation_powercap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_powercap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

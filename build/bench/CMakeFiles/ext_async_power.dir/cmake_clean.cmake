@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_async_power.dir/ext_async_power.cc.o"
+  "CMakeFiles/ext_async_power.dir/ext_async_power.cc.o.d"
+  "ext_async_power"
+  "ext_async_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_async_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

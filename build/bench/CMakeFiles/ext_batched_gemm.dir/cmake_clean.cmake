@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_batched_gemm.dir/ext_batched_gemm.cc.o"
+  "CMakeFiles/ext_batched_gemm.dir/ext_batched_gemm.cc.o.d"
+  "ext_batched_gemm"
+  "ext_batched_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_batched_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_blas_survey.dir/ext_blas_survey.cc.o"
+  "CMakeFiles/ext_blas_survey.dir/ext_blas_survey.cc.o.d"
+  "ext_blas_survey"
+  "ext_blas_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_blas_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_generations.cc" "bench/CMakeFiles/ext_generations.dir/ext_generations.cc.o" "gcc" "bench/CMakeFiles/ext_generations.dir/ext_generations.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mc_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/mc_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/mc_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/prof/CMakeFiles/mc_prof.dir/DependInfo.cmake"
+  "/root/repo/build/src/smi/CMakeFiles/mc_smi.dir/DependInfo.cmake"
+  "/root/repo/build/src/wmma/CMakeFiles/mc_wmma.dir/DependInfo.cmake"
+  "/root/repo/build/src/hip/CMakeFiles/mc_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mc_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

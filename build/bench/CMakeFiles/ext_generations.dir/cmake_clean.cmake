@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_generations.dir/ext_generations.cc.o"
+  "CMakeFiles/ext_generations.dir/ext_generations.cc.o.d"
+  "ext_generations"
+  "ext_generations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_generations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_ml_datatypes.dir/ext_ml_datatypes.cc.o"
+  "CMakeFiles/ext_ml_datatypes.dir/ext_ml_datatypes.cc.o.d"
+  "ext_ml_datatypes"
+  "ext_ml_datatypes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_ml_datatypes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

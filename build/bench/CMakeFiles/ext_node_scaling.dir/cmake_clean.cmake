@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_node_scaling.dir/ext_node_scaling.cc.o"
+  "CMakeFiles/ext_node_scaling.dir/ext_node_scaling.cc.o.d"
+  "ext_node_scaling"
+  "ext_node_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_node_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_throughput_scaling.dir/fig3_throughput_scaling.cc.o"
+  "CMakeFiles/fig3_throughput_scaling.dir/fig3_throughput_scaling.cc.o.d"
+  "fig3_throughput_scaling"
+  "fig3_throughput_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

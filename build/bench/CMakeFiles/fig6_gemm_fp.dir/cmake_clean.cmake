@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gemm_fp.dir/fig6_gemm_fp.cc.o"
+  "CMakeFiles/fig6_gemm_fp.dir/fig6_gemm_fp.cc.o.d"
+  "fig6_gemm_fp"
+  "fig6_gemm_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gemm_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

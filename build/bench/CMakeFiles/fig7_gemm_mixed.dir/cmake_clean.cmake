@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_gemm_mixed.dir/fig7_gemm_mixed.cc.o"
+  "CMakeFiles/fig7_gemm_mixed.dir/fig7_gemm_mixed.cc.o.d"
+  "fig7_gemm_mixed"
+  "fig7_gemm_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_gemm_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

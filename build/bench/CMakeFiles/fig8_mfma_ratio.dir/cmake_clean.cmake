@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mfma_ratio.dir/fig8_mfma_ratio.cc.o"
+  "CMakeFiles/fig8_mfma_ratio.dir/fig8_mfma_ratio.cc.o.d"
+  "fig8_mfma_ratio"
+  "fig8_mfma_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mfma_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_flop_model.dir/fig9_flop_model.cc.o"
+  "CMakeFiles/fig9_flop_model.dir/fig9_flop_model.cc.o.d"
+  "fig9_flop_model"
+  "fig9_flop_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_flop_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libmc_bench_util.a"
+  "../lib/libmc_bench_util.pdb"
+  "CMakeFiles/mc_bench_util.dir/common/bench_util.cc.o"
+  "CMakeFiles/mc_bench_util.dir/common/bench_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

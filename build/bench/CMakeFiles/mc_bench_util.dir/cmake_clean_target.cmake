@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libmc_bench_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_shapes.dir/table1_shapes.cc.o"
+  "CMakeFiles/table1_shapes.dir/table1_shapes.cc.o.d"
+  "table1_shapes"
+  "table1_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

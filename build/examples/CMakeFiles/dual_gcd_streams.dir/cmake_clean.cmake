@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dual_gcd_streams.dir/dual_gcd_streams.cpp.o"
+  "CMakeFiles/dual_gcd_streams.dir/dual_gcd_streams.cpp.o.d"
+  "dual_gcd_streams"
+  "dual_gcd_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dual_gcd_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

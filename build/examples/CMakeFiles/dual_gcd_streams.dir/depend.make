@@ -1,0 +1,2 @@
+# Empty dependencies file for dual_gcd_streams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_precision_refinement.dir/mixed_precision_refinement.cpp.o"
+  "CMakeFiles/mixed_precision_refinement.dir/mixed_precision_refinement.cpp.o.d"
+  "mixed_precision_refinement"
+  "mixed_precision_refinement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_precision_refinement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_aware_gemm.dir/power_aware_gemm.cpp.o"
+  "CMakeFiles/power_aware_gemm.dir/power_aware_gemm.cpp.o.d"
+  "power_aware_gemm"
+  "power_aware_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_aware_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_layer.dir/transformer_layer.cpp.o"
+  "CMakeFiles/transformer_layer.dir/transformer_layer.cpp.o.d"
+  "transformer_layer"
+  "transformer_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_gemm_tuning "/root/repo/build/examples/gemm_tuning" "--n=1024")
+set_tests_properties(example_gemm_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_aware "/root/repo/build/examples/power_aware_gemm" "--n=2048" "--launches=5")
+set_tests_properties(example_power_aware PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_refinement "/root/repo/build/examples/mixed_precision_refinement" "--n=128" "--block=32")
+set_tests_properties(example_refinement PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dual_gcd "/root/repo/build/examples/dual_gcd_streams")
+set_tests_properties(example_dual_gcd PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transformer "/root/repo/build/examples/transformer_layer" "--seq=1024" "--dmodel=1024" "--heads=16" "--batch=2")
+set_tests_properties(example_transformer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/calibration.cc" "src/arch/CMakeFiles/mc_arch.dir/calibration.cc.o" "gcc" "src/arch/CMakeFiles/mc_arch.dir/calibration.cc.o.d"
+  "/root/repo/src/arch/layout.cc" "src/arch/CMakeFiles/mc_arch.dir/layout.cc.o" "gcc" "src/arch/CMakeFiles/mc_arch.dir/layout.cc.o.d"
+  "/root/repo/src/arch/mfma_isa.cc" "src/arch/CMakeFiles/mc_arch.dir/mfma_isa.cc.o" "gcc" "src/arch/CMakeFiles/mc_arch.dir/mfma_isa.cc.o.d"
+  "/root/repo/src/arch/types.cc" "src/arch/CMakeFiles/mc_arch.dir/types.cc.o" "gcc" "src/arch/CMakeFiles/mc_arch.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mc_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

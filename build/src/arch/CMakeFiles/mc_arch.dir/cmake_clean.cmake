@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_arch.dir/calibration.cc.o"
+  "CMakeFiles/mc_arch.dir/calibration.cc.o.d"
+  "CMakeFiles/mc_arch.dir/layout.cc.o"
+  "CMakeFiles/mc_arch.dir/layout.cc.o.d"
+  "CMakeFiles/mc_arch.dir/mfma_isa.cc.o"
+  "CMakeFiles/mc_arch.dir/mfma_isa.cc.o.d"
+  "CMakeFiles/mc_arch.dir/types.cc.o"
+  "CMakeFiles/mc_arch.dir/types.cc.o.d"
+  "libmc_arch.a"
+  "libmc_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blas/gemm.cc" "src/blas/CMakeFiles/mc_blas.dir/gemm.cc.o" "gcc" "src/blas/CMakeFiles/mc_blas.dir/gemm.cc.o.d"
+  "/root/repo/src/blas/gemm_types.cc" "src/blas/CMakeFiles/mc_blas.dir/gemm_types.cc.o" "gcc" "src/blas/CMakeFiles/mc_blas.dir/gemm_types.cc.o.d"
+  "/root/repo/src/blas/level3.cc" "src/blas/CMakeFiles/mc_blas.dir/level3.cc.o" "gcc" "src/blas/CMakeFiles/mc_blas.dir/level3.cc.o.d"
+  "/root/repo/src/blas/tiling.cc" "src/blas/CMakeFiles/mc_blas.dir/tiling.cc.o" "gcc" "src/blas/CMakeFiles/mc_blas.dir/tiling.cc.o.d"
+  "/root/repo/src/blas/verify.cc" "src/blas/CMakeFiles/mc_blas.dir/verify.cc.o" "gcc" "src/blas/CMakeFiles/mc_blas.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hip/CMakeFiles/mc_hip.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/mc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mc_fp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_blas.dir/gemm.cc.o"
+  "CMakeFiles/mc_blas.dir/gemm.cc.o.d"
+  "CMakeFiles/mc_blas.dir/gemm_types.cc.o"
+  "CMakeFiles/mc_blas.dir/gemm_types.cc.o.d"
+  "CMakeFiles/mc_blas.dir/level3.cc.o"
+  "CMakeFiles/mc_blas.dir/level3.cc.o.d"
+  "CMakeFiles/mc_blas.dir/tiling.cc.o"
+  "CMakeFiles/mc_blas.dir/tiling.cc.o.d"
+  "CMakeFiles/mc_blas.dir/verify.cc.o"
+  "CMakeFiles/mc_blas.dir/verify.cc.o.d"
+  "libmc_blas.a"
+  "libmc_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_common.dir/cli.cc.o"
+  "CMakeFiles/mc_common.dir/cli.cc.o.d"
+  "CMakeFiles/mc_common.dir/csv.cc.o"
+  "CMakeFiles/mc_common.dir/csv.cc.o.d"
+  "CMakeFiles/mc_common.dir/logging.cc.o"
+  "CMakeFiles/mc_common.dir/logging.cc.o.d"
+  "CMakeFiles/mc_common.dir/plot.cc.o"
+  "CMakeFiles/mc_common.dir/plot.cc.o.d"
+  "CMakeFiles/mc_common.dir/random.cc.o"
+  "CMakeFiles/mc_common.dir/random.cc.o.d"
+  "CMakeFiles/mc_common.dir/stats.cc.o"
+  "CMakeFiles/mc_common.dir/stats.cc.o.d"
+  "CMakeFiles/mc_common.dir/status.cc.o"
+  "CMakeFiles/mc_common.dir/status.cc.o.d"
+  "CMakeFiles/mc_common.dir/table.cc.o"
+  "CMakeFiles/mc_common.dir/table.cc.o.d"
+  "CMakeFiles/mc_common.dir/units.cc.o"
+  "CMakeFiles/mc_common.dir/units.cc.o.d"
+  "libmc_common.a"
+  "libmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

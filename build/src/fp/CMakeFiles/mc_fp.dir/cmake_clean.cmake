@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_fp.dir/bfloat16.cc.o"
+  "CMakeFiles/mc_fp.dir/bfloat16.cc.o.d"
+  "CMakeFiles/mc_fp.dir/half.cc.o"
+  "CMakeFiles/mc_fp.dir/half.cc.o.d"
+  "libmc_fp.a"
+  "libmc_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_hip.dir/runtime.cc.o"
+  "CMakeFiles/mc_hip.dir/runtime.cc.o.d"
+  "libmc_hip.a"
+  "libmc_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

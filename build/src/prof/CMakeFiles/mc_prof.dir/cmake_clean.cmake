@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_prof.dir/profiler.cc.o"
+  "CMakeFiles/mc_prof.dir/profiler.cc.o.d"
+  "CMakeFiles/mc_prof.dir/roofline.cc.o"
+  "CMakeFiles/mc_prof.dir/roofline.cc.o.d"
+  "libmc_prof.a"
+  "libmc_prof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_prof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/counters.cc" "src/sim/CMakeFiles/mc_sim.dir/counters.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/counters.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/mc_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/kernel.cc" "src/sim/CMakeFiles/mc_sim.dir/kernel.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/kernel.cc.o.d"
+  "/root/repo/src/sim/node.cc" "src/sim/CMakeFiles/mc_sim.dir/node.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/node.cc.o.d"
+  "/root/repo/src/sim/power.cc" "src/sim/CMakeFiles/mc_sim.dir/power.cc.o" "gcc" "src/sim/CMakeFiles/mc_sim.dir/power.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/mc_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fp/CMakeFiles/mc_fp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_sim.dir/counters.cc.o"
+  "CMakeFiles/mc_sim.dir/counters.cc.o.d"
+  "CMakeFiles/mc_sim.dir/device.cc.o"
+  "CMakeFiles/mc_sim.dir/device.cc.o.d"
+  "CMakeFiles/mc_sim.dir/kernel.cc.o"
+  "CMakeFiles/mc_sim.dir/kernel.cc.o.d"
+  "CMakeFiles/mc_sim.dir/node.cc.o"
+  "CMakeFiles/mc_sim.dir/node.cc.o.d"
+  "CMakeFiles/mc_sim.dir/power.cc.o"
+  "CMakeFiles/mc_sim.dir/power.cc.o.d"
+  "libmc_sim.a"
+  "libmc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

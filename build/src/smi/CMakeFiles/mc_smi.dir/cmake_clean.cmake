@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_smi.dir/smi.cc.o"
+  "CMakeFiles/mc_smi.dir/smi.cc.o.d"
+  "libmc_smi.a"
+  "libmc_smi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_smi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_solver.dir/cholesky.cc.o"
+  "CMakeFiles/mc_solver.dir/cholesky.cc.o.d"
+  "CMakeFiles/mc_solver.dir/lu.cc.o"
+  "CMakeFiles/mc_solver.dir/lu.cc.o.d"
+  "libmc_solver.a"
+  "libmc_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mc_wmma.dir/recorder.cc.o"
+  "CMakeFiles/mc_wmma.dir/recorder.cc.o.d"
+  "libmc_wmma.a"
+  "libmc_wmma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mc_wmma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

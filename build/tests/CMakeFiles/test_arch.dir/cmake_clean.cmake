@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arch.dir/arch/calibration_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/calibration_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/cdna1_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/cdna1_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/layout_fuzz_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/layout_fuzz_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/layout_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/layout_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/mfma_exec_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/mfma_exec_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/mfma_isa_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/mfma_isa_test.cc.o.d"
+  "CMakeFiles/test_arch.dir/arch/types_test.cc.o"
+  "CMakeFiles/test_arch.dir/arch/types_test.cc.o.d"
+  "test_arch"
+  "test_arch.pdb"
+  "test_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blas.dir/blas/batched_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/batched_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/emulation_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/emulation_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/functional_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/functional_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/gemm_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/gemm_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/level3_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/level3_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/property_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/property_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/tiling_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/tiling_test.cc.o.d"
+  "CMakeFiles/test_blas.dir/blas/verify_test.cc.o"
+  "CMakeFiles/test_blas.dir/blas/verify_test.cc.o.d"
+  "test_blas"
+  "test_blas.pdb"
+  "test_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

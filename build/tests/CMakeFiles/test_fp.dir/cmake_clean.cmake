@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp.dir/fp/bfloat16_test.cc.o"
+  "CMakeFiles/test_fp.dir/fp/bfloat16_test.cc.o.d"
+  "CMakeFiles/test_fp.dir/fp/half_test.cc.o"
+  "CMakeFiles/test_fp.dir/fp/half_test.cc.o.d"
+  "test_fp"
+  "test_fp.pdb"
+  "test_fp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hip.dir/hip/runtime_test.cc.o"
+  "CMakeFiles/test_hip.dir/hip/runtime_test.cc.o.d"
+  "CMakeFiles/test_hip.dir/hip/stream_test.cc.o"
+  "CMakeFiles/test_hip.dir/hip/stream_test.cc.o.d"
+  "test_hip"
+  "test_hip.pdb"
+  "test_hip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solver.dir/solver/cholesky_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/cholesky_test.cc.o.d"
+  "CMakeFiles/test_solver.dir/solver/lu_test.cc.o"
+  "CMakeFiles/test_solver.dir/solver/lu_test.cc.o.d"
+  "test_solver"
+  "test_solver.pdb"
+  "test_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wmma.dir/wmma/multiblock_test.cc.o"
+  "CMakeFiles/test_wmma.dir/wmma/multiblock_test.cc.o.d"
+  "CMakeFiles/test_wmma.dir/wmma/recorder_test.cc.o"
+  "CMakeFiles/test_wmma.dir/wmma/recorder_test.cc.o.d"
+  "CMakeFiles/test_wmma.dir/wmma/wmma_test.cc.o"
+  "CMakeFiles/test_wmma.dir/wmma/wmma_test.cc.o.d"
+  "test_wmma"
+  "test_wmma.pdb"
+  "test_wmma[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wmma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

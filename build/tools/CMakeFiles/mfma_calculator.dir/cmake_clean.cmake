@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfma_calculator.dir/mfma_calculator.cc.o"
+  "CMakeFiles/mfma_calculator.dir/mfma_calculator.cc.o.d"
+  "mfma_calculator"
+  "mfma_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfma_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocprof_sim.dir/rocprof_sim.cc.o"
+  "CMakeFiles/rocprof_sim.dir/rocprof_sim.cc.o.d"
+  "rocprof_sim"
+  "rocprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

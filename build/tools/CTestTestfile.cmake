@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tool_calculator_list "/root/repo/build/tools/mfma_calculator" "--list")
+set_tests_properties(tool_calculator_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_calculator_query "/root/repo/build/tools/mfma_calculator" "--inst" "v_mfma_f64_16x16x4_f64" "--operand" "D" "--row" "7" "--col" "3")
+set_tests_properties(tool_calculator_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rocprof_gemm "/root/repo/build/tools/rocprof_sim" "--workload" "gemm" "--combo" "hss" "--n" "512")
+set_tests_properties(tool_rocprof_gemm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tool_rocprof_loop "/root/repo/build/tools/rocprof_sim" "--workload" "mfma_loop" "--iters" "1000" "--wavefronts" "8")
+set_tests_properties(tool_rocprof_loop PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
