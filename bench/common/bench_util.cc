@@ -1,5 +1,6 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <vector>
 
@@ -31,13 +32,50 @@ repeatMeasure(const std::function<double()> &sample, int repetitions)
     values.reserve(repetitions);
     for (int i = 0; i < repetitions; ++i)
         values.push_back(sample());
-    return Measurement{summarize(values)};
+    Measurement m{summarize(values)};
+    m.samplesTaken = repetitions;
+    return m;
+}
+
+Measurement
+repeatMeasureUntil(const std::function<std::optional<double>()> &sample,
+                   int repetitions)
+{
+    mc_assert(repetitions > 0, "at least one repetition required");
+    std::vector<double> values;
+    values.reserve(repetitions);
+    Measurement m;
+    for (int i = 0; i < repetitions; ++i) {
+        const std::optional<double> value = sample();
+        if (!value) {
+            m.aborted = true;
+            break;
+        }
+        values.push_back(*value);
+    }
+    m.stats = summarize(values);
+    m.samplesTaken = static_cast<int>(values.size());
+    return m;
 }
 
 std::string
 tflopsCell(const Measurement &m)
 {
     return m.format(1e-12, 1);
+}
+
+void
+addJobsFlag(CliParser &cli)
+{
+    cli.addFlag("jobs", static_cast<std::int64_t>(1),
+                "parallel sweep workers (1 = serial; output is "
+                "identical for any value)");
+}
+
+int
+jobsFlag(const CliParser &cli)
+{
+    return std::max(1, static_cast<int>(cli.getInt("jobs")));
 }
 
 } // namespace bench

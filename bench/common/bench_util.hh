@@ -2,16 +2,19 @@
  * @file
  * Shared helpers for the per-figure benchmark harnesses: repeated
  * measurement with the paper's error-bound convention (>= 10
- * repetitions, error reported when the spread exceeds 2%), and common
- * formatting.
+ * repetitions, error reported when the spread exceeds 2%), early sweep
+ * abort (OOM), the shared --jobs flag of the parallel sweep engine,
+ * and common formatting.
  */
 
 #ifndef MC_BENCH_COMMON_BENCH_UTIL_HH
 #define MC_BENCH_COMMON_BENCH_UTIL_HH
 
 #include <functional>
+#include <optional>
 #include <string>
 
+#include "common/cli.hh"
 #include "common/stats.hh"
 
 namespace mc {
@@ -21,6 +24,16 @@ namespace bench {
 struct Measurement
 {
     SampleStats stats;
+
+    /**
+     * True when the sample aborted the repetition loop (e.g. the
+     * sweep-terminating OOM); stats then cover only the repetitions
+     * that completed before the abort.
+     */
+    bool aborted = false;
+
+    /** Repetitions that produced a value. */
+    int samplesTaken = 0;
 
     /** Mean of the repetitions. */
     double value() const { return stats.mean; }
@@ -40,8 +53,28 @@ struct Measurement
 Measurement repeatMeasure(const std::function<double()> &sample,
                           int repetitions = 10);
 
+/**
+ * Like repeatMeasure, but @p sample may return nullopt to abort the
+ * remaining repetitions (the sweep-terminating condition): no zero
+ * values pollute the statistics, and the returned Measurement has
+ * aborted = true.
+ */
+Measurement
+repeatMeasureUntil(const std::function<std::optional<double>()> &sample,
+                   int repetitions = 10);
+
 /** Standard "<n> TFLOPS" cell: value scaled by 1e12, one decimal. */
 std::string tflopsCell(const Measurement &m);
+
+/**
+ * Register the sweep engine's --jobs flag (default 1 = serial).
+ * Output is byte-identical for every --jobs value; see
+ * docs/SWEEP_ENGINE.md.
+ */
+void addJobsFlag(CliParser &cli);
+
+/** Read --jobs back, clamped to >= 1. */
+int jobsFlag(const CliParser &cli);
 
 } // namespace bench
 } // namespace mc

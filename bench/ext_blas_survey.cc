@@ -9,20 +9,38 @@
  * GEMM-class Matrix Core throughput (with the triangular discount);
  * GEMV is pinned to the memory roof no matter the datatype, which is
  * why factorizations push everything they can into level-3 calls.
+ *
+ * The per-combo surveys are independent and run on the parallel sweep
+ * engine (--jobs); the survey is noise-free, so output is identical
+ * for any job count.
  */
 
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "blas/level3.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "prof/roofline.hh"
 
 namespace {
 
 using namespace mc;
+
+struct RoutineRow
+{
+    const char *name;
+    double flops = 0.0;
+    double throughput = 0.0;
+    bool usedMatrixCores = false;
+};
+
+using SurveyResult = std::array<RoutineRow, 4>;
 
 } // namespace
 
@@ -32,18 +50,68 @@ main(int argc, char **argv)
     CliParser cli("BLAS routine survey: GEMM / TRSM / SYRK / GEMV");
     cli.addFlag("n", static_cast<std::int64_t>(8192),
                 "problem dimension");
+    bench::addJobsFlag(cli);
     cli.parse(argc, argv);
     const auto n = static_cast<std::size_t>(cli.getInt("n"));
 
-    sim::SimOptions opts;
-    opts.enableNoise = false;
-    hip::Runtime rt(arch::defaultCdna2(), opts);
-    blas::GemmEngine engine(rt);
-    blas::Level3Engine level3(engine);
-    const prof::RooflineModel roofline(rt.gpu().calibration());
+    const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
+                                      blas::GemmCombo::Dgemm};
+    const prof::RooflineModel roofline(arch::defaultCdna2());
 
-    for (blas::GemmCombo combo :
-         {blas::GemmCombo::Sgemm, blas::GemmCombo::Dgemm}) {
+    exec::SweepRunner runner("ext_blas_survey", bench::jobsFlag(cli));
+    const auto results =
+        runner.map(std::size(combos), [&](std::size_t i) {
+            const blas::GemmCombo combo = combos[i];
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime rt(arch::defaultCdna2(), opts);
+            blas::GemmEngine engine(rt);
+            blas::Level3Engine level3(engine);
+
+            blas::GemmConfig gemm;
+            gemm.combo = combo;
+            gemm.m = gemm.n = gemm.k = n;
+            gemm.alpha = gemm.beta = 0.1;
+            auto gemm_result = engine.run(gemm);
+            if (!gemm_result.isOk())
+                mc_fatal("gemm failed: ",
+                         gemm_result.status().toString());
+
+            blas::TrsmConfig trsm;
+            trsm.combo = combo;
+            trsm.m = n;
+            trsm.n = n / 4;
+            auto trsm_result = level3.runTrsm(trsm);
+
+            blas::SyrkConfig syrk;
+            syrk.combo = combo;
+            syrk.n = n;
+            syrk.k = n / 4;
+            syrk.alpha = -1.0;
+            syrk.beta = 1.0;
+            auto syrk_result = level3.runSyrk(syrk);
+
+            blas::GemvConfig gemv;
+            gemv.combo = combo;
+            gemv.m = n;
+            gemv.n = n;
+            auto gemv_result = level3.runGemv(gemv);
+
+            const auto row = [](const char *name,
+                                const blas::GemmResult &r, double flops) {
+                return RoutineRow{name, flops, r.throughput(),
+                                  r.usedMatrixCores};
+            };
+            return SurveyResult{
+                row("gemm", gemm_result.value(), gemm.productFlops()),
+                row("trsm", trsm_result.value(), trsm.flops()),
+                row("syrk", syrk_result.value(), syrk.flops()),
+                row("gemv", gemv_result.value(), gemv.flops()),
+            };
+        });
+
+    for (std::size_t i = 0; i < std::size(combos); ++i) {
+        const blas::GemmCombo combo = combos[i];
         TextTable table({"routine", "FLOPs", "TFLOPS", "path",
                          "% of GEMM"});
         table.setTitle(std::string("BLAS survey [") +
@@ -52,51 +120,16 @@ main(int argc, char **argv)
         table.setAlignment({Align::Left, Align::Right, Align::Right,
                             Align::Left, Align::Right});
 
-        blas::GemmConfig gemm;
-        gemm.combo = combo;
-        gemm.m = gemm.n = gemm.k = n;
-        gemm.alpha = gemm.beta = 0.1;
-        auto gemm_result = engine.run(gemm);
-        if (!gemm_result.isOk())
-            mc_fatal("gemm failed: ", gemm_result.status().toString());
-        const double gemm_tf = gemm_result.value().throughput() / 1e12;
-
-        blas::TrsmConfig trsm;
-        trsm.combo = combo;
-        trsm.m = n;
-        trsm.n = n / 4;
-        auto trsm_result = level3.runTrsm(trsm);
-
-        blas::SyrkConfig syrk;
-        syrk.combo = combo;
-        syrk.n = n;
-        syrk.k = n / 4;
-        syrk.alpha = -1.0;
-        syrk.beta = 1.0;
-        auto syrk_result = level3.runSyrk(syrk);
-
-        blas::GemvConfig gemv;
-        gemv.combo = combo;
-        gemv.m = n;
-        gemv.n = n;
-        auto gemv_result = level3.runGemv(gemv);
-
-        const struct { const char *name; const blas::GemmResult *r;
-                       double flops; } rows[] = {
-            {"gemm", &gemm_result.value(), gemm.productFlops()},
-            {"trsm", &trsm_result.value(), trsm.flops()},
-            {"syrk", &syrk_result.value(), syrk.flops()},
-            {"gemv", &gemv_result.value(), gemv.flops()},
-        };
-        for (const auto &row : rows) {
+        const double gemm_tf = results[i][0].throughput / 1e12;
+        for (const RoutineRow &row : results[i]) {
             char fl[24], tf[16], pct[16];
             std::snprintf(fl, sizeof(fl), "%.2e", row.flops);
             std::snprintf(tf, sizeof(tf), "%.2f",
-                          row.r->throughput() / 1e12);
+                          row.throughput / 1e12);
             std::snprintf(pct, sizeof(pct), "%.0f%%",
-                          100.0 * row.r->throughput() / 1e12 / gemm_tf);
+                          100.0 * row.throughput / 1e12 / gemm_tf);
             table.addRow({row.name, fl, tf,
-                          row.r->usedMatrixCores ? "MatrixCore" : "SIMD",
+                          row.usedMatrixCores ? "MatrixCore" : "SIMD",
                           pct});
         }
         table.print(std::cout);

@@ -8,17 +8,24 @@
  * partial-phase effect Section V-B explains). Each wavefront iterates
  * 1e7 MFMA operations; throughput is computed from HIP-event timing of
  * the kernel.
+ *
+ * Points run on the parallel sweep engine (--jobs): each point owns
+ * its simulated device and derives its noise seeds from (bench,
+ * point, repetition), so output is byte-identical for any job count.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "arch/mfma_isa.hh"
 #include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/csv.hh"
+#include "common/logging.hh"
 #include "common/plot.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "hip/runtime.hh"
 #include "prof/profiler.hh"
 #include "wmma/recorder.hh"
@@ -50,6 +57,12 @@ wavefrontSweep()
     return wf;
 }
 
+struct Point
+{
+    const Series *series;
+    std::uint64_t wavefronts;
+};
+
 } // namespace
 
 int
@@ -62,14 +75,52 @@ main(int argc, char **argv)
     cli.addFlag("reps", static_cast<std::int64_t>(10),
                 "measurement repetitions");
     cli.addFlag("csv", false, "emit CSV instead of a table");
+    bench::addJobsFlag(cli);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int reps = static_cast<int>(cli.getInt("reps"));
 
-    hip::Runtime rt;
-    const double f = rt.gpu().calibration().clockHz;
-    const auto slots = static_cast<double>(
-        rt.gpu().calibration().matrixCoresPerGcd());
+    const arch::Cdna2Calibration &cal = arch::defaultCdna2();
+    const double f = cal.clockHz;
+    const auto slots = static_cast<double>(cal.matrixCoresPerGcd());
+
+    const std::vector<std::uint64_t> sweep = wavefrontSweep();
+    std::vector<Point> points;
+    for (const Series &series : kSeries)
+        for (std::uint64_t wf : sweep)
+            points.push_back({&series, wf});
+
+    exec::SweepRunner runner("fig3_throughput_scaling",
+                             bench::jobsFlag(cli));
+    const std::vector<bench::Measurement> results =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            const arch::MfmaInstruction *inst = arch::findInstruction(
+                arch::GpuArch::Cdna2, pt.series->mnemonic);
+            if (inst == nullptr)
+                mc_fatal("missing instruction ", pt.series->mnemonic);
+
+            hip::Runtime rt;
+            const std::string key = std::string(pt.series->mnemonic) +
+                                    "/" + std::to_string(pt.wavefronts);
+            int rep = 0;
+            return bench::repeatMeasure([&]() {
+                rt.gpu().reseedNoise(runner.seedFor(key, rep++));
+                hip::Event start, stop;
+                rt.eventRecord(start);
+                const auto result = rt.launch(
+                    wmma::mfmaLoopProfile(*inst, iters, pt.wavefronts,
+                                          pt.series->mnemonic), 0);
+                rt.eventRecord(stop);
+                const double seconds =
+                    rt.eventElapsedMs(start, stop) * 1e-3;
+                const double flops =
+                    static_cast<double>(inst->flopsPerInstruction()) *
+                    static_cast<double>(iters) *
+                    static_cast<double>(pt.wavefronts);
+                return flops / seconds;
+            }, reps);
+        });
 
     CsvWriter csv(std::cout);
     if (cli.getBool("csv"))
@@ -85,6 +136,7 @@ main(int argc, char **argv)
     const char markers[] = {'m', 'f', 'd'};
     int series_index = 0;
 
+    std::size_t index = 0;
     for (const Series &series : kSeries) {
         const arch::MfmaInstruction *inst =
             arch::findInstruction(arch::GpuArch::Cdna2, series.mnemonic);
@@ -100,21 +152,8 @@ main(int argc, char **argv)
         plot_series.label = series.label;
         plot_series.marker = markers[series_index++ % 3];
 
-        for (std::uint64_t wf : wavefrontSweep()) {
-            const auto m = bench::repeatMeasure([&]() {
-                hip::Event start, stop;
-                rt.eventRecord(start);
-                const auto result = rt.launch(
-                    wmma::mfmaLoopProfile(*inst, iters, wf,
-                                          series.mnemonic), 0);
-                rt.eventRecord(stop);
-                const double seconds =
-                    rt.eventElapsedMs(start, stop) * 1e-3;
-                const double flops =
-                    static_cast<double>(inst->flopsPerInstruction()) *
-                    static_cast<double>(iters) * static_cast<double>(wf);
-                return flops / seconds;
-            }, reps);
+        for (std::uint64_t wf : sweep) {
+            const bench::Measurement &m = results[index++];
 
             // Eq. 2: FLOPS(N_WF) = 2mnk/c * min(N_WF, 440) * f.
             const double model =
@@ -152,6 +191,7 @@ main(int argc, char **argv)
     // Cross-validation against the counter-derived FLOPs, as the
     // paper validates its micro-benchmark against rocprof.
     {
+        hip::Runtime rt;
         const arch::MfmaInstruction *inst = arch::findInstruction(
             arch::GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
         const auto result = rt.launch(

@@ -4,16 +4,22 @@
  * throughput for the three half-input datatype combinations of
  * Table III — HGEMM, HSS, and HHS — over N = 16 ... 65536, plus the
  * Matrix-Core-over-SIMD speedup using HGEMM as the SIMD reference.
+ *
+ * Points run on the parallel sweep engine (--jobs) with per-point
+ * devices and derived noise seeds: output is identical for any job
+ * count.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <vector>
 
 #include "blas/gemm.hh"
 #include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 
 namespace {
 
@@ -23,6 +29,12 @@ const blas::GemmCombo kCombos[] = {
     blas::GemmCombo::Hgemm,
     blas::GemmCombo::Hss,
     blas::GemmCombo::Hhs,
+};
+
+struct Point
+{
+    blas::GemmCombo combo;
+    std::size_t n;
 };
 
 } // namespace
@@ -35,12 +47,10 @@ main(int argc, char **argv)
                 "measurement repetitions");
     cli.addFlag("maxn", static_cast<std::int64_t>(65536),
                 "largest matrix dimension attempted");
+    bench::addJobsFlag(cli);
     cli.parse(argc, argv);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
-
-    hip::Runtime rt;
-    blas::GemmEngine engine(rt);
 
     // Table III reminder.
     TextTable types({"operation", "typeAB", "typeCD", "compute type"});
@@ -57,29 +67,51 @@ main(int argc, char **argv)
     types.print(std::cout);
     std::cout << "\n";
 
+    // One sweep point per (N, combo), in the row-major order the table
+    // is rendered in.
+    std::vector<Point> points;
+    for (std::size_t n = 16; n <= maxn; n *= 2)
+        for (blas::GemmCombo combo : kCombos)
+            points.push_back({combo, n});
+
+    exec::SweepRunner runner("fig7_gemm_mixed", bench::jobsFlag(cli));
+    const std::vector<bench::Measurement> results =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            hip::Runtime rt;
+            blas::GemmEngine engine(rt);
+
+            blas::GemmConfig cfg;
+            cfg.combo = pt.combo;
+            cfg.m = cfg.n = cfg.k = pt.n;
+            cfg.alpha = cfg.beta = 0.1;
+
+            const std::string key =
+                std::string(blas::comboInfo(pt.combo).name) + "/" +
+                std::to_string(pt.n);
+            int rep = 0;
+            return bench::repeatMeasureUntil(
+                [&]() -> std::optional<double> {
+                    rt.gpu().reseedNoise(runner.seedFor(key, rep++));
+                    auto result = engine.run(cfg);
+                    if (!result.isOk())
+                        return std::nullopt;
+                    return result.value().throughput();
+                }, reps);
+        });
+
     std::map<blas::GemmCombo, std::map<std::size_t, double>> tflops;
 
     TextTable table({"N", "hgemm", "hss", "hhs", "hhs/hgemm speedup"});
     table.setTitle("Figure 7: N x N x N GEMM throughput (TFLOPS), "
                    "alpha = beta = 0.1, 1 GCD");
+    std::size_t index = 0;
     for (std::size_t n = 16; n <= maxn; n *= 2) {
         std::vector<std::string> row{std::to_string(n)};
         bool any_oom = false;
         for (blas::GemmCombo combo : kCombos) {
-            blas::GemmConfig cfg;
-            cfg.combo = combo;
-            cfg.m = cfg.n = cfg.k = n;
-            cfg.alpha = cfg.beta = 0.1;
-            bool oom = false;
-            const auto m = bench::repeatMeasure([&]() {
-                auto result = engine.run(cfg);
-                if (!result.isOk()) {
-                    oom = true;
-                    return 0.0;
-                }
-                return result.value().throughput();
-            }, reps);
-            if (oom) {
+            const bench::Measurement &m = results[index++];
+            if (m.aborted) {
                 row.push_back("OOM");
                 any_oom = true;
             } else {

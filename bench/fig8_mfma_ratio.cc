@@ -4,19 +4,38 @@
  * Matrix Cores in each GEMM routine, derived from the SQ hardware
  * counters through the paper's Eq. 1 — the profiling methodology of
  * Section IV-B applied to the simulated rocBLAS engine.
+ *
+ * Points run on the parallel sweep engine (--jobs); the counter-
+ * derived fractions are noise-free, so output is identical for any
+ * job count.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "blas/gemm.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "prof/profiler.hh"
 
 namespace {
 
 using namespace mc;
+
+struct Point
+{
+    blas::GemmCombo combo;
+    std::size_t n;
+};
+
+struct PointResult
+{
+    bool oom = false;
+    double matrixCoreFraction = 0.0;
+};
 
 } // namespace
 
@@ -27,35 +46,60 @@ main(int argc, char **argv)
                   "Cores, from Eq. 1 over the hardware counters");
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
+    bench::addJobsFlag(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
 
-    hip::Runtime rt;
-    blas::GemmEngine engine(rt);
-    prof::Profiler profiler;
+    std::vector<Point> points;
+    for (std::size_t n = 16; n <= maxn; n *= 2)
+        for (blas::GemmCombo combo : blas::allCombos)
+            points.push_back({combo, n});
+
+    exec::SweepRunner runner("fig8_mfma_ratio", bench::jobsFlag(cli));
+    const std::vector<PointResult> results =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            hip::Runtime rt;
+            blas::GemmEngine engine(rt);
+
+            blas::GemmConfig cfg;
+            cfg.combo = pt.combo;
+            cfg.m = cfg.n = cfg.k = pt.n;
+            cfg.alpha = cfg.beta = 0.1;
+
+            const std::string key =
+                std::string(blas::comboInfo(pt.combo).name) + "/" +
+                std::to_string(pt.n);
+            rt.gpu().reseedNoise(runner.seedFor(key, 0));
+
+            PointResult out;
+            auto result = engine.run(cfg);
+            if (!result.isOk()) {
+                out.oom = true;
+                return out;
+            }
+            out.matrixCoreFraction =
+                prof::flopBreakdown(result.value().kernel.counters)
+                    .matrixCoreFraction();
+            return out;
+        });
 
     TextTable table({"N", "dgemm", "sgemm", "hgemm", "hhs", "hss"});
     table.setTitle("Figure 8: Matrix Core share of GEMM FLOPs "
                    "(counter-derived, alpha = beta = 0.1)");
 
+    std::size_t index = 0;
     for (std::size_t n = 16; n <= maxn; n *= 2) {
         std::vector<std::string> row{std::to_string(n)};
-        for (blas::GemmCombo combo : blas::allCombos) {
-            blas::GemmConfig cfg;
-            cfg.combo = combo;
-            cfg.m = cfg.n = cfg.k = n;
-            cfg.alpha = cfg.beta = 0.1;
-            auto result = engine.run(cfg);
-            if (!result.isOk()) {
+        for (std::size_t c = 0; c < std::size(blas::allCombos); ++c) {
+            const PointResult &r = results[index++];
+            if (r.oom) {
                 row.push_back("OOM");
                 continue;
             }
-            profiler.record(result.value().kernel);
-            const auto split =
-                prof::flopBreakdown(result.value().kernel.counters);
             char cell[16];
             std::snprintf(cell, sizeof(cell), "%.1f%%",
-                          100.0 * split.matrixCoreFraction());
+                          100.0 * r.matrixCoreFraction);
             row.push_back(cell);
         }
         table.addRow(row);
@@ -64,10 +108,13 @@ main(int argc, char **argv)
 
     // The counters behind one representative point, spelled out the way
     // a rocprof results file would list them.
+    hip::Runtime rt;
+    blas::GemmEngine engine(rt);
     blas::GemmConfig cfg;
     cfg.combo = blas::GemmCombo::Dgemm;
     cfg.m = cfg.n = cfg.k = 512;
     cfg.alpha = cfg.beta = 0.1;
+    rt.gpu().reseedNoise(runner.seedFor("dgemm-detail/512", 0));
     auto result = engine.run(cfg);
     if (result.isOk()) {
         const auto &counters = result.value().kernel.counters;

@@ -4,19 +4,39 @@
  * Matrix Cores and SIMD units vs the analytic model — 2N^3 arithmetic
  * operations on Matrix Cores and 3N^2 alpha/beta-scaling operations on
  * the SIMDs — measured from the hardware counters for SGEMM and DGEMM.
+ *
+ * Points run on the parallel sweep engine (--jobs); counter-derived
+ * FLOP splits are noise-free, so output is identical for any job
+ * count.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "blas/gemm.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "prof/profiler.hh"
 
 namespace {
 
 using namespace mc;
+
+struct Point
+{
+    blas::GemmCombo combo;
+    std::size_t n;
+};
+
+struct PointResult
+{
+    bool oom = false;
+    double matrixCoreFlops = 0.0;
+    double simdFlops = 0.0;
+};
 
 } // namespace
 
@@ -27,14 +47,49 @@ main(int argc, char **argv)
                   "Matrix Cores (2N^3) and SIMDs (3N^2)");
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
+    bench::addJobsFlag(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
 
-    hip::Runtime rt;
-    blas::GemmEngine engine(rt);
+    const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
+                                      blas::GemmCombo::Dgemm};
+    std::vector<Point> points;
+    for (blas::GemmCombo combo : combos)
+        for (std::size_t n = 16; n <= maxn; n *= 2)
+            points.push_back({combo, n});
 
-    for (blas::GemmCombo combo :
-         {blas::GemmCombo::Sgemm, blas::GemmCombo::Dgemm}) {
+    exec::SweepRunner runner("fig9_flop_model", bench::jobsFlag(cli));
+    const std::vector<PointResult> results =
+        runner.map(points.size(), [&](std::size_t i) {
+            const Point &pt = points[i];
+            hip::Runtime rt;
+            blas::GemmEngine engine(rt);
+
+            blas::GemmConfig cfg;
+            cfg.combo = pt.combo;
+            cfg.m = cfg.n = cfg.k = pt.n;
+            cfg.alpha = cfg.beta = 0.1;
+
+            const std::string key =
+                std::string(blas::comboInfo(pt.combo).name) + "/" +
+                std::to_string(pt.n);
+            rt.gpu().reseedNoise(runner.seedFor(key, 0));
+
+            PointResult out;
+            auto result = engine.run(cfg);
+            if (!result.isOk()) {
+                out.oom = true;
+                return out;
+            }
+            const auto split =
+                prof::flopBreakdown(result.value().kernel.counters);
+            out.matrixCoreFlops = split.matrixCoreFlops;
+            out.simdFlops = split.simdFlops;
+            return out;
+        });
+
+    std::size_t index = 0;
+    for (blas::GemmCombo combo : combos) {
         const char *name = blas::comboInfo(combo).name;
         TextTable table({"N", "MC FLOPs (meas)", "2N^3 (model)",
                          "SIMD FLOPs (meas)", "3N^2 (model)",
@@ -42,29 +97,28 @@ main(int argc, char **argv)
         table.setTitle(std::string("Figure 9 [") + name +
                        "]: FLOPs per executing unit");
 
-        for (std::size_t n = 16; n <= maxn; n *= 2) {
-            blas::GemmConfig cfg;
-            cfg.combo = combo;
-            cfg.m = cfg.n = cfg.k = n;
-            cfg.alpha = cfg.beta = 0.1;
-            auto result = engine.run(cfg);
-            if (!result.isOk())
-                break;
-            const auto split =
-                prof::flopBreakdown(result.value().kernel.counters);
+        bool oom = false;
+        for (std::size_t n = 16; n <= maxn; n *= 2, ++index) {
+            if (oom)
+                continue; // sweep already terminated for this combo
+            const PointResult &r = results[index];
+            if (r.oom) {
+                oom = true;
+                continue;
+            }
             const double dn = static_cast<double>(n);
             char mc[24], mc_model[24], simd[24], simd_model[24],
                 ratio[24];
-            std::snprintf(mc, sizeof(mc), "%.3e", split.matrixCoreFlops);
+            std::snprintf(mc, sizeof(mc), "%.3e", r.matrixCoreFlops);
             std::snprintf(mc_model, sizeof(mc_model), "%.3e",
                           2.0 * dn * dn * dn);
-            std::snprintf(simd, sizeof(simd), "%.3e", split.simdFlops);
+            std::snprintf(simd, sizeof(simd), "%.3e", r.simdFlops);
             std::snprintf(simd_model, sizeof(simd_model), "%.3e",
                           3.0 * dn * dn);
-            if (split.simdFlops > 0.0) {
+            if (r.simdFlops > 0.0) {
                 // The model predicts MC/SIMD = (2/3) N.
                 std::snprintf(ratio, sizeof(ratio), "%.0f (2N/3=%.0f)",
-                              split.matrixCoreFlops / split.simdFlops,
+                              r.matrixCoreFlops / r.simdFlops,
                               2.0 * dn / 3.0);
             } else {
                 std::snprintf(ratio, sizeof(ratio), "-");

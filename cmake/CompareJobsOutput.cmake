@@ -1,0 +1,32 @@
+# Test driver: run a sweep bench at --jobs=1 and --jobs=8 and require
+# byte-identical stdout — the determinism contract of the sweep engine
+# (docs/SWEEP_ENGINE.md). Invoked as
+#   cmake -DBENCH=<binary> "-DBENCH_ARGS=--csv;--reps=3" \
+#         -P CompareJobsOutput.cmake
+
+if(NOT BENCH)
+    message(FATAL_ERROR "BENCH not set")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} --jobs=1
+    OUTPUT_VARIABLE serial_out
+    RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs=1 exited with ${serial_rc}")
+endif()
+
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} --jobs=8
+    OUTPUT_VARIABLE parallel_out
+    RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --jobs=8 exited with ${parallel_rc}")
+endif()
+
+if(NOT serial_out STREQUAL parallel_out)
+    message(FATAL_ERROR
+        "--jobs=8 output differs from --jobs=1 for ${BENCH}:\n"
+        "=== jobs=1 ===\n${serial_out}\n"
+        "=== jobs=8 ===\n${parallel_out}")
+endif()

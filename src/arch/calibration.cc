@@ -1,5 +1,6 @@
 #include "calibration.hh"
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace mc {
@@ -28,6 +29,41 @@ AmpereCalibration::issueOverheadFor(DataType ab_type) const
       default:
         return issueOverheadF16;
     }
+}
+
+std::uint64_t
+calibrationFingerprint(const Cdna2Calibration &cal)
+{
+    // Every field participates: a calibration edit anywhere must
+    // invalidate plans keyed on the old fingerprint. Keep this in sync
+    // with the Cdna2Calibration field list.
+    std::uint64_t h = hashString(cal.deviceName);
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.arch));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.gcdsPerPackage));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.cusPerGcd));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.matrixCoresPerCu));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.simdsPerCu));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.simdWidth));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.wavefrontSize));
+    h = hashDouble(h, cal.clockHz);
+    h = hashCombine(h, cal.hbmBytesPerGcd);
+    h = hashDouble(h, cal.hbmBwPerGcd);
+    h = hashCombine(h, cal.l2BytesPerGcd);
+    h = hashDouble(h, cal.powerCapW);
+    h = hashDouble(h, cal.dvfsTargetW);
+    h = hashDouble(h, cal.idlePowerW);
+    for (const DatatypePowerPerf *perf :
+         {&cal.f64, &cal.f32, &cal.f16, &cal.bf16, &cal.i8}) {
+        h = hashDouble(h, perf->issueOverheadFrac);
+        h = hashDouble(h, perf->energyPerFlopJ);
+        h = hashDouble(h, perf->basePowerW);
+    }
+    h = hashDouble(h, cal.launchLatencySec);
+    h = hashDouble(h, cal.dispatchCyclesPerWorkgroup);
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.dispatchPipelineDepth));
+    h = hashCombine(h, static_cast<std::uint64_t>(cal.cyclesPerValuInst));
+    h = hashDouble(h, cal.simdGemmEfficiency);
+    return h;
 }
 
 const Cdna2Calibration &

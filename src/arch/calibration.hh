@@ -151,6 +151,15 @@ struct AmpereCalibration
     double issueOverheadFor(DataType ab_type) const;
 };
 
+/**
+ * Stable 64-bit digest of every field of @p cal.
+ *
+ * Two calibrations hash equal iff they would plan and time kernels
+ * identically, so caches keyed on device behaviour (e.g. the GEMM plan
+ * cache) can use this as the device component of their key.
+ */
+std::uint64_t calibrationFingerprint(const Cdna2Calibration &cal);
+
 /** The default MI250X calibration used across the suite. */
 const Cdna2Calibration &defaultCdna2();
 

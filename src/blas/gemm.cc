@@ -1,18 +1,30 @@
 #include "gemm.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 
 namespace mc {
 namespace blas {
 
 GemmEngine::GemmEngine(hip::Runtime &rt, PlannerOptions opts)
-    : _rt(rt), _opts(opts)
+    : _rt(rt), _opts(opts),
+      _calFingerprint(arch::calibrationFingerprint(rt.gpu().calibration()))
 {}
+
+const GemmPlan &
+GemmEngine::cachedPlan(const GemmConfig &config) const
+{
+    const PlanKey key = makePlanKey(config, _opts, _calFingerprint);
+    return _planCache.findOrCompute(key, [&]() {
+        return planGemm(config, _rt.gpu().calibration(), _opts);
+    });
+}
 
 GemmPlan
 GemmEngine::plan(const GemmConfig &config) const
 {
-    return planGemm(config, _rt.gpu().calibration(), _opts);
+    return cachedPlan(config);
 }
 
 std::size_t
@@ -32,6 +44,18 @@ GemmEngine::run(const GemmConfig &config)
     const std::size_t s_ab = arch::dataTypeBytes(info.typeAB);
     const std::size_t s_cd = arch::dataTypeBytes(info.typeCD);
 
+    // Fail fast before allocating anything: an over-sized sweep point
+    // is the expected end of the paper's sweep, and OOM points would
+    // otherwise pay two allocations of churn per repetition.
+    const std::size_t total = operandBytes(config);
+    if (total > _rt.freeBytes(config.device)) {
+        std::ostringstream msg;
+        msg << "GEMM operands need " << total << " bytes but device "
+            << config.device << " has " << _rt.freeBytes(config.device)
+            << " bytes of HBM free";
+        return Status::outOfMemory(msg.str());
+    }
+
     // Allocate the operands; failure here is the sweep-terminating
     // condition ("until exhausting the GPU memory").
     const std::size_t batch = config.batchCount;
@@ -50,7 +74,7 @@ GemmEngine::run(const GemmConfig &config)
         return c.status();
     }
 
-    GemmPlan plan = planGemm(config, _rt.gpu().calibration(), _opts);
+    const GemmPlan &plan = cachedPlan(config);
 
     GemmResult result;
     result.kernel = _rt.launch(plan.profile, config.device);

@@ -14,6 +14,7 @@
 #define MC_BLAS_GEMM_HH
 
 #include "blas/gemm_types.hh"
+#include "blas/plan_cache.hh"
 #include "blas/tiling.hh"
 #include "common/status.hh"
 #include "hip/runtime.hh"
@@ -40,15 +41,21 @@ class GemmEngine
 
     /**
      * Plan the mapping of @p config without executing it.
+     *
+     * Memoized: repeated requests for the same (config, options,
+     * calibration) return the cached plan (see planCache()).
      */
     GemmPlan plan(const GemmConfig &config) const;
 
     /**
      * Execute one GEMM.
      *
-     * Allocates A, B, and C/D on the configured device (C doubles as
-     * the output, as in the BLAS convention), so an over-sized problem
-     * fails with OutOfMemory exactly where the paper's sweep stops.
+     * Fails fast with OutOfMemory when the three operands cannot fit
+     * the device's free HBM (checked via operandBytes before any
+     * allocation), then allocates A, B, and C/D on the configured
+     * device (C doubles as the output, as in the BLAS convention) —
+     * so an over-sized problem fails exactly where the paper's sweep
+     * stops, without paying allocation churn first.
      */
     Result<GemmResult> run(const GemmConfig &config);
 
@@ -57,9 +64,18 @@ class GemmEngine
      */
     static std::size_t operandBytes(const GemmConfig &config);
 
+    /** The plan memo (hit/miss counters for the sweep harnesses). */
+    const PlanCache &planCache() const { return _planCache; }
+    PlanCache &planCache() { return _planCache; }
+
   private:
+    /** Plan @p config through the cache; reference stays valid. */
+    const GemmPlan &cachedPlan(const GemmConfig &config) const;
+
     hip::Runtime &_rt;
     PlannerOptions _opts;
+    std::uint64_t _calFingerprint = 0;
+    mutable PlanCache _planCache;
 };
 
 } // namespace blas

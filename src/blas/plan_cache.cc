@@ -1,0 +1,113 @@
+#include "plan_cache.hh"
+
+#include <bit>
+
+#include "common/hash.hh"
+
+namespace mc {
+namespace blas {
+
+PlanKey
+makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
+            std::uint64_t calibration_fingerprint)
+{
+    PlanKey key;
+    key.combo = config.combo;
+    key.m = config.m;
+    key.n = config.n;
+    key.k = config.k;
+    key.alphaBits = std::bit_cast<std::uint64_t>(config.alpha);
+    key.betaBits = std::bit_cast<std::uint64_t>(config.beta);
+    key.batchCount = config.batchCount;
+    key.forceMacroTile = config.forceMacroTile;
+    key.forceMatrixCorePath =
+        config.forceMatrixCorePath
+            ? (*config.forceMatrixCorePath ? 1 : 0)
+            : -1;
+
+    key.macroTile = opts.macroTile;
+    key.wideMacroTile = opts.wideMacroTile;
+    key.wideTileThreshold = opts.wideTileThreshold;
+    key.simdMacroTile = opts.simdMacroTile;
+    key.l2ResidencyBits = std::bit_cast<std::uint64_t>(opts.l2Residency);
+    key.bwEffBaseBits = std::bit_cast<std::uint64_t>(opts.bwEffBase);
+    key.bwEffOccupancyBonusBits =
+        std::bit_cast<std::uint64_t>(opts.bwEffOccupancyBonus);
+    key.mixedPrecisionMinDim = opts.mixedPrecisionMinDim;
+
+    key.calibration = calibration_fingerprint;
+    return key;
+}
+
+std::size_t
+PlanKeyHash::operator()(const PlanKey &key) const
+{
+    std::uint64_t h = kHashBasis;
+    h = hashCombine(h, static_cast<std::uint64_t>(key.combo));
+    h = hashCombine(h, key.m);
+    h = hashCombine(h, key.n);
+    h = hashCombine(h, key.k);
+    h = hashCombine(h, key.alphaBits);
+    h = hashCombine(h, key.betaBits);
+    h = hashCombine(h, key.batchCount);
+    h = hashCombine(h, static_cast<std::uint64_t>(key.forceMacroTile));
+    h = hashCombine(h,
+                    static_cast<std::uint64_t>(key.forceMatrixCorePath + 1));
+    h = hashCombine(h, static_cast<std::uint64_t>(key.macroTile));
+    h = hashCombine(h, static_cast<std::uint64_t>(key.wideMacroTile));
+    h = hashCombine(h, key.wideTileThreshold);
+    h = hashCombine(h, static_cast<std::uint64_t>(key.simdMacroTile));
+    h = hashCombine(h, key.l2ResidencyBits);
+    h = hashCombine(h, key.bwEffBaseBits);
+    h = hashCombine(h, key.bwEffOccupancyBonusBits);
+    h = hashCombine(h, key.mixedPrecisionMinDim);
+    h = hashCombine(h, key.calibration);
+    return static_cast<std::size_t>(h);
+}
+
+const GemmPlan &
+PlanCache::findOrCompute(const PlanKey &key,
+                         const std::function<GemmPlan()> &compute)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    auto it = _plans.find(key);
+    if (it != _plans.end()) {
+        ++_hits;
+        return it->second;
+    }
+    ++_misses;
+    return _plans.emplace(key, compute()).first->second;
+}
+
+std::uint64_t
+PlanCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _hits;
+}
+
+std::uint64_t
+PlanCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _misses;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _plans.size();
+}
+
+void
+PlanCache::clear()
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _plans.clear();
+    _hits = 0;
+    _misses = 0;
+}
+
+} // namespace blas
+} // namespace mc

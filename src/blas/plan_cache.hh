@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Memoization of GEMM plans.
+ *
+ * planGemm is pure: the plan depends only on the problem (GemmConfig),
+ * the planner tunables (PlannerOptions), and the device calibration.
+ * The paper's measurement convention runs every sweep point >= 10
+ * times, which re-planned the identical problem on every repetition;
+ * the cache makes repetitions plan once. Keys capture *every* input
+ * field, so mutating PlannerOptions between runs (the ablation benches
+ * do) naturally misses instead of returning a stale plan.
+ */
+
+#ifndef MC_BLAS_PLAN_CACHE_HH
+#define MC_BLAS_PLAN_CACHE_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+
+#include "blas/tiling.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Full planner-input key: GemmConfig fields, PlannerOptions fields,
+ * and the device calibration fingerprint.
+ */
+struct PlanKey
+{
+    // GemmConfig (alpha/beta by bit pattern: they select scaling and
+    // conversion work in the plan).
+    GemmCombo combo = GemmCombo::Sgemm;
+    std::size_t m = 0;
+    std::size_t n = 0;
+    std::size_t k = 0;
+    std::uint64_t alphaBits = 0;
+    std::uint64_t betaBits = 0;
+    std::size_t batchCount = 1;
+    int forceMacroTile = 0;
+    int forceMatrixCorePath = -1; ///< -1 unset, 0 forced SIMD, 1 forced MC
+
+    // PlannerOptions.
+    int macroTile = 0;
+    int wideMacroTile = 0;
+    std::size_t wideTileThreshold = 0;
+    int simdMacroTile = 0;
+    std::uint64_t l2ResidencyBits = 0;
+    std::uint64_t bwEffBaseBits = 0;
+    std::uint64_t bwEffOccupancyBonusBits = 0;
+    std::size_t mixedPrecisionMinDim = 0;
+
+    /** arch::calibrationFingerprint of the target device. */
+    std::uint64_t calibration = 0;
+
+    bool operator==(const PlanKey &) const = default;
+};
+
+/** Build the cache key for one (config, options, device) triple. */
+PlanKey makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
+                    std::uint64_t calibration_fingerprint);
+
+/** Stable hash functor over every PlanKey field. */
+struct PlanKeyHash
+{
+    std::size_t operator()(const PlanKey &key) const;
+};
+
+/**
+ * Thread-safe GemmPlan memo with hit/miss counters.
+ *
+ * Entries are never evicted: a sweep touches at most a few hundred
+ * distinct problems and plans are kilobytes.
+ */
+class PlanCache
+{
+  public:
+    /**
+     * Return the cached plan for @p key, computing it via @p compute
+     * on the first request. The reference stays valid for the cache's
+     * lifetime (node-based map).
+     */
+    const GemmPlan &findOrCompute(const PlanKey &key,
+                                  const std::function<GemmPlan()> &compute);
+
+    /** Lookups answered from the cache. */
+    std::uint64_t hits() const;
+    /** Lookups that had to plan (== distinct keys seen). */
+    std::uint64_t misses() const;
+    /** Distinct plans currently held. */
+    std::size_t size() const;
+
+    /** Drop all plans and reset the counters. */
+    void clear();
+
+  private:
+    mutable std::mutex _mutex;
+    std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> _plans;
+    std::uint64_t _hits = 0;
+    std::uint64_t _misses = 0;
+};
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_PLAN_CACHE_HH

@@ -1,0 +1,46 @@
+#include "hash.hh"
+
+namespace mc {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+hashCombine(std::uint64_t seed, std::uint64_t value)
+{
+    // Mix the value first so runs of small integers (dimensions, flags)
+    // still flip high bits of the state.
+    return mix64(seed ^ mix64(value));
+}
+
+std::uint64_t
+hashBytes(const void *data, std::size_t size, std::uint64_t seed)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+hashString(std::string_view text, std::uint64_t seed)
+{
+    return hashBytes(text.data(), text.size(), seed);
+}
+
+} // namespace mc

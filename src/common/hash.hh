@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Deterministic, platform-independent 64-bit hashing.
+ *
+ * The sweep engine derives per-point noise seeds from (bench name,
+ * point key, repetition) and the GEMM plan cache fingerprints
+ * calibrations, so both need a stable hash that never changes between
+ * runs, build types, or standard-library implementations (std::hash
+ * guarantees none of that). FNV-1a over bytes plus the splitmix64
+ * finalizer for mixing.
+ */
+
+#ifndef MC_COMMON_HASH_HH
+#define MC_COMMON_HASH_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mc {
+
+/** FNV-1a offset basis (the conventional 64-bit starting state). */
+inline constexpr std::uint64_t kHashBasis = 0xcbf29ce484222325ull;
+
+/** splitmix64 finalizer: a strong avalanche over one 64-bit word. */
+std::uint64_t mix64(std::uint64_t x);
+
+/** Fold @p value into @p seed (order-dependent). */
+std::uint64_t hashCombine(std::uint64_t seed, std::uint64_t value);
+
+/** FNV-1a over a byte range, continuing from @p seed. */
+std::uint64_t hashBytes(const void *data, std::size_t size,
+                        std::uint64_t seed = kHashBasis);
+
+/** FNV-1a over the characters of @p text, continuing from @p seed. */
+std::uint64_t hashString(std::string_view text,
+                         std::uint64_t seed = kHashBasis);
+
+/** Hash a double by bit pattern (distinguishes +0.0 / -0.0; NaNs by payload). */
+inline std::uint64_t
+hashDouble(std::uint64_t seed, double value)
+{
+    return hashCombine(seed, std::bit_cast<std::uint64_t>(value));
+}
+
+} // namespace mc
+
+#endif // MC_COMMON_HASH_HH

@@ -1,0 +1,29 @@
+#include "sweep_runner.hh"
+
+#include <algorithm>
+
+#include "common/hash.hh"
+
+namespace mc {
+namespace exec {
+
+std::uint64_t
+deriveSeed(std::string_view bench_name, std::string_view point_key,
+           std::uint64_t repetition)
+{
+    // Hash each component with a separator so ("ab", "c") and
+    // ("a", "bc") cannot collide, then finalize: Rng seeds should
+    // differ in many bits even for adjacent repetitions.
+    std::uint64_t h = hashString(bench_name);
+    h = hashString("\x1f", h);
+    h = hashString(point_key, h);
+    h = hashCombine(h, repetition);
+    return mix64(h);
+}
+
+SweepRunner::SweepRunner(std::string bench_name, int jobs)
+    : _benchName(std::move(bench_name)), _jobs(std::max(1, jobs))
+{}
+
+} // namespace exec
+} // namespace mc

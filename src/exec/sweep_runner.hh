@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Parallel execution of benchmark sweeps with bit-for-bit reproducible
+ * results.
+ *
+ * Every figure/table bench evaluates a (combo x N x repetition) grid of
+ * *independent* points: each point builds its own simulated device, so
+ * nothing is shared between points and they can run on any worker in
+ * any order. Determinism comes from seeding, not from ordering: each
+ * point derives its noise seed from a stable hash of (bench name,
+ * point key, repetition index), so `--jobs 8` produces byte-identical
+ * output to `--jobs 1`.
+ *
+ * Usage pattern (see bench/fig6_gemm_fp.cc):
+ *
+ *     exec::SweepRunner runner("fig6_gemm_fp", jobs);
+ *     auto results = runner.map(points.size(), [&](std::size_t i) {
+ *         hip::Runtime rt;                       // per-point device
+ *         ...
+ *         rt.gpu().reseedNoise(runner.seedFor(key, rep));
+ *         ...
+ *     });
+ *     // render `results` serially, in point order
+ */
+
+#ifndef MC_EXEC_SWEEP_RUNNER_HH
+#define MC_EXEC_SWEEP_RUNNER_HH
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace mc {
+namespace exec {
+
+/**
+ * Derive a noise seed from (bench name, point key, repetition).
+ *
+ * Stable across platforms and releases: the same triple always yields
+ * the same seed, and any change to one component changes it.
+ */
+std::uint64_t deriveSeed(std::string_view bench_name,
+                         std::string_view point_key,
+                         std::uint64_t repetition);
+
+/**
+ * Fans the points of one sweep across a worker pool.
+ */
+class SweepRunner
+{
+  public:
+    /**
+     * @param bench_name namespace for seed derivation (use the binary
+     *        name so two benches sweeping the same grid draw different
+     *        noise).
+     * @param jobs worker count; 1 (the default) runs points inline on
+     *        the calling thread, values < 1 are clamped to 1.
+     */
+    explicit SweepRunner(std::string bench_name, int jobs = 1);
+
+    const std::string &benchName() const { return _benchName; }
+    int jobs() const { return _jobs; }
+
+    /** Seed for repetition @p repetition of the point named @p point_key. */
+    std::uint64_t
+    seedFor(std::string_view point_key, std::uint64_t repetition) const
+    {
+        return deriveSeed(_benchName, point_key, repetition);
+    }
+
+    /**
+     * Evaluate @p fn(0) ... @p fn(count - 1) and return the results in
+     * index order. With jobs > 1 the calls run concurrently on a
+     * fixed-size pool; @p fn must therefore not touch shared mutable
+     * state (build per-point Runtime / engine instances inside it).
+     * The first exception (by point index) is rethrown after all
+     * points finish.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t count, Fn &&fn)
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        using R = decltype(fn(std::size_t{}));
+        std::vector<R> results;
+        results.reserve(count);
+
+        if (_jobs <= 1 || count <= 1) {
+            for (std::size_t i = 0; i < count; ++i)
+                results.push_back(fn(i));
+            return results;
+        }
+
+        ThreadPool pool(static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(_jobs), count)));
+        std::vector<std::future<R>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i)
+            futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+        // get() in index order: results stay ordered and the lowest-
+        // index failure is the one reported, independent of timing.
+        for (std::future<R> &future : futures)
+            results.push_back(future.get());
+        return results;
+    }
+
+  private:
+    std::string _benchName;
+    int _jobs;
+};
+
+} // namespace exec
+} // namespace mc
+
+#endif // MC_EXEC_SWEEP_RUNNER_HH

@@ -1,0 +1,76 @@
+#include "thread_pool.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace exec {
+
+ThreadPool::ThreadPool(int threads)
+{
+    threads = std::max(1, threads);
+    _workers.reserve(threads);
+    for (int i = 0; i < threads; ++i)
+        _workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+    }
+    _workReady.notify_all();
+    for (std::thread &worker : _workers)
+        worker.join();
+}
+
+std::uint64_t
+ThreadPool::submittedCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _submitted;
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        mc_assert(!_stopping, "submit on a stopping thread pool");
+        _queue.push_back(std::move(task));
+        ++_submitted;
+    }
+    _workReady.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _workReady.wait(lock,
+                            [this]() { return _stopping || !_queue.empty(); });
+            if (_queue.empty())
+                return; // stopping and drained
+            task = std::move(_queue.front());
+            _queue.pop_front();
+        }
+        // packaged_task catches the task's exception into its future;
+        // nothing escapes into the worker.
+        task();
+    }
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+} // namespace exec
+} // namespace mc

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A fixed-size worker pool for fanning independent simulation work
+ * across host cores.
+ *
+ * The simulator is single-threaded by design (each Mi250x owns a
+ * stateful power trace and noise stream), so parallelism happens one
+ * level up: independent sweep points each get their own device
+ * instance and run on a pool worker. The pool is deliberately small:
+ * FIFO dispatch, futures for results, exceptions propagate through
+ * the future to the caller.
+ */
+
+#ifndef MC_EXEC_THREAD_POOL_HH
+#define MC_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mc {
+namespace exec {
+
+/**
+ * Fixed-size FIFO thread pool.
+ */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers; values < 1 are clamped to 1. */
+    explicit ThreadPool(int threads);
+
+    /** Drains nothing: pending tasks still run before workers exit. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const { return static_cast<int>(_workers.size()); }
+
+    /** Tasks submitted so far (diagnostics). */
+    std::uint64_t submittedCount() const;
+
+    /**
+     * Enqueue @p fn; the returned future yields its result or rethrows
+     * its exception. Tasks start in submission order.
+     */
+    template <typename F>
+    auto
+    submit(F fn) -> std::future<std::invoke_result_t<F &>>
+    {
+        using R = std::invoke_result_t<F &>;
+        // std::function requires copyable callables, so the
+        // packaged_task (move-only) rides in a shared_ptr.
+        auto task = std::make_shared<std::packaged_task<R()>>(std::move(fn));
+        std::future<R> future = task->get_future();
+        post([task]() { (*task)(); });
+        return future;
+    }
+
+    /** The machine's hardware concurrency, at least 1. */
+    static int hardwareThreads();
+
+  private:
+    void post(std::function<void()> task);
+    void workerLoop();
+
+    mutable std::mutex _mutex;
+    std::condition_variable _workReady;
+    std::deque<std::function<void()>> _queue;
+    std::vector<std::thread> _workers;
+    std::uint64_t _submitted = 0;
+    bool _stopping = false;
+};
+
+} // namespace exec
+} // namespace mc
+
+#endif // MC_EXEC_THREAD_POOL_HH

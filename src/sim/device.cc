@@ -203,6 +203,12 @@ Mi250x::runOnGcd(const KernelProfile &profile, int gcd)
 KernelResult
 Mi250x::measureKernel(const KernelProfile &profile)
 {
+    return measureKernel(profile, _noise);
+}
+
+KernelResult
+Mi250x::measureKernel(const KernelProfile &profile, Rng &noise) const
+{
     const arch::DataType dom = profile.dominantType();
 
     std::uint64_t phases = 1;
@@ -210,7 +216,7 @@ Mi250x::measureKernel(const KernelProfile &profile)
                   _cal.launchLatencySec;
     if (_opts.enableNoise && _opts.noiseSigma > 0.0) {
         const double factor =
-            1.0 + _opts.noiseSigma * _noise.nextGaussian();
+            1.0 + _opts.noiseSigma * noise.nextGaussian();
         busy *= std::max(0.5, factor);
     }
 

@@ -116,8 +116,27 @@ class Mi250x
      * by the asynchronous runtime, which manages its own overlapping
      * timeline per GCD. Package-level DVFS coupling between
      * concurrently running GCDs is not modelled on this path.
+     *
+     * Draws measurement noise from the device's own stream.
      */
     KernelResult measureKernel(const KernelProfile &profile);
+
+    /**
+     * The timeline-free measurement path with an explicit noise
+     * stream: const because it touches no device state, so callers
+     * that own @p noise (one stream per sweep point) can measure from
+     * several threads against one shared const device.
+     */
+    KernelResult measureKernel(const KernelProfile &profile,
+                               Rng &noise) const;
+
+    /**
+     * Deterministically restart the measurement-noise stream.
+     *
+     * The sweep engine seeds each (bench, point, repetition) with a
+     * derived seed so parallel sweeps reproduce serial output exactly.
+     */
+    void reseedNoise(std::uint64_t seed) { _noise = Rng(seed); }
 
     /** Matrix Cores per GCD (the 440 of Eq. 2). */
     int matrixCoresPerGcd() const { return _cal.matrixCoresPerGcd(); }

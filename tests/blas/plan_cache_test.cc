@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests of the GEMM plan cache: repeated configs hit, any changed
+ * planner input misses, and the engine's measurement path reports the
+ * paper's 10-repetition convention as one plan plus nine hits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/calibration.hh"
+#include "blas/gemm.hh"
+#include "blas/plan_cache.hh"
+
+namespace mc {
+namespace blas {
+namespace {
+
+sim::SimOptions
+quietOptions()
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    return opts;
+}
+
+GemmConfig
+squareConfig(std::size_t n, GemmCombo combo = GemmCombo::Sgemm)
+{
+    GemmConfig cfg;
+    cfg.combo = combo;
+    cfg.m = cfg.n = cfg.k = n;
+    cfg.alpha = cfg.beta = 0.1;
+    return cfg;
+}
+
+TEST(PlanKey, EqualForIdenticalInputs)
+{
+    const PlannerOptions opts;
+    const PlanKey a = makePlanKey(squareConfig(1024), opts, 0x1234);
+    const PlanKey b = makePlanKey(squareConfig(1024), opts, 0x1234);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(PlanKeyHash{}(a), PlanKeyHash{}(b));
+}
+
+TEST(PlanKey, DiffersWhenAnyPlannerInputChanges)
+{
+    const PlannerOptions opts;
+    const PlanKey base = makePlanKey(squareConfig(1024), opts, 0x1234);
+
+    EXPECT_NE(makePlanKey(squareConfig(2048), opts, 0x1234), base);
+    EXPECT_NE(makePlanKey(squareConfig(1024, GemmCombo::Dgemm), opts,
+                          0x1234),
+              base);
+
+    GemmConfig scaled = squareConfig(1024);
+    scaled.beta = 0.0;
+    EXPECT_NE(makePlanKey(scaled, opts, 0x1234), base);
+
+    PlannerOptions tuned = opts;
+    tuned.macroTile = 64;
+    EXPECT_NE(makePlanKey(squareConfig(1024), tuned, 0x1234), base);
+
+    // Same problem on a differently calibrated device is a new key.
+    EXPECT_NE(makePlanKey(squareConfig(1024), opts, 0x5678), base);
+}
+
+TEST(PlanCache, RepeatLookupsHitAndReuseThePlan)
+{
+    PlanCache cache;
+    const PlanKey key =
+        makePlanKey(squareConfig(1024), PlannerOptions(), 1);
+    int computed = 0;
+    const auto compute = [&computed] {
+        ++computed;
+        return planGemm(squareConfig(1024), arch::defaultCdna2());
+    };
+
+    const GemmPlan &first = cache.findOrCompute(key, compute);
+    for (int i = 0; i < 9; ++i) {
+        const GemmPlan &again = cache.findOrCompute(key, compute);
+        EXPECT_EQ(&again, &first); // node-based map: stable reference
+    }
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), 9u);
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.clear();
+    EXPECT_EQ(cache.misses(), 0u);
+    EXPECT_EQ(cache.hits(), 0u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCache, TenRepetitionPointPlansOnce)
+{
+    // The acceptance shape: a sweep point measured 10 times must plan
+    // once and serve the other nine repetitions from the cache.
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+    const GemmConfig cfg = squareConfig(1024);
+
+    for (int rep = 0; rep < 10; ++rep)
+        ASSERT_TRUE(engine.run(cfg).isOk());
+
+    EXPECT_EQ(engine.planCache().misses(), 1u);
+    EXPECT_EQ(engine.planCache().hits(), 9u);
+}
+
+TEST(PlanCache, PlanAndRunShareTheCache)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+    const GemmConfig cfg = squareConfig(2048);
+
+    const GemmPlan planned = engine.plan(cfg);
+    EXPECT_EQ(engine.planCache().misses(), 1u);
+
+    ASSERT_TRUE(engine.run(cfg).isOk());
+    EXPECT_EQ(engine.planCache().misses(), 1u);
+    EXPECT_EQ(engine.planCache().hits(), 1u);
+    EXPECT_EQ(planned.macroTile, engine.plan(cfg).macroTile);
+}
+
+TEST(PlanCache, ChangedPlannerOptionsMiss)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+    const GemmConfig cfg = squareConfig(4096);
+
+    ASSERT_TRUE(engine.run(cfg).isOk());
+    EXPECT_EQ(engine.planCache().misses(), 1u);
+
+    // The ablation benches mutate the tunables between runs; a stale
+    // plan here would silently invalidate the study.
+    engine.plannerOptions().macroTile = 64;
+    const GemmPlan retuned = engine.plan(cfg);
+    EXPECT_EQ(retuned.macroTile, 64);
+    EXPECT_EQ(engine.planCache().misses(), 2u);
+    EXPECT_EQ(engine.planCache().size(), 2u);
+}
+
+TEST(PlanCache, DistinctProblemsGetDistinctEntries)
+{
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions());
+    GemmEngine engine(rt);
+
+    for (std::size_t n : {256u, 512u, 1024u})
+        ASSERT_TRUE(engine.run(squareConfig(n)).isOk());
+    ASSERT_TRUE(engine.run(squareConfig(512, GemmCombo::Dgemm)).isOk());
+
+    EXPECT_EQ(engine.planCache().misses(), 4u);
+    EXPECT_EQ(engine.planCache().hits(), 0u);
+    EXPECT_EQ(engine.planCache().size(), 4u);
+}
+
+} // namespace
+} // namespace blas
+} // namespace mc

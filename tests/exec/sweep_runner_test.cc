@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Tests of the sweep runner: stable seed derivation, ordered results,
+ * exception selection, and the determinism contract — a noisy GEMM
+ * sweep at jobs=8 must reproduce jobs=1 bit for bit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "blas/gemm.hh"
+#include "exec/sweep_runner.hh"
+#include "hip/runtime.hh"
+
+namespace mc {
+namespace exec {
+namespace {
+
+TEST(DeriveSeed, StableAcrossCalls)
+{
+    const std::uint64_t a = deriveSeed("fig6_gemm_fp", "sgemm/4096", 3);
+    const std::uint64_t b = deriveSeed("fig6_gemm_fp", "sgemm/4096", 3);
+    EXPECT_EQ(a, b);
+}
+
+TEST(DeriveSeed, EveryComponentChangesTheSeed)
+{
+    const std::uint64_t base = deriveSeed("bench", "point", 0);
+    EXPECT_NE(deriveSeed("bench2", "point", 0), base);
+    EXPECT_NE(deriveSeed("bench", "point2", 0), base);
+    EXPECT_NE(deriveSeed("bench", "point", 1), base);
+}
+
+TEST(DeriveSeed, ComponentBoundariesDoNotCollide)
+{
+    // Without a separator ("ab", "c") and ("a", "bc") would hash the
+    // same byte stream.
+    EXPECT_NE(deriveSeed("ab", "c", 0), deriveSeed("a", "bc", 0));
+}
+
+TEST(DeriveSeed, AdjacentRepetitionsAreWellMixed)
+{
+    // The finalizer should spread consecutive reps over the full
+    // 64-bit range, not leave them adjacent.
+    std::set<std::uint64_t> seeds;
+    for (std::uint64_t rep = 0; rep < 64; ++rep)
+        seeds.insert(deriveSeed("bench", "point", rep));
+    EXPECT_EQ(seeds.size(), 64u);
+    const std::uint64_t s0 = deriveSeed("bench", "point", 0);
+    const std::uint64_t s1 = deriveSeed("bench", "point", 1);
+    EXPECT_GT(std::max(s0, s1) - std::min(s0, s1), 1u << 20);
+}
+
+TEST(SweepRunner, ClampsJobsAndKeepsBenchName)
+{
+    SweepRunner runner("my_bench", -3);
+    EXPECT_EQ(runner.jobs(), 1);
+    EXPECT_EQ(runner.benchName(), "my_bench");
+    EXPECT_EQ(runner.seedFor("p", 2), deriveSeed("my_bench", "p", 2));
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder)
+{
+    for (int jobs : {1, 8}) {
+        SweepRunner runner("order", jobs);
+        const std::vector<std::size_t> out =
+            runner.map(100, [](std::size_t i) { return i * i; });
+        ASSERT_EQ(out.size(), 100u);
+        for (std::size_t i = 0; i < out.size(); ++i)
+            EXPECT_EQ(out[i], i * i);
+    }
+}
+
+TEST(SweepRunner, MapOnZeroPointsReturnsEmpty)
+{
+    SweepRunner runner("empty", 8);
+    const auto out = runner.map(0, [](std::size_t i) { return i; });
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(SweepRunner, ExceptionReachesCaller)
+{
+    for (int jobs : {1, 8}) {
+        SweepRunner runner("throws", jobs);
+        EXPECT_THROW(runner.map(16,
+                                [](std::size_t i) -> int {
+                                    if (i == 5)
+                                        throw std::runtime_error("boom");
+                                    return 0;
+                                }),
+                     std::runtime_error);
+    }
+}
+
+/**
+ * Run a small noisy GEMM sweep the way the figure benches do: one
+ * Runtime per point, noise reseeded per repetition from
+ * (bench, point, rep). Returns every sampled latency.
+ */
+std::vector<double>
+noisyGemmSweep(int jobs)
+{
+    const std::size_t sizes[] = {256, 512, 1024};
+    constexpr int kReps = 3;
+
+    SweepRunner runner("sweep_runner_test", jobs);
+    const auto per_point =
+        runner.map(std::size(sizes), [&](std::size_t i) {
+            hip::Runtime rt; // noise enabled by default
+            blas::GemmEngine engine(rt);
+            blas::GemmConfig cfg;
+            cfg.combo = blas::GemmCombo::Sgemm;
+            cfg.m = cfg.n = cfg.k = sizes[i];
+            const std::string key = "sgemm/" + std::to_string(sizes[i]);
+
+            std::vector<double> samples;
+            for (int rep = 0; rep < kReps; ++rep) {
+                rt.gpu().reseedNoise(
+                    runner.seedFor(key, static_cast<std::uint64_t>(rep)));
+                auto result = engine.run(cfg);
+                EXPECT_TRUE(result.isOk());
+                samples.push_back(result.value().throughput());
+            }
+            return samples;
+        });
+
+    std::vector<double> flat;
+    for (const auto &samples : per_point)
+        flat.insert(flat.end(), samples.begin(), samples.end());
+    return flat;
+}
+
+TEST(SweepRunner, ParallelGemmSweepIsBitIdenticalToSerial)
+{
+    const std::vector<double> serial = noisyGemmSweep(1);
+    const std::vector<double> parallel = noisyGemmSweep(8);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "sample " << i;
+
+    // The sweep is genuinely noisy: repetitions of one point differ.
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+} // namespace
+} // namespace exec
+} // namespace mc

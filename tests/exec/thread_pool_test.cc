@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests of the fixed-size thread pool: FIFO dispatch, result and
+ * exception propagation through futures, and shutdown draining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace mc {
+namespace exec {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTaskAndReturnsResult)
+{
+    ThreadPool pool(2);
+    auto future = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1);
+    auto future = pool.submit([] { return 1; });
+    EXPECT_EQ(future.get(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerExecutesInSubmissionOrder)
+{
+    // With one worker the FIFO queue forces strict submission order.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(pool.submit([&order, i] { order.push_back(i); }));
+    for (auto &future : futures)
+        future.get();
+
+    std::vector<int> expected(32);
+    std::iota(expected.begin(), expected.end(), 0);
+    EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+    auto good = pool.submit([] { return 7; });
+
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "task failed");
+                throw;
+            }
+        },
+        std::runtime_error);
+    // A throwing task must not take the pool down with it.
+    EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ManyTasksAcrossWorkersAllComplete)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+
+    std::atomic<int> sum{0};
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(pool.submit([&sum, i] {
+            sum.fetch_add(1, std::memory_order_relaxed);
+            return i * i;
+        }));
+    for (int i = 0; i < 200; ++i)
+        EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+    EXPECT_EQ(sum.load(), 200);
+    EXPECT_EQ(pool.submittedCount(), 200u);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingTasks)
+{
+    std::atomic<int> completed{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&completed] {
+                completed.fetch_add(1, std::memory_order_relaxed);
+            });
+        // No get(): the destructor must still run every queued task.
+    }
+    EXPECT_EQ(completed.load(), 16);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+} // namespace
+} // namespace exec
+} // namespace mc
