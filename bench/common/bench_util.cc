@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/retry.hh"
 
 namespace mc {
 namespace bench {
@@ -62,6 +63,127 @@ std::string
 tflopsCell(const Measurement &m)
 {
     return m.format(1e-12, 1);
+}
+
+Result<Measurement>
+repeatMeasureResilient(const std::function<Result<TimedSample>(int)> &sample,
+                       const ResilientOptions &opts)
+{
+    mc_assert(opts.repetitions > 0, "at least one repetition required");
+    std::vector<double> values;
+    values.reserve(opts.repetitions);
+    Measurement m;
+    double elapsed_sec = 0.0;
+
+    for (int rep = 0; rep < opts.repetitions; ++rep) {
+        double backoff_sec = 0.0;
+        int attempts = 0;
+        const Result<TimedSample> result = retryCall(
+            opts.retry,
+            [&] {
+                ++attempts;
+                return sample(rep);
+            },
+            &backoff_sec);
+        m.retries += attempts - 1;
+        // Simulated backoff occupies the point's deadline budget just
+        // like the samples themselves.
+        elapsed_sec += backoff_sec;
+
+        if (!result.isOk()) {
+            if (result.status().code() == ErrorCode::OutOfMemory) {
+                // The sweep-terminating condition, not a fault: report
+                // the completed repetitions (repeatMeasureUntil
+                // semantics).
+                m.aborted = true;
+                break;
+            }
+            return result.status();
+        }
+
+        elapsed_sec += result.value().simSeconds;
+        if (elapsed_sec > opts.deadlineSec) {
+            return Status::deadlineExceeded(
+                "point exceeded its simulated-time deadline (" +
+                std::to_string(elapsed_sec) + " s > " +
+                std::to_string(opts.deadlineSec) + " s) at repetition " +
+                std::to_string(rep));
+        }
+        values.push_back(result.value().value);
+    }
+
+    m.stats = summarize(values);
+    m.samplesTaken = static_cast<int>(values.size());
+    return m;
+}
+
+void
+addResilienceFlags(CliParser &cli)
+{
+    cli.addFlag("inject", std::string(),
+                "fault probabilities, e.g. oom=0.01,smi_dropout=0.05 "
+                "(see docs/RESILIENCE.md)");
+    cli.addFlag("max-point-failures", static_cast<std::int64_t>(-1),
+                "failed points tolerated before the sweep is cancelled "
+                "(-1 = unlimited)");
+    cli.addFlag("deadline-sec", 3600.0,
+                "per-point simulated-time deadline in seconds");
+    cli.addFlag("journal", std::string(),
+                "write an append-only per-point journal to this path");
+    cli.addFlag("resume", std::string(),
+                "load a prior run's journal and re-execute only its "
+                "failed or missing points");
+}
+
+SweepResilience
+resilienceFlags(const CliParser &cli)
+{
+    SweepResilience res;
+
+    const std::string inject = cli.getString("inject");
+    if (!inject.empty()) {
+        auto spec = fault::parseFaultSpec(inject);
+        if (!spec.isOk())
+            mc_fatal("bad --inject: ", spec.status().toString());
+        res.faults = spec.value();
+    }
+
+    const std::int64_t budget = cli.getInt("max-point-failures");
+    if (budget >= 0)
+        res.maxPointFailures = static_cast<std::size_t>(budget);
+
+    res.deadlineSec = cli.getDouble("deadline-sec");
+    if (res.deadlineSec <= 0.0)
+        mc_fatal("--deadline-sec must be positive");
+
+    const std::string journal = cli.getString("journal");
+    const std::string resume = cli.getString("resume");
+    if (!journal.empty() && !resume.empty())
+        mc_fatal("--journal and --resume are mutually exclusive; "
+                 "--resume appends to the journal it loads");
+    res.journalPath = resume.empty() ? journal : resume;
+    res.resume = !resume.empty();
+    return res;
+}
+
+void
+printSweepSummary(const std::string &bench_name, std::size_t total_points,
+                  const std::vector<FailedPoint> &failed,
+                  std::size_t skipped, std::size_t resumed)
+{
+    if (failed.empty() && skipped == 0 && resumed == 0)
+        return;
+    const std::size_t ok_points = total_points - failed.size() - skipped;
+    std::fprintf(stderr,
+                 "[%s] sweep summary: %zu/%zu points ok, %zu failed, "
+                 "%zu skipped, %zu loaded from journal\n",
+                 bench_name.c_str(), ok_points, total_points,
+                 failed.size(), skipped, resumed);
+    for (const FailedPoint &point : failed) {
+        std::fprintf(stderr, "[%s]   point %zu (%s): %s\n",
+                     bench_name.c_str(), point.index, point.key.c_str(),
+                     point.status.toString().c_str());
+    }
 }
 
 void

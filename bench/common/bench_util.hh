@@ -10,12 +10,18 @@
 #ifndef MC_BENCH_COMMON_BENCH_UTIL_HH
 #define MC_BENCH_COMMON_BENCH_UTIL_HH
 
+#include <cstddef>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/cli.hh"
+#include "common/retry.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
+#include "fault/injector.hh"
 
 namespace mc {
 namespace bench {
@@ -34,6 +40,9 @@ struct Measurement
 
     /** Repetitions that produced a value. */
     int samplesTaken = 0;
+
+    /** Transient-error retries spent across all repetitions. */
+    int retries = 0;
 
     /** Mean of the repetitions. */
     double value() const { return stats.mean; }
@@ -65,6 +74,105 @@ repeatMeasureUntil(const std::function<std::optional<double>()> &sample,
 
 /** Standard "<n> TFLOPS" cell: value scaled by 1e12, one decimal. */
 std::string tflopsCell(const Measurement &m);
+
+// ---- Resilient measurement ----------------------------------------------
+
+/** One repetition's outcome: the measured value and its simulated cost. */
+struct TimedSample
+{
+    double value = 0.0;
+    /** Simulated seconds this repetition occupied the device. */
+    double simSeconds = 0.0;
+};
+
+/** Knobs of repeatMeasureResilient. */
+struct ResilientOptions
+{
+    int repetitions = 10;
+    /**
+     * Per-point budget of *simulated* seconds (samples plus simulated
+     * retry backoff). A hung kernel reports an enormous duration, so
+     * any sane deadline converts it into DeadlineExceeded instead of
+     * an absurd data point.
+     */
+    double deadlineSec = 3600.0;
+    /** Attempt budget for transient (retriable) sample errors. */
+    RetryPolicy retry;
+};
+
+/**
+ * The fault-hardened repetition loop. @p sample receives the
+ * repetition index and returns the measured value plus its simulated
+ * duration, or an error:
+ *
+ *  - transient errors (Unavailable, ...) are retried up to the policy's
+ *    attempt budget with deterministic simulated backoff — the rep
+ *    index is stable across attempts, so a retry that succeeds yields
+ *    exactly the value an uninterrupted run would have measured;
+ *  - OutOfMemory aborts the remaining repetitions and returns the
+ *    completed ones (aborted = true) — the paper's sweep-terminating
+ *    condition, not a fault;
+ *  - exhausted retries and other errors fail the point with the last
+ *    error; exceeding the simulated-time deadline fails the point with
+ *    DeadlineExceeded.
+ */
+Result<Measurement> repeatMeasureResilient(
+    const std::function<Result<TimedSample>(int)> &sample,
+    const ResilientOptions &opts = ResilientOptions());
+
+// ---- Sweep resilience flags ---------------------------------------------
+
+/** Parsed --inject / --max-point-failures / --deadline-sec / --journal /
+ *  --resume configuration of one sweep bench. */
+struct SweepResilience
+{
+    /** Fault probabilities (all zero without --inject). */
+    fault::FaultSpec faults;
+    /** Failed points tolerated before the sweep is cancelled. */
+    std::size_t maxPointFailures = std::numeric_limits<std::size_t>::max();
+    /** Per-point simulated-time deadline, seconds. */
+    double deadlineSec = 3600.0;
+    /** Journal file to append to; empty = no journal. */
+    std::string journalPath;
+    /** True when resuming: load the journal, re-run only failed points. */
+    bool resume = false;
+
+    /** Per-point injector seeded for @p point_seed (see faultSeed). */
+    fault::Injector injectorFor(std::uint64_t point_seed) const
+    {
+        return fault::Injector(faults, fault::faultSeed(point_seed));
+    }
+};
+
+/**
+ * Register the resilience flags on a sweep bench (see
+ * docs/RESILIENCE.md for semantics).
+ */
+void addResilienceFlags(CliParser &cli);
+
+/** Read the resilience flags back; fatal on a malformed --inject. */
+SweepResilience resilienceFlags(const CliParser &cli);
+
+// ---- Sweep failure reporting --------------------------------------------
+
+/** One failed sweep point, for the end-of-run summary. */
+struct FailedPoint
+{
+    std::size_t index = 0;
+    std::string key;
+    Status status;
+};
+
+/**
+ * Print the sweep's resilience summary to *stderr* — stdout carries
+ * only the rendered results, so faulted runs stay byte-comparable
+ * across --jobs values and across resume. Failed points are listed
+ * individually; nothing is printed for a fully clean, non-resumed run.
+ */
+void printSweepSummary(const std::string &bench_name,
+                       std::size_t total_points,
+                       const std::vector<FailedPoint> &failed,
+                       std::size_t skipped, std::size_t resumed);
 
 /**
  * Register the sweep engine's --jobs flag (default 1 = serial).

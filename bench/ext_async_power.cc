@@ -73,7 +73,10 @@ main(int argc, char **argv)
         const auto samples = sampler.sampleInterval(
             r0.startSec + 0.5,
             std::min(r0.endSec, r1.endSec) - 0.5);
-        const double watts = smi::meanWatts(samples);
+        const smi::PmCounters pm(rt.asyncTrace());
+        const double watts = smi::meanWattsOrEnergy(
+            samples, pm, r0.startSec + 0.5,
+            std::min(r0.endSec, r1.endSec) - 0.5);
         const double combined =
             (r0.throughput() + r1.throughput()) / 1e12;
 

@@ -12,7 +12,9 @@
  *
  * The per-combo surveys are independent and run on the parallel sweep
  * engine (--jobs); the survey is noise-free, so output is identical
- * for any job count.
+ * for any job count. --inject / --max-point-failures
+ * (docs/RESILIENCE.md) turn injected faults into per-combo failure
+ * reports instead of an abort.
  */
 
 #include <array>
@@ -51,19 +53,26 @@ main(int argc, char **argv)
     cli.addFlag("n", static_cast<std::int64_t>(8192),
                 "problem dimension");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
 
     const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
                                       blas::GemmCombo::Dgemm};
     const prof::RooflineModel roofline(arch::defaultCdna2());
 
     exec::SweepRunner runner("ext_blas_survey", bench::jobsFlag(cli));
-    const auto results =
-        runner.map(std::size(combos), [&](std::size_t i) {
+    const std::vector<Result<SurveyResult>> results = runner.mapResult(
+        std::size(combos),
+        [&](std::size_t i) -> Result<SurveyResult> {
             const blas::GemmCombo combo = combos[i];
+            const std::string key = blas::comboInfo(combo).name;
+            fault::Injector faults =
+                res.injectorFor(runner.seedFor(key, 0));
             sim::SimOptions opts;
             opts.enableNoise = false;
+            opts.faults = faults.enabled() ? &faults : nullptr;
             hip::Runtime rt(arch::defaultCdna2(), opts);
             blas::GemmEngine engine(rt);
             blas::Level3Engine level3(engine);
@@ -72,16 +81,19 @@ main(int argc, char **argv)
             gemm.combo = combo;
             gemm.m = gemm.n = gemm.k = n;
             gemm.alpha = gemm.beta = 0.1;
-            auto gemm_result = engine.run(gemm);
+            auto gemm_result = retryCall(
+                RetryPolicy(), [&] { return engine.run(gemm); });
             if (!gemm_result.isOk())
-                mc_fatal("gemm failed: ",
-                         gemm_result.status().toString());
+                return gemm_result.status();
 
             blas::TrsmConfig trsm;
             trsm.combo = combo;
             trsm.m = n;
             trsm.n = n / 4;
-            auto trsm_result = level3.runTrsm(trsm);
+            auto trsm_result = retryCall(
+                RetryPolicy(), [&] { return level3.runTrsm(trsm); });
+            if (!trsm_result.isOk())
+                return trsm_result.status();
 
             blas::SyrkConfig syrk;
             syrk.combo = combo;
@@ -89,13 +101,19 @@ main(int argc, char **argv)
             syrk.k = n / 4;
             syrk.alpha = -1.0;
             syrk.beta = 1.0;
-            auto syrk_result = level3.runSyrk(syrk);
+            auto syrk_result = retryCall(
+                RetryPolicy(), [&] { return level3.runSyrk(syrk); });
+            if (!syrk_result.isOk())
+                return syrk_result.status();
 
             blas::GemvConfig gemv;
             gemv.combo = combo;
             gemv.m = n;
             gemv.n = n;
-            auto gemv_result = level3.runGemv(gemv);
+            auto gemv_result = retryCall(
+                RetryPolicy(), [&] { return level3.runGemv(gemv); });
+            if (!gemv_result.isOk())
+                return gemv_result.status();
 
             const auto row = [](const char *name,
                                 const blas::GemmResult &r, double flops) {
@@ -108,10 +126,22 @@ main(int argc, char **argv)
                 row("syrk", syrk_result.value(), syrk.flops()),
                 row("gemv", gemv_result.value(), gemv.flops()),
             };
-        });
+        },
+        res.maxPointFailures);
 
+    std::vector<bench::FailedPoint> failures;
     for (std::size_t i = 0; i < std::size(combos); ++i) {
         const blas::GemmCombo combo = combos[i];
+        if (!results[i].isOk()) {
+            const Status &status = results[i].status();
+            if (!exec::SweepRunner::isSkippedPointStatus(status))
+                failures.push_back(
+                    {i, blas::comboInfo(combo).name, status});
+            std::printf("BLAS survey [%s]: failed: %s\n\n",
+                        blas::comboInfo(combo).name,
+                        errorCodeName(status.code()));
+            continue;
+        }
         TextTable table({"routine", "FLOPs", "TFLOPS", "path",
                          "% of GEMM"});
         table.setTitle(std::string("BLAS survey [") +
@@ -120,8 +150,9 @@ main(int argc, char **argv)
         table.setAlignment({Align::Left, Align::Right, Align::Right,
                             Align::Left, Align::Right});
 
-        const double gemm_tf = results[i][0].throughput / 1e12;
-        for (const RoutineRow &row : results[i]) {
+        const SurveyResult &survey = results[i].value();
+        const double gemm_tf = survey[0].throughput / 1e12;
+        for (const RoutineRow &row : survey) {
             char fl[24], tf[16], pct[16];
             std::snprintf(fl, sizeof(fl), "%.2e", row.flops);
             std::snprintf(tf, sizeof(tf), "%.2f",
@@ -144,5 +175,8 @@ main(int argc, char **argv)
     std::cout << "Level-3 routines ride Matrix Cores at GEMM-class "
                  "rates; level-2 cannot — which is why blocked "
                  "factorizations exist.\n";
-    return 0;
+
+    bench::printSweepSummary("ext_blas_survey", std::size(combos),
+                             failures, runner.lastStats().skipped, 0);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

@@ -12,6 +12,8 @@
  * Points run on the parallel sweep engine (--jobs): each point owns
  * its simulated device and derives its noise seeds from (bench,
  * point, repetition), so output is byte-identical for any job count.
+ * --inject / --max-point-failures (docs/RESILIENCE.md) turn injected
+ * faults into per-point failure rows instead of an abort.
  */
 
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "common/table.hh"
 #include "exec/sweep_runner.hh"
 #include "hip/runtime.hh"
+#include "sim/device.hh"
 #include "prof/profiler.hh"
 #include "wmma/recorder.hh"
 
@@ -76,9 +79,11 @@ main(int argc, char **argv)
                 "measurement repetitions");
     cli.addFlag("csv", false, "emit CSV instead of a table");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int reps = static_cast<int>(cli.getInt("reps"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
 
     const arch::Cdna2Calibration &cal = arch::defaultCdna2();
     const double f = cal.clockHz;
@@ -92,35 +97,56 @@ main(int argc, char **argv)
 
     exec::SweepRunner runner("fig3_throughput_scaling",
                              bench::jobsFlag(cli));
-    const std::vector<bench::Measurement> results =
-        runner.map(points.size(), [&](std::size_t i) {
-            const Point &pt = points[i];
-            const arch::MfmaInstruction *inst = arch::findInstruction(
-                arch::GpuArch::Cdna2, pt.series->mnemonic);
-            if (inst == nullptr)
-                mc_fatal("missing instruction ", pt.series->mnemonic);
+    const std::vector<Result<bench::Measurement>> results =
+        runner.mapResult(
+            points.size(),
+            [&](std::size_t i) -> Result<bench::Measurement> {
+                const Point &pt = points[i];
+                const arch::MfmaInstruction *inst = arch::findInstruction(
+                    arch::GpuArch::Cdna2, pt.series->mnemonic);
+                if (inst == nullptr)
+                    mc_fatal("missing instruction ", pt.series->mnemonic);
 
-            hip::Runtime rt;
-            const std::string key = std::string(pt.series->mnemonic) +
-                                    "/" + std::to_string(pt.wavefronts);
-            int rep = 0;
-            return bench::repeatMeasure([&]() {
-                rt.gpu().reseedNoise(runner.seedFor(key, rep++));
-                hip::Event start, stop;
-                rt.eventRecord(start);
-                const auto result = rt.launch(
-                    wmma::mfmaLoopProfile(*inst, iters, pt.wavefronts,
-                                          pt.series->mnemonic), 0);
-                rt.eventRecord(stop);
-                const double seconds =
-                    rt.eventElapsedMs(start, stop) * 1e-3;
-                const double flops =
-                    static_cast<double>(inst->flopsPerInstruction()) *
-                    static_cast<double>(iters) *
-                    static_cast<double>(pt.wavefronts);
-                return flops / seconds;
-            }, reps);
-        });
+                const std::string key =
+                    std::string(pt.series->mnemonic) + "/" +
+                    std::to_string(pt.wavefronts);
+                fault::Injector faults =
+                    res.injectorFor(runner.seedFor(key, 0));
+                sim::SimOptions sim_opts;
+                sim_opts.faults = faults.enabled() ? &faults : nullptr;
+                hip::Runtime rt(arch::defaultCdna2(), sim_opts);
+
+                bench::ResilientOptions ropts;
+                ropts.repetitions = reps;
+                ropts.deadlineSec = res.deadlineSec;
+                return bench::repeatMeasureResilient(
+                    [&](int rep) -> Result<bench::TimedSample> {
+                        rt.gpu().reseedNoise(runner.seedFor(
+                            key, static_cast<std::uint64_t>(rep)));
+                        hip::Event start, stop;
+                        rt.eventRecord(start);
+                        const auto result = rt.launch(
+                            wmma::mfmaLoopProfile(*inst, iters,
+                                                  pt.wavefronts,
+                                                  pt.series->mnemonic),
+                            0);
+                        rt.eventRecord(stop);
+                        if (!result.ok())
+                            return Status(result.fault,
+                                          "MFMA loop kernel failed");
+                        const double seconds =
+                            rt.eventElapsedMs(start, stop) * 1e-3;
+                        const double flops =
+                            static_cast<double>(
+                                inst->flopsPerInstruction()) *
+                            static_cast<double>(iters) *
+                            static_cast<double>(pt.wavefronts);
+                        return bench::TimedSample{flops / seconds,
+                                                  seconds};
+                    },
+                    ropts);
+            },
+            res.maxPointFailures);
 
     CsvWriter csv(std::cout);
     if (cli.getBool("csv"))
@@ -135,6 +161,7 @@ main(int argc, char **argv)
     chart.setYLabel("TFLOPS");
     const char markers[] = {'m', 'f', 'd'};
     int series_index = 0;
+    std::vector<bench::FailedPoint> failures;
 
     std::size_t index = 0;
     for (const Series &series : kSeries) {
@@ -153,7 +180,25 @@ main(int argc, char **argv)
         plot_series.marker = markers[series_index++ % 3];
 
         for (std::uint64_t wf : sweep) {
-            const bench::Measurement &m = results[index++];
+            const std::size_t point_index = index++;
+            if (!results[point_index].isOk()) {
+                const Status &status = results[point_index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back(
+                        {point_index,
+                         std::string(series.mnemonic) + "/" +
+                             std::to_string(wf),
+                         status});
+                const std::string cell = std::string("failed: ") +
+                                         errorCodeName(status.code());
+                if (cli.getBool("csv"))
+                    csv.writeRow({series.label, std::to_string(wf),
+                                  cell, "-", "-"});
+                else
+                    table.addRow({std::to_string(wf), cell, "-", "-"});
+                continue;
+            }
+            const bench::Measurement &m = results[point_index].value();
 
             // Eq. 2: FLOPS(N_WF) = 2mnk/c * min(N_WF, 440) * f.
             const double model =
@@ -208,5 +253,8 @@ main(int argc, char **argv)
 
     std::cout << "(paper Fig. 3 plateaus: 175 / 43 / 41 TFLOPS at "
                  ">= 440 wavefronts, 92/90/85% of model)\n";
-    return 0;
+
+    bench::printSweepSummary("fig3_throughput_scaling", points.size(),
+                             failures, runner.lastStats().skipped, 0);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

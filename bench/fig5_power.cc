@@ -79,7 +79,11 @@ main(int argc, char **argv)
             smi::PowerSampler sampler(sensor, period);
             const auto samples =
                 sampler.sampleInterval(r.startSec + 0.5, r.endSec);
-            const double watts = smi::meanWatts(samples);
+            // pm_counters stands in when the SMI sample set is empty
+            // (a very short kernel at a coarse period).
+            const smi::PmCounters pm(rt.gpu().trace());
+            const double watts = smi::meanWattsOrEnergy(
+                samples, pm, r.startSec + 0.5, r.endSec);
             const double th = r.throughput() / 1e12;
 
             th_axis.push_back(th);

@@ -8,10 +8,17 @@
  * Sweep points run on the parallel sweep engine (--jobs): each point
  * owns its simulated device and derives its noise seeds from (bench,
  * point, repetition), so output is byte-identical for any job count.
+ *
+ * The resilience flags (--inject, --max-point-failures, --journal,
+ * --resume; see docs/RESILIENCE.md) exercise the fault-injection
+ * layer: failed points become table rows and a stderr summary instead
+ * of aborting the sweep, and a journaled run can be resumed with only
+ * the failed or missing points re-executed.
  */
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "blas/gemm.hh"
@@ -20,11 +27,14 @@
 #include "common/csv.hh"
 #include "common/plot.hh"
 #include "common/table.hh"
+#include "exec/journal.hh"
 #include "exec/sweep_runner.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "fig6_gemm_fp";
 
 struct Point
 {
@@ -41,6 +51,44 @@ struct PointResult
     std::uint64_t planCacheHits = 0;
 };
 
+/**
+ * Journal payload for one completed point. %.17g round-trips a double
+ * exactly, so a resumed run renders journal-loaded points bit-for-bit
+ * like the run that measured them.
+ */
+std::string
+encodePoint(const PointResult &r)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%zu,%d,%d,%d,%d,%llu,%llu",
+                  r.m.stats.mean, r.m.stats.stddev, r.m.stats.count,
+                  r.m.aborted ? 1 : 0, r.m.samplesTaken, r.macroTile,
+                  r.usedMatrixCores ? 1 : 0,
+                  static_cast<unsigned long long>(r.plansComputed),
+                  static_cast<unsigned long long>(r.planCacheHits));
+    return buf;
+}
+
+bool
+decodePoint(const std::string &payload, PointResult &r)
+{
+    std::size_t count = 0;
+    int aborted = 0, samples = 0, tile = 0, matrix_cores = 0;
+    unsigned long long plans = 0, hits = 0;
+    if (std::sscanf(payload.c_str(), "%lg,%lg,%zu,%d,%d,%d,%d,%llu,%llu",
+                    &r.m.stats.mean, &r.m.stats.stddev, &count, &aborted,
+                    &samples, &tile, &matrix_cores, &plans, &hits) != 9)
+        return false;
+    r.m.stats.count = count;
+    r.m.aborted = aborted != 0;
+    r.m.samplesTaken = samples;
+    r.macroTile = tile;
+    r.usedMatrixCores = matrix_cores != 0;
+    r.plansComputed = plans;
+    r.planCacheHits = hits;
+    return true;
+}
+
 } // namespace
 
 int
@@ -53,9 +101,21 @@ main(int argc, char **argv)
                 "largest matrix dimension attempted");
     cli.addFlag("csv", false, "emit CSV instead of a table");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
+
+    std::optional<exec::SweepJournal> journal;
+    if (!res.journalPath.empty()) {
+        auto opened = res.resume
+            ? exec::SweepJournal::open(res.journalPath, kBenchName)
+            : exec::SweepJournal::create(res.journalPath, kBenchName);
+        if (!opened.isOk())
+            mc_fatal("journal: ", opened.status().toString());
+        journal.emplace(std::move(opened.value()));
+    }
 
     const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
                                       blas::GemmCombo::Dgemm};
@@ -64,11 +124,35 @@ main(int argc, char **argv)
         for (std::size_t n = 16; n <= maxn; n *= 2)
             points.push_back({combo, n});
 
-    exec::SweepRunner runner("fig6_gemm_fp", bench::jobsFlag(cli));
-    const std::vector<PointResult> results =
-        runner.map(points.size(), [&](std::size_t i) {
+    auto point_key = [&](const Point &pt) {
+        return std::string(blas::comboInfo(pt.combo).name) + "/" +
+               std::to_string(pt.n);
+    };
+
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
+    std::size_t resumed_points = 0;
+    const std::vector<Result<PointResult>> results = runner.mapResult(
+        points.size(),
+        [&](std::size_t i) -> Result<PointResult> {
             const Point &pt = points[i];
-            hip::Runtime rt;
+            const std::string key = point_key(pt);
+
+            if (res.resume && journal) {
+                const exec::JournalEntry *entry = journal->find(i);
+                PointResult loaded;
+                if (entry && entry->ok() &&
+                    decodePoint(entry->payload, loaded))
+                    return loaded;
+            }
+
+            // Per-point injector, seeded from the point key so the
+            // fault pattern is independent of --jobs and of which
+            // points a resumed run re-executes.
+            fault::Injector faults =
+                res.injectorFor(runner.seedFor(key, 0));
+            sim::SimOptions sim_opts;
+            sim_opts.faults = faults.enabled() ? &faults : nullptr;
+            hip::Runtime rt(arch::defaultCdna2(), sim_opts);
             blas::GemmEngine engine(rt);
 
             blas::GemmConfig cfg;
@@ -76,26 +160,43 @@ main(int argc, char **argv)
             cfg.m = cfg.n = cfg.k = pt.n;
             cfg.alpha = cfg.beta = 0.1;
 
-            const std::string key =
-                std::string(blas::comboInfo(pt.combo).name) + "/" +
-                std::to_string(pt.n);
-
             PointResult out;
-            int rep = 0;
-            out.m = bench::repeatMeasureUntil(
-                [&]() -> std::optional<double> {
-                    rt.gpu().reseedNoise(runner.seedFor(key, rep++));
+            bench::ResilientOptions ropts;
+            ropts.repetitions = reps;
+            ropts.deadlineSec = res.deadlineSec;
+            auto measured = bench::repeatMeasureResilient(
+                [&](int rep) -> Result<bench::TimedSample> {
+                    // Seeded by the repetition index, not the attempt
+                    // count: a retried rep re-measures the exact value
+                    // an undisturbed run would have produced.
+                    rt.gpu().reseedNoise(runner.seedFor(
+                        key, static_cast<std::uint64_t>(rep)));
                     auto result = engine.run(cfg);
                     if (!result.isOk())
-                        return std::nullopt;
+                        return result.status();
                     out.macroTile = result.value().macroTile;
                     out.usedMatrixCores = result.value().usedMatrixCores;
-                    return result.value().throughput();
-                }, reps);
+                    return bench::TimedSample{
+                        result.value().throughput(),
+                        result.value().kernel.seconds};
+                },
+                ropts);
+            if (!measured.isOk()) {
+                if (journal)
+                    journal->record(
+                        {i, key, measured.status().code(), ""});
+                return measured.status();
+            }
+            out.m = measured.value();
             out.plansComputed = engine.planCache().misses();
             out.planCacheHits = engine.planCache().hits();
+            if (journal)
+                journal->record({i, key, ErrorCode::Ok, encodePoint(out)});
             return out;
-        });
+        },
+        res.maxPointFailures);
+    if (res.resume && journal)
+        resumed_points = journal->loadedOkCount();
 
     CsvWriter csv(std::cout);
     if (cli.getBool("csv"))
@@ -107,6 +208,7 @@ main(int argc, char **argv)
     chart.setXLabel("N (log)");
     chart.setYLabel("TFLOPS");
 
+    std::vector<bench::FailedPoint> failures;
     std::uint64_t plans_computed = 0, plan_hits = 0;
     std::size_t index = 0;
     for (blas::GemmCombo combo : combos) {
@@ -122,7 +224,20 @@ main(int argc, char **argv)
         for (std::size_t n = 16; n <= maxn; n *= 2, ++index) {
             if (oom)
                 continue; // sweep already terminated for this combo
-            const PointResult &r = results[index];
+            if (!results[index].isOk()) {
+                const Status &status = results[index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back(
+                        {index, point_key(points[index]), status});
+                const std::string cell = std::string("failed: ") +
+                                         errorCodeName(status.code());
+                if (cli.getBool("csv"))
+                    csv.writeRow({name, std::to_string(n), cell, "-"});
+                else
+                    table.addRow({std::to_string(n), cell, "-", "-"});
+                continue;
+            }
+            const PointResult &r = results[index].value();
             plans_computed += r.plansComputed;
             plan_hits += r.planCacheHits;
             if (r.m.aborted) {
@@ -160,5 +275,8 @@ main(int argc, char **argv)
     std::cout << "(paper Fig. 6: SGEMM peaks ~43 TFLOPS at N=8192 and "
                  "recovers near 65000; DGEMM peaks ~37 TFLOPS at "
                  "N=4096 and drops beyond)\n";
-    return 0;
+
+    bench::printSweepSummary(kBenchName, points.size(), failures,
+                             runner.lastStats().skipped, resumed_points);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

@@ -7,23 +7,29 @@
  *
  * Points run on the parallel sweep engine (--jobs) with per-point
  * devices and derived noise seeds: output is identical for any job
- * count.
+ * count. The resilience flags (--inject, --max-point-failures,
+ * --journal, --resume; see docs/RESILIENCE.md) isolate failed points
+ * and make interrupted runs resumable from their journal.
  */
 
 #include <cstdio>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "blas/gemm.hh"
 #include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/journal.hh"
 #include "exec/sweep_runner.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "fig7_gemm_mixed";
 
 const blas::GemmCombo kCombos[] = {
     blas::GemmCombo::Hgemm,
@@ -37,6 +43,31 @@ struct Point
     std::size_t n;
 };
 
+/** Journal payload: the Measurement fields the rendering reads. */
+std::string
+encodePoint(const bench::Measurement &m)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%zu,%d,%d",
+                  m.stats.mean, m.stats.stddev, m.stats.count,
+                  m.aborted ? 1 : 0, m.samplesTaken);
+    return buf;
+}
+
+bool
+decodePoint(const std::string &payload, bench::Measurement &m)
+{
+    std::size_t count = 0;
+    int aborted = 0, samples = 0;
+    if (std::sscanf(payload.c_str(), "%lg,%lg,%zu,%d,%d", &m.stats.mean,
+                    &m.stats.stddev, &count, &aborted, &samples) != 5)
+        return false;
+    m.stats.count = count;
+    m.aborted = aborted != 0;
+    m.samplesTaken = samples;
+    return true;
+}
+
 } // namespace
 
 int
@@ -48,9 +79,21 @@ main(int argc, char **argv)
     cli.addFlag("maxn", static_cast<std::int64_t>(65536),
                 "largest matrix dimension attempted");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
+
+    std::optional<exec::SweepJournal> journal;
+    if (!res.journalPath.empty()) {
+        auto opened = res.resume
+            ? exec::SweepJournal::open(res.journalPath, kBenchName)
+            : exec::SweepJournal::create(res.journalPath, kBenchName);
+        if (!opened.isOk())
+            mc_fatal("journal: ", opened.status().toString());
+        journal.emplace(std::move(opened.value()));
+    }
 
     // Table III reminder.
     TextTable types({"operation", "typeAB", "typeCD", "compute type"});
@@ -74,33 +117,71 @@ main(int argc, char **argv)
         for (blas::GemmCombo combo : kCombos)
             points.push_back({combo, n});
 
-    exec::SweepRunner runner("fig7_gemm_mixed", bench::jobsFlag(cli));
-    const std::vector<bench::Measurement> results =
-        runner.map(points.size(), [&](std::size_t i) {
-            const Point &pt = points[i];
-            hip::Runtime rt;
-            blas::GemmEngine engine(rt);
+    auto point_key = [&](const Point &pt) {
+        return std::string(blas::comboInfo(pt.combo).name) + "/" +
+               std::to_string(pt.n);
+    };
 
-            blas::GemmConfig cfg;
-            cfg.combo = pt.combo;
-            cfg.m = cfg.n = cfg.k = pt.n;
-            cfg.alpha = cfg.beta = 0.1;
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
+    std::size_t resumed_points = 0;
+    const std::vector<Result<bench::Measurement>> results =
+        runner.mapResult(
+            points.size(),
+            [&](std::size_t i) -> Result<bench::Measurement> {
+                const Point &pt = points[i];
+                const std::string key = point_key(pt);
 
-            const std::string key =
-                std::string(blas::comboInfo(pt.combo).name) + "/" +
-                std::to_string(pt.n);
-            int rep = 0;
-            return bench::repeatMeasureUntil(
-                [&]() -> std::optional<double> {
-                    rt.gpu().reseedNoise(runner.seedFor(key, rep++));
-                    auto result = engine.run(cfg);
-                    if (!result.isOk())
-                        return std::nullopt;
-                    return result.value().throughput();
-                }, reps);
-        });
+                if (res.resume && journal) {
+                    const exec::JournalEntry *entry = journal->find(i);
+                    bench::Measurement loaded;
+                    if (entry && entry->ok() &&
+                        decodePoint(entry->payload, loaded))
+                        return loaded;
+                }
+
+                fault::Injector faults =
+                    res.injectorFor(runner.seedFor(key, 0));
+                sim::SimOptions sim_opts;
+                sim_opts.faults = faults.enabled() ? &faults : nullptr;
+                hip::Runtime rt(arch::defaultCdna2(), sim_opts);
+                blas::GemmEngine engine(rt);
+
+                blas::GemmConfig cfg;
+                cfg.combo = pt.combo;
+                cfg.m = cfg.n = cfg.k = pt.n;
+                cfg.alpha = cfg.beta = 0.1;
+
+                bench::ResilientOptions ropts;
+                ropts.repetitions = reps;
+                ropts.deadlineSec = res.deadlineSec;
+                auto measured = bench::repeatMeasureResilient(
+                    [&](int rep) -> Result<bench::TimedSample> {
+                        rt.gpu().reseedNoise(runner.seedFor(
+                            key, static_cast<std::uint64_t>(rep)));
+                        auto result = engine.run(cfg);
+                        if (!result.isOk())
+                            return result.status();
+                        return bench::TimedSample{
+                            result.value().throughput(),
+                            result.value().kernel.seconds};
+                    },
+                    ropts);
+                if (journal) {
+                    if (measured.isOk())
+                        journal->record({i, key, ErrorCode::Ok,
+                                         encodePoint(measured.value())});
+                    else
+                        journal->record(
+                            {i, key, measured.status().code(), ""});
+                }
+                return measured;
+            },
+            res.maxPointFailures);
+    if (res.resume && journal)
+        resumed_points = journal->loadedOkCount();
 
     std::map<blas::GemmCombo, std::map<std::size_t, double>> tflops;
+    std::vector<bench::FailedPoint> failures;
 
     TextTable table({"N", "hgemm", "hss", "hhs", "hhs/hgemm speedup"});
     table.setTitle("Figure 7: N x N x N GEMM throughput (TFLOPS), "
@@ -110,7 +191,18 @@ main(int argc, char **argv)
         std::vector<std::string> row{std::to_string(n)};
         bool any_oom = false;
         for (blas::GemmCombo combo : kCombos) {
-            const bench::Measurement &m = results[index++];
+            const std::size_t point_index = index++;
+            if (!results[point_index].isOk()) {
+                const Status &status = results[point_index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back({point_index,
+                                        point_key(points[point_index]),
+                                        status});
+                row.push_back(std::string("failed: ") +
+                              errorCodeName(status.code()));
+                continue;
+            }
+            const bench::Measurement &m = results[point_index].value();
             if (m.aborted) {
                 row.push_back("OOM");
                 any_oom = true;
@@ -151,5 +243,8 @@ main(int argc, char **argv)
     std::cout << "(paper Fig. 7: HHS peaks at 155 TFLOPS = 88% of the "
                  "one-GCD plateau; HHS > HSS for N > 1024; HGEMM never "
                  "uses Matrix Cores)\n";
-    return 0;
+
+    bench::printSweepSummary(kBenchName, points.size(), failures,
+                             runner.lastStats().skipped, resumed_points);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

@@ -7,7 +7,9 @@
  *
  * Points run on the parallel sweep engine (--jobs); the counter-
  * derived fractions are noise-free, so output is identical for any
- * job count.
+ * job count. --inject / --max-point-failures (docs/RESILIENCE.md)
+ * turn injected faults into per-point failure cells instead of an
+ * abort.
  */
 
 #include <cstdio>
@@ -47,8 +49,10 @@ main(int argc, char **argv)
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
 
     std::vector<Point> points;
     for (std::size_t n = 16; n <= maxn; n *= 2)
@@ -56,10 +60,18 @@ main(int argc, char **argv)
             points.push_back({combo, n});
 
     exec::SweepRunner runner("fig8_mfma_ratio", bench::jobsFlag(cli));
-    const std::vector<PointResult> results =
-        runner.map(points.size(), [&](std::size_t i) {
+    const std::vector<Result<PointResult>> results = runner.mapResult(
+        points.size(),
+        [&](std::size_t i) -> Result<PointResult> {
             const Point &pt = points[i];
-            hip::Runtime rt;
+            const std::string key =
+                std::string(blas::comboInfo(pt.combo).name) + "/" +
+                std::to_string(pt.n);
+            fault::Injector faults =
+                res.injectorFor(runner.seedFor(key, 0));
+            sim::SimOptions sim_opts;
+            sim_opts.faults = faults.enabled() ? &faults : nullptr;
+            hip::Runtime rt(arch::defaultCdna2(), sim_opts);
             blas::GemmEngine engine(rt);
 
             blas::GemmConfig cfg;
@@ -67,32 +79,50 @@ main(int argc, char **argv)
             cfg.m = cfg.n = cfg.k = pt.n;
             cfg.alpha = cfg.beta = 0.1;
 
-            const std::string key =
-                std::string(blas::comboInfo(pt.combo).name) + "/" +
-                std::to_string(pt.n);
             rt.gpu().reseedNoise(runner.seedFor(key, 0));
 
             PointResult out;
-            auto result = engine.run(cfg);
+            auto result = retryCall(RetryPolicy(),
+                                    [&] { return engine.run(cfg); });
             if (!result.isOk()) {
-                out.oom = true;
-                return out;
+                if (result.status().code() == ErrorCode::OutOfMemory) {
+                    out.oom = true;
+                    return out;
+                }
+                return result.status();
             }
             out.matrixCoreFraction =
                 prof::flopBreakdown(result.value().kernel.counters)
                     .matrixCoreFraction();
             return out;
-        });
+        },
+        res.maxPointFailures);
 
     TextTable table({"N", "dgemm", "sgemm", "hgemm", "hhs", "hss"});
     table.setTitle("Figure 8: Matrix Core share of GEMM FLOPs "
                    "(counter-derived, alpha = beta = 0.1)");
 
+    std::vector<bench::FailedPoint> failures;
     std::size_t index = 0;
     for (std::size_t n = 16; n <= maxn; n *= 2) {
         std::vector<std::string> row{std::to_string(n)};
         for (std::size_t c = 0; c < std::size(blas::allCombos); ++c) {
-            const PointResult &r = results[index++];
+            const std::size_t point_index = index++;
+            if (!results[point_index].isOk()) {
+                const Status &status = results[point_index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back(
+                        {point_index,
+                         std::string(blas::comboInfo(
+                                         points[point_index].combo)
+                                         .name) +
+                             "/" + std::to_string(n),
+                         status});
+                row.push_back(std::string("failed: ") +
+                              errorCodeName(status.code()));
+                continue;
+            }
+            const PointResult &r = results[point_index].value();
             if (r.oom) {
                 row.push_back("OOM");
                 continue;
@@ -134,5 +164,8 @@ main(int argc, char **argv)
     }
     std::cout << "(paper Fig. 8: > 90% for N > 16, > 99% for N > 256; "
                  "HGEMM at 0%; HHS/HSS at 0% for N = 16)\n";
-    return 0;
+
+    bench::printSweepSummary("fig8_mfma_ratio", points.size(), failures,
+                             runner.lastStats().skipped, 0);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

@@ -7,7 +7,8 @@
  *
  * Points run on the parallel sweep engine (--jobs); counter-derived
  * FLOP splits are noise-free, so output is identical for any job
- * count.
+ * count. --inject / --max-point-failures (docs/RESILIENCE.md) turn
+ * injected faults into per-point failure rows instead of an abort.
  */
 
 #include <cstdio>
@@ -48,8 +49,10 @@ main(int argc, char **argv)
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
     bench::addJobsFlag(cli);
+    bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
+    const bench::SweepResilience res = bench::resilienceFlags(cli);
 
     const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
                                       blas::GemmCombo::Dgemm};
@@ -59,10 +62,18 @@ main(int argc, char **argv)
             points.push_back({combo, n});
 
     exec::SweepRunner runner("fig9_flop_model", bench::jobsFlag(cli));
-    const std::vector<PointResult> results =
-        runner.map(points.size(), [&](std::size_t i) {
+    const std::vector<Result<PointResult>> results = runner.mapResult(
+        points.size(),
+        [&](std::size_t i) -> Result<PointResult> {
             const Point &pt = points[i];
-            hip::Runtime rt;
+            const std::string key =
+                std::string(blas::comboInfo(pt.combo).name) + "/" +
+                std::to_string(pt.n);
+            fault::Injector faults =
+                res.injectorFor(runner.seedFor(key, 0));
+            sim::SimOptions sim_opts;
+            sim_opts.faults = faults.enabled() ? &faults : nullptr;
+            hip::Runtime rt(arch::defaultCdna2(), sim_opts);
             blas::GemmEngine engine(rt);
 
             blas::GemmConfig cfg;
@@ -70,24 +81,27 @@ main(int argc, char **argv)
             cfg.m = cfg.n = cfg.k = pt.n;
             cfg.alpha = cfg.beta = 0.1;
 
-            const std::string key =
-                std::string(blas::comboInfo(pt.combo).name) + "/" +
-                std::to_string(pt.n);
             rt.gpu().reseedNoise(runner.seedFor(key, 0));
 
             PointResult out;
-            auto result = engine.run(cfg);
+            auto result = retryCall(RetryPolicy(),
+                                    [&] { return engine.run(cfg); });
             if (!result.isOk()) {
-                out.oom = true;
-                return out;
+                if (result.status().code() == ErrorCode::OutOfMemory) {
+                    out.oom = true;
+                    return out;
+                }
+                return result.status();
             }
             const auto split =
                 prof::flopBreakdown(result.value().kernel.counters);
             out.matrixCoreFlops = split.matrixCoreFlops;
             out.simdFlops = split.simdFlops;
             return out;
-        });
+        },
+        res.maxPointFailures);
 
+    std::vector<bench::FailedPoint> failures;
     std::size_t index = 0;
     for (blas::GemmCombo combo : combos) {
         const char *name = blas::comboInfo(combo).name;
@@ -101,7 +115,20 @@ main(int argc, char **argv)
         for (std::size_t n = 16; n <= maxn; n *= 2, ++index) {
             if (oom)
                 continue; // sweep already terminated for this combo
-            const PointResult &r = results[index];
+            if (!results[index].isOk()) {
+                const Status &status = results[index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back(
+                        {index,
+                         std::string(name) + "/" + std::to_string(n),
+                         status});
+                table.addRow({std::to_string(n),
+                              std::string("failed: ") +
+                                  errorCodeName(status.code()),
+                              "-", "-", "-", "-"});
+                continue;
+            }
+            const PointResult &r = results[index].value();
             if (r.oom) {
                 oom = true;
                 continue;
@@ -132,5 +159,8 @@ main(int argc, char **argv)
     std::cout << "(paper Fig. 9: measurements overlap the 2N^3 / 3N^2 "
                  "model for N >= 32; for N >= 32 more than 95% of "
                  "FLOPs run on Matrix Cores)\n";
-    return 0;
+
+    bench::printSweepSummary("fig9_flop_model", points.size(), failures,
+                             runner.lastStats().skipped, 0);
+    return runner.lastStats().budgetExhausted ? 1 : 0;
 }

@@ -1,0 +1,79 @@
+# Test driver for the sweep journal's checkpoint/resume contract
+# (docs/RESILIENCE.md): a faulted run that is interrupted and resumed
+# must produce stdout byte-identical to the same run left
+# uninterrupted, at any --jobs value. Invoked as
+#   cmake -DBENCH=<binary> "-DBENCH_ARGS=--csv;--reps=3" \
+#         "-DFAULT_ARGS=--inject=hip=0.45;--max-point-failures=100" \
+#         -DWORK_DIR=<dir> -P ResumeEquivalence.cmake
+#
+# Steps:
+#   1. reference: uninterrupted faulted run writing a journal
+#   2. full resume of that journal (re-executes only failed points)
+#   3. resume of a *truncated* journal (simulated interruption), at
+#      --jobs=8
+# All three stdouts must match byte for byte.
+
+if(NOT BENCH)
+    message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT WORK_DIR)
+    message(FATAL_ERROR "WORK_DIR not set")
+endif()
+
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(journal ${WORK_DIR}/journal.csv)
+set(truncated ${WORK_DIR}/truncated.csv)
+file(REMOVE ${journal} ${truncated})
+
+# 1. Uninterrupted faulted run, journaled.
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} ${FAULT_ARGS} --jobs=1
+            --journal=${journal}
+    OUTPUT_VARIABLE reference_out
+    RESULT_VARIABLE reference_rc)
+if(NOT reference_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (journaled run) exited with "
+        "${reference_rc}")
+endif()
+
+# 2. Resume the complete journal: only failed points re-execute.
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} ${FAULT_ARGS} --jobs=1
+            --resume=${journal}
+    OUTPUT_VARIABLE resumed_out
+    RESULT_VARIABLE resumed_rc)
+if(NOT resumed_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (resume) exited with ${resumed_rc}")
+endif()
+if(NOT reference_out STREQUAL resumed_out)
+    message(FATAL_ERROR
+        "resume output differs from the uninterrupted run for ${BENCH}:\n"
+        "=== uninterrupted ===\n${reference_out}\n"
+        "=== resumed ===\n${resumed_out}")
+endif()
+
+# 3. Simulate an interruption: keep the header plus roughly the first
+# half of the journal records, then resume under --jobs=8.
+file(STRINGS ${journal} journal_lines)
+list(LENGTH journal_lines line_count)
+math(EXPR keep "${line_count} / 2 + 1")
+list(SUBLIST journal_lines 0 ${keep} kept_lines)
+list(JOIN kept_lines "\n" kept_text)
+file(WRITE ${truncated} "${kept_text}\n")
+
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS} ${FAULT_ARGS} --jobs=8
+            --resume=${truncated}
+    OUTPUT_VARIABLE truncated_out
+    RESULT_VARIABLE truncated_rc)
+if(NOT truncated_rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} (truncated resume) exited with "
+        "${truncated_rc}")
+endif()
+if(NOT reference_out STREQUAL truncated_out)
+    message(FATAL_ERROR
+        "truncated-journal resume at --jobs=8 differs from the "
+        "uninterrupted run for ${BENCH}:\n"
+        "=== uninterrupted ===\n${reference_out}\n"
+        "=== truncated resume ===\n${truncated_out}")
+endif()

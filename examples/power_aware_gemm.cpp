@@ -96,7 +96,7 @@ main(int argc, char **argv)
         run.watts = samples.empty()
                         ? rt.gpu().trace().averageWatts(window_start,
                                                         window_end)
-                        : smi::meanWatts(samples);
+                        : smi::meanWatts(samples).value();
         run.tflops = flops / (window_end - window_start) / 1e12;
         run.joulesPerGemm = energy / launches;
 

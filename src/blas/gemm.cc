@@ -84,6 +84,16 @@ GemmEngine::run(const GemmConfig &config)
     _rt.free(a.value());
     _rt.free(b.value());
     _rt.free(c.value());
+
+    // A fault during execution (injected transient launch failure,
+    // uncorrectable ECC, ...) invalidates the measurement: surface it
+    // as an error so callers retry or record the point as failed.
+    if (result.kernel.fault != ErrorCode::Ok) {
+        std::ostringstream msg;
+        msg << "GEMM kernel '" << plan.profile.label << "' failed: "
+            << errorCodeName(result.kernel.fault);
+        return Status(result.kernel.fault, msg.str());
+    }
     return result;
 }
 

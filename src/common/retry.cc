@@ -1,0 +1,29 @@
+#include "retry.hh"
+
+#include <cmath>
+
+namespace mc {
+
+bool
+RetryPolicy::retriable(ErrorCode code) const
+{
+    switch (code) {
+      case ErrorCode::Unavailable:
+      case ErrorCode::DeadlineExceeded:
+      case ErrorCode::ResourceExhausted:
+        return true;
+      default:
+        return false;
+    }
+}
+
+double
+RetryPolicy::backoffBeforeRetry(int retry) const
+{
+    mc_assert(retry >= 1, "retries are numbered from 1");
+    const double raw =
+        initialBackoffSec * std::pow(backoffMultiplier, retry - 1);
+    return std::min(raw, maxBackoffSec);
+}
+
+} // namespace mc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bounded retry with deterministic simulated-time backoff.
+ *
+ * Long unattended measurement campaigns survive transient faults —
+ * sensor dropouts, allocation hiccups, flaky runtime calls — by
+ * retrying a bounded number of times. Because this suite runs against
+ * a simulator, backoff is *simulated* time: the policy reports how
+ * long the caller should advance the device timeline between attempts
+ * instead of sleeping, so retries cost microseconds of wall clock and
+ * reproduce identically on every run.
+ */
+
+#ifndef MC_COMMON_RETRY_HH
+#define MC_COMMON_RETRY_HH
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/status.hh"
+
+namespace mc {
+
+/**
+ * When and how often to retry a failed operation.
+ */
+struct RetryPolicy
+{
+    /** Total attempts, including the first; must be >= 1. */
+    int maxAttempts = 3;
+
+    /** Simulated-time backoff before the first retry, seconds. */
+    double initialBackoffSec = 0.05;
+
+    /** Backoff growth factor per retry (exponential). */
+    double backoffMultiplier = 2.0;
+
+    /** Backoff ceiling, seconds. */
+    double maxBackoffSec = 5.0;
+
+    /** A policy that never retries. */
+    static RetryPolicy
+    none()
+    {
+        RetryPolicy policy;
+        policy.maxAttempts = 1;
+        return policy;
+    }
+
+    /**
+     * True when @p code is worth retrying: transient conditions
+     * (Unavailable, DeadlineExceeded, ResourceExhausted). Permanent
+     * conditions — InvalidArgument, OutOfMemory capacity exhaustion,
+     * DataLoss — are not.
+     */
+    bool retriable(ErrorCode code) const;
+
+    /**
+     * Simulated backoff before retry number @p retry (1-based):
+     * initialBackoffSec * backoffMultiplier^(retry-1), capped at
+     * maxBackoffSec. Deterministic — no jitter, so a retried sweep
+     * point reproduces byte-identically.
+     */
+    double backoffBeforeRetry(int retry) const;
+};
+
+namespace detail {
+
+/** Status of either a Status or a Result<T> return value. */
+inline const Status &
+statusOf(const Status &status)
+{
+    return status;
+}
+
+template <typename T>
+const Status &
+statusOf(const Result<T> &result)
+{
+    return result.status();
+}
+
+} // namespace detail
+
+/**
+ * Invoke @p fn (returning Status or Result<T>) under @p policy.
+ *
+ * Retries while the returned status is retriable and attempts remain;
+ * exhaustion of the retry budget returns the *last* error observed.
+ * The simulated backoff spent between attempts accumulates into
+ * @p backoff_sec_out (when non-null) so the caller can advance its
+ * simulated clock or charge a deadline.
+ */
+template <typename Fn>
+auto
+retryCall(const RetryPolicy &policy, Fn &&fn,
+          double *backoff_sec_out = nullptr) -> decltype(fn())
+{
+    mc_assert(policy.maxAttempts >= 1,
+              "retry policy needs at least one attempt");
+    double backoff = 0.0;
+    for (int attempt = 1;; ++attempt) {
+        auto result = fn();
+        const Status &status = detail::statusOf(result);
+        if (status.isOk() || attempt >= policy.maxAttempts ||
+            !policy.retriable(status.code())) {
+            if (backoff_sec_out)
+                *backoff_sec_out = backoff;
+            return result;
+        }
+        backoff += policy.backoffBeforeRetry(attempt);
+    }
+}
+
+} // namespace mc
+
+#endif // MC_COMMON_RETRY_HH

@@ -14,8 +14,36 @@ errorCodeName(ErrorCode code)
       case ErrorCode::NotFound: return "NotFound";
       case ErrorCode::FailedPrecondition: return "FailedPrecondition";
       case ErrorCode::Internal: return "Internal";
+      case ErrorCode::Unavailable: return "Unavailable";
+      case ErrorCode::DeadlineExceeded: return "DeadlineExceeded";
+      case ErrorCode::DataLoss: return "DataLoss";
     }
     return "Unknown";
+}
+
+bool
+errorCodeFromName(std::string_view name, ErrorCode &out)
+{
+    static constexpr ErrorCode codes[] = {
+        ErrorCode::Ok,
+        ErrorCode::InvalidArgument,
+        ErrorCode::Unsupported,
+        ErrorCode::OutOfMemory,
+        ErrorCode::ResourceExhausted,
+        ErrorCode::NotFound,
+        ErrorCode::FailedPrecondition,
+        ErrorCode::Internal,
+        ErrorCode::Unavailable,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::DataLoss,
+    };
+    for (ErrorCode code : codes) {
+        if (name == errorCodeName(code)) {
+            out = code;
+            return true;
+        }
+    }
+    return false;
 }
 
 std::string

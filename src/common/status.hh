@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "logging.hh"
@@ -30,10 +31,19 @@ enum class ErrorCode
     NotFound,           ///< lookup failed (instruction, counter, device)
     FailedPrecondition, ///< object is not in the state the call requires
     Internal,           ///< invariant violation surfaced as a status
+    Unavailable,        ///< transient failure; retrying may succeed
+    DeadlineExceeded,   ///< the operation overran its time budget
+    DataLoss,           ///< data was corrupted or lost (e.g. fatal ECC)
 };
 
 /** Human-readable name for an ErrorCode. */
 const char *errorCodeName(ErrorCode code);
+
+/**
+ * Inverse of errorCodeName (used when decoding persisted journals).
+ * Returns false and leaves @p out untouched for unknown names.
+ */
+bool errorCodeFromName(std::string_view name, ErrorCode &out);
 
 /**
  * Success-or-error result of an operation, carrying a message on failure.
@@ -93,6 +103,24 @@ class Status
     internal(std::string msg)
     {
         return Status(ErrorCode::Internal, std::move(msg));
+    }
+
+    static Status
+    unavailable(std::string msg)
+    {
+        return Status(ErrorCode::Unavailable, std::move(msg));
+    }
+
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return Status(ErrorCode::DeadlineExceeded, std::move(msg));
+    }
+
+    static Status
+    dataLoss(std::string msg)
+    {
+        return Status(ErrorCode::DataLoss, std::move(msg));
     }
 
     bool isOk() const { return _code == ErrorCode::Ok; }

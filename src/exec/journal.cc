@@ -1,0 +1,157 @@
+#include "journal.hh"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace exec {
+
+namespace {
+
+constexpr const char *formatTag = "mcchar sweep journal v1";
+
+std::string
+headerLine(const std::string &bench_name)
+{
+    return std::string("# ") + formatTag + " bench=" + bench_name;
+}
+
+/** Parse one record line; returns false (and warns) on malformed input. */
+bool
+parseRecord(const std::string &line, JournalEntry &entry)
+{
+    const std::size_t c1 = line.find(',');
+    if (c1 == std::string::npos)
+        return false;
+    const std::size_t c2 = line.find(',', c1 + 1);
+    if (c2 == std::string::npos)
+        return false;
+    const std::size_t c3 = line.find(',', c2 + 1);
+    if (c3 == std::string::npos)
+        return false;
+
+    const std::string_view index_text(line.data(), c1);
+    const auto [end, ec] = std::from_chars(
+        index_text.data(), index_text.data() + index_text.size(),
+        entry.index);
+    if (ec != std::errc{} || end != index_text.data() + index_text.size())
+        return false;
+
+    entry.key = line.substr(c1 + 1, c2 - c1 - 1);
+    if (!errorCodeFromName(
+            std::string_view(line).substr(c2 + 1, c3 - c2 - 1),
+            entry.code)) {
+        return false;
+    }
+    entry.payload = line.substr(c3 + 1);
+    return true;
+}
+
+} // namespace
+
+Result<SweepJournal>
+SweepJournal::create(const std::string &path,
+                     const std::string &bench_name)
+{
+    SweepJournal journal;
+    journal._path = path;
+    journal._bench = bench_name;
+    journal._mutex = std::make_shared<std::mutex>();
+    journal._out = std::make_shared<std::ofstream>(
+        path, std::ios::out | std::ios::trunc);
+    if (!*journal._out) {
+        return Status::invalidArgument(
+            "cannot create sweep journal at '" + path + "'");
+    }
+    *journal._out << headerLine(bench_name) << '\n';
+    journal._out->flush();
+    return journal;
+}
+
+Result<SweepJournal>
+SweepJournal::open(const std::string &path,
+                   const std::string &bench_name)
+{
+    std::ifstream in(path);
+    if (!in) {
+        return Status::notFound(
+            "sweep journal '" + path + "' does not exist");
+    }
+
+    SweepJournal journal;
+    journal._path = path;
+    journal._bench = bench_name;
+    journal._mutex = std::make_shared<std::mutex>();
+
+    std::string line;
+    if (!std::getline(in, line) || line != headerLine(bench_name)) {
+        return Status::failedPrecondition(
+            "'" + path + "' is not a journal of bench '" + bench_name +
+            "' (header: '" + line + "')");
+    }
+
+    std::size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        JournalEntry entry;
+        if (!parseRecord(line, entry)) {
+            // A truncated final line is the expected residue of a
+            // killed run; anything else is still not worth dying over.
+            logging::warn("skipping malformed journal record at ", path,
+                          ":", line_no);
+            continue;
+        }
+        journal._loaded[entry.index] = std::move(entry);
+    }
+
+    journal._out =
+        std::make_shared<std::ofstream>(path, std::ios::out |
+                                                  std::ios::app);
+    if (!*journal._out) {
+        return Status::invalidArgument(
+            "cannot append to sweep journal at '" + path + "'");
+    }
+    return journal;
+}
+
+void
+SweepJournal::record(const JournalEntry &entry)
+{
+    mc_assert(entry.key.find(',') == std::string::npos &&
+                  entry.key.find('\n') == std::string::npos,
+              "journal keys must not contain commas or newlines: ",
+              entry.key);
+    mc_assert(entry.payload.find('\n') == std::string::npos,
+              "journal payloads must not contain newlines");
+
+    std::ostringstream line;
+    line << entry.index << ',' << entry.key << ','
+         << errorCodeName(entry.code) << ',' << entry.payload << '\n';
+
+    std::lock_guard<std::mutex> lock(*_mutex);
+    *_out << line.str();
+    _out->flush();
+}
+
+const JournalEntry *
+SweepJournal::find(std::size_t index) const
+{
+    const auto it = _loaded.find(index);
+    return it == _loaded.end() ? nullptr : &it->second;
+}
+
+std::size_t
+SweepJournal::loadedOkCount() const
+{
+    std::size_t n = 0;
+    for (const auto &[index, entry] : _loaded)
+        n += entry.ok();
+    return n;
+}
+
+} // namespace exec
+} // namespace mc

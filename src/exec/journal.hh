@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Append-only sweep journal for checkpoint/resume.
+ *
+ * A long measurement campaign that dies at point 412 of 500 — node
+ * reclaimed, wall-clock limit, injected fault budget — should not cost
+ * the 411 finished points. Each completed point appends one CSV record
+ * to the journal as soon as its result is known; a later run opened
+ * with --resume replays the journal, re-executes only the points that
+ * are missing or recorded as failed, and (because every point's seeds
+ * derive from the stable (bench, key, rep) hash, not from execution
+ * order) produces output byte-identical to an uninterrupted run.
+ *
+ * Format — one record per line, split on the first three commas:
+ *
+ *     # mcchar sweep journal v1 bench=<bench_name>
+ *     <index>,<key>,<code>,<payload>
+ *
+ * index is the point's position in the sweep grid, key its stable
+ * name ("sgemm/4096"), code an ErrorCode name ("Ok", "OutOfMemory",
+ * ...), payload a bench-defined encoding of the point's result (it
+ * may itself contain commas, never newlines). Duplicate indices are
+ * legal; the last record wins — a resumed run simply appends fresh
+ * records for re-executed points. A truncated final line (crash mid-
+ * write) is skipped on load.
+ *
+ * Under --jobs N the journal's line *order* varies with scheduling,
+ * but the set of records is deterministic; only rendered stdout is
+ * held to the byte-identical standard (see docs/RESILIENCE.md).
+ */
+
+#ifndef MC_EXEC_JOURNAL_HH
+#define MC_EXEC_JOURNAL_HH
+
+#include <cstddef>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.hh"
+
+namespace mc {
+namespace exec {
+
+/** One journalled sweep point. */
+struct JournalEntry
+{
+    std::size_t index = 0; ///< position in the sweep grid
+    std::string key;       ///< stable point name, no commas/newlines
+    ErrorCode code = ErrorCode::Ok;
+    std::string payload;   ///< bench-defined; empty for failed points
+
+    bool ok() const { return code == ErrorCode::Ok; }
+};
+
+/**
+ * The append-only journal file. Writable from pool workers: record()
+ * serializes appends under a mutex and flushes each line, so a killed
+ * run loses at most the line being written.
+ */
+class SweepJournal
+{
+  public:
+    /** Start a fresh journal at @p path (truncates any existing file). */
+    static Result<SweepJournal> create(const std::string &path,
+                                       const std::string &bench_name);
+
+    /**
+     * Open an existing journal for resume: load its records (last
+     * entry per index wins), then append to it. Fails with NotFound
+     * when the file is missing and FailedPrecondition when its header
+     * names a different bench or format version.
+     */
+    static Result<SweepJournal> open(const std::string &path,
+                                     const std::string &bench_name);
+
+    /** Append one record (thread-safe, flushed immediately). */
+    void record(const JournalEntry &entry);
+
+    /** Loaded record for @p index, or null. Empty for created journals. */
+    const JournalEntry *find(std::size_t index) const;
+
+    /** Loaded records (distinct indices). */
+    std::size_t loadedCount() const { return _loaded.size(); }
+
+    /** Loaded records with code Ok. */
+    std::size_t loadedOkCount() const;
+
+    const std::string &path() const { return _path; }
+    const std::string &benchName() const { return _bench; }
+
+  private:
+    SweepJournal() = default;
+
+    std::string _path;
+    std::string _bench;
+    std::map<std::size_t, JournalEntry> _loaded;
+    // shared_ptr keeps the journal movable (Result requires it) while
+    // the mutex and stream stay put.
+    std::shared_ptr<std::ofstream> _out;
+    std::shared_ptr<std::mutex> _mutex;
+};
+
+} // namespace exec
+} // namespace mc
+
+#endif // MC_EXEC_JOURNAL_HH

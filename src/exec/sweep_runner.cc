@@ -25,5 +25,20 @@ SweepRunner::SweepRunner(std::string bench_name, int jobs)
     : _benchName(std::move(bench_name)), _jobs(std::max(1, jobs))
 {}
 
+Status
+SweepRunner::skippedPointStatus()
+{
+    return Status::resourceExhausted(
+        "point skipped: sweep point-failure budget exhausted");
+}
+
+bool
+SweepRunner::isSkippedPointStatus(const Status &status)
+{
+    const Status skipped = skippedPointStatus();
+    return status.code() == skipped.code() &&
+           status.message() == skipped.message();
+}
+
 } // namespace exec
 } // namespace mc

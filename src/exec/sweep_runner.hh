@@ -26,17 +26,29 @@
 #ifndef MC_EXEC_SWEEP_RUNNER_HH
 #define MC_EXEC_SWEEP_RUNNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <future>
+#include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "common/status.hh"
 #include "exec/thread_pool.hh"
 
 namespace mc {
 namespace exec {
+
+namespace detail {
+
+/** Internal sentinel thrown by points cancelled mid-map. */
+struct SweepCancelled
+{};
+
+} // namespace detail
 
 /**
  * Derive a noise seed from (bench name, point key, repetition).
@@ -47,6 +59,19 @@ namespace exec {
 std::uint64_t deriveSeed(std::string_view bench_name,
                          std::string_view point_key,
                          std::uint64_t repetition);
+
+/**
+ * Outcome bookkeeping of the most recent map()/mapResult() call.
+ */
+struct SweepStats
+{
+    /** Points whose Result came back as an error (mapResult only). */
+    std::size_t failed = 0;
+    /** Points never run: cancelled by a failure or a blown budget. */
+    std::size_t skipped = 0;
+    /** True when the failure budget cancelled the tail of the sweep. */
+    bool budgetExhausted = false;
+};
 
 /**
  * Fans the points of one sweep across a worker pool.
@@ -78,8 +103,14 @@ class SweepRunner
      * index order. With jobs > 1 the calls run concurrently on a
      * fixed-size pool; @p fn must therefore not touch shared mutable
      * state (build per-point Runtime / engine instances inside it).
-     * The first exception (by point index) is rethrown after all
-     * points finish.
+     *
+     * Abort-on-error with fast cancel: the first exception flips a
+     * stop flag that every not-yet-started point checks before running,
+     * so a failure near the front of a long sweep does not burn hours
+     * simulating points whose output will be discarded. The first
+     * exception (by point index, among points that ran) is rethrown
+     * after in-flight points finish; lastStats().skipped reports how
+     * many points the cancellation spared.
      */
     template <typename Fn>
     auto
@@ -87,31 +118,152 @@ class SweepRunner
         -> std::vector<decltype(fn(std::size_t{}))>
     {
         using R = decltype(fn(std::size_t{}));
+        _lastStats = SweepStats{};
         std::vector<R> results;
         results.reserve(count);
 
         if (_jobs <= 1 || count <= 1) {
-            for (std::size_t i = 0; i < count; ++i)
-                results.push_back(fn(i));
+            for (std::size_t i = 0; i < count; ++i) {
+                try {
+                    results.push_back(fn(i));
+                } catch (...) {
+                    _lastStats.skipped = count - i - 1;
+                    throw;
+                }
+            }
             return results;
         }
 
         ThreadPool pool(static_cast<int>(
             std::min<std::size_t>(static_cast<std::size_t>(_jobs), count)));
+        auto cancelled = std::make_shared<std::atomic<bool>>(false);
         std::vector<std::future<R>> futures;
         futures.reserve(count);
-        for (std::size_t i = 0; i < count; ++i)
-            futures.push_back(pool.submit([&fn, i]() { return fn(i); }));
+        for (std::size_t i = 0; i < count; ++i) {
+            futures.push_back(pool.submit([&fn, i, cancelled]() -> R {
+                if (cancelled->load(std::memory_order_acquire))
+                    throw detail::SweepCancelled{};
+                try {
+                    return fn(i);
+                } catch (...) {
+                    cancelled->store(true, std::memory_order_release);
+                    throw;
+                }
+            }));
+        }
         // get() in index order: results stay ordered and the lowest-
         // index failure is the one reported, independent of timing.
-        for (std::future<R> &future : futures)
-            results.push_back(future.get());
+        std::exception_ptr first_error;
+        for (std::future<R> &future : futures) {
+            try {
+                results.push_back(future.get());
+            } catch (const detail::SweepCancelled &) {
+                ++_lastStats.skipped;
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
         return results;
     }
 
+    /**
+     * Fault-isolating variant of map(): @p fn returns Result<T>, and a
+     * failed point is a *value* in the returned vector, not the end of
+     * the sweep. Once more than @p max_failures points have failed the
+     * remaining unstarted points are cancelled — each reports
+     * ResourceExhausted — and lastStats().budgetExhausted is set, so a
+     * systematic fault (every point OOMs) cannot waste a cluster
+     * allocation; occasional transient faults cost only their own
+     * points.
+     *
+     * Which points get cancelled when the budget trips under jobs > 1
+     * depends on scheduling; callers treat a blown budget as a fatal
+     * outcome (nonzero exit), so the determinism contract only covers
+     * sweeps whose failure count stays within budget.
+     */
+    template <typename Fn>
+    auto
+    mapResult(std::size_t count, Fn &&fn,
+              std::size_t max_failures =
+                  std::numeric_limits<std::size_t>::max())
+        -> std::vector<decltype(fn(std::size_t{}))>
+    {
+        using R = decltype(fn(std::size_t{}));
+        _lastStats = SweepStats{};
+        std::vector<R> results;
+        results.reserve(count);
+
+        if (_jobs <= 1 || count <= 1) {
+            std::size_t failed = 0;
+            for (std::size_t i = 0; i < count; ++i) {
+                if (failed > max_failures) {
+                    results.push_back(R(skippedPointStatus()));
+                    ++_lastStats.skipped;
+                    continue;
+                }
+                results.push_back(fn(i));
+                if (!results.back().isOk())
+                    ++failed;
+            }
+            _lastStats.failed = failed;
+            _lastStats.budgetExhausted = failed > max_failures;
+            return results;
+        }
+
+        ThreadPool pool(static_cast<int>(
+            std::min<std::size_t>(static_cast<std::size_t>(_jobs), count)));
+        auto failed = std::make_shared<std::atomic<std::size_t>>(0);
+        auto skipped = std::make_shared<std::atomic<std::size_t>>(0);
+        auto cancelled = std::make_shared<std::atomic<bool>>(false);
+        std::vector<std::future<R>> futures;
+        futures.reserve(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            futures.push_back(pool.submit(
+                [&fn, i, max_failures, failed, skipped, cancelled]() -> R {
+                    if (cancelled->load(std::memory_order_acquire)) {
+                        skipped->fetch_add(1, std::memory_order_relaxed);
+                        return R(skippedPointStatus());
+                    }
+                    R r = fn(i);
+                    if (!r.isOk()) {
+                        const std::size_t now =
+                            failed->fetch_add(1,
+                                              std::memory_order_acq_rel) + 1;
+                        if (now > max_failures)
+                            cancelled->store(true,
+                                             std::memory_order_release);
+                    }
+                    return r;
+                }));
+        }
+        for (std::future<R> &future : futures)
+            results.push_back(future.get());
+        _lastStats.failed = failed->load();
+        _lastStats.skipped = skipped->load();
+        _lastStats.budgetExhausted = cancelled->load();
+        return results;
+    }
+
+    /** Bookkeeping of the most recent map()/mapResult() call. */
+    const SweepStats &lastStats() const { return _lastStats; }
+
+    /**
+     * True when @p status is the marker mapResult() gives points it
+     * skipped after the failure budget blew (as opposed to a point
+     * that ran and failed on its own).
+     */
+    static bool isSkippedPointStatus(const Status &status);
+
   private:
+    /** Status given to points cancelled by a blown failure budget. */
+    static Status skippedPointStatus();
+
     std::string _benchName;
     int _jobs;
+    SweepStats _lastStats;
 };
 
 } // namespace exec

@@ -1,0 +1,175 @@
+#include "injector.hh"
+
+#include <charconv>
+#include <cstdio>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace mc {
+namespace fault {
+
+namespace {
+
+/** --inject key for each site, in FaultSite order. */
+constexpr const char *siteKeys[numFaultSites] = {
+    "oom",         // HbmAlloc
+    "hip",         // HipApi
+    "ecc",         // EccCorrectable
+    "ecc_fatal",   // EccUncorrectable
+    "throttle",    // Throttle
+    "hang",        // Hang
+    "smi_dropout", // SmiDropout
+    "smi_stale",   // SmiStale
+};
+
+} // namespace
+
+const char *
+faultSiteName(FaultSite site)
+{
+    const int idx = static_cast<int>(site);
+    mc_assert(idx >= 0 && idx < numFaultSites, "invalid FaultSite");
+    return siteKeys[idx];
+}
+
+bool
+FaultSpec::any() const
+{
+    for (double p : probabilities)
+        if (p > 0.0)
+            return true;
+    return false;
+}
+
+std::string
+FaultSpec::toString() const
+{
+    std::string out;
+    for (int i = 0; i < numFaultSites; ++i) {
+        if (probabilities[i] <= 0.0)
+            continue;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : ",",
+                      siteKeys[i], probabilities[i]);
+        out += buf;
+    }
+    return out;
+}
+
+Result<FaultSpec>
+parseFaultSpec(std::string_view text)
+{
+    FaultSpec spec;
+    while (!text.empty()) {
+        const std::size_t comma = text.find(',');
+        std::string_view entry = text.substr(0, comma);
+        text = comma == std::string_view::npos
+                   ? std::string_view{}
+                   : text.substr(comma + 1);
+        if (entry.empty())
+            continue;
+
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string_view::npos) {
+            return Status::invalidArgument(
+                "fault spec entry '" + std::string(entry) +
+                "' is not key=probability");
+        }
+        const std::string_view key = entry.substr(0, eq);
+        const std::string_view val = entry.substr(eq + 1);
+
+        int site = -1;
+        for (int i = 0; i < numFaultSites; ++i) {
+            if (key == siteKeys[i]) {
+                site = i;
+                break;
+            }
+        }
+        if (site < 0) {
+            return Status::invalidArgument(
+                "unknown fault site '" + std::string(key) +
+                "' (expected one of oom, hip, ecc, ecc_fatal, throttle, "
+                "hang, smi_dropout, smi_stale)");
+        }
+
+        double p = 0.0;
+        const auto [end, ec] =
+            std::from_chars(val.data(), val.data() + val.size(), p);
+        if (ec != std::errc{} || end != val.data() + val.size()) {
+            return Status::invalidArgument(
+                "fault probability '" + std::string(val) +
+                "' for '" + std::string(key) + "' is not a number");
+        }
+        if (!(p >= 0.0 && p <= 1.0)) {
+            return Status::invalidArgument(
+                "fault probability for '" + std::string(key) +
+                "' must be in [0, 1], got " + std::string(val));
+        }
+        spec.probabilities[site] = p;
+    }
+    return spec;
+}
+
+Injector::Injector(const FaultSpec &spec, std::uint64_t seed)
+    : _spec(spec), _enabled(spec.any())
+{
+    reseed(seed);
+}
+
+void
+Injector::reseed(std::uint64_t seed)
+{
+    // Each site gets an independent stream so decisions at one site
+    // (e.g. thousands of SMI polls) never perturb another's sequence.
+    for (int i = 0; i < numFaultSites; ++i)
+        _rngs[i] = Rng(mix64(hashCombine(seed, std::uint64_t(i) + 1)));
+    _draws.fill(0);
+    _fired.fill(0);
+}
+
+bool
+Injector::fire(FaultSite site)
+{
+    if (!_enabled)
+        return false;
+    const int idx = static_cast<int>(site);
+    const double p = _spec.probabilities[idx];
+    if (p <= 0.0)
+        return false;
+    ++_draws[idx];
+    const bool hit = _rngs[idx].nextDouble() < p;
+    if (hit)
+        ++_fired[idx];
+    return hit;
+}
+
+std::uint64_t
+Injector::drawsAt(FaultSite site) const
+{
+    return _draws[static_cast<int>(site)];
+}
+
+std::uint64_t
+Injector::firedAt(FaultSite site) const
+{
+    return _fired[static_cast<int>(site)];
+}
+
+std::uint64_t
+Injector::firedTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : _fired)
+        total += n;
+    return total;
+}
+
+std::uint64_t
+faultSeed(std::uint64_t point_seed)
+{
+    return mix64(hashCombine(point_seed, hashString("mc.fault")));
+}
+
+} // namespace fault
+} // namespace mc

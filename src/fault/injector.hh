@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection.
+ *
+ * The paper's methodology is built on long unattended measurement
+ * campaigns — >= 1000 SMI power samples per kernel, GEMM sweeps to
+ * N = 65536 that end in genuine device-memory exhaustion. Real
+ * campaigns on real machines also see *transient* trouble: sensor
+ * polls that return nothing, allocations that fail once and succeed on
+ * retry, thermal-throttle episodes, the occasional ECC event. This
+ * module simulates that trouble so the layers above it can be tested
+ * for graceful degradation.
+ *
+ * Determinism contract: every injection decision is drawn from a
+ * per-site xoshiro256** stream derived (splitmix64) from one 64-bit
+ * seed. A sweep point that owns its injector and seeds it from the
+ * sweep engine's (bench, point, repetition) hash therefore sees the
+ * same faults at --jobs 8 as at --jobs 1 — faulted runs stay
+ * byte-identical across job counts, exactly like measurement noise
+ * (see docs/SWEEP_ENGINE.md and docs/RESILIENCE.md).
+ */
+
+#ifndef MC_FAULT_INJECTOR_HH
+#define MC_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/random.hh"
+#include "common/status.hh"
+
+namespace mc {
+namespace fault {
+
+/** Places in the stack where a fault can be injected. */
+enum class FaultSite
+{
+    HbmAlloc,     ///< hip::Runtime::malloc — transient allocation failure
+    HipApi,       ///< hip::Runtime launch paths — transient API error
+    EccCorrectable,   ///< sim device — correctable ECC event (scrub stall)
+    EccUncorrectable, ///< sim device — uncorrectable ECC event (DataLoss)
+    Throttle,     ///< sim device — thermal-throttle episode
+    Hang,         ///< sim device — kernel wedges (deadline test)
+    SmiDropout,   ///< smi sampler — poll returns no sample
+    SmiStale,     ///< smi sensor — poll repeats the previous reading
+};
+
+/** Number of FaultSite values. */
+inline constexpr int numFaultSites = 8;
+
+/** Human-readable site name (matches the --inject key). */
+const char *faultSiteName(FaultSite site);
+
+/**
+ * Per-site fault probabilities, all in [0, 1] per opportunity.
+ *
+ * An "opportunity" is one visit to the site: one malloc call, one
+ * kernel launch, one sampler poll.
+ */
+struct FaultSpec
+{
+    double probabilities[numFaultSites] = {};
+
+    double
+    probability(FaultSite site) const
+    {
+        return probabilities[static_cast<int>(site)];
+    }
+
+    void
+    setProbability(FaultSite site, double p)
+    {
+        probabilities[static_cast<int>(site)] = p;
+    }
+
+    /** True when any site has a nonzero probability. */
+    bool any() const;
+
+    /** Canonical "key=value,..." form (omits zero entries). */
+    std::string toString() const;
+};
+
+/**
+ * Parse an --inject specification, e.g.
+ * "ecc=1e-3,oom=0.01,smi_dropout=0.05".
+ *
+ * Keys: oom, hip, ecc, ecc_fatal, throttle, hang, smi_dropout,
+ * smi_stale. Values must parse as doubles in [0, 1]. The empty string
+ * yields an all-zero spec. Unknown keys and out-of-range values are
+ * InvalidArgument.
+ */
+Result<FaultSpec> parseFaultSpec(std::string_view text);
+
+/**
+ * Draws injection decisions from deterministic per-site streams.
+ *
+ * One injector belongs to one sweep point (like the device's noise
+ * stream): sites hold a raw pointer to it via sim::SimOptions, so the
+ * owner must outlive the devices and sensors it is wired into, and a
+ * shared device must not be driven from several threads with one
+ * injector. A default-constructed injector is disabled and never
+ * fires.
+ */
+class Injector
+{
+  public:
+    /** A disabled injector: every fire() is false, no state advances. */
+    Injector() = default;
+
+    /** Inject per @p spec, streams derived from @p seed. */
+    Injector(const FaultSpec &spec, std::uint64_t seed);
+
+    /** Restart every site stream from @p seed (same derivation). */
+    void reseed(std::uint64_t seed);
+
+    /** True when constructed with a spec that can fire. */
+    bool enabled() const { return _enabled; }
+
+    const FaultSpec &spec() const { return _spec; }
+
+    /**
+     * Draw the next decision at @p site: true with the site's
+     * configured probability. Advances only that site's stream, so
+     * e.g. extra sampler polls never shift allocation decisions.
+     */
+    bool fire(FaultSite site);
+
+    /** Decisions drawn at @p site so far. */
+    std::uint64_t drawsAt(FaultSite site) const;
+
+    /** Faults injected at @p site so far. */
+    std::uint64_t firedAt(FaultSite site) const;
+
+    /** Total faults injected across all sites. */
+    std::uint64_t firedTotal() const;
+
+  private:
+    FaultSpec _spec;
+    std::array<Rng, numFaultSites> _rngs;
+    std::array<std::uint64_t, numFaultSites> _draws = {};
+    std::array<std::uint64_t, numFaultSites> _fired = {};
+    bool _enabled = false;
+};
+
+/**
+ * Derive the injection seed for one sweep point from the sweep
+ * engine's point seed. Salted so the fault streams are independent of
+ * the measurement-noise stream seeded from the same point hash.
+ */
+std::uint64_t faultSeed(std::uint64_t point_seed);
+
+} // namespace fault
+} // namespace mc
+
+#endif // MC_FAULT_INJECTOR_HH

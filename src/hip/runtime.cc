@@ -45,6 +45,18 @@ Runtime::malloc(int device, std::size_t bytes, bool materialize)
 {
     mc_assert(device >= 0 && device < deviceCount(),
               "device ", device, " out of range");
+
+    // A transient allocation failure (fragmentation, a neighbour
+    // briefly holding pages) is Unavailable — retriable — unlike the
+    // genuine capacity exhaustion below, which no retry can fix.
+    fault::Injector *faults = _gpu.options().faults;
+    if (faults && faults->fire(fault::FaultSite::HbmAlloc)) {
+        std::ostringstream msg;
+        msg << "transient allocation failure of " << bytes
+            << " bytes on device " << device << " (injected)";
+        return Status::unavailable(msg.str());
+    }
+
     const std::size_t capacity = _gpu.calibration().hbmBytesPerGcd;
     if (_allocatedPerDevice[device] + bytes > capacity) {
         std::ostringstream msg;
@@ -119,11 +131,29 @@ Runtime::bufferBytes(BufferId buffer) const
     return lookup(buffer).bytes;
 }
 
+bool
+Runtime::injectLaunchFault(const sim::KernelProfile &profile,
+                           sim::KernelResult &result)
+{
+    fault::Injector *faults = _gpu.options().faults;
+    if (!faults || !faults->fire(fault::FaultSite::HipApi))
+        return false;
+    // The launch call itself failed (transient runtime error); the
+    // kernel never ran, so no timeline advances and no power is drawn.
+    result = sim::KernelResult{};
+    result.label = profile.label;
+    result.fault = ErrorCode::Unavailable;
+    return true;
+}
+
 sim::KernelResult
 Runtime::launch(const sim::KernelProfile &profile, int device)
 {
     mc_assert(device >= 0 && device < deviceCount(),
               "device ", device, " out of range");
+    sim::KernelResult faulted;
+    if (injectLaunchFault(profile, faulted))
+        return faulted;
     return _gpu.runOnGcd(profile, device);
 }
 
@@ -131,6 +161,9 @@ sim::KernelResult
 Runtime::launchMulti(const sim::KernelProfile &profile,
                      const std::vector<int> &devices)
 {
+    sim::KernelResult faulted;
+    if (injectLaunchFault(profile, faulted))
+        return faulted;
     return _gpu.run(profile, devices);
 }
 
@@ -139,6 +172,9 @@ Runtime::launchAsync(const sim::KernelProfile &profile, int device)
 {
     mc_assert(device >= 0 && device < deviceCount(),
               "device ", device, " out of range");
+    sim::KernelResult faulted;
+    if (injectLaunchFault(profile, faulted))
+        return faulted;
     sim::KernelResult result = _gpu.measureKernel(profile);
     result.startSec = _deviceTailSec[device];
     result.endSec = result.startSec + result.seconds;

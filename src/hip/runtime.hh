@@ -152,6 +152,14 @@ class Runtime
     float eventElapsedMs(const Event &start, const Event &stop) const;
 
   private:
+    /**
+     * When the launch-site injector fires, fill @p result with a
+     * zero-cost Unavailable outcome and return true (the kernel did
+     * not run).
+     */
+    bool injectLaunchFault(const sim::KernelProfile &profile,
+                           sim::KernelResult &result);
+
     struct Allocation
     {
         int device = 0;

@@ -8,6 +8,22 @@
 namespace mc {
 namespace sim {
 
+namespace {
+
+/**
+ * Magnitudes of the injected hardware events. An injected throttle
+ * episode models the package governor clamping harder than the
+ * steady-state Eq. 3 prediction (hot ambient, neighbouring accelerator
+ * on the same blade); a correctable ECC event stalls the kernel for a
+ * scrub; a hung kernel never finishes on its own, so its simulated
+ * duration is large enough to trip any sensible deadline.
+ */
+constexpr double throttleClockScale = 0.8;
+constexpr double eccScrubStallSec = 25.0e-6;
+constexpr double hungKernelSec = 1.0e9;
+
+} // namespace
+
 std::uint64_t
 schedulePhases(std::uint64_t wavefronts, std::uint64_t slots)
 {
@@ -160,6 +176,14 @@ Mi250x::run(const KernelProfile &profile, const std::vector<int> &gcds)
         }
     }
 
+    fault::Injector *faults = _opts.faults;
+    if (faults && faults->fire(fault::FaultSite::Throttle)) {
+        // An injected thermal episode: the governor clamps below its
+        // steady-state Eq. 3 operating point for this kernel.
+        throttled = true;
+        clock_scale *= throttleClockScale;
+    }
+
     double busy = gcdBusySeconds(profile, _cal.clockHz * clock_scale,
                                  &phases) + launch;
 
@@ -168,6 +192,11 @@ Mi250x::run(const KernelProfile &profile, const std::vector<int> &gcds)
             1.0 + _opts.noiseSigma * _noise.nextGaussian();
         busy *= std::max(0.5, factor);
     }
+
+    if (faults && faults->fire(fault::FaultSite::EccCorrectable))
+        busy += eccScrubStallSec;
+    if (faults && faults->fire(fault::FaultSite::Hang))
+        busy = hungKernelSec;
 
     KernelResult result;
     result.label = profile.label;
@@ -188,6 +217,9 @@ Mi250x::run(const KernelProfile &profile, const std::vector<int> &gcds)
 
     result.avgPowerW =
         _power.activeWatts(dom, active_gcds, result.throughput());
+
+    if (faults && faults->fire(fault::FaultSite::EccUncorrectable))
+        result.fault = ErrorCode::DataLoss;
 
     _trace.addSegment(result.startSec, result.endSec, result.avgPowerW);
     _timelineSec = result.endSec;
@@ -211,14 +243,31 @@ Mi250x::measureKernel(const KernelProfile &profile, Rng &noise) const
 {
     const arch::DataType dom = profile.dominantType();
 
+    // The injector pointer lives in the (const) options, but drawing
+    // from it mutates its streams: callers sharing a const device
+    // across threads must leave opts.faults null (sweeps wire the
+    // injector into per-point devices instead).
+    fault::Injector *faults = _opts.faults;
+    bool throttled = false;
+    double clock_hz = _cal.clockHz;
+    if (faults && faults->fire(fault::FaultSite::Throttle)) {
+        throttled = true;
+        clock_hz *= throttleClockScale;
+    }
+
     std::uint64_t phases = 1;
-    double busy = gcdBusySeconds(profile, _cal.clockHz, &phases) +
+    double busy = gcdBusySeconds(profile, clock_hz, &phases) +
                   _cal.launchLatencySec;
     if (_opts.enableNoise && _opts.noiseSigma > 0.0) {
         const double factor =
             1.0 + _opts.noiseSigma * noise.nextGaussian();
         busy *= std::max(0.5, factor);
     }
+
+    if (faults && faults->fire(fault::FaultSite::EccCorrectable))
+        busy += eccScrubStallSec;
+    if (faults && faults->fire(fault::FaultSite::Hang))
+        busy = hungKernelSec;
 
     KernelResult result;
     result.label = profile.label;
@@ -227,10 +276,13 @@ Mi250x::measureKernel(const KernelProfile &profile, Rng &noise) const
     result.mfmaFlops = profile.mfmaFlops();
     result.simdFlops = profile.simdFlops();
     result.counters = profile.expectedCounters();
-    result.effClockHz = _cal.clockHz;
+    result.effClockHz = clock_hz;
+    result.throttled = throttled;
     result.phases = phases;
     result.activeGcds = 1;
     result.avgPowerW = _power.activeWatts(dom, 1, result.throughput());
+    if (faults && faults->fire(fault::FaultSite::EccUncorrectable))
+        result.fault = ErrorCode::DataLoss;
     return result;
 }
 

@@ -28,6 +28,8 @@
 
 #include "arch/calibration.hh"
 #include "common/random.hh"
+#include "common/status.hh"
+#include "fault/injector.hh"
 #include "sim/counters.hh"
 #include "sim/kernel.hh"
 #include "sim/power.hh"
@@ -46,6 +48,14 @@ struct SimOptions
     bool enableDvfs = true;
     /** Seed of the measurement-noise stream. */
     std::uint64_t noiseSeed = 0x6d6331;
+    /**
+     * Optional fault injector (not owned; must outlive the device).
+     * Null disables injection. The injector is stateful: a device
+     * wired to one must not be driven from several threads, so sweeps
+     * give each point its own device + injector (see
+     * docs/RESILIENCE.md).
+     */
+    fault::Injector *faults = nullptr;
 };
 
 /** Outcome of one kernel execution on the simulated device. */
@@ -69,6 +79,16 @@ struct KernelResult
     /** Wavefront execution phases (ceil(N_WF / matrix cores)). */
     std::uint64_t phases = 1;
     int activeGcds = 1;
+
+    /**
+     * Ok for a clean run; an error code when a fault fired during
+     * execution (e.g. DataLoss for an uncorrectable ECC event). The
+     * timing fields still describe the (wasted) execution.
+     */
+    ErrorCode fault = ErrorCode::Ok;
+
+    /** True when the result is usable (no fault fired). */
+    bool ok() const { return fault == ErrorCode::Ok; }
 
     /** Total delivered FLOP/s. */
     double throughput() const

@@ -21,6 +21,13 @@ PowerSensor::PowerSensor(const sim::PowerSource &trace,
 double
 PowerSensor::averagePower(double t)
 {
+    // A stale read repeats the previous value verbatim: the firmware
+    // failed to refresh its rolling average before the poll.
+    if (_faults && _hasLast &&
+        _faults->fire(fault::FaultSite::SmiStale)) {
+        return _lastWatts;
+    }
+
     const double start = std::max(0.0, t - _windowSec);
     double watts = (t > start) ? _trace.averageWatts(start, t)
                                : _trace.wattsAt(t);
@@ -28,7 +35,10 @@ PowerSensor::averagePower(double t)
         watts += _noiseWatts * _rng.nextGaussian();
     // The SMI reports power in units of 1/256 W.
     watts = std::round(watts * 256.0) / 256.0;
-    return std::max(0.0, watts);
+    watts = std::max(0.0, watts);
+    _lastWatts = watts;
+    _hasLast = true;
+    return watts;
 }
 
 PowerSampler::PowerSampler(PowerSensor &sensor, double period_sec)
@@ -47,6 +57,12 @@ PowerSampler::sampleInterval(double start_sec, double end_sec)
         const double t = start_sec + static_cast<double>(i) * _periodSec;
         if (t >= end_sec)
             break;
+        // A dropped poll: the rsmi call failed, the loop records
+        // nothing for this period and moves on.
+        if (_faults && _faults->fire(fault::FaultSite::SmiDropout)) {
+            ++_droppedPolls;
+            continue;
+        }
         samples.push_back(PowerSample{t, _sensor.averagePower(t)});
     }
     return samples;
@@ -93,23 +109,44 @@ PmCounters::averageWatts(double start_sec, double end_sec) const
     return (e1 - e0) / span;
 }
 
-double
+Result<double>
 meanWatts(const std::vector<PowerSample> &samples)
 {
-    mc_assert(!samples.empty(), "mean of an empty sample set");
+    if (samples.empty()) {
+        return Status::unavailable(
+            "no power samples (every poll dropped?)");
+    }
     double sum = 0.0;
     for (const auto &s : samples)
         sum += s.watts;
     return sum / static_cast<double>(samples.size());
 }
 
-double
+Result<double>
 efficiencyFlopsPerWatt(double flops_per_sec,
                        const std::vector<PowerSample> &samples)
 {
-    const double watts = meanWatts(samples);
-    mc_assert(watts > 0.0, "efficiency requires positive power");
-    return flops_per_sec / watts;
+    const Result<double> watts = meanWatts(samples);
+    if (!watts.isOk())
+        return watts.status();
+    if (watts.value() <= 0.0) {
+        return Status::failedPrecondition(
+            "efficiency requires positive power");
+    }
+    return flops_per_sec / watts.value();
+}
+
+double
+meanWattsOrEnergy(const std::vector<PowerSample> &samples,
+                  const PmCounters &counters, double start_sec,
+                  double end_sec)
+{
+    const Result<double> watts = meanWatts(samples);
+    if (watts.isOk())
+        return watts.value();
+    logging::warn("SMI sample set empty over [", start_sec, ", ",
+                  end_sec, ") s; falling back to pm_counters energy");
+    return counters.averageWatts(start_sec, end_sec);
 }
 
 } // namespace smi

@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "common/random.hh"
+#include "common/status.hh"
+#include "fault/injector.hh"
 #include "sim/power.hh"
 
 namespace mc {
@@ -53,14 +55,24 @@ class PowerSensor
      * Average power reported when polled at simulated time @p t: the
      * trace averaged over the trailing window, plus read noise,
      * quantized to the SMI's 1/256 W resolution.
+     *
+     * With a fault injector attached, a poll may return a *stale*
+     * reading: the firmware hands back the previous value instead of
+     * refreshing — a real rsmi failure mode under load.
      */
     double averagePower(double t);
+
+    /** Attach @p faults (not owned, may be null) for stale-read injection. */
+    void setFaultInjector(fault::Injector *faults) { _faults = faults; }
 
   private:
     const sim::PowerSource &_trace;
     double _windowSec;
     double _noiseWatts;
     Rng _rng;
+    fault::Injector *_faults = nullptr;
+    double _lastWatts = 0.0;
+    bool _hasLast = false;
 };
 
 /**
@@ -75,15 +87,31 @@ class PowerSampler
      */
     PowerSampler(PowerSensor &sensor, double period_sec = 0.1);
 
-    /** Poll over [start, end), one sample per period. */
+    /**
+     * Poll over [start, end), one sample per period.
+     *
+     * With a fault injector attached, individual polls may be dropped
+     * (the rsmi call fails and the loop records nothing for that
+     * period) — with a high enough dropout rate over a short kernel
+     * the sample set can come back empty, which is why the reductions
+     * below return Result rather than asserting.
+     */
     std::vector<PowerSample> sampleInterval(double start_sec,
                                             double end_sec);
 
     double periodSec() const { return _periodSec; }
 
+    /** Attach @p faults (not owned, may be null) for dropped-poll injection. */
+    void setFaultInjector(fault::Injector *faults) { _faults = faults; }
+
+    /** Polls dropped by injection since construction. */
+    std::uint64_t droppedPolls() const { return _droppedPolls; }
+
   private:
     PowerSensor &_sensor;
     double _periodSec;
+    fault::Injector *_faults = nullptr;
+    std::uint64_t _droppedPolls = 0;
 };
 
 /**
@@ -126,15 +154,29 @@ class PmCounters
     double _periodSec;
 };
 
-/** Mean of the sampled watts; fatal on an empty sample set. */
-double meanWatts(const std::vector<PowerSample> &samples);
+/**
+ * Mean of the sampled watts; Unavailable when the sample set is empty
+ * (every poll dropped — degrade, don't die, per docs/RESILIENCE.md).
+ */
+Result<double> meanWatts(const std::vector<PowerSample> &samples);
 
 /**
  * Power efficiency in FLOP/s per watt given delivered throughput and
- * samples (the paper's performance-per-watt metric).
+ * samples (the paper's performance-per-watt metric). Unavailable when
+ * @p samples is empty; FailedPrecondition when mean power is zero.
  */
-double efficiencyFlopsPerWatt(double flops_per_sec,
-                              const std::vector<PowerSample> &samples);
+Result<double> efficiencyFlopsPerWatt(
+    double flops_per_sec, const std::vector<PowerSample> &samples);
+
+/**
+ * meanWatts with the paper's cross-instrument fallback: when the SMI
+ * sample set is empty, derive average power from the pm_counters
+ * energy accounting over [start, end) instead — the cross-validation
+ * instrument doubling as a backup.
+ */
+double meanWattsOrEnergy(const std::vector<PowerSample> &samples,
+                         const PmCounters &counters, double start_sec,
+                         double end_sec);
 
 } // namespace smi
 } // namespace mc

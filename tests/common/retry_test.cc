@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests of RetryPolicy: the deterministic backoff sequence, the
+ * retriable-code set, and retryCall's budget/last-error semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/retry.hh"
+
+namespace mc {
+namespace {
+
+TEST(RetryPolicy, BackoffSequenceIsExponentialAndCapped)
+{
+    RetryPolicy policy;
+    policy.initialBackoffSec = 0.05;
+    policy.backoffMultiplier = 2.0;
+    policy.maxBackoffSec = 0.3;
+
+    EXPECT_DOUBLE_EQ(policy.backoffBeforeRetry(1), 0.05);
+    EXPECT_DOUBLE_EQ(policy.backoffBeforeRetry(2), 0.1);
+    EXPECT_DOUBLE_EQ(policy.backoffBeforeRetry(3), 0.2);
+    EXPECT_DOUBLE_EQ(policy.backoffBeforeRetry(4), 0.3); // capped
+    EXPECT_DOUBLE_EQ(policy.backoffBeforeRetry(9), 0.3);
+}
+
+TEST(RetryPolicy, BackoffIsDeterministic)
+{
+    RetryPolicy a, b;
+    for (int retry = 1; retry < 8; ++retry)
+        EXPECT_DOUBLE_EQ(a.backoffBeforeRetry(retry),
+                         b.backoffBeforeRetry(retry));
+}
+
+TEST(RetryPolicy, RetriableCodes)
+{
+    const RetryPolicy policy;
+    EXPECT_TRUE(policy.retriable(ErrorCode::Unavailable));
+    EXPECT_TRUE(policy.retriable(ErrorCode::DeadlineExceeded));
+    EXPECT_TRUE(policy.retriable(ErrorCode::ResourceExhausted));
+
+    EXPECT_FALSE(policy.retriable(ErrorCode::Ok));
+    EXPECT_FALSE(policy.retriable(ErrorCode::InvalidArgument));
+    EXPECT_FALSE(policy.retriable(ErrorCode::OutOfMemory));
+    EXPECT_FALSE(policy.retriable(ErrorCode::DataLoss));
+    EXPECT_FALSE(policy.retriable(ErrorCode::Internal));
+}
+
+TEST(RetryCall, SucceedsAfterTransientFailures)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+
+    int calls = 0;
+    double backoff = 0.0;
+    const Result<int> r = retryCall(
+        policy,
+        [&]() -> Result<int> {
+            if (++calls < 3)
+                return Status::unavailable("flaky");
+            return 42;
+        },
+        &backoff);
+
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(calls, 3);
+    // Two retries: initial + initial * multiplier.
+    EXPECT_DOUBLE_EQ(backoff, policy.backoffBeforeRetry(1) +
+                                  policy.backoffBeforeRetry(2));
+}
+
+TEST(RetryCall, ExhaustionReturnsLastError)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 3;
+
+    int calls = 0;
+    const Result<int> r =
+        retryCall(policy, [&]() -> Result<int> {
+            ++calls;
+            if (calls < 3)
+                return Status::unavailable("early");
+            return Status::deadlineExceeded("late");
+        });
+
+    EXPECT_EQ(calls, 3);
+    ASSERT_FALSE(r.isOk());
+    // The *last* error is reported, not the first.
+    EXPECT_EQ(r.status().code(), ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(r.status().message(), "late");
+}
+
+TEST(RetryCall, NonRetriableErrorReturnsImmediately)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+
+    int calls = 0;
+    double backoff = -1.0;
+    const Result<int> r = retryCall(
+        policy,
+        [&]() -> Result<int> {
+            ++calls;
+            return Status::outOfMemory("operands exceed HBM");
+        },
+        &backoff);
+
+    EXPECT_EQ(calls, 1);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::OutOfMemory);
+    EXPECT_DOUBLE_EQ(backoff, 0.0);
+}
+
+TEST(RetryCall, WorksWithPlainStatus)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 2;
+    int calls = 0;
+    const Status s = retryCall(policy, [&]() -> Status {
+        ++calls;
+        return Status::unavailable("still down");
+    });
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(s.code(), ErrorCode::Unavailable);
+}
+
+TEST(RetryCall, NoneNeverRetries)
+{
+    int calls = 0;
+    const Status s = retryCall(RetryPolicy::none(), [&]() -> Status {
+        ++calls;
+        return Status::unavailable("transient");
+    });
+    EXPECT_EQ(calls, 1);
+    EXPECT_FALSE(s.isOk());
+}
+
+} // namespace
+} // namespace mc

@@ -41,6 +41,22 @@ TEST(Status, AllErrorCodesHaveNames)
     EXPECT_STREQ(errorCodeName(ErrorCode::FailedPrecondition),
                  "FailedPrecondition");
     EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "Internal");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Unavailable), "Unavailable");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DeadlineExceeded),
+                 "DeadlineExceeded");
+    EXPECT_STREQ(errorCodeName(ErrorCode::DataLoss), "DataLoss");
+}
+
+TEST(Status, ResilienceFactoryFunctions)
+{
+    EXPECT_EQ(Status::unavailable("sensor dropout").code(),
+              ErrorCode::Unavailable);
+    EXPECT_EQ(Status::deadlineExceeded("point overran").code(),
+              ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(Status::dataLoss("uncorrectable ECC").code(),
+              ErrorCode::DataLoss);
+    EXPECT_EQ(Status::unavailable("sensor dropout").toString(),
+              "Unavailable: sensor dropout");
 }
 
 TEST(Result, HoldsValue)

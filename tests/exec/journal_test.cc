@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests of the sweep journal: round-trip, last-entry-wins resume
+ * semantics, header validation, and crash-residue tolerance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "exec/journal.hh"
+
+namespace mc {
+namespace exec {
+namespace {
+
+/** Unique temp path per test; removed on destruction. */
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : _path(std::string(::testing::TempDir()) + "mc_journal_" + name +
+                ".csv")
+    {
+        std::remove(_path.c_str());
+    }
+
+    ~TempPath() { std::remove(_path.c_str()); }
+
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+TEST(SweepJournal, CreateRecordOpenRoundTrips)
+{
+    TempPath path("roundtrip");
+    {
+        auto journal = SweepJournal::create(path.str(), "fig6");
+        ASSERT_TRUE(journal.isOk()) << journal.status().toString();
+        journal.value().record(
+            {0, "sgemm/256", ErrorCode::Ok, "12.5,128"});
+        journal.value().record(
+            {1, "sgemm/512", ErrorCode::OutOfMemory, ""});
+        // Payloads may contain commas: only the first three split.
+        journal.value().record(
+            {2, "sgemm/1024", ErrorCode::Ok, "98.1,256,extra,fields"});
+    }
+
+    auto resumed = SweepJournal::open(path.str(), "fig6");
+    ASSERT_TRUE(resumed.isOk()) << resumed.status().toString();
+    const SweepJournal &journal = resumed.value();
+    EXPECT_EQ(journal.loadedCount(), 3u);
+    EXPECT_EQ(journal.loadedOkCount(), 2u);
+
+    ASSERT_NE(journal.find(0), nullptr);
+    EXPECT_EQ(journal.find(0)->key, "sgemm/256");
+    EXPECT_EQ(journal.find(0)->payload, "12.5,128");
+    EXPECT_TRUE(journal.find(0)->ok());
+
+    ASSERT_NE(journal.find(1), nullptr);
+    EXPECT_EQ(journal.find(1)->code, ErrorCode::OutOfMemory);
+    EXPECT_FALSE(journal.find(1)->ok());
+
+    ASSERT_NE(journal.find(2), nullptr);
+    EXPECT_EQ(journal.find(2)->payload, "98.1,256,extra,fields");
+
+    EXPECT_EQ(journal.find(7), nullptr);
+}
+
+TEST(SweepJournal, LastEntryWinsOnResume)
+{
+    TempPath path("lastwins");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({4, "p", ErrorCode::Unavailable, ""});
+    }
+    {
+        // A resumed run re-executes point 4 and appends the fresh
+        // outcome; the original failure record stays in the file.
+        auto journal = SweepJournal::open(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        EXPECT_FALSE(journal.value().find(4)->ok());
+        journal.value().record({4, "p", ErrorCode::Ok, "42.0"});
+    }
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(journal.isOk());
+    EXPECT_EQ(journal.value().loadedCount(), 1u);
+    EXPECT_TRUE(journal.value().find(4)->ok());
+    EXPECT_EQ(journal.value().find(4)->payload, "42.0");
+}
+
+TEST(SweepJournal, OpenMissingFileIsNotFound)
+{
+    TempPath path("missing");
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_FALSE(journal.isOk());
+    EXPECT_EQ(journal.status().code(), ErrorCode::NotFound);
+}
+
+TEST(SweepJournal, OpenRejectsForeignBench)
+{
+    TempPath path("foreign");
+    {
+        auto journal = SweepJournal::create(path.str(), "fig6");
+        ASSERT_TRUE(journal.isOk());
+    }
+    auto other = SweepJournal::open(path.str(), "fig7");
+    ASSERT_FALSE(other.isOk());
+    EXPECT_EQ(other.status().code(), ErrorCode::FailedPrecondition);
+}
+
+TEST(SweepJournal, OpenRejectsNonJournalFile)
+{
+    TempPath path("garbage");
+    {
+        std::ofstream out(path.str());
+        out << "combo,n,tflops\nsgemm,256,12.5\n";
+    }
+    auto journal = SweepJournal::open(path.str(), "fig6");
+    ASSERT_FALSE(journal.isOk());
+    EXPECT_EQ(journal.status().code(), ErrorCode::FailedPrecondition);
+}
+
+TEST(SweepJournal, SkipsTruncatedFinalLine)
+{
+    TempPath path("truncated");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.0"});
+    }
+    {
+        // Simulate a run killed mid-write: a partial record with no
+        // trailing fields.
+        std::ofstream out(path.str(), std::ios::app);
+        out << "1,p1";
+    }
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(journal.isOk());
+    EXPECT_EQ(journal.value().loadedCount(), 1u);
+    EXPECT_NE(journal.value().find(0), nullptr);
+    EXPECT_EQ(journal.value().find(1), nullptr);
+}
+
+TEST(SweepJournal, ErrorCodeNamesRoundTripThroughFile)
+{
+    TempPath path("codes");
+    const ErrorCode codes[] = {
+        ErrorCode::Ok, ErrorCode::OutOfMemory, ErrorCode::Unavailable,
+        ErrorCode::DeadlineExceeded, ErrorCode::DataLoss,
+        ErrorCode::ResourceExhausted,
+    };
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        std::size_t index = 0;
+        for (ErrorCode code : codes)
+            journal.value().record({index++, "p", code, ""});
+    }
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(journal.isOk());
+    std::size_t index = 0;
+    for (ErrorCode code : codes) {
+        ASSERT_NE(journal.value().find(index), nullptr);
+        EXPECT_EQ(journal.value().find(index)->code, code);
+        ++index;
+    }
+}
+
+} // namespace
+} // namespace exec
+} // namespace mc

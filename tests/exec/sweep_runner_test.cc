@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -14,6 +15,7 @@
 
 #include "blas/gemm.hh"
 #include "exec/sweep_runner.hh"
+#include "fault/injector.hh"
 #include "hip/runtime.hh"
 
 namespace mc {
@@ -144,6 +146,140 @@ TEST(SweepRunner, ParallelGemmSweepIsBitIdenticalToSerial)
 
     // The sweep is genuinely noisy: repetitions of one point differ.
     EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(SweepRunner, MapFastCancelSkipsUnstartedPoints)
+{
+    // One worker, 64 points, the very first throws: the remaining 63
+    // are queued behind it and must be cancelled, not executed.
+    SweepRunner runner("cancel", 2);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(runner.map(64,
+                            [&](std::size_t i) -> int {
+                                ++executed;
+                                if (i == 0)
+                                    throw std::runtime_error("boom");
+                                return 0;
+                            }),
+                 std::runtime_error);
+    // At most the points already started before the flag flipped ran.
+    EXPECT_LT(executed.load(), 64);
+    EXPECT_GT(runner.lastStats().skipped, 0u);
+    EXPECT_EQ(executed.load() + runner.lastStats().skipped, 64u);
+}
+
+TEST(SweepRunner, SerialMapReportsSkippedOnThrow)
+{
+    SweepRunner runner("cancel_serial", 1);
+    EXPECT_THROW(runner.map(10,
+                            [](std::size_t i) -> int {
+                                if (i == 3)
+                                    throw std::runtime_error("boom");
+                                return 0;
+                            }),
+                 std::runtime_error);
+    EXPECT_EQ(runner.lastStats().skipped, 6u);
+}
+
+TEST(SweepRunner, MapResultIsolatesFailedPoints)
+{
+    for (int jobs : {1, 8}) {
+        SweepRunner runner("isolate", jobs);
+        const auto results = runner.mapResult(
+            20,
+            [](std::size_t i) -> Result<std::size_t> {
+                if (i % 5 == 0)
+                    return Status::outOfMemory("point too large");
+                return i;
+            },
+            /*max_failures=*/100);
+        ASSERT_EQ(results.size(), 20u);
+        for (std::size_t i = 0; i < 20; ++i) {
+            if (i % 5 == 0) {
+                EXPECT_FALSE(results[i].isOk());
+                EXPECT_EQ(results[i].status().code(),
+                          ErrorCode::OutOfMemory);
+            } else {
+                ASSERT_TRUE(results[i].isOk());
+                EXPECT_EQ(results[i].value(), i);
+            }
+        }
+        EXPECT_EQ(runner.lastStats().failed, 4u);
+        EXPECT_EQ(runner.lastStats().skipped, 0u);
+        EXPECT_FALSE(runner.lastStats().budgetExhausted);
+    }
+}
+
+TEST(SweepRunner, MapResultBudgetCancelsTail)
+{
+    // Serial: deterministic — points 0..2 fail, the budget (2) is
+    // blown after the third failure, everything later is skipped.
+    SweepRunner runner("budget", 1);
+    std::atomic<int> executed{0};
+    const auto results = runner.mapResult(
+        50,
+        [&](std::size_t i) -> Result<int> {
+            ++executed;
+            if (i < 3)
+                return Status::unavailable("transient");
+            return 1;
+        },
+        /*max_failures=*/2);
+    ASSERT_EQ(results.size(), 50u);
+    EXPECT_EQ(executed.load(), 3);
+    EXPECT_TRUE(runner.lastStats().budgetExhausted);
+    EXPECT_EQ(runner.lastStats().failed, 3u);
+    EXPECT_EQ(runner.lastStats().skipped, 47u);
+    EXPECT_EQ(results[10].status().code(), ErrorCode::ResourceExhausted);
+}
+
+TEST(SweepRunner, MapResultBudgetCancelsUnderJobs)
+{
+    // Parallel: which points get skipped is timing-dependent, but the
+    // budget must still stop a systematically failing sweep early.
+    SweepRunner runner("budget_par", 4);
+    std::atomic<int> executed{0};
+    const auto results = runner.mapResult(
+        200,
+        [&](std::size_t) -> Result<int> {
+            ++executed;
+            return Status::outOfMemory("every point fails");
+        },
+        /*max_failures=*/5);
+    ASSERT_EQ(results.size(), 200u);
+    EXPECT_TRUE(runner.lastStats().budgetExhausted);
+    EXPECT_GT(runner.lastStats().skipped, 0u);
+    EXPECT_EQ(runner.lastStats().failed + runner.lastStats().skipped,
+              200u);
+    EXPECT_EQ(static_cast<std::size_t>(executed.load()),
+              runner.lastStats().failed);
+}
+
+TEST(SweepRunner, MapResultFailureSetIsJobsInvariant)
+{
+    // The *which points failed* record must match between jobs=1 and
+    // jobs=8 when the budget is not exhausted: failures are decided by
+    // the point's own deterministic fault stream, not by scheduling.
+    auto failure_mask = [](int jobs) {
+        SweepRunner runner("mask", jobs);
+        const auto results = runner.mapResult(
+            64,
+            [&](std::size_t i) -> Result<int> {
+                fault::Injector inj(
+                    fault::parseFaultSpec("oom=0.3").value(),
+                    fault::faultSeed(runner.seedFor(
+                        "p" + std::to_string(i), 0)));
+                if (inj.fire(fault::FaultSite::HbmAlloc))
+                    return Status::unavailable("injected");
+                return 0;
+            },
+            /*max_failures=*/64);
+        std::vector<bool> mask;
+        for (const auto &r : results)
+            mask.push_back(r.isOk());
+        return mask;
+    };
+    EXPECT_EQ(failure_mask(1), failure_mask(8));
 }
 
 } // namespace

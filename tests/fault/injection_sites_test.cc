@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests of the wired injection sites: the simulated device (throttle,
+ * ECC, hang), the HIP runtime (transient alloc/launch failures), and
+ * fault propagation through the BLAS layer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/mfma_isa.hh"
+#include "blas/gemm.hh"
+#include "fault/injector.hh"
+#include "hip/runtime.hh"
+#include "wmma/recorder.hh"
+
+namespace mc {
+namespace {
+
+sim::KernelProfile
+smallProfile()
+{
+    const arch::MfmaInstruction *inst = arch::findInstruction(
+        arch::GpuArch::Cdna2, "v_mfma_f64_16x16x4_f64");
+    return wmma::mfmaLoopProfile(*inst, 1000, 440, "fault_probe");
+}
+
+sim::SimOptions
+quietOptions(fault::Injector *faults)
+{
+    sim::SimOptions opts;
+    opts.enableNoise = false;
+    opts.faults = faults;
+    return opts;
+}
+
+TEST(DeviceFaults, NullInjectorChangesNothing)
+{
+    sim::Mi250x clean(arch::defaultCdna2(), quietOptions(nullptr));
+    fault::Injector off; // default-constructed: disabled
+    sim::Mi250x wired(arch::defaultCdna2(), quietOptions(&off));
+
+    const auto a = clean.runOnGcd(smallProfile());
+    const auto b = wired.runOnGcd(smallProfile());
+    EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+    EXPECT_EQ(a.fault, ErrorCode::Ok);
+    EXPECT_EQ(b.fault, ErrorCode::Ok);
+}
+
+TEST(DeviceFaults, InjectedThrottleLowersClock)
+{
+    fault::Injector inj(fault::parseFaultSpec("throttle=1").value(), 5);
+    sim::Mi250x dev(arch::defaultCdna2(), quietOptions(&inj));
+    sim::Mi250x clean(arch::defaultCdna2(), quietOptions(nullptr));
+
+    const auto hit = dev.runOnGcd(smallProfile());
+    const auto ref = clean.runOnGcd(smallProfile());
+    EXPECT_TRUE(hit.throttled);
+    EXPECT_LT(hit.effClockHz, ref.effClockHz);
+    EXPECT_GT(hit.seconds, ref.seconds);
+    EXPECT_EQ(hit.fault, ErrorCode::Ok); // slower, not wrong
+}
+
+TEST(DeviceFaults, CorrectableEccStallsButSucceeds)
+{
+    fault::Injector inj(fault::parseFaultSpec("ecc=1").value(), 5);
+    sim::Mi250x dev(arch::defaultCdna2(), quietOptions(&inj));
+    sim::Mi250x clean(arch::defaultCdna2(), quietOptions(nullptr));
+
+    const auto hit = dev.runOnGcd(smallProfile());
+    const auto ref = clean.runOnGcd(smallProfile());
+    EXPECT_GT(hit.seconds, ref.seconds);
+    EXPECT_EQ(hit.fault, ErrorCode::Ok);
+    EXPECT_EQ(inj.firedAt(fault::FaultSite::EccCorrectable), 1u);
+}
+
+TEST(DeviceFaults, UncorrectableEccIsDataLoss)
+{
+    fault::Injector inj(fault::parseFaultSpec("ecc_fatal=1").value(), 5);
+    sim::Mi250x dev(arch::defaultCdna2(), quietOptions(&inj));
+    const auto r = dev.runOnGcd(smallProfile());
+    EXPECT_EQ(r.fault, ErrorCode::DataLoss);
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(DeviceFaults, HungKernelReportsEnormousDuration)
+{
+    fault::Injector inj(fault::parseFaultSpec("hang=1").value(), 5);
+    sim::Mi250x dev(arch::defaultCdna2(), quietOptions(&inj));
+    const auto r = dev.runOnGcd(smallProfile());
+    // Large enough to trip any per-point deadline (see bench_util).
+    EXPECT_GT(r.seconds, 1e8);
+}
+
+TEST(DeviceFaults, MeasureKernelPathInjectsToo)
+{
+    fault::Injector inj(
+        fault::parseFaultSpec("throttle=1,ecc_fatal=1").value(), 5);
+    sim::Mi250x dev(arch::defaultCdna2(), quietOptions(&inj));
+    Rng noise(1);
+    const auto r = dev.measureKernel(smallProfile(), noise);
+    EXPECT_TRUE(r.throttled);
+    EXPECT_EQ(r.fault, ErrorCode::DataLoss);
+}
+
+TEST(DeviceFaults, SameSeedSameFaultedTiming)
+{
+    const auto spec =
+        fault::parseFaultSpec("throttle=0.5,ecc=0.5").value();
+    fault::Injector ia(spec, 77), ib(spec, 77);
+    sim::Mi250x da(arch::defaultCdna2(), quietOptions(&ia));
+    sim::Mi250x db(arch::defaultCdna2(), quietOptions(&ib));
+    for (int i = 0; i < 20; ++i) {
+        const auto ra = da.runOnGcd(smallProfile());
+        const auto rb = db.runOnGcd(smallProfile());
+        EXPECT_DOUBLE_EQ(ra.seconds, rb.seconds);
+        EXPECT_EQ(ra.throttled, rb.throttled);
+        EXPECT_EQ(ra.fault, rb.fault);
+    }
+}
+
+TEST(RuntimeFaults, TransientAllocFailureIsUnavailable)
+{
+    fault::Injector inj(fault::parseFaultSpec("oom=1").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    const auto r = rt.malloc(0, 1 << 20);
+    ASSERT_FALSE(r.isOk());
+    // Retriable — unlike genuine capacity exhaustion (OutOfMemory).
+    EXPECT_EQ(r.status().code(), ErrorCode::Unavailable);
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+}
+
+TEST(RuntimeFaults, CapacityOomStaysOutOfMemory)
+{
+    fault::Injector inj(fault::parseFaultSpec("hip=1").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    const std::size_t capacity =
+        rt.gpu().calibration().hbmBytesPerGcd;
+    const auto r = rt.malloc(0, capacity + 1);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::OutOfMemory);
+}
+
+TEST(RuntimeFaults, TransientLaunchFailureRunsNothing)
+{
+    fault::Injector inj(fault::parseFaultSpec("hip=1").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    const auto r = rt.launch(smallProfile(), 0);
+    EXPECT_EQ(r.fault, ErrorCode::Unavailable);
+    EXPECT_DOUBLE_EQ(r.seconds, 0.0);
+    // The kernel never ran: the device timeline did not advance.
+    EXPECT_DOUBLE_EQ(rt.gpu().timelineSec(), 0.0);
+}
+
+TEST(RuntimeFaults, AsyncLaunchFaultLeavesTailAlone)
+{
+    fault::Injector inj(fault::parseFaultSpec("hip=1").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    const auto r = rt.launchAsync(smallProfile(), 0);
+    EXPECT_EQ(r.fault, ErrorCode::Unavailable);
+    EXPECT_DOUBLE_EQ(rt.deviceTailSec(0), 0.0);
+}
+
+TEST(BlasFaults, KernelFaultSurfacesAsErrorStatus)
+{
+    fault::Injector inj(fault::parseFaultSpec("hip=1").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    blas::GemmEngine engine(rt);
+
+    blas::GemmConfig config;
+    config.combo = blas::GemmCombo::Sgemm;
+    config.m = config.n = config.k = 512;
+    const auto r = engine.run(config);
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::Unavailable);
+    // Operand buffers were released on the error path.
+    EXPECT_EQ(rt.allocatedBytes(0), 0u);
+}
+
+TEST(BlasFaults, CleanRunStillSucceedsWithInjectorWired)
+{
+    fault::Injector inj(
+        fault::parseFaultSpec("smi_dropout=0.5").value(), 5);
+    hip::Runtime rt(arch::defaultCdna2(), quietOptions(&inj));
+    blas::GemmEngine engine(rt);
+
+    blas::GemmConfig config;
+    config.combo = blas::GemmCombo::Sgemm;
+    config.m = config.n = config.k = 512;
+    const auto r = engine.run(config);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+}
+
+} // namespace
+} // namespace mc

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests of the fault-injection layer: spec parsing, per-site stream
+ * independence, and the seed-for-seed determinism the sweep engine's
+ * --jobs contract depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/injector.hh"
+
+namespace mc {
+namespace fault {
+namespace {
+
+TEST(FaultSpec, ParseEmptyIsDisabled)
+{
+    auto r = parseFaultSpec("");
+    ASSERT_TRUE(r.isOk());
+    EXPECT_FALSE(r.value().any());
+}
+
+TEST(FaultSpec, ParseFullSpec)
+{
+    auto r = parseFaultSpec(
+        "ecc=1e-3,oom=0.01,smi_dropout=0.05,hip=0.2,ecc_fatal=0.5,"
+        "throttle=1,hang=0,smi_stale=0.25");
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    const FaultSpec spec = r.value();
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::EccCorrectable), 1e-3);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::HbmAlloc), 0.01);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::SmiDropout), 0.05);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::HipApi), 0.2);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::EccUncorrectable), 0.5);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::Throttle), 1.0);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::Hang), 0.0);
+    EXPECT_DOUBLE_EQ(spec.probability(FaultSite::SmiStale), 0.25);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, ParseRejectsUnknownKey)
+{
+    auto r = parseFaultSpec("cosmic_ray=0.5");
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(FaultSpec, ParseRejectsBadValue)
+{
+    EXPECT_FALSE(parseFaultSpec("oom=lots").isOk());
+    EXPECT_FALSE(parseFaultSpec("oom=1.5").isOk());
+    EXPECT_FALSE(parseFaultSpec("oom=-0.1").isOk());
+    EXPECT_FALSE(parseFaultSpec("oom").isOk());
+}
+
+TEST(FaultSpec, ToStringRoundTrips)
+{
+    auto r = parseFaultSpec("oom=0.01,smi_dropout=0.05");
+    ASSERT_TRUE(r.isOk());
+    auto again = parseFaultSpec(r.value().toString());
+    ASSERT_TRUE(again.isOk());
+    for (int i = 0; i < numFaultSites; ++i) {
+        EXPECT_DOUBLE_EQ(again.value().probabilities[i],
+                         r.value().probabilities[i]);
+    }
+}
+
+TEST(Injector, DefaultIsDisabledAndNeverFires)
+{
+    Injector inj;
+    EXPECT_FALSE(inj.enabled());
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(inj.fire(FaultSite::HbmAlloc));
+    EXPECT_EQ(inj.drawsAt(FaultSite::HbmAlloc), 0u);
+    EXPECT_EQ(inj.firedTotal(), 0u);
+}
+
+TEST(Injector, SameSeedSameDecisions)
+{
+    const FaultSpec spec = parseFaultSpec("oom=0.3,smi_dropout=0.1").value();
+    Injector a(spec, 0xfeedu);
+    Injector b(spec, 0xfeedu);
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.fire(FaultSite::HbmAlloc), b.fire(FaultSite::HbmAlloc));
+        EXPECT_EQ(a.fire(FaultSite::SmiDropout),
+                  b.fire(FaultSite::SmiDropout));
+    }
+    EXPECT_EQ(a.firedTotal(), b.firedTotal());
+}
+
+TEST(Injector, SiteStreamsAreIndependent)
+{
+    // Drawing extra decisions at one site must not shift another
+    // site's sequence: the SMI sampler polls thousands of times per
+    // kernel and must never perturb allocation faults.
+    const FaultSpec spec =
+        parseFaultSpec("oom=0.5,smi_dropout=0.5").value();
+    Injector a(spec, 42);
+    Injector b(spec, 42);
+
+    std::vector<bool> allocA, allocB;
+    for (int i = 0; i < 200; ++i) {
+        allocA.push_back(a.fire(FaultSite::HbmAlloc));
+        // b interleaves SMI draws between alloc draws; a does not.
+        b.fire(FaultSite::SmiDropout);
+        allocB.push_back(b.fire(FaultSite::HbmAlloc));
+        b.fire(FaultSite::SmiDropout);
+    }
+    EXPECT_EQ(allocA, allocB);
+}
+
+TEST(Injector, ReseedReproducesStream)
+{
+    const FaultSpec spec = parseFaultSpec("hip=0.4").value();
+    Injector inj(spec, 7);
+    std::vector<bool> first;
+    for (int i = 0; i < 100; ++i)
+        first.push_back(inj.fire(FaultSite::HipApi));
+
+    inj.reseed(7);
+    EXPECT_EQ(inj.drawsAt(FaultSite::HipApi), 0u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(inj.fire(FaultSite::HipApi), first[std::size_t(i)]);
+}
+
+TEST(Injector, ZeroProbabilitySiteNeverFiresOrDraws)
+{
+    const FaultSpec spec = parseFaultSpec("oom=1").value();
+    Injector inj(spec, 1);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(inj.fire(FaultSite::Hang));
+    EXPECT_EQ(inj.drawsAt(FaultSite::Hang), 0u);
+    // p=1 always fires.
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(inj.fire(FaultSite::HbmAlloc));
+    EXPECT_EQ(inj.firedAt(FaultSite::HbmAlloc), 100u);
+}
+
+TEST(Injector, EmpiricalRateTracksProbability)
+{
+    const FaultSpec spec = parseFaultSpec("smi_dropout=0.05").value();
+    Injector inj(spec, 0xabcdef);
+    const int draws = 20000;
+    int hits = 0;
+    for (int i = 0; i < draws; ++i)
+        hits += inj.fire(FaultSite::SmiDropout);
+    const double rate = double(hits) / draws;
+    EXPECT_NEAR(rate, 0.05, 0.01);
+    EXPECT_EQ(inj.firedAt(FaultSite::SmiDropout), std::uint64_t(hits));
+    EXPECT_EQ(inj.drawsAt(FaultSite::SmiDropout), std::uint64_t(draws));
+}
+
+TEST(Injector, FaultSeedDecorrelatesFromPointSeed)
+{
+    // The fault stream must differ from the noise stream even though
+    // both descend from the same per-point seed.
+    EXPECT_NE(faultSeed(12345), 12345u);
+    EXPECT_NE(faultSeed(12345), faultSeed(12346));
+    EXPECT_EQ(faultSeed(12345), faultSeed(12345));
+}
+
+TEST(Injector, SiteNamesMatchInjectKeys)
+{
+    EXPECT_STREQ(faultSiteName(FaultSite::HbmAlloc), "oom");
+    EXPECT_STREQ(faultSiteName(FaultSite::HipApi), "hip");
+    EXPECT_STREQ(faultSiteName(FaultSite::EccCorrectable), "ecc");
+    EXPECT_STREQ(faultSiteName(FaultSite::EccUncorrectable), "ecc_fatal");
+    EXPECT_STREQ(faultSiteName(FaultSite::Throttle), "throttle");
+    EXPECT_STREQ(faultSiteName(FaultSite::Hang), "hang");
+    EXPECT_STREQ(faultSiteName(FaultSite::SmiDropout), "smi_dropout");
+    EXPECT_STREQ(faultSiteName(FaultSite::SmiStale), "smi_stale");
+}
+
+} // namespace
+} // namespace fault
+} // namespace mc

@@ -103,7 +103,7 @@ TEST(Stream, SmiSamplerWorksOnAsyncTrace)
         sampler.sampleInterval(r0.startSec + 0.5, r0.endSec - 0.5);
     ASSERT_GE(samples.size(), 1000u);
     // 2 GCDs of float at ~43.6 TFLOPS each: Eq. 3 gives ~316 W.
-    EXPECT_NEAR(smi::meanWatts(samples), 2.18 * 87.2 + 125.5, 2.0);
+    EXPECT_NEAR(smi::meanWatts(samples).value(), 2.18 * 87.2 + 125.5, 2.0);
 }
 
 TEST(Stream, PowerCapCheckFlagsDualFp64)

@@ -194,7 +194,7 @@ TEST(CrossLayer, AsyncTraceCrossValidatesWithPmCounters)
     smi::PmCounters pm(rt.asyncTrace());
     const double pm_avg =
         pm.averageWatts(r0.startSec + 1.0, r0.endSec - 1.0);
-    EXPECT_NEAR(smi::meanWatts(samples), pm_avg, 1.0);
+    EXPECT_NEAR(smi::meanWatts(samples).value(), pm_avg, 1.0);
 }
 
 TEST(CrossLayer, NodeOfMi100sRunsTheGenerationalStack)

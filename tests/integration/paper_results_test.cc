@@ -101,7 +101,7 @@ TEST(PaperSectionVI, Eq3RecoveredFromSampledPower)
             sampler.sampleInterval(r.startSec + 0.2, r.endSec);
         ASSERT_GE(samples.size(), 1000u);
         th_tflops.push_back(r.throughput() / 1e12);
-        watts.push_back(smi::meanWatts(samples));
+        watts.push_back(smi::meanWatts(samples).value());
     }
     const LinearFit fit = fitLinear(th_tflops, watts);
     EXPECT_NEAR(fit.slope, 5.88, 0.15);

@@ -78,8 +78,9 @@ TEST(PowerSampler, ShorterPeriodDeliversSimilarMean)
     PowerSampler coarse(sensor_a, 0.1);
     PowerSampler fine(sensor_b, 0.01);
     const double mean_coarse =
-        meanWatts(coarse.sampleInterval(10.0, 200.0));
-    const double mean_fine = meanWatts(fine.sampleInterval(10.0, 200.0));
+        meanWatts(coarse.sampleInterval(10.0, 200.0)).value();
+    const double mean_fine =
+        meanWatts(fine.sampleInterval(10.0, 200.0)).value();
     EXPECT_NEAR(mean_coarse, mean_fine, 0.5);
 }
 
@@ -87,7 +88,7 @@ TEST(MeanWatts, SimpleAverage)
 {
     std::vector<PowerSample> samples{{0.0, 100.0}, {0.1, 200.0},
                                      {0.2, 300.0}};
-    EXPECT_DOUBLE_EQ(meanWatts(samples), 200.0);
+    EXPECT_DOUBLE_EQ(meanWatts(samples).value(), 200.0);
 }
 
 TEST(Efficiency, FlopsPerWatt)
@@ -95,7 +96,7 @@ TEST(Efficiency, FlopsPerWatt)
     std::vector<PowerSample> samples{{0.0, 320.0}, {0.1, 320.0}};
     // 350 TFLOPS at 320 W ~ 1094 GFLOPS/W (the paper's mixed-precision
     // headline is 1020 GFLOPS/W at its measured operating point).
-    EXPECT_NEAR(efficiencyFlopsPerWatt(350e12, samples) / 1e9,
+    EXPECT_NEAR(efficiencyFlopsPerWatt(350e12, samples).value() / 1e9,
                 350e12 / 320.0 / 1e9, 1e-6);
 }
 
@@ -132,7 +133,7 @@ TEST(PmCounters, CrossValidatesSmiSampler)
     PowerSensor sensor(trace, 0.05, 1.5);
     PowerSampler sampler(sensor, 0.1);
     const double smi_avg =
-        meanWatts(sampler.sampleInterval(10.0, 140.0));
+        meanWatts(sampler.sampleInterval(10.0, 140.0)).value();
 
     PmCounters pm(trace);
     const double pm_avg = pm.averageWatts(10.0, 140.0);
@@ -166,7 +167,93 @@ TEST(SmiDeathTest, InvalidConstructionPanics)
     EXPECT_DEATH(PowerSensor(trace, 0.0), "must be positive");
     PowerSensor sensor(trace, 0.05, 0.0);
     EXPECT_DEATH(PowerSampler(sensor, 0.0), "must be positive");
-    EXPECT_DEATH(meanWatts({}), "empty sample");
+}
+
+TEST(MeanWatts, EmptySampleSetIsUnavailableNotFatal)
+{
+    // Short kernels at the 100 ms period can legitimately record zero
+    // samples; a measurement campaign must degrade, not die.
+    const Result<double> r = meanWatts({});
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::Unavailable);
+
+    const Result<double> eff = efficiencyFlopsPerWatt(1e12, {});
+    ASSERT_FALSE(eff.isOk());
+    EXPECT_EQ(eff.status().code(), ErrorCode::Unavailable);
+}
+
+TEST(MeanWatts, EnergyFallbackWhenSamplesEmpty)
+{
+    const auto trace = constantTrace(250.0, 100.0);
+    const PmCounters pm(trace);
+    const double watts = meanWattsOrEnergy({}, pm, 10.0, 90.0);
+    EXPECT_NEAR(watts, 250.0, 1e-9);
+
+    // With samples present the SMI mean wins.
+    std::vector<PowerSample> samples{{0.0, 111.0}, {0.1, 113.0}};
+    EXPECT_DOUBLE_EQ(meanWattsOrEnergy(samples, pm, 10.0, 90.0), 112.0);
+}
+
+TEST(PowerSampler, InjectedDropoutThinsSampleSet)
+{
+    const auto trace = constantTrace(300.0, 200.0);
+    PowerSensor sensor(trace, 0.05, 0.0);
+    PowerSampler sampler(sensor, 0.1);
+
+    fault::Injector inj(
+        fault::parseFaultSpec("smi_dropout=0.2").value(), 99);
+    sampler.setFaultInjector(&inj);
+
+    const auto samples = sampler.sampleInterval(0.0, 100.0);
+    EXPECT_LT(samples.size(), 1000u);
+    EXPECT_EQ(samples.size() + sampler.droppedPolls(), 1000u);
+    EXPECT_EQ(inj.firedAt(fault::FaultSite::SmiDropout),
+              sampler.droppedPolls());
+
+    // Same spec + seed -> byte-identical sample set.
+    PowerSensor sensor2(trace, 0.05, 0.0);
+    PowerSampler sampler2(sensor2, 0.1);
+    fault::Injector inj2(
+        fault::parseFaultSpec("smi_dropout=0.2").value(), 99);
+    sampler2.setFaultInjector(&inj2);
+    const auto samples2 = sampler2.sampleInterval(0.0, 100.0);
+    ASSERT_EQ(samples.size(), samples2.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        EXPECT_DOUBLE_EQ(samples[i].timeSec, samples2[i].timeSec);
+        EXPECT_DOUBLE_EQ(samples[i].watts, samples2[i].watts);
+    }
+}
+
+TEST(PowerSampler, TotalDropoutYieldsEmptySetNotCrash)
+{
+    const auto trace = constantTrace(300.0, 10.0);
+    PowerSensor sensor(trace, 0.05, 0.0);
+    PowerSampler sampler(sensor, 0.1);
+    fault::Injector inj(fault::parseFaultSpec("smi_dropout=1").value(), 1);
+    sampler.setFaultInjector(&inj);
+
+    const auto samples = sampler.sampleInterval(0.0, 5.0);
+    EXPECT_TRUE(samples.empty());
+    EXPECT_EQ(meanWatts(samples).status().code(), ErrorCode::Unavailable);
+}
+
+TEST(PowerSensor, InjectedStaleReadRepeatsPreviousValue)
+{
+    // A ramp trace makes consecutive readings distinct, so a repeated
+    // value can only come from the stale path.
+    sim::PowerTrace trace(88.0);
+    for (int i = 0; i < 100; ++i)
+        trace.addSegment(i * 1.0, (i + 1) * 1.0, 100.0 + 5.0 * i);
+
+    PowerSensor sensor(trace, 0.05, 0.0);
+    fault::Injector inj(fault::parseFaultSpec("smi_stale=1").value(), 3);
+    sensor.setFaultInjector(&inj);
+
+    const double first = sensor.averagePower(10.5); // primes the latch
+    // Every subsequent poll is stale: the firmware never refreshes.
+    EXPECT_DOUBLE_EQ(sensor.averagePower(20.5), first);
+    EXPECT_DOUBLE_EQ(sensor.averagePower(30.5), first);
+    EXPECT_EQ(inj.firedAt(fault::FaultSite::SmiStale), 2u);
 }
 
 } // namespace
