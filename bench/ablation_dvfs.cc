@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "hip/runtime.hh"
@@ -44,6 +45,7 @@ main(int argc, char **argv)
                   "peaks");
     cli.addFlag("iters", static_cast<std::int64_t>(10000000),
                 "MFMA operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
 
@@ -84,5 +86,5 @@ main(int argc, char **argv)
     std::cout << "\nWith the governor on, double precision lands at the "
                  "paper's 72-73% of peak and 541 W; with it off the "
                  "model would exceed the package's sustainable power.\n";
-    return 0;
+    return bench::finishBench("ablation_dvfs");
 }

@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -104,5 +105,5 @@ main(int argc, char **argv)
                  "consistent with its hypothesis that splitting one "
                  "16^3 FMA between the units is not worth the "
                  "coordination.\n";
-    return 0;
+    return bench::finishBench("ablation_heuristic");
 }

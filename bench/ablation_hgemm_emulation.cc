@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -82,5 +83,5 @@ main(int argc, char **argv)
                  "conversion overhead), i.e. the paper's 'use HHS/HSS' "
                  "guidance costs applications nothing versus a "
                  "hypothetical native-f16 HGEMM path.\n";
-    return 0;
+    return bench::finishBench("ablation_hgemm_emulation");
 }

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -32,6 +33,7 @@ main(int argc, char **argv)
     CliParser cli("Ablation: throughput vs package power target");
     cli.addFlag("iters", static_cast<std::int64_t>(1000000),
                 "MFMA operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
 
@@ -86,5 +88,5 @@ main(int argc, char **argv)
                  "accompanies frequency scaling — a quadratic term this "
                  "first-order model deliberately omits (the paper fits "
                  "a linear model too).\n";
-    return 0;
+    return bench::finishBench("ablation_powercap");
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -81,5 +82,5 @@ main(int argc, char **argv)
     std::cout << "\nSmall problems favour small tiles (occupancy); "
                  "large problems favour wide tiles (panel reuse). The "
                  "heuristic tracks the best forced choice.\n";
-    return 0;
+    return bench::finishBench("ablation_tilesize");
 }

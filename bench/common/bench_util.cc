@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <iostream>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/retry.hh"
+#include "exec/supervisor.hh"
 
 namespace mc {
 namespace bench {
@@ -128,6 +130,7 @@ addResilienceFlags(CliParser &cli)
                 "(-1 = unlimited)");
     cli.addFlag("deadline-sec", 3600.0,
                 "per-point simulated-time deadline in seconds");
+    cli.requirePositiveDouble("deadline-sec");
     cli.addFlag("journal", std::string(),
                 "write an append-only per-point journal to this path");
     cli.addFlag("resume", std::string(),
@@ -152,9 +155,9 @@ resilienceFlags(const CliParser &cli)
     if (budget >= 0)
         res.maxPointFailures = static_cast<std::size_t>(budget);
 
+    // parse() already rejected non-positive values (addResilienceFlags
+    // registers the constraint).
     res.deadlineSec = cli.getDouble("deadline-sec");
-    if (res.deadlineSec <= 0.0)
-        mc_fatal("--deadline-sec must be positive");
 
     const std::string journal = cli.getString("journal");
     const std::string resume = cli.getString("resume");
@@ -192,12 +195,69 @@ addJobsFlag(CliParser &cli)
     cli.addFlag("jobs", static_cast<std::int64_t>(1),
                 "parallel sweep workers (1 = serial; output is "
                 "identical for any value)");
+    cli.requireIntAtLeast("jobs", 1);
 }
 
 int
 jobsFlag(const CliParser &cli)
 {
-    return std::max(1, static_cast<int>(cli.getInt("jobs")));
+    return static_cast<int>(cli.getInt("jobs"));
+}
+
+void
+addRepsFlag(CliParser &cli, std::int64_t default_reps)
+{
+    cli.addFlag("reps", default_reps, "measurement repetitions");
+    cli.requireIntAtLeast("reps", 1);
+}
+
+void
+addOutFlag(CliParser &cli)
+{
+    cli.addFlag("out", std::string(),
+                "write results atomically to this file instead of "
+                "stdout (temp + fsync + rename; never torn)");
+}
+
+BenchOutput::BenchOutput(const CliParser &cli)
+{
+    const std::string path = cli.getString("out");
+    if (!path.empty())
+        _writer.emplace(path);
+}
+
+std::ostream &
+BenchOutput::stream()
+{
+    return _writer ? _writer->stream() : std::cout;
+}
+
+int
+BenchOutput::finish(const std::string &bench_name, ErrorCode code)
+{
+    if (_writer) {
+        const Status committed = _writer->commit();
+        if (!committed.isOk()) {
+            std::fprintf(stderr, "[%s] output commit failed: %s\n",
+                         bench_name.c_str(),
+                         committed.toString().c_str());
+            if (code == ErrorCode::Ok)
+                code = ErrorCode::DataLoss;
+        }
+    }
+    return finishBench(bench_name, code);
+}
+
+int
+finishBench(const std::string &bench_name, ErrorCode code)
+{
+    const int exit_status = exitCodeFor(code);
+    // To stderr: stdout carries only rendered results and must stay
+    // byte-comparable across --jobs values and resume.
+    std::fprintf(stderr, "%s%s code=%s exit=%d\n",
+                 exec::kBenchCompletionPrefix, bench_name.c_str(),
+                 errorCodeName(code), exit_status);
+    return exit_status;
 }
 
 } // namespace bench

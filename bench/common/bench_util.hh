@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hh"
 #include "common/cli.hh"
 #include "common/retry.hh"
 #include "common/stats.hh"
@@ -175,14 +176,66 @@ void printSweepSummary(const std::string &bench_name,
                        std::size_t skipped, std::size_t resumed);
 
 /**
- * Register the sweep engine's --jobs flag (default 1 = serial).
- * Output is byte-identical for every --jobs value; see
- * docs/SWEEP_ENGINE.md.
+ * Register the sweep engine's --jobs flag (default 1 = serial;
+ * rejects values < 1 at parse time). Output is byte-identical for
+ * every --jobs value; see docs/SWEEP_ENGINE.md.
  */
 void addJobsFlag(CliParser &cli);
 
-/** Read --jobs back, clamped to >= 1. */
+/** Read --jobs back (parse() already rejected values < 1). */
 int jobsFlag(const CliParser &cli);
+
+/** Register --reps (measurement repetitions, must be >= 1). */
+void addRepsFlag(CliParser &cli, std::int64_t default_reps);
+
+// ---- Durable output and completion protocol -----------------------------
+
+/**
+ * Register --out: when set, everything the bench renders to its result
+ * stream is buffered and atomically published to that file (temp +
+ * fsync + rename; src/common/atomic_file.hh) instead of stdout, so a
+ * crashed or killed bench never leaves a torn CSV behind.
+ */
+void addOutFlag(CliParser &cli);
+
+/**
+ * The bench's result stream: stdout by default, an atomically
+ * committed file under --out. finish() seals the output and ends the
+ * process-level protocol in one call:
+ *
+ *     return output.finish(kBenchName, code);
+ *
+ * It commits the --out file (a failed commit turns an Ok run into
+ * DataLoss — a result that was not durably written was not produced),
+ * prints the machine-readable completion line mc_suite scans for, and
+ * returns the manifest-friendly exit code (exitCodeFor).
+ */
+class BenchOutput
+{
+  public:
+    /** Reads --out (addOutFlag must have been registered). */
+    explicit BenchOutput(const CliParser &cli);
+
+    /** The stream benches render results into. */
+    std::ostream &stream();
+
+    /** Seal the output; returns the process exit code. */
+    int finish(const std::string &bench_name,
+               ErrorCode code = ErrorCode::Ok);
+
+  private:
+    std::optional<AtomicFileWriter> _writer;
+};
+
+/**
+ * Completion protocol for benches without a BenchOutput: print the
+ * stderr completion line (`[mcchar] complete bench=<name> ...`) and
+ * return the exit code for @p code. Every bench main ends through
+ * here or BenchOutput::finish so the mc_suite supervisor can classify
+ * outcomes without parsing results.
+ */
+int finishBench(const std::string &bench_name,
+                ErrorCode code = ErrorCode::Ok);
 
 } // namespace bench
 } // namespace mc

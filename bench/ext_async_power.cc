@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -37,6 +38,7 @@ main(int argc, char **argv)
     CliParser cli("Per-GCD-process power measurement (async streams)");
     cli.addFlag("iters", static_cast<std::int64_t>(6000000000),
                 "MFMA operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
 
@@ -96,5 +98,5 @@ main(int argc, char **argv)
                  "541 W regulation target — the condition that forces "
                  "the throttle the synchronous Fig. 4/5 runs exhibit "
                  "(69 TFLOPS instead of 82).\n";
-    return 0;
+    return bench::finishBench("ext_async_power");
 }

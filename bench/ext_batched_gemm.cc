@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -70,5 +71,5 @@ main(int argc, char **argv)
                  "Fig. 7 into plateau-class throughput: the Matrix "
                  "Cores do not care whether the 2N^3 FLOPs come from "
                  "one problem or a thousand.\n";
-    return 0;
+    return bench::finishBench("ext_batched_gemm");
 }

@@ -34,6 +34,8 @@ namespace {
 
 using namespace mc;
 
+constexpr const char *kBenchName = "ext_blas_survey";
+
 struct RoutineRow
 {
     const char *name;
@@ -52,8 +54,10 @@ main(int argc, char **argv)
     CliParser cli("BLAS routine survey: GEMM / TRSM / SYRK / GEMV");
     cli.addFlag("n", static_cast<std::int64_t>(8192),
                 "problem dimension");
+    cli.requireIntAtLeast("n", 16);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const auto n = static_cast<std::size_t>(cli.getInt("n"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
@@ -62,7 +66,7 @@ main(int argc, char **argv)
                                       blas::GemmCombo::Dgemm};
     const prof::RooflineModel roofline(arch::defaultCdna2());
 
-    exec::SweepRunner runner("ext_blas_survey", bench::jobsFlag(cli));
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
     const std::vector<Result<SurveyResult>> results = runner.mapResult(
         std::size(combos),
         [&](std::size_t i) -> Result<SurveyResult> {
@@ -129,6 +133,9 @@ main(int argc, char **argv)
         },
         res.maxPointFailures);
 
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+
     std::vector<bench::FailedPoint> failures;
     for (std::size_t i = 0; i < std::size(combos); ++i) {
         const blas::GemmCombo combo = combos[i];
@@ -137,9 +144,9 @@ main(int argc, char **argv)
             if (!exec::SweepRunner::isSkippedPointStatus(status))
                 failures.push_back(
                     {i, blas::comboInfo(combo).name, status});
-            std::printf("BLAS survey [%s]: failed: %s\n\n",
-                        blas::comboInfo(combo).name,
-                        errorCodeName(status.code()));
+            os << "BLAS survey [" << blas::comboInfo(combo).name
+               << "]: failed: " << errorCodeName(status.code())
+               << "\n\n";
             continue;
         }
         TextTable table({"routine", "FLOPs", "TFLOPS", "path",
@@ -163,20 +170,25 @@ main(int argc, char **argv)
                           row.usedMatrixCores ? "MatrixCore" : "SIMD",
                           pct});
         }
-        table.print(std::cout);
-        std::printf("machine balance (%s Matrix Core roof): "
-                    "%.1f FLOP/byte; GEMV intensity ~0.25 FLOP/byte -> "
-                    "pinned to the memory roof\n\n",
-                    blas::comboInfo(combo).name,
-                    roofline.machineBalance(
-                        blas::comboInfo(combo).typeAB,
-                        prof::RoofKind::MatrixCore));
+        table.print(os);
+        char balance[160];
+        std::snprintf(balance, sizeof(balance),
+                      "machine balance (%s Matrix Core roof): "
+                      "%.1f FLOP/byte; GEMV intensity ~0.25 FLOP/byte "
+                      "-> pinned to the memory roof\n\n",
+                      blas::comboInfo(combo).name,
+                      roofline.machineBalance(
+                          blas::comboInfo(combo).typeAB,
+                          prof::RoofKind::MatrixCore));
+        os << balance;
     }
-    std::cout << "Level-3 routines ride Matrix Cores at GEMM-class "
-                 "rates; level-2 cannot — which is why blocked "
-                 "factorizations exist.\n";
+    os << "Level-3 routines ride Matrix Cores at GEMM-class "
+          "rates; level-2 cannot — which is why blocked "
+          "factorizations exist.\n";
 
-    bench::printSweepSummary("ext_blas_survey", std::size(combos),
+    bench::printSweepSummary(kBenchName, std::size(combos),
                              failures, runner.lastStats().skipped, 0);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

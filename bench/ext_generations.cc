@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -142,5 +143,5 @@ main(int argc, char **argv)
                  "instructions (absent on CDNA1 -> DGEMM runs on "
                  "SIMDs), full-rate BF16, and a dual-die package that "
                  "doubles every peak.\n";
-    return 0;
+    return bench::finishBench("ext_generations");
 }

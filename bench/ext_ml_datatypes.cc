@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
 #include "hip/runtime.hh"
@@ -40,6 +41,7 @@ main(int argc, char **argv)
                   "characterization");
     cli.addFlag("iters", static_cast<std::int64_t>(1000000),
                 "operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
 
@@ -92,5 +94,5 @@ main(int argc, char **argv)
               << "the CDNA1-heritage BF16 shapes at half rate. INT8 "
               << "matches FP16 throughput at slightly better "
               << "energy/op.\n";
-    return 0;
+    return bench::finishBench("ext_ml_datatypes");
 }

@@ -14,6 +14,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
@@ -34,6 +35,7 @@ main(int argc, char **argv)
                 "packages in the node");
     cli.addFlag("iters", static_cast<std::int64_t>(1000000),
                 "MFMA operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.parse(argc, argv);
     const int packages = static_cast<int>(cli.getInt("packages"));
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
@@ -81,5 +83,5 @@ main(int argc, char **argv)
                  "~1.3 kW vs ~280 TFLOPS double at ~2.2 kW — the "
                  "paper's per-package efficiency gap, multiplied by "
                  "the node.\n";
-    return 0;
+    return bench::finishBench("ext_node_scaling");
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
@@ -80,5 +81,5 @@ main(int argc, char **argv)
     std::cout << "\nPoints left of the balance intensity are "
                  "memory-bound: exactly the dipped region of the "
                  "paper's Fig. 6/7 curves.\n";
-    return 0;
+    return bench::finishBench("ext_roofline");
 }

@@ -37,6 +37,8 @@ namespace {
 
 using namespace mc;
 
+constexpr const char *kBenchName = "fig3_throughput_scaling";
+
 struct Series
 {
     const char *label;
@@ -75,11 +77,12 @@ main(int argc, char **argv)
                   "on one GCD, measured and modelled (Eq. 2)");
     cli.addFlag("iters", static_cast<std::int64_t>(10000000),
                 "MFMA operations per wavefront");
-    cli.addFlag("reps", static_cast<std::int64_t>(10),
-                "measurement repetitions");
+    cli.requireIntAtLeast("iters", 1);
+    bench::addRepsFlag(cli, 10);
     cli.addFlag("csv", false, "emit CSV instead of a table");
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int reps = static_cast<int>(cli.getInt("reps"));
@@ -95,8 +98,7 @@ main(int argc, char **argv)
         for (std::uint64_t wf : sweep)
             points.push_back({&series, wf});
 
-    exec::SweepRunner runner("fig3_throughput_scaling",
-                             bench::jobsFlag(cli));
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
     const std::vector<Result<bench::Measurement>> results =
         runner.mapResult(
             points.size(),
@@ -148,7 +150,10 @@ main(int argc, char **argv)
             },
             res.maxPointFailures);
 
-    CsvWriter csv(std::cout);
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+
+    CsvWriter csv(os);
     if (cli.getBool("csv"))
         csv.writeRow({"series", "wavefronts", "measured_tflops",
                       "model_tflops", "pct_of_model"});
@@ -225,13 +230,13 @@ main(int argc, char **argv)
             }
         }
         if (!cli.getBool("csv")) {
-            table.print(std::cout);
-            std::cout << "\n";
+            table.print(os);
+            os << "\n";
         }
         chart.addSeries(std::move(plot_series));
     }
     if (!cli.getBool("csv"))
-        chart.print(std::cout);
+        chart.print(os);
 
     // Cross-validation against the counter-derived FLOPs, as the
     // paper validates its micro-benchmark against rocprof.
@@ -245,16 +250,21 @@ main(int argc, char **argv)
             prof::totalFlops(result.counters, arch::DataType::F64);
         const double expected = static_cast<double>(
             inst->flopsPerInstruction()) * 1000.0 * 440.0;
-        std::printf("\nrocprof cross-check (fp64, 440 WF x 1000 iters): "
-                    "counter-derived FLOPs = %.0f, algorithmic = %.0f "
-                    "(%s)\n", counted, expected,
-                    counted == expected ? "exact match" : "MISMATCH");
+        char check[160];
+        std::snprintf(check, sizeof(check),
+                      "\nrocprof cross-check (fp64, 440 WF x 1000 "
+                      "iters): counter-derived FLOPs = %.0f, "
+                      "algorithmic = %.0f (%s)\n", counted, expected,
+                      counted == expected ? "exact match" : "MISMATCH");
+        os << check;
     }
 
-    std::cout << "(paper Fig. 3 plateaus: 175 / 43 / 41 TFLOPS at "
-                 ">= 440 wavefronts, 92/90/85% of model)\n";
+    os << "(paper Fig. 3 plateaus: 175 / 43 / 41 TFLOPS at "
+          ">= 440 wavefronts, 92/90/85% of model)\n";
 
-    bench::printSweepSummary("fig3_throughput_scaling", points.size(),
+    bench::printSweepSummary(kBenchName, points.size(),
                              failures, runner.lastStats().skipped, 0);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

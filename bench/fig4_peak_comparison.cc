@@ -72,8 +72,10 @@ main(int argc, char **argv)
     CliParser cli("Figure 4: peak throughput, MI250X package vs A100");
     cli.addFlag("iters", static_cast<std::int64_t>(10000000),
                 "MFMA operations per wavefront");
+    cli.requireIntAtLeast("iters", 1);
     cli.addFlag("reps", static_cast<std::int64_t>(10),
                 "measurement repetitions");
+    cli.requireIntAtLeast("reps", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int reps = static_cast<int>(cli.getInt("reps"));
@@ -131,5 +133,5 @@ main(int argc, char **argv)
     }
     std::cout << "(paper Fig. 4: 350 / x / 88 / 69 TFLOPS on MI250X; "
                  "290 / 290 / x / 19.4 TFLOPS on A100)\n";
-    return 0;
+    return bench::finishBench("fig4_peak_comparison");
 }

@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -47,6 +48,7 @@ main(int argc, char **argv)
                   "(both GCDs), sampled via the SMI interface");
     cli.addFlag("iters", static_cast<std::int64_t>(6000000000),
                 "MFMA operations per wavefront (sets kernel duration)");
+    cli.requireIntAtLeast("iters", 1);
     cli.addFlag("period", 0.1, "power sampling period in seconds");
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
@@ -120,5 +122,5 @@ main(int argc, char **argv)
     std::cout << "(paper Section VI: 1020 / 273 / 127 GFLOPS/W for "
                  "mixed / float / double; double peaks at 541 W near "
                  "the 560 W cap)\n";
-    return 0;
+    return bench::finishBench("fig5_power");
 }

@@ -95,11 +95,12 @@ int
 main(int argc, char **argv)
 {
     CliParser cli("Figure 6: SGEMM/DGEMM throughput vs matrix size");
-    cli.addFlag("reps", static_cast<std::int64_t>(10),
-                "measurement repetitions");
+    bench::addRepsFlag(cli, 10);
     cli.addFlag("maxn", static_cast<std::int64_t>(65536),
                 "largest matrix dimension attempted");
+    cli.requireIntAtLeast("maxn", 16);
     cli.addFlag("csv", false, "emit CSV instead of a table");
+    bench::addOutFlag(cli);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
     cli.parse(argc, argv);
@@ -112,8 +113,11 @@ main(int argc, char **argv)
         auto opened = res.resume
             ? exec::SweepJournal::open(res.journalPath, kBenchName)
             : exec::SweepJournal::create(res.journalPath, kBenchName);
-        if (!opened.isOk())
-            mc_fatal("journal: ", opened.status().toString());
+        if (!opened.isOk()) {
+            std::fprintf(stderr, "[%s] journal: %s\n", kBenchName,
+                         opened.status().toString().c_str());
+            return bench::finishBench(kBenchName, opened.status().code());
+        }
         journal.emplace(std::move(opened.value()));
     }
 
@@ -198,7 +202,9 @@ main(int argc, char **argv)
     if (res.resume && journal)
         resumed_points = journal->loadedOkCount();
 
-    CsvWriter csv(std::cout);
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+    CsvWriter csv(os);
     if (cli.getBool("csv"))
         csv.writeRow({"combo", "n", "tflops", "macro_tile"});
 
@@ -260,23 +266,24 @@ main(int argc, char **argv)
             }
         }
         if (!cli.getBool("csv")) {
-            table.print(std::cout);
-            std::cout << "\n";
+            table.print(os);
+            os << "\n";
         }
         chart.addSeries(std::move(plot_series));
     }
     if (!cli.getBool("csv")) {
-        chart.print(std::cout);
-        std::printf("plan cache: %llu plans computed, %llu repetitions "
-                    "served from cache\n",
-                    static_cast<unsigned long long>(plans_computed),
-                    static_cast<unsigned long long>(plan_hits));
+        chart.print(os);
+        os << "plan cache: " << plans_computed
+           << " plans computed, " << plan_hits
+           << " repetitions served from cache\n";
     }
-    std::cout << "(paper Fig. 6: SGEMM peaks ~43 TFLOPS at N=8192 and "
-                 "recovers near 65000; DGEMM peaks ~37 TFLOPS at "
-                 "N=4096 and drops beyond)\n";
+    os << "(paper Fig. 6: SGEMM peaks ~43 TFLOPS at N=8192 and "
+          "recovers near 65000; DGEMM peaks ~37 TFLOPS at "
+          "N=4096 and drops beyond)\n";
 
     bench::printSweepSummary(kBenchName, points.size(), failures,
                              runner.lastStats().skipped, resumed_points);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

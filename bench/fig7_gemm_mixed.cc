@@ -74,12 +74,13 @@ int
 main(int argc, char **argv)
 {
     CliParser cli("Figure 7: HGEMM/HSS/HHS throughput vs matrix size");
-    cli.addFlag("reps", static_cast<std::int64_t>(10),
-                "measurement repetitions");
+    bench::addRepsFlag(cli, 10);
     cli.addFlag("maxn", static_cast<std::int64_t>(65536),
                 "largest matrix dimension attempted");
+    cli.requireIntAtLeast("maxn", 16);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
@@ -90,10 +91,16 @@ main(int argc, char **argv)
         auto opened = res.resume
             ? exec::SweepJournal::open(res.journalPath, kBenchName)
             : exec::SweepJournal::create(res.journalPath, kBenchName);
-        if (!opened.isOk())
-            mc_fatal("journal: ", opened.status().toString());
+        if (!opened.isOk()) {
+            std::fprintf(stderr, "[%s] journal: %s\n", kBenchName,
+                         opened.status().toString().c_str());
+            return bench::finishBench(kBenchName, opened.status().code());
+        }
         journal.emplace(std::move(opened.value()));
     }
+
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
 
     // Table III reminder.
     TextTable types({"operation", "typeAB", "typeCD", "compute type"});
@@ -107,8 +114,8 @@ main(int argc, char **argv)
                       arch::dataTypeName(info.typeCD),
                       arch::dataTypeName(info.computeType)});
     }
-    types.print(std::cout);
-    std::cout << "\n";
+    types.print(os);
+    os << "\n";
 
     // One sweep point per (N, combo), in the row-major order the table
     // is rendered in.
@@ -225,7 +232,7 @@ main(int argc, char **argv)
         if (any_oom)
             break;
     }
-    table.print(std::cout);
+    table.print(os);
 
     // Section VII: speedup range over the sweep (N >= 1024, where the
     // device is reasonably utilized).
@@ -237,14 +244,19 @@ main(int argc, char **argv)
         lo = std::min(lo, s);
         hi = std::max(hi, s);
     }
-    std::printf("\nMatrix Core speedup over SIMD (HHS vs HGEMM, "
-                "N >= 1024): %.1fx - %.1fx (paper: 2.3x - 7.5x)\n",
-                lo, hi);
-    std::cout << "(paper Fig. 7: HHS peaks at 155 TFLOPS = 88% of the "
-                 "one-GCD plateau; HHS > HSS for N > 1024; HGEMM never "
-                 "uses Matrix Cores)\n";
+    char speedup[128];
+    std::snprintf(speedup, sizeof(speedup),
+                  "\nMatrix Core speedup over SIMD (HHS vs HGEMM, "
+                  "N >= 1024): %.1fx - %.1fx (paper: 2.3x - 7.5x)\n",
+                  lo, hi);
+    os << speedup;
+    os << "(paper Fig. 7: HHS peaks at 155 TFLOPS = 88% of the "
+          "one-GCD plateau; HHS > HSS for N > 1024; HGEMM never "
+          "uses Matrix Cores)\n";
 
     bench::printSweepSummary(kBenchName, points.size(), failures,
                              runner.lastStats().skipped, resumed_points);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

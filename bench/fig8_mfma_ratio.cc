@@ -27,6 +27,8 @@ namespace {
 
 using namespace mc;
 
+constexpr const char *kBenchName = "fig8_mfma_ratio";
+
 struct Point
 {
     blas::GemmCombo combo;
@@ -48,8 +50,10 @@ main(int argc, char **argv)
                   "Cores, from Eq. 1 over the hardware counters");
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
+    cli.requireIntAtLeast("maxn", 16);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
@@ -59,7 +63,7 @@ main(int argc, char **argv)
         for (blas::GemmCombo combo : blas::allCombos)
             points.push_back({combo, n});
 
-    exec::SweepRunner runner("fig8_mfma_ratio", bench::jobsFlag(cli));
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
     const std::vector<Result<PointResult>> results = runner.mapResult(
         points.size(),
         [&](std::size_t i) -> Result<PointResult> {
@@ -98,6 +102,9 @@ main(int argc, char **argv)
         },
         res.maxPointFailures);
 
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+
     TextTable table({"N", "dgemm", "sgemm", "hgemm", "hhs", "hss"});
     table.setTitle("Figure 8: Matrix Core share of GEMM FLOPs "
                    "(counter-derived, alpha = beta = 0.1)");
@@ -134,7 +141,7 @@ main(int argc, char **argv)
         }
         table.addRow(row);
     }
-    table.print(std::cout);
+    table.print(os);
 
     // The counters behind one representative point, spelled out the way
     // a rocprof results file would list them.
@@ -148,24 +155,30 @@ main(int argc, char **argv)
     auto result = engine.run(cfg);
     if (result.isOk()) {
         const auto &counters = result.value().kernel.counters;
-        std::cout << "\nEq. 1 inputs for dgemm N=512:\n";
+        os << "\nEq. 1 inputs for dgemm N=512:\n";
+        char line[96];
         for (const char *name :
              {"SQ_INSTS_VALU_MFMA_MOPS_F64", "SQ_INSTS_VALU_ADD_F64",
               "SQ_INSTS_VALU_MUL_F64", "SQ_INSTS_VALU_FMA_F64"}) {
-            std::printf("  %-28s = %llu\n", name,
-                        static_cast<unsigned long long>(
-                            counters.byName(name)));
+            std::snprintf(line, sizeof(line), "  %-28s = %llu\n", name,
+                          static_cast<unsigned long long>(
+                              counters.byName(name)));
+            os << line;
         }
         const double total =
             prof::totalFlops(counters, arch::DataType::F64);
-        std::printf("  TOTAL_FLOPS_F64 = %.0f (algorithmic: 2N^3+3N^2 "
-                    "= %.0f)\n",
-                    total, 2.0 * 512 * 512 * 512 + 3.0 * 512 * 512);
+        std::snprintf(line, sizeof(line),
+                      "  TOTAL_FLOPS_F64 = %.0f (algorithmic: 2N^3+3N^2 "
+                      "= %.0f)\n",
+                      total, 2.0 * 512 * 512 * 512 + 3.0 * 512 * 512);
+        os << line;
     }
-    std::cout << "(paper Fig. 8: > 90% for N > 16, > 99% for N > 256; "
-                 "HGEMM at 0%; HHS/HSS at 0% for N = 16)\n";
+    os << "(paper Fig. 8: > 90% for N > 16, > 99% for N > 256; "
+          "HGEMM at 0%; HHS/HSS at 0% for N = 16)\n";
 
-    bench::printSweepSummary("fig8_mfma_ratio", points.size(), failures,
+    bench::printSweepSummary(kBenchName, points.size(), failures,
                              runner.lastStats().skipped, 0);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

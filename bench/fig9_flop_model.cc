@@ -26,6 +26,8 @@ namespace {
 
 using namespace mc;
 
+constexpr const char *kBenchName = "fig9_flop_model";
+
 struct Point
 {
     blas::GemmCombo combo;
@@ -48,8 +50,10 @@ main(int argc, char **argv)
                   "Matrix Cores (2N^3) and SIMDs (3N^2)");
     cli.addFlag("maxn", static_cast<std::int64_t>(16384),
                 "largest matrix dimension");
+    cli.requireIntAtLeast("maxn", 16);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
@@ -61,7 +65,7 @@ main(int argc, char **argv)
         for (std::size_t n = 16; n <= maxn; n *= 2)
             points.push_back({combo, n});
 
-    exec::SweepRunner runner("fig9_flop_model", bench::jobsFlag(cli));
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
     const std::vector<Result<PointResult>> results = runner.mapResult(
         points.size(),
         [&](std::size_t i) -> Result<PointResult> {
@@ -100,6 +104,9 @@ main(int argc, char **argv)
             return out;
         },
         res.maxPointFailures);
+
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
 
     std::vector<bench::FailedPoint> failures;
     std::size_t index = 0;
@@ -153,14 +160,16 @@ main(int argc, char **argv)
             table.addRow({std::to_string(n), mc, mc_model, simd,
                           simd_model, ratio});
         }
-        table.print(std::cout);
-        std::cout << "\n";
+        table.print(os);
+        os << "\n";
     }
-    std::cout << "(paper Fig. 9: measurements overlap the 2N^3 / 3N^2 "
-                 "model for N >= 32; for N >= 32 more than 95% of "
-                 "FLOPs run on Matrix Cores)\n";
+    os << "(paper Fig. 9: measurements overlap the 2N^3 / 3N^2 "
+          "model for N >= 32; for N >= 32 more than 95% of "
+          "FLOPs run on Matrix Cores)\n";
 
-    bench::printSweepSummary("fig9_flop_model", points.size(), failures,
+    bench::printSweepSummary(kBenchName, points.size(), failures,
                              runner.lastStats().skipped, 0);
-    return runner.lastStats().budgetExhausted ? 1 : 0;
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "arch/mfma_isa.hh"
+#include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
 
@@ -89,5 +90,5 @@ main(int argc, char **argv)
             full.print(std::cout);
         }
     }
-    return 0;
+    return bench::finishBench("table1_shapes");
 }

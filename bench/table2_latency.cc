@@ -39,8 +39,10 @@ main(int argc, char **argv)
     CliParser cli("Table II: MFMA instruction latency micro-benchmark");
     cli.addFlag("iters", static_cast<std::int64_t>(40000000),
                 "loop iterations per measurement");
+    cli.requireIntAtLeast("iters", 1);
     cli.addFlag("reps", static_cast<std::int64_t>(10),
                 "measurement repetitions");
+    cli.requireIntAtLeast("reps", 1);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
     const int reps = static_cast<int>(cli.getInt("reps"));
@@ -77,5 +79,5 @@ main(int argc, char **argv)
     table.print(std::cout);
     std::cout << "\n(paper Table II: 64.0 / 32.0 / 64.0 / 32.0 / 32.0 "
                  "cycles)\n";
-    return 0;
+    return bench::finishBench("table2_latency");
 }

@@ -1,0 +1,102 @@
+# Crash-and-resume check for the mc_suite supervisor, run as a ctest
+# entry (see tools/CMakeLists.txt). A reference suite runs to
+# completion; a second suite is SIGKILLed by the --kill-after test hook
+# right after its first bench is recorded in the manifest; --resume
+# then finishes it. The resumed run must
+#   - skip the completed bench without re-executing it (marker file),
+#   - produce byte-identical bench CSVs to the uninterrupted run,
+#   - list each bench exactly once in the manifest (no duplicates),
+#   - leave no .tmp. atomic-write residue behind.
+#
+# Inputs: -DMC_SUITE=<path> -DFIG8=<path> -DFIG9=<path> -DWORK_DIR=<dir>
+
+foreach(var MC_SUITE FIG8 FIG9 WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# The marker bench proves (non-)re-execution: every execution appends
+# one line. MAXN is tiny to keep the sweeps fast.
+set(plan "${WORK_DIR}/suite.plan")
+file(WRITE "${plan}" "\
+# kill/resume check plan
+bench marker : /bin/sh -c 'echo ran >> marker.txt'
+bench fig8 out=fig8.csv : ${FIG8} --maxn=64 --out=fig8.csv
+bench fig9 out=fig9.csv : ${FIG9} --maxn=64 --out=fig9.csv
+")
+
+# 1. Uninterrupted reference run.
+execute_process(
+    COMMAND "${MC_SUITE}" --plan "${plan}" --run-dir "${WORK_DIR}/ref"
+            --quiet
+    RESULT_VARIABLE ref_result)
+if(NOT ref_result EQUAL 0)
+    message(FATAL_ERROR "reference suite failed: ${ref_result}")
+endif()
+
+# 2. Suite SIGKILLed right after the first bench's manifest write.
+execute_process(
+    COMMAND "${MC_SUITE}" --plan "${plan}" --run-dir "${WORK_DIR}/killed"
+            --quiet --kill-after 1
+    RESULT_VARIABLE killed_result)
+if(killed_result EQUAL 0)
+    message(FATAL_ERROR "--kill-after 1 run was expected to die, got 0")
+endif()
+if(EXISTS "${WORK_DIR}/killed/fig8.csv")
+    message(FATAL_ERROR "killed run should not have reached fig8")
+endif()
+
+# 3. Resume the killed run-dir to completion.
+execute_process(
+    COMMAND "${MC_SUITE}" --plan "${plan}" --run-dir "${WORK_DIR}/killed"
+            --quiet --resume
+    RESULT_VARIABLE resume_result)
+if(NOT resume_result EQUAL 0)
+    message(FATAL_ERROR "resumed suite failed: ${resume_result}")
+endif()
+
+# The completed bench was skipped, not re-executed.
+file(READ "${WORK_DIR}/killed/marker.txt" marker)
+if(NOT marker STREQUAL "ran\n")
+    message(FATAL_ERROR
+        "marker bench re-executed on resume: '${marker}'")
+endif()
+
+# Resumed outputs are byte-identical to the uninterrupted run's.
+foreach(csv fig8.csv fig9.csv)
+    execute_process(
+        COMMAND "${CMAKE_COMMAND}" -E compare_files
+                "${WORK_DIR}/ref/${csv}" "${WORK_DIR}/killed/${csv}"
+        RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "${csv} differs between reference and resumed run")
+    endif()
+endforeach()
+
+# Each bench appears exactly once in the resumed manifest, and the
+# completed one is marked as satisfied from the manifest.
+file(READ "${WORK_DIR}/killed/manifest.json" manifest)
+foreach(name marker fig8 fig9)
+    string(REGEX MATCHALL "\"name\": \"${name}\"" hits "${manifest}")
+    list(LENGTH hits count)
+    if(NOT count EQUAL 1)
+        message(FATAL_ERROR
+            "bench '${name}' appears ${count} times in the manifest")
+    endif()
+endforeach()
+if(NOT manifest MATCHES "\"resumed\": true")
+    message(FATAL_ERROR "no manifest entry is marked resumed")
+endif()
+
+# Atomic writes must not leave temp residue.
+file(GLOB_RECURSE residue "${WORK_DIR}/killed/*.tmp.*")
+if(residue)
+    message(FATAL_ERROR "atomic-write residue left behind: ${residue}")
+endif()
+
+message(STATUS "suite kill/resume check passed")

@@ -1,0 +1,75 @@
+#include "atomic_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace mc {
+
+namespace {
+
+/** errno rendered as "message (errno N)". */
+std::string
+errnoText()
+{
+    return std::string(std::strerror(errno)) + " (errno " +
+           std::to_string(errno) + ")";
+}
+
+} // namespace
+
+Status
+writeFileAtomic(const std::string &path, const std::string &contents)
+{
+    // The temp file must live in the target's directory: rename(2) is
+    // atomic only within one filesystem. The pid suffix keeps
+    // concurrent writers (distinct processes) from clobbering each
+    // other's temp files.
+    const std::string tmp_path =
+        path + ".tmp." + std::to_string(::getpid());
+
+    std::FILE *f = std::fopen(tmp_path.c_str(), "wb");
+    if (!f) {
+        return Status::invalidArgument("cannot create temp file '" +
+                                       tmp_path + "': " + errnoText());
+    }
+
+    bool write_ok =
+        contents.empty() ||
+        std::fwrite(contents.data(), 1, contents.size(), f) ==
+            contents.size();
+    // Flush user-space buffers, then force the data to stable storage
+    // before the rename makes it visible: a rename that survives a
+    // crash must never point at un-synced content.
+    write_ok = write_ok && std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+    if (std::fclose(f) != 0)
+        write_ok = false;
+    if (!write_ok) {
+        std::remove(tmp_path.c_str());
+        return Status::dataLoss("failed writing temp file '" + tmp_path +
+                                "': " + errnoText());
+    }
+
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        const std::string detail = errnoText();
+        std::remove(tmp_path.c_str());
+        return Status::dataLoss("cannot rename '" + tmp_path + "' to '" +
+                                path + "': " + detail);
+    }
+    return Status::ok();
+}
+
+Status
+AtomicFileWriter::commit()
+{
+    mc_assert(!_committed, "AtomicFileWriter::commit() called twice for '",
+              _path, "'");
+    _committed = true;
+    return writeFileAtomic(_path, _buffer.str());
+}
+
+} // namespace mc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Durable, atomic file replacement.
+ *
+ * A result file that takes hours to produce must never be observed
+ * half-written: a bench killed mid-emit (watchdog SIGKILL, OOM killer,
+ * node reclaim) would otherwise leave a torn CSV that a later resume or
+ * plotting step silently consumes. The helper here implements the
+ * classic write-temp-then-rename protocol: the content is written to a
+ * temporary file *in the same directory* as the target (rename(2) is
+ * only atomic within a filesystem), flushed and fsync'd, and then
+ * renamed over the destination. Readers see either the complete old
+ * file or the complete new one — never a prefix.
+ *
+ * AtomicFileWriter buffers through an in-memory stream, so a crash at
+ * any point before commit() leaves the target untouched; the only
+ * residue possible is a stale `<target>.tmp.<pid>` from a kill inside
+ * commit() itself, which a subsequent commit to the same target
+ * overwrites.
+ */
+
+#ifndef MC_COMMON_ATOMIC_FILE_HH
+#define MC_COMMON_ATOMIC_FILE_HH
+
+#include <sstream>
+#include <string>
+
+#include "common/status.hh"
+
+namespace mc {
+
+/**
+ * Atomically replace @p path with @p contents (temp file + fsync +
+ * rename). Returns DataLoss when the temp file cannot be durably
+ * written and InvalidArgument when the directory is unwritable.
+ */
+Status writeFileAtomic(const std::string &path, const std::string &contents);
+
+/**
+ * Stream-style front end to writeFileAtomic: accumulate output through
+ * stream(), then commit() once. Destruction without commit() discards
+ * the buffered content and leaves the target untouched.
+ */
+class AtomicFileWriter
+{
+  public:
+    /** Prepare a writer targeting @p path; nothing touches disk yet. */
+    explicit AtomicFileWriter(std::string path) : _path(std::move(path)) {}
+
+    /** The in-memory output stream. */
+    std::ostream &stream() { return _buffer; }
+
+    /** Buffered bytes so far. */
+    std::string contents() const { return _buffer.str(); }
+
+    /**
+     * Durably publish the buffered content at the target path. At most
+     * one commit per writer.
+     */
+    Status commit();
+
+    const std::string &path() const { return _path; }
+
+  private:
+    std::string _path;
+    std::ostringstream _buffer;
+    bool _committed = false;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_ATOMIC_FILE_HH

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "logging.hh"
+#include "status.hh"
 
 namespace mc {
 
@@ -59,6 +60,54 @@ CliParser::addFlag(const std::string &name, const std::string &default_value,
 }
 
 void
+CliParser::usageError(const std::string &message) const
+{
+    const std::string prog =
+        _programName.empty() ? "prog" : _programName;
+    std::fprintf(stderr, "%s: error: %s (try --help)\n", prog.c_str(),
+                 message.c_str());
+    std::exit(exit_code::Usage);
+}
+
+void
+CliParser::requireIntAtLeast(const std::string &name, std::int64_t min)
+{
+    mc_assert(_flags.count(name) && _flags.at(name).type == FlagType::Int,
+              "constraint on unregistered or non-int flag --", name);
+    _constraints.push_back({name, false, min});
+}
+
+void
+CliParser::requirePositiveDouble(const std::string &name)
+{
+    mc_assert(_flags.count(name) &&
+                  _flags.at(name).type == FlagType::Double,
+              "constraint on unregistered or non-double flag --", name);
+    _constraints.push_back({name, true, 0});
+}
+
+void
+CliParser::checkConstraints() const
+{
+    for (const Constraint &constraint : _constraints) {
+        const Flag &flag = _flags.at(constraint.flagName);
+        if (constraint.isDouble) {
+            if (flag.doubleValue <= 0.0) {
+                std::ostringstream os;
+                os << "--" << constraint.flagName
+                   << " must be positive, got " << flag.doubleValue;
+                usageError(os.str());
+            }
+        } else if (flag.intValue < constraint.minInt) {
+            std::ostringstream os;
+            os << "--" << constraint.flagName << " must be >= "
+               << constraint.minInt << ", got " << flag.intValue;
+            usageError(os.str());
+        }
+    }
+}
+
+void
 CliParser::setFromString(Flag &flag, const std::string &name,
                          const std::string &text)
 {
@@ -69,22 +118,27 @@ CliParser::setFromString(Flag &flag, const std::string &name,
         } else if (text == "false" || text == "0") {
             flag.boolValue = false;
         } else {
-            mc_fatal("flag --", name, " expects a boolean, got '", text, "'");
+            usageError("flag --" + name + " expects a boolean, got '" +
+                       text + "'");
         }
         break;
       case FlagType::Int: {
         char *end = nullptr;
         const long long v = std::strtoll(text.c_str(), &end, 10);
-        if (end == text.c_str() || *end != '\0')
-            mc_fatal("flag --", name, " expects an integer, got '", text, "'");
+        if (end == text.c_str() || *end != '\0') {
+            usageError("flag --" + name + " expects an integer, got '" +
+                       text + "'");
+        }
         flag.intValue = v;
         break;
       }
       case FlagType::Double: {
         char *end = nullptr;
         const double v = std::strtod(text.c_str(), &end);
-        if (end == text.c_str() || *end != '\0')
-            mc_fatal("flag --", name, " expects a number, got '", text, "'");
+        if (end == text.c_str() || *end != '\0') {
+            usageError("flag --" + name + " expects a number, got '" +
+                       text + "'");
+        }
         flag.doubleValue = v;
         break;
       }
@@ -116,7 +170,7 @@ CliParser::parse(int argc, const char *const *argv)
 
         auto it = _flags.find(name);
         if (it == _flags.end())
-            mc_fatal("unknown flag --", name, "\n", usage());
+            usageError("unknown flag --" + name);
         Flag &flag = it->second;
 
         if (!has_value) {
@@ -125,7 +179,7 @@ CliParser::parse(int argc, const char *const *argv)
                 continue;
             }
             if (i + 1 >= argc)
-                mc_fatal("flag --", name, " requires a value");
+                usageError("flag --" + name + " requires a value");
             value = argv[++i];
         }
         setFromString(flag, name, value);
@@ -135,6 +189,7 @@ CliParser::parse(int argc, const char *const *argv)
         std::fputs(usage().c_str(), stdout);
         std::exit(0);
     }
+    checkConstraints();
 }
 
 const CliParser::Flag &

@@ -5,6 +5,13 @@
  * Accepted syntax: --name=value, --name value, and bare --name for
  * booleans. Unknown flags are a fatal user error so typos do not silently
  * fall back to defaults.
+ *
+ * All usage errors — unknown flags, malformed values, and registered
+ * range constraints (requireIntAtLeast / requirePositiveDouble) — are
+ * reported uniformly as one `<prog>: error: ...` line on stderr
+ * followed by exit(exit_code::Usage), so every binary in the suite
+ * rejects bad invocations identically and the mc_suite supervisor can
+ * classify them as InvalidArgument without retrying.
  */
 
 #ifndef MC_COMMON_CLI_HH
@@ -37,8 +44,19 @@ class CliParser
                  const std::string &help);
 
     /**
-     * Parse argv. Exits with usage text on --help; fatal on unknown flags
-     * or malformed values.
+     * Require the int flag @p name to be >= @p min; checked at the end
+     * of parse() (defaults are validated too, so a bad default is
+     * caught in testing rather than shipped).
+     */
+    void requireIntAtLeast(const std::string &name, std::int64_t min);
+
+    /** Require the double flag @p name to be strictly positive. */
+    void requirePositiveDouble(const std::string &name);
+
+    /**
+     * Parse argv. Exits with usage text on --help; usage errors
+     * (unknown flags, malformed values, violated constraints) print
+     * one error line and exit with exit_code::Usage.
      */
     void parse(int argc, const char *const *argv);
 
@@ -66,13 +84,23 @@ class CliParser
         std::string stringValue;
     };
 
+    struct Constraint
+    {
+        std::string flagName;
+        bool isDouble = false;
+        std::int64_t minInt = 0; ///< for int flags: value must be >= this
+    };
+
     const Flag &lookup(const std::string &name, FlagType type) const;
     void setFromString(Flag &flag, const std::string &name,
                        const std::string &text);
+    [[noreturn]] void usageError(const std::string &message) const;
+    void checkConstraints() const;
 
     std::string _summary;
     std::string _programName;
     std::map<std::string, Flag> _flags;
+    std::vector<Constraint> _constraints;
     std::vector<std::string> _positional;
 };
 

@@ -43,4 +43,42 @@ hashString(std::string_view text, std::uint64_t seed)
     return hashBytes(text.data(), text.size(), seed);
 }
 
+namespace {
+
+/** Byte-indexed CRC-32 table for the reflected polynomial. */
+struct Crc32Table
+{
+    std::uint32_t entries[256];
+
+    constexpr Crc32Table() : entries{}
+    {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
+            entries[i] = c;
+        }
+    }
+};
+
+constexpr Crc32Table kCrc32Table;
+
+} // namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size, std::uint32_t crc)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    std::uint32_t c = crc ^ 0xffffffffu;
+    for (std::size_t i = 0; i < size; ++i)
+        c = kCrc32Table.entries[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+    return c ^ 0xffffffffu;
+}
+
+std::uint32_t
+crc32String(std::string_view text, std::uint32_t crc)
+{
+    return crc32(text.data(), text.size(), crc);
+}
+
 } // namespace mc

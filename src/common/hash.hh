@@ -44,6 +44,20 @@ hashDouble(std::uint64_t seed, double value)
     return hashCombine(seed, std::bit_cast<std::uint64_t>(value));
 }
 
+/**
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+ * range. Unlike the FNV/splitmix hashes above — which are for seeding
+ * and fingerprinting — this is the conventional checksum format, so
+ * persisted records (sweep journals) can be validated by external
+ * tooling. Pass a previous return value as @p crc to checksum data in
+ * chunks.
+ */
+std::uint32_t crc32(const void *data, std::size_t size,
+                    std::uint32_t crc = 0);
+
+/** crc32 over the characters of @p text. */
+std::uint32_t crc32String(std::string_view text, std::uint32_t crc = 0);
+
 } // namespace mc
 
 #endif // MC_COMMON_HASH_HH

@@ -1,0 +1,474 @@
+#include "json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mc {
+
+bool
+JsonValue::asBool() const
+{
+    mc_assert(_type == Type::Bool, "JSON value is not a bool");
+    return _bool;
+}
+
+double
+JsonValue::asNumber() const
+{
+    mc_assert(_type == Type::Number, "JSON value is not a number");
+    return _number;
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    return static_cast<std::int64_t>(std::llround(asNumber()));
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    mc_assert(_type == Type::String, "JSON value is not a string");
+    return _string;
+}
+
+void
+JsonValue::append(JsonValue value)
+{
+    mc_assert(_type == Type::Array, "append() on a non-array JSON value");
+    _elements.push_back(std::move(value));
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (_type == Type::Array)
+        return _elements.size();
+    if (_type == Type::Object)
+        return _members.size();
+    mc_panic("size() on a scalar JSON value");
+}
+
+const JsonValue &
+JsonValue::at(std::size_t index) const
+{
+    mc_assert(_type == Type::Array, "at(index) on a non-array JSON value");
+    mc_assert(index < _elements.size(), "JSON array index ", index,
+              " out of range (size ", _elements.size(), ")");
+    return _elements[index];
+}
+
+JsonValue &
+JsonValue::at(std::size_t index)
+{
+    return const_cast<JsonValue &>(
+        static_cast<const JsonValue *>(this)->at(index));
+}
+
+void
+JsonValue::set(const std::string &key, JsonValue value)
+{
+    mc_assert(_type == Type::Object, "set() on a non-object JSON value");
+    for (auto &[name, member] : _members) {
+        if (name == key) {
+            member = std::move(value);
+            return;
+        }
+    }
+    _members.emplace_back(key, std::move(value));
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return find(key) != nullptr;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (_type != Type::Object)
+        return nullptr;
+    for (const auto &[name, member] : _members) {
+        if (name == key)
+            return &member;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *member = find(key);
+    mc_assert(member, "JSON object has no member '", key, "'");
+    return *member;
+}
+
+// ---- Serialization --------------------------------------------------------
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    out += '"';
+    for (char ch : text) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+appendNumber(std::string &out, double value)
+{
+    // Integers render without a fraction so attempt counts and exit
+    // codes stay readable; %.17g round-trips everything else.
+    if (value == std::floor(value) && std::abs(value) < 1e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+        out += buf;
+    } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out += buf;
+    }
+}
+
+void
+appendNewlineIndent(std::string &out, int indent, int depth)
+{
+    if (indent <= 0)
+        return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+} // namespace
+
+void
+JsonValue::serializeTo(std::string &out, int indent, int depth) const
+{
+    switch (_type) {
+      case Type::Null:
+        out += "null";
+        break;
+      case Type::Bool:
+        out += _bool ? "true" : "false";
+        break;
+      case Type::Number:
+        appendNumber(out, _number);
+        break;
+      case Type::String:
+        appendEscaped(out, _string);
+        break;
+      case Type::Array:
+        if (_elements.empty()) {
+            out += "[]";
+            break;
+        }
+        out += '[';
+        for (std::size_t i = 0; i < _elements.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            appendNewlineIndent(out, indent, depth + 1);
+            _elements[i].serializeTo(out, indent, depth + 1);
+        }
+        appendNewlineIndent(out, indent, depth);
+        out += ']';
+        break;
+      case Type::Object:
+        if (_members.empty()) {
+            out += "{}";
+            break;
+        }
+        out += '{';
+        for (std::size_t i = 0; i < _members.size(); ++i) {
+            if (i)
+                out += indent > 0 ? "," : ", ";
+            appendNewlineIndent(out, indent, depth + 1);
+            appendEscaped(out, _members[i].first);
+            out += ": ";
+            _members[i].second.serializeTo(out, indent, depth + 1);
+        }
+        appendNewlineIndent(out, indent, depth);
+        out += '}';
+        break;
+    }
+}
+
+std::string
+JsonValue::serialize(int indent) const
+{
+    std::string out;
+    serializeTo(out, indent, 0);
+    if (indent > 0)
+        out += '\n';
+    return out;
+}
+
+// ---- Parsing --------------------------------------------------------------
+
+namespace {
+
+/** Recursive-descent parser state over the input text. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : _text(text) {}
+
+    Result<JsonValue>
+    parseDocument()
+    {
+        JsonValue value;
+        Status status = parseValue(value, 0);
+        if (!status.isOk())
+            return status;
+        skipWhitespace();
+        if (_pos != _text.size())
+            return error("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    Status
+    error(const std::string &what) const
+    {
+        return Status::invalidArgument(
+            "JSON parse error at offset " + std::to_string(_pos) + ": " +
+            what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r'))
+            ++_pos;
+    }
+
+    bool
+    consume(char ch)
+    {
+        if (_pos < _text.size() && _text[_pos] == ch) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    consumeLiteral(const char *literal)
+    {
+        std::size_t len = 0;
+        while (literal[len])
+            ++len;
+        if (_text.compare(_pos, len, literal) != 0)
+            return false;
+        _pos += len;
+        return true;
+    }
+
+    Status
+    parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return error("nesting too deep");
+        skipWhitespace();
+        if (_pos >= _text.size())
+            return error("unexpected end of input");
+        switch (_text[_pos]) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string text;
+            Status status = parseString(text);
+            if (!status.isOk())
+                return status;
+            out = JsonValue(std::move(text));
+            return Status::ok();
+          }
+          case 't':
+            if (consumeLiteral("true")) {
+                out = JsonValue(true);
+                return Status::ok();
+            }
+            return error("invalid literal");
+          case 'f':
+            if (consumeLiteral("false")) {
+                out = JsonValue(false);
+                return Status::ok();
+            }
+            return error("invalid literal");
+          case 'n':
+            if (consumeLiteral("null")) {
+                out = JsonValue();
+                return Status::ok();
+            }
+            return error("invalid literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    Status
+    parseObject(JsonValue &out, int depth)
+    {
+        consume('{');
+        out = JsonValue::object();
+        skipWhitespace();
+        if (consume('}'))
+            return Status::ok();
+        while (true) {
+            skipWhitespace();
+            std::string key;
+            Status status = parseString(key);
+            if (!status.isOk())
+                return status;
+            skipWhitespace();
+            if (!consume(':'))
+                return error("expected ':' after object key");
+            JsonValue member;
+            status = parseValue(member, depth + 1);
+            if (!status.isOk())
+                return status;
+            out.set(key, std::move(member));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return Status::ok();
+            return error("expected ',' or '}' in object");
+        }
+    }
+
+    Status
+    parseArray(JsonValue &out, int depth)
+    {
+        consume('[');
+        out = JsonValue::array();
+        skipWhitespace();
+        if (consume(']'))
+            return Status::ok();
+        while (true) {
+            JsonValue element;
+            Status status = parseValue(element, depth + 1);
+            if (!status.isOk())
+                return status;
+            out.append(std::move(element));
+            skipWhitespace();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return Status::ok();
+            return error("expected ',' or ']' in array");
+        }
+    }
+
+    Status
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return error("expected '\"'");
+        out.clear();
+        while (_pos < _text.size()) {
+            char ch = _text[_pos++];
+            if (ch == '"')
+                return Status::ok();
+            if (ch != '\\') {
+                out += ch;
+                continue;
+            }
+            if (_pos >= _text.size())
+                break;
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (_pos + 4 > _text.size())
+                    return error("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char hex = _text[_pos++];
+                    code <<= 4;
+                    if (hex >= '0' && hex <= '9')
+                        code |= static_cast<unsigned>(hex - '0');
+                    else if (hex >= 'a' && hex <= 'f')
+                        code |= static_cast<unsigned>(hex - 'a' + 10);
+                    else if (hex >= 'A' && hex <= 'F')
+                        code |= static_cast<unsigned>(hex - 'A' + 10);
+                    else
+                        return error("invalid \\u escape");
+                }
+                // The manifest only ever escapes control bytes; other
+                // code points pass through UTF-8 encoded as written.
+                if (code > 0xff)
+                    return error("\\u escape beyond latin-1 unsupported");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                return error("invalid escape character");
+            }
+        }
+        return error("unterminated string");
+    }
+
+    Status
+    parseNumber(JsonValue &out)
+    {
+        const char *start = _text.c_str() + _pos;
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start)
+            return error("invalid number");
+        _pos += static_cast<std::size_t>(end - start);
+        out = JsonValue(value);
+        return Status::ok();
+    }
+
+    const std::string &_text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Result<JsonValue>
+JsonValue::parse(const std::string &text)
+{
+    return JsonParser(text).parseDocument();
+}
+
+} // namespace mc

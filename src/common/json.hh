@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Minimal JSON document model for the suite run manifest.
+ *
+ * The supervisor (src/exec/supervisor.hh) records every bench's
+ * command, attempts, and outcome in a JSON manifest so that humans,
+ * external tooling, and a later --resume can all read one durable
+ * artifact. The subset implemented here is exactly what that needs:
+ * null/bool/number/string/array/object values, insertion-ordered
+ * object keys (the manifest stays diffable), pretty-printed
+ * serialization, and a strict recursive-descent parser for reading the
+ * manifest back. Not a general-purpose JSON library — no comments, no
+ * NaN/Infinity, numbers are doubles.
+ */
+
+#ifndef MC_COMMON_JSON_HH
+#define MC_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace mc {
+
+/** One JSON value; a tree of these is a document. */
+class JsonValue
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() : _type(Type::Null) {}
+    JsonValue(bool value) : _type(Type::Bool), _bool(value) {}
+    JsonValue(double value) : _type(Type::Number), _number(value) {}
+    JsonValue(int value) : _type(Type::Number), _number(value) {}
+    JsonValue(std::int64_t value)
+        : _type(Type::Number), _number(static_cast<double>(value))
+    {}
+    JsonValue(std::string value)
+        : _type(Type::String), _string(std::move(value))
+    {}
+    JsonValue(const char *value) : _type(Type::String), _string(value) {}
+
+    static JsonValue
+    array()
+    {
+        JsonValue v;
+        v._type = Type::Array;
+        return v;
+    }
+
+    static JsonValue
+    object()
+    {
+        JsonValue v;
+        v._type = Type::Object;
+        return v;
+    }
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isObject() const { return _type == Type::Object; }
+    bool isArray() const { return _type == Type::Array; }
+
+    /** Typed accessors; panic on type mismatch (validate first). */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() rounded to the nearest integer. */
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+
+    // ---- Arrays ----
+
+    /** Append @p value (array values only). */
+    void append(JsonValue value);
+
+    /** Element count of an array or member count of an object. */
+    std::size_t size() const;
+
+    /** Array element @p index; panics when out of range. */
+    const JsonValue &at(std::size_t index) const;
+    JsonValue &at(std::size_t index);
+
+    // ---- Objects ----
+
+    /** Set member @p key, replacing an existing member in place. */
+    void set(const std::string &key, JsonValue value);
+
+    /** True when the object has a member @p key. */
+    bool has(const std::string &key) const;
+
+    /** Member @p key, or null when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Member @p key; panics when absent. */
+    const JsonValue &at(const std::string &key) const;
+
+    /** Members in insertion order (objects only). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    members() const
+    {
+        return _members;
+    }
+
+    // ---- Serialization ----
+
+    /**
+     * Render the document. @p indent > 0 pretty-prints with that many
+     * spaces per level; 0 emits one compact line.
+     */
+    std::string serialize(int indent = 2) const;
+
+    /** Parse a complete JSON document (rejects trailing garbage). */
+    static Result<JsonValue> parse(const std::string &text);
+
+  private:
+    void serializeTo(std::string &out, int indent, int depth) const;
+
+    Type _type;
+    bool _bool = false;
+    double _number = 0.0;
+    std::string _string;
+    std::vector<JsonValue> _elements;
+    std::vector<std::pair<std::string, JsonValue>> _members;
+};
+
+} // namespace mc
+
+#endif // MC_COMMON_JSON_HH

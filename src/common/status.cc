@@ -46,6 +46,43 @@ errorCodeFromName(std::string_view name, ErrorCode &out)
     return false;
 }
 
+int
+exitCodeFor(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return exit_code::Ok;
+      case ErrorCode::InvalidArgument:
+      case ErrorCode::Unsupported:
+        return exit_code::Usage;
+      case ErrorCode::ResourceExhausted:
+        return exit_code::BudgetExhausted;
+      case ErrorCode::DataLoss:
+        return exit_code::DataLossExit;
+      default:
+        return exit_code::Failure;
+    }
+}
+
+ErrorCode
+errorCodeForExitStatus(int exit_status)
+{
+    switch (exit_status) {
+      case exit_code::Ok:
+        return ErrorCode::Ok;
+      case exit_code::Usage:
+        return ErrorCode::InvalidArgument;
+      case exit_code::BudgetExhausted:
+        return ErrorCode::ResourceExhausted;
+      case exit_code::DataLossExit:
+        return ErrorCode::DataLoss;
+      case exit_code::ExecFailed:
+        return ErrorCode::NotFound;
+      default:
+        return ErrorCode::Internal;
+    }
+}
+
 std::string
 Status::toString() const
 {

@@ -40,6 +40,31 @@ enum class ErrorCode
 const char *errorCodeName(ErrorCode code);
 
 /**
+ * Process exit codes shared by every bench binary and the mc_suite
+ * supervisor, so a parent process can classify a child's outcome
+ * without parsing its output (docs/RESILIENCE.md).
+ */
+namespace exit_code {
+
+inline constexpr int Ok = 0;              ///< completed successfully
+inline constexpr int Failure = 1;         ///< generic failure (mc_fatal)
+inline constexpr int Usage = 2;           ///< CLI usage error
+inline constexpr int BudgetExhausted = 3; ///< point-failure budget hit
+inline constexpr int DataLossExit = 4;    ///< output could not be persisted
+inline constexpr int ExecFailed = 127;    ///< exec(2) of the binary failed
+
+} // namespace exit_code
+
+/** The exit code a bench should return for a final status @p code. */
+int exitCodeFor(ErrorCode code);
+
+/**
+ * Inverse mapping used by the supervisor: the ErrorCode implied by a
+ * child's exit code (Ok for 0, InvalidArgument for usage errors, ...).
+ */
+ErrorCode errorCodeForExitStatus(int exit_status);
+
+/**
  * Inverse of errorCodeName (used when decoding persisted journals).
  * Returns false and leaves @p out untouched for unknown names.
  */

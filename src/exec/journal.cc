@@ -1,8 +1,11 @@
 #include "journal.hh"
 
 #include <charconv>
+#include <cstdio>
 #include <sstream>
+#include <vector>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace mc {
@@ -10,42 +13,84 @@ namespace exec {
 
 namespace {
 
-constexpr const char *formatTag = "mcchar sweep journal v1";
+constexpr const char *formatTagV1 = "mcchar sweep journal v1";
+constexpr const char *formatTagV2 = "mcchar sweep journal v2";
 
 std::string
-headerLine(const std::string &bench_name)
+headerLine(const char *tag, const std::string &bench_name)
 {
-    return std::string("# ") + formatTag + " bench=" + bench_name;
+    return std::string("# ") + tag + " bench=" + bench_name;
 }
 
-/** Parse one record line; returns false (and warns) on malformed input. */
-bool
-parseRecord(const std::string &line, JournalEntry &entry)
+/** The record body (everything the checksum covers). */
+std::string
+recordBody(const JournalEntry &entry)
 {
-    const std::size_t c1 = line.find(',');
-    if (c1 == std::string::npos)
+    std::ostringstream body;
+    body << entry.index << ',' << entry.key << ','
+         << errorCodeName(entry.code) << ',' << entry.payload;
+    return body.str();
+}
+
+std::string
+crcHex(std::uint32_t crc)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%08x", crc);
+    return buf;
+}
+
+/** Parse one record body (`index,key,code,payload`); false if malformed. */
+bool
+parseRecordBody(std::string_view body, JournalEntry &entry)
+{
+    const std::size_t c1 = body.find(',');
+    if (c1 == std::string_view::npos)
         return false;
-    const std::size_t c2 = line.find(',', c1 + 1);
-    if (c2 == std::string::npos)
+    const std::size_t c2 = body.find(',', c1 + 1);
+    if (c2 == std::string_view::npos)
         return false;
-    const std::size_t c3 = line.find(',', c2 + 1);
-    if (c3 == std::string::npos)
+    const std::size_t c3 = body.find(',', c2 + 1);
+    if (c3 == std::string_view::npos)
         return false;
 
-    const std::string_view index_text(line.data(), c1);
+    const std::string_view index_text = body.substr(0, c1);
     const auto [end, ec] = std::from_chars(
         index_text.data(), index_text.data() + index_text.size(),
         entry.index);
     if (ec != std::errc{} || end != index_text.data() + index_text.size())
         return false;
 
-    entry.key = line.substr(c1 + 1, c2 - c1 - 1);
-    if (!errorCodeFromName(
-            std::string_view(line).substr(c2 + 1, c3 - c2 - 1),
-            entry.code)) {
+    entry.key = std::string(body.substr(c1 + 1, c2 - c1 - 1));
+    if (!errorCodeFromName(body.substr(c2 + 1, c3 - c2 - 1), entry.code))
         return false;
+    entry.payload = std::string(body.substr(c3 + 1));
+    return true;
+}
+
+/**
+ * Split a v2 line into its checksum field and body; false when the
+ * line has no leading 8-hex-digit field.
+ */
+bool
+splitChecksummedLine(std::string_view line, std::uint32_t &crc,
+                     std::string_view &body)
+{
+    if (line.size() < 9 || line[8] != ',')
+        return false;
+    std::uint32_t value = 0;
+    for (int i = 0; i < 8; ++i) {
+        const char ch = line[i];
+        value <<= 4;
+        if (ch >= '0' && ch <= '9')
+            value |= static_cast<std::uint32_t>(ch - '0');
+        else if (ch >= 'a' && ch <= 'f')
+            value |= static_cast<std::uint32_t>(ch - 'a' + 10);
+        else
+            return false;
     }
-    entry.payload = line.substr(c3 + 1);
+    crc = value;
+    body = line.substr(9);
     return true;
 }
 
@@ -65,7 +110,7 @@ SweepJournal::create(const std::string &path,
         return Status::invalidArgument(
             "cannot create sweep journal at '" + path + "'");
     }
-    *journal._out << headerLine(bench_name) << '\n';
+    *journal._out << headerLine(formatTagV2, bench_name) << '\n';
     journal._out->flush();
     return journal;
 }
@@ -85,25 +130,68 @@ SweepJournal::open(const std::string &path,
     journal._bench = bench_name;
     journal._mutex = std::make_shared<std::mutex>();
 
-    std::string line;
-    if (!std::getline(in, line) || line != headerLine(bench_name)) {
+    std::string header;
+    if (!std::getline(in, header)) {
         return Status::failedPrecondition(
             "'" + path + "' is not a journal of bench '" + bench_name +
-            "' (header: '" + line + "')");
+            "' (empty file)");
+    }
+    if (header == headerLine(formatTagV2, bench_name)) {
+        journal._checksummed = true;
+    } else if (header == headerLine(formatTagV1, bench_name)) {
+        journal._checksummed = false;
+    } else {
+        return Status::failedPrecondition(
+            "'" + path + "' is not a journal of bench '" + bench_name +
+            "' (header: '" + header + "')");
     }
 
-    std::size_t line_no = 1;
-    while (std::getline(in, line)) {
-        ++line_no;
-        if (line.empty())
+    // Read everything first: "is this the final line?" decides whether
+    // a bad record is a tolerable torn tail or fatal corruption.
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(std::move(line));
+
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const std::string &text = lines[i];
+        const std::size_t line_no = i + 2; // 1-based, after the header
+        const bool is_final = i + 1 == lines.size();
+        if (text.empty())
             continue;
+
         JournalEntry entry;
-        if (!parseRecord(line, entry)) {
-            // A truncated final line is the expected residue of a
-            // killed run; anything else is still not worth dying over.
-            logging::warn("skipping malformed journal record at ", path,
-                          ":", line_no);
-            continue;
+        if (journal._checksummed) {
+            std::uint32_t stored_crc = 0;
+            std::string_view body;
+            const bool framed =
+                splitChecksummedLine(text, stored_crc, body);
+            const bool intact = framed &&
+                                crc32String(body) == stored_crc &&
+                                parseRecordBody(body, entry);
+            if (!intact) {
+                if (is_final) {
+                    // The expected residue of a killed run: the write
+                    // of the last record never completed.
+                    logging::warn("skipping torn final journal record "
+                                  "at ", path, ":", line_no);
+                    continue;
+                }
+                return Status::dataLoss(
+                    "journal '" + path + "' line " +
+                    std::to_string(line_no) +
+                    ": checksum mismatch or malformed record "
+                    "(mid-file corruption; delete the journal to "
+                    "restart the sweep from scratch)");
+            }
+        } else {
+            // Legacy v1: no checksums, keep the historical tolerant
+            // behavior (warn and skip anything malformed).
+            if (!parseRecordBody(text, entry)) {
+                logging::warn("skipping malformed journal record at ",
+                              path, ":", line_no);
+                continue;
+            }
         }
         journal._loaded[entry.index] = std::move(entry);
     }
@@ -128,12 +216,15 @@ SweepJournal::record(const JournalEntry &entry)
     mc_assert(entry.payload.find('\n') == std::string::npos,
               "journal payloads must not contain newlines");
 
-    std::ostringstream line;
-    line << entry.index << ',' << entry.key << ','
-         << errorCodeName(entry.code) << ',' << entry.payload << '\n';
+    const std::string body = recordBody(entry);
+    std::string text;
+    if (_checksummed)
+        text = crcHex(crc32String(body)) + "," + body + "\n";
+    else
+        text = body + "\n";
 
     std::lock_guard<std::mutex> lock(*_mutex);
-    *_out << line.str();
+    *_out << text;
     _out->flush();
 }
 

@@ -11,18 +11,30 @@
  * derive from the stable (bench, key, rep) hash, not from execution
  * order) produces output byte-identical to an uninterrupted run.
  *
- * Format — one record per line, split on the first three commas:
+ * Format (v2) — one record per line, a CRC-32 field then the record
+ * body, split on the first four commas:
  *
- *     # mcchar sweep journal v1 bench=<bench_name>
- *     <index>,<key>,<code>,<payload>
+ *     # mcchar sweep journal v2 bench=<bench_name>
+ *     <crc32-hex8>,<index>,<key>,<code>,<payload>
  *
  * index is the point's position in the sweep grid, key its stable
  * name ("sgemm/4096"), code an ErrorCode name ("Ok", "OutOfMemory",
  * ...), payload a bench-defined encoding of the point's result (it
- * may itself contain commas, never newlines). Duplicate indices are
- * legal; the last record wins — a resumed run simply appends fresh
- * records for re-executed points. A truncated final line (crash mid-
- * write) is skipped on load.
+ * may itself contain commas, never newlines). The leading field is
+ * the CRC-32 of the body (`<index>,<key>,<code>,<payload>`) as eight
+ * lowercase hex digits. Duplicate indices are legal; the last record
+ * wins — a resumed run simply appends fresh records for re-executed
+ * points.
+ *
+ * The checksum lets the loader distinguish the two corruption cases
+ * that matter on real storage: a torn *final* line (the expected
+ * residue of a killed run) is skipped, while a checksum mismatch or
+ * malformed record *before* the final line means silent mid-file
+ * corruption and fails open() with a line-numbered DataLoss error —
+ * resuming from a silently corrupt journal would fabricate results.
+ * Legacy v1 journals (no checksum field) are still read with the old
+ * tolerant semantics, and appends to them stay in v1 format so one
+ * file never mixes versions.
  *
  * Under --jobs N the journal's line *order* varies with scheduling,
  * but the set of records is deterministic; only rendered stdout is
@@ -70,8 +82,10 @@ class SweepJournal
     /**
      * Open an existing journal for resume: load its records (last
      * entry per index wins), then append to it. Fails with NotFound
-     * when the file is missing and FailedPrecondition when its header
-     * names a different bench or format version.
+     * when the file is missing, FailedPrecondition when its header
+     * names a different bench or format version, and DataLoss when an
+     * interior record is corrupt (checksum mismatch); only a torn
+     * final line is tolerated.
      */
     static Result<SweepJournal> open(const std::string &path,
                                      const std::string &bench_name);
@@ -96,6 +110,9 @@ class SweepJournal
 
     std::string _path;
     std::string _bench;
+    // False only for journals opened from a legacy v1 file: appended
+    // records then stay checksum-less so the file has one format.
+    bool _checksummed = true;
     std::map<std::size_t, JournalEntry> _loaded;
     // shared_ptr keeps the journal movable (Result requires it) while
     // the mutex and stream stay put.

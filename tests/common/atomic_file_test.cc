@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of atomic file publication: replace-don't-append semantics, no
+ * temp-file residue after a successful commit, and clean failure when
+ * the target directory does not exist.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/atomic_file.hh"
+
+namespace mc {
+namespace {
+
+class TempPath
+{
+  public:
+    explicit TempPath(const std::string &name)
+        : _path(std::string(::testing::TempDir()) + "mc_atomic_" + name)
+    {
+        std::remove(_path.c_str());
+    }
+
+    ~TempPath() { std::remove(_path.c_str()); }
+
+    const std::string &str() const { return _path; }
+
+  private:
+    std::string _path;
+};
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return static_cast<bool>(std::ifstream(path));
+}
+
+TEST(WriteFileAtomic, CreatesFileWithExactContents)
+{
+    TempPath path("create.csv");
+    const Status status =
+        writeFileAtomic(path.str(), "n,tflops\n256,12.5\n");
+    ASSERT_TRUE(status.isOk()) << status.toString();
+    EXPECT_EQ(readFile(path.str()), "n,tflops\n256,12.5\n");
+}
+
+TEST(WriteFileAtomic, ReplacesExistingFile)
+{
+    TempPath path("replace.csv");
+    ASSERT_TRUE(writeFileAtomic(path.str(), "old contents\n").isOk());
+    ASSERT_TRUE(writeFileAtomic(path.str(), "new\n").isOk());
+    // Replaced, not appended or merged.
+    EXPECT_EQ(readFile(path.str()), "new\n");
+}
+
+TEST(WriteFileAtomic, LeavesNoTempResidue)
+{
+    TempPath path("residue.csv");
+    ASSERT_TRUE(writeFileAtomic(path.str(), "data\n").isOk());
+    // The temp name is deterministic: <target>.tmp.<pid>.
+    const std::string temp =
+        path.str() + ".tmp." + std::to_string(::getpid());
+    EXPECT_FALSE(fileExists(temp));
+}
+
+TEST(WriteFileAtomic, MissingDirectoryFailsAndTouchesNothing)
+{
+    const std::string target = std::string(::testing::TempDir()) +
+                               "mc_atomic_no_such_dir/out.csv";
+    const Status status = writeFileAtomic(target, "data\n");
+    EXPECT_FALSE(status.isOk());
+    EXPECT_FALSE(fileExists(target));
+}
+
+TEST(AtomicFileWriter, BuffersUntilCommit)
+{
+    TempPath path("buffered.csv");
+    AtomicFileWriter writer(path.str());
+    writer.stream() << "header\n" << 42 << "," << 1.5 << "\n";
+    // Nothing on disk until commit().
+    EXPECT_FALSE(fileExists(path.str()));
+    EXPECT_EQ(writer.contents(), "header\n42,1.5\n");
+
+    const Status status = writer.commit();
+    ASSERT_TRUE(status.isOk()) << status.toString();
+    EXPECT_EQ(readFile(path.str()), "header\n42,1.5\n");
+}
+
+TEST(AtomicFileWriter, DestructionWithoutCommitLeavesTargetAlone)
+{
+    TempPath path("discard.csv");
+    ASSERT_TRUE(writeFileAtomic(path.str(), "precious\n").isOk());
+    {
+        AtomicFileWriter writer(path.str());
+        writer.stream() << "half-finished";
+    }
+    EXPECT_EQ(readFile(path.str()), "precious\n");
+}
+
+} // namespace
+} // namespace mc

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/cli.hh"
+#include "common/status.hh"
 
 namespace mc {
 namespace {
@@ -88,28 +89,102 @@ TEST(CliParser, UsageMentionsFlagsAndHelp)
     EXPECT_NE(usage.find("--help"), std::string::npos);
 }
 
-TEST(CliParserDeathTest, UnknownFlagIsFatal)
+// Every usage error must exit with the shared Usage code (2) and the
+// one-line "<prog>: error: ..." format the suite supervisor and shell
+// scripts key on.
+
+TEST(CliParserDeathTest, UnknownFlagIsUsageError)
 {
     CliParser p = makeParser();
     const char *argv[] = {"prog", "--no-such-flag"};
-    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
-                "unknown flag --no-such-flag");
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: unknown flag --no-such-flag");
 }
 
-TEST(CliParserDeathTest, MalformedIntIsFatal)
+TEST(CliParserDeathTest, MalformedIntIsUsageError)
 {
     CliParser p = makeParser();
     const char *argv[] = {"prog", "--iters=abc"};
-    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
-                "expects an integer");
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: .*expects an integer");
 }
 
-TEST(CliParserDeathTest, MissingValueIsFatal)
+TEST(CliParserDeathTest, MalformedDoubleIsUsageError)
+{
+    CliParser p = makeParser();
+    const char *argv[] = {"prog", "--alpha=fast"};
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: .*expects a number");
+}
+
+TEST(CliParserDeathTest, MissingValueIsUsageError)
 {
     CliParser p = makeParser();
     const char *argv[] = {"prog", "--iters"};
-    EXPECT_EXIT(p.parse(2, argv), ::testing::ExitedWithCode(1),
-                "requires a value");
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: .*requires a value");
+}
+
+TEST(CliParserDeathTest, IntConstraintRejectsZero)
+{
+    CliParser p = makeParser();
+    p.addFlag("jobs", static_cast<std::int64_t>(1), "workers");
+    p.requireIntAtLeast("jobs", 1);
+    const char *argv[] = {"prog", "--jobs", "0"};
+    EXPECT_EXIT(p.parse(3, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: --jobs must be >= 1, got 0");
+}
+
+TEST(CliParserDeathTest, IntConstraintRejectsNegative)
+{
+    CliParser p = makeParser();
+    p.addFlag("reps", static_cast<std::int64_t>(10), "repetitions");
+    p.requireIntAtLeast("reps", 1);
+    const char *argv[] = {"prog", "--reps=-3"};
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: --reps must be >= 1, got -3");
+}
+
+TEST(CliParserDeathTest, DoubleConstraintRejectsNonPositive)
+{
+    CliParser p = makeParser();
+    p.addFlag("deadline-sec", 3600.0, "deadline");
+    p.requirePositiveDouble("deadline-sec");
+    const char *argv[] = {"prog", "--deadline-sec=0"};
+    EXPECT_EXIT(p.parse(2, argv),
+                ::testing::ExitedWithCode(exit_code::Usage),
+                "prog: error: --deadline-sec must be positive");
+}
+
+TEST(CliParser, ConstraintAcceptsValidValues)
+{
+    CliParser p = makeParser();
+    p.addFlag("jobs", static_cast<std::int64_t>(1), "workers");
+    p.requireIntAtLeast("jobs", 1);
+    p.addFlag("deadline-sec", 3600.0, "deadline");
+    p.requirePositiveDouble("deadline-sec");
+    const char *argv[] = {"prog", "--jobs=8", "--deadline-sec=0.5"};
+    p.parse(3, argv);
+    EXPECT_EQ(p.getInt("jobs"), 8);
+    EXPECT_DOUBLE_EQ(p.getDouble("deadline-sec"), 0.5);
+}
+
+TEST(CliParser, ConstraintOnDefaultValueHolds)
+{
+    // Constraints apply to the parsed result, not only to explicitly
+    // passed flags: a valid default passes untouched.
+    CliParser p = makeParser();
+    p.addFlag("jobs", static_cast<std::int64_t>(1), "workers");
+    p.requireIntAtLeast("jobs", 1);
+    const char *argv[] = {"prog"};
+    p.parse(1, argv);
+    EXPECT_EQ(p.getInt("jobs"), 1);
 }
 
 TEST(CliParserDeathTest, WrongTypeAccessPanics)

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the manifest JSON model: construction, insertion-ordered
+ * serialization, and the strict parser (round-trip, escapes, and the
+ * malformed inputs it must reject).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+
+namespace mc {
+namespace {
+
+TEST(JsonValue, TypedConstruction)
+{
+    EXPECT_TRUE(JsonValue().isNull());
+    EXPECT_TRUE(JsonValue(true).asBool());
+    EXPECT_DOUBLE_EQ(JsonValue(1.5).asNumber(), 1.5);
+    EXPECT_EQ(JsonValue(static_cast<std::int64_t>(42)).asInt(), 42);
+    EXPECT_EQ(JsonValue("text").asString(), "text");
+    EXPECT_TRUE(JsonValue::array().isArray());
+    EXPECT_TRUE(JsonValue::object().isObject());
+}
+
+TEST(JsonValue, ObjectKeepsInsertionOrder)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("zulu", 1);
+    obj.set("alpha", 2);
+    obj.set("mike", 3);
+    ASSERT_EQ(obj.size(), 3u);
+    EXPECT_EQ(obj.members()[0].first, "zulu");
+    EXPECT_EQ(obj.members()[1].first, "alpha");
+    EXPECT_EQ(obj.members()[2].first, "mike");
+    // set() on an existing key replaces in place, keeping the order.
+    obj.set("alpha", 20);
+    ASSERT_EQ(obj.size(), 3u);
+    EXPECT_EQ(obj.members()[1].first, "alpha");
+    EXPECT_EQ(obj.at("alpha").asInt(), 20);
+}
+
+TEST(JsonValue, CompactSerialization)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("name", "fig6");
+    obj.set("ok", true);
+    obj.set("attempts", 2);
+    JsonValue args = JsonValue::array();
+    args.append("--reps");
+    args.append("10");
+    obj.set("argv", args);
+    EXPECT_EQ(obj.serialize(0),
+              "{\"name\": \"fig6\", \"ok\": true, \"attempts\": 2, "
+              "\"argv\": [\"--reps\", \"10\"]}");
+}
+
+TEST(JsonValue, IntegersSerializeWithoutFraction)
+{
+    EXPECT_EQ(JsonValue(3).serialize(0), "3");
+    EXPECT_EQ(JsonValue(-17).serialize(0), "-17");
+    EXPECT_EQ(JsonValue(0.5).serialize(0), "0.5");
+}
+
+TEST(JsonValue, StringEscaping)
+{
+    const std::string rendered =
+        JsonValue("tab\there \"quoted\" back\\slash\n").serialize(0);
+    EXPECT_EQ(rendered,
+              "\"tab\\there \\\"quoted\\\" back\\\\slash\\n\"");
+}
+
+TEST(JsonValue, ParseSerializeRoundTrip)
+{
+    JsonValue manifest = JsonValue::object();
+    manifest.set("format", "mcchar suite manifest v1");
+    JsonValue benches = JsonValue::array();
+    JsonValue bench = JsonValue::object();
+    bench.set("name", "fig6_gemm_fp");
+    bench.set("code", "Ok");
+    bench.set("duration_sec", 12.25);
+    bench.set("watchdog", false);
+    bench.set("notes", JsonValue());
+    benches.append(bench);
+    manifest.set("benches", benches);
+
+    auto parsed = JsonValue::parse(manifest.serialize());
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    const JsonValue &doc = parsed.value();
+    EXPECT_EQ(doc.at("format").asString(), "mcchar suite manifest v1");
+    ASSERT_EQ(doc.at("benches").size(), 1u);
+    const JsonValue &entry = doc.at("benches").at(0u);
+    EXPECT_EQ(entry.at("name").asString(), "fig6_gemm_fp");
+    EXPECT_DOUBLE_EQ(entry.at("duration_sec").asNumber(), 12.25);
+    EXPECT_FALSE(entry.at("watchdog").asBool());
+    EXPECT_TRUE(entry.at("notes").isNull());
+}
+
+TEST(JsonValue, ParseAcceptsWhitespaceAndNested)
+{
+    auto parsed = JsonValue::parse(
+        "  { \"a\" : [ 1 , 2.5 , { \"b\" : null } ] }  ");
+    ASSERT_TRUE(parsed.isOk()) << parsed.status().toString();
+    EXPECT_EQ(parsed.value().at("a").size(), 3u);
+    EXPECT_TRUE(parsed.value().at("a").at(2u).at("b").isNull());
+}
+
+TEST(JsonValue, ParseRejectsMalformedDocuments)
+{
+    const char *bad[] = {
+        "",                      // empty
+        "{",                     // unterminated object
+        "[1, 2",                 // unterminated array
+        "{\"a\": }",             // missing value
+        "{\"a\": 1,}",           // trailing comma
+        "{\"a\" 1}",             // missing colon
+        "{\"a\": 1} extra",      // trailing garbage
+        "'single'",              // wrong quoting
+        "nulll",                 // bad keyword
+        "\"unterminated",        // unterminated string
+    };
+    for (const char *text : bad) {
+        auto parsed = JsonValue::parse(text);
+        EXPECT_FALSE(parsed.isOk()) << "accepted: " << text;
+    }
+}
+
+TEST(JsonValue, ParseRejectsRunawayNesting)
+{
+    // The recursive-descent parser bounds depth so a hostile manifest
+    // cannot blow the stack.
+    std::string deep;
+    for (int i = 0; i < 200; ++i)
+        deep += "[";
+    auto parsed = JsonValue::parse(deep);
+    EXPECT_FALSE(parsed.isOk());
+}
+
+TEST(JsonValue, FindAndHasOnObjects)
+{
+    JsonValue obj = JsonValue::object();
+    obj.set("present", 1);
+    EXPECT_TRUE(obj.has("present"));
+    EXPECT_FALSE(obj.has("absent"));
+    EXPECT_NE(obj.find("present"), nullptr);
+    EXPECT_EQ(obj.find("absent"), nullptr);
+    // find() on a non-object is a safe null, so manifest readers can
+    // probe optional fields without type checks.
+    EXPECT_EQ(JsonValue(1.0).find("x"), nullptr);
+}
+
+} // namespace
+} // namespace mc

@@ -1,15 +1,20 @@
 /**
  * @file
  * Tests of the sweep journal: round-trip, last-entry-wins resume
- * semantics, header validation, and crash-residue tolerance.
+ * semantics, header validation, crash-residue tolerance, and the v2
+ * per-record checksums that distinguish a torn tail (tolerated) from
+ * mid-file corruption (fatal DataLoss).
  */
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/hash.hh"
 #include "exec/journal.hh"
 
 namespace mc {
@@ -169,6 +174,179 @@ TEST(SweepJournal, ErrorCodeNamesRoundTripThroughFile)
         ASSERT_NE(journal.value().find(index), nullptr);
         EXPECT_EQ(journal.value().find(index)->code, code);
         ++index;
+    }
+}
+
+// ---- v2 checksums and corruption discrimination -------------------------
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::ofstream out(path, std::ios::out | std::ios::trunc);
+    out << contents;
+}
+
+TEST(SweepJournal, RecordsCarryCrc32Prefix)
+{
+    TempPath path("crcprefix");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.5,10"});
+    }
+    std::ifstream in(path.str());
+    std::string header, record;
+    ASSERT_TRUE(std::getline(in, header));
+    EXPECT_EQ(header, "# mcchar sweep journal v2 bench=bench");
+    ASSERT_TRUE(std::getline(in, record));
+    // <crc32-hex8>,<body>, and the checksum verifies against the body.
+    ASSERT_GE(record.size(), 9u);
+    ASSERT_EQ(record[8], ',');
+    const std::string body = record.substr(9);
+    EXPECT_EQ(body, "0,p0,Ok,1.5,10");
+    char expected[16];
+    std::snprintf(expected, sizeof(expected), "%08x",
+                  crc32String(body));
+    EXPECT_EQ(record.substr(0, 8), expected);
+}
+
+TEST(SweepJournal, LegacyV1JournalStillLoads)
+{
+    TempPath path("legacyv1");
+    writeFile(path.str(),
+              "# mcchar sweep journal v1 bench=bench\n"
+              "0,p0,Ok,1.5\n"
+              "1,p1,OutOfMemory,\n");
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(journal.isOk()) << journal.status().toString();
+    EXPECT_EQ(journal.value().loadedCount(), 2u);
+    ASSERT_NE(journal.value().find(0), nullptr);
+    EXPECT_EQ(journal.value().find(0)->payload, "1.5");
+    EXPECT_EQ(journal.value().find(1)->code, ErrorCode::OutOfMemory);
+}
+
+TEST(SweepJournal, LegacyV1AppendsStayUnchecksummed)
+{
+    // Resuming a pre-checksum journal must keep the file readable as
+    // v1: one format per file, declared by the header.
+    TempPath path("legacyappend");
+    writeFile(path.str(),
+              "# mcchar sweep journal v1 bench=bench\n"
+              "0,p0,Unavailable,\n");
+    {
+        auto journal = SweepJournal::open(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "2.5"});
+    }
+    const std::string contents = readFile(path.str());
+    EXPECT_NE(contents.find("\n0,p0,Ok,2.5\n"), std::string::npos)
+        << contents;
+    auto reloaded = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(reloaded.isOk());
+    EXPECT_TRUE(reloaded.value().find(0)->ok());
+}
+
+TEST(SweepJournal, TornFinalChecksummedRecordIsSkipped)
+{
+    TempPath path("torntail");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.0"});
+        journal.value().record({1, "p1", ErrorCode::Ok, "2.0"});
+    }
+    // Chop bytes off the final record: the residue of a killed run.
+    const std::string full = readFile(path.str());
+    writeFile(path.str(), full.substr(0, full.size() - 7));
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_TRUE(journal.isOk()) << journal.status().toString();
+    EXPECT_EQ(journal.value().loadedCount(), 1u);
+    EXPECT_NE(journal.value().find(0), nullptr);
+    EXPECT_EQ(journal.value().find(1), nullptr);
+}
+
+TEST(SweepJournal, MidFileBitFlipIsDataLoss)
+{
+    TempPath path("bitflip");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.0"});
+        journal.value().record({1, "p1", ErrorCode::Ok, "2.0"});
+    }
+    std::string contents = readFile(path.str());
+    // Flip one bit inside the *first* record's payload.
+    const std::size_t pos = contents.find("p0,Ok,1.0");
+    ASSERT_NE(pos, std::string::npos);
+    contents[pos + 7] ^= 0x01;
+    writeFile(path.str(), contents);
+
+    auto journal = SweepJournal::open(path.str(), "bench");
+    ASSERT_FALSE(journal.isOk());
+    EXPECT_EQ(journal.status().code(), ErrorCode::DataLoss);
+    // The error names the corrupt line so the operator can triage.
+    EXPECT_NE(journal.status().toString().find("line 2"),
+              std::string::npos)
+        << journal.status().toString();
+}
+
+TEST(SweepJournal, FuzzEveryTruncationLengthIsTolerated)
+{
+    // A crash can cut the file at any byte. However short the tail,
+    // open() must succeed and keep every record before the cut.
+    TempPath path("fuzztrunc");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.0"});
+        journal.value().record({1, "p1", ErrorCode::OutOfMemory, ""});
+        journal.value().record({2, "p2", ErrorCode::Ok, "3.0"});
+    }
+    const std::string full = readFile(path.str());
+    const std::size_t header_end = full.find('\n') + 1;
+    for (std::size_t len = header_end; len < full.size(); ++len) {
+        writeFile(path.str(), full.substr(0, len));
+        auto journal = SweepJournal::open(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk())
+            << "truncation at byte " << len << ": "
+            << journal.status().toString();
+        EXPECT_LE(journal.value().loadedCount(), 3u);
+    }
+}
+
+TEST(SweepJournal, FuzzEveryInteriorBitFlipIsDataLoss)
+{
+    // Any single-bit flip in a non-final record must be caught by the
+    // CRC and reported as hard corruption, never silently dropped.
+    // (XOR 0x01 never turns record bytes into '\n', so the line
+    // structure is preserved and the flipped line stays interior.)
+    TempPath path("fuzzflip");
+    {
+        auto journal = SweepJournal::create(path.str(), "bench");
+        ASSERT_TRUE(journal.isOk());
+        journal.value().record({0, "p0", ErrorCode::Ok, "1.25"});
+        journal.value().record({1, "p1", ErrorCode::Ok, "2.5"});
+    }
+    const std::string full = readFile(path.str());
+    const std::size_t line1 = full.find('\n') + 1;      // first record
+    const std::size_t line2 = full.find('\n', line1);   // its newline
+    for (std::size_t pos = line1; pos < line2; ++pos) {
+        std::string flipped = full;
+        flipped[pos] ^= 0x01;
+        writeFile(path.str(), flipped);
+        auto journal = SweepJournal::open(path.str(), "bench");
+        ASSERT_FALSE(journal.isOk()) << "flip at byte " << pos;
+        EXPECT_EQ(journal.status().code(), ErrorCode::DataLoss)
+            << "flip at byte " << pos;
     }
 }
 

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * mc_suite: supervised runner for a declared plan of bench processes.
+ *
+ * Runs every bench of a plan file as a watched child process —
+ * wall-clock watchdog with SIGTERM → SIGKILL escalation, bounded
+ * restarts with backoff, per-bench stdout/stderr logs, and a durable
+ * JSON manifest (`<run-dir>/manifest.json`) recording command,
+ * attempts, duration, and outcome for every bench. `--resume` skips
+ * benches whose manifest entry is complete, so a killed overnight run
+ * loses at most the bench that was executing. A bench that exhausts
+ * its restart budget is recorded as failed and the suite continues;
+ * the exit code turns nonzero only at the end.
+ *
+ *     mc_suite --plan suite.plan --run-dir runs/night1
+ *     mc_suite --plan suite.plan --run-dir runs/night1 --resume
+ *
+ * See docs/RESILIENCE.md ("Suite supervision & durability") for the
+ * plan format and manifest schema.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "common/cli.hh"
+#include "common/status.hh"
+#include "exec/supervisor.hh"
+
+namespace {
+
+using namespace mc;
+
+extern "C" void
+handleTerminationSignal(int)
+{
+    exec::Supervisor::requestShutdown();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("mc_suite: supervised bench-suite runner "
+                  "(watchdog, crash isolation, resumable manifest)");
+    cli.addFlag("plan", std::string(),
+                "suite plan file (required); see docs/RESILIENCE.md");
+    cli.addFlag("run-dir", std::string("."),
+                "directory for the manifest, logs, and bench outputs");
+    cli.addFlag("resume", false,
+                "skip benches recorded complete in the run-dir manifest");
+    cli.addFlag("attempts", static_cast<std::int64_t>(2),
+                "default restart budget per bench (plan may override)");
+    cli.addFlag("deadline-sec", 0.0,
+                "default wall-clock watchdog per bench, seconds "
+                "(0 = none; plan may override)");
+    cli.addFlag("grace-sec", 2.0,
+                "seconds between watchdog SIGTERM and SIGKILL");
+    cli.addFlag("backoff-sec", 0.05,
+                "wall-clock backoff before the first restart");
+    cli.addFlag("quiet", false, "suppress per-attempt progress lines");
+    cli.addFlag("kill-after", static_cast<std::int64_t>(-1),
+                "test hook: SIGKILL this supervisor after N recorded "
+                "benches (-1 = never)");
+    cli.requireIntAtLeast("attempts", 1);
+    cli.requirePositiveDouble("grace-sec");
+    cli.requirePositiveDouble("backoff-sec");
+    cli.parse(argc, argv);
+
+    const std::string plan_path = cli.getString("plan");
+    if (plan_path.empty()) {
+        std::fprintf(stderr, "%s: error: --plan is required (try --help)\n",
+                     argv[0]);
+        return exit_code::Usage;
+    }
+    if (cli.getDouble("deadline-sec") < 0.0) {
+        std::fprintf(stderr,
+                     "%s: error: --deadline-sec must be >= 0 (try "
+                     "--help)\n",
+                     argv[0]);
+        return exit_code::Usage;
+    }
+
+    auto plan = exec::SuitePlan::load(plan_path);
+    if (!plan.isOk()) {
+        std::fprintf(stderr, "mc_suite: %s\n",
+                     plan.status().toString().c_str());
+        return exit_code::Usage;
+    }
+
+    exec::SupervisorOptions options;
+    options.runDir = cli.getString("run-dir");
+    options.resume = cli.getBool("resume");
+    options.restart.maxAttempts = static_cast<int>(cli.getInt("attempts"));
+    options.restart.initialBackoffSec = cli.getDouble("backoff-sec");
+    options.defaultDeadlineSec = cli.getDouble("deadline-sec");
+    options.killGraceSec = cli.getDouble("grace-sec");
+    options.echoProgress = !cli.getBool("quiet");
+    options.killAfterBenches = static_cast<int>(cli.getInt("kill-after"));
+
+    // A suite interrupted by ^C or a scheduler must still kill its
+    // child group and leave a readable manifest behind.
+    std::signal(SIGINT, handleTerminationSignal);
+    std::signal(SIGTERM, handleTerminationSignal);
+    std::signal(SIGHUP, handleTerminationSignal);
+
+    exec::Supervisor supervisor(plan.take(), options);
+    auto result = supervisor.run();
+    if (!result.isOk()) {
+        std::fprintf(stderr, "mc_suite: %s\n",
+                     result.status().toString().c_str());
+        return exit_code::Failure;
+    }
+
+    const exec::SuiteResult &suite = result.value();
+    std::size_t ok = 0, failed = 0, resumed = 0;
+    for (const exec::BenchOutcome &bench : suite.benches) {
+        ok += bench.ok();
+        failed += !bench.ok();
+        resumed += bench.resumedFromManifest;
+    }
+    std::fprintf(stderr,
+                 "[mc_suite] %zu/%zu benches ok (%zu from manifest), "
+                 "%zu failed%s; manifest: %s\n",
+                 ok, suite.benches.size(), resumed, failed,
+                 suite.interrupted ? ", interrupted" : "",
+                 supervisor.manifestPath().c_str());
+    for (const exec::BenchOutcome &bench : suite.benches) {
+        if (!bench.ok()) {
+            std::fprintf(stderr,
+                         "[mc_suite]   %s failed: %s after %zu "
+                         "attempt(s); logs: %s\n",
+                         bench.name.c_str(), errorCodeName(bench.code),
+                         bench.attempts.size(), bench.stderrLog.c_str());
+        }
+    }
+    return suite.allOk() ? exit_code::Ok : exit_code::Failure;
+}
