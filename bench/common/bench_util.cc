@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "blas/plan_cache.hh"
 #include "common/logging.hh"
 #include "common/retry.hh"
 #include "exec/supervisor.hh"
@@ -212,6 +213,60 @@ addRepsFlag(CliParser &cli, std::int64_t default_reps)
 }
 
 void
+addPlanCacheFlag(CliParser &cli)
+{
+    cli.addFlag("plan-cache-cap", static_cast<std::int64_t>(
+                    blas::PlanCache::defaultCapacity()),
+                "LRU bound of the GEMM plan cache (0 = unbounded)");
+    cli.requireIntAtLeast("plan-cache-cap", 0);
+}
+
+void
+applyPlanCacheFlag(const CliParser &cli)
+{
+    blas::PlanCache::setDefaultCapacity(
+        static_cast<std::size_t>(cli.getInt("plan-cache-cap")));
+}
+
+void
+addVerifyFlags(CliParser &cli, bool default_enabled)
+{
+    cli.addFlag("verify", default_enabled,
+                "numerically verify sweep points on the host via the "
+                "fast functional backend");
+    cli.addFlag("verify-maxn", static_cast<std::int64_t>(2048),
+                "verify only points with every dimension <= this "
+                "(the check is O(n^3) host work)");
+    cli.requireIntAtLeast("verify-maxn", 1);
+    cli.addFlag("verify-scheme", std::string("paper"),
+                "operand scheme: 'paper' (A=1, B=I, C=1) or 'random'");
+    cli.addFlag("verify-threads", static_cast<std::int64_t>(0),
+                "host threads for verification (0 = all hardware "
+                "threads; results are identical for every value)");
+    cli.requireIntAtLeast("verify-threads", 0);
+}
+
+VerifyConfig
+verifyFlags(const CliParser &cli)
+{
+    VerifyConfig config;
+    config.enabled = cli.getBool("verify");
+    config.maxN = static_cast<std::size_t>(cli.getInt("verify-maxn"));
+    const std::string scheme = cli.getString("verify-scheme");
+    if (scheme == "paper") {
+        config.scheme = blas::VerifyScheme::PaperOnesIdentity;
+    } else if (scheme == "random") {
+        config.scheme = blas::VerifyScheme::Random;
+    } else {
+        mc_fatal("bad --verify-scheme '", scheme,
+                 "': expected 'paper' or 'random'");
+    }
+    const std::int64_t threads = cli.getInt("verify-threads");
+    config.func.threads = threads == 0 ? -1 : static_cast<int>(threads);
+    return config;
+}
+
+void
 addOutFlag(CliParser &cli)
 {
     cli.addFlag("out", std::string(),
@@ -253,10 +308,18 @@ finishBench(const std::string &bench_name, ErrorCode code)
 {
     const int exit_status = exitCodeFor(code);
     // To stderr: stdout carries only rendered results and must stay
-    // byte-comparable across --jobs values and resume.
-    std::fprintf(stderr, "%s%s code=%s exit=%d\n",
+    // byte-comparable across --jobs values and resume. The supervisor
+    // detects the line by prefix substring, so the appended plan-cache
+    // counters are invisible to it.
+    const blas::PlanCacheStats plans = blas::PlanCache::globalStats();
+    std::fprintf(stderr,
+                 "%s%s code=%s exit=%d plan_hits=%llu plan_misses=%llu "
+                 "plan_evictions=%llu\n",
                  exec::kBenchCompletionPrefix, bench_name.c_str(),
-                 errorCodeName(code), exit_status);
+                 errorCodeName(code), exit_status,
+                 static_cast<unsigned long long>(plans.hits),
+                 static_cast<unsigned long long>(plans.misses),
+                 static_cast<unsigned long long>(plans.evictions));
     return exit_status;
 }
 

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "blas/verify.hh"
 #include "common/atomic_file.hh"
 #include "common/cli.hh"
 #include "common/retry.hh"
@@ -187,6 +188,50 @@ int jobsFlag(const CliParser &cli);
 
 /** Register --reps (measurement repetitions, must be >= 1). */
 void addRepsFlag(CliParser &cli, std::int64_t default_reps);
+
+// ---- Plan cache and verification flags ----------------------------------
+
+/**
+ * Register --plan-cache-cap (LRU entry bound of every GemmEngine plan
+ * cache constructed after applyPlanCacheFlag; 0 = unbounded). The
+ * default is generous — far above any one sweep's working set — so the
+ * cap only matters for long supervised suite runs.
+ */
+void addPlanCacheFlag(CliParser &cli);
+
+/** Apply --plan-cache-cap process-wide (PlanCache::setDefaultCapacity);
+ *  call after parse() and before constructing engines. */
+void applyPlanCacheFlag(const CliParser &cli);
+
+/** Parsed --verify* configuration of a GEMM sweep bench. */
+struct VerifyConfig
+{
+    /** False = verification skipped entirely. */
+    bool enabled = false;
+    /** Largest dimension verified: points with max(m, n, k) above this
+     *  skip the O(n^3) host check (reported as "not verified", not as
+     *  a failure). */
+    std::size_t maxN = 2048;
+    blas::VerifyScheme scheme = blas::VerifyScheme::PaperOnesIdentity;
+    /** Thread/block knobs of the functional backend (results are
+     *  identical for every setting; see docs/PERF.md). */
+    blas::FunctionalGemmOptions func;
+
+    /** True when a point of this shape should be verified. */
+    bool shouldVerify(std::size_t m, std::size_t n, std::size_t k) const
+    {
+        return enabled && m <= maxN && n <= maxN && k <= maxN;
+    }
+};
+
+/**
+ * Register the verification flags: --verify (default @p default_enabled),
+ * --verify-maxn, --verify-scheme (paper|random), --verify-threads.
+ */
+void addVerifyFlags(CliParser &cli, bool default_enabled);
+
+/** Read the verification flags back; fatal on a bad --verify-scheme. */
+VerifyConfig verifyFlags(const CliParser &cli);
 
 // ---- Durable output and completion protocol -----------------------------
 

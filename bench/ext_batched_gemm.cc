@@ -8,19 +8,27 @@
  * — the low-N ramp of Figs. 6/7 — but the batched API amortizes
  * launches and fills the device. This sweep quantifies how much of the
  * mixed-precision plateau batching recovers at each entry size.
+ *
+ * Points run on the parallel sweep engine (--jobs) with per-point
+ * simulated devices; the simulation is noise-free here, so output is
+ * byte-identical for any job count (docs/SWEEP_ENGINE.md).
  */
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "ext_batched_gemm";
 
 } // namespace
 
@@ -30,46 +38,65 @@ main(int argc, char **argv)
     CliParser cli("Batched GEMM: throughput vs entry size and batch "
                   "count (HHS)");
     cli.addFlag("combo", std::string("hhs"), "GEMM combo");
+    bench::addJobsFlag(cli);
+    bench::addOutFlag(cli);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
     const blas::GemmCombo combo =
         blas::parseCombo(cli.getString("combo"));
 
-    sim::SimOptions opts;
-    opts.enableNoise = false;
-    hip::Runtime rt(arch::defaultCdna2(), opts);
-    blas::GemmEngine engine(rt);
-
+    const std::size_t sizes[] = {64, 128, 256, 512, 1024};
     const std::size_t batches[] = {1, 8, 64, 256, 1024};
-    TextTable table({"entry N", "batch 1", "batch 8", "batch 64",
-                     "batch 256", "batch 1024"});
-    table.setTitle(std::string("Batched ") +
-                   blas::comboInfo(combo).name +
-                   " throughput (TFLOPS), one GCD");
+    constexpr std::size_t kBatchCount =
+        sizeof(batches) / sizeof(batches[0]);
 
-    for (std::size_t n : {64u, 128u, 256u, 512u, 1024u}) {
-        std::vector<std::string> row{std::to_string(n)};
-        for (std::size_t batch : batches) {
+    // One point per (entry size, batch count) cell, row-major.
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
+    const std::vector<std::string> cells = runner.map(
+        sizeof(sizes) / sizeof(sizes[0]) * kBatchCount,
+        [&](std::size_t i) -> std::string {
+            const std::size_t n = sizes[i / kBatchCount];
+            const std::size_t batch = batches[i % kBatchCount];
+
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime rt(arch::defaultCdna2(), opts);
+            blas::GemmEngine engine(rt);
+
             blas::GemmConfig cfg;
             cfg.combo = combo;
             cfg.m = cfg.n = cfg.k = n;
             cfg.alpha = cfg.beta = 0.1;
             cfg.batchCount = batch;
             auto result = engine.run(cfg);
-            if (!result.isOk()) {
-                row.push_back("OOM");
-                continue;
-            }
+            if (!result.isOk())
+                return "OOM";
             char cell[16];
             std::snprintf(cell, sizeof(cell), "%.1f",
                           result.value().throughput() / 1e12);
-            row.push_back(cell);
-        }
+            return cell;
+        });
+
+    TextTable table({"entry N", "batch 1", "batch 8", "batch 64",
+                     "batch 256", "batch 1024"});
+    table.setTitle(std::string("Batched ") +
+                   blas::comboInfo(combo).name +
+                   " throughput (TFLOPS), one GCD");
+    std::size_t index = 0;
+    for (std::size_t n : sizes) {
+        std::vector<std::string> row{std::to_string(n)};
+        for (std::size_t b = 0; b < kBatchCount; ++b)
+            row.push_back(cells[index++]);
         table.addRow(row);
     }
-    table.print(std::cout);
-    std::cout << "\nBatching turns the launch-bound low-N region of "
-                 "Fig. 7 into plateau-class throughput: the Matrix "
-                 "Cores do not care whether the 2N^3 FLOPs come from "
-                 "one problem or a thousand.\n";
-    return bench::finishBench("ext_batched_gemm");
+
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+    table.print(os);
+    os << "\nBatching turns the launch-bound low-N region of "
+          "Fig. 7 into plateau-class throughput: the Matrix "
+          "Cores do not care whether the 2N^3 FLOPs come from "
+          "one problem or a thousand.\n";
+    return output.finish(kBenchName);
 }

@@ -44,7 +44,14 @@ struct RoutineRow
     bool usedMatrixCores = false;
 };
 
-using SurveyResult = std::array<RoutineRow, 4>;
+struct SurveyResult
+{
+    std::array<RoutineRow, 4> rows;
+    /** -1 = GEMM not host-verified (above --verify-maxn), 1 = verified
+     *  OK; a failed check fails the combo's whole survey (Internal). */
+    int verified = -1;
+    std::uint64_t maxUlp = 0;
+};
 
 } // namespace
 
@@ -58,9 +65,13 @@ main(int argc, char **argv)
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
     bench::addOutFlag(cli);
+    bench::addVerifyFlags(cli, /*default_enabled=*/true);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
     const auto n = static_cast<std::size_t>(cli.getInt("n"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
+    const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     const blas::GemmCombo combos[] = {blas::GemmCombo::Sgemm,
                                       blas::GemmCombo::Dgemm};
@@ -89,6 +100,21 @@ main(int argc, char **argv)
                 RetryPolicy(), [&] { return engine.run(gemm); });
             if (!gemm_result.isOk())
                 return gemm_result.status();
+
+            // Host-side numeric verification of the GEMM anchor the
+            // other routines are compared against (docs/PERF.md).
+            int verified = -1;
+            std::uint64_t max_ulp = 0;
+            if (vcfg.shouldVerify(gemm.m, gemm.n, gemm.k)) {
+                engine.functionalOptions() = vcfg.func;
+                const blas::VerifyResult v = engine.verify(
+                    gemm, vcfg.scheme, runner.seedFor(key, 1ull << 32));
+                if (!v.passed)
+                    return Status(ErrorCode::Internal,
+                                  "verification failed: " + v.detail);
+                verified = 1;
+                max_ulp = v.maxUlp;
+            }
 
             blas::TrsmConfig trsm;
             trsm.combo = combo;
@@ -124,12 +150,16 @@ main(int argc, char **argv)
                 return RoutineRow{name, flops, r.throughput(),
                                   r.usedMatrixCores};
             };
-            return SurveyResult{
+            SurveyResult survey;
+            survey.rows = {
                 row("gemm", gemm_result.value(), gemm.productFlops()),
                 row("trsm", trsm_result.value(), trsm.flops()),
                 row("syrk", syrk_result.value(), syrk.flops()),
                 row("gemv", gemv_result.value(), gemv.flops()),
             };
+            survey.verified = verified;
+            survey.maxUlp = max_ulp;
+            return survey;
         },
         res.maxPointFailures);
 
@@ -158,8 +188,8 @@ main(int argc, char **argv)
                             Align::Left, Align::Right});
 
         const SurveyResult &survey = results[i].value();
-        const double gemm_tf = survey[0].throughput / 1e12;
-        for (const RoutineRow &row : survey) {
+        const double gemm_tf = survey.rows[0].throughput / 1e12;
+        for (const RoutineRow &row : survey.rows) {
             char fl[24], tf[16], pct[16];
             std::snprintf(fl, sizeof(fl), "%.2e", row.flops);
             std::snprintf(tf, sizeof(tf), "%.2f",
@@ -171,6 +201,9 @@ main(int argc, char **argv)
                           pct});
         }
         table.print(os);
+        if (survey.verified > 0)
+            os << "host verification: ok (max ULP = " << survey.maxUlp
+               << ")\n";
         char balance[160];
         std::snprintf(balance, sizeof(balance),
                       "machine balance (%s Matrix Core roof): "

@@ -8,21 +8,30 @@
  * to quantify what changed: FP64 Matrix Cores appear (CDNA1 has none,
  * so DGEMM falls back to the SIMDs), BF16 moves from half to full
  * rate, and the dual-GCD package doubles the mixed-precision peak.
+ *
+ * Each table row is one point on the parallel sweep engine (--jobs)
+ * with its own pair of noise-free simulated devices, so output is
+ * byte-identical for any job count (docs/SWEEP_ENGINE.md).
  */
 
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "hip/runtime.hh"
 #include "wmma/recorder.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "ext_generations";
 
 /** Saturating micro-benchmark peak for the best instruction of a type
  *  pair, in TFLOPS, or a negative value when unsupported. */
@@ -69,19 +78,13 @@ main(int argc, char **argv)
 {
     CliParser cli("Generational study: MI100 (CDNA1) vs MI250X (CDNA2) "
                   "Matrix Cores");
+    bench::addJobsFlag(cli);
+    bench::addOutFlag(cli);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
 
-    sim::SimOptions opts;
-    opts.enableNoise = false;
-    hip::Runtime mi100(arch::mi100Calibration(), opts);
-    hip::Runtime mi250x(arch::defaultCdna2(), opts);
-
-    TextTable peaks({"types (C/D <- A/B)", "MI100 (TFLOPS)",
-                     "MI250X (TFLOPS)", "gen2/gen1"});
-    peaks.setTitle("Matrix Core peak throughput per package, by "
-                   "generation");
-    peaks.setAlignment({Align::Left, Align::Right, Align::Right,
-                        Align::Right});
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
 
     const std::pair<arch::DataType, arch::DataType> combos[] = {
         {arch::DataType::F32, arch::DataType::F16},
@@ -90,34 +93,51 @@ main(int argc, char **argv)
         {arch::DataType::F64, arch::DataType::F64},
         {arch::DataType::I32, arch::DataType::I8},
     };
-    for (const auto &[cd, ab] : combos) {
-        const double gen1 = peakTflops(mi100, cd, ab);
-        const double gen2 = peakTflops(mi250x, cd, ab);
-        std::string ratio = "new in gen2";
-        if (gen1 > 0.0 && gen2 > 0.0) {
-            char buf[16];
-            std::snprintf(buf, sizeof(buf), "%.1fx", gen2 / gen1);
-            ratio = buf;
-        }
-        std::string types = arch::dataTypeName(cd);
-        types += " <- ";
-        types += arch::dataTypeName(ab);
-        peaks.addRow({types, cell(gen1), cell(gen2), ratio});
-    }
-    peaks.print(std::cout);
+    using PeakRow = std::array<std::string, 4>;
+    const std::vector<PeakRow> peak_rows = runner.map(
+        sizeof(combos) / sizeof(combos[0]),
+        [&](std::size_t i) -> PeakRow {
+            const auto &[cd, ab] = combos[i];
+
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime mi100(arch::mi100Calibration(), opts);
+            hip::Runtime mi250x(arch::defaultCdna2(), opts);
+
+            const double gen1 = peakTflops(mi100, cd, ab);
+            const double gen2 = peakTflops(mi250x, cd, ab);
+            std::string ratio = "new in gen2";
+            if (gen1 > 0.0 && gen2 > 0.0) {
+                char buf[16];
+                std::snprintf(buf, sizeof(buf), "%.1fx", gen2 / gen1);
+                ratio = buf;
+            }
+            std::string types = arch::dataTypeName(cd);
+            types += " <- ";
+            types += arch::dataTypeName(ab);
+            return PeakRow{types, cell(gen1), cell(gen2), ratio};
+        });
 
     // GEMM behaviour: DGEMM on CDNA1 has no Matrix Core path at all.
-    TextTable gemm({"combo", "N", "MI100 TFLOPS (path)",
-                    "MI250X TFLOPS (path)"});
-    gemm.setTitle("\nLibrary GEMM by generation (one GCD/die, "
-                  "alpha = beta = 0.1)");
-    gemm.setAlignment({Align::Left, Align::Right, Align::Right,
-                       Align::Right});
-    blas::GemmEngine engine100(mi100), engine250(mi250x);
-    for (blas::GemmCombo combo :
-         {blas::GemmCombo::Dgemm, blas::GemmCombo::Sgemm,
-          blas::GemmCombo::Hhs}) {
-        for (std::size_t n : {4096u, 8192u}) {
+    const blas::GemmCombo gemm_combos[] = {blas::GemmCombo::Dgemm,
+                                           blas::GemmCombo::Sgemm,
+                                           blas::GemmCombo::Hhs};
+    const std::size_t gemm_sizes[] = {4096, 8192};
+    constexpr std::size_t kGemmSizeCount =
+        sizeof(gemm_sizes) / sizeof(gemm_sizes[0]);
+    using GemmRow = std::array<std::string, 4>;
+    const std::vector<GemmRow> gemm_rows = runner.map(
+        sizeof(gemm_combos) / sizeof(gemm_combos[0]) * kGemmSizeCount,
+        [&](std::size_t i) -> GemmRow {
+            const blas::GemmCombo combo = gemm_combos[i / kGemmSizeCount];
+            const std::size_t n = gemm_sizes[i % kGemmSizeCount];
+
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime mi100(arch::mi100Calibration(), opts);
+            hip::Runtime mi250x(arch::defaultCdna2(), opts);
+            blas::GemmEngine engine100(mi100), engine250(mi250x);
+
             blas::GemmConfig cfg;
             cfg.combo = combo;
             cfg.m = cfg.n = cfg.k = n;
@@ -133,15 +153,35 @@ main(int argc, char **argv)
                               r.value().usedMatrixCores ? "MC" : "SIMD");
                 return std::string(buf);
             };
-            gemm.addRow({blas::comboInfo(combo).name, std::to_string(n),
-                         fmt(r1), fmt(r2)});
-        }
-    }
-    gemm.print(std::cout);
+            return GemmRow{blas::comboInfo(combo).name,
+                           std::to_string(n), fmt(r1), fmt(r2)};
+        });
 
-    std::cout << "\nWhat 'rose' between generations: FP64 MFMA "
-                 "instructions (absent on CDNA1 -> DGEMM runs on "
-                 "SIMDs), full-rate BF16, and a dual-die package that "
-                 "doubles every peak.\n";
-    return bench::finishBench("ext_generations");
+    TextTable peaks({"types (C/D <- A/B)", "MI100 (TFLOPS)",
+                     "MI250X (TFLOPS)", "gen2/gen1"});
+    peaks.setTitle("Matrix Core peak throughput per package, by "
+                   "generation");
+    peaks.setAlignment({Align::Left, Align::Right, Align::Right,
+                        Align::Right});
+    for (const PeakRow &row : peak_rows)
+        peaks.addRow(std::vector<std::string>(row.begin(), row.end()));
+
+    TextTable gemm({"combo", "N", "MI100 TFLOPS (path)",
+                    "MI250X TFLOPS (path)"});
+    gemm.setTitle("\nLibrary GEMM by generation (one GCD/die, "
+                  "alpha = beta = 0.1)");
+    gemm.setAlignment({Align::Left, Align::Right, Align::Right,
+                       Align::Right});
+    for (const GemmRow &row : gemm_rows)
+        gemm.addRow(std::vector<std::string>(row.begin(), row.end()));
+
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+    peaks.print(os);
+    gemm.print(os);
+    os << "\nWhat 'rose' between generations: FP64 MFMA "
+          "instructions (absent on CDNA1 -> DGEMM runs on "
+          "SIMDs), full-rate BF16, and a dual-die package that "
+          "doubles every peak.\n";
+    return output.finish(kBenchName);
 }

@@ -7,21 +7,30 @@
  * Runs the paper's Fig. 3/Fig. 5 methodology on BF16 and INT8 Matrix
  * Core instructions: latency, throughput scaling plateau, and power
  * efficiency, alongside the FP16 baseline.
+ *
+ * Each instruction is one point on the parallel sweep engine (--jobs)
+ * with its own noise-free simulated device, so output is byte-identical
+ * for any job count (docs/SWEEP_ENGINE.md).
  */
 
+#include <array>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "arch/mfma_isa.hh"
 #include "bench/common/bench_util.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "hip/runtime.hh"
 #include "wmma/recorder.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "ext_ml_datatypes";
 
 const char *kInstructions[] = {
     "v_mfma_f32_16x16x16_f16",
@@ -42,12 +51,50 @@ main(int argc, char **argv)
     cli.addFlag("iters", static_cast<std::int64_t>(1000000),
                 "operations per wavefront");
     cli.requireIntAtLeast("iters", 1);
+    bench::addJobsFlag(cli);
+    bench::addOutFlag(cli);
     cli.parse(argc, argv);
     const auto iters = static_cast<std::uint64_t>(cli.getInt("iters"));
 
-    sim::SimOptions opts;
-    opts.enableNoise = false;
-    hip::Runtime rt(arch::defaultCdna2(), opts);
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
+    using Row = std::array<std::string, 7>;
+    const std::vector<Row> rows = runner.map(
+        sizeof(kInstructions) / sizeof(kInstructions[0]),
+        [&](std::size_t i) -> Row {
+            const char *name = kInstructions[i];
+            const arch::MfmaInstruction *inst =
+                arch::findInstruction(arch::GpuArch::Cdna2, name);
+            if (inst == nullptr)
+                mc_fatal("missing instruction ", name);
+
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime rt(arch::defaultCdna2(), opts);
+
+            // Latency: one wavefront.
+            const auto lat =
+                rt.launch(wmma::mfmaLoopProfile(*inst, iters, 1), 0);
+            const double cycles =
+                lat.seconds * lat.effClockHz / static_cast<double>(iters);
+
+            // Peaks: one GCD and the full package.
+            const auto one =
+                rt.launch(wmma::mfmaLoopProfile(*inst, iters, 440), 0);
+            const auto pkg = rt.launchMulti(
+                wmma::mfmaLoopProfile(*inst, iters, 440), {0, 1});
+
+            char lat_c[16], one_c[16], pkg_c[16], pw_c[16], eff_c[16];
+            std::snprintf(lat_c, sizeof(lat_c), "%.1f", cycles);
+            std::snprintf(one_c, sizeof(one_c), "%.1f",
+                          one.throughput() / 1e12);
+            std::snprintf(pkg_c, sizeof(pkg_c), "%.1f",
+                          pkg.throughput() / 1e12);
+            std::snprintf(pw_c, sizeof(pw_c), "%.0f", pkg.avgPowerW);
+            std::snprintf(eff_c, sizeof(eff_c), "%.0f",
+                          pkg.throughput() / pkg.avgPowerW / 1e9);
+            return Row{inst->mnemonic, inst->typeString(), lat_c, one_c,
+                       pkg_c, pw_c, eff_c};
+        });
 
     TextTable table({"instruction", "types", "latency (cyc)",
                      "1-GCD peak (T*OPS)", "pkg peak (T*OPS)",
@@ -57,42 +104,15 @@ main(int argc, char **argv)
     table.setAlignment({Align::Left, Align::Left, Align::Right,
                         Align::Right, Align::Right, Align::Right,
                         Align::Right});
+    for (const Row &row : rows)
+        table.addRow(std::vector<std::string>(row.begin(), row.end()));
 
-    for (const char *name : kInstructions) {
-        const arch::MfmaInstruction *inst =
-            arch::findInstruction(arch::GpuArch::Cdna2, name);
-        if (inst == nullptr)
-            mc_fatal("missing instruction ", name);
-
-        // Latency: one wavefront.
-        const auto lat =
-            rt.launch(wmma::mfmaLoopProfile(*inst, iters, 1), 0);
-        const double cycles =
-            lat.seconds * lat.effClockHz / static_cast<double>(iters);
-
-        // Peaks: one GCD and the full package.
-        const auto one =
-            rt.launch(wmma::mfmaLoopProfile(*inst, iters, 440), 0);
-        const auto pkg = rt.launchMulti(
-            wmma::mfmaLoopProfile(*inst, iters, 440), {0, 1});
-
-        char lat_c[16], one_c[16], pkg_c[16], pw_c[16], eff_c[16];
-        std::snprintf(lat_c, sizeof(lat_c), "%.1f", cycles);
-        std::snprintf(one_c, sizeof(one_c), "%.1f",
-                      one.throughput() / 1e12);
-        std::snprintf(pkg_c, sizeof(pkg_c), "%.1f",
-                      pkg.throughput() / 1e12);
-        std::snprintf(pw_c, sizeof(pw_c), "%.0f", pkg.avgPowerW);
-        std::snprintf(eff_c, sizeof(eff_c), "%.0f",
-                      pkg.throughput() / pkg.avgPowerW / 1e9);
-        table.addRow({inst->mnemonic, inst->typeString(), lat_c, one_c,
-                      pkg_c, pw_c, eff_c});
-    }
-    table.print(std::cout);
-
-    std::cout << "\nThe '_1k' BF16 shapes run at the full FP16 rate; "
-              << "the CDNA1-heritage BF16 shapes at half rate. INT8 "
-              << "matches FP16 throughput at slightly better "
-              << "energy/op.\n";
-    return bench::finishBench("ext_ml_datatypes");
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
+    table.print(os);
+    os << "\nThe '_1k' BF16 shapes run at the full FP16 rate; "
+       << "the CDNA1-heritage BF16 shapes at half rate. INT8 "
+       << "matches FP16 throughput at slightly better "
+       << "energy/op.\n";
+    return output.finish(kBenchName);
 }

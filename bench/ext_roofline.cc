@@ -7,20 +7,29 @@
  * arithmetic intensity vs achieved throughput against the Matrix Core
  * and memory roofs. Shows quantitatively why the large-N points bend —
  * they cross the machine-balance point when L2 panel reuse collapses.
+ *
+ * Sweep points run on the parallel sweep engine (--jobs) with
+ * per-point noise-free simulated devices, so output is byte-identical
+ * for any job count (docs/SWEEP_ENGINE.md).
  */
 
 #include <cstdio>
 #include <iostream>
+#include <optional>
+#include <vector>
 
 #include "bench/common/bench_util.hh"
 #include "blas/gemm.hh"
 #include "common/cli.hh"
 #include "common/table.hh"
+#include "exec/sweep_runner.hh"
 #include "prof/roofline.hh"
 
 namespace {
 
 using namespace mc;
+
+constexpr const char *kBenchName = "ext_roofline";
 
 } // namespace
 
@@ -29,57 +38,91 @@ main(int argc, char **argv)
 {
     CliParser cli("Roofline placement of the GEMM sweep");
     cli.addFlag("combo", std::string("sgemm"), "GEMM combo to sweep");
+    bench::addJobsFlag(cli);
+    bench::addOutFlag(cli);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
     const blas::GemmCombo combo =
         blas::parseCombo(cli.getString("combo"));
 
-    sim::SimOptions opts;
-    opts.enableNoise = false;
-    hip::Runtime rt(arch::defaultCdna2(), opts);
-    blas::GemmEngine engine(rt);
-    const prof::RooflineModel roofline(rt.gpu().calibration());
+    bench::BenchOutput output(cli);
+    std::ostream &os = output.stream();
 
-    // Machine context.
-    std::printf("memory roof: %.2f TB/s\n",
-                roofline.memoryBandwidth() / 1e12);
-    for (const auto &roof : roofline.roofs()) {
-        std::printf("compute roof %-16s %8.1f TFLOPS  (balance at "
-                    "%.1f FLOP/byte)\n",
-                    roof.name().c_str(), roof.flopsPerSec / 1e12,
-                    roofline.machineBalance(roof.dtype, roof.kind));
+    // Machine context (calibration only; no kernel runs).
+    {
+        sim::SimOptions opts;
+        opts.enableNoise = false;
+        hip::Runtime rt(arch::defaultCdna2(), opts);
+        const prof::RooflineModel roofline(rt.gpu().calibration());
+        char line[128];
+        std::snprintf(line, sizeof(line), "memory roof: %.2f TB/s\n",
+                      roofline.memoryBandwidth() / 1e12);
+        os << line;
+        for (const auto &roof : roofline.roofs()) {
+            std::snprintf(line, sizeof(line),
+                          "compute roof %-16s %8.1f TFLOPS  (balance at "
+                          "%.1f FLOP/byte)\n",
+                          roof.name().c_str(), roof.flopsPerSec / 1e12,
+                          roofline.machineBalance(roof.dtype, roof.kind));
+            os << line;
+        }
+        os << "\n";
     }
-    std::printf("\n");
+
+    std::vector<std::size_t> sizes;
+    for (std::size_t n = 256; n <= 65536; n *= 2)
+        sizes.push_back(n);
+
+    using Row = std::optional<std::vector<std::string>>;
+    exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
+    const std::vector<Row> rows = runner.map(
+        sizes.size(),
+        [&](std::size_t i) -> Row {
+            const std::size_t n = sizes[i];
+
+            sim::SimOptions opts;
+            opts.enableNoise = false;
+            hip::Runtime rt(arch::defaultCdna2(), opts);
+            blas::GemmEngine engine(rt);
+            const prof::RooflineModel roofline(rt.gpu().calibration());
+
+            blas::GemmConfig cfg;
+            cfg.combo = combo;
+            cfg.m = cfg.n = cfg.k = n;
+            cfg.alpha = cfg.beta = 0.1;
+            const blas::GemmPlan plan = engine.plan(cfg);
+            auto result = engine.run(cfg);
+            if (!result.isOk())
+                return std::nullopt; // past the memory-exhaustion edge
+            const prof::RooflinePoint point =
+                roofline.classify(plan.profile, result.value().kernel);
+
+            char inten[16], ach[16], att[16], eff[16];
+            std::snprintf(inten, sizeof(inten), "%.1f", point.intensity);
+            std::snprintf(ach, sizeof(ach), "%.1f",
+                          point.achieved / 1e12);
+            std::snprintf(att, sizeof(att), "%.1f",
+                          point.attainable / 1e12);
+            std::snprintf(eff, sizeof(eff), "%.0f%%",
+                          100.0 * point.efficiency());
+            return std::vector<std::string>{
+                std::to_string(n), inten, ach, att,
+                point.memoryBound ? "memory" : "compute", eff};
+        });
 
     TextTable table({"N", "intensity (FLOP/B)", "achieved (TFLOPS)",
                      "attainable (TFLOPS)", "bound", "roof eff."});
     table.setTitle(std::string("Roofline placement [") +
                    blas::comboInfo(combo).name + "]");
-
-    for (std::size_t n = 256; n <= 65536; n *= 2) {
-        blas::GemmConfig cfg;
-        cfg.combo = combo;
-        cfg.m = cfg.n = cfg.k = n;
-        cfg.alpha = cfg.beta = 0.1;
-        const blas::GemmPlan plan = engine.plan(cfg);
-        auto result = engine.run(cfg);
-        if (!result.isOk())
-            break;
-        const prof::RooflinePoint point =
-            roofline.classify(plan.profile, result.value().kernel);
-
-        char inten[16], ach[16], att[16], eff[16];
-        std::snprintf(inten, sizeof(inten), "%.1f", point.intensity);
-        std::snprintf(ach, sizeof(ach), "%.1f", point.achieved / 1e12);
-        std::snprintf(att, sizeof(att), "%.1f",
-                      point.attainable / 1e12);
-        std::snprintf(eff, sizeof(eff), "%.0f%%",
-                      100.0 * point.efficiency());
-        table.addRow({std::to_string(n), inten, ach, att,
-                      point.memoryBound ? "memory" : "compute", eff});
+    for (const Row &row : rows) {
+        if (!row)
+            break; // the sweep-terminating OOM, as in Fig. 6/7
+        table.addRow(*row);
     }
-    table.print(std::cout);
-    std::cout << "\nPoints left of the balance intensity are "
-                 "memory-bound: exactly the dipped region of the "
-                 "paper's Fig. 6/7 curves.\n";
-    return bench::finishBench("ext_roofline");
+    table.print(os);
+    os << "\nPoints left of the balance intensity are "
+          "memory-bound: exactly the dipped region of the "
+          "paper's Fig. 6/7 curves.\n";
+    return output.finish(kBenchName);
 }

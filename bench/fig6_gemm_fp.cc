@@ -16,6 +16,7 @@
  * the failed or missing points re-executed.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <optional>
@@ -49,7 +50,22 @@ struct PointResult
     bool usedMatrixCores = false;
     std::uint64_t plansComputed = 0;
     std::uint64_t planCacheHits = 0;
+    /** -1 = not host-verified (disabled or above --verify-maxn),
+     *  1 = verified OK. A failed verification fails the whole point
+     *  (Internal), so 0 never reaches the renderer. */
+    int verified = -1;
+    /** Max ULP distance the verification observed (0 when unchecked). */
+    std::uint64_t maxUlp = 0;
 };
+
+/** Render the verification cell ("-" / "ok ulp=N"). */
+std::string
+verifiedCell(const PointResult &r)
+{
+    if (r.verified < 0)
+        return "-";
+    return "ok ulp=" + std::to_string(r.maxUlp);
+}
 
 /**
  * Journal payload for one completed point. %.17g round-trips a double
@@ -59,13 +75,16 @@ struct PointResult
 std::string
 encodePoint(const PointResult &r)
 {
-    char buf[192];
-    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%zu,%d,%d,%d,%d,%llu,%llu",
+    char buf[224];
+    std::snprintf(buf, sizeof(buf),
+                  "%.17g,%.17g,%zu,%d,%d,%d,%d,%llu,%llu,%d,%llu",
                   r.m.stats.mean, r.m.stats.stddev, r.m.stats.count,
                   r.m.aborted ? 1 : 0, r.m.samplesTaken, r.macroTile,
                   r.usedMatrixCores ? 1 : 0,
                   static_cast<unsigned long long>(r.plansComputed),
-                  static_cast<unsigned long long>(r.planCacheHits));
+                  static_cast<unsigned long long>(r.planCacheHits),
+                  r.verified,
+                  static_cast<unsigned long long>(r.maxUlp));
     return buf;
 }
 
@@ -74,10 +93,13 @@ decodePoint(const std::string &payload, PointResult &r)
 {
     std::size_t count = 0;
     int aborted = 0, samples = 0, tile = 0, matrix_cores = 0;
-    unsigned long long plans = 0, hits = 0;
-    if (std::sscanf(payload.c_str(), "%lg,%lg,%zu,%d,%d,%d,%d,%llu,%llu",
+    int verified = -1;
+    unsigned long long plans = 0, hits = 0, ulp = 0;
+    if (std::sscanf(payload.c_str(),
+                    "%lg,%lg,%zu,%d,%d,%d,%d,%llu,%llu,%d,%llu",
                     &r.m.stats.mean, &r.m.stats.stddev, &count, &aborted,
-                    &samples, &tile, &matrix_cores, &plans, &hits) != 9)
+                    &samples, &tile, &matrix_cores, &plans, &hits,
+                    &verified, &ulp) != 11)
         return false;
     r.m.stats.count = count;
     r.m.aborted = aborted != 0;
@@ -86,6 +108,8 @@ decodePoint(const std::string &payload, PointResult &r)
     r.usedMatrixCores = matrix_cores != 0;
     r.plansComputed = plans;
     r.planCacheHits = hits;
+    r.verified = verified;
+    r.maxUlp = ulp;
     return true;
 }
 
@@ -103,10 +127,14 @@ main(int argc, char **argv)
     bench::addOutFlag(cli);
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
+    bench::addVerifyFlags(cli, /*default_enabled=*/true);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
+    const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     std::optional<exec::SweepJournal> journal;
     if (!res.journalPath.empty()) {
@@ -194,6 +222,25 @@ main(int argc, char **argv)
             out.m = measured.value();
             out.plansComputed = engine.planCache().misses();
             out.planCacheHits = engine.planCache().hits();
+
+            // Host-side numeric verification through the fast
+            // functional backend (docs/PERF.md). A wrong result
+            // invalidates the measurement, so a failed check fails
+            // the point, not just a column.
+            if (!out.m.aborted && vcfg.shouldVerify(cfg.m, cfg.n, cfg.k)) {
+                engine.functionalOptions() = vcfg.func;
+                const blas::VerifyResult v = engine.verify(
+                    cfg, vcfg.scheme, runner.seedFor(key, 1ull << 32));
+                if (!v.passed) {
+                    const Status status(ErrorCode::Internal,
+                                        "verification failed: " + v.detail);
+                    if (journal)
+                        journal->record({i, key, status.code(), ""});
+                    return status;
+                }
+                out.verified = 1;
+                out.maxUlp = v.maxUlp;
+            }
             if (journal)
                 journal->record({i, key, ErrorCode::Ok, encodePoint(out)});
             return out;
@@ -206,7 +253,7 @@ main(int argc, char **argv)
     std::ostream &os = output.stream();
     CsvWriter csv(os);
     if (cli.getBool("csv"))
-        csv.writeRow({"combo", "n", "tflops", "macro_tile"});
+        csv.writeRow({"combo", "n", "tflops", "macro_tile", "verified"});
 
     AsciiChart chart(64, 14);
     chart.setTitle("Figure 6 (rendered): GEMM throughput vs N");
@@ -216,13 +263,15 @@ main(int argc, char **argv)
 
     std::vector<bench::FailedPoint> failures;
     std::uint64_t plans_computed = 0, plan_hits = 0;
+    std::size_t verified_points = 0;
+    std::uint64_t verified_max_ulp = 0;
     std::size_t index = 0;
     for (blas::GemmCombo combo : combos) {
         const char *name = blas::comboInfo(combo).name;
         PlotSeries plot_series;
         plot_series.label = name;
         plot_series.marker = name[0];
-        TextTable table({"N", "TFLOPS", "macro tile", "path"});
+        TextTable table({"N", "TFLOPS", "macro tile", "path", "verified"});
         table.setTitle(std::string("Figure 6 [") + name +
                        "]: N x N x N GEMM, alpha = beta = 0.1, 1 GCD");
 
@@ -238,18 +287,22 @@ main(int argc, char **argv)
                 const std::string cell = std::string("failed: ") +
                                          errorCodeName(status.code());
                 if (cli.getBool("csv"))
-                    csv.writeRow({name, std::to_string(n), cell, "-"});
+                    csv.writeRow({name, std::to_string(n), cell, "-", "-"});
                 else
-                    table.addRow({std::to_string(n), cell, "-", "-"});
+                    table.addRow({std::to_string(n), cell, "-", "-", "-"});
                 continue;
             }
             const PointResult &r = results[index].value();
             plans_computed += r.plansComputed;
             plan_hits += r.planCacheHits;
+            if (r.verified > 0) {
+                ++verified_points;
+                verified_max_ulp = std::max(verified_max_ulp, r.maxUlp);
+            }
             if (r.m.aborted) {
                 oom = true;
                 table.addRow({std::to_string(n), "out of memory", "-",
-                              "-"});
+                              "-", "-"});
                 continue;
             }
 
@@ -258,11 +311,13 @@ main(int argc, char **argv)
             if (cli.getBool("csv")) {
                 csv.writeRow({name, std::to_string(n),
                               bench::tflopsCell(r.m),
-                              std::to_string(r.macroTile)});
+                              std::to_string(r.macroTile),
+                              verifiedCell(r)});
             } else {
                 table.addRow({std::to_string(n), bench::tflopsCell(r.m),
                               std::to_string(r.macroTile),
-                              r.usedMatrixCores ? "MatrixCore" : "SIMD"});
+                              r.usedMatrixCores ? "MatrixCore" : "SIMD",
+                              verifiedCell(r)});
             }
         }
         if (!cli.getBool("csv")) {
@@ -276,6 +331,10 @@ main(int argc, char **argv)
         os << "plan cache: " << plans_computed
            << " plans computed, " << plan_hits
            << " repetitions served from cache\n";
+        if (verified_points > 0)
+            os << "verification: " << verified_points
+               << " points host-verified, max ULP = " << verified_max_ulp
+               << "\n";
     }
     os << "(paper Fig. 6: SGEMM peaks ~43 TFLOPS at N=8192 and "
           "recovers near 65000; DGEMM peaks ~37 TFLOPS at "

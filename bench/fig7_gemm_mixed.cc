@@ -43,28 +43,42 @@ struct Point
     std::size_t n;
 };
 
-/** Journal payload: the Measurement fields the rendering reads. */
-std::string
-encodePoint(const bench::Measurement &m)
+struct PointResult
 {
-    char buf[128];
-    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%zu,%d,%d",
-                  m.stats.mean, m.stats.stddev, m.stats.count,
-                  m.aborted ? 1 : 0, m.samplesTaken);
+    bench::Measurement m;
+    /** -1 = not host-verified, 1 = verified OK (a failed check fails
+     *  the point with Internal instead). */
+    int verified = -1;
+    std::uint64_t maxUlp = 0;
+};
+
+/** Journal payload: the fields the rendering reads. */
+std::string
+encodePoint(const PointResult &r)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%.17g,%.17g,%zu,%d,%d,%d,%llu",
+                  r.m.stats.mean, r.m.stats.stddev, r.m.stats.count,
+                  r.m.aborted ? 1 : 0, r.m.samplesTaken, r.verified,
+                  static_cast<unsigned long long>(r.maxUlp));
     return buf;
 }
 
 bool
-decodePoint(const std::string &payload, bench::Measurement &m)
+decodePoint(const std::string &payload, PointResult &r)
 {
     std::size_t count = 0;
-    int aborted = 0, samples = 0;
-    if (std::sscanf(payload.c_str(), "%lg,%lg,%zu,%d,%d", &m.stats.mean,
-                    &m.stats.stddev, &count, &aborted, &samples) != 5)
+    int aborted = 0, samples = 0, verified = -1;
+    unsigned long long ulp = 0;
+    if (std::sscanf(payload.c_str(), "%lg,%lg,%zu,%d,%d,%d,%llu",
+                    &r.m.stats.mean, &r.m.stats.stddev, &count, &aborted,
+                    &samples, &verified, &ulp) != 7)
         return false;
-    m.stats.count = count;
-    m.aborted = aborted != 0;
-    m.samplesTaken = samples;
+    r.m.stats.count = count;
+    r.m.aborted = aborted != 0;
+    r.m.samplesTaken = samples;
+    r.verified = verified;
+    r.maxUlp = ulp;
     return true;
 }
 
@@ -81,10 +95,14 @@ main(int argc, char **argv)
     bench::addJobsFlag(cli);
     bench::addResilienceFlags(cli);
     bench::addOutFlag(cli);
+    bench::addVerifyFlags(cli, /*default_enabled=*/true);
+    bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
+    bench::applyPlanCacheFlag(cli);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
+    const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     std::optional<exec::SweepJournal> journal;
     if (!res.journalPath.empty()) {
@@ -131,16 +149,16 @@ main(int argc, char **argv)
 
     exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
     std::size_t resumed_points = 0;
-    const std::vector<Result<bench::Measurement>> results =
+    const std::vector<Result<PointResult>> results =
         runner.mapResult(
             points.size(),
-            [&](std::size_t i) -> Result<bench::Measurement> {
+            [&](std::size_t i) -> Result<PointResult> {
                 const Point &pt = points[i];
                 const std::string key = point_key(pt);
 
                 if (res.resume && journal) {
                     const exec::JournalEntry *entry = journal->find(i);
-                    bench::Measurement loaded;
+                    PointResult loaded;
                     if (entry && entry->ok() &&
                         decodePoint(entry->payload, loaded))
                         return loaded;
@@ -173,15 +191,40 @@ main(int argc, char **argv)
                             result.value().kernel.seconds};
                     },
                     ropts);
-                if (journal) {
-                    if (measured.isOk())
-                        journal->record({i, key, ErrorCode::Ok,
-                                         encodePoint(measured.value())});
-                    else
+                if (!measured.isOk()) {
+                    if (journal)
                         journal->record(
                             {i, key, measured.status().code(), ""});
+                    return measured.status();
                 }
-                return measured;
+
+                PointResult out;
+                out.m = measured.value();
+
+                // Host-side numeric verification (docs/PERF.md): a
+                // wrong result invalidates the measurement, so a
+                // failed check fails the point.
+                if (!out.m.aborted &&
+                    vcfg.shouldVerify(cfg.m, cfg.n, cfg.k)) {
+                    engine.functionalOptions() = vcfg.func;
+                    const blas::VerifyResult v = engine.verify(
+                        cfg, vcfg.scheme,
+                        runner.seedFor(key, 1ull << 32));
+                    if (!v.passed) {
+                        const Status status(
+                            ErrorCode::Internal,
+                            "verification failed: " + v.detail);
+                        if (journal)
+                            journal->record({i, key, status.code(), ""});
+                        return status;
+                    }
+                    out.verified = 1;
+                    out.maxUlp = v.maxUlp;
+                }
+                if (journal)
+                    journal->record(
+                        {i, key, ErrorCode::Ok, encodePoint(out)});
+                return out;
             },
             res.maxPointFailures);
     if (res.resume && journal)
@@ -189,6 +232,8 @@ main(int argc, char **argv)
 
     std::map<blas::GemmCombo, std::map<std::size_t, double>> tflops;
     std::vector<bench::FailedPoint> failures;
+    std::size_t verified_points = 0;
+    std::uint64_t verified_max_ulp = 0;
 
     TextTable table({"N", "hgemm", "hss", "hhs", "hhs/hgemm speedup"});
     table.setTitle("Figure 7: N x N x N GEMM throughput (TFLOPS), "
@@ -209,13 +254,17 @@ main(int argc, char **argv)
                               errorCodeName(status.code()));
                 continue;
             }
-            const bench::Measurement &m = results[point_index].value();
-            if (m.aborted) {
+            const PointResult &r = results[point_index].value();
+            if (r.verified > 0) {
+                ++verified_points;
+                verified_max_ulp = std::max(verified_max_ulp, r.maxUlp);
+            }
+            if (r.m.aborted) {
                 row.push_back("OOM");
                 any_oom = true;
             } else {
-                tflops[combo][n] = m.value();
-                row.push_back(bench::tflopsCell(m));
+                tflops[combo][n] = r.m.value();
+                row.push_back(bench::tflopsCell(r.m));
             }
         }
         if (tflops[blas::GemmCombo::Hhs].count(n) &&
@@ -250,6 +299,10 @@ main(int argc, char **argv)
                   "N >= 1024): %.1fx - %.1fx (paper: 2.3x - 7.5x)\n",
                   lo, hi);
     os << speedup;
+    if (verified_points > 0)
+        os << "verification: " << verified_points
+           << " points host-verified, max ULP = " << verified_max_ulp
+           << "\n";
     os << "(paper Fig. 7: HHS peaks at 155 TFLOPS = 88% of the "
           "one-GCD plateau; HHS > HSS for N > 1024; HGEMM never "
           "uses Matrix Cores)\n";

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * The fast functional-GEMM backend: cache-blocked, operand-packing,
+ * optionally multi-threaded numeric kernels that are *bit-identical*
+ * to the scalar reference loops in functional.hh.
+ *
+ * The bit-exactness invariant, and why blocking preserves it
+ * ----------------------------------------------------------
+ * IEEE floating-point addition is not associative, so a classically
+ * re-associated (multi-accumulator) dot product would change results.
+ * This backend never re-associates: every output element (i, j) is
+ * produced by ONE accumulator that receives the products
+ * widen(a(i,kk)) * widen(b(kk,j)) in ascending-kk order — exactly the
+ * scalar loop's order. Speed comes from everything *around* the sum:
+ *
+ *  - the j loop is innermost (an "axpy" update accs[j] += av * b[kk][j]
+ *    across an output row panel), so consecutive iterations update
+ *    independent accumulators and vectorize/pipeline instead of
+ *    serializing on the FP-add latency chain;
+ *  - A and B are widened to the accumulator type once up front
+ *    (conversion is exact, so values are unchanged; for float/double
+ *    operands the matrix storage is used in place) instead of widening
+ *    and bounds-checking every element m*n*k times;
+ *  - loops are blocked (blockM x blockN x blockK) so one B panel is
+ *    served from cache for a whole block of output rows;
+ *  - row blocks fan out across exec::sharedPool workers. Each (i, j)
+ *    is computed wholly by one task, so results are independent of the
+ *    thread count.
+ *
+ * The inner kernels live in fast_gemm.cc (compiled -O3: the default
+ * -O2 build does not vectorize runtime-trip-count loops) and are
+ * reached through extern templates. No FMA contraction concerns arise
+ * on the baseline x86-64 target: SSE2 mul and add round separately per
+ * lane, identical to the scalar path.
+ */
+
+#ifndef MC_BLAS_FAST_GEMM_HH
+#define MC_BLAS_FAST_GEMM_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "arch/mfma_isa.hh"
+#include "common/logging.hh"
+#include "common/matrix.hh"
+#include "exec/thread_pool.hh"
+#include "fp/traits.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Thread / block-size knobs of the fast functional backend. The
+ * defaults keep one B panel (blockK x blockN) and one accumulator
+ * block (blockM x blockN) cache-resident; results are identical for
+ * every setting — the knobs trade speed only.
+ */
+struct FunctionalGemmOptions
+{
+    /** Row-block fan-out width: 1 = serial, < 1 = hardware threads. */
+    int threads = 1;
+    /** Rows per parallel task (also the i-block of the blocking). */
+    int blockM = 64;
+    /** Output-panel width (j-block; accumulator row length). */
+    int blockN = 128;
+    /** Depth of one k-panel. */
+    int blockK = 256;
+    /** Route through the retained scalar kernels instead (the
+     *  bit-exactness baseline; also what mc_perf times as "old"). */
+    bool forceScalar = false;
+};
+
+namespace detail {
+
+/**
+ * The hot kernel: accs[j] += arow[kk] * bpanel[kk * ldb + j] for
+ * kk < nk, j < nj, kk ascending — the scalar reference's per-element
+ * accumulation order with the j loop innermost.
+ */
+template <typename T>
+void
+axpyPanel(const T *arow, const T *bpanel, std::size_t ldb, std::size_t nk,
+          T *accs, std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; ++kk) {
+        const T av = arow[kk];
+        const T *brow = bpanel + kk * ldb;
+        for (std::size_t j = 0; j < nj; ++j)
+            accs[j] += av * brow[j];
+    }
+}
+
+/** axpyPanel with subtraction: the TRSM update term. */
+template <typename T>
+void
+axpyPanelSub(const T *arow, const T *bpanel, std::size_t ldb,
+             std::size_t nk, T *accs, std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; ++kk) {
+        const T av = arow[kk];
+        const T *brow = bpanel + kk * ldb;
+        for (std::size_t j = 0; j < nj; ++j)
+            accs[j] -= av * brow[j];
+    }
+}
+
+/**
+ * axpyPanel with the reduced-precision FMA-chain semantics: after
+ * every multiply-add the accumulator is rounded to TNarrow and widened
+ * back (referenceGemm's round_each_step — how HGEMM behaves on the
+ * VALU path).
+ */
+template <typename TNarrow, typename TAcc>
+void
+axpyPanelRound(const TAcc *arow, const TAcc *bpanel, std::size_t ldb,
+               std::size_t nk, TAcc *accs, std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; ++kk) {
+        const TAcc av = arow[kk];
+        const TAcc *brow = bpanel + kk * ldb;
+        for (std::size_t j = 0; j < nj; ++j) {
+            const TAcc acc = accs[j] + av * brow[j];
+            accs[j] = static_cast<TAcc>(
+                fp::NumericTraits<TNarrow>::widen(TNarrow(acc)));
+        }
+    }
+}
+
+// The instantiations the five datatype combos reach live in
+// fast_gemm.cc, compiled -O3 so the j loops vectorize.
+extern template void axpyPanel<float>(const float *, const float *,
+                                      std::size_t, std::size_t, float *,
+                                      std::size_t);
+extern template void axpyPanel<double>(const double *, const double *,
+                                       std::size_t, std::size_t, double *,
+                                       std::size_t);
+extern template void axpyPanelSub<float>(const float *, const float *,
+                                         std::size_t, std::size_t, float *,
+                                         std::size_t);
+extern template void axpyPanelSub<double>(const double *, const double *,
+                                          std::size_t, std::size_t,
+                                          double *, std::size_t);
+extern template void axpyPanelRound<fp::Half, float>(const float *,
+                                                     const float *,
+                                                     std::size_t,
+                                                     std::size_t, float *,
+                                                     std::size_t);
+
+/**
+ * Row-major widened copy of @p src with columns zero-padded to
+ * @p padded_cols (the packed A operand). Widening is exact, so values
+ * are bit-preserved; when the storage type already is TAcc and no
+ * padding is needed, the matrix's own storage is returned and @p store
+ * stays empty.
+ */
+template <typename TSrc, typename TAcc>
+const TAcc *
+widenPadCols(const Matrix<TSrc> &src, std::size_t padded_cols,
+             std::vector<TAcc> &store)
+{
+    const std::size_t rows = src.rows(), cols = src.cols();
+    mc_assert(padded_cols >= cols, "padding below the matrix width");
+    if constexpr (std::is_same_v<TSrc, TAcc>) {
+        if (padded_cols == cols)
+            return src.data();
+    }
+    store.assign(rows * padded_cols, TAcc(0));
+    const TSrc *in = src.data();
+    for (std::size_t i = 0; i < rows; ++i) {
+        TAcc *out = store.data() + i * padded_cols;
+        for (std::size_t j = 0; j < cols; ++j)
+            out[j] = static_cast<TAcc>(
+                fp::NumericTraits<TSrc>::widen(in[i * cols + j]));
+    }
+    return store.data();
+}
+
+/**
+ * Row-major widened copy of @p src with zero rows appended up to
+ * @p padded_rows (the packed B operand; B is consumed row-wise so its
+ * native row-major layout already is the packed layout).
+ */
+template <typename TSrc, typename TAcc>
+const TAcc *
+widenPadRows(const Matrix<TSrc> &src, std::size_t padded_rows,
+             std::vector<TAcc> &store)
+{
+    const std::size_t rows = src.rows(), cols = src.cols();
+    mc_assert(padded_rows >= rows, "padding below the matrix height");
+    if constexpr (std::is_same_v<TSrc, TAcc>) {
+        if (padded_rows == rows)
+            return src.data();
+    }
+    store.assign(padded_rows * cols, TAcc(0));
+    const TSrc *in = src.data();
+    TAcc *out = store.data();
+    for (std::size_t i = 0; i < rows * cols; ++i)
+        out[i] = static_cast<TAcc>(fp::NumericTraits<TSrc>::widen(in[i]));
+    return store.data();
+}
+
+/**
+ * The blocked driver shared by the reference and the tiled-Matrix-Core
+ * entry points: D = TCD(alpha * sum_k(pa * pb) + beta * widen(C)) over
+ * pre-widened operands, k ascending per element, row blocks fanned
+ * across threads.
+ */
+template <typename TCD, typename TAcc>
+void
+blockedGemmCore(std::size_t m, std::size_t n, std::size_t k, double alpha,
+                const TAcc *pa, std::size_t lda, const TAcc *pb,
+                std::size_t ldb, double beta, const TCD *pc, TCD *pd,
+                std::size_t ldcd, bool round_each_step,
+                const FunctionalGemmOptions &opts)
+{
+    mc_assert(opts.blockM >= 1 && opts.blockN >= 1 && opts.blockK >= 1,
+              "block sizes must be positive");
+    const std::size_t bm = static_cast<std::size_t>(opts.blockM);
+    const std::size_t bn = static_cast<std::size_t>(opts.blockN);
+    const std::size_t bk = static_cast<std::size_t>(opts.blockK);
+    const TAcc alpha_acc = static_cast<TAcc>(alpha);
+    const TAcc beta_acc = static_cast<TAcc>(beta);
+    // Per-step rounding is the identity when TCD and TAcc coincide.
+    const bool rounding = round_each_step && !std::is_same_v<TCD, TAcc>;
+
+    exec::parallelChunks(m, bm, opts.threads, [&](std::size_t r0,
+                                                  std::size_t r1) {
+        const std::size_t rows = r1 - r0;
+        std::vector<TAcc> acc(rows * bn);
+        for (std::size_t j0 = 0; j0 < n; j0 += bn) {
+            const std::size_t nj = std::min(bn, n - j0);
+            std::fill(acc.begin(), acc.end(), TAcc(0));
+            for (std::size_t k0 = 0; k0 < k; k0 += bk) {
+                const std::size_t nk = std::min(bk, k - k0);
+                const TAcc *bpanel = pb + k0 * ldb + j0;
+                for (std::size_t r = 0; r < rows; ++r) {
+                    const TAcc *arow = pa + (r0 + r) * lda + k0;
+                    TAcc *accs = acc.data() + r * bn;
+                    if (rounding)
+                        axpyPanelRound<TCD, TAcc>(arow, bpanel, ldb, nk,
+                                                  accs, nj);
+                    else
+                        axpyPanel<TAcc>(arow, bpanel, ldb, nk, accs, nj);
+                }
+            }
+            for (std::size_t r = 0; r < rows; ++r) {
+                const std::size_t i = r0 + r;
+                const TAcc *accs = acc.data() + r * bn;
+                const TCD *crow = pc + i * ldcd + j0;
+                TCD *drow = pd + i * ldcd + j0;
+                for (std::size_t j = 0; j < nj; ++j) {
+                    const TAcc scaled =
+                        alpha_acc * accs[j] +
+                        beta_acc * static_cast<TAcc>(
+                                       fp::NumericTraits<TCD>::widen(
+                                           crow[j]));
+                    drow[j] = TCD(scaled);
+                }
+            }
+        }
+    });
+}
+
+} // namespace detail
+
+/**
+ * Blocked/packed/threaded D = alpha*A*B + beta*C with referenceGemm's
+ * exact semantics (see the file comment): the result is bit-identical
+ * to the scalar loop for every shape, every option setting, and every
+ * thread count.
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+fastReferenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
+                  double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
+                  bool round_each_step = false,
+                  const FunctionalGemmOptions &opts = FunctionalGemmOptions())
+{
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    mc_assert(b.rows() == k, "GEMM inner dimensions disagree");
+    mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
+    mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
+
+    std::vector<TAcc> a_store, b_store;
+    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, k, a_store);
+    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, k, b_store);
+    detail::blockedGemmCore<TCD, TAcc>(m, n, k, alpha, pa, k, pb, n, beta,
+                                       c.data(), d.data(), n,
+                                       round_each_step, opts);
+}
+
+/**
+ * Blocked/packed/threaded equivalent of tiledMatrixCoreGemm: the k
+ * dimension is zero-padded to a multiple of the instruction's k (the
+ * executeMfma dataflow chains whole k-slices, and the padding's
+ * +0.0 products are part of its accumulation sequence), then the same
+ * blocked driver runs without per-step rounding. Bit-identical to the
+ * scalar tiled path.
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+fastTiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
+                        const Matrix<TAB> &a, const Matrix<TAB> &b,
+                        double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
+                        const FunctionalGemmOptions &opts =
+                            FunctionalGemmOptions())
+{
+    mc_assert(inst.shape.blocks == 1,
+              "the tiled path uses single-block instructions");
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    mc_assert(b.rows() == k, "GEMM inner dimensions disagree");
+    mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
+    mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
+
+    const std::size_t tk = static_cast<std::size_t>(inst.shape.k);
+    const std::size_t kpad = (k + tk - 1) / tk * tk;
+    std::vector<TAcc> a_store, b_store;
+    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, kpad, a_store);
+    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, kpad, b_store);
+    detail::blockedGemmCore<TCD, TAcc>(m, n, kpad, alpha, pa, kpad, pb, n,
+                                       beta, c.data(), d.data(), n,
+                                       /*round_each_step=*/false, opts);
+}
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_FAST_GEMM_HH

@@ -4,13 +4,19 @@
  *
  * Two implementations of D <- alpha*A*B + beta*C exist so they can be
  * checked against each other:
- *  - referenceGemm: a scalar triple loop with explicit accumulator
- *    semantics (including the per-step rounding a SIMD f16 FMA chain
- *    performs, which is how HGEMM really behaves on the VALU path);
+ *  - referenceGemm: explicit accumulator semantics (including the
+ *    per-step rounding a SIMD f16 FMA chain performs, which is how
+ *    HGEMM really behaves on the VALU path);
  *  - tiledMatrixCoreGemm: the Matrix Core dataflow — 16x16 micro-tiles
  *    accumulated through executeMfma in the accumulator precision, with
  *    the alpha/beta scaling applied afterwards in the compute type,
  *    exactly as the library kernel does it.
+ *
+ * Both public entry points route through the blocked/packed/threaded
+ * backend in fast_gemm.hh, which is bit-identical to the scalar loops
+ * retained here as scalarReferenceGemm / scalarTiledMatrixCoreGemm
+ * (the baseline the bit-exactness suite and mc_perf compare against).
+ * See docs/PERF.md.
  */
 
 #ifndef MC_BLAS_FUNCTIONAL_HH
@@ -20,6 +26,7 @@
 
 #include "arch/mfma_exec.hh"
 #include "arch/mfma_isa.hh"
+#include "blas/fast_gemm.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
 #include "fp/traits.hh"
@@ -28,7 +35,8 @@ namespace mc {
 namespace blas {
 
 /**
- * Scalar reference GEMM.
+ * Scalar reference GEMM: the original triple loop, kept as the
+ * semantic ground truth the fast backend must match bit-for-bit.
  *
  * @tparam TCD storage type of C and D.
  * @tparam TAB storage type of A and B.
@@ -39,9 +47,10 @@ namespace blas {
  */
 template <typename TCD, typename TAB, typename TAcc>
 void
-referenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
-              double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
-              bool round_each_step = false)
+scalarReferenceGemm(double alpha, const Matrix<TAB> &a,
+                    const Matrix<TAB> &b, double beta,
+                    const Matrix<TCD> &c, Matrix<TCD> &d,
+                    bool round_each_step = false)
 {
     const std::size_t m = a.rows();
     const std::size_t k = a.cols();
@@ -75,18 +84,40 @@ referenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
 }
 
 /**
- * Tiled Matrix Core GEMM: pad to the instruction shape, accumulate each
- * 16x16 (or instruction-shaped) output tile across K through
- * executeMfma in @p TAcc precision, then apply the alpha/beta pass.
+ * Reference GEMM entry point: fastReferenceGemm's blocked/packed/
+ * threaded execution of the scalarReferenceGemm semantics (the two are
+ * bit-identical; @p opts only tunes speed, or forces the scalar loop).
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+referenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
+              double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
+              bool round_each_step = false,
+              const FunctionalGemmOptions &opts = FunctionalGemmOptions())
+{
+    if (opts.forceScalar) {
+        scalarReferenceGemm<TCD, TAB, TAcc>(alpha, a, b, beta, c, d,
+                                            round_each_step);
+        return;
+    }
+    fastReferenceGemm<TCD, TAB, TAcc>(alpha, a, b, beta, c, d,
+                                      round_each_step, opts);
+}
+
+/**
+ * Scalar tiled Matrix Core GEMM: pad to the instruction shape,
+ * accumulate each 16x16 (or instruction-shaped) output tile across K
+ * through executeMfma in @p TAcc precision, then apply the alpha/beta
+ * pass. Kept as the ground truth for fastTiledMatrixCoreGemm.
  *
  * @tparam TAcc the Matrix Core accumulator type for this input type
  *         (float for f16/bf16/f32 inputs, double for f64).
  */
 template <typename TCD, typename TAB, typename TAcc>
 void
-tiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
-                    const Matrix<TAB> &a, const Matrix<TAB> &b,
-                    double beta, const Matrix<TCD> &c, Matrix<TCD> &d)
+scalarTiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
+                          const Matrix<TAB> &a, const Matrix<TAB> &b,
+                          double beta, const Matrix<TCD> &c, Matrix<TCD> &d)
 {
     mc_assert(inst.shape.blocks == 1,
               "the tiled path uses single-block instructions");
@@ -147,6 +178,28 @@ tiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
             }
         }
     }
+}
+
+/**
+ * Tiled Matrix Core GEMM entry point: the fast backend's execution of
+ * the scalarTiledMatrixCoreGemm dataflow (bit-identical; @p opts only
+ * tunes speed, or forces the scalar tile loop).
+ */
+template <typename TCD, typename TAB, typename TAcc>
+void
+tiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
+                    const Matrix<TAB> &a, const Matrix<TAB> &b,
+                    double beta, const Matrix<TCD> &c, Matrix<TCD> &d,
+                    const FunctionalGemmOptions &opts =
+                        FunctionalGemmOptions())
+{
+    if (opts.forceScalar) {
+        scalarTiledMatrixCoreGemm<TCD, TAB, TAcc>(inst, alpha, a, b, beta,
+                                                  c, d);
+        return;
+    }
+    fastTiledMatrixCoreGemm<TCD, TAB, TAcc>(inst, alpha, a, b, beta, c, d,
+                                            opts);
 }
 
 } // namespace blas

@@ -12,7 +12,7 @@ GemmEngine::GemmEngine(hip::Runtime &rt, PlannerOptions opts)
       _calFingerprint(arch::calibrationFingerprint(rt.gpu().calibration()))
 {}
 
-const GemmPlan &
+std::shared_ptr<const GemmPlan>
 GemmEngine::cachedPlan(const GemmConfig &config) const
 {
     const PlanKey key = makePlanKey(config, _opts, _calFingerprint);
@@ -24,7 +24,14 @@ GemmEngine::cachedPlan(const GemmConfig &config) const
 GemmPlan
 GemmEngine::plan(const GemmConfig &config) const
 {
-    return cachedPlan(config);
+    return *cachedPlan(config);
+}
+
+VerifyResult
+GemmEngine::verify(const GemmConfig &config, VerifyScheme scheme,
+                   std::uint64_t seed) const
+{
+    return verifyGemm(config, scheme, seed, _opts, _funcOpts);
 }
 
 std::size_t
@@ -74,7 +81,8 @@ GemmEngine::run(const GemmConfig &config)
         return c.status();
     }
 
-    const GemmPlan &plan = cachedPlan(config);
+    const std::shared_ptr<const GemmPlan> plan_ptr = cachedPlan(config);
+    const GemmPlan &plan = *plan_ptr;
 
     GemmResult result;
     result.kernel = _rt.launch(plan.profile, config.device);

@@ -13,9 +13,12 @@
 #ifndef MC_BLAS_GEMM_HH
 #define MC_BLAS_GEMM_HH
 
+#include <memory>
+
 #include "blas/gemm_types.hh"
 #include "blas/plan_cache.hh"
 #include "blas/tiling.hh"
+#include "blas/verify.hh"
 #include "common/status.hh"
 #include "hip/runtime.hh"
 
@@ -35,6 +38,14 @@ class GemmEngine
     /** Planner tunables (for the ablation studies). */
     PlannerOptions &plannerOptions() { return _opts; }
     const PlannerOptions &plannerOptions() const { return _opts; }
+
+    /** Thread/block-size knobs of the fast functional backend used by
+     *  verify(); results are identical for every setting. */
+    FunctionalGemmOptions &functionalOptions() { return _funcOpts; }
+    const FunctionalGemmOptions &functionalOptions() const
+    {
+        return _funcOpts;
+    }
 
     /** The runtime this engine executes against. */
     hip::Runtime &runtime() { return _rt; }
@@ -64,16 +75,28 @@ class GemmEngine
      */
     static std::size_t operandBytes(const GemmConfig &config);
 
+    /**
+     * Numerically verify @p config on the host through the fast
+     * functional backend, with this engine's planner options (path
+     * selection) and functionalOptions() (threads/blocking).
+     */
+    VerifyResult verify(const GemmConfig &config,
+                        VerifyScheme scheme = VerifyScheme::PaperOnesIdentity,
+                        std::uint64_t seed = 0x5eed) const;
+
     /** The plan memo (hit/miss counters for the sweep harnesses). */
     const PlanCache &planCache() const { return _planCache; }
     PlanCache &planCache() { return _planCache; }
 
   private:
-    /** Plan @p config through the cache; reference stays valid. */
-    const GemmPlan &cachedPlan(const GemmConfig &config) const;
+    /** Plan @p config through the cache; the shared_ptr keeps the plan
+     *  alive across LRU eviction. */
+    std::shared_ptr<const GemmPlan>
+    cachedPlan(const GemmConfig &config) const;
 
     hip::Runtime &_rt;
     PlannerOptions _opts;
+    FunctionalGemmOptions _funcOpts;
     std::uint64_t _calFingerprint = 0;
     mutable PlanCache _planCache;
 };

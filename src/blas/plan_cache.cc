@@ -1,8 +1,23 @@
 #include "plan_cache.hh"
 
+#include <atomic>
 #include <bit>
 
 #include "common/hash.hh"
+
+namespace {
+
+// Defaults to 1024: far above any single sweep's distinct-problem
+// count, small enough that a week-long suite run stays bounded.
+std::atomic<std::size_t> g_default_capacity{1024};
+
+// Process-wide aggregates, fed by every cache instance so the bench
+// completion line can report them after the engines are gone.
+std::atomic<std::uint64_t> g_hits{0};
+std::atomic<std::uint64_t> g_misses{0};
+std::atomic<std::uint64_t> g_evictions{0};
+
+} // namespace
 
 namespace mc {
 namespace blas {
@@ -65,18 +80,41 @@ PlanKeyHash::operator()(const PlanKey &key) const
     return static_cast<std::size_t>(h);
 }
 
-const GemmPlan &
+PlanCache::PlanCache() : _capacity(defaultCapacity()) {}
+
+std::shared_ptr<const GemmPlan>
 PlanCache::findOrCompute(const PlanKey &key,
                          const std::function<GemmPlan()> &compute)
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    auto it = _plans.find(key);
-    if (it != _plans.end()) {
+    auto it = _index.find(key);
+    if (it != _index.end()) {
         ++_hits;
-        return it->second;
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+        // Move to the front (most recently used).
+        _lru.splice(_lru.begin(), _lru, it->second);
+        return it->second->second;
     }
     ++_misses;
-    return _plans.emplace(key, compute()).first->second;
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    auto plan = std::make_shared<const GemmPlan>(compute());
+    _lru.emplace_front(key, plan);
+    _index.emplace(key, _lru.begin());
+    evictExcessLocked();
+    return plan;
+}
+
+void
+PlanCache::evictExcessLocked()
+{
+    if (_capacity == 0)
+        return;
+    while (_lru.size() > _capacity) {
+        _index.erase(_lru.back().first);
+        _lru.pop_back();
+        ++_evictions;
+        g_evictions.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 std::uint64_t
@@ -93,20 +131,66 @@ PlanCache::misses() const
     return _misses;
 }
 
+std::uint64_t
+PlanCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _evictions;
+}
+
 std::size_t
 PlanCache::size() const
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    return _plans.size();
+    return _lru.size();
+}
+
+std::size_t
+PlanCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _capacity;
+}
+
+void
+PlanCache::setCapacity(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    _capacity = capacity;
+    evictExcessLocked();
 }
 
 void
 PlanCache::clear()
 {
     std::lock_guard<std::mutex> lock(_mutex);
-    _plans.clear();
+    _lru.clear();
+    _index.clear();
     _hits = 0;
     _misses = 0;
+    _evictions = 0;
+}
+
+std::size_t
+PlanCache::defaultCapacity()
+{
+    return g_default_capacity.load(std::memory_order_relaxed);
+}
+
+void
+PlanCache::setDefaultCapacity(std::size_t capacity)
+{
+    g_default_capacity.store(capacity, std::memory_order_relaxed);
+}
+
+PlanCacheStats
+PlanCache::globalStats()
+{
+    PlanCacheStats stats;
+    stats.hits = g_hits.load(std::memory_order_relaxed);
+    stats.misses = g_misses.load(std::memory_order_relaxed);
+    stats.evictions = g_evictions.load(std::memory_order_relaxed);
+    return stats;
 }
 
 } // namespace blas

@@ -16,8 +16,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 #include "blas/tiling.hh"
 
@@ -68,38 +71,82 @@ struct PlanKeyHash
     std::size_t operator()(const PlanKey &key) const;
 };
 
+/** Process-wide aggregate of every PlanCache's counters (the bench
+ *  completion line reports these; see bench::finishBench). */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
 /**
- * Thread-safe GemmPlan memo with hit/miss counters.
+ * Thread-safe GemmPlan memo with hit/miss/eviction counters, bounded
+ * by an LRU capacity.
  *
- * Entries are never evicted: a sweep touches at most a few hundred
- * distinct problems and plans are kilobytes.
+ * A single sweep touches at most a few hundred distinct problems, but
+ * a long supervised suite run cycles through many sweeps; the cap
+ * (default defaultCapacity(), settable per process via --plan-cache-cap)
+ * keeps the memo from growing without bound while staying far above
+ * any one sweep's working set.
  */
 class PlanCache
 {
   public:
+    /** Starts with the process default capacity (setDefaultCapacity). */
+    PlanCache();
+
     /**
      * Return the cached plan for @p key, computing it via @p compute
-     * on the first request. The reference stays valid for the cache's
-     * lifetime (node-based map).
+     * on the first request. Returned as a shared_ptr: the plan stays
+     * valid for as long as the caller holds it, even if the LRU evicts
+     * the entry underneath.
      */
-    const GemmPlan &findOrCompute(const PlanKey &key,
-                                  const std::function<GemmPlan()> &compute);
+    std::shared_ptr<const GemmPlan>
+    findOrCompute(const PlanKey &key,
+                  const std::function<GemmPlan()> &compute);
 
     /** Lookups answered from the cache. */
     std::uint64_t hits() const;
-    /** Lookups that had to plan (== distinct keys seen). */
+    /** Lookups that had to plan. */
     std::uint64_t misses() const;
+    /** Entries dropped by the LRU cap. */
+    std::uint64_t evictions() const;
     /** Distinct plans currently held. */
     std::size_t size() const;
 
-    /** Drop all plans and reset the counters. */
+    /** Current capacity (0 = unbounded). */
+    std::size_t capacity() const;
+    /** Change the capacity; excess LRU entries are evicted at once. */
+    void setCapacity(std::size_t capacity);
+
+    /** Drop all plans and reset the counters (not the capacity). */
     void clear();
 
+    /** Capacity newly constructed caches start with (0 = unbounded).
+     *  Process-wide; benches apply --plan-cache-cap here before
+     *  constructing engines. */
+    static std::size_t defaultCapacity();
+    static void setDefaultCapacity(std::size_t capacity);
+
+    /** Aggregate counters across every PlanCache in the process (they
+     *  survive the caches themselves; cleared only by process exit). */
+    static PlanCacheStats globalStats();
+
   private:
+    void evictExcessLocked();
+
+    /** Most-recently-used entries at the front. */
+    using LruList =
+        std::list<std::pair<PlanKey, std::shared_ptr<const GemmPlan>>>;
+
     mutable std::mutex _mutex;
-    std::unordered_map<PlanKey, GemmPlan, PlanKeyHash> _plans;
+    LruList _lru;
+    std::unordered_map<PlanKey, LruList::iterator, PlanKeyHash> _index;
+    std::size_t _capacity = 0;
     std::uint64_t _hits = 0;
     std::uint64_t _misses = 0;
+    std::uint64_t _evictions = 0;
 };
 
 } // namespace blas

@@ -45,12 +45,13 @@ fillScheme(Matrix<T> &m, VerifyScheme scheme, bool identity, Rng &rng)
 
 /**
  * Run one combo functionally: build operands, execute through the
- * engine-selected path, compare against the scalar reference.
+ * engine-selected path, compare against the reference computation.
  */
 template <typename TCD, typename TAB, typename TAcc>
 VerifyResult
 runTyped(const GemmConfig &config, const GemmPlan &plan,
-         VerifyScheme scheme, std::uint64_t seed, bool round_each_step)
+         VerifyScheme scheme, std::uint64_t seed, bool round_each_step,
+         const FunctionalGemmOptions &func)
 {
     Rng rng(seed);
     Matrix<TAB> a(config.m, config.k);
@@ -62,49 +63,60 @@ runTyped(const GemmConfig &config, const GemmPlan &plan,
 
     Matrix<TCD> d_ref(config.m, config.n);
     referenceGemm<TCD, TAB, TAcc>(config.alpha, a, b, config.beta, c,
-                                  d_ref, round_each_step);
+                                  d_ref, round_each_step, func);
 
     Matrix<TCD> d_run(config.m, config.n);
     if (plan.useMatrixCores) {
         tiledMatrixCoreGemm<TCD, TAB, TAcc>(*plan.inst, config.alpha, a,
-                                            b, config.beta, c, d_run);
+                                            b, config.beta, c, d_run,
+                                            func);
     } else {
         // The SIMD path is the reference computation itself; re-run it
         // so path selection is still exercised end to end.
         referenceGemm<TCD, TAB, TAcc>(config.alpha, a, b, config.beta,
-                                      c, d_run, round_each_step);
+                                      c, d_run, round_each_step, func);
     }
 
     VerifyResult result;
     result.usedMatrixCores = plan.useMatrixCores;
     result.tolerance = toleranceFor(config.combo, config.k);
+    auto record = [&result](double got, double want, std::uint64_t ulp,
+                            std::size_t i, std::size_t j) {
+        const double err = std::fabs(got - want);
+        if (err > result.maxAbsError) {
+            result.maxAbsError = err;
+            result.errorRow = i;
+            result.errorCol = j;
+        }
+        result.maxUlp = std::max(result.maxUlp, ulp);
+    };
     for (std::size_t i = 0; i < config.m; ++i) {
         for (std::size_t j = 0; j < config.n; ++j) {
             const double got = static_cast<double>(
                 fp::NumericTraits<TCD>::widen(d_run(i, j)));
             const double want = static_cast<double>(
                 fp::NumericTraits<TCD>::widen(d_ref(i, j)));
-            result.maxAbsError =
-                std::max(result.maxAbsError, std::fabs(got - want));
+            record(got, want, fp::ulpDistance(d_run(i, j), d_ref(i, j)),
+                   i, j);
         }
     }
 
     // The paper's scheme has a closed-form expectation: check it too.
     if (scheme == VerifyScheme::PaperOnesIdentity) {
         const double expect = config.alpha + config.beta;
-        double max_dev = 0.0;
         for (std::size_t i = 0; i < config.m; ++i) {
             // D = alpha*A*B + beta*C = alpha*(ones x I) + beta*ones;
             // only the leading min(k, n) columns receive the A*B term.
             for (std::size_t j = 0; j < config.n; ++j) {
                 const double want =
                     (j < config.k) ? expect : config.beta;
+                const TCD want_cd = TCD(want);
                 const double got = static_cast<double>(
                     fp::NumericTraits<TCD>::widen(d_run(i, j)));
-                max_dev = std::max(max_dev, std::fabs(got - want));
+                record(got, want, fp::ulpDistance(d_run(i, j), want_cd),
+                       i, j);
             }
         }
-        result.maxAbsError = std::max(result.maxAbsError, max_dev);
     }
 
     result.passed = result.maxAbsError <= result.tolerance;
@@ -112,8 +124,13 @@ runTyped(const GemmConfig &config, const GemmPlan &plan,
     detail << comboInfo(config.combo).name << " " << config.m << "x"
            << config.n << "x" << config.k << " via "
            << (plan.useMatrixCores ? "MatrixCore" : "SIMD")
-           << " path: max |err| = " << result.maxAbsError
-           << " (tol " << result.tolerance << ")";
+           << " path: max |err| = " << result.maxAbsError << " at ("
+           << result.errorRow << ", " << result.errorCol << "), max ULP = ";
+    if (result.maxUlp == fp::kUlpNan)
+        detail << "NaN";
+    else
+        detail << result.maxUlp;
+    detail << " (tol " << result.tolerance << ")";
     result.detail = detail.str();
     return result;
 }
@@ -122,9 +139,13 @@ runTyped(const GemmConfig &config, const GemmPlan &plan,
 
 VerifyResult
 verifyGemm(const GemmConfig &config, VerifyScheme scheme,
-           std::uint64_t seed, const PlannerOptions &opts)
+           std::uint64_t seed, const PlannerOptions &opts,
+           const FunctionalGemmOptions &func)
 {
-    mc_assert(config.m * config.n * config.k <= (1ull << 32),
+    // The blocked backend makes N = 4096 (2^36 multiply-adds)
+    // practical; the cap only guards against accidentally feeding a
+    // 65536-class sweep point into an O(n^3) host check.
+    mc_assert(config.m * config.n * config.k <= (1ull << 37),
               "verifyGemm is a host-side O(n^3) check; problem too "
               "large");
     const GemmPlan plan = planGemm(config, arch::defaultCdna2(), opts);
@@ -132,20 +153,20 @@ verifyGemm(const GemmConfig &config, VerifyScheme scheme,
     switch (config.combo) {
       case GemmCombo::Dgemm:
         return runTyped<double, double, double>(config, plan, scheme,
-                                                seed, false);
+                                                seed, false, func);
       case GemmCombo::Sgemm:
         return runTyped<float, float, float>(config, plan, scheme, seed,
-                                             false);
+                                             false, func);
       case GemmCombo::Hgemm:
         // SIMD f16 FMA chain rounds every step.
         return runTyped<fp::Half, fp::Half, float>(config, plan, scheme,
-                                                   seed, true);
+                                                   seed, true, func);
       case GemmCombo::Hhs:
         return runTyped<fp::Half, fp::Half, float>(config, plan, scheme,
-                                                   seed, false);
+                                                   seed, false, func);
       case GemmCombo::Hss:
         return runTyped<float, fp::Half, float>(config, plan, scheme,
-                                                seed, false);
+                                                seed, false, func);
     }
     mc_panic("unreachable combo in verifyGemm");
 }

@@ -15,8 +15,10 @@
 #define MC_BLAS_VERIFY_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
+#include "blas/fast_gemm.hh"
 #include "blas/gemm_types.hh"
 #include "blas/tiling.hh"
 #include "common/status.hh"
@@ -43,6 +45,13 @@ struct VerifyResult
     double maxAbsError = 0.0;
     /** Error threshold the run was judged against. */
     double tolerance = 0.0;
+    /** Largest ULP distance over D, in the C/D storage type
+     *  (fp::ulpDistance; fp::kUlpNan when a NaN appeared). */
+    std::uint64_t maxUlp = 0;
+    /** The (i, j) index where maxAbsError occurred — the actionable
+     *  pointer when a tolerance failure at large N needs debugging. */
+    std::size_t errorRow = 0;
+    std::size_t errorCol = 0;
     std::string detail;
 };
 
@@ -51,15 +60,19 @@ struct VerifyResult
  * selection the engine uses (Matrix Core tiling vs per-step-rounded
  * SIMD arithmetic) and verify the numeric result.
  *
- * Problem sizes are limited by host O(n^3) work; intended for
- * n <= ~1024.
+ * Problem sizes are limited by host O(n^3) work; the fast functional
+ * backend makes n <= ~4096 practical (see docs/PERF.md).
  *
  * @param seed randomization seed for VerifyScheme::Random.
+ * @param func thread/block knobs of the functional backend (results
+ *        are identical for every setting).
  */
 VerifyResult verifyGemm(const GemmConfig &config,
                         VerifyScheme scheme = VerifyScheme::PaperOnesIdentity,
                         std::uint64_t seed = 0x5eed,
-                        const PlannerOptions &opts = PlannerOptions());
+                        const PlannerOptions &opts = PlannerOptions(),
+                        const FunctionalGemmOptions &func =
+                            FunctionalGemmOptions());
 
 } // namespace blas
 } // namespace mc

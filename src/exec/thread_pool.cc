@@ -72,5 +72,55 @@ ThreadPool::hardwareThreads()
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+std::shared_ptr<ThreadPool>
+sharedPool(int min_threads)
+{
+    static std::mutex mutex;
+    static std::shared_ptr<ThreadPool> pool;
+    if (min_threads < 1)
+        min_threads = ThreadPool::hardwareThreads();
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!pool || pool->threadCount() < min_threads)
+        pool = std::make_shared<ThreadPool>(min_threads);
+    return pool;
+}
+
+void
+parallelChunks(std::size_t count, std::size_t chunk, int threads,
+               const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    mc_assert(chunk > 0, "parallelChunks requires a positive chunk");
+    if (count == 0)
+        return;
+    if (threads < 1)
+        threads = ThreadPool::hardwareThreads();
+    if (threads == 1 || count <= chunk) {
+        for (std::size_t begin = 0; begin < count; begin += chunk)
+            fn(begin, std::min(count, begin + chunk));
+        return;
+    }
+
+    const std::shared_ptr<ThreadPool> pool = sharedPool(threads);
+    std::vector<std::future<void>> chunks;
+    chunks.reserve((count + chunk - 1) / chunk);
+    for (std::size_t begin = 0; begin < count; begin += chunk) {
+        const std::size_t end = std::min(count, begin + chunk);
+        chunks.push_back(pool->submit([&fn, begin, end]() { fn(begin, end); }));
+    }
+    // Full barrier before rethrowing: every chunk references caller
+    // state, so no exception may escape while one is still running.
+    std::exception_ptr first;
+    for (std::future<void> &done : chunks) {
+        try {
+            done.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
 } // namespace exec
 } // namespace mc

@@ -79,6 +79,32 @@ class ThreadPool
     bool _stopping = false;
 };
 
+/**
+ * The process-wide pool shared by library-internal parallelism (the
+ * fast functional-GEMM backend, most prominently). Returns a pool with
+ * at least @p min_threads workers (values < 1 request the hardware
+ * concurrency), growing by *replacement* when a larger request
+ * arrives: callers hold the returned shared_ptr for the duration of
+ * their fan-out, so a replaced pool stays alive until its last
+ * in-flight user drops it and no task is ever stranded.
+ */
+std::shared_ptr<ThreadPool> sharedPool(int min_threads);
+
+/**
+ * Split [0, count) into chunks of @p chunk and run
+ * @p fn(begin, end) for each, fanning across @p threads workers of
+ * the shared pool (serial — and pool-free — when @p threads is 1 or
+ * there is only one chunk; @p threads < 1 requests the hardware
+ * concurrency). Blocks until every chunk completed; the first chunk
+ * exception (in submission order) is rethrown after the barrier.
+ *
+ * Chunks must be independent. @p fn must not call parallelChunks
+ * recursively from a shared-pool worker: the outer call would block a
+ * worker the inner call needs.
+ */
+void parallelChunks(std::size_t count, std::size_t chunk, int threads,
+                    const std::function<void(std::size_t, std::size_t)> &fn);
+
 } // namespace exec
 } // namespace mc
 

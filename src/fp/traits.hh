@@ -8,7 +8,10 @@
 #ifndef MC_FP_TRAITS_HH
 #define MC_FP_TRAITS_HH
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <type_traits>
 
 #include "fp/bfloat16.hh"
@@ -96,6 +99,67 @@ struct NumericTraits<std::int32_t>
 template <typename T>
 inline constexpr bool isReducedFloat =
     std::is_same_v<T, Half> || std::is_same_v<T, BFloat16>;
+
+// ---- ULP distance -------------------------------------------------------
+//
+// orderedBits maps a float bit pattern onto an unsigned scale that is
+// monotone in the represented value: sign-magnitude becomes a biased
+// offset around 2^(W-1), so adjacent representable values are adjacent
+// integers, +0 and -0 coincide, and |orderedBits(a) - orderedBits(b)|
+// is the count of representable values between a and b — the ULP
+// distance verification reports.
+
+/** Monotone unsigned image of a binary16 bit pattern. */
+inline std::uint64_t
+orderedBits(Half v)
+{
+    const std::uint16_t bits = v.bits();
+    const std::uint64_t mag = bits & 0x7fffu;
+    constexpr std::uint64_t bias = 1ull << 15;
+    return (bits & 0x8000u) ? bias - mag : bias + mag;
+}
+
+/** Monotone unsigned image of a binary32 bit pattern. */
+inline std::uint64_t
+orderedBits(float v)
+{
+    const std::uint32_t bits = std::bit_cast<std::uint32_t>(v);
+    const std::uint64_t mag = bits & 0x7fffffffu;
+    constexpr std::uint64_t bias = 1ull << 31;
+    return (bits & 0x80000000u) ? bias - mag : bias + mag;
+}
+
+/** Monotone unsigned image of a binary64 bit pattern. */
+inline std::uint64_t
+orderedBits(double v)
+{
+    const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    const std::uint64_t mag = bits & 0x7fffffffffffffffull;
+    constexpr std::uint64_t bias = 1ull << 63;
+    return (bits & 0x8000000000000000ull) ? bias - mag : bias + mag;
+}
+
+/** Sentinel ulpDistance when either operand is NaN. */
+inline constexpr std::uint64_t kUlpNan =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Representable values between @p a and @p b (0 when bit-equal or
+ *  both zeros; kUlpNan when either is NaN). */
+template <typename T>
+std::uint64_t
+ulpDistance(T a, T b)
+{
+    if constexpr (std::is_same_v<T, Half>) {
+        if (a.isNan() || b.isNan())
+            return kUlpNan;
+    } else {
+        if (std::isnan(a) || std::isnan(b))
+            return kUlpNan;
+    }
+    const std::uint64_t oa = orderedBits(a);
+    const std::uint64_t ob = orderedBits(b);
+    return oa > ob ? oa - ob : ob - oa;
+}
 
 } // namespace fp
 } // namespace mc

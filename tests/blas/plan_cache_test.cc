@@ -75,10 +75,12 @@ TEST(PlanCache, RepeatLookupsHitAndReuseThePlan)
         return planGemm(squareConfig(1024), arch::defaultCdna2());
     };
 
-    const GemmPlan &first = cache.findOrCompute(key, compute);
+    const std::shared_ptr<const GemmPlan> first =
+        cache.findOrCompute(key, compute);
     for (int i = 0; i < 9; ++i) {
-        const GemmPlan &again = cache.findOrCompute(key, compute);
-        EXPECT_EQ(&again, &first); // node-based map: stable reference
+        const std::shared_ptr<const GemmPlan> again =
+            cache.findOrCompute(key, compute);
+        EXPECT_EQ(again.get(), first.get()); // same cached plan object
     }
     EXPECT_EQ(computed, 1);
     EXPECT_EQ(cache.misses(), 1u);
@@ -89,6 +91,109 @@ TEST(PlanCache, RepeatLookupsHitAndReuseThePlan)
     EXPECT_EQ(cache.misses(), 0u);
     EXPECT_EQ(cache.hits(), 0u);
     EXPECT_EQ(cache.size(), 0u);
+}
+
+PlanKey
+keyForSize(std::size_t n)
+{
+    return makePlanKey(squareConfig(n), PlannerOptions(), 1);
+}
+
+std::function<GemmPlan()>
+plannerForSize(std::size_t n)
+{
+    return [n] {
+        return planGemm(squareConfig(n), arch::defaultCdna2());
+    };
+}
+
+TEST(PlanCache, LruEvictsOldestAtCapacity)
+{
+    PlanCache cache;
+    cache.setCapacity(2);
+    EXPECT_EQ(cache.capacity(), 2u);
+
+    (void)cache.findOrCompute(keyForSize(256), plannerForSize(256));
+    (void)cache.findOrCompute(keyForSize(512), plannerForSize(512));
+    // Touch 256 so 512 becomes the least recently used entry.
+    (void)cache.findOrCompute(keyForSize(256), plannerForSize(256));
+    (void)cache.findOrCompute(keyForSize(1024), plannerForSize(1024));
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    // 256 survived the eviction; 512 did not.
+    (void)cache.findOrCompute(keyForSize(256), plannerForSize(256));
+    EXPECT_EQ(cache.hits(), 2u);
+    (void)cache.findOrCompute(keyForSize(512), plannerForSize(512));
+    EXPECT_EQ(cache.misses(), 4u);
+    EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(PlanCache, ShrinkingCapacityEvictsExcessAtOnce)
+{
+    PlanCache cache;
+    for (std::size_t n : {128u, 256u, 512u, 1024u})
+        (void)cache.findOrCompute(keyForSize(n), plannerForSize(n));
+    EXPECT_EQ(cache.size(), 4u);
+
+    cache.setCapacity(1);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 3u);
+    // The MRU entry (1024) is the one kept.
+    (void)cache.findOrCompute(keyForSize(1024), plannerForSize(1024));
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCache, SharedPlanSurvivesEviction)
+{
+    PlanCache cache;
+    cache.setCapacity(1);
+    const std::shared_ptr<const GemmPlan> held =
+        cache.findOrCompute(keyForSize(1024), plannerForSize(1024));
+    const int macro_tile = held->macroTile;
+
+    (void)cache.findOrCompute(keyForSize(2048), plannerForSize(2048));
+    EXPECT_EQ(cache.evictions(), 1u);
+    // The caller's reference outlives the cache entry.
+    EXPECT_EQ(held->macroTile, macro_tile);
+}
+
+TEST(PlanCache, CapacityZeroIsUnbounded)
+{
+    PlanCache cache;
+    cache.setCapacity(0);
+    for (std::size_t n = 16; n <= 1024; n *= 2)
+        (void)cache.findOrCompute(keyForSize(n), plannerForSize(n));
+    EXPECT_EQ(cache.size(), 7u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(PlanCache, DefaultCapacitySeedsNewCaches)
+{
+    const std::size_t saved = PlanCache::defaultCapacity();
+    PlanCache::setDefaultCapacity(3);
+    PlanCache capped;
+    EXPECT_EQ(capped.capacity(), 3u);
+    PlanCache::setDefaultCapacity(saved);
+    PlanCache restored;
+    EXPECT_EQ(restored.capacity(), saved);
+}
+
+TEST(PlanCache, GlobalStatsAggregateAcrossCaches)
+{
+    const PlanCacheStats before = PlanCache::globalStats();
+    {
+        PlanCache cache;
+        cache.setCapacity(1);
+        (void)cache.findOrCompute(keyForSize(256), plannerForSize(256));
+        (void)cache.findOrCompute(keyForSize(256), plannerForSize(256));
+        (void)cache.findOrCompute(keyForSize(512), plannerForSize(512));
+    }
+    // Counters survive the cache's destruction.
+    const PlanCacheStats after = PlanCache::globalStats();
+    EXPECT_GE(after.hits, before.hits + 1);
+    EXPECT_GE(after.misses, before.misses + 2);
+    EXPECT_GE(after.evictions, before.evictions + 1);
 }
 
 TEST(PlanCache, TenRepetitionPointPlansOnce)

@@ -100,10 +100,39 @@ TEST(Verify, DetailStringNamesComboAndPath)
     EXPECT_GT(result.tolerance, 0.0);
 }
 
+TEST(Verify, ReportsUlpAndErrorIndex)
+{
+    const VerifyResult result = verifyGemm(
+        squareConfig(GemmCombo::Hhs, 64), VerifyScheme::Random, 21);
+    EXPECT_TRUE(result.passed) << result.detail;
+    // The rounded f16 result differs from the widened reference by a
+    // bounded, nonzero amount; the ULP report must be finite and the
+    // detail string must carry the argmax index.
+    EXPECT_NE(result.maxUlp, fp::kUlpNan);
+    EXPECT_NE(result.detail.find("max ULP"), std::string::npos);
+    EXPECT_NE(result.detail.find("at ("), std::string::npos);
+    EXPECT_LT(result.errorRow, 64u);
+    EXPECT_LT(result.errorCol, 64u);
+}
+
+TEST(Verify, ExactPathsReportZeroUlp)
+{
+    // SIMD-path combos re-run the identical reference computation, so
+    // the self-comparison half of the check is bitwise equal, and the
+    // paper scheme's closed form is exactly representable.
+    const VerifyResult result =
+        verifyGemm(squareConfig(GemmCombo::Dgemm, 32));
+    EXPECT_TRUE(result.passed) << result.detail;
+    EXPECT_EQ(result.maxUlp, 0u);
+}
+
 TEST(VerifyDeathTest, RejectsHugeProblems)
 {
-    EXPECT_DEATH((void)verifyGemm(squareConfig(GemmCombo::Sgemm, 4096)),
-                 "problem too");
+    // 16384^3 = 2^42 multiply-adds: above the raised 2^37 host-work
+    // cap (the fast backend made 4096-class problems practical).
+    EXPECT_DEATH(
+        (void)verifyGemm(squareConfig(GemmCombo::Sgemm, 16384)),
+        "problem too");
 }
 
 } // namespace

@@ -107,6 +107,77 @@ TEST(ThreadPool, HardwareThreadsIsPositive)
     EXPECT_GE(ThreadPool::hardwareThreads(), 1);
 }
 
+TEST(SharedPool, ReturnsSamePoolForSatisfiableRequests)
+{
+    const std::shared_ptr<ThreadPool> two = sharedPool(2);
+    ASSERT_NE(two, nullptr);
+    EXPECT_GE(two->threadCount(), 2);
+    // A smaller request reuses the existing pool.
+    EXPECT_EQ(sharedPool(1).get(), two.get());
+    EXPECT_EQ(sharedPool(2).get(), two.get());
+}
+
+TEST(SharedPool, GrowsByReplacementAndOldPoolStaysUsable)
+{
+    const std::shared_ptr<ThreadPool> small = sharedPool(2);
+    const int bigger = small->threadCount() + 2;
+    const std::shared_ptr<ThreadPool> grown = sharedPool(bigger);
+    EXPECT_GE(grown->threadCount(), bigger);
+    EXPECT_NE(grown.get(), small.get());
+    // The replaced pool still runs tasks for holders of the old handle.
+    EXPECT_EQ(small->submit([] { return 5; }).get(), 5);
+    EXPECT_EQ(grown->submit([] { return 6; }).get(), 6);
+}
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnce)
+{
+    for (int threads : {1, 3, 8}) {
+        std::vector<std::atomic<int>> touched(103);
+        parallelChunks(103, 10, threads,
+                       [&](std::size_t begin, std::size_t end) {
+                           ASSERT_LE(begin, end);
+                           ASSERT_LE(end, touched.size());
+                           for (std::size_t i = begin; i < end; ++i)
+                               touched[i].fetch_add(1);
+                       });
+        for (std::size_t i = 0; i < touched.size(); ++i)
+            EXPECT_EQ(touched[i].load(), 1)
+                << "index " << i << " threads " << threads;
+    }
+}
+
+TEST(ParallelChunks, HandlesEmptyAndSingleChunkRanges)
+{
+    std::atomic<int> calls{0};
+    parallelChunks(0, 16, 4, [&](std::size_t, std::size_t) { ++calls; });
+    EXPECT_EQ(calls.load(), 0);
+
+    parallelChunks(7, 16, 4, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, 0u);
+        EXPECT_EQ(end, 7u);
+        ++calls;
+    });
+    EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelChunks, RethrowsFirstChunkExceptionAfterBarrier)
+{
+    std::atomic<int> completed{0};
+    try {
+        parallelChunks(40, 10, 4,
+                       [&](std::size_t begin, std::size_t) {
+                           if (begin == 10)
+                               throw std::runtime_error("chunk died");
+                           completed.fetch_add(1);
+                       });
+        FAIL() << "expected the chunk exception to propagate";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "chunk died");
+    }
+    // Every non-throwing chunk still ran (the barrier completes first).
+    EXPECT_EQ(completed.load(), 3);
+}
+
 } // namespace
 } // namespace exec
 } // namespace mc

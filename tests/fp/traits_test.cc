@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests of the ULP-distance helpers the verification harness reports
+ * through: orderedBits must be monotone across the sign boundary and
+ * ulpDistance must count representable values, treat the two zeros as
+ * equal, and flag NaN comparisons with the sentinel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "fp/half.hh"
+#include "fp/traits.hh"
+
+namespace mc {
+namespace fp {
+namespace {
+
+TEST(OrderedBits, MonotoneAcrossSignBoundaryFloat)
+{
+    // -1 < -0 == +0 < smallest subnormal < 1 on the ordered scale.
+    EXPECT_LT(orderedBits(-1.0f), orderedBits(-0.0f));
+    EXPECT_EQ(orderedBits(-0.0f), orderedBits(0.0f));
+    const float tiny = std::numeric_limits<float>::denorm_min();
+    EXPECT_LT(orderedBits(0.0f), orderedBits(tiny));
+    EXPECT_LT(orderedBits(tiny), orderedBits(1.0f));
+}
+
+TEST(OrderedBits, AdjacentRepresentablesAreAdjacentIntegers)
+{
+    const float a = 1.0f;
+    const float b = std::nextafter(a, 2.0f);
+    EXPECT_EQ(orderedBits(b) - orderedBits(a), 1u);
+
+    const double da = -3.5;
+    const double db = std::nextafter(da, -4.0);
+    EXPECT_EQ(orderedBits(da) - orderedBits(db), 1u);
+}
+
+TEST(UlpDistance, ZeroForBitEqualAndBothZeros)
+{
+    EXPECT_EQ(ulpDistance(1.25f, 1.25f), 0u);
+    EXPECT_EQ(ulpDistance(0.0f, -0.0f), 0u);
+    EXPECT_EQ(ulpDistance(-0.0, 0.0), 0u);
+}
+
+TEST(UlpDistance, CountsRepresentableValuesBetween)
+{
+    float x = 1.0f;
+    for (int i = 0; i < 5; ++i)
+        x = std::nextafter(x, 2.0f);
+    EXPECT_EQ(ulpDistance(1.0f, x), 5u);
+    EXPECT_EQ(ulpDistance(x, 1.0f), 5u);
+
+    // Straddling zero: distance through both signs is the sum of each
+    // side's offset from zero.
+    const float tiny = std::numeric_limits<float>::denorm_min();
+    EXPECT_EQ(ulpDistance(-tiny, tiny), 2u);
+}
+
+TEST(UlpDistance, HalfCountsOnTheBinary16Grid)
+{
+    // 1.0 and 1.0 + 2^-10 (one binary16 ULP at this scale).
+    const Half one(1.0f);
+    const Half next(1.0f + 0.0009765625f);
+    EXPECT_EQ(ulpDistance(one, next), 1u);
+    EXPECT_EQ(ulpDistance(Half(0.0f), Half(-0.0f)), 0u);
+}
+
+TEST(UlpDistance, NanComparesAsSentinel)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(ulpDistance(nan, 1.0f), kUlpNan);
+    EXPECT_EQ(ulpDistance(1.0f, nan), kUlpNan);
+    EXPECT_EQ(ulpDistance(Half(nan), Half(1.0f)), kUlpNan);
+    EXPECT_EQ(ulpDistance(std::nan(""), 2.0), kUlpNan);
+}
+
+} // namespace
+} // namespace fp
+} // namespace mc

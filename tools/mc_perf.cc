@@ -1,0 +1,314 @@
+/**
+ * @file
+ * mc_perf: the perf-regression harness of the fast functional-GEMM
+ * backend (docs/PERF.md).
+ *
+ * Times the retained scalar reference kernels ("old") against the
+ * blocked/packed/threaded backend ("new") per datatype combo, matrix
+ * size, and thread count, asserting along the way that every fast
+ * result is byte-identical to the scalar one — a run that measures a
+ * numerically different kernel exits Internal rather than reporting a
+ * meaningless speedup. Results go to stdout, and with --out to an
+ * atomically published JSON file (BENCH_pr4.json in the repo records
+ * the PR-acceptance run).
+ *
+ * The --check mode turns the tool into the `perf` ctest smoke: it
+ * fails unless every measured case clears --min-speedup (default 1.0:
+ * the fast path must never be slower than the scalar path).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "blas/functional.hh"
+#include "blas/gemm_types.hh"
+#include "common/atomic_file.hh"
+#include "common/cli.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/status.hh"
+#include "exec/thread_pool.hh"
+
+namespace {
+
+using namespace mc;
+
+/** One (combo, size, thread-count) timing. */
+struct ThreadTiming
+{
+    int threads = 0;
+    double seconds = 0.0;
+    double speedup = 0.0; ///< scalar_seconds / seconds (0 = no baseline)
+};
+
+struct CaseResult
+{
+    blas::GemmCombo combo = blas::GemmCombo::Sgemm;
+    std::size_t n = 0;
+    bool roundEachStep = false;
+    double scalarSeconds = 0.0; ///< 0 when the baseline was skipped
+    std::vector<ThreadTiming> fast;
+};
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+template <typename T>
+void
+fillRandom(Matrix<T> &m, Rng &rng)
+{
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            m(i, j) = T(static_cast<float>(rng.uniform(-1.0, 1.0)));
+}
+
+/** Byte comparison of two result matrices (Half included: the storage
+ *  types are trivially copyable bit patterns). */
+template <typename T>
+bool
+bytesEqual(const Matrix<T> &x, const Matrix<T> &y)
+{
+    return std::memcmp(x.data(), y.data(),
+                       x.rows() * x.cols() * sizeof(T)) == 0;
+}
+
+template <typename TCD, typename TAB, typename TAcc>
+CaseResult
+runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
+        const std::vector<int> &threads, int reps, bool with_scalar,
+        std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<TAB> a(n, n), b(n, n);
+    Matrix<TCD> c(n, n);
+    fillRandom(a, rng);
+    fillRandom(b, rng);
+    fillRandom(c, rng);
+    const double alpha = 1.25, beta = 0.5;
+
+    CaseResult out;
+    out.combo = combo;
+    out.n = n;
+    out.roundEachStep = round_each_step;
+
+    Matrix<TCD> d_scalar(n, n);
+    if (with_scalar) {
+        // One scalar pass is minutes at N = 2048; take the best of two
+        // only when it is cheap.
+        const int scalar_reps = n <= 512 ? 2 : 1;
+        double best = std::numeric_limits<double>::max();
+        for (int r = 0; r < scalar_reps; ++r) {
+            const double t0 = nowSeconds();
+            blas::scalarReferenceGemm<TCD, TAB, TAcc>(
+                alpha, a, b, beta, c, d_scalar, round_each_step);
+            best = std::min(best, nowSeconds() - t0);
+        }
+        out.scalarSeconds = best;
+    }
+
+    Matrix<TCD> d_fast(n, n);
+    for (int t : threads) {
+        blas::FunctionalGemmOptions opts;
+        opts.threads = t;
+        double best = std::numeric_limits<double>::max();
+        for (int r = 0; r < reps; ++r) {
+            const double t0 = nowSeconds();
+            blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                alpha, a, b, beta, c, d_fast, round_each_step, opts);
+            best = std::min(best, nowSeconds() - t0);
+        }
+        if (with_scalar && !bytesEqual(d_fast, d_scalar)) {
+            mc_fatal("fast backend diverged from the scalar path: ",
+                     blas::comboInfo(combo).name, " n=", n,
+                     " threads=", t);
+        }
+        ThreadTiming timing;
+        timing.threads = t;
+        timing.seconds = best;
+        timing.speedup =
+            out.scalarSeconds > 0.0 ? out.scalarSeconds / best : 0.0;
+        out.fast.push_back(timing);
+    }
+    return out;
+}
+
+CaseResult
+runCombo(blas::GemmCombo combo, std::size_t n,
+         const std::vector<int> &threads, int reps, bool with_scalar,
+         std::uint64_t seed)
+{
+    switch (combo) {
+      case blas::GemmCombo::Dgemm:
+        return runCase<double, double, double>(combo, n, false, threads,
+                                               reps, with_scalar, seed);
+      case blas::GemmCombo::Sgemm:
+        return runCase<float, float, float>(combo, n, false, threads,
+                                            reps, with_scalar, seed);
+      case blas::GemmCombo::Hgemm:
+        return runCase<fp::Half, fp::Half, float>(combo, n, true, threads,
+                                                  reps, with_scalar, seed);
+      case blas::GemmCombo::Hhs:
+        return runCase<fp::Half, fp::Half, float>(combo, n, false,
+                                                  threads, reps,
+                                                  with_scalar, seed);
+      case blas::GemmCombo::Hss:
+        return runCase<float, fp::Half, float>(combo, n, false, threads,
+                                               reps, with_scalar, seed);
+    }
+    mc_panic("unreachable combo in mc_perf");
+}
+
+std::vector<std::string>
+splitCsv(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(list);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("mc_perf: functional-GEMM backend timing (old scalar "
+                  "path vs blocked/packed/threaded path)");
+    cli.addFlag("sizes", std::string("512,1024"),
+                "comma-separated square problem sizes");
+    cli.addFlag("combos", std::string("all"),
+                "comma-separated datatype combos (dgemm,sgemm,hgemm,"
+                "hss,hhs) or 'all'");
+    cli.addFlag("threads", std::string("1,8"),
+                "comma-separated thread counts for the fast path");
+    cli.addFlag("reps", static_cast<std::int64_t>(3),
+                "fast-path repetitions per case (best-of)");
+    cli.requireIntAtLeast("reps", 1);
+    cli.addFlag("scalar-maxn", static_cast<std::int64_t>(4096),
+                "skip the scalar baseline (and the bit-exactness "
+                "cross-check) above this size");
+    cli.addFlag("seed", static_cast<std::int64_t>(0x5eed),
+                "operand randomization seed");
+    cli.addFlag("out", std::string(),
+                "write the JSON report atomically to this file "
+                "(e.g. BENCH_pr4.json)");
+    cli.addFlag("check", false,
+                "exit nonzero unless every case clears --min-speedup "
+                "(the perf ctest smoke)");
+    cli.addFlag("min-speedup", 1.0,
+                "with --check: required scalar/fast ratio");
+    cli.parse(argc, argv);
+
+    std::vector<blas::GemmCombo> combos;
+    const std::string combo_list = cli.getString("combos");
+    if (combo_list == "all") {
+        combos.assign(std::begin(blas::allCombos),
+                      std::end(blas::allCombos));
+    } else {
+        for (const std::string &name : splitCsv(combo_list))
+            combos.push_back(blas::parseCombo(name));
+    }
+
+    std::vector<std::size_t> sizes;
+    for (const std::string &s : splitCsv(cli.getString("sizes")))
+        sizes.push_back(static_cast<std::size_t>(std::stoull(s)));
+    std::vector<int> threads;
+    for (const std::string &s : splitCsv(cli.getString("threads")))
+        threads.push_back(std::stoi(s));
+    if (sizes.empty() || threads.empty() || combos.empty()) {
+        std::fprintf(stderr, "nothing to measure\n");
+        return exitCodeFor(ErrorCode::InvalidArgument);
+    }
+
+    const int reps = static_cast<int>(cli.getInt("reps"));
+    const auto scalar_maxn =
+        static_cast<std::size_t>(cli.getInt("scalar-maxn"));
+    const auto seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+
+    std::vector<CaseResult> results;
+    for (blas::GemmCombo combo : combos) {
+        for (std::size_t n : sizes) {
+            const bool with_scalar = n <= scalar_maxn;
+            std::fprintf(stderr, "[mc_perf] %s n=%zu%s...\n",
+                         blas::comboInfo(combo).name, n,
+                         with_scalar ? "" : " (no scalar baseline)");
+            results.push_back(runCombo(combo, n, threads, reps,
+                                       with_scalar, seed));
+        }
+    }
+
+    JsonValue report = JsonValue::object();
+    report.set("bench", "mc_perf");
+    report.set("description",
+               "functional-GEMM wall-clock: scalar reference path vs "
+               "blocked/packed/threaded backend (bit-identical results)");
+    report.set("host_threads",
+               static_cast<std::int64_t>(exec::ThreadPool::hardwareThreads()));
+    JsonValue cases = JsonValue::array();
+    bool check_ok = true;
+    const double min_speedup = cli.getDouble("min-speedup");
+    for (const CaseResult &r : results) {
+        JsonValue entry = JsonValue::object();
+        entry.set("combo", blas::comboInfo(r.combo).name);
+        entry.set("n", static_cast<std::int64_t>(r.n));
+        entry.set("round_each_step", r.roundEachStep);
+        if (r.scalarSeconds > 0.0)
+            entry.set("scalar_sec", r.scalarSeconds);
+        JsonValue timings = JsonValue::array();
+        for (const ThreadTiming &t : r.fast) {
+            JsonValue jt = JsonValue::object();
+            jt.set("threads", static_cast<std::int64_t>(t.threads));
+            jt.set("sec", t.seconds);
+            if (t.speedup > 0.0)
+                jt.set("speedup", t.speedup);
+            timings.append(std::move(jt));
+            std::printf("%-6s n=%-5zu threads=%-2d fast=%9.4fs",
+                        blas::comboInfo(r.combo).name, r.n, t.threads,
+                        t.seconds);
+            if (t.speedup > 0.0)
+                std::printf("  scalar=%9.4fs  speedup=%6.2fx",
+                            r.scalarSeconds, t.speedup);
+            std::printf("\n");
+            if (t.speedup > 0.0 && t.speedup < min_speedup)
+                check_ok = false;
+        }
+        entry.set("fast", std::move(timings));
+        cases.append(std::move(entry));
+    }
+    report.set("results", std::move(cases));
+
+    const std::string out_path = cli.getString("out");
+    if (!out_path.empty()) {
+        AtomicFileWriter writer(out_path);
+        writer.stream() << report.serialize() << "\n";
+        const Status committed = writer.commit();
+        if (!committed.isOk()) {
+            std::fprintf(stderr, "[mc_perf] --out commit failed: %s\n",
+                         committed.toString().c_str());
+            return exitCodeFor(ErrorCode::DataLoss);
+        }
+    }
+
+    if (cli.getBool("check") && !check_ok) {
+        std::fprintf(stderr,
+                     "[mc_perf] FAILED: a case fell below the required "
+                     "%.2fx speedup\n",
+                     min_speedup);
+        return exitCodeFor(ErrorCode::Internal);
+    }
+    return exitCodeFor(ErrorCode::Ok);
+}
