@@ -6,9 +6,11 @@
 #include <vector>
 
 #include "blas/plan_cache.hh"
+#include "blas/simd_dispatch.hh"
 #include "common/logging.hh"
 #include "common/retry.hh"
 #include "exec/supervisor.hh"
+#include "exec/thread_pool.hh"
 
 namespace mc {
 namespace bench {
@@ -249,6 +251,15 @@ addVerifyFlags(CliParser &cli, bool default_enabled)
 VerifyConfig
 verifyFlags(const CliParser &cli)
 {
+    // Verification fans out through exec::sharedPool from *inside*
+    // sweep workers, so --jobs and --verify-threads used to multiply
+    // into jobs x threads runnable host threads. Cap the library-
+    // internal fan-out at the hardware concurrency instead: the sweep's
+    // own workers (a private pool) keep the user's --jobs, while every
+    // verification call shares at most one machine's worth of threads.
+    // Results are unaffected — the knobs trade scheduling only.
+    exec::setConcurrencyCap(exec::ThreadPool::hardwareThreads());
+
     VerifyConfig config;
     config.enabled = cli.getBool("verify");
     config.maxN = static_cast<std::size_t>(cli.getInt("verify-maxn"));
@@ -314,12 +325,14 @@ finishBench(const std::string &bench_name, ErrorCode code)
     const blas::PlanCacheStats plans = blas::PlanCache::globalStats();
     std::fprintf(stderr,
                  "%s%s code=%s exit=%d plan_hits=%llu plan_misses=%llu "
-                 "plan_evictions=%llu\n",
+                 "plan_evictions=%llu simd=%s\n",
                  exec::kBenchCompletionPrefix, bench_name.c_str(),
                  errorCodeName(code), exit_status,
                  static_cast<unsigned long long>(plans.hits),
                  static_cast<unsigned long long>(plans.misses),
-                 static_cast<unsigned long long>(plans.evictions));
+                 static_cast<unsigned long long>(plans.evictions),
+                 blas::simdTierName(
+                     blas::resolveSimdTier(blas::SimdTier::Auto)));
     return exit_status;
 }
 

@@ -11,9 +11,13 @@
  *
  * Points run on the parallel sweep engine (--jobs) with per-point
  * simulated devices; the simulation is noise-free here, so output is
- * byte-identical for any job count (docs/SWEEP_ENGINE.md).
+ * byte-identical for any job count (docs/SWEEP_ENGINE.md). Each point
+ * is host-verified at the entry level (--verify*; batch entries share
+ * operands in the model, so one entry check covers the batch); a
+ * failed check fails the point.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <iostream>
 #include <vector>
@@ -30,6 +34,17 @@ using namespace mc;
 
 constexpr const char *kBenchName = "ext_batched_gemm";
 
+struct PointResult
+{
+    std::string cell;
+    /** -1 = entry not host-verified (disabled or above --verify-maxn),
+     *  1 = verified OK. A failed verification fails the whole point
+     *  with Internal instead. */
+    int verified = -1;
+    /** Max ULP distance the verification observed (0 when unchecked). */
+    std::uint64_t maxUlp = 0;
+};
+
 } // namespace
 
 int
@@ -40,11 +55,13 @@ main(int argc, char **argv)
     cli.addFlag("combo", std::string("hhs"), "GEMM combo");
     bench::addJobsFlag(cli);
     bench::addOutFlag(cli);
+    bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
     const blas::GemmCombo combo =
         blas::parseCombo(cli.getString("combo"));
+    const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     const std::size_t sizes[] = {64, 128, 256, 512, 1024};
     const std::size_t batches[] = {1, 8, 64, 256, 1024};
@@ -53,11 +70,13 @@ main(int argc, char **argv)
 
     // One point per (entry size, batch count) cell, row-major.
     exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
-    const std::vector<std::string> cells = runner.map(
+    const std::vector<Result<PointResult>> cells = runner.mapResult(
         sizeof(sizes) / sizeof(sizes[0]) * kBatchCount,
-        [&](std::size_t i) -> std::string {
+        [&](std::size_t i) -> Result<PointResult> {
             const std::size_t n = sizes[i / kBatchCount];
             const std::size_t batch = batches[i % kBatchCount];
+            const std::string key = std::to_string(n) + "x" +
+                                    std::to_string(batch);
 
             sim::SimOptions opts;
             opts.enableNoise = false;
@@ -70,33 +89,88 @@ main(int argc, char **argv)
             cfg.alpha = cfg.beta = 0.1;
             cfg.batchCount = batch;
             auto result = engine.run(cfg);
-            if (!result.isOk())
-                return "OOM";
+            PointResult out;
+            if (!result.isOk()) {
+                out.cell = "OOM";
+                return out;
+            }
             char cell[16];
             std::snprintf(cell, sizeof(cell), "%.1f",
                           result.value().throughput() / 1e12);
-            return cell;
+            out.cell = cell;
+
+            // Host-side numeric verification of one batch entry
+            // (docs/PERF.md): a wrong result invalidates the
+            // measurement, so a failed check fails the point.
+            if (vcfg.shouldVerify(cfg.m, cfg.n, cfg.k)) {
+                engine.functionalOptions() = vcfg.func;
+                const blas::VerifyResult v = engine.verify(
+                    cfg, vcfg.scheme, runner.seedFor(key, 1ull << 32));
+                if (!v.passed)
+                    return Status(ErrorCode::Internal,
+                                  "verification failed: " + v.detail);
+                out.verified = 1;
+                out.maxUlp = v.maxUlp;
+            }
+            return out;
         });
 
     TextTable table({"entry N", "batch 1", "batch 8", "batch 64",
-                     "batch 256", "batch 1024"});
+                     "batch 256", "batch 1024", "verified"});
     table.setTitle(std::string("Batched ") +
                    blas::comboInfo(combo).name +
                    " throughput (TFLOPS), one GCD");
+    std::vector<bench::FailedPoint> failures;
+    std::size_t verified_points = 0;
+    std::uint64_t verified_max_ulp = 0;
     std::size_t index = 0;
     for (std::size_t n : sizes) {
         std::vector<std::string> row{std::to_string(n)};
-        for (std::size_t b = 0; b < kBatchCount; ++b)
-            row.push_back(cells[index++]);
+        bool row_verified = false;
+        std::uint64_t row_ulp = 0;
+        for (std::size_t b = 0; b < kBatchCount; ++b) {
+            const std::size_t point_index = index++;
+            if (!cells[point_index].isOk()) {
+                const Status &status = cells[point_index].status();
+                if (!exec::SweepRunner::isSkippedPointStatus(status))
+                    failures.push_back(
+                        {point_index,
+                         std::to_string(n) + "x" +
+                             std::to_string(batches[b]),
+                         status});
+                row.push_back(std::string("failed: ") +
+                              errorCodeName(status.code()));
+                continue;
+            }
+            const PointResult &r = cells[point_index].value();
+            row.push_back(r.cell);
+            if (r.verified > 0) {
+                ++verified_points;
+                verified_max_ulp = std::max(verified_max_ulp, r.maxUlp);
+                row_verified = true;
+                row_ulp = std::max(row_ulp, r.maxUlp);
+            }
+        }
+        row.push_back(row_verified
+                          ? "ok ulp=" + std::to_string(row_ulp)
+                          : "-");
         table.addRow(row);
     }
 
     bench::BenchOutput output(cli);
     std::ostream &os = output.stream();
     table.print(os);
+    if (verified_points > 0)
+        os << "\nverification: " << verified_points
+           << " points host-verified (one entry each), max ULP = "
+           << verified_max_ulp << "\n";
     os << "\nBatching turns the launch-bound low-N region of "
           "Fig. 7 into plateau-class throughput: the Matrix "
           "Cores do not care whether the 2N^3 FLOPs come from "
           "one problem or a thousand.\n";
-    return output.finish(kBenchName);
+    bench::printSweepSummary(kBenchName, index, failures,
+                             runner.lastStats().skipped, 0);
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

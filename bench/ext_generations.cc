@@ -80,9 +80,11 @@ main(int argc, char **argv)
                   "Matrix Cores");
     bench::addJobsFlag(cli);
     bench::addOutFlag(cli);
+    bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));
 
@@ -125,12 +127,15 @@ main(int argc, char **argv)
     const std::size_t gemm_sizes[] = {4096, 8192};
     constexpr std::size_t kGemmSizeCount =
         sizeof(gemm_sizes) / sizeof(gemm_sizes[0]);
-    using GemmRow = std::array<std::string, 4>;
-    const std::vector<GemmRow> gemm_rows = runner.map(
+    using GemmRow = std::array<std::string, 5>;
+    const std::vector<Result<GemmRow>> gemm_rows = runner.mapResult(
         sizeof(gemm_combos) / sizeof(gemm_combos[0]) * kGemmSizeCount,
-        [&](std::size_t i) -> GemmRow {
+        [&](std::size_t i) -> Result<GemmRow> {
             const blas::GemmCombo combo = gemm_combos[i / kGemmSizeCount];
             const std::size_t n = gemm_sizes[i % kGemmSizeCount];
+            const std::string key =
+                std::string(blas::comboInfo(combo).name) + "/" +
+                std::to_string(n);
 
             sim::SimOptions opts;
             opts.enableNoise = false;
@@ -153,8 +158,26 @@ main(int argc, char **argv)
                               r.value().usedMatrixCores ? "MC" : "SIMD");
                 return std::string(buf);
             };
+
+            // Host-side numeric verification of the CDNA2 run
+            // (verifyGemm plans against the CDNA2 model; the default
+            // --verify-maxn keeps the 4096/8192-class points out of
+            // the O(n^3) host check, so this column usually reads "-"
+            // unless --verify-maxn is raised). A failed check fails
+            // the point.
+            std::string verified = "-";
+            if (r2.isOk() && vcfg.shouldVerify(cfg.m, cfg.n, cfg.k)) {
+                engine250.functionalOptions() = vcfg.func;
+                const blas::VerifyResult v = engine250.verify(
+                    cfg, vcfg.scheme, runner.seedFor(key, 1ull << 32));
+                if (!v.passed)
+                    return Status(ErrorCode::Internal,
+                                  "verification failed: " + v.detail);
+                verified = "ok ulp=" + std::to_string(v.maxUlp);
+            }
             return GemmRow{blas::comboInfo(combo).name,
-                           std::to_string(n), fmt(r1), fmt(r2)};
+                           std::to_string(n), fmt(r1), fmt(r2),
+                           verified};
         });
 
     TextTable peaks({"types (C/D <- A/B)", "MI100 (TFLOPS)",
@@ -167,13 +190,24 @@ main(int argc, char **argv)
         peaks.addRow(std::vector<std::string>(row.begin(), row.end()));
 
     TextTable gemm({"combo", "N", "MI100 TFLOPS (path)",
-                    "MI250X TFLOPS (path)"});
+                    "MI250X TFLOPS (path)", "verified"});
     gemm.setTitle("\nLibrary GEMM by generation (one GCD/die, "
                   "alpha = beta = 0.1)");
     gemm.setAlignment({Align::Left, Align::Right, Align::Right,
-                       Align::Right});
-    for (const GemmRow &row : gemm_rows)
+                       Align::Right, Align::Left});
+    std::vector<bench::FailedPoint> failures;
+    for (std::size_t i = 0; i < gemm_rows.size(); ++i) {
+        if (!gemm_rows[i].isOk()) {
+            const Status &status = gemm_rows[i].status();
+            if (!exec::SweepRunner::isSkippedPointStatus(status))
+                failures.push_back({i, "gemm point", status});
+            gemm.addRow({"failed", "-", "-", "-",
+                         errorCodeName(status.code())});
+            continue;
+        }
+        const GemmRow &row = gemm_rows[i].value();
         gemm.addRow(std::vector<std::string>(row.begin(), row.end()));
+    }
 
     bench::BenchOutput output(cli);
     std::ostream &os = output.stream();
@@ -183,5 +217,9 @@ main(int argc, char **argv)
           "instructions (absent on CDNA1 -> DGEMM runs on "
           "SIMDs), full-rate BF16, and a dual-die package that "
           "doubles every peak.\n";
-    return output.finish(kBenchName);
+    bench::printSweepSummary(kBenchName, gemm_rows.size(), failures,
+                             runner.lastStats().skipped, 0);
+    return output.finish(kBenchName, runner.lastStats().budgetExhausted
+                                         ? ErrorCode::ResourceExhausted
+                                         : ErrorCode::Ok);
 }

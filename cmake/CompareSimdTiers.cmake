@@ -1,0 +1,43 @@
+# Test driver: run a bench under MC_SIMD=scalar and once per requested
+# SIMD tier, and require byte-identical stdout — the bit-exactness
+# contract of the micro-kernel ladder (docs/PERF.md). Tiers the host
+# cannot run clamp down the ladder (see resolveSimdTier), so the same
+# tier list is portable across machines. Invoked as
+#   cmake -DBENCH=<binary> "-DBENCH_ARGS=--csv;--reps=2" \
+#         "-DTIERS=sse2;avx2;avx512;neon" -P CompareSimdTiers.cmake
+
+if(NOT BENCH)
+    message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT TIERS)
+    message(FATAL_ERROR "TIERS not set")
+endif()
+
+set(ENV{MC_SIMD} scalar)
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS}
+    OUTPUT_VARIABLE scalar_out
+    RESULT_VARIABLE scalar_rc)
+if(NOT scalar_rc EQUAL 0)
+    message(FATAL_ERROR
+        "${BENCH} under MC_SIMD=scalar exited with ${scalar_rc}")
+endif()
+
+foreach(tier IN LISTS TIERS)
+    set(ENV{MC_SIMD} ${tier})
+    execute_process(
+        COMMAND ${BENCH} ${BENCH_ARGS}
+        OUTPUT_VARIABLE tier_out
+        RESULT_VARIABLE tier_rc)
+    if(NOT tier_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH} under MC_SIMD=${tier} exited with ${tier_rc}")
+    endif()
+    if(NOT scalar_out STREQUAL tier_out)
+        message(FATAL_ERROR
+            "MC_SIMD=${tier} output differs from MC_SIMD=scalar for "
+            "${BENCH}:\n"
+            "=== scalar ===\n${scalar_out}\n"
+            "=== ${tier} ===\n${tier_out}")
+    endif()
+endforeach()

@@ -27,11 +27,18 @@
  *    is computed wholly by one task, so results are independent of the
  *    thread count.
  *
- * The inner kernels live in fast_gemm.cc (compiled -O3: the default
- * -O2 build does not vectorize runtime-trip-count loops) and are
- * reached through extern templates. No FMA contraction concerns arise
- * on the baseline x86-64 target: SSE2 mul and add round separately per
- * lane, identical to the scalar path.
+ * The inner kernels are reached through a runtime-dispatched table of
+ * explicit-SIMD micro-kernels (simd_kernels.hh): scalar -> SSE2 ->
+ * AVX2 -> AVX-512 on x86-64, NEON on aarch64, selected per CPU at
+ * startup and overridable via FunctionalGemmOptions::simd or the
+ * MC_SIMD environment variable. Vector lanes widen over the j
+ * dimension only — distinct j means distinct accumulators, so lane
+ * parallelism never re-associates a sum. Every tier TU is compiled
+ * with -ffp-contract=off and without FMA codegen flags, so mul and add
+ * round separately per lane exactly like the retained scalar reference
+ * (the "scalar" tier, instantiated -O3 in fast_gemm.cc), and every
+ * tier is bit-identical to it; tests/blas/simd_tier_test.cc enforces
+ * this with memcmp.
  */
 
 #ifndef MC_BLAS_FAST_GEMM_HH
@@ -43,6 +50,7 @@
 #include <vector>
 
 #include "arch/mfma_isa.hh"
+#include "blas/simd_kernels.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
 #include "exec/thread_pool.hh"
@@ -70,6 +78,12 @@ struct FunctionalGemmOptions
     /** Route through the retained scalar kernels instead (the
      *  bit-exactness baseline; also what mc_perf times as "old"). */
     bool forceScalar = false;
+    /** SIMD micro-kernel tier. Auto defers to the MC_SIMD environment
+     *  override, then to the best tier the CPU supports. Results are
+     *  bit-identical across tiers — this knob trades speed (and aids
+     *  debugging) only. An unavailable explicit tier clamps down the
+     *  ladder with a one-time stderr note. */
+    SimdTier simd = SimdTier::Auto;
 };
 
 namespace detail {
@@ -149,16 +163,40 @@ extern template void axpyPanelRound<fp::Half, float>(const float *,
                                                      std::size_t);
 
 /**
+ * The SIMD batch-widen kernel for TSrc -> float packing, or nullptr
+ * when no such kernel applies (then the scalar per-element loop runs).
+ * Half and BFloat16 are single-member standard-layout wrappers over
+ * uint16_t, so their storage can be consumed as raw bit patterns.
+ */
+template <typename TSrc, typename TAcc>
+SimdKernels::WidenFn
+packWidenKernel(const SimdKernels &ker)
+{
+    if constexpr (std::is_same_v<TAcc, float>) {
+        static_assert(!fp::isReducedFloat<TSrc> ||
+                          (sizeof(TSrc) == sizeof(std::uint16_t) &&
+                           std::is_standard_layout_v<TSrc>),
+                      "reduced floats must be uint16_t wrappers");
+        if constexpr (std::is_same_v<TSrc, fp::Half>)
+            return ker.widenHalfToF32;
+        else if constexpr (std::is_same_v<TSrc, fp::BFloat16>)
+            return ker.widenBf16ToF32;
+    }
+    return nullptr;
+}
+
+/**
  * Row-major widened copy of @p src with columns zero-padded to
  * @p padded_cols (the packed A operand). Widening is exact, so values
  * are bit-preserved; when the storage type already is TAcc and no
  * padding is needed, the matrix's own storage is returned and @p store
- * stays empty.
+ * stays empty. Half/BFloat16 sources go through @p ker's batch-widen
+ * kernels (bit-identical to the scalar per-element widen).
  */
 template <typename TSrc, typename TAcc>
 const TAcc *
 widenPadCols(const Matrix<TSrc> &src, std::size_t padded_cols,
-             std::vector<TAcc> &store)
+             std::vector<TAcc> &store, const SimdKernels &ker)
 {
     const std::size_t rows = src.rows(), cols = src.cols();
     mc_assert(padded_cols >= cols, "padding below the matrix width");
@@ -168,6 +206,17 @@ widenPadCols(const Matrix<TSrc> &src, std::size_t padded_cols,
     }
     store.assign(rows * padded_cols, TAcc(0));
     const TSrc *in = src.data();
+    if (const auto widen = packWidenKernel<TSrc, TAcc>(ker)) {
+        const auto *bits = reinterpret_cast<const std::uint16_t *>(in);
+        auto *out = reinterpret_cast<float *>(store.data());
+        if (padded_cols == cols) {
+            widen(bits, out, rows * cols);
+        } else {
+            for (std::size_t i = 0; i < rows; ++i)
+                widen(bits + i * cols, out + i * padded_cols, cols);
+        }
+        return store.data();
+    }
     for (std::size_t i = 0; i < rows; ++i) {
         TAcc *out = store.data() + i * padded_cols;
         for (std::size_t j = 0; j < cols; ++j)
@@ -185,7 +234,7 @@ widenPadCols(const Matrix<TSrc> &src, std::size_t padded_cols,
 template <typename TSrc, typename TAcc>
 const TAcc *
 widenPadRows(const Matrix<TSrc> &src, std::size_t padded_rows,
-             std::vector<TAcc> &store)
+             std::vector<TAcc> &store, const SimdKernels &ker)
 {
     const std::size_t rows = src.rows(), cols = src.cols();
     mc_assert(padded_rows >= rows, "padding below the matrix height");
@@ -195,6 +244,11 @@ widenPadRows(const Matrix<TSrc> &src, std::size_t padded_rows,
     }
     store.assign(padded_rows * cols, TAcc(0));
     const TSrc *in = src.data();
+    if (const auto widen = packWidenKernel<TSrc, TAcc>(ker)) {
+        widen(reinterpret_cast<const std::uint16_t *>(in),
+              reinterpret_cast<float *>(store.data()), rows * cols);
+        return store.data();
+    }
     TAcc *out = store.data();
     for (std::size_t i = 0; i < rows * cols; ++i)
         out[i] = static_cast<TAcc>(fp::NumericTraits<TSrc>::widen(in[i]));
@@ -224,6 +278,10 @@ blockedGemmCore(std::size_t m, std::size_t n, std::size_t k, double alpha,
     const TAcc beta_acc = static_cast<TAcc>(beta);
     // Per-step rounding is the identity when TCD and TAcc coincide.
     const bool rounding = round_each_step && !std::is_same_v<TCD, TAcc>;
+    // Resolve the SIMD tier once; every worker uses the same kernels,
+    // and every tier is bit-identical, so the choice never changes
+    // results.
+    const SimdKernels &ker = simdKernelsFor(opts.simd);
 
     exec::parallelChunks(m, bm, opts.threads, [&](std::size_t r0,
                                                   std::size_t r1) {
@@ -238,11 +296,21 @@ blockedGemmCore(std::size_t m, std::size_t n, std::size_t k, double alpha,
                 for (std::size_t r = 0; r < rows; ++r) {
                     const TAcc *arow = pa + (r0 + r) * lda + k0;
                     TAcc *accs = acc.data() + r * bn;
-                    if (rounding)
-                        axpyPanelRound<TCD, TAcc>(arow, bpanel, ldb, nk,
-                                                  accs, nj);
-                    else
+                    if (rounding) {
+                        if constexpr (std::is_same_v<TCD, fp::Half> &&
+                                      std::is_same_v<TAcc, float>)
+                            ker.axpyRoundHalfF32(arow, bpanel, ldb, nk,
+                                                 accs, nj);
+                        else
+                            axpyPanelRound<TCD, TAcc>(arow, bpanel, ldb,
+                                                      nk, accs, nj);
+                    } else if constexpr (std::is_same_v<TAcc, float>) {
+                        ker.axpyF32(arow, bpanel, ldb, nk, accs, nj);
+                    } else if constexpr (std::is_same_v<TAcc, double>) {
+                        ker.axpyF64(arow, bpanel, ldb, nk, accs, nj);
+                    } else {
                         axpyPanel<TAcc>(arow, bpanel, ldb, nk, accs, nj);
+                    }
                 }
             }
             for (std::size_t r = 0; r < rows; ++r) {
@@ -285,9 +353,10 @@ fastReferenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
     mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
     mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
 
+    const SimdKernels &ker = simdKernelsFor(opts.simd);
     std::vector<TAcc> a_store, b_store;
-    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, k, a_store);
-    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, k, b_store);
+    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, k, a_store, ker);
+    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, k, b_store, ker);
     detail::blockedGemmCore<TCD, TAcc>(m, n, k, alpha, pa, k, pb, n, beta,
                                        c.data(), d.data(), n,
                                        round_each_step, opts);
@@ -320,9 +389,10 @@ fastTiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
 
     const std::size_t tk = static_cast<std::size_t>(inst.shape.k);
     const std::size_t kpad = (k + tk - 1) / tk * tk;
+    const SimdKernels &ker = simdKernelsFor(opts.simd);
     std::vector<TAcc> a_store, b_store;
-    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, kpad, a_store);
-    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, kpad, b_store);
+    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, kpad, a_store, ker);
+    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, kpad, b_store, ker);
     detail::blockedGemmCore<TCD, TAcc>(m, n, kpad, alpha, pa, kpad, pb, n,
                                        beta, c.data(), d.data(), n,
                                        /*round_each_step=*/false, opts);

@@ -189,6 +189,17 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
     const T *pa = a.data();
     T *pb = b.data();
     mc_assert(opts.blockN >= 1, "block sizes must be positive");
+    const SimdKernels &kernels = simdKernelsFor(opts.simd);
+    const auto axpySub = [&kernels, n](const T *arow, const T *bpanel,
+                                       std::size_t nk, T *accs,
+                                       std::size_t nj) {
+        if constexpr (std::is_same_v<T, float>)
+            kernels.axpySubF32(arow, bpanel, n, nk, accs, nj);
+        else if constexpr (std::is_same_v<T, double>)
+            kernels.axpySubF64(arow, bpanel, n, nk, accs, nj);
+        else
+            detail::axpyPanelSub<T>(arow, bpanel, n, nk, accs, nj);
+    };
 
     exec::parallelChunks(
         n, static_cast<std::size_t>(opts.blockN), opts.threads,
@@ -202,12 +213,10 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
                 for (std::size_t j = 0; j < nj; ++j)
                     accs[j] = alpha_t * brow[j];
                 if (fill == Fill::Lower)
-                    detail::axpyPanelSub<T>(pa + i * m, pb + j0, n, i,
-                                            accs.data(), nj);
+                    axpySub(pa + i * m, pb + j0, i, accs.data(), nj);
                 else
-                    detail::axpyPanelSub<T>(pa + i * m + i + 1,
-                                            pb + (i + 1) * n + j0, n,
-                                            m - i - 1, accs.data(), nj);
+                    axpySub(pa + i * m + i + 1, pb + (i + 1) * n + j0,
+                            m - i - 1, accs.data(), nj);
                 const T diag = pa[i * m + i];
                 for (std::size_t j = 0; j < nj; ++j)
                     brow[j] = unit_diagonal ? accs[j] : accs[j] / diag;
@@ -293,6 +302,18 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
         for (std::size_t kk = 0; kk < k; ++kk)
             at[kk * n + j] = pa[j * k + kk];
 
+    const SimdKernels &kernels = simdKernelsFor(opts.simd);
+    const auto axpy = [&kernels, n](const T *arow, const T *bpanel,
+                                    std::size_t nk, T *accs,
+                                    std::size_t nj) {
+        if constexpr (std::is_same_v<T, float>)
+            kernels.axpyF32(arow, bpanel, n, nk, accs, nj);
+        else if constexpr (std::is_same_v<T, double>)
+            kernels.axpyF64(arow, bpanel, n, nk, accs, nj);
+        else
+            detail::axpyPanel<T>(arow, bpanel, n, nk, accs, nj);
+    };
+
     exec::parallelChunks(n, bm, opts.threads, [&](std::size_t r0,
                                                   std::size_t r1) {
         std::vector<T> accs(bn);
@@ -304,9 +325,8 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
                 std::fill(accs.begin(), accs.begin() + nj, T(0));
                 for (std::size_t k0 = 0; k0 < k; k0 += bk) {
                     const std::size_t nk = std::min(bk, k - k0);
-                    detail::axpyPanel<T>(pa + i * k + k0,
-                                         at.data() + k0 * n + j0, n, nk,
-                                         accs.data(), nj);
+                    axpy(pa + i * k + k0, at.data() + k0 * n + j0, nk,
+                         accs.data(), nj);
                 }
                 T *crow = pc + i * n + j0;
                 for (std::size_t j = 0; j < nj; ++j)

@@ -1,0 +1,197 @@
+#include "simd_dispatch.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "blas/simd_kernels.hh"
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+namespace {
+
+/** Ladder rung for clamping: an unavailable request falls to the best
+ *  available tier at or below its rung. Neon shares the Sse2 rung (the
+ *  128-bit baseline of the other architecture). */
+int
+tierRank(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Auto: return -1;
+      case SimdTier::Scalar: return 0;
+      case SimdTier::Sse2: return 1;
+      case SimdTier::Neon: return 1;
+      case SimdTier::Avx2: return 2;
+      case SimdTier::Avx512: return 3;
+    }
+    mc_panic("unreachable SimdTier");
+}
+
+CpuFeatures
+probeCpu()
+{
+    CpuFeatures f;
+#if defined(MC_SIMD_HAVE_X86)
+    // The GCC/Clang builtins account for OS XSAVE support, not just
+    // the CPUID bits, so an AVX-capable CPU under an AVX-less kernel
+    // correctly reports false.
+    f.sse2 = __builtin_cpu_supports("sse2");
+    f.avx2 = __builtin_cpu_supports("avx2");
+    f.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl") &&
+               __builtin_cpu_supports("avx512dq");
+#endif
+#if defined(MC_SIMD_HAVE_NEON)
+    f.neon = true; // baseline on aarch64
+#endif
+    return f;
+}
+
+} // namespace
+
+const CpuFeatures &
+cpuFeatures()
+{
+    static const CpuFeatures features = probeCpu();
+    return features;
+}
+
+const char *
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Auto: return "auto";
+      case SimdTier::Scalar: return "scalar";
+      case SimdTier::Sse2: return "sse2";
+      case SimdTier::Avx2: return "avx2";
+      case SimdTier::Avx512: return "avx512";
+      case SimdTier::Neon: return "neon";
+    }
+    mc_panic("unreachable SimdTier");
+}
+
+bool
+parseSimdTier(std::string_view text, SimdTier *out)
+{
+    for (SimdTier tier :
+         {SimdTier::Auto, SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2,
+          SimdTier::Avx512, SimdTier::Neon}) {
+        if (text == simdTierName(tier)) {
+            *out = tier;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+simdTierAvailable(SimdTier tier)
+{
+    const CpuFeatures &f = cpuFeatures();
+    switch (tier) {
+      case SimdTier::Auto: return false;
+      case SimdTier::Scalar: return true;
+      case SimdTier::Sse2: return f.sse2;
+      case SimdTier::Avx2: return f.avx2;
+      case SimdTier::Avx512: return f.avx512;
+      case SimdTier::Neon: return f.neon;
+    }
+    mc_panic("unreachable SimdTier");
+}
+
+std::vector<SimdTier>
+availableSimdTiers()
+{
+    std::vector<SimdTier> tiers;
+    for (SimdTier tier : {SimdTier::Scalar, SimdTier::Sse2, SimdTier::Neon,
+                          SimdTier::Avx2, SimdTier::Avx512}) {
+        if (simdTierAvailable(tier))
+            tiers.push_back(tier);
+    }
+    return tiers;
+}
+
+SimdTier
+bestSimdTier()
+{
+    SimdTier best = SimdTier::Scalar;
+    for (SimdTier tier : availableSimdTiers())
+        if (tierRank(tier) > tierRank(best))
+            best = tier;
+    return best;
+}
+
+SimdTier
+envSimdTier()
+{
+    static const SimdTier tier = [] {
+        const char *value = std::getenv("MC_SIMD");
+        if (value == nullptr || value[0] == '\0')
+            return SimdTier::Auto;
+        SimdTier parsed = SimdTier::Auto;
+        if (!parseSimdTier(value, &parsed))
+            mc_fatal("bad MC_SIMD value '", value,
+                     "': expected auto|scalar|sse2|avx2|avx512|neon");
+        return parsed;
+    }();
+    return tier;
+}
+
+SimdTier
+resolveSimdTier(SimdTier requested)
+{
+    if (requested == SimdTier::Auto)
+        requested = envSimdTier();
+    if (requested == SimdTier::Auto)
+        return bestSimdTier();
+    if (simdTierAvailable(requested))
+        return requested;
+
+    SimdTier clamped = SimdTier::Scalar;
+    for (SimdTier tier : availableSimdTiers())
+        if (tierRank(tier) <= tierRank(requested) &&
+            tierRank(tier) > tierRank(clamped))
+            clamped = tier;
+
+    // One note per distinct clamped request, on stderr: stdout must
+    // stay byte-identical across tiers (and it will be — the clamped
+    // tier computes the same bits).
+    static std::once_flag noted[6];
+    std::call_once(noted[static_cast<int>(requested)], [&] {
+        std::fprintf(stderr,
+                     "[mc] MC_SIMD tier '%s' is unavailable on this host; "
+                     "clamping to '%s'\n",
+                     simdTierName(requested), simdTierName(clamped));
+    });
+    return clamped;
+}
+
+const SimdKernels &
+simdKernels(SimdTier resolved)
+{
+    mc_assert(resolved != SimdTier::Auto,
+              "simdKernels needs a resolved tier");
+    switch (resolved) {
+#if defined(MC_SIMD_HAVE_X86)
+      case SimdTier::Sse2: return detail::sse2SimdKernels();
+      case SimdTier::Avx2: return detail::avx2SimdKernels();
+      case SimdTier::Avx512: return detail::avx512SimdKernels();
+#endif
+#if defined(MC_SIMD_HAVE_NEON)
+      case SimdTier::Neon: return detail::neonSimdKernels();
+#endif
+      default: return detail::scalarSimdKernels();
+    }
+}
+
+const SimdKernels &
+simdKernelsFor(SimdTier requested)
+{
+    return simdKernels(resolveSimdTier(requested));
+}
+
+} // namespace blas
+} // namespace mc

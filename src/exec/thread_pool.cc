@@ -1,6 +1,7 @@
 #include "thread_pool.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/logging.hh"
 
@@ -72,6 +73,32 @@ ThreadPool::hardwareThreads()
     return n == 0 ? 1 : static_cast<int>(n);
 }
 
+namespace {
+
+std::atomic<int> g_concurrency_cap{0};
+
+/** Apply the process-wide cap to a resolved worker-count request. */
+int
+capThreads(int threads)
+{
+    const int cap = g_concurrency_cap.load(std::memory_order_relaxed);
+    return cap > 0 ? std::min(threads, cap) : threads;
+}
+
+} // namespace
+
+void
+setConcurrencyCap(int cap)
+{
+    g_concurrency_cap.store(std::max(0, cap), std::memory_order_relaxed);
+}
+
+int
+concurrencyCap()
+{
+    return g_concurrency_cap.load(std::memory_order_relaxed);
+}
+
 std::shared_ptr<ThreadPool>
 sharedPool(int min_threads)
 {
@@ -79,6 +106,7 @@ sharedPool(int min_threads)
     static std::shared_ptr<ThreadPool> pool;
     if (min_threads < 1)
         min_threads = ThreadPool::hardwareThreads();
+    min_threads = capThreads(min_threads);
     std::lock_guard<std::mutex> lock(mutex);
     if (!pool || pool->threadCount() < min_threads)
         pool = std::make_shared<ThreadPool>(min_threads);
@@ -94,6 +122,7 @@ parallelChunks(std::size_t count, std::size_t chunk, int threads,
         return;
     if (threads < 1)
         threads = ThreadPool::hardwareThreads();
+    threads = capThreads(threads);
     if (threads == 1 || count <= chunk) {
         for (std::size_t begin = 0; begin < count; begin += chunk)
             fn(begin, std::min(count, begin + chunk));

@@ -91,6 +91,24 @@ class ThreadPool
 std::shared_ptr<ThreadPool> sharedPool(int min_threads);
 
 /**
+ * Process-wide ceiling on library-internal fan-out: with a cap of
+ * C > 0, sharedPool() requests and parallelChunks() fan-outs are
+ * clamped to C workers. 0 (the default) means uncapped.
+ *
+ * This exists to stop multiplicative oversubscription when independent
+ * concurrency knobs compose — most prominently a sweep's --jobs fanning
+ * points across the pool while each point's --verify-threads fans its
+ * verification GEMM, which used to create jobs x verify-threads
+ * runnable threads. Benches set the cap to the hardware concurrency at
+ * startup; results are unaffected (chunk contents never depend on the
+ * worker count), only scheduling pressure changes.
+ */
+void setConcurrencyCap(int cap);
+
+/** The current cap (0 = uncapped). */
+int concurrencyCap();
+
+/**
  * Split [0, count) into chunks of @p chunk and run
  * @p fn(begin, end) for each, fanning across @p threads workers of
  * the shared pool (serial — and pool-free — when @p threads is 1 or

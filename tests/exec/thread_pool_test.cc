@@ -1,15 +1,19 @@
 /**
  * @file
  * Tests of the fixed-size thread pool: FIFO dispatch, result and
- * exception propagation through futures, and shutdown draining.
+ * exception propagation through futures, shutdown draining, and the
+ * process-wide concurrency cap that keeps composed parallelism knobs
+ * (sweep --jobs x --verify-threads) from oversubscribing the host.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "exec/thread_pool.hh"
@@ -176,6 +180,73 @@ TEST(ParallelChunks, RethrowsFirstChunkExceptionAfterBarrier)
     }
     // Every non-throwing chunk still ran (the barrier completes first).
     EXPECT_EQ(completed.load(), 3);
+}
+
+/** Restores the uncapped default even when a test assertion throws. */
+struct CapGuard
+{
+    ~CapGuard() { setConcurrencyCap(0); }
+};
+
+TEST(ConcurrencyCap, DefaultIsUncapped)
+{
+    EXPECT_EQ(concurrencyCap(), 0);
+}
+
+TEST(ConcurrencyCap, NegativeValuesMeanUncapped)
+{
+    CapGuard guard;
+    setConcurrencyCap(-5);
+    EXPECT_EQ(concurrencyCap(), 0);
+}
+
+TEST(ConcurrencyCap, CapOfOneMakesParallelChunksSerial)
+{
+    CapGuard guard;
+    setConcurrencyCap(1);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<int> off_thread_chunks{0};
+    parallelChunks(50, 5, 8, [&](std::size_t, std::size_t) {
+        if (std::this_thread::get_id() != caller)
+            off_thread_chunks.fetch_add(1);
+    });
+    EXPECT_EQ(off_thread_chunks.load(), 0);
+}
+
+TEST(ConcurrencyCap, LimitsSharedPoolGrowth)
+{
+    CapGuard guard;
+    // The process-wide pool may already exist (direct binary runs
+    // execute the SharedPool tests first), so assert the cap stops
+    // *growth* past max(cap, what was already there).
+    const int pre = sharedPool(1)->threadCount();
+    setConcurrencyCap(3);
+    const int post = sharedPool(pre + 8)->threadCount();
+    EXPECT_LE(post, std::max(3, pre));
+}
+
+TEST(ConcurrencyCap, ZeroRestoresUncappedGrowth)
+{
+    CapGuard guard;
+    const int pre = sharedPool(1)->threadCount();
+    setConcurrencyCap(2);
+    EXPECT_LE(sharedPool(pre + 4)->threadCount(), std::max(2, pre));
+    setConcurrencyCap(0);
+    EXPECT_GE(sharedPool(pre + 4)->threadCount(), pre + 4);
+}
+
+TEST(ConcurrencyCap, CappedParallelChunksStillCoversEveryIndex)
+{
+    CapGuard guard;
+    setConcurrencyCap(2);
+    std::vector<std::atomic<int>> touched(103);
+    parallelChunks(103, 10, 8,
+                   [&](std::size_t begin, std::size_t end) {
+                       for (std::size_t i = begin; i < end; ++i)
+                           touched[i].fetch_add(1);
+                   });
+    for (std::size_t i = 0; i < touched.size(); ++i)
+        EXPECT_EQ(touched[i].load(), 1) << "index " << i;
 }
 
 } // namespace

@@ -3,30 +3,42 @@
  * mc_perf: the perf-regression harness of the fast functional-GEMM
  * backend (docs/PERF.md).
  *
- * Times the retained scalar reference kernels ("old") against the
- * blocked/packed/threaded backend ("new") per datatype combo, matrix
- * size, and thread count, asserting along the way that every fast
- * result is byte-identical to the scalar one — a run that measures a
- * numerically different kernel exits Internal rather than reporting a
- * meaningless speedup. Results go to stdout, and with --out to an
- * atomically published JSON file (BENCH_pr4.json in the repo records
- * the PR-acceptance run).
+ * Three generations of the same arithmetic are timed against each
+ * other per datatype combo, matrix size, and thread count:
  *
- * The --check mode turns the tool into the `perf` ctest smoke: it
- * fails unless every measured case clears --min-speedup (default 1.0:
- * the fast path must never be slower than the scalar path).
+ *  - the retained scalar reference loops ("legacy", scalarReferenceGemm),
+ *  - the blocked/packed/threaded backend pinned to its scalar
+ *    micro-kernel tier (MC_SIMD=scalar — the PR 4 fast path), and
+ *  - every explicit-SIMD tier the CPU supports (SSE2/AVX2/AVX-512 on
+ *    x86-64, NEON on aarch64).
+ *
+ * Every timed result is byte-compared against the scalar-tier result
+ * (and against the legacy reference when the size permits): a run that
+ * measures a numerically different kernel exits Internal rather than
+ * reporting a meaningless speedup. Results go to stdout, and with
+ * --out to an atomically published JSON report (BENCH_pr5.json in the
+ * repo records the PR-acceptance run) including the detected CPU
+ * features, which tiers were unavailable, and per-tier geometric-mean
+ * speedups over the scalar tier for N >= 1024.
+ *
+ * The --check mode turns the tool into the `perf`/`simd` ctest smoke:
+ * it fails unless every SIMD tier clears --min-speedup against the
+ * scalar tier (and the scalar tier clears it against legacy).
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "blas/functional.hh"
 #include "blas/gemm_types.hh"
+#include "blas/simd_dispatch.hh"
 #include "common/atomic_file.hh"
 #include "common/cli.hh"
 #include "common/json.hh"
@@ -39,12 +51,16 @@ namespace {
 
 using namespace mc;
 
-/** One (combo, size, thread-count) timing. */
-struct ThreadTiming
+/** One (combo, size, tier, thread-count) timing. */
+struct TierTiming
 {
+    blas::SimdTier tier = blas::SimdTier::Scalar;
     int threads = 0;
     double seconds = 0.0;
-    double speedup = 0.0; ///< scalar_seconds / seconds (0 = no baseline)
+    /** legacy_scalar_seconds / seconds (0 = baseline skipped). */
+    double speedupLegacy = 0.0;
+    /** scalar_tier_seconds (same thread count) / seconds. */
+    double speedupVsScalarTier = 0.0;
 };
 
 struct CaseResult
@@ -52,8 +68,8 @@ struct CaseResult
     blas::GemmCombo combo = blas::GemmCombo::Sgemm;
     std::size_t n = 0;
     bool roundEachStep = false;
-    double scalarSeconds = 0.0; ///< 0 when the baseline was skipped
-    std::vector<ThreadTiming> fast;
+    double scalarSeconds = 0.0; ///< legacy loop; 0 when skipped
+    std::vector<TierTiming> fast;
 };
 
 double
@@ -86,6 +102,7 @@ bytesEqual(const Matrix<T> &x, const Matrix<T> &y)
 template <typename TCD, typename TAB, typename TAcc>
 CaseResult
 runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
+        const std::vector<blas::SimdTier> &tiers,
         const std::vector<int> &threads, int reps, bool with_scalar,
         std::uint64_t seed)
 {
@@ -117,54 +134,81 @@ runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
         out.scalarSeconds = best;
     }
 
+    // The scalar tier runs first (callers put it first): its result is
+    // the memcmp anchor for every SIMD tier, and its per-thread-count
+    // timings are their speedup baseline.
+    Matrix<TCD> d_anchor(n, n);
+    bool have_anchor = false;
+    std::map<int, double> scalar_tier_seconds;
+
     Matrix<TCD> d_fast(n, n);
-    for (int t : threads) {
-        blas::FunctionalGemmOptions opts;
-        opts.threads = t;
-        double best = std::numeric_limits<double>::max();
-        for (int r = 0; r < reps; ++r) {
-            const double t0 = nowSeconds();
-            blas::fastReferenceGemm<TCD, TAB, TAcc>(
-                alpha, a, b, beta, c, d_fast, round_each_step, opts);
-            best = std::min(best, nowSeconds() - t0);
+    for (blas::SimdTier tier : tiers) {
+        for (int t : threads) {
+            blas::FunctionalGemmOptions opts;
+            opts.threads = t;
+            opts.simd = tier;
+            double best = std::numeric_limits<double>::max();
+            for (int r = 0; r < reps; ++r) {
+                const double t0 = nowSeconds();
+                blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                    alpha, a, b, beta, c, d_fast, round_each_step, opts);
+                best = std::min(best, nowSeconds() - t0);
+            }
+            if (with_scalar && !bytesEqual(d_fast, d_scalar)) {
+                mc_fatal("fast backend diverged from the legacy scalar "
+                         "path: ", blas::comboInfo(combo).name, " n=", n,
+                         " simd=", blas::simdTierName(tier),
+                         " threads=", t);
+            }
+            if (!have_anchor) {
+                d_anchor = d_fast;
+                have_anchor = true;
+            } else if (!bytesEqual(d_fast, d_anchor)) {
+                mc_fatal("SIMD tier diverged from the scalar tier: ",
+                         blas::comboInfo(combo).name, " n=", n,
+                         " simd=", blas::simdTierName(tier),
+                         " threads=", t);
+            }
+            if (tier == blas::SimdTier::Scalar)
+                scalar_tier_seconds[t] = best;
+            TierTiming timing;
+            timing.tier = tier;
+            timing.threads = t;
+            timing.seconds = best;
+            timing.speedupLegacy =
+                out.scalarSeconds > 0.0 ? out.scalarSeconds / best : 0.0;
+            const auto base = scalar_tier_seconds.find(t);
+            timing.speedupVsScalarTier =
+                base != scalar_tier_seconds.end() ? base->second / best
+                                                  : 0.0;
+            out.fast.push_back(timing);
         }
-        if (with_scalar && !bytesEqual(d_fast, d_scalar)) {
-            mc_fatal("fast backend diverged from the scalar path: ",
-                     blas::comboInfo(combo).name, " n=", n,
-                     " threads=", t);
-        }
-        ThreadTiming timing;
-        timing.threads = t;
-        timing.seconds = best;
-        timing.speedup =
-            out.scalarSeconds > 0.0 ? out.scalarSeconds / best : 0.0;
-        out.fast.push_back(timing);
     }
     return out;
 }
 
 CaseResult
 runCombo(blas::GemmCombo combo, std::size_t n,
+         const std::vector<blas::SimdTier> &tiers,
          const std::vector<int> &threads, int reps, bool with_scalar,
          std::uint64_t seed)
 {
     switch (combo) {
       case blas::GemmCombo::Dgemm:
-        return runCase<double, double, double>(combo, n, false, threads,
-                                               reps, with_scalar, seed);
+        return runCase<double, double, double>(
+            combo, n, false, tiers, threads, reps, with_scalar, seed);
       case blas::GemmCombo::Sgemm:
-        return runCase<float, float, float>(combo, n, false, threads,
-                                            reps, with_scalar, seed);
+        return runCase<float, float, float>(
+            combo, n, false, tiers, threads, reps, with_scalar, seed);
       case blas::GemmCombo::Hgemm:
-        return runCase<fp::Half, fp::Half, float>(combo, n, true, threads,
-                                                  reps, with_scalar, seed);
+        return runCase<fp::Half, fp::Half, float>(
+            combo, n, true, tiers, threads, reps, with_scalar, seed);
       case blas::GemmCombo::Hhs:
-        return runCase<fp::Half, fp::Half, float>(combo, n, false,
-                                                  threads, reps,
-                                                  with_scalar, seed);
+        return runCase<fp::Half, fp::Half, float>(
+            combo, n, false, tiers, threads, reps, with_scalar, seed);
       case blas::GemmCombo::Hss:
-        return runCase<float, fp::Half, float>(combo, n, false, threads,
-                                               reps, with_scalar, seed);
+        return runCase<float, fp::Half, float>(
+            combo, n, false, tiers, threads, reps, with_scalar, seed);
     }
     mc_panic("unreachable combo in mc_perf");
 }
@@ -181,13 +225,25 @@ splitCsv(const std::string &list)
     return out;
 }
 
+/** Geometric mean of @p ratios; 0 when empty. */
+double
+geomean(const std::vector<double> &ratios)
+{
+    if (ratios.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double r : ratios)
+        log_sum += std::log(r);
+    return std::exp(log_sum / static_cast<double>(ratios.size()));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    CliParser cli("mc_perf: functional-GEMM backend timing (old scalar "
-                  "path vs blocked/packed/threaded path)");
+    CliParser cli("mc_perf: functional-GEMM backend timing (legacy "
+                  "scalar loops vs blocked backend per SIMD tier)");
     cli.addFlag("sizes", std::string("512,1024"),
                 "comma-separated square problem sizes");
     cli.addFlag("combos", std::string("all"),
@@ -195,22 +251,26 @@ main(int argc, char **argv)
                 "hss,hhs) or 'all'");
     cli.addFlag("threads", std::string("1,8"),
                 "comma-separated thread counts for the fast path");
+    cli.addFlag("simd", std::string("all"),
+                "comma-separated micro-kernel tiers (scalar,sse2,avx2,"
+                "avx512,neon) or 'all' = every tier this CPU supports");
     cli.addFlag("reps", static_cast<std::int64_t>(3),
                 "fast-path repetitions per case (best-of)");
     cli.requireIntAtLeast("reps", 1);
     cli.addFlag("scalar-maxn", static_cast<std::int64_t>(4096),
-                "skip the scalar baseline (and the bit-exactness "
-                "cross-check) above this size");
+                "skip the legacy scalar baseline (the cross-check "
+                "against the scalar *tier* always runs) above this size");
     cli.addFlag("seed", static_cast<std::int64_t>(0x5eed),
                 "operand randomization seed");
     cli.addFlag("out", std::string(),
                 "write the JSON report atomically to this file "
-                "(e.g. BENCH_pr4.json)");
+                "(e.g. BENCH_pr5.json)");
     cli.addFlag("check", false,
-                "exit nonzero unless every case clears --min-speedup "
-                "(the perf ctest smoke)");
+                "exit nonzero unless every SIMD tier clears "
+                "--min-speedup vs the scalar tier (the perf ctest "
+                "smoke)");
     cli.addFlag("min-speedup", 1.0,
-                "with --check: required scalar/fast ratio");
+                "with --check: required speedup ratio");
     cli.parse(argc, argv);
 
     std::vector<blas::GemmCombo> combos;
@@ -229,6 +289,35 @@ main(int argc, char **argv)
     std::vector<int> threads;
     for (const std::string &s : splitCsv(cli.getString("threads")))
         threads.push_back(std::stoi(s));
+
+    // Resolve the tier list. The scalar tier always runs (and runs
+    // first): it is the memcmp anchor and the speedup baseline.
+    const std::vector<blas::SimdTier> available =
+        blas::availableSimdTiers();
+    std::vector<blas::SimdTier> tiers{blas::SimdTier::Scalar};
+    std::vector<std::string> unavailable_requested;
+    const std::string simd_list = cli.getString("simd");
+    if (simd_list == "all") {
+        for (blas::SimdTier tier : available)
+            if (tier != blas::SimdTier::Scalar)
+                tiers.push_back(tier);
+    } else {
+        for (const std::string &name : splitCsv(simd_list)) {
+            blas::SimdTier tier;
+            if (!blas::parseSimdTier(name, &tier) ||
+                tier == blas::SimdTier::Auto)
+                mc_fatal("bad --simd tier '", name, "'");
+            if (!blas::simdTierAvailable(tier)) {
+                unavailable_requested.push_back(name);
+                std::fprintf(stderr,
+                             "[mc_perf] tier '%s' unavailable on this "
+                             "CPU; skipping\n", name.c_str());
+                continue;
+            }
+            if (tier != blas::SimdTier::Scalar)
+                tiers.push_back(tier);
+        }
+    }
     if (sizes.empty() || threads.empty() || combos.empty()) {
         std::fprintf(stderr, "nothing to measure\n");
         return exitCodeFor(ErrorCode::InvalidArgument);
@@ -245,51 +334,120 @@ main(int argc, char **argv)
             const bool with_scalar = n <= scalar_maxn;
             std::fprintf(stderr, "[mc_perf] %s n=%zu%s...\n",
                          blas::comboInfo(combo).name, n,
-                         with_scalar ? "" : " (no scalar baseline)");
-            results.push_back(runCombo(combo, n, threads, reps,
+                         with_scalar ? "" : " (no legacy baseline)");
+            results.push_back(runCombo(combo, n, tiers, threads, reps,
                                        with_scalar, seed));
         }
     }
 
+    const blas::CpuFeatures &cpu = blas::cpuFeatures();
     JsonValue report = JsonValue::object();
     report.set("bench", "mc_perf");
     report.set("description",
-               "functional-GEMM wall-clock: scalar reference path vs "
-               "blocked/packed/threaded backend (bit-identical results)");
+               "functional-GEMM wall-clock: legacy scalar loops vs "
+               "blocked/packed/threaded backend per SIMD micro-kernel "
+               "tier (bit-identical results across all of them)");
     report.set("host_threads",
                static_cast<std::int64_t>(exec::ThreadPool::hardwareThreads()));
+    JsonValue features = JsonValue::object();
+    features.set("sse2", cpu.sse2);
+    features.set("avx2", cpu.avx2);
+    features.set("avx512", cpu.avx512);
+    features.set("neon", cpu.neon);
+    report.set("cpu_features", std::move(features));
+    JsonValue tiers_json = JsonValue::array();
+    for (blas::SimdTier tier : tiers)
+        tiers_json.append(blas::simdTierName(tier));
+    report.set("tiers_measured", std::move(tiers_json));
+    JsonValue unavailable_json = JsonValue::array();
+    for (blas::SimdTier tier :
+         {blas::SimdTier::Sse2, blas::SimdTier::Avx2,
+          blas::SimdTier::Avx512, blas::SimdTier::Neon})
+        if (!blas::simdTierAvailable(tier))
+            unavailable_json.append(blas::simdTierName(tier));
+    report.set("tiers_unavailable", std::move(unavailable_json));
+    if (!unavailable_requested.empty()) {
+        JsonValue skipped = JsonValue::array();
+        for (const std::string &name : unavailable_requested)
+            skipped.append(name);
+        report.set("tiers_requested_but_unavailable", std::move(skipped));
+    }
+    report.set("best_tier",
+               blas::simdTierName(blas::bestSimdTier()));
+
     JsonValue cases = JsonValue::array();
     bool check_ok = true;
     const double min_speedup = cli.getDouble("min-speedup");
+    // Per-tier speedup-vs-scalar-tier ratios over N >= 1024, overall
+    // and per combo, for the geometric-mean summary.
+    std::map<blas::SimdTier, std::vector<double>> tier_ratios;
+    std::map<blas::SimdTier, std::map<blas::GemmCombo,
+                                      std::vector<double>>> combo_ratios;
     for (const CaseResult &r : results) {
         JsonValue entry = JsonValue::object();
         entry.set("combo", blas::comboInfo(r.combo).name);
         entry.set("n", static_cast<std::int64_t>(r.n));
         entry.set("round_each_step", r.roundEachStep);
         if (r.scalarSeconds > 0.0)
-            entry.set("scalar_sec", r.scalarSeconds);
+            entry.set("legacy_scalar_sec", r.scalarSeconds);
         JsonValue timings = JsonValue::array();
-        for (const ThreadTiming &t : r.fast) {
+        for (const TierTiming &t : r.fast) {
             JsonValue jt = JsonValue::object();
+            jt.set("simd", blas::simdTierName(t.tier));
             jt.set("threads", static_cast<std::int64_t>(t.threads));
             jt.set("sec", t.seconds);
-            if (t.speedup > 0.0)
-                jt.set("speedup", t.speedup);
+            if (t.speedupLegacy > 0.0)
+                jt.set("speedup_vs_legacy", t.speedupLegacy);
+            if (t.speedupVsScalarTier > 0.0 &&
+                t.tier != blas::SimdTier::Scalar)
+                jt.set("speedup_vs_scalar_tier", t.speedupVsScalarTier);
             timings.append(std::move(jt));
-            std::printf("%-6s n=%-5zu threads=%-2d fast=%9.4fs",
-                        blas::comboInfo(r.combo).name, r.n, t.threads,
+
+            std::printf("%-6s n=%-5zu simd=%-7s threads=%-2d "
+                        "fast=%9.4fs",
+                        blas::comboInfo(r.combo).name, r.n,
+                        blas::simdTierName(t.tier), t.threads,
                         t.seconds);
-            if (t.speedup > 0.0)
-                std::printf("  scalar=%9.4fs  speedup=%6.2fx",
-                            r.scalarSeconds, t.speedup);
+            if (t.tier != blas::SimdTier::Scalar &&
+                t.speedupVsScalarTier > 0.0)
+                std::printf("  vs_scalar_tier=%6.2fx",
+                            t.speedupVsScalarTier);
+            if (t.speedupLegacy > 0.0)
+                std::printf("  vs_legacy=%6.2fx", t.speedupLegacy);
             std::printf("\n");
-            if (t.speedup > 0.0 && t.speedup < min_speedup)
-                check_ok = false;
+
+            if (t.tier == blas::SimdTier::Scalar) {
+                // The scalar tier is checked against the legacy loops:
+                // the blocked backend must never regress below them.
+                if (t.speedupLegacy > 0.0 && t.speedupLegacy < min_speedup)
+                    check_ok = false;
+            } else {
+                if (t.speedupVsScalarTier > 0.0 &&
+                    t.speedupVsScalarTier < min_speedup)
+                    check_ok = false;
+                if (r.n >= 1024 && t.speedupVsScalarTier > 0.0) {
+                    tier_ratios[t.tier].push_back(t.speedupVsScalarTier);
+                    combo_ratios[t.tier][r.combo].push_back(
+                        t.speedupVsScalarTier);
+                }
+            }
         }
         entry.set("fast", std::move(timings));
         cases.append(std::move(entry));
     }
     report.set("results", std::move(cases));
+
+    JsonValue geo = JsonValue::object();
+    for (const auto &[tier, ratios] : tier_ratios) {
+        JsonValue jt = JsonValue::object();
+        jt.set("overall", geomean(ratios));
+        for (const auto &[combo, cr] : combo_ratios[tier])
+            jt.set(blas::comboInfo(combo).name, geomean(cr));
+        std::printf("geomean(n>=1024) simd=%-7s vs_scalar_tier=%6.2fx\n",
+                    blas::simdTierName(tier), geomean(ratios));
+        geo.set(blas::simdTierName(tier), std::move(jt));
+    }
+    report.set("geomean_speedup_vs_scalar_tier_n1024", std::move(geo));
 
     const std::string out_path = cli.getString("out");
     if (!out_path.empty()) {
