@@ -244,24 +244,28 @@ addVerifyFlags(CliParser &cli, bool default_enabled)
                 "operand scheme: 'paper' (A=1, B=I, C=1) or 'random'");
     cli.addFlag("verify-threads", static_cast<std::int64_t>(0),
                 "host threads for verification (0 = all hardware "
-                "threads; results are identical for every value)");
+                "threads; values above the hardware thread count are "
+                "capped; results are identical for every value)");
     cli.requireIntAtLeast("verify-threads", 0);
 }
 
 VerifyConfig
 verifyFlags(const CliParser &cli)
 {
+    VerifyConfig config;
+    config.enabled = cli.getBool("verify");
     // Verification fans out through exec::sharedPool from *inside*
     // sweep workers, so --jobs and --verify-threads used to multiply
     // into jobs x threads runnable host threads. Cap the library-
     // internal fan-out at the hardware concurrency instead: the sweep's
     // own workers (a private pool) keep the user's --jobs, while every
-    // verification call shares at most one machine's worth of threads.
-    // Results are unaffected — the knobs trade scheduling only.
-    exec::setConcurrencyCap(exec::ThreadPool::hardwareThreads());
-
-    VerifyConfig config;
-    config.enabled = cli.getBool("verify");
+    // verification call shares at most one machine's worth of threads
+    // (an explicit --verify-threads above that count is capped too).
+    // Results are unaffected — the knobs trade scheduling only. Only
+    // a verifying run gets the process-wide cap; parsing flags alone
+    // must not change unrelated sharedPool/parallelChunks sizing.
+    if (config.enabled)
+        exec::setConcurrencyCap(exec::ThreadPool::hardwareThreads());
     config.maxN = static_cast<std::size_t>(cli.getInt("verify-maxn"));
     const std::string scheme = cli.getString("verify-scheme");
     if (scheme == "paper") {
@@ -323,6 +327,9 @@ finishBench(const std::string &bench_name, ErrorCode code)
     // detects the line by prefix substring, so the appended plan-cache
     // counters are invisible to it.
     const blas::PlanCacheStats plans = blas::PlanCache::globalStats();
+    // simd= names the tiers this process actually dispatched to (the
+    // Auto resolution only when no GEMM ran), so a run that forced a
+    // tier through FunctionalGemmOptions::simd is labelled truthfully.
     std::fprintf(stderr,
                  "%s%s code=%s exit=%d plan_hits=%llu plan_misses=%llu "
                  "plan_evictions=%llu simd=%s\n",
@@ -331,8 +338,7 @@ finishBench(const std::string &bench_name, ErrorCode code)
                  static_cast<unsigned long long>(plans.hits),
                  static_cast<unsigned long long>(plans.misses),
                  static_cast<unsigned long long>(plans.evictions),
-                 blas::simdTierName(
-                     blas::resolveSimdTier(blas::SimdTier::Auto)));
+                 blas::usedSimdTierLabel().c_str());
     return exit_status;
 }
 

@@ -1,5 +1,6 @@
 #include "simd_dispatch.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -49,6 +50,11 @@ probeCpu()
 #endif
     return f;
 }
+
+/** Bitmask (1 << int(tier)) of every tier simdKernels() has handed
+ *  out, so completion lines can report the tiers actually dispatched
+ *  rather than the process-default resolution. */
+std::atomic<unsigned> g_dispatched_tiers{0};
 
 } // namespace
 
@@ -174,17 +180,44 @@ simdKernels(SimdTier resolved)
 {
     mc_assert(resolved != SimdTier::Auto,
               "simdKernels needs a resolved tier");
+    const SimdKernels *kernels = &detail::scalarSimdKernels();
     switch (resolved) {
 #if defined(MC_SIMD_HAVE_X86)
-      case SimdTier::Sse2: return detail::sse2SimdKernels();
-      case SimdTier::Avx2: return detail::avx2SimdKernels();
-      case SimdTier::Avx512: return detail::avx512SimdKernels();
+      case SimdTier::Sse2: kernels = &detail::sse2SimdKernels(); break;
+      case SimdTier::Avx2: kernels = &detail::avx2SimdKernels(); break;
+      case SimdTier::Avx512:
+        kernels = &detail::avx512SimdKernels();
+        break;
 #endif
 #if defined(MC_SIMD_HAVE_NEON)
-      case SimdTier::Neon: return detail::neonSimdKernels();
+      case SimdTier::Neon: kernels = &detail::neonSimdKernels(); break;
 #endif
-      default: return detail::scalarSimdKernels();
+      default: break;
     }
+    // Record the tier of the table handed out (not the request — an
+    // unavailable compiled-out tier lands on scalar here).
+    g_dispatched_tiers.fetch_or(1u << static_cast<int>(kernels->tier),
+                                std::memory_order_relaxed);
+    return *kernels;
+}
+
+std::string
+usedSimdTierLabel()
+{
+    const unsigned mask =
+        g_dispatched_tiers.load(std::memory_order_relaxed);
+    if (mask == 0)
+        return simdTierName(resolveSimdTier(SimdTier::Auto));
+    std::string label;
+    for (SimdTier tier : {SimdTier::Scalar, SimdTier::Sse2, SimdTier::Neon,
+                          SimdTier::Avx2, SimdTier::Avx512}) {
+        if ((mask & (1u << static_cast<int>(tier))) == 0)
+            continue;
+        if (!label.empty())
+            label += '+';
+        label += simdTierName(tier);
+    }
+    return label;
 }
 
 const SimdKernels &

@@ -17,6 +17,7 @@
 #ifndef MC_BLAS_SIMD_DISPATCH_HH
 #define MC_BLAS_SIMD_DISPATCH_HH
 
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -77,6 +78,17 @@ SimdTier envSimdTier();
  * request). Never returns Auto.
  */
 SimdTier resolveSimdTier(SimdTier requested);
+
+/**
+ * Label of every tier this process has actually dispatched to (fetched
+ * a kernel table for), '+'-joined in ladder order — e.g. "avx2", or
+ * "scalar+avx2" after a run that forced both. Before any dispatch it
+ * falls back to what Auto would resolve to, so a completion line
+ * printed by a bench that never ran a GEMM still names the process
+ * default. Benches put this on their stderr completion line so sweep
+ * artifacts are attributable to the kernel tier that produced them.
+ */
+std::string usedSimdTierLabel();
 
 } // namespace blas
 } // namespace mc

@@ -107,6 +107,20 @@ TEST(SimdDispatch, KernelsForResolvesLikeResolveSimdTier)
               resolveSimdTier(SimdTier::Auto));
 }
 
+// The dispatched-tier record is process-global and other tests in this
+// binary fetch kernel tables, so assert containment, not equality.
+TEST(SimdDispatch, UsedTierLabelNamesEveryDispatchedTier)
+{
+    const std::string before = usedSimdTierLabel();
+    EXPECT_FALSE(before.empty());
+    for (SimdTier tier : availableSimdTiers()) {
+        simdKernels(tier);
+        EXPECT_NE(usedSimdTierLabel().find(simdTierName(tier)),
+                  std::string::npos)
+            << simdTierName(tier);
+    }
+}
+
 } // namespace
 } // namespace blas
 } // namespace mc
