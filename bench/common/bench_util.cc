@@ -7,6 +7,7 @@
 
 #include "blas/plan_cache.hh"
 #include "blas/simd_dispatch.hh"
+#include "blas/tune.hh"
 #include "common/logging.hh"
 #include "common/retry.hh"
 #include "exec/supervisor.hh"
@@ -330,15 +331,19 @@ finishBench(const std::string &bench_name, ErrorCode code)
     // simd= names the tiers this process actually dispatched to (the
     // Auto resolution only when no GEMM ran), so a run that forced a
     // tier through FunctionalGemmOptions::simd is labelled truthfully.
+    // tuned= is the active tuning artifact's fingerprint ("none" when
+    // block sizes came from the built-in defaults), so sweep artifacts
+    // are attributable to the block configuration that produced them.
     std::fprintf(stderr,
                  "%s%s code=%s exit=%d plan_hits=%llu plan_misses=%llu "
-                 "plan_evictions=%llu simd=%s\n",
+                 "plan_evictions=%llu simd=%s tuned=%s\n",
                  exec::kBenchCompletionPrefix, bench_name.c_str(),
                  errorCodeName(code), exit_status,
                  static_cast<unsigned long long>(plans.hits),
                  static_cast<unsigned long long>(plans.misses),
                  static_cast<unsigned long long>(plans.evictions),
-                 blas::usedSimdTierLabel().c_str());
+                 blas::usedSimdTierLabel().c_str(),
+                 blas::activeTuningLabel().c_str());
     return exit_status;
 }
 

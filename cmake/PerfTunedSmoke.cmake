@@ -1,0 +1,86 @@
+# Autotuner end-to-end gate, run as a ctest entry (see
+# tools/CMakeLists.txt). A tiny `mc_perf --tune` produces a tuning
+# artifact; the fig6 bench then runs its sweep twice — once with the
+# artifact active through MC_TUNE, once with MC_TUNE=off — and the two
+# runs must produce byte-identical stdout: the artifact's block sizes
+# feed every verification GEMM through GemmPlan::func, so any numeric
+# divergence introduced by tuned blocks would change the rendered
+# results. The completion lines must also label the runs truthfully
+# (tuned=<fingerprint> vs tuned=none).
+#
+# Inputs: -DMC_PERF=<path> -DFIG6=<path> -DWORK_DIR=<dir>
+
+foreach(var MC_PERF FIG6 WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(artifact "${WORK_DIR}/mc_tune.json")
+
+# 1. Tiny tune: one size bucket, every available tier, both fig6
+#    combos. --tune-reps=1 and a small budget keep this a smoke, not a
+#    calibration; the persisted winners just need to exist.
+execute_process(
+    COMMAND "${MC_PERF}" --tune --combos=sgemm,dgemm --sizes=256
+            --tune-reps=1 --tune-budget-sec=10 --tune-out=${artifact}
+    RESULT_VARIABLE tune_result
+    OUTPUT_VARIABLE tune_stdout
+    ERROR_VARIABLE tune_stderr)
+if(NOT tune_result EQUAL 0)
+    message(FATAL_ERROR "mc_perf --tune failed (${tune_result}):\n"
+            "${tune_stdout}\n${tune_stderr}")
+endif()
+if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "mc_perf --tune did not persist ${artifact}")
+endif()
+
+# 2. The same fig6 sweep with the artifact active and pinned off. The
+#    sweep sizes all fall in the tuned bucket, and --verify routes the
+#    functional backend (with the tuned blocks) over every point.
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env MC_TUNE=${artifact}
+            "${FIG6}" --csv --maxn=256 --verify --reps=2
+    RESULT_VARIABLE tuned_result
+    OUTPUT_FILE "${WORK_DIR}/tuned.csv"
+    ERROR_FILE "${WORK_DIR}/tuned.err")
+if(NOT tuned_result EQUAL 0)
+    message(FATAL_ERROR "tuned fig6 run failed: ${tuned_result}")
+endif()
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env MC_TUNE=off
+            "${FIG6}" --csv --maxn=256 --verify --reps=2
+    RESULT_VARIABLE default_result
+    OUTPUT_FILE "${WORK_DIR}/default.csv"
+    ERROR_FILE "${WORK_DIR}/default.err")
+if(NOT default_result EQUAL 0)
+    message(FATAL_ERROR "default fig6 run failed: ${default_result}")
+endif()
+
+# 3. Byte-identical stdout: tuned blocks may change speed only.
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/tuned.csv" "${WORK_DIR}/default.csv"
+    RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+    message(FATAL_ERROR "tuned and default fig6 stdout differ — the "
+            "tuning artifact changed results, not just speed")
+endif()
+
+# 4. The completion lines label the configuration truthfully.
+file(READ "${WORK_DIR}/tuned.err" tuned_err)
+file(READ "${WORK_DIR}/default.err" default_err)
+if(NOT tuned_err MATCHES "tuned=[0-9a-f]+")
+    message(FATAL_ERROR "tuned run's completion line does not carry the "
+            "artifact fingerprint:\n${tuned_err}")
+endif()
+if(NOT default_err MATCHES "tuned=none")
+    message(FATAL_ERROR "MC_TUNE=off run's completion line should say "
+            "tuned=none:\n${default_err}")
+endif()
+
+message(STATUS "perf_tuned_smoke passed: artifact applied, output bytes "
+        "identical, completion lines labelled")

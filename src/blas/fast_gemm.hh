@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "arch/mfma_isa.hh"
+#include "blas/gemm_types.hh"
 #include "blas/simd_kernels.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
@@ -60,31 +61,33 @@ namespace mc {
 namespace blas {
 
 /**
- * Thread / block-size knobs of the fast functional backend. The
- * defaults keep one B panel (blockK x blockN) and one accumulator
- * block (blockM x blockN) cache-resident; results are identical for
- * every setting — the knobs trade speed only.
+ * Resolve every auto (0) field of @p opts for one concrete problem:
+ * block sizes and thread fan-out come from the active tuning artifact
+ * entry for (combo, resolved SIMD tier, tuneBucket(n)) when one is
+ * loaded (blas/tune.hh), and from the kDefaultBlock* constants
+ * otherwise. Explicit (> 0) fields pass through untouched, and
+ * MC_TUNE=off disables the artifact entirely. Results never depend on
+ * the outcome — the knobs trade speed only. Defined in tune.cc.
  */
-struct FunctionalGemmOptions
+FunctionalGemmOptions resolveFunctionalOptions(
+    const FunctionalGemmOptions &opts, GemmCombo combo, std::size_t n);
+
+/** The Table III combo the (TCD, TAB, TAcc, rounding) template
+ *  instantiation corresponds to — the tuning-artifact key of the
+ *  functional kernels. */
+template <typename TCD, typename TAB, typename TAcc>
+constexpr GemmCombo
+comboForTypes(bool round_each_step)
 {
-    /** Row-block fan-out width: 1 = serial, < 1 = hardware threads. */
-    int threads = 1;
-    /** Rows per parallel task (also the i-block of the blocking). */
-    int blockM = 64;
-    /** Output-panel width (j-block; accumulator row length). */
-    int blockN = 128;
-    /** Depth of one k-panel. */
-    int blockK = 256;
-    /** Route through the retained scalar kernels instead (the
-     *  bit-exactness baseline; also what mc_perf times as "old"). */
-    bool forceScalar = false;
-    /** SIMD micro-kernel tier. Auto defers to the MC_SIMD environment
-     *  override, then to the best tier the CPU supports. Results are
-     *  bit-identical across tiers — this knob trades speed (and aids
-     *  debugging) only. An unavailable explicit tier clamps down the
-     *  ladder with a one-time stderr note. */
-    SimdTier simd = SimdTier::Auto;
-};
+    if constexpr (std::is_same_v<TAcc, double>)
+        return GemmCombo::Dgemm;
+    else if constexpr (std::is_same_v<TAB, float>)
+        return GemmCombo::Sgemm;
+    else if constexpr (std::is_same_v<TCD, float>)
+        return GemmCombo::Hss;
+    else
+        return round_each_step ? GemmCombo::Hgemm : GemmCombo::Hhs;
+}
 
 namespace detail {
 
@@ -353,13 +356,15 @@ fastReferenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
     mc_assert(c.rows() == m && c.cols() == n, "C shape mismatch");
     mc_assert(d.rows() == m && d.cols() == n, "D shape mismatch");
 
-    const SimdKernels &ker = simdKernelsFor(opts.simd);
+    const FunctionalGemmOptions ropts = resolveFunctionalOptions(
+        opts, comboForTypes<TCD, TAB, TAcc>(round_each_step), n);
+    const SimdKernels &ker = simdKernelsFor(ropts.simd);
     std::vector<TAcc> a_store, b_store;
     const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, k, a_store, ker);
     const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, k, b_store, ker);
     detail::blockedGemmCore<TCD, TAcc>(m, n, k, alpha, pa, k, pb, n, beta,
                                        c.data(), d.data(), n,
-                                       round_each_step, opts);
+                                       round_each_step, ropts);
 }
 
 /**
@@ -389,13 +394,15 @@ fastTiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
 
     const std::size_t tk = static_cast<std::size_t>(inst.shape.k);
     const std::size_t kpad = (k + tk - 1) / tk * tk;
-    const SimdKernels &ker = simdKernelsFor(opts.simd);
+    const FunctionalGemmOptions ropts = resolveFunctionalOptions(
+        opts, comboForTypes<TCD, TAB, TAcc>(false), n);
+    const SimdKernels &ker = simdKernelsFor(ropts.simd);
     std::vector<TAcc> a_store, b_store;
     const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, kpad, a_store, ker);
     const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, kpad, b_store, ker);
     detail::blockedGemmCore<TCD, TAcc>(m, n, kpad, alpha, pa, kpad, pb, n,
                                        beta, c.data(), d.data(), n,
-                                       /*round_each_step=*/false, opts);
+                                       /*round_each_step=*/false, ropts);
 }
 
 } // namespace blas

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "blas/tune.hh"
 #include "common/logging.hh"
 
 namespace mc {
@@ -15,9 +16,19 @@ GemmEngine::GemmEngine(hip::Runtime &rt, PlannerOptions opts)
 std::shared_ptr<const GemmPlan>
 GemmEngine::cachedPlan(const GemmConfig &config) const
 {
-    const PlanKey key = makePlanKey(config, _opts, _calFingerprint);
+    // Resolve the functional knobs here, at plan-build/lookup time:
+    // auto (0) fields consult the active tuning artifact exactly once
+    // per distinct problem, and the tuning fingerprint in the key makes
+    // artifact swaps miss instead of reusing stale resolutions.
+    const std::uint64_t tune_fp = tuningActive() ? hostTuneFingerprint() : 0;
+    const FunctionalGemmOptions func =
+        resolveFunctionalOptions(_funcOpts, config.combo, config.n);
+    const PlanKey key =
+        makePlanKey(config, _opts, _calFingerprint, func, tune_fp);
     return _planCache.findOrCompute(key, [&]() {
-        return planGemm(config, _rt.gpu().calibration(), _opts);
+        GemmPlan plan = planGemm(config, _rt.gpu().calibration(), _opts);
+        plan.func = func;
+        return plan;
     });
 }
 
@@ -31,7 +42,9 @@ VerifyResult
 GemmEngine::verify(const GemmConfig &config, VerifyScheme scheme,
                    std::uint64_t seed) const
 {
-    return verifyGemm(config, scheme, seed, _opts, _funcOpts);
+    // Hand verification the plan's resolved knobs so it runs the exact
+    // block configuration the engine would execute (tuned or default).
+    return verifyGemm(config, scheme, seed, _opts, cachedPlan(config)->func);
 }
 
 std::size_t

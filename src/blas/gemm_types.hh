@@ -13,6 +13,7 @@
 #include <string>
 
 #include "arch/types.hh"
+#include "blas/simd_dispatch.hh"
 #include "sim/device.hh"
 
 namespace mc {
@@ -53,6 +54,50 @@ inline constexpr GemmCombo allCombos[] = {
 
 /** Parse a combo name ("dgemm", "hss", ...); fatal on unknown names. */
 GemmCombo parseCombo(const std::string &name);
+
+// ---- Functional-backend knobs -------------------------------------------
+
+/** Built-in block constants of the fast functional backend: what an
+ *  auto (0) field resolves to when no tuning artifact supplies a
+ *  better value (docs/PERF.md "Autotuning"). */
+inline constexpr int kDefaultBlockM = 64;
+inline constexpr int kDefaultBlockN = 128;
+inline constexpr int kDefaultBlockK = 256;
+
+/**
+ * Thread / block-size knobs of the fast functional backend
+ * (src/blas/fast_gemm.hh). Results are identical for every setting —
+ * the knobs trade speed only.
+ *
+ * Block fields default to 0 = "auto": resolved at plan/dispatch time
+ * to the persisted autotuner configuration for this (combo, SIMD tier,
+ * problem-size bucket) when a tuning artifact is active, and to the
+ * kDefaultBlock* constants otherwise (blas/tune.hh). An explicit
+ * (> 0) value always wins over the artifact, and MC_TUNE=off disables
+ * the artifact process-wide.
+ */
+struct FunctionalGemmOptions
+{
+    /** Row-block fan-out width: >= 1 explicit (1 = serial), 0 = auto
+     *  (tuned thread count when an artifact is active, hardware
+     *  concurrency otherwise), < 0 = hardware concurrency. */
+    int threads = 1;
+    /** Rows per parallel task (also the i-block); 0 = auto. */
+    int blockM = 0;
+    /** Output-panel width (j-block; accumulator row length); 0 = auto. */
+    int blockN = 0;
+    /** Depth of one k-panel; 0 = auto. */
+    int blockK = 0;
+    /** Route through the retained scalar kernels instead (the
+     *  bit-exactness baseline; also what mc_perf times as "old"). */
+    bool forceScalar = false;
+    /** SIMD micro-kernel tier. Auto defers to the MC_SIMD environment
+     *  override, then to the best tier the CPU supports. Results are
+     *  bit-identical across tiers — this knob trades speed (and aids
+     *  debugging) only. An unavailable explicit tier clamps down the
+     *  ladder with a one-time stderr note. */
+    SimdTier simd = SimdTier::Auto;
+};
 
 /**
  * One D <- alpha*A*B + beta*C problem.

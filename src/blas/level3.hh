@@ -188,8 +188,9 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
     const T alpha_t = static_cast<T>(alpha);
     const T *pa = a.data();
     T *pb = b.data();
-    mc_assert(opts.blockN >= 1, "block sizes must be positive");
-    const SimdKernels &kernels = simdKernelsFor(opts.simd);
+    const FunctionalGemmOptions ropts = resolveFunctionalOptions(
+        opts, comboForTypes<T, T, T>(false), n);
+    const SimdKernels &kernels = simdKernelsFor(ropts.simd);
     const auto axpySub = [&kernels, n](const T *arow, const T *bpanel,
                                        std::size_t nk, T *accs,
                                        std::size_t nj) {
@@ -202,7 +203,7 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
     };
 
     exec::parallelChunks(
-        n, static_cast<std::size_t>(opts.blockN), opts.threads,
+        n, static_cast<std::size_t>(ropts.blockN), ropts.threads,
         [&](std::size_t j0, std::size_t j1) {
             const std::size_t nj = j1 - j0;
             std::vector<T> accs(nj);
@@ -285,11 +286,13 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
     mc_assert(a.rows() == c.rows(), "SYRK dimension mismatch");
     const std::size_t n = c.rows();
     const std::size_t k = a.cols();
-    mc_assert(opts.blockM >= 1 && opts.blockN >= 1 && opts.blockK >= 1,
+    const FunctionalGemmOptions ropts = resolveFunctionalOptions(
+        opts, comboForTypes<T, T, T>(false), n);
+    mc_assert(ropts.blockM >= 1 && ropts.blockN >= 1 && ropts.blockK >= 1,
               "block sizes must be positive");
-    const std::size_t bm = static_cast<std::size_t>(opts.blockM);
-    const std::size_t bn = static_cast<std::size_t>(opts.blockN);
-    const std::size_t bk = static_cast<std::size_t>(opts.blockK);
+    const std::size_t bm = static_cast<std::size_t>(ropts.blockM);
+    const std::size_t bn = static_cast<std::size_t>(ropts.blockN);
+    const std::size_t bk = static_cast<std::size_t>(ropts.blockK);
     const T alpha_t = static_cast<T>(alpha);
     const T beta_t = static_cast<T>(beta);
     const T *pa = a.data();
@@ -302,7 +305,7 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
         for (std::size_t kk = 0; kk < k; ++kk)
             at[kk * n + j] = pa[j * k + kk];
 
-    const SimdKernels &kernels = simdKernelsFor(opts.simd);
+    const SimdKernels &kernels = simdKernelsFor(ropts.simd);
     const auto axpy = [&kernels, n](const T *arow, const T *bpanel,
                                     std::size_t nk, T *accs,
                                     std::size_t nj) {
@@ -314,7 +317,7 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
             detail::axpyPanel<T>(arow, bpanel, n, nk, accs, nj);
     };
 
-    exec::parallelChunks(n, bm, opts.threads, [&](std::size_t r0,
+    exec::parallelChunks(n, bm, ropts.threads, [&](std::size_t r0,
                                                   std::size_t r1) {
         std::vector<T> accs(bn);
         for (std::size_t i = r0; i < r1; ++i) {

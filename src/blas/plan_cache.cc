@@ -54,6 +54,28 @@ makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
     return key;
 }
 
+PlanKey
+makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
+            std::uint64_t calibration_fingerprint,
+            const FunctionalGemmOptions &func,
+            std::uint64_t tune_fingerprint)
+{
+    PlanKey key = makePlanKey(config, opts, calibration_fingerprint);
+    // Pack the functional knobs; each block field fits 16 bits by
+    // construction (blocks are small powers of two), threads in 16.
+    std::uint64_t bits = kHashBasis;
+    bits = hashCombine(bits, static_cast<std::uint64_t>(
+                                 static_cast<std::int64_t>(func.threads)));
+    bits = hashCombine(bits, static_cast<std::uint64_t>(func.blockM));
+    bits = hashCombine(bits, static_cast<std::uint64_t>(func.blockN));
+    bits = hashCombine(bits, static_cast<std::uint64_t>(func.blockK));
+    bits = hashCombine(bits, func.forceScalar ? 1u : 0u);
+    bits = hashCombine(bits, static_cast<std::uint64_t>(func.simd));
+    key.funcBits = bits;
+    key.tuneFingerprint = tune_fingerprint;
+    return key;
+}
+
 std::size_t
 PlanKeyHash::operator()(const PlanKey &key) const
 {
@@ -77,6 +99,8 @@ PlanKeyHash::operator()(const PlanKey &key) const
     h = hashCombine(h, key.bwEffOccupancyBonusBits);
     h = hashCombine(h, key.mixedPrecisionMinDim);
     h = hashCombine(h, key.calibration);
+    h = hashCombine(h, key.funcBits);
+    h = hashCombine(h, key.tuneFingerprint);
     return static_cast<std::size_t>(h);
 }
 

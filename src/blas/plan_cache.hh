@@ -58,12 +58,28 @@ struct PlanKey
     /** arch::calibrationFingerprint of the target device. */
     std::uint64_t calibration = 0;
 
+    /** Packed FunctionalGemmOptions (threads/blocks/scalar/simd): the
+     *  resolved functional configuration is part of the plan, so
+     *  different knob settings must key different entries. */
+    std::uint64_t funcBits = 0;
+    /** blas::hostTuneFingerprint of the active tuning artifact (0 when
+     *  tuning is inactive): activating or swapping an artifact misses
+     *  instead of serving plans resolved against the old entries. */
+    std::uint64_t tuneFingerprint = 0;
+
     bool operator==(const PlanKey &) const = default;
 };
 
 /** Build the cache key for one (config, options, device) triple. */
 PlanKey makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
                     std::uint64_t calibration_fingerprint);
+
+/** Key covering the functional-backend knobs too (GemmEngine plans
+ *  carry their resolved FunctionalGemmOptions; see GemmPlan::func). */
+PlanKey makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
+                    std::uint64_t calibration_fingerprint,
+                    const FunctionalGemmOptions &func,
+                    std::uint64_t tune_fingerprint);
 
 /** Stable hash functor over every PlanKey field. */
 struct PlanKeyHash

@@ -62,6 +62,13 @@ struct GemmPlan
 
     /** The kernel the simulator will execute. */
     sim::KernelProfile profile;
+
+    /** Functional-backend knobs with every auto (0) field resolved —
+     *  against the active tuning artifact when one is loaded
+     *  (blas/tune.hh), the built-in defaults otherwise. Verification
+     *  paths take their block sizes from here so a plan built once
+     *  keeps its configuration for its whole cached lifetime. */
+    FunctionalGemmOptions func;
 };
 
 /**

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Persistent block-size / thread autotuning for the fast
+ * functional-GEMM backend (docs/PERF.md, "Autotuning").
+ *
+ * The backend's FunctionalGemmOptions block sizes are pure speed knobs
+ * — every setting computes bit-identical results — but the optimum
+ * moves with the datatype combo, the SIMD micro-kernel tier, and the
+ * problem size (BENCH_pr5.json shows per-tier speedups swinging
+ * 1.4–2.5x by shape). This module makes the chase persistent:
+ *
+ *  - `tuneSearch` is the deterministic search driver `mc_perf --tune`
+ *    runs per (combo, tier, size bucket): coordinate descent over the
+ *    block/thread candidate lists, pruned by the top-down
+ *    classification (src/prof/topdown.hh) of the incumbent — a
+ *    backend-bound kernel never tries candidates that grow its cache
+ *    working set, a retiring one never tries candidates small enough
+ *    to be loop overhead. The measurement callback is injected, so
+ *    tests drive the search with a stub cost model.
+ *
+ *  - `TuningArtifact` is the persisted result: a JSON document
+ *    (src/common/json) written atomically (src/common/atomic_file),
+ *    guarded by a CRC32 over its payload like the journal-v2 records,
+ *    and keyed by a fingerprint of the host CPU-feature set and the
+ *    device calibration. A corrupted artifact loads as DataLoss; a
+ *    stale-fingerprint artifact is ignored with a stderr note.
+ *
+ *  - The process-wide *active* artifact feeds resolveFunctionalOptions
+ *    (blas/fast_gemm.hh): auto (0) option fields resolve to the tuned
+ *    entry for (combo, resolved tier, tuneBucket(n)). Activation comes
+ *    from the MC_TUNE environment variable (a path loads that
+ *    artifact; `off` disables tuning even against programmatic
+ *    activation; unset leaves tuning inactive) or from
+ *    setActiveTuningArtifact (mc_perf --tune-apply, tests). PlanCache
+ *    keys include the active fingerprint, so GemmEngine plans resolve
+ *    the artifact once per problem and cached plans never go stale.
+ */
+
+#ifndef MC_BLAS_TUNE_HH
+#define MC_BLAS_TUNE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blas/gemm_types.hh"
+#include "common/status.hh"
+#include "prof/topdown.hh"
+
+namespace mc {
+namespace blas {
+
+// ---- Keys and entries ----------------------------------------------------
+
+/** One tuned configuration: the searched FunctionalGemmOptions
+ *  fields. */
+struct TunedConfig
+{
+    int blockM = kDefaultBlockM;
+    int blockN = kDefaultBlockN;
+    int blockK = kDefaultBlockK;
+    int threads = 1;
+
+    bool operator==(const TunedConfig &) const = default;
+};
+
+/**
+ * Problem-size bucket of @p n: the power of two >= n, clamped to
+ * [256, 8192]. Tuned configurations are keyed per bucket so one
+ * calibration point covers the sizes that share its cache behaviour.
+ */
+std::size_t tuneBucket(std::size_t n);
+
+/** Artifact key: the (combo, tier, bucket) a configuration was tuned
+ *  for. The tier is always concrete (never Auto). */
+struct TuneKey
+{
+    GemmCombo combo = GemmCombo::Sgemm;
+    SimdTier tier = SimdTier::Scalar;
+    std::size_t nBucket = 0;
+
+    bool operator==(const TuneKey &) const = default;
+};
+
+struct TuneKeyHash
+{
+    std::size_t operator()(const TuneKey &key) const;
+};
+
+/** One persisted artifact entry. */
+struct TuneEntry
+{
+    TunedConfig config;
+    /** default-config seconds / tuned seconds, measured at tune time. */
+    double speedupVsDefault = 0.0;
+    /** Top-down class of the winning configuration ("backend", ...). */
+    std::string bound;
+    /** The representative N the bucket was tuned at. */
+    std::size_t tunedN = 0;
+};
+
+// ---- The artifact --------------------------------------------------------
+
+/** Artifact format tag; bump when the JSON layout changes. */
+inline constexpr const char *kTuneArtifactMagic = "mc-tune-v1";
+
+/**
+ * Fingerprint the tuned configurations are only valid for: the host
+ * CPU-feature set (the micro-kernel tiers), the device calibration
+ * (arch::defaultCdna2), and the artifact format version. An artifact
+ * whose fingerprint does not match the running host is stale and is
+ * ignored on activation.
+ */
+std::uint64_t hostTuneFingerprint();
+
+/** In-memory tuning artifact: entries plus provenance. */
+struct TuningArtifact
+{
+    std::uint64_t fingerprint = 0;
+    /** Free-form provenance ("mc_perf --tune", a test name, ...). */
+    std::string createdBy;
+    std::unordered_map<TuneKey, TuneEntry, TuneKeyHash> entries;
+
+    /** Entry for (combo, tier, bucket of n); nullptr when absent. */
+    const TuneEntry *lookup(GemmCombo combo, SimdTier tier,
+                            std::size_t n) const;
+
+    /** Serialize to the persisted JSON form (payload + CRC32 guard). */
+    std::string serialize() const;
+};
+
+/** Atomically persist @p artifact at @p path (temp + fsync + rename). */
+Status saveTuningArtifact(const TuningArtifact &artifact,
+                          const std::string &path);
+
+/**
+ * Load an artifact. Unreadable file => NotFound; malformed JSON, a
+ * wrong magic, or a CRC32 mismatch => DataLoss naming the defect. A
+ * stale fingerprint is NOT an error here — activation decides that —
+ * so tooling can still inspect artifacts from other hosts.
+ */
+Result<TuningArtifact> loadTuningArtifact(const std::string &path);
+
+// ---- Process-wide activation ---------------------------------------------
+
+/**
+ * Activate @p artifact process-wide: subsequent auto-field resolutions
+ * consult it. Fails with FailedPrecondition (and activates nothing)
+ * when the fingerprint does not match hostTuneFingerprint(), and with
+ * Unavailable when MC_TUNE=off pins tuning off. Pass nullopt to
+ * deactivate. Not for concurrent use with in-flight GEMMs.
+ */
+Status setActiveTuningArtifact(std::optional<TuningArtifact> artifact);
+
+/** True when an artifact is active (loaded, fingerprint-valid, and not
+ *  vetoed by MC_TUNE=off). */
+bool tuningActive();
+
+/** The active artifact's entry for (combo, tier, bucket of n);
+ *  nullptr when tuning is inactive or the key is missing. */
+const TuneEntry *activeTuneEntry(GemmCombo combo, SimdTier tier,
+                                 std::size_t n);
+
+/**
+ * The `tuned=` completion-line label: the active artifact's
+ * fingerprint as 16 hex digits, or "none". Benches report it next to
+ * `simd=` so sweep artifacts are attributable to the block
+ * configuration that produced them.
+ */
+std::string activeTuningLabel();
+
+/**
+ * Re-read MC_TUNE and rebuild the activation state (first use does
+ * this implicitly). MC_TUNE=<path> loads and activates that artifact —
+ * a corrupted or stale file warns once on stderr and leaves tuning
+ * inactive rather than failing the run; MC_TUNE=off (or empty/unset)
+ * leaves tuning inactive. Exposed for tests and tools that mutate the
+ * environment.
+ */
+void reloadTuningFromEnv();
+
+/**
+ * Resolve every auto field of @p opts for a GEMM of combo @p combo and
+ * edge @p n: explicit (> 0) block fields and non-zero thread counts
+ * pass through untouched; auto (0) fields take the active artifact's
+ * entry for (combo, resolved SIMD tier, tuneBucket(n)) when one is
+ * loaded, the kDefaultBlock* constants otherwise. Also declared by
+ * blas/fast_gemm.hh, whose entry points call it per dispatch.
+ */
+FunctionalGemmOptions
+resolveFunctionalOptions(const FunctionalGemmOptions &opts, GemmCombo combo,
+                         std::size_t n);
+
+// ---- The search ----------------------------------------------------------
+
+/** One candidate measurement: wall seconds plus its top-down class. */
+struct TuneMeasurement
+{
+    double seconds = 0.0;
+    prof::TopdownClass bound = prof::TopdownClass::Unknown;
+};
+
+/** Candidate lists of the coordinate-descent search. Every list is
+ *  tried in order; the incumbent's value is skipped. */
+struct TuneSearchSpace
+{
+    std::vector<int> blockM = {16, 32, 64, 128, 256};
+    std::vector<int> blockN = {64, 128, 256, 512};
+    std::vector<int> blockK = {128, 256, 512, 1024};
+    std::vector<int> threads = {1};
+    /** Accumulator element size, for the working-set pruning model. */
+    std::size_t accBytes = sizeof(float);
+    /** Wall-clock measurement budget; candidates beyond it are skipped
+     *  (the incumbent from the measurements taken so far wins). */
+    double budgetSec = 30.0;
+    /** Relative improvement a candidate must show to displace the
+     *  incumbent (guards against timer noise flapping the result). */
+    double minGain = 0.02;
+};
+
+/** Search outcome plus its audit trail. */
+struct TuneSearchResult
+{
+    TunedConfig best;
+    double bestSeconds = 0.0;
+    double defaultSeconds = 0.0;
+    /** defaultSeconds / bestSeconds (>= 1 unless the budget cut the
+     *  default remeasurement short). */
+    double speedup = 1.0;
+    int measured = 0;
+    int pruned = 0;
+    bool budgetExhausted = false;
+    prof::TopdownClass defaultBound = prof::TopdownClass::Unknown;
+    prof::TopdownClass bestBound = prof::TopdownClass::Unknown;
+};
+
+/**
+ * Deterministic coordinate descent: measure the default configuration,
+ * then walk the dimensions in the fixed order blockK, blockN, blockM,
+ * threads, adopting any candidate that beats the incumbent by
+ * minGain. The incumbent's top-down class prunes candidates before
+ * they are measured:
+ *
+ *  - backend-bound: candidates whose cache working set
+ *    ((blockM + blockK) * blockN * accBytes) exceeds the incumbent's
+ *    are pruned — a kernel starved by the memory hierarchy will not
+ *    be saved by a larger footprint;
+ *  - retiring: candidates with less than half the incumbent's working
+ *    set are pruned — the pipeline is already fed, smaller blocks only
+ *    add loop overhead.
+ *
+ * Given the same measurement function the search is fully
+ * deterministic (the budget is accounted from the *measured* seconds,
+ * not a live clock).
+ */
+TuneSearchResult
+tuneSearch(const std::function<TuneMeasurement(const TunedConfig &)> &measure,
+           const TuneSearchSpace &space);
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_TUNE_HH

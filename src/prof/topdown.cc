@@ -1,0 +1,186 @@
+#include "topdown.hh"
+
+#include <chrono>
+#include <cstring>
+
+#if defined(__linux__) && __has_include(<linux/perf_event.h>)
+#define MC_TOPDOWN_HAVE_PERF_EVENT 1
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace mc {
+namespace prof {
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+#ifdef MC_TOPDOWN_HAVE_PERF_EVENT
+
+/** The counter set, in the order TopdownSample stores them. */
+constexpr std::uint32_t kEventIds[4] = {
+    PERF_COUNT_HW_CPU_CYCLES,
+    PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES,
+    PERF_COUNT_HW_CACHE_MISSES,
+};
+
+int
+openCounter(std::uint32_t config, int group_fd)
+{
+    perf_event_attr attr;
+    std::memset(&attr, 0, sizeof(attr));
+    attr.type = PERF_TYPE_HARDWARE;
+    attr.size = sizeof(attr);
+    attr.config = config;
+    attr.disabled = group_fd == -1 ? 1 : 0;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    return static_cast<int>(syscall(__NR_perf_event_open, &attr, 0, -1,
+                                    group_fd, 0));
+}
+
+#endif // MC_TOPDOWN_HAVE_PERF_EVENT
+
+} // namespace
+
+const char *
+topdownClassName(TopdownClass cls)
+{
+    switch (cls) {
+      case TopdownClass::Unknown: return "unknown";
+      case TopdownClass::FrontendBound: return "frontend";
+      case TopdownClass::BackendBound: return "backend";
+      case TopdownClass::Retiring: return "retiring";
+    }
+    return "unknown";
+}
+
+TopdownClass
+classifySample(const TopdownSample &sample, const TopdownHints &hints)
+{
+    if (sample.hardware && sample.cycles > 0) {
+        // Slot heuristics over the portable counter set. The issue
+        // width of every CPU this runs on is >= 4, so IPC >= 2 means
+        // the pipeline spends most slots retiring real work; below
+        // that the miss ratio arbitrates between a starved backend
+        // and a starved frontend.
+        const double ipc = sample.ipc();
+        const double misses = sample.missRatio();
+        if (ipc >= 2.0)
+            return TopdownClass::Retiring;
+        if (misses >= 0.05 || sample.cacheRefs == 0)
+            return TopdownClass::BackendBound;
+        if (ipc >= 1.0)
+            return TopdownClass::Retiring;
+        return TopdownClass::FrontendBound;
+    }
+    // Wallclock fallback: derived arithmetic-intensity model.
+    if (sample.seconds <= 0.0 ||
+        (hints.flops <= 0.0 && hints.bytes <= 0.0))
+        return TopdownClass::Unknown;
+    const double flops_rate = hints.flops / sample.seconds;
+    const double bytes_rate = hints.bytes / sample.seconds;
+    if (hints.bytes > 0.0 && bytes_rate >= 0.5 * hints.peakBytesPerSec)
+        return TopdownClass::BackendBound;
+    if (hints.flops > 0.0 && flops_rate >= 0.5 * hints.peakFlopsPerSec)
+        return TopdownClass::Retiring;
+    // Neither envelope is approached: the region is stalling on
+    // something the two rates cannot see. For cache-blocked numeric
+    // kernels that is almost always the memory hierarchy.
+    return TopdownClass::BackendBound;
+}
+
+TopdownCounters::TopdownCounters()
+{
+#ifdef MC_TOPDOWN_HAVE_PERF_EVENT
+    _fds[0] = openCounter(kEventIds[0], -1);
+    if (_fds[0] < 0)
+        return;
+    bool ok = true;
+    for (int i = 1; i < kEvents; ++i) {
+        _fds[i] = openCounter(kEventIds[i], _fds[0]);
+        if (_fds[i] < 0) {
+            ok = false;
+            break;
+        }
+    }
+    if (!ok) {
+        for (int i = 0; i < kEvents; ++i) {
+            if (_fds[i] >= 0)
+                close(_fds[i]);
+            _fds[i] = -1;
+        }
+        return;
+    }
+    _hardware = true;
+#endif
+}
+
+TopdownCounters::~TopdownCounters()
+{
+#ifdef MC_TOPDOWN_HAVE_PERF_EVENT
+    for (int i = 0; i < kEvents; ++i)
+        if (_fds[i] >= 0)
+            close(_fds[i]);
+#endif
+}
+
+TopdownSample
+TopdownCounters::measure(const std::function<void()> &fn)
+{
+    TopdownSample sample;
+#ifdef MC_TOPDOWN_HAVE_PERF_EVENT
+    if (_hardware) {
+        ioctl(_fds[0], PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+        ioctl(_fds[0], PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+        const double t0 = nowSeconds();
+        fn();
+        sample.seconds = nowSeconds() - t0;
+        ioctl(_fds[0], PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+        std::uint64_t values[kEvents] = {0, 0, 0, 0};
+        bool ok = true;
+        for (int i = 0; i < kEvents; ++i) {
+            if (read(_fds[i], &values[i], sizeof(values[i])) !=
+                static_cast<ssize_t>(sizeof(values[i]))) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            sample.hardware = true;
+            sample.cycles = values[0];
+            sample.instructions = values[1];
+            sample.cacheRefs = values[2];
+            sample.cacheMisses = values[3];
+        }
+        return sample;
+    }
+#endif
+    const double t0 = nowSeconds();
+    fn();
+    sample.seconds = nowSeconds() - t0;
+    return sample;
+}
+
+const char *
+topdownBackendName()
+{
+    static const bool hardware = [] {
+        TopdownCounters probe;
+        return probe.hardwareAvailable();
+    }();
+    return hardware ? "perf_event" : "wallclock";
+}
+
+} // namespace prof
+} // namespace mc

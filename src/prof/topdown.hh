@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Lightweight top-down profiling of *host* kernels, in the shape of
+ * the Arm-Total-Performance / Intel top-down methodology: classify a
+ * measured region as frontend-bound, backend-bound, or retiring so
+ * tooling (the functional-GEMM autotuner, docs/PERF.md "Autotuning")
+ * can prune its search instead of brute-forcing it.
+ *
+ * Two backends, probed once per process:
+ *
+ *  - perf_event: cycles / instructions / cache-references /
+ *    cache-misses via perf_event_open(2) where the kernel and
+ *    container policy allow it (perf_event_paranoid, seccomp). The
+ *    classification then follows the standard slot heuristics: high
+ *    IPC means the pipeline is retiring useful work; low IPC with a
+ *    high cache-miss ratio means the backend is starved by the memory
+ *    hierarchy; low IPC with clean caches points at the frontend.
+ *
+ *  - wallclock: when the counters are unavailable (the common case in
+ *    CI containers), only wall time is measured and classification
+ *    falls back to a derived arithmetic-intensity model: the caller
+ *    supplies the region's algorithmic FLOPs and an estimate of the
+ *    bytes it streams, and the achieved FLOP/s / byte/s rates are
+ *    compared against rough host envelopes. Coarse by design — it only
+ *    has to steer a tuner, not grade a microarchitecture.
+ *
+ * The profiling layer in src/prof historically models the *simulated*
+ * GPU counters (profiler.hh); this file is its host-side sibling.
+ */
+
+#ifndef MC_PROF_TOPDOWN_HH
+#define MC_PROF_TOPDOWN_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace mc {
+namespace prof {
+
+/** Top-level buckets of the top-down methodology (Bad Speculation is
+ *  folded into Unknown: the portable counter set cannot split it). */
+enum class TopdownClass
+{
+    Unknown,
+    FrontendBound,
+    BackendBound,
+    Retiring,
+};
+
+/** Lower-case bucket name ("unknown", "frontend", "backend",
+ *  "retiring"). */
+const char *topdownClassName(TopdownClass cls);
+
+/** One measured region. Counter fields are zero unless @c hardware. */
+struct TopdownSample
+{
+    /** Wall-clock duration (always measured). */
+    double seconds = 0.0;
+    /** True when the counter fields below came from perf_event. */
+    bool hardware = false;
+
+    std::uint64_t cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cacheRefs = 0;
+    std::uint64_t cacheMisses = 0;
+
+    /** Instructions per cycle (0 when cycles were not measured). */
+    double ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) /
+                            static_cast<double>(cycles)
+                      : 0.0;
+    }
+
+    /** cache-misses / cache-references (0 when not measured). */
+    double missRatio() const
+    {
+        return cacheRefs ? static_cast<double>(cacheMisses) /
+                               static_cast<double>(cacheRefs)
+                         : 0.0;
+    }
+};
+
+/**
+ * Caller-supplied knowledge about the measured region, for the
+ * wallclock fallback (and to sanity-bound the counter heuristics).
+ * All fields optional; zeros mean "unknown".
+ */
+struct TopdownHints
+{
+    /** Algorithmic floating-point operations of the region. */
+    double flops = 0.0;
+    /** Estimated bytes moved through the memory hierarchy. */
+    double bytes = 0.0;
+    /**
+     * Envelope rates for the fallback classification: a region
+     * achieving more than half @c peakFlopsPerSec is called retiring;
+     * one streaming more than half @c peakBytesPerSec is called
+     * backend-bound. The defaults are deliberately conservative
+     * single-core host figures; tuners can substitute calibrated ones.
+     */
+    double peakFlopsPerSec = 8e9;
+    double peakBytesPerSec = 16e9;
+};
+
+/**
+ * Classify one sample. With hardware counters the IPC / miss-ratio
+ * heuristics decide; otherwise the arithmetic-intensity fallback runs
+ * off the hints (Unknown when the hints are empty too).
+ */
+TopdownClass classifySample(const TopdownSample &sample,
+                            const TopdownHints &hints = TopdownHints());
+
+/**
+ * Counter session over the calling thread. Construction probes
+ * perf_event_open once; when the probe fails (unsupported kernel,
+ * perf_event_paranoid, seccomp) every measurement transparently falls
+ * back to wall clock only. Not thread-safe: one collector measures
+ * one thread's regions.
+ */
+class TopdownCounters
+{
+  public:
+    TopdownCounters();
+    ~TopdownCounters();
+
+    TopdownCounters(const TopdownCounters &) = delete;
+    TopdownCounters &operator=(const TopdownCounters &) = delete;
+
+    /** True when perf_event counters are live for this session. */
+    bool hardwareAvailable() const { return _hardware; }
+
+    /** Run @p fn and return its measured sample. */
+    TopdownSample measure(const std::function<void()> &fn);
+
+  private:
+    static constexpr int kEvents = 4;
+    int _fds[kEvents] = {-1, -1, -1, -1};
+    bool _hardware = false;
+};
+
+/**
+ * Name of the backend a fresh TopdownCounters session would use on
+ * this host: "perf_event" or "wallclock". Probed once and cached.
+ */
+const char *topdownBackendName();
+
+} // namespace prof
+} // namespace mc
+
+#endif // MC_PROF_TOPDOWN_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The lightweight top-down layer (prof/topdown.hh): classification
+ * heuristics over synthetic hardware samples, the wallclock /
+ * arithmetic-intensity fallback, and the RAII counter group measuring
+ * real work on whatever backend this container exposes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "prof/topdown.hh"
+
+namespace mc {
+namespace prof {
+namespace {
+
+TopdownSample
+hardwareSample(std::uint64_t cycles, std::uint64_t instructions,
+               std::uint64_t refs, std::uint64_t misses)
+{
+    TopdownSample sample;
+    sample.seconds = 0.01;
+    sample.hardware = true;
+    sample.cycles = cycles;
+    sample.instructions = instructions;
+    sample.cacheRefs = refs;
+    sample.cacheMisses = misses;
+    return sample;
+}
+
+TEST(TopdownClassify, HardwareHeuristics)
+{
+    // High IPC: the pipeline is retiring real work.
+    EXPECT_EQ(classifySample(hardwareSample(1000, 2500, 100, 1), {}),
+              TopdownClass::Retiring);
+    // Low IPC with a hot miss ratio: starved by the memory hierarchy.
+    EXPECT_EQ(classifySample(hardwareSample(1000, 500, 100, 20), {}),
+              TopdownClass::BackendBound);
+    // Moderate IPC, cold caches: still retiring.
+    EXPECT_EQ(classifySample(hardwareSample(1000, 1500, 100, 1), {}),
+              TopdownClass::Retiring);
+    // Low IPC, caches fine: the frontend is not feeding the core.
+    EXPECT_EQ(classifySample(hardwareSample(1000, 500, 100, 1), {}),
+              TopdownClass::FrontendBound);
+    // No cycles recorded => not a usable hardware sample; with no
+    // hints either, the class is unknown.
+    EXPECT_EQ(classifySample(hardwareSample(0, 0, 0, 0), {}),
+              TopdownClass::Unknown);
+}
+
+TEST(TopdownClassify, WallclockFallback)
+{
+    TopdownSample sample;
+    sample.seconds = 1.0;
+    sample.hardware = false;
+
+    // No hints: nothing to derive a class from.
+    EXPECT_EQ(classifySample(sample, {}), TopdownClass::Unknown);
+
+    TopdownHints hints;
+    hints.peakFlopsPerSec = 10.0e9;
+    hints.peakBytesPerSec = 10.0e9;
+
+    // Near the bandwidth envelope: backend-bound.
+    hints.flops = 1.0e9;
+    hints.bytes = 8.0e9;
+    EXPECT_EQ(classifySample(sample, hints), TopdownClass::BackendBound);
+
+    // Near the compute envelope: retiring.
+    hints.flops = 8.0e9;
+    hints.bytes = 1.0e9;
+    EXPECT_EQ(classifySample(sample, hints), TopdownClass::Retiring);
+
+    // Far from both envelopes: a cache-blocked numeric kernel stalling
+    // on something the two rates cannot see — call it backend.
+    hints.flops = 1.0e9;
+    hints.bytes = 1.0e9;
+    EXPECT_EQ(classifySample(sample, hints), TopdownClass::BackendBound);
+}
+
+TEST(TopdownClassName, CoversEveryClass)
+{
+    EXPECT_STREQ(topdownClassName(TopdownClass::Unknown), "unknown");
+    EXPECT_STREQ(topdownClassName(TopdownClass::FrontendBound),
+                 "frontend");
+    EXPECT_STREQ(topdownClassName(TopdownClass::BackendBound), "backend");
+    EXPECT_STREQ(topdownClassName(TopdownClass::Retiring), "retiring");
+}
+
+TEST(TopdownCountersTest, MeasuresRealWork)
+{
+    TopdownCounters counters;
+    volatile double sink = 0.0;
+    const TopdownSample sample = counters.measure([&] {
+        for (int i = 0; i < 2000000; ++i)
+            sink = sink + 1.0e-9;
+    });
+    EXPECT_GT(sample.seconds, 0.0);
+    // hardware samples only appear when the perf_event group opened.
+    EXPECT_EQ(sample.hardware, counters.hardwareAvailable());
+    if (sample.hardware) {
+        EXPECT_GT(sample.cycles, 0u);
+        EXPECT_GT(sample.instructions, 0u);
+    }
+}
+
+TEST(TopdownCountersTest, BackendNameMatchesAvailability)
+{
+    TopdownCounters counters;
+    const std::string name = topdownBackendName();
+    EXPECT_TRUE(name == "perf_event" || name == "wallclock");
+    EXPECT_EQ(name == "perf_event", counters.hardwareAvailable());
+}
+
+} // namespace
+} // namespace prof
+} // namespace mc

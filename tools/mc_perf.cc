@@ -24,6 +24,17 @@
  * The --check mode turns the tool into the `perf`/`simd` ctest smoke:
  * it fails unless every SIMD tier clears --min-speedup against the
  * scalar tier (and the scalar tier clears it against legacy).
+ *
+ * --tune switches the tool into the autotuner (docs/PERF.md,
+ * "Autotuning"): per (combo, SIMD tier, size bucket) it coordinate-
+ * descends over the backend's block/thread candidates — measurements
+ * classified by the top-down profiling layer (src/prof/topdown.hh) so
+ * the search prunes hopeless candidates — and persists the winners as
+ * a CRC32-guarded artifact at --tune-out. Every candidate's output is
+ * byte-compared against the scalar-tier anchor before its timing
+ * counts. --tune-apply=<artifact> activates a persisted artifact for
+ * the normal timing sweep, which then times default blocks vs tuned
+ * blocks per row and reports tuned-vs-default geomeans.
  */
 
 #include <chrono>
@@ -39,6 +50,8 @@
 #include "blas/functional.hh"
 #include "blas/gemm_types.hh"
 #include "blas/simd_dispatch.hh"
+#include "blas/tune.hh"
+#include "prof/topdown.hh"
 #include "common/atomic_file.hh"
 #include "common/cli.hh"
 #include "common/json.hh"
@@ -61,6 +74,16 @@ struct TierTiming
     double speedupLegacy = 0.0;
     /** scalar_tier_seconds (same thread count) / seconds. */
     double speedupVsScalarTier = 0.0;
+
+    // Tuned-vs-default comparison (--tune-apply / MC_TUNE=<artifact>).
+    /** The blocks the auto fields resolved to (artifact or defaults). */
+    blas::TunedConfig resolvedConfig;
+    /** True when the artifact supplied non-default blocks. */
+    bool tunedApplied = false;
+    /** Seconds with the tuned blocks (0 when tuning is inactive). */
+    double tunedSeconds = 0.0;
+    /** default-blocks seconds / tuned seconds. */
+    double tunedSpeedup = 0.0;
 };
 
 struct CaseResult
@@ -142,11 +165,18 @@ runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
     std::map<int, double> scalar_tier_seconds;
 
     Matrix<TCD> d_fast(n, n);
+    const bool tuned_compare = blas::tuningActive();
     for (blas::SimdTier tier : tiers) {
         for (int t : threads) {
+            // Pin the built-in blocks explicitly: with an artifact
+            // active, auto (0) fields would resolve to the tuned
+            // blocks, and this timing is the *default* baseline.
             blas::FunctionalGemmOptions opts;
             opts.threads = t;
             opts.simd = tier;
+            opts.blockM = blas::kDefaultBlockM;
+            opts.blockN = blas::kDefaultBlockN;
+            opts.blockK = blas::kDefaultBlockK;
             double best = std::numeric_limits<double>::max();
             for (int r = 0; r < reps; ++r) {
                 const double t0 = nowSeconds();
@@ -181,10 +211,167 @@ runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
             timing.speedupVsScalarTier =
                 base != scalar_tier_seconds.end() ? base->second / best
                                                   : 0.0;
+
+            // What the auto fields resolve to right now (the artifact
+            // entry when one covers this key, the defaults otherwise).
+            blas::FunctionalGemmOptions auto_opts;
+            auto_opts.threads = t;
+            auto_opts.simd = tier;
+            const blas::FunctionalGemmOptions resolved =
+                blas::resolveFunctionalOptions(auto_opts, combo, n);
+            timing.resolvedConfig = {resolved.blockM, resolved.blockN,
+                                     resolved.blockK, resolved.threads};
+            timing.tunedApplied =
+                tuned_compare &&
+                (resolved.blockM != blas::kDefaultBlockM ||
+                 resolved.blockN != blas::kDefaultBlockN ||
+                 resolved.blockK != blas::kDefaultBlockK);
+            if (timing.tunedApplied) {
+                double tuned_best = std::numeric_limits<double>::max();
+                for (int r = 0; r < reps; ++r) {
+                    const double t0 = nowSeconds();
+                    blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                        alpha, a, b, beta, c, d_fast, round_each_step,
+                        auto_opts);
+                    tuned_best = std::min(tuned_best, nowSeconds() - t0);
+                }
+                if (!bytesEqual(d_fast, d_anchor)) {
+                    mc_fatal("tuned blocks diverged from the scalar-tier "
+                             "anchor: ", blas::comboInfo(combo).name,
+                             " n=", n, " simd=", blas::simdTierName(tier),
+                             " threads=", t);
+                }
+                timing.tunedSeconds = tuned_best;
+                timing.tunedSpeedup =
+                    tuned_best > 0.0 ? best / tuned_best : 0.0;
+            } else if (tuned_compare) {
+                // The artifact resolves to the defaults here: the
+                // baseline measurement doubles as the tuned one.
+                timing.tunedSeconds = best;
+                timing.tunedSpeedup = 1.0;
+            }
             out.fast.push_back(timing);
         }
     }
     return out;
+}
+
+// ---- The autotuner (--tune) ----------------------------------------------
+
+/** One (combo, tier, bucket) search outcome, for the report. */
+struct TuneCaseResult
+{
+    blas::TuneKey key;
+    std::size_t tunedN = 0;
+    blas::TuneSearchResult search;
+};
+
+template <typename TCD, typename TAB, typename TAcc>
+TuneCaseResult
+tuneCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
+         blas::SimdTier tier, int reps, double budget_sec,
+         const std::vector<int> &thread_candidates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<TAB> a(n, n), b(n, n);
+    Matrix<TCD> c(n, n);
+    fillRandom(a, rng);
+    fillRandom(b, rng);
+    fillRandom(c, rng);
+    const double alpha = 1.25, beta = 0.5;
+
+    // The memcmp anchor: default blocks on the scalar tier. Every
+    // candidate configuration must reproduce these bytes exactly —
+    // the tuner refuses to persist a configuration it has not proven
+    // bit-identical.
+    Matrix<TCD> d_anchor(n, n), d_fast(n, n);
+    {
+        blas::FunctionalGemmOptions opts;
+        opts.blockM = blas::kDefaultBlockM;
+        opts.blockN = blas::kDefaultBlockN;
+        opts.blockK = blas::kDefaultBlockK;
+        opts.simd = blas::SimdTier::Scalar;
+        blas::fastReferenceGemm<TCD, TAB, TAcc>(
+            alpha, a, b, beta, c, d_anchor, round_each_step, opts);
+    }
+
+    prof::TopdownCounters counters;
+    prof::TopdownHints hints;
+    hints.flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                  static_cast<double>(n);
+    hints.bytes = static_cast<double>(n) * static_cast<double>(n) *
+                  static_cast<double>(2 * sizeof(TAB) + 2 * sizeof(TCD));
+
+    const auto measure = [&](const blas::TunedConfig &config) {
+        blas::FunctionalGemmOptions opts;
+        opts.threads = config.threads;
+        opts.blockM = config.blockM;
+        opts.blockN = config.blockN;
+        opts.blockK = config.blockK;
+        opts.simd = tier;
+        prof::TopdownSample best;
+        best.seconds = std::numeric_limits<double>::max();
+        for (int r = 0; r < reps; ++r) {
+            const prof::TopdownSample sample = counters.measure([&] {
+                blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                    alpha, a, b, beta, c, d_fast, round_each_step, opts);
+            });
+            if (sample.seconds < best.seconds)
+                best = sample;
+        }
+        if (!bytesEqual(d_fast, d_anchor)) {
+            mc_fatal("candidate blocks diverged from the scalar anchor: ",
+                     blas::comboInfo(combo).name, " n=", n,
+                     " simd=", blas::simdTierName(tier),
+                     " bm=", config.blockM, " bn=", config.blockN,
+                     " bk=", config.blockK, " threads=", config.threads);
+        }
+        blas::TuneMeasurement m;
+        m.seconds = best.seconds;
+        m.bound = prof::classifySample(best, hints);
+        return m;
+    };
+
+    blas::TuneSearchSpace space;
+    space.accBytes = sizeof(TAcc);
+    space.budgetSec = budget_sec;
+    space.threads = thread_candidates;
+
+    TuneCaseResult out;
+    out.key = blas::TuneKey{combo, tier, blas::tuneBucket(n)};
+    out.tunedN = n;
+    out.search = blas::tuneSearch(measure, space);
+    return out;
+}
+
+TuneCaseResult
+tuneCombo(blas::GemmCombo combo, std::size_t n, blas::SimdTier tier,
+          int reps, double budget_sec,
+          const std::vector<int> &thread_candidates, std::uint64_t seed)
+{
+    switch (combo) {
+      case blas::GemmCombo::Dgemm:
+        return tuneCase<double, double, double>(
+            combo, n, false, tier, reps, budget_sec, thread_candidates,
+            seed);
+      case blas::GemmCombo::Sgemm:
+        return tuneCase<float, float, float>(
+            combo, n, false, tier, reps, budget_sec, thread_candidates,
+            seed);
+      case blas::GemmCombo::Hgemm:
+        return tuneCase<fp::Half, fp::Half, float>(
+            combo, n, true, tier, reps, budget_sec, thread_candidates,
+            seed);
+      case blas::GemmCombo::Hhs:
+        return tuneCase<fp::Half, fp::Half, float>(
+            combo, n, false, tier, reps, budget_sec, thread_candidates,
+            seed);
+      case blas::GemmCombo::Hss:
+        return tuneCase<float, fp::Half, float>(
+            combo, n, false, tier, reps, budget_sec, thread_candidates,
+            seed);
+    }
+    mc_panic("unreachable combo in mc_perf --tune");
 }
 
 CaseResult
@@ -271,6 +458,22 @@ main(int argc, char **argv)
                 "smoke)");
     cli.addFlag("min-speedup", 1.0,
                 "with --check: required speedup ratio");
+    cli.addFlag("tune", false,
+                "autotune block sizes per (combo, tier, size bucket) and "
+                "persist the winners to --tune-out instead of running "
+                "the timing sweep");
+    cli.addFlag("tune-reps", static_cast<std::int64_t>(2),
+                "with --tune: measurements per candidate (best-of)");
+    cli.requireIntAtLeast("tune-reps", 1);
+    cli.addFlag("tune-budget-sec", 20.0,
+                "with --tune: measurement budget per (combo, tier, "
+                "bucket) search");
+    cli.requirePositiveDouble("tune-budget-sec");
+    cli.addFlag("tune-out", std::string("mc_tune.json"),
+                "with --tune: artifact output path");
+    cli.addFlag("tune-apply", std::string(),
+                "activate this tuning artifact for the timing sweep "
+                "(also honours the MC_TUNE environment variable)");
     cli.parse(argc, argv);
 
     std::vector<blas::GemmCombo> combos;
@@ -328,6 +531,139 @@ main(int argc, char **argv)
         static_cast<std::size_t>(cli.getInt("scalar-maxn"));
     const auto seed = static_cast<std::uint64_t>(cli.getInt("seed"));
 
+    const std::string apply_path = cli.getString("tune-apply");
+    if (!apply_path.empty()) {
+        Result<blas::TuningArtifact> loaded =
+            blas::loadTuningArtifact(apply_path);
+        if (!loaded.isOk()) {
+            std::fprintf(stderr, "[mc_perf] --tune-apply failed: %s\n",
+                         loaded.status().toString().c_str());
+            return exitCodeFor(loaded.status().code());
+        }
+        const Status activated =
+            blas::setActiveTuningArtifact(loaded.take());
+        if (!activated.isOk()) {
+            std::fprintf(stderr, "[mc_perf] --tune-apply failed: %s\n",
+                         activated.toString().c_str());
+            return exitCodeFor(activated.code());
+        }
+        std::fprintf(stderr, "[mc_perf] tuning artifact active: %s\n",
+                     blas::activeTuningLabel().c_str());
+    }
+
+    if (cli.getBool("tune")) {
+        const int tune_reps = static_cast<int>(cli.getInt("tune-reps"));
+        const double budget_sec = cli.getDouble("tune-budget-sec");
+        const std::string tune_out = cli.getString("tune-out");
+
+        // Thread fan-out candidates: serial always, plus the machine's
+        // full concurrency when it has more than one core.
+        std::vector<int> thread_candidates{1};
+        const int hw =
+            static_cast<int>(exec::ThreadPool::hardwareThreads());
+        if (hw > 1)
+            thread_candidates.push_back(hw);
+
+        blas::TuningArtifact artifact;
+        artifact.fingerprint = blas::hostTuneFingerprint();
+        artifact.createdBy = "mc_perf --tune";
+        std::vector<TuneCaseResult> tuned_cases;
+        for (blas::GemmCombo combo : combos) {
+            for (blas::SimdTier tier : tiers) {
+                for (std::size_t n : sizes) {
+                    const blas::TuneKey key{combo, tier,
+                                            blas::tuneBucket(n)};
+                    if (artifact.entries.count(key) > 0)
+                        continue; // this bucket is already tuned
+                    std::fprintf(stderr,
+                                 "[mc_perf] tune %s simd=%s n=%zu "
+                                 "(bucket %zu, backend %s)...\n",
+                                 blas::comboInfo(combo).name,
+                                 blas::simdTierName(tier), n, key.nBucket,
+                                 prof::topdownBackendName());
+                    TuneCaseResult result = tuneCombo(
+                        combo, n, tier, tune_reps, budget_sec,
+                        thread_candidates, seed);
+                    const blas::TuneSearchResult &s = result.search;
+                    std::printf(
+                        "tune %-6s simd=%-7s bucket=%-5zu "
+                        "best=%d/%d/%d t=%d speedup=%5.2fx bound=%s "
+                        "measured=%d pruned=%d%s\n",
+                        blas::comboInfo(combo).name,
+                        blas::simdTierName(tier), key.nBucket,
+                        s.best.blockM, s.best.blockN, s.best.blockK,
+                        s.best.threads, s.speedup,
+                        prof::topdownClassName(s.bestBound), s.measured,
+                        s.pruned,
+                        s.budgetExhausted ? " (budget exhausted)" : "");
+                    blas::TunedConfig def;
+                    if (!(s.best == def)) {
+                        blas::TuneEntry entry;
+                        entry.config = s.best;
+                        entry.speedupVsDefault = s.speedup;
+                        entry.bound = prof::topdownClassName(s.bestBound);
+                        entry.tunedN = result.tunedN;
+                        artifact.entries.emplace(key, std::move(entry));
+                    }
+                    tuned_cases.push_back(std::move(result));
+                }
+            }
+        }
+
+        const Status saved = blas::saveTuningArtifact(artifact, tune_out);
+        if (!saved.isOk()) {
+            std::fprintf(stderr, "[mc_perf] --tune-out commit failed: "
+                         "%s\n", saved.toString().c_str());
+            return exitCodeFor(ErrorCode::DataLoss);
+        }
+        std::printf("tune: %zu entries -> %s (fingerprint %016llx, "
+                    "profiling backend %s)\n",
+                    artifact.entries.size(), tune_out.c_str(),
+                    static_cast<unsigned long long>(artifact.fingerprint),
+                    prof::topdownBackendName());
+
+        const std::string out_path = cli.getString("out");
+        if (!out_path.empty()) {
+            JsonValue report = JsonValue::object();
+            report.set("bench", "mc_perf --tune");
+            report.set("host_threads",
+                       static_cast<std::int64_t>(
+                           exec::ThreadPool::hardwareThreads()));
+            report.set("profiling_backend", prof::topdownBackendName());
+            report.set("artifact", tune_out);
+            JsonValue rows = JsonValue::array();
+            for (const TuneCaseResult &t : tuned_cases) {
+                JsonValue row = JsonValue::object();
+                row.set("combo", blas::comboInfo(t.key.combo).name);
+                row.set("simd", blas::simdTierName(t.key.tier));
+                row.set("n_bucket",
+                        static_cast<std::int64_t>(t.key.nBucket));
+                row.set("tuned_n", static_cast<std::int64_t>(t.tunedN));
+                row.set("block_m", t.search.best.blockM);
+                row.set("block_n", t.search.best.blockN);
+                row.set("block_k", t.search.best.blockK);
+                row.set("threads", t.search.best.threads);
+                row.set("speedup_vs_default", t.search.speedup);
+                row.set("bound",
+                        prof::topdownClassName(t.search.bestBound));
+                row.set("measured", t.search.measured);
+                row.set("pruned", t.search.pruned);
+                row.set("budget_exhausted", t.search.budgetExhausted);
+                rows.append(std::move(row));
+            }
+            report.set("searches", std::move(rows));
+            AtomicFileWriter writer(out_path);
+            writer.stream() << report.serialize() << "\n";
+            const Status committed = writer.commit();
+            if (!committed.isOk()) {
+                std::fprintf(stderr, "[mc_perf] --out commit failed: "
+                             "%s\n", committed.toString().c_str());
+                return exitCodeFor(ErrorCode::DataLoss);
+            }
+        }
+        return exitCodeFor(ErrorCode::Ok);
+    }
+
     std::vector<CaseResult> results;
     for (blas::GemmCombo combo : combos) {
         for (std::size_t n : sizes) {
@@ -374,6 +710,7 @@ main(int argc, char **argv)
     }
     report.set("best_tier",
                blas::simdTierName(blas::bestSimdTier()));
+    report.set("tuned", blas::activeTuningLabel());
 
     JsonValue cases = JsonValue::array();
     bool check_ok = true;
@@ -383,11 +720,20 @@ main(int argc, char **argv)
     std::map<blas::SimdTier, std::vector<double>> tier_ratios;
     std::map<blas::SimdTier, std::map<blas::GemmCombo,
                                       std::vector<double>>> combo_ratios;
+    // Tuned-vs-default ratios over N >= 1024 (rows where the artifact
+    // actually supplied non-default blocks).
+    std::map<blas::SimdTier, std::vector<double>> tuned_ratios;
+    std::map<blas::SimdTier, std::map<blas::GemmCombo,
+                                      std::vector<double>>>
+        tuned_combo_ratios;
     for (const CaseResult &r : results) {
         JsonValue entry = JsonValue::object();
         entry.set("combo", blas::comboInfo(r.combo).name);
         entry.set("n", static_cast<std::int64_t>(r.n));
         entry.set("round_each_step", r.roundEachStep);
+        entry.set("host_threads",
+                  static_cast<std::int64_t>(
+                      exec::ThreadPool::hardwareThreads()));
         if (r.scalarSeconds > 0.0)
             entry.set("legacy_scalar_sec", r.scalarSeconds);
         JsonValue timings = JsonValue::array();
@@ -401,6 +747,16 @@ main(int argc, char **argv)
             if (t.speedupVsScalarTier > 0.0 &&
                 t.tier != blas::SimdTier::Scalar)
                 jt.set("speedup_vs_scalar_tier", t.speedupVsScalarTier);
+            // The configuration this row resolved to, and — when an
+            // artifact is active — the tuned-vs-default comparison.
+            jt.set("block_m", t.resolvedConfig.blockM);
+            jt.set("block_n", t.resolvedConfig.blockN);
+            jt.set("block_k", t.resolvedConfig.blockK);
+            jt.set("tuned", t.tunedApplied);
+            if (t.tunedSeconds > 0.0) {
+                jt.set("tuned_sec", t.tunedSeconds);
+                jt.set("speedup_tuned_vs_default", t.tunedSpeedup);
+            }
             timings.append(std::move(jt));
 
             std::printf("%-6s n=%-5zu simd=%-7s threads=%-2d "
@@ -414,7 +770,18 @@ main(int argc, char **argv)
                             t.speedupVsScalarTier);
             if (t.speedupLegacy > 0.0)
                 std::printf("  vs_legacy=%6.2fx", t.speedupLegacy);
+            if (t.tunedApplied)
+                std::printf("  tuned=%6.2fx(%d/%d/%d)", t.tunedSpeedup,
+                            t.resolvedConfig.blockM,
+                            t.resolvedConfig.blockN,
+                            t.resolvedConfig.blockK);
             std::printf("\n");
+
+            if (t.tunedApplied && t.tunedSpeedup > 0.0 && r.n >= 1024) {
+                tuned_ratios[t.tier].push_back(t.tunedSpeedup);
+                tuned_combo_ratios[t.tier][r.combo].push_back(
+                    t.tunedSpeedup);
+            }
 
             if (t.tier == blas::SimdTier::Scalar) {
                 // The scalar tier is checked against the legacy loops:
@@ -448,6 +815,22 @@ main(int argc, char **argv)
         geo.set(blas::simdTierName(tier), std::move(jt));
     }
     report.set("geomean_speedup_vs_scalar_tier_n1024", std::move(geo));
+
+    if (!tuned_ratios.empty()) {
+        JsonValue tuned_geo = JsonValue::object();
+        for (const auto &[tier, ratios] : tuned_ratios) {
+            JsonValue jt = JsonValue::object();
+            jt.set("overall", geomean(ratios));
+            for (const auto &[combo, cr] : tuned_combo_ratios[tier])
+                jt.set(blas::comboInfo(combo).name, geomean(cr));
+            std::printf("geomean(n>=1024) simd=%-7s "
+                        "tuned_vs_default=%6.2fx\n",
+                        blas::simdTierName(tier), geomean(ratios));
+            tuned_geo.set(blas::simdTierName(tier), std::move(jt));
+        }
+        report.set("geomean_tuned_vs_default_n1024",
+                   std::move(tuned_geo));
+    }
 
     const std::string out_path = cli.getString("out");
     if (!out_path.empty()) {
