@@ -84,8 +84,12 @@ repeatMeasureResilient(const std::function<Result<TimedSample>(int)> &sample,
     for (int rep = 0; rep < opts.repetitions; ++rep) {
         double backoff_sec = 0.0;
         int attempts = 0;
-        const Result<TimedSample> result = retryCall(
-            opts.retry,
+        // Budget-bounded: a deadline that expires *between* retries
+        // returns DeadlineExceeded right there instead of charging a
+        // backoff that sleeps past the deadline and then reporting the
+        // underlying transient error.
+        const Result<TimedSample> result = retryCallWithin(
+            opts.retry, opts.deadlineSec - elapsed_sec,
             [&] {
                 ++attempts;
                 return sample(rep);
@@ -322,6 +326,16 @@ BenchOutput::finish(const std::string &bench_name, ErrorCode code)
 int
 finishBench(const std::string &bench_name, ErrorCode code)
 {
+    // With SIGPIPE ignored (CliParser::parse), a reader that closed
+    // early leaves stdout in an error state instead of killing the
+    // process with signal 13. A bench whose results never reached the
+    // consumer did not complete — classify it Unavailable (retriable:
+    // the next supervisor attempt gets a fresh pipe).
+    std::fflush(stdout);
+    if (code == ErrorCode::Ok &&
+        (std::ferror(stdout) || !std::cout.good())) {
+        code = ErrorCode::Unavailable;
+    }
     const int exit_status = exitCodeFor(code);
     // To stderr: stdout carries only rendered results and must stay
     // byte-comparable across --jobs values and resume. The supervisor

@@ -1,0 +1,186 @@
+# End-to-end chaos gate for the mc_serve daemon, run as a ctest entry
+# (see tools/CMakeLists.txt). One daemon with worker isolation and
+# chaos enabled is driven through the full degradation ladder:
+#
+#   1. a probe request at idle is captured as the reference bytes;
+#   2. chaos requests (kill9, segv, exit3, hang) each degrade to their
+#      documented ErrorCode while the daemon keeps answering pings;
+#   3. a pipelined overload burst is replayed twice and must shed the
+#      same request with the same error both times (deterministic
+#      earliest-deadline shedding);
+#   4. the probe is replayed *under load* and must answer byte-identical
+#      to the idle reference;
+#   5. a shutdown request drains the daemon, which exits 0 and removes
+#      its socket.
+#
+# Inputs: -DMC_SERVE=<path> -DMC_CLIENT=<path> -DWORK_DIR=<dir>
+
+foreach(var MC_SERVE MC_CLIENT WORK_DIR)
+    if(NOT DEFINED ${var})
+        message(FATAL_ERROR "missing -D${var}=")
+    endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# Unix sockets cap sun_path around 108 bytes; build trees can nest
+# deep, so the socket lives in /tmp and only logs go to WORK_DIR.
+string(RANDOM LENGTH 8 ALPHABET 0123456789abcdef tag)
+set(sock "/tmp/mc_serve_chaos_${tag}.sock")
+set(ready "${WORK_DIR}/ready")
+
+# --- start the daemon, backgrounded, and wait for the ready file -----------
+
+execute_process(
+    COMMAND sh -c "'${MC_SERVE}' --socket '${sock}' --slots 1 \
+--queue-depth 4 --isolate faulted --allow-chaos \
+--worker-deadline-sec 1 --worker-grace-sec 0.2 \
+--ready-file '${ready}' > '${WORK_DIR}/daemon.log' 2>&1 &"
+    RESULT_VARIABLE launch_result)
+if(NOT launch_result EQUAL 0)
+    message(FATAL_ERROR "cannot launch the daemon: ${launch_result}")
+endif()
+
+set(up FALSE)
+foreach(attempt RANGE 100)
+    if(EXISTS "${ready}")
+        set(up TRUE)
+        break()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT up)
+    file(READ "${WORK_DIR}/daemon.log" log)
+    message(FATAL_ERROR "daemon never became ready:\n${log}")
+endif()
+
+function(client_request out_file)
+    execute_process(
+        COMMAND "${MC_CLIENT}" --socket "${sock}" --timeout-sec 120
+                ${ARGN}
+        OUTPUT_FILE "${out_file}"
+        RESULT_VARIABLE result)
+    if(NOT result EQUAL 0)
+        file(READ "${WORK_DIR}/daemon.log" log)
+        message(FATAL_ERROR
+            "client failed (${result}) for: ${ARGN}\ndaemon log:\n${log}")
+    endif()
+endfunction()
+
+function(expect_code dump_file id code)
+    file(READ "${dump_file}" dump)
+    if(NOT dump MATCHES "\"id\": ?\"${id}\", ?\"code\": ?\"${code}\"")
+        message(FATAL_ERROR
+            "expected id=${id} code=${code}, got:\n${dump}")
+    endif()
+endfunction()
+
+# --- 1. the idle reference probe -------------------------------------------
+
+# Long deadline: under the earliest-deadline-first shed policy the
+# probe is never the victim, so it survives any overload we create.
+set(probe "{\"kind\":\"gemm\",\"id\":\"probe\",\"n\":96,\"reps\":3,\"deadline_sec\":86400}")
+client_request("${WORK_DIR}/probe_idle.out" "${probe}")
+expect_code("${WORK_DIR}/probe_idle.out" probe Ok)
+
+# --- 2. the degradation ladder, one chaos mode at a time -------------------
+
+# Each chaos request must degrade to its documented code, and the
+# daemon must answer a ping right after — a dead or wedged daemon fails
+# the client instead.
+foreach(pair
+        "kill9=Unavailable" "segv=Internal" "exit3=ResourceExhausted"
+        "hang=DeadlineExceeded")
+    string(REPLACE "=" ";" parts "${pair}")
+    list(GET parts 0 mode)
+    list(GET parts 1 code)
+    client_request("${WORK_DIR}/chaos_${mode}.out"
+        "{\"kind\":\"gemm\",\"id\":\"c\",\"n\":32,\"chaos\":\"${mode}\"}")
+    expect_code("${WORK_DIR}/chaos_${mode}.out" c "${code}")
+    client_request("${WORK_DIR}/ping_${mode}.out"
+        "{\"kind\":\"ping\",\"id\":\"alive\"}")
+    expect_code("${WORK_DIR}/ping_${mode}.out" alive Ok)
+endforeach()
+
+# --- 3. deterministic shedding under a pipelined overload ------------------
+
+# One burst on one connection: "slow" is a chaos hang whose worker
+# holds the only slot until the 1 s watchdog fires (simulated GEMMs
+# finish in microseconds of wall clock — only a hang reliably keeps
+# the slot busy while the reader enqueues the rest), four keepers fill
+# queue-depth 4, and "doomed" (earliest deadline of the queue and
+# itself) is shed. Replayed, the dump must be byte-identical — same
+# victim, same error bytes, same payloads (mc_client sorts by id, so
+# completion order is already factored out).
+# keep2 carries seeded fault injection, so the burst also exercises a
+# supervised worker (Isolation::Faulted) racing in-process runs.
+set(burst "${WORK_DIR}/burst.requests")
+file(WRITE "${burst}" "\
+{\"kind\":\"gemm\",\"id\":\"slow\",\"n\":32,\"chaos\":\"hang\",\"deadline_sec\":4000}
+{\"kind\":\"gemm\",\"id\":\"keep1\",\"n\":40,\"reps\":2,\"deadline_sec\":1000}
+{\"kind\":\"gemm\",\"id\":\"keep2\",\"n\":48,\"reps\":2,\"deadline_sec\":1000,\"inject\":\"ecc=0.05\"}
+{\"kind\":\"gemm\",\"id\":\"keep3\",\"n\":56,\"reps\":2,\"deadline_sec\":1000}
+{\"kind\":\"gemm\",\"id\":\"keep4\",\"n\":64,\"reps\":2,\"deadline_sec\":1000}
+{\"kind\":\"gemm\",\"id\":\"doomed\",\"n\":32,\"reps\":2,\"deadline_sec\":1}
+")
+client_request("${WORK_DIR}/burst1.out" --pipeline "@${burst}")
+expect_code("${WORK_DIR}/burst1.out" doomed ResourceExhausted)
+expect_code("${WORK_DIR}/burst1.out" slow DeadlineExceeded)
+expect_code("${WORK_DIR}/burst1.out" keep4 Ok)
+
+client_request("${WORK_DIR}/burst2.out" --pipeline "@${burst}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/burst1.out" "${WORK_DIR}/burst2.out"
+    RESULT_VARIABLE same_burst)
+if(NOT same_burst EQUAL 0)
+    message(FATAL_ERROR
+        "overload burst did not replay byte-identically (shedding or "
+        "payloads depended on timing)")
+endif()
+
+# --- 4. the probe under load must equal the idle reference -----------------
+
+# Two background flood clients on their own connections (faulted and
+# plain requests, repeated), then the probe races both.
+foreach(flood 1 2)
+    execute_process(
+        COMMAND sh -c "'${MC_CLIENT}' --socket '${sock}' --pipeline \
+--repeat 3 --timeout-sec 120 '@${burst}' \
+> '${WORK_DIR}/flood${flood}.out' 2>&1 &"
+        RESULT_VARIABLE flood_result)
+    if(NOT flood_result EQUAL 0)
+        message(FATAL_ERROR "cannot launch flood client ${flood}")
+    endif()
+endforeach()
+client_request("${WORK_DIR}/probe_loaded.out" "${probe}")
+execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E compare_files
+            "${WORK_DIR}/probe_idle.out" "${WORK_DIR}/probe_loaded.out"
+    RESULT_VARIABLE same_probe)
+if(NOT same_probe EQUAL 0)
+    message(FATAL_ERROR
+        "probe response changed under load — the byte-identical "
+        "contract is broken")
+endif()
+
+# --- 5. graceful shutdown --------------------------------------------------
+
+client_request("${WORK_DIR}/shutdown.out"
+    "{\"kind\":\"shutdown\",\"id\":\"bye\"}")
+expect_code("${WORK_DIR}/shutdown.out" bye Ok)
+
+set(down FALSE)
+foreach(attempt RANGE 100)
+    if(NOT EXISTS "${sock}")
+        set(down TRUE)
+        break()
+    endif()
+    execute_process(COMMAND "${CMAKE_COMMAND}" -E sleep 0.1)
+endforeach()
+if(NOT down)
+    message(FATAL_ERROR "daemon did not remove its socket on shutdown")
+endif()
+
+message(STATUS "serve chaos gate passed")

@@ -25,7 +25,8 @@ GemmEngine::cachedPlan(const GemmConfig &config) const
         resolveFunctionalOptions(_funcOpts, config.combo, config.n);
     const PlanKey key =
         makePlanKey(config, _opts, _calFingerprint, func, tune_fp);
-    return _planCache.findOrCompute(key, [&]() {
+    PlanCache &cache = _sharedCache ? *_sharedCache : _planCache;
+    return cache.findOrCompute(key, [&]() {
         GemmPlan plan = planGemm(config, _rt.gpu().calibration(), _opts);
         plan.func = func;
         return plan;

@@ -85,8 +85,28 @@ class GemmEngine
                         std::uint64_t seed = 0x5eed) const;
 
     /** The plan memo (hit/miss counters for the sweep harnesses). */
-    const PlanCache &planCache() const { return _planCache; }
-    PlanCache &planCache() { return _planCache; }
+    const PlanCache &planCache() const
+    {
+        return _sharedCache ? *_sharedCache : _planCache;
+    }
+    PlanCache &planCache()
+    {
+        return _sharedCache ? *_sharedCache : _planCache;
+    }
+
+    /**
+     * Route this engine's plan memoization through @p cache instead of
+     * its private cache. The mc_serve daemon hands every per-request
+     * engine one shared LRU so plans built for one request are reused
+     * by every later request of the same shape (PlanKey already covers
+     * calibration and tuning fingerprints, so sharing across runtimes
+     * is sound); PlanCache is thread-safe, so concurrent requests may
+     * share one cache. Pass nullptr to return to the private cache.
+     */
+    void usePlanCache(std::shared_ptr<PlanCache> cache)
+    {
+        _sharedCache = std::move(cache);
+    }
 
   private:
     /** Plan @p config through the cache; the shared_ptr keeps the plan
@@ -99,6 +119,7 @@ class GemmEngine
     FunctionalGemmOptions _funcOpts;
     std::uint64_t _calFingerprint = 0;
     mutable PlanCache _planCache;
+    std::shared_ptr<PlanCache> _sharedCache;
 };
 
 } // namespace blas

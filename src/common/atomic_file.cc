@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "common/logging.hh"
@@ -59,6 +60,31 @@ writeFileAtomic(const std::string &path, const std::string &contents)
         std::remove(tmp_path.c_str());
         return Status::dataLoss("cannot rename '" + tmp_path + "' to '" +
                                 path + "': " + detail);
+    }
+
+    // The rename only *orders* the directory update; it does not make
+    // it durable. Power loss after the rename but before the directory
+    // block reaches stable storage can resurrect the old file (or no
+    // file at all) even though the data blocks above were fsynced — so
+    // the durability contract requires fsyncing the parent directory
+    // too. A failure here is DataLoss for the same reason a failed data
+    // fsync is: the caller was promised a file that survives power
+    // loss, and it does not have one.
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash + 1);
+    const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dir_fd < 0) {
+        return Status::dataLoss("cannot open directory '" + dir +
+                                "' to sync '" + path +
+                                "': " + errnoText());
+    }
+    const bool dir_synced = ::fsync(dir_fd) == 0;
+    const std::string detail = dir_synced ? std::string() : errnoText();
+    ::close(dir_fd);
+    if (!dir_synced) {
+        return Status::dataLoss("cannot sync directory '" + dir +
+                                "' for '" + path + "': " + detail);
     }
     return Status::ok();
 }

@@ -12,6 +12,17 @@
  * renamed over the destination. Readers see either the complete old
  * file or the complete new one — never a prefix.
  *
+ * Durability contract: a returned Ok means the new content survives
+ * not just a process crash but a *power loss*. That takes three
+ * ordered syncs — the data fsync before the rename (content on stable
+ * storage before it becomes reachable), the rename (atomic visibility
+ * switch), and an fsync of the parent *directory* after the rename
+ * (the directory entry itself is data that must reach stable storage;
+ * without it a power cut can resurrect the old file). Manifests,
+ * journals, and tune artifacts all rely on this: a resume decision
+ * made from a manifest that later "un-happens" would silently skip
+ * work.
+ *
  * AtomicFileWriter buffers through an in-memory stream, so a crash at
  * any point before commit() leaves the target untouched; the only
  * residue possible is a stale `<target>.tmp.<pid>` from a kill inside

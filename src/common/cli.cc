@@ -1,5 +1,6 @@
 #include "cli.hh"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -8,6 +9,12 @@
 #include "status.hh"
 
 namespace mc {
+
+void
+ignoreSigpipe()
+{
+    std::signal(SIGPIPE, SIG_IGN);
+}
 
 CliParser::CliParser(std::string program_summary)
     : _summary(std::move(program_summary))
@@ -151,6 +158,10 @@ CliParser::setFromString(Flag &flag, const std::string &name,
 void
 CliParser::parse(int argc, const char *const *argv)
 {
+    // Every flag-parsing binary gets the SIGPIPE protection: an
+    // early-closing reader becomes a classifiable EPIPE, never a
+    // signal-13 death (docs/RESILIENCE.md).
+    ignoreSigpipe();
     _programName = argc > 0 ? argv[0] : "prog";
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];

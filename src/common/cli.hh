@@ -25,6 +25,16 @@
 namespace mc {
 
 /**
+ * Install SIG_IGN for SIGPIPE (idempotent). Every tool and bench entry
+ * point needs this: a reader that closes early — a client dropping its
+ * socket, `mc_suite | head`, a dead log pipe — must surface as an
+ * EPIPE write error the code can classify as Unavailable, not as
+ * signal 13 killing the process mid-run. CliParser::parse calls it, so
+ * any binary that parses flags is covered automatically.
+ */
+void ignoreSigpipe();
+
+/**
  * Declarative flag registry plus parser.
  */
 class CliParser

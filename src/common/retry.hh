@@ -112,6 +112,47 @@ retryCall(const RetryPolicy &policy, Fn &&fn,
     }
 }
 
+/**
+ * retryCall with a simulated-time budget: @p budget_sec bounds the
+ * total backoff this call may accumulate. When a retry's backoff would
+ * push the accumulated total past the budget, the call gives up *before
+ * charging that backoff* and returns DeadlineExceeded — a deadline that
+ * expires between retries must never be slept past (the caller would
+ * otherwise blow its point deadline by up to maxBackoffSec and then
+ * report the underlying transient error instead of the deadline).
+ *
+ * @p backoff_sec_out receives only the backoff actually charged, so a
+ * deadline-bounded caller's clock never advances beyond its budget.
+ */
+template <typename Fn>
+auto
+retryCallWithin(const RetryPolicy &policy, double budget_sec, Fn &&fn,
+                double *backoff_sec_out = nullptr) -> decltype(fn())
+{
+    mc_assert(policy.maxAttempts >= 1,
+              "retry policy needs at least one attempt");
+    double backoff = 0.0;
+    for (int attempt = 1;; ++attempt) {
+        auto result = fn();
+        const Status &status = detail::statusOf(result);
+        if (status.isOk() || attempt >= policy.maxAttempts ||
+            !policy.retriable(status.code())) {
+            if (backoff_sec_out)
+                *backoff_sec_out = backoff;
+            return result;
+        }
+        const double next = policy.backoffBeforeRetry(attempt);
+        if (backoff + next > budget_sec) {
+            if (backoff_sec_out)
+                *backoff_sec_out = backoff;
+            return Status::deadlineExceeded(
+                "retry backoff would exceed the remaining deadline "
+                "budget");
+        }
+        backoff += next;
+    }
+}
+
 } // namespace mc
 
 #endif // MC_COMMON_RETRY_HH

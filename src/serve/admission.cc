@@ -1,0 +1,212 @@
+#include "admission.hh"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace serve {
+
+namespace {
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/** The deterministic rejection statuses (no timing, no queue sizes in
+ *  the message — degraded responses must replay byte-identically). */
+Status
+shedStatus()
+{
+    return Status::resourceExhausted(
+        "request shed under overload (earliest deadline first)");
+}
+
+Status
+tenantStatus(const std::string &tenant)
+{
+    return Status::resourceExhausted("tenant '" + tenant +
+                                     "' is at its admission cap");
+}
+
+Status
+closedStatus()
+{
+    return Status::unavailable("daemon is shutting down");
+}
+
+} // namespace
+
+AdmissionController::AdmissionController(const AdmissionOptions &options,
+                                         Dispatcher dispatcher)
+    : _options(options), _dispatcher(std::move(dispatcher))
+{
+    mc_assert(_options.slots > 0, "admission needs at least one slot");
+    mc_assert(static_cast<bool>(_dispatcher),
+              "admission needs a dispatcher");
+}
+
+std::size_t
+AdmissionController::shedVictim(double incoming_deadline_sec) const
+{
+    // The newcomer carries the largest sequence number, so on a
+    // deadline tie a queued request is shed first (oldest arrival).
+    std::size_t victim = npos;
+    double victim_deadline = incoming_deadline_sec;
+    std::uint64_t victim_seq = _nextSeq;
+    for (std::size_t i = 0; i < _queue.size(); ++i) {
+        const Waiting &w = _queue[i];
+        if (w.deadlineSec < victim_deadline ||
+            (w.deadlineSec == victim_deadline && w.seq < victim_seq)) {
+            victim = i;
+            victim_deadline = w.deadlineSec;
+            victim_seq = w.seq;
+        }
+    }
+    return victim;
+}
+
+AdmissionController::Task
+AdmissionController::wrap(const std::string &tenant, Task task)
+{
+    return [this, tenant, task = std::move(task)]() {
+        task();
+        onTaskDone(tenant);
+    };
+}
+
+void
+AdmissionController::submit(const std::string &tenant,
+                            double deadline_sec, Task task, Reject reject)
+{
+    Task to_dispatch;
+    // Deferred past the lock: rejects write response frames and must
+    // not run under the controller mutex.
+    std::vector<std::pair<Reject, Status>> rejections;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        ++_stats.submitted;
+        if (_closed) {
+            rejections.emplace_back(std::move(reject), closedStatus());
+        } else if (_options.tenantCap > 0 &&
+                   _tenantLoad[tenant] >= _options.tenantCap) {
+            ++_stats.tenantRejected;
+            rejections.emplace_back(std::move(reject),
+                                    tenantStatus(tenant));
+        } else if (_running < _options.slots) {
+            ++_running;
+            ++_tenantLoad[tenant];
+            ++_nextSeq;
+            ++_stats.ranImmediately;
+            to_dispatch = wrap(tenant, std::move(task));
+        } else {
+            const std::size_t victim = _queue.size() < _options.queueDepth
+                                           ? npos
+                                           : shedVictim(deadline_sec);
+            if (_queue.size() >= _options.queueDepth &&
+                victim == npos) {
+                // The newcomer has the earliest deadline (or lost the
+                // tie): it is the shed victim itself.
+                ++_nextSeq;
+                ++_stats.shed;
+                rejections.emplace_back(std::move(reject), shedStatus());
+            } else {
+                if (victim != npos) {
+                    Waiting shed = std::move(_queue[victim]);
+                    _queue.erase(_queue.begin() +
+                                 static_cast<std::ptrdiff_t>(victim));
+                    --_tenantLoad[shed.tenant];
+                    ++_stats.shed;
+                    rejections.emplace_back(std::move(shed.reject),
+                                            shedStatus());
+                }
+                Waiting w;
+                w.tenant = tenant;
+                w.deadlineSec = deadline_sec;
+                w.seq = _nextSeq++;
+                w.task = std::move(task);
+                w.reject = std::move(reject);
+                ++_tenantLoad[tenant];
+                ++_stats.queued;
+                _queue.push_back(std::move(w));
+                _stats.peakQueueDepth =
+                    std::max(_stats.peakQueueDepth, _queue.size());
+            }
+        }
+    }
+    for (auto &[cb, status] : rejections)
+        cb(status);
+    if (to_dispatch)
+        _dispatcher(std::move(to_dispatch));
+}
+
+void
+AdmissionController::onTaskDone(const std::string &tenant)
+{
+    Task to_dispatch;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        ++_stats.completed;
+        --_tenantLoad[tenant];
+        // FIFO promotion: queued requests run in arrival order; the
+        // deadline only decides who is *shed*, never who runs first
+        // (reordering execution by deadline would starve long-deadline
+        // requests under steady load).
+        if (!_queue.empty()) {
+            Waiting next = std::move(_queue.front());
+            _queue.pop_front();
+            to_dispatch = wrap(next.tenant, std::move(next.task));
+        } else {
+            --_running;
+        }
+    }
+    if (to_dispatch)
+        _dispatcher(std::move(to_dispatch));
+}
+
+void
+AdmissionController::close()
+{
+    std::deque<Waiting> cancelled;
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        if (_closed)
+            return;
+        _closed = true;
+        cancelled.swap(_queue);
+        for (const Waiting &w : cancelled)
+            --_tenantLoad[w.tenant];
+        _stats.cancelled += cancelled.size();
+    }
+    for (Waiting &w : cancelled)
+        w.reject(closedStatus());
+}
+
+AdmissionStats
+AdmissionController::stats() const
+{
+    std::unique_lock<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+JsonValue
+AdmissionController::statsJson() const
+{
+    const AdmissionStats s = stats();
+    JsonValue doc = JsonValue::object();
+    doc.set("submitted", static_cast<std::int64_t>(s.submitted));
+    doc.set("ran_immediately",
+            static_cast<std::int64_t>(s.ranImmediately));
+    doc.set("queued", static_cast<std::int64_t>(s.queued));
+    doc.set("shed", static_cast<std::int64_t>(s.shed));
+    doc.set("tenant_rejected",
+            static_cast<std::int64_t>(s.tenantRejected));
+    doc.set("cancelled", static_cast<std::int64_t>(s.cancelled));
+    doc.set("completed", static_cast<std::int64_t>(s.completed));
+    doc.set("peak_queue_depth",
+            static_cast<std::int64_t>(s.peakQueueDepth));
+    return doc;
+}
+
+} // namespace serve
+} // namespace mc

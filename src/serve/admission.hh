@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Deterministic admission control for the mc_serve daemon.
+ *
+ * The controller owns the daemon's overload policy and nothing else —
+ * no threads, no sockets. The server calls submit() from a connection
+ * reader in frame-arrival order, and the controller decides
+ * synchronously, under one lock, whether the request
+ *
+ *  - runs now (a slot is free): the wrapped task is handed to the
+ *    dispatcher callback;
+ *  - waits (queue has room): FIFO, released one per completion;
+ *  - is rejected (ResourceExhausted): the tenant is at its cap, or the
+ *    queue is full — then the *earliest-deadline* request among the
+ *    queued ones and the newcomer is shed (docs/SERVING.md "Admission
+ *    and load shedding"). Least slack goes first: under overload that
+ *    is the request most likely to blow its budget anyway, and the
+ *    policy depends only on (deadline, arrival order), never on timing
+ *    — so a saturating burst sheds the same set no matter how threads
+ *    interleave.
+ *
+ * Decisions are made at submit()/complete() edges only; wall-clock
+ * time is deliberately not an input, which keeps the shed set
+ * reproducible in tests.
+ */
+
+#ifndef MC_SERVE_ADMISSION_HH
+#define MC_SERVE_ADMISSION_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/json.hh"
+#include "common/status.hh"
+
+namespace mc {
+namespace serve {
+
+/** Capacity knobs of the admission controller. */
+struct AdmissionOptions
+{
+    /** Requests executing concurrently (the daemon's slot count). */
+    std::size_t slots = 1;
+    /** Requests waiting beyond the running ones before shedding. */
+    std::size_t queueDepth = 8;
+    /** Per-tenant cap on running + queued requests; 0 = no cap. */
+    std::size_t tenantCap = 0;
+};
+
+/** Counters of admission outcomes (the stats request reports these). */
+struct AdmissionStats
+{
+    std::uint64_t submitted = 0;
+    std::uint64_t ranImmediately = 0;
+    std::uint64_t queued = 0;
+    std::uint64_t shed = 0;           ///< ResourceExhausted (overload)
+    std::uint64_t tenantRejected = 0; ///< ResourceExhausted (tenant cap)
+    std::uint64_t cancelled = 0;      ///< Unavailable (shutdown drain)
+    std::uint64_t completed = 0;
+    std::size_t peakQueueDepth = 0;
+};
+
+class AdmissionController
+{
+  public:
+    /** Executes one admitted request end to end (including writing its
+     *  response); the controller releases the slot when it returns. */
+    using Task = std::function<void()>;
+    /** Rejects one request with a classified error. */
+    using Reject = std::function<void(const Status &)>;
+    /** Receives admitted tasks (the server backs this with a thread
+     *  pool of exactly `slots` threads, so a dispatched task never
+     *  waits behind pool queueing — admission owns all queueing). */
+    using Dispatcher = std::function<void(Task)>;
+
+    AdmissionController(const AdmissionOptions &options,
+                        Dispatcher dispatcher);
+
+    /**
+     * Admit, queue, or reject one request. Decisions happen in call
+     * order; callers serialize per connection (frame order) and the
+     * lock serializes across connections. @p reject may be invoked
+     * synchronously (tenant cap, shedding, closed) or later (a queued
+     * request shed by a newer arrival or cancelled by close()).
+     */
+    void submit(const std::string &tenant, double deadline_sec,
+                Task task, Reject reject);
+
+    /** Stop admitting (submit => Unavailable) and cancel every queued
+     *  request with Unavailable. Running requests finish normally. */
+    void close();
+
+    AdmissionStats stats() const;
+
+    /** The stats payload of the "stats" request. */
+    JsonValue statsJson() const;
+
+  private:
+    struct Waiting
+    {
+        std::string tenant;
+        double deadlineSec = 0.0;
+        std::uint64_t seq = 0;
+        Task task;
+        Reject reject;
+    };
+
+    /** Index of the shedding victim in _queue, or npos to shed the
+     *  newcomer. Earliest deadline loses; ties break on arrival order
+     *  (oldest first), so the choice is a pure function of the queue. */
+    std::size_t shedVictim(double incoming_deadline_sec) const;
+
+    /** Slot-release path: run on the dispatcher thread after an
+     *  admitted task returns; promotes the queue's head. */
+    void onTaskDone(const std::string &tenant);
+
+    /** Wrap @p task so its return releases the slot. */
+    Task wrap(const std::string &tenant, Task task);
+
+    AdmissionOptions _options;
+    Dispatcher _dispatcher;
+
+    mutable std::mutex _mutex;
+    bool _closed = false;
+    std::uint64_t _nextSeq = 0;
+    std::size_t _running = 0;
+    std::deque<Waiting> _queue;
+    std::unordered_map<std::string, std::size_t> _tenantLoad;
+    AdmissionStats _stats;
+};
+
+} // namespace serve
+} // namespace mc
+
+#endif // MC_SERVE_ADMISSION_HH

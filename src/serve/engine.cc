@@ -1,0 +1,190 @@
+#include "engine.hh"
+
+#include <csignal>
+#include <cstdint>
+
+#include <unistd.h>
+
+#include "arch/calibration.hh"
+#include "bench/common/bench_util.hh"
+#include "blas/gemm.hh"
+#include "exec/sweep_runner.hh"
+#include "hip/runtime.hh"
+
+namespace mc {
+namespace serve {
+
+namespace {
+
+/** Fire the requested failure mode in the calling process. Never
+ *  returns for every mode but None. */
+void
+fireChaos(ChaosMode mode)
+{
+    switch (mode) {
+      case ChaosMode::None:
+        return;
+      case ChaosMode::Kill9:
+        ::raise(SIGKILL);
+        break;
+      case ChaosMode::Segv:
+        ::raise(SIGSEGV);
+        break;
+      case ChaosMode::Hang:
+        for (;;)
+            ::pause();
+      case ChaosMode::Exit3:
+        ::_exit(exit_code::BudgetExhausted);
+    }
+    // A raised fatal signal that was somehow handled still must not
+    // fall through into measurement.
+    ::_exit(exit_code::Failure);
+}
+
+/** One measured grid point of the request. */
+struct PointOutcome
+{
+    std::size_t n = 0;
+    bench::Measurement m;
+    int macroTile = 0;
+    bool usedMatrixCores = false;
+};
+
+/**
+ * Measure one (m, n, k) point exactly like a fig6 sweep point: fresh
+ * device, injector seeded from the point key, per-rep noise reseeds.
+ */
+Result<PointOutcome>
+measurePoint(const ServeRequest &request, const EngineOptions &options,
+             std::size_t edge)
+{
+    // The seed key covers the full execution identity plus the grid
+    // point, so a sweep's n = 1024 point and a standalone n = 1024
+    // request are *different* points (the sweep key differs) while the
+    // same request replayed is always the same point.
+    const std::string key = canonicalKey(request) + "#" +
+                            std::to_string(edge);
+
+    fault::Injector faults(request.faults,
+                           fault::faultSeed(exec::deriveSeed(
+                               kServeSeedName, key, 0)));
+    sim::SimOptions sim_opts;
+    sim_opts.faults = faults.enabled() ? &faults : nullptr;
+    hip::Runtime rt(arch::defaultCdna2(), sim_opts);
+    blas::GemmEngine engine(rt);
+    engine.usePlanCache(options.planCache);
+
+    blas::GemmConfig cfg;
+    cfg.combo = request.combo;
+    if (request.kind == RequestKind::Sweep) {
+        cfg.m = cfg.n = cfg.k = edge;
+    } else {
+        cfg.m = request.m;
+        cfg.n = request.n;
+        cfg.k = request.k;
+    }
+    cfg.alpha = request.alpha;
+    cfg.beta = request.beta;
+    cfg.batchCount = request.batch;
+
+    PointOutcome out;
+    out.n = edge;
+    bench::ResilientOptions ropts;
+    ropts.repetitions = request.reps;
+    ropts.deadlineSec = request.deadlineSec;
+    auto measured = bench::repeatMeasureResilient(
+        [&](int rep) -> Result<bench::TimedSample> {
+            rt.gpu().reseedNoise(exec::deriveSeed(
+                kServeSeedName, key, static_cast<std::uint64_t>(rep)));
+            auto result = engine.run(cfg);
+            if (!result.isOk())
+                return result.status();
+            out.macroTile = result.value().macroTile;
+            out.usedMatrixCores = result.value().usedMatrixCores;
+            return bench::TimedSample{result.value().throughput(),
+                                      result.value().kernel.seconds};
+        },
+        ropts);
+    if (!measured.isOk())
+        return measured.status();
+    out.m = measured.value();
+    return out;
+}
+
+/** Render one point's result object. */
+JsonValue
+pointJson(const PointOutcome &out)
+{
+    JsonValue doc = JsonValue::object();
+    doc.set("n", static_cast<std::int64_t>(out.n));
+    doc.set("aborted", out.m.aborted);
+    doc.set("samples", out.m.samplesTaken);
+    doc.set("retries", out.m.retries);
+    if (!out.m.aborted && out.m.samplesTaken > 0) {
+        doc.set("tflops", out.m.value() / 1e12);
+        doc.set("spread", out.m.stats.stddev);
+        doc.set("macro_tile", out.macroTile);
+        doc.set("path", out.usedMatrixCores ? "MatrixCore" : "SIMD");
+    }
+    return doc;
+}
+
+} // namespace
+
+Result<JsonValue>
+executePayload(const ServeRequest &request, const EngineOptions &options)
+{
+    mc_assert(request.wantsExecution(),
+              "executePayload handles gemm/sweep requests only");
+
+    if (request.chaos != ChaosMode::None) {
+        if (!options.allowChaos) {
+            return Status::failedPrecondition(
+                "chaos requests need a daemon started with --allow-chaos "
+                "and worker isolation");
+        }
+        fireChaos(request.chaos);
+    }
+
+    JsonValue payload = JsonValue::object();
+    payload.set("kind", requestKindName(request.kind));
+    payload.set("combo", blas::comboInfo(request.combo).name);
+    payload.set("m", static_cast<std::int64_t>(request.m));
+    payload.set("n", static_cast<std::int64_t>(request.n));
+    payload.set("k", static_cast<std::int64_t>(request.k));
+    payload.set("batch", static_cast<std::int64_t>(request.batch));
+    if (request.faults.any())
+        payload.set("inject", request.injectSpec);
+
+    if (request.kind == RequestKind::Gemm) {
+        auto point = measurePoint(request, options, request.n);
+        if (!point.isOk())
+            return point.status();
+        JsonValue doc = pointJson(point.value());
+        // Flatten the single point into the payload root.
+        for (const auto &[name, value] : doc.members())
+            payload.set(name, value);
+        return payload;
+    }
+
+    // Sweep: n, 2n, 4n, ... sweepMaxN, ending early at the first
+    // simulated-memory exhaustion (the paper's convention). A point
+    // that fails outright fails the whole request — partial sweeps
+    // would not replay byte-identically against a full one.
+    JsonValue points = JsonValue::array();
+    for (std::size_t edge = request.n; edge <= request.sweepMaxN;
+         edge *= 2) {
+        auto point = measurePoint(request, options, edge);
+        if (!point.isOk())
+            return point.status();
+        const bool aborted = point.value().m.aborted;
+        points.append(pointJson(point.value()));
+        if (aborted)
+            break;
+    }
+    payload.set("points", points);
+    return payload;
+}
+
+} // namespace serve
+} // namespace mc

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic execution of one serve request.
+ *
+ * executePayload is the serving path's analogue of one sweep point in
+ * bench/fig6_gemm_fp.cc: the request owns a fresh simulated device, a
+ * fault injector seeded from the request's canonical key, and per-
+ * repetition noise seeds derived from (service, key, repetition) — so
+ * the payload depends only on the request, never on load, queue
+ * position, worker placement, or which other requests are in flight.
+ * That function *is* the daemon's byte-identical-response contract
+ * (docs/SERVING.md "Determinism"); everything above it (admission,
+ * coalescing, worker isolation) merely decides where and whether it
+ * runs.
+ */
+
+#ifndef MC_SERVE_ENGINE_HH
+#define MC_SERVE_ENGINE_HH
+
+#include <memory>
+
+#include "blas/plan_cache.hh"
+#include "serve/protocol.hh"
+
+namespace mc {
+namespace serve {
+
+/** Seed-derivation service name: the "bench name" of deriveSeed. */
+inline constexpr const char *kServeSeedName = "mc_serve";
+
+/** Execution environment shared across requests. */
+struct EngineOptions
+{
+    /** Plan memo shared by every request's GemmEngine (may be null:
+     *  each request then builds plans from scratch). */
+    std::shared_ptr<blas::PlanCache> planCache;
+
+    /** Honor the request's ChaosMode (worker processes only — chaos in
+     *  the daemon process would defeat the isolation it tests). */
+    bool allowChaos = false;
+};
+
+/**
+ * Execute the gemm/sweep payload of @p request and return the response
+ * payload document.
+ *
+ * Degradations map into the taxonomy exactly like a sweep point's:
+ * simulated-memory exhaustion returns an Ok payload with aborted = true
+ * per point (the paper's sweep-terminating condition), exhausted
+ * transient-fault retries surface the last error, and overrunning the
+ * request's simulated-time deadline is DeadlineExceeded. Chaos modes
+ * fire before measurement (kill9/segv/hang/exit3 of the calling
+ * process); with allowChaos = false they return FailedPrecondition.
+ */
+Result<JsonValue> executePayload(const ServeRequest &request,
+                                 const EngineOptions &options);
+
+} // namespace serve
+} // namespace mc
+
+#endif // MC_SERVE_ENGINE_HH

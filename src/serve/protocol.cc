@@ -1,0 +1,477 @@
+#include "protocol.hh"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace serve {
+
+namespace {
+
+/** Full read of @p size bytes; short only at EOF. */
+Result<std::size_t>
+readFully(int fd, void *buffer, std::size_t size)
+{
+    std::size_t done = 0;
+    while (done < size) {
+        const ssize_t n = ::read(fd, static_cast<char *>(buffer) + done,
+                                 size - done);
+        if (n == 0)
+            break;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::unavailable(
+                std::string("socket read failed: ") + std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return done;
+}
+
+} // namespace
+
+Status
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes) {
+        return Status::invalidArgument(
+            "frame payload of " + std::to_string(payload.size()) +
+            " bytes exceeds the " + std::to_string(kMaxFrameBytes) +
+            "-byte frame limit");
+    }
+    unsigned char prefix[4];
+    const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
+    prefix[0] = static_cast<unsigned char>(size >> 24);
+    prefix[1] = static_cast<unsigned char>(size >> 16);
+    prefix[2] = static_cast<unsigned char>(size >> 8);
+    prefix[3] = static_cast<unsigned char>(size);
+
+    // One buffered message keeps the frame write to a single syscall in
+    // the common case, so concurrent responders interleave at frame
+    // granularity under the connection write lock, never mid-prefix.
+    std::string wire(reinterpret_cast<const char *>(prefix), 4);
+    wire += payload;
+
+    std::size_t done = 0;
+    while (done < wire.size()) {
+        const ssize_t n = ::write(fd, wire.data() + done,
+                                  wire.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET) {
+                // The peer closed early. With SIGPIPE ignored this is a
+                // per-request degradation, not a process death.
+                return Status::unavailable("peer closed the connection");
+            }
+            return Status::internal(std::string("socket write failed: ") +
+                                    std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return Status::ok();
+}
+
+Result<std::optional<std::string>>
+readFrame(int fd)
+{
+    unsigned char prefix[4];
+    auto got = readFully(fd, prefix, sizeof(prefix));
+    if (!got.isOk())
+        return got.status();
+    if (got.value() == 0)
+        return std::optional<std::string>(); // clean EOF
+    if (got.value() < sizeof(prefix)) {
+        return Status::unavailable(
+            "stream ended inside a frame length prefix");
+    }
+    const std::uint32_t size = (std::uint32_t(prefix[0]) << 24) |
+                               (std::uint32_t(prefix[1]) << 16) |
+                               (std::uint32_t(prefix[2]) << 8) |
+                               std::uint32_t(prefix[3]);
+    if (size > kMaxFrameBytes) {
+        return Status::invalidArgument(
+            "frame length " + std::to_string(size) + " exceeds the " +
+            std::to_string(kMaxFrameBytes) + "-byte frame limit");
+    }
+    std::string payload(size, '\0');
+    got = size == 0 ? Result<std::size_t>(std::size_t{0})
+                    : readFully(fd, payload.data(), size);
+    if (!got.isOk())
+        return got.status();
+    if (got.value() < size) {
+        return Status::unavailable("stream ended inside a frame payload");
+    }
+    return std::optional<std::string>(std::move(payload));
+}
+
+// ---- Request parsing ------------------------------------------------------
+
+const char *
+requestKindName(RequestKind kind)
+{
+    switch (kind) {
+      case RequestKind::Gemm:
+        return "gemm";
+      case RequestKind::Sweep:
+        return "sweep";
+      case RequestKind::Ping:
+        return "ping";
+      case RequestKind::Stats:
+        return "stats";
+      case RequestKind::Shutdown:
+        return "shutdown";
+    }
+    return "?";
+}
+
+const char *
+chaosModeName(ChaosMode mode)
+{
+    switch (mode) {
+      case ChaosMode::None:
+        return "none";
+      case ChaosMode::Kill9:
+        return "kill9";
+      case ChaosMode::Segv:
+        return "segv";
+      case ChaosMode::Hang:
+        return "hang";
+      case ChaosMode::Exit3:
+        return "exit3";
+    }
+    return "?";
+}
+
+namespace {
+
+/** The five combo wire names, lowercase. */
+bool
+parseComboName(const std::string &name, blas::GemmCombo &out)
+{
+    for (blas::GemmCombo combo : blas::allCombos) {
+        if (name == blas::comboInfo(combo).name) {
+            out = combo;
+            return true;
+        }
+    }
+    return false;
+}
+
+Status
+badField(const std::string &field, const std::string &why)
+{
+    return Status::invalidArgument("request field '" + field + "' " + why);
+}
+
+/** Fetch an optional member, enforcing its JSON type. */
+Result<const JsonValue *>
+optionalMember(const JsonValue &doc, const std::string &key,
+               JsonValue::Type type, const char *type_name)
+{
+    const JsonValue *value = doc.find(key);
+    if (!value)
+        return static_cast<const JsonValue *>(nullptr);
+    if (value->type() != type)
+        return badField(key, std::string("must be a ") + type_name);
+    return value;
+}
+
+Result<std::size_t>
+sizeField(const JsonValue &doc, const std::string &key,
+          std::size_t fallback, std::size_t min, std::size_t max)
+{
+    auto member = optionalMember(doc, key, JsonValue::Type::Number,
+                                 "number");
+    if (!member.isOk())
+        return member.status();
+    if (!member.value())
+        return fallback;
+    const double raw = member.value()->asNumber();
+    const std::int64_t rounded = member.value()->asInt();
+    if (raw != static_cast<double>(rounded) || rounded < 0)
+        return badField(key, "must be a non-negative integer");
+    const std::size_t value = static_cast<std::size_t>(rounded);
+    if (value < min || value > max) {
+        return badField(key, "must be in [" + std::to_string(min) + ", " +
+                                 std::to_string(max) + "]");
+    }
+    return value;
+}
+
+} // namespace
+
+Result<ServeRequest>
+parseRequest(const std::string &frame)
+{
+    auto parsed = JsonValue::parse(frame);
+    if (!parsed.isOk()) {
+        return Status::invalidArgument("request is not valid JSON: " +
+                                       parsed.status().message());
+    }
+    const JsonValue &doc = parsed.value();
+    if (!doc.isObject())
+        return Status::invalidArgument("request must be a JSON object");
+
+    ServeRequest req;
+
+    auto kind = optionalMember(doc, "kind", JsonValue::Type::String,
+                               "string");
+    if (!kind.isOk())
+        return kind.status();
+    const std::string kind_name =
+        kind.value() ? kind.value()->asString() : "ping";
+    if (kind_name == "gemm") {
+        req.kind = RequestKind::Gemm;
+    } else if (kind_name == "sweep") {
+        req.kind = RequestKind::Sweep;
+    } else if (kind_name == "ping") {
+        req.kind = RequestKind::Ping;
+    } else if (kind_name == "stats") {
+        req.kind = RequestKind::Stats;
+    } else if (kind_name == "shutdown") {
+        req.kind = RequestKind::Shutdown;
+    } else {
+        return Status::unsupported("unknown request kind '" + kind_name +
+                                   "'");
+    }
+
+    auto id = optionalMember(doc, "id", JsonValue::Type::String, "string");
+    if (!id.isOk())
+        return id.status();
+    if (id.value())
+        req.id = id.value()->asString();
+    if (req.id.size() > 256)
+        return badField("id", "must not exceed 256 bytes");
+
+    auto tenant = optionalMember(doc, "tenant", JsonValue::Type::String,
+                                 "string");
+    if (!tenant.isOk())
+        return tenant.status();
+    if (tenant.value() && !tenant.value()->asString().empty())
+        req.tenant = tenant.value()->asString();
+    if (req.tenant.size() > 64)
+        return badField("tenant", "must not exceed 64 bytes");
+
+    if (!req.wantsExecution()) {
+        // Control requests carry no execution parameters; reject any
+        // that are present so a typoed "kind" cannot silently drop a
+        // workload's parameters.
+        for (const char *field :
+             {"combo", "m", "n", "k", "batch", "reps", "deadline_sec",
+              "inject", "chaos", "sweep_max_n", "alpha", "beta"}) {
+            if (doc.has(field)) {
+                return badField(field, "is only valid on gemm/sweep "
+                                       "requests");
+            }
+        }
+        return req;
+    }
+
+    auto combo = optionalMember(doc, "combo", JsonValue::Type::String,
+                                "string");
+    if (!combo.isOk())
+        return combo.status();
+    if (combo.value() &&
+        !parseComboName(combo.value()->asString(), req.combo)) {
+        return badField("combo", "must be one of dgemm/sgemm/hgemm/hhs/hss");
+    }
+
+    auto n = sizeField(doc, "n", 0, 1, kMaxRequestN);
+    if (!n.isOk())
+        return n.status();
+    if (n.value() == 0)
+        return badField("n", "is required for gemm/sweep requests");
+    req.n = n.value();
+    auto m = sizeField(doc, "m", req.n, 1, kMaxRequestN);
+    if (!m.isOk())
+        return m.status();
+    req.m = m.value();
+    auto k = sizeField(doc, "k", req.n, 1, kMaxRequestN);
+    if (!k.isOk())
+        return k.status();
+    req.k = k.value();
+
+    auto batch = sizeField(doc, "batch", 1, 1, kMaxRequestBatch);
+    if (!batch.isOk())
+        return batch.status();
+    req.batch = batch.value();
+
+    auto reps = sizeField(doc, "reps", 10, 1,
+                          static_cast<std::size_t>(kMaxRequestReps));
+    if (!reps.isOk())
+        return reps.status();
+    req.reps = static_cast<int>(reps.value());
+
+    for (auto [field, out] : {std::pair<const char *, double *>{
+                                  "alpha", &req.alpha},
+                              {"beta", &req.beta}}) {
+        auto member = optionalMember(doc, field, JsonValue::Type::Number,
+                                     "number");
+        if (!member.isOk())
+            return member.status();
+        if (member.value())
+            *out = member.value()->asNumber();
+    }
+
+    auto deadline = optionalMember(doc, "deadline_sec",
+                                   JsonValue::Type::Number, "number");
+    if (!deadline.isOk())
+        return deadline.status();
+    if (deadline.value())
+        req.deadlineSec = deadline.value()->asNumber();
+    if (!(req.deadlineSec > 0.0) || req.deadlineSec > 86400.0)
+        return badField("deadline_sec", "must be in (0, 86400]");
+
+    if (req.kind == RequestKind::Sweep) {
+        auto sweep_max = sizeField(doc, "sweep_max_n", req.n, req.n,
+                                   kMaxRequestN);
+        if (!sweep_max.isOk())
+            return sweep_max.status();
+        req.sweepMaxN = sweep_max.value();
+        std::size_t points = 0;
+        for (std::size_t edge = req.n; edge <= req.sweepMaxN; edge *= 2)
+            ++points;
+        if (points > kMaxSweepPoints) {
+            return badField("sweep_max_n",
+                            "expands to more than " +
+                                std::to_string(kMaxSweepPoints) +
+                                " points");
+        }
+    } else if (doc.has("sweep_max_n")) {
+        return badField("sweep_max_n", "is only valid on sweep requests");
+    }
+
+    auto inject = optionalMember(doc, "inject", JsonValue::Type::String,
+                                 "string");
+    if (!inject.isOk())
+        return inject.status();
+    if (inject.value() && !inject.value()->asString().empty()) {
+        auto spec = fault::parseFaultSpec(inject.value()->asString());
+        if (!spec.isOk()) {
+            return badField("inject",
+                            "is malformed: " + spec.status().message());
+        }
+        req.faults = spec.value();
+        // Canonical form, not the raw text: "oom=0.01,hang=0" and
+        // "oom=0.01" are the same injection and must share one key.
+        req.injectSpec = req.faults.toString();
+    }
+
+    auto chaos = optionalMember(doc, "chaos", JsonValue::Type::String,
+                                "string");
+    if (!chaos.isOk())
+        return chaos.status();
+    if (chaos.value()) {
+        const std::string &mode = chaos.value()->asString();
+        if (mode == "none") {
+            req.chaos = ChaosMode::None;
+        } else if (mode == "kill9") {
+            req.chaos = ChaosMode::Kill9;
+        } else if (mode == "segv") {
+            req.chaos = ChaosMode::Segv;
+        } else if (mode == "hang") {
+            req.chaos = ChaosMode::Hang;
+        } else if (mode == "exit3") {
+            req.chaos = ChaosMode::Exit3;
+        } else {
+            return Status::unsupported("unknown chaos mode '" + mode +
+                                       "'");
+        }
+    }
+    return req;
+}
+
+std::string
+canonicalKey(const ServeRequest &request)
+{
+    char bits[64];
+    std::snprintf(bits, sizeof(bits), "%016llx/%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(request.alpha)),
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(request.beta)));
+    char deadline_bits[24];
+    std::snprintf(deadline_bits, sizeof(deadline_bits), "%016llx",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(request.deadlineSec)));
+    std::string key = requestKindName(request.kind);
+    key += '/';
+    key += blas::comboInfo(request.combo).name;
+    key += '/' + std::to_string(request.m) + 'x' +
+           std::to_string(request.n) + 'x' + std::to_string(request.k);
+    key += "/b" + std::to_string(request.batch);
+    if (request.kind == RequestKind::Sweep)
+        key += "/sweep" + std::to_string(request.sweepMaxN);
+    key += "/r" + std::to_string(request.reps);
+    key += '/';
+    key += bits;
+    key += "/d";
+    key += deadline_bits;
+    key += "/i{" + request.injectSpec + '}';
+    if (request.chaos != ChaosMode::None) {
+        key += "/chaos=";
+        key += chaosModeName(request.chaos);
+    }
+    return key;
+}
+
+// ---- Responses ------------------------------------------------------------
+
+std::string
+okResponse(const std::string &id, const JsonValue &payload)
+{
+    JsonValue envelope = JsonValue::object();
+    envelope.set("id", id);
+    envelope.set("code", errorCodeName(ErrorCode::Ok));
+    envelope.set("payload", payload);
+    return envelope.serialize(0);
+}
+
+std::string
+errorResponse(const std::string &id, const Status &status)
+{
+    mc_assert(!status.isOk(), "errorResponse needs a non-ok status");
+    JsonValue envelope = JsonValue::object();
+    envelope.set("id", id);
+    envelope.set("code", errorCodeName(status.code()));
+    envelope.set("error", status.message());
+    return envelope.serialize(0);
+}
+
+Result<ServeResponse>
+parseResponse(const std::string &frame)
+{
+    auto parsed = JsonValue::parse(frame);
+    if (!parsed.isOk()) {
+        return Status::internal("response is not valid JSON: " +
+                                parsed.status().message());
+    }
+    const JsonValue &doc = parsed.value();
+    if (!doc.isObject() || !doc.has("id") || !doc.has("code"))
+        return Status::internal("response envelope is malformed");
+
+    ServeResponse response;
+    response.id = doc.at("id").asString();
+    if (!errorCodeFromName(doc.at("code").asString(), response.code)) {
+        return Status::internal("response carries unknown code '" +
+                                doc.at("code").asString() + "'");
+    }
+    if (const JsonValue *error = doc.find("error"))
+        response.error = error->asString();
+    if (const JsonValue *payload = doc.find("payload"))
+        response.payload = *payload;
+    if (response.code == ErrorCode::Ok && !doc.has("payload"))
+        return Status::internal("ok response is missing its payload");
+    return response;
+}
+
+} // namespace serve
+} // namespace mc

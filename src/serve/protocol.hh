@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Wire protocol and request model of the mc_serve daemon.
+ *
+ * The daemon speaks length-prefixed JSON over a byte stream (Unix or
+ * TCP socket): each message is a 4-byte big-endian payload length
+ * followed by that many bytes of a single JSON document. The same
+ * framing carries a worker process's result back over its pipe, so
+ * one reader/writer pair covers every transport in the serving path.
+ *
+ * Robustness is the design driver (docs/SERVING.md):
+ *
+ *  - every malformed input maps to a *classified* error — a frame that
+ *    overruns kMaxFrameBytes, truncated length prefixes, JSON that does
+ *    not parse, and requests that parse but violate the schema all
+ *    produce Status values in the ErrorCode taxonomy instead of
+ *    tearing down the daemon;
+ *  - responses are a pure function of the request: parseRequest
+ *    canonicalizes every field (defaults applied once, here), and
+ *    canonicalKey() captures exactly the fields that influence the
+ *    simulated result, so the server can coalesce identical in-flight
+ *    requests and still honor the byte-identical-response contract.
+ */
+
+#ifndef MC_SERVE_PROTOCOL_HH
+#define MC_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "blas/gemm_types.hh"
+#include "common/json.hh"
+#include "common/status.hh"
+#include "fault/injector.hh"
+
+namespace mc {
+namespace serve {
+
+/** Hard ceiling on one frame's payload, bytes (requests and responses
+ *  are small JSON documents; anything larger is a protocol error). */
+inline constexpr std::size_t kMaxFrameBytes = 1u << 20;
+
+// ---- Framing --------------------------------------------------------------
+
+/**
+ * Write one frame (4-byte big-endian length + @p payload) to @p fd,
+ * retrying short writes. EPIPE/ECONNRESET — the peer closed early —
+ * return Unavailable (SIGPIPE must be ignored process-wide; see
+ * mc::ignoreSigpipe), other write failures return Internal, and an
+ * oversized payload is InvalidArgument.
+ */
+Status writeFrame(int fd, const std::string &payload);
+
+/**
+ * Read one frame from @p fd.
+ *
+ * Returns the payload; nullopt on a clean end-of-stream (EOF exactly
+ * at a frame boundary — how a client ends its session). EOF inside a
+ * frame, a length above kMaxFrameBytes, or a read error are protocol
+ * violations returned as error Status (Unavailable for the torn
+ * stream, InvalidArgument for the oversized length).
+ */
+Result<std::optional<std::string>> readFrame(int fd);
+
+// ---- The request model ----------------------------------------------------
+
+/** What a request asks the daemon to do. */
+enum class RequestKind
+{
+    Gemm,     ///< one (possibly strided-batched) GEMM measurement
+    Sweep,    ///< a small N-sweep of GEMM measurements
+    Ping,     ///< liveness probe; answered inline, never queued
+    Stats,    ///< server counters (diagnostic; not deterministic)
+    Shutdown, ///< drain and stop the daemon
+};
+
+/** Name of @p kind as it appears on the wire. */
+const char *requestKindName(RequestKind kind);
+
+/**
+ * Test-only failure modes a request can demand of its worker process.
+ * The daemon refuses them (FailedPrecondition) unless started with
+ * --allow-chaos *and* worker isolation covers the request — a chaos
+ * request executed in-process would take the daemon down, which is
+ * exactly what the isolation exists to prevent.
+ */
+enum class ChaosMode
+{
+    None,
+    Kill9, ///< worker raises SIGKILL mid-request
+    Segv,  ///< worker raises SIGSEGV mid-request
+    Hang,  ///< worker blocks forever (wall-clock watchdog test)
+    Exit3, ///< worker exits with exit_code::BudgetExhausted
+};
+
+/** Name of @p mode as it appears on the wire ("none", "kill9", ...). */
+const char *chaosModeName(ChaosMode mode);
+
+/**
+ * One parsed, validated, canonicalized request.
+ *
+ * Every field is populated (defaults applied by parseRequest), so two
+ * requests with equal fields are the *same* request regardless of
+ * which optional members their JSON spelled out.
+ */
+struct ServeRequest
+{
+    RequestKind kind = RequestKind::Ping;
+
+    /** Client-chosen correlation id, echoed verbatim in the response
+     *  (responses may complete out of order under concurrency). */
+    std::string id;
+
+    /** Admission-control principal; never affects the payload. */
+    std::string tenant = "default";
+
+    // ---- GEMM / sweep parameters (kind Gemm and Sweep) ----
+    blas::GemmCombo combo = blas::GemmCombo::Sgemm;
+    std::size_t m = 0, n = 0, k = 0;
+    std::size_t batch = 1; ///< strided-batch count (the ext_batched_gemm path)
+    double alpha = 1.0;
+    double beta = 0.0;
+    int reps = 10; ///< measurement repetitions per point
+
+    /** Sweep grid: n, 2n, 4n, ... up to sweepMaxN (kind Sweep only). */
+    std::size_t sweepMaxN = 0;
+
+    /** Per-request *simulated-time* deadline budget, seconds; flows
+     *  into bench::repeatMeasureResilient and orders load shedding. */
+    double deadlineSec = 60.0;
+
+    /** Seeded fault injection for this request ("" = none); the spec's
+     *  canonical string participates in the request key, so a faulted
+     *  request replays byte-identically. */
+    std::string injectSpec;
+    fault::FaultSpec faults;
+
+    /** Test-only worker failure mode (see ChaosMode). */
+    ChaosMode chaos = ChaosMode::None;
+
+    bool wantsExecution() const
+    {
+        return kind == RequestKind::Gemm || kind == RequestKind::Sweep;
+    }
+};
+
+/**
+ * Parse and validate one request frame.
+ *
+ * Error taxonomy: JSON that does not parse, out-of-domain values
+ * (n = 0, reps < 1, deadline <= 0, bad combo, a malformed inject
+ * spec), and oversized problems (dimensions above kMaxRequestN,
+ * sweeps above kMaxSweepPoints points) are InvalidArgument; an
+ * unknown "kind" or "chaos" is Unsupported. The daemon answers with
+ * the corresponding error response and keeps the connection.
+ */
+Result<ServeRequest> parseRequest(const std::string &frame);
+
+/** Largest accepted m/n/k (keeps one request's simulation bounded). */
+inline constexpr std::size_t kMaxRequestN = 16384;
+/** Largest accepted batch count. */
+inline constexpr std::size_t kMaxRequestBatch = 4096;
+/** Largest accepted repetition count. */
+inline constexpr int kMaxRequestReps = 10000;
+/** Most points a sweep request may expand to. */
+inline constexpr std::size_t kMaxSweepPoints = 16;
+
+/**
+ * The canonical execution identity of @p request: a stable string over
+ * exactly the fields that influence the simulated result (kind, combo,
+ * shape, batch, alpha/beta bit patterns, reps, deadline, inject spec,
+ * chaos). The id and tenant are deliberately excluded — they select
+ * the respondent, not the result — so the server can serve concurrent
+ * identical requests from one execution (single-flight coalescing)
+ * without violating the determinism contract. Doubles are rendered by
+ * bit pattern, so keys never lose precision.
+ */
+std::string canonicalKey(const ServeRequest &request);
+
+// ---- Responses ------------------------------------------------------------
+
+/**
+ * Build the response envelope for a successful request: a compact
+ * one-line JSON document `{"id":...,"code":"Ok","payload":...}`.
+ * Serialization is deterministic (insertion-ordered keys, %.17g
+ * numbers), which is what the replay gate byte-compares.
+ */
+std::string okResponse(const std::string &id, const JsonValue &payload);
+
+/**
+ * Build the response envelope for a failed request:
+ * `{"id":...,"code":"<ErrorCode>","error":...}`. The message must be
+ * deterministic — no pids, durations, or addresses — so degraded
+ * responses replay byte-identically too.
+ */
+std::string errorResponse(const std::string &id, const Status &status);
+
+/** Parsed response envelope (client side and tests). */
+struct ServeResponse
+{
+    std::string id;
+    ErrorCode code = ErrorCode::Internal;
+    std::string error;            ///< empty on success
+    JsonValue payload;            ///< null on failure
+};
+
+/** Parse a response frame; malformed envelopes are Internal. */
+Result<ServeResponse> parseResponse(const std::string &frame);
+
+} // namespace serve
+} // namespace mc
+
+#endif // MC_SERVE_PROTOCOL_HH

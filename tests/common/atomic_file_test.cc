@@ -102,6 +102,23 @@ TEST(AtomicFileWriter, BuffersUntilCommit)
     EXPECT_EQ(readFile(path.str()), "header\n42,1.5\n");
 }
 
+TEST(WriteFileAtomic, BareFilenameSyncsTheWorkingDirectory)
+{
+    // The durability path fsyncs the target's parent directory after
+    // rename; a path with no '/' must resolve that parent to "." and
+    // still commit cleanly (satellite of the durability contract in
+    // atomic_file.hh).
+    char original[4096];
+    ASSERT_NE(::getcwd(original, sizeof(original)), nullptr);
+    ASSERT_EQ(::chdir(::testing::TempDir().c_str()), 0);
+    const std::string name = "mc_atomic_bare.csv";
+    const Status status = writeFileAtomic(name, "bare\n");
+    EXPECT_TRUE(status.isOk()) << status.toString();
+    EXPECT_EQ(readFile(name), "bare\n");
+    std::remove(name.c_str());
+    ASSERT_EQ(::chdir(original), 0);
+}
+
 TEST(AtomicFileWriter, DestructionWithoutCommitLeavesTargetAlone)
 {
     TempPath path("discard.csv");

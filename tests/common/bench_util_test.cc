@@ -193,6 +193,36 @@ TEST(RepeatMeasureResilient, SimulatedBackoffChargesTheDeadline)
     EXPECT_EQ(result.status().code(), ErrorCode::DeadlineExceeded);
 }
 
+TEST(RepeatMeasureResilient, DeadlineExpiringMidBackoffNeverSleepsPast)
+{
+    // Deadline partially consumed by good samples, then a rep turns
+    // flaky: the moment the *next* backoff would overrun the remaining
+    // budget, the point fails DeadlineExceeded without charging that
+    // backoff — and without burning the rest of the retry budget on a
+    // deadline that is already lost.
+    ResilientOptions opts;
+    opts.repetitions = 10;
+    opts.deadlineSec = 0.1;
+    opts.retry.maxAttempts = 100; // attempts are not the limiter here
+    opts.retry.initialBackoffSec = 0.05;
+    int flaky_calls = 0;
+    const auto result = repeatMeasureResilient(
+        [&](int rep) -> Result<TimedSample> {
+            if (rep < 2)
+                return TimedSample{1.0, 0.03}; // 0.06 of 0.1 consumed
+            ++flaky_calls;
+            return Status::unavailable("turned flaky");
+        },
+        opts);
+    ASSERT_FALSE(result.isOk());
+    // DeadlineExceeded, not the transient Unavailable: the deadline
+    // expired *between* retries, and that is the truthful verdict.
+    EXPECT_EQ(result.status().code(), ErrorCode::DeadlineExceeded);
+    // Remaining budget was 0.04 and the first backoff is 0.05: exactly
+    // one (free) attempt of the flaky rep, zero backoffs charged.
+    EXPECT_EQ(flaky_calls, 1);
+}
+
 TEST(SweepResilience, FlagsRoundTrip)
 {
     CliParser cli("test");

@@ -139,5 +139,100 @@ TEST(RetryCall, NoneNeverRetries)
     EXPECT_FALSE(s.isOk());
 }
 
+TEST(RetryCallWithin, GenerousBudgetBehavesLikeRetryCall)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 4;
+
+    int calls = 0;
+    double backoff = 0.0;
+    const Result<int> r = retryCallWithin(
+        policy, 1e9,
+        [&]() -> Result<int> {
+            if (++calls < 3)
+                return Status::unavailable("flaky");
+            return 42;
+        },
+        &backoff);
+    ASSERT_TRUE(r.isOk());
+    EXPECT_EQ(r.value(), 42);
+    EXPECT_EQ(calls, 3);
+    EXPECT_DOUBLE_EQ(backoff, policy.backoffBeforeRetry(1) +
+                                  policy.backoffBeforeRetry(2));
+}
+
+TEST(RetryCallWithin, DeadlineExpiringMidBackoffIsDeadlineExceeded)
+{
+    // The satellite contract: a deadline that expires *between* retries
+    // must surface as DeadlineExceeded — not as the underlying
+    // transient error after sleeping past the budget.
+    RetryPolicy policy;
+    policy.maxAttempts = 10;
+    policy.initialBackoffSec = 0.05;
+    policy.backoffMultiplier = 2.0;
+
+    // Budget admits the first two backoffs (0.05 + 0.1 = 0.15) but not
+    // the third (0.2 would reach 0.35 > 0.2).
+    int calls = 0;
+    double backoff = -1.0;
+    const Result<int> r = retryCallWithin(
+        policy, 0.2,
+        [&]() -> Result<int> {
+            ++calls;
+            return Status::unavailable("still flaky");
+        },
+        &backoff);
+
+    EXPECT_EQ(calls, 3); // attempt, retry, retry — then the budget gate
+    ASSERT_FALSE(r.isOk());
+    EXPECT_EQ(r.status().code(), ErrorCode::DeadlineExceeded);
+    // Only the *charged* backoff is reported: the refused third backoff
+    // never advances the caller's clock.
+    EXPECT_DOUBLE_EQ(backoff, 0.15);
+    EXPECT_LE(backoff, 0.2);
+}
+
+TEST(RetryCallWithin, ZeroBudgetAllowsTheFirstAttemptOnly)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+
+    int calls = 0;
+    double backoff = -1.0;
+    const Status s = retryCallWithin(
+        policy, 0.0,
+        [&]() -> Status {
+            ++calls;
+            return Status::unavailable("down");
+        },
+        &backoff);
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(s.code(), ErrorCode::DeadlineExceeded);
+    EXPECT_DOUBLE_EQ(backoff, 0.0);
+}
+
+TEST(RetryCallWithin, SuccessAndNonRetriableSkipTheBudgetGate)
+{
+    RetryPolicy policy;
+    policy.maxAttempts = 5;
+
+    // Success on the first attempt never consults the budget.
+    int calls = 0;
+    const Result<int> ok = retryCallWithin(
+        policy, 0.0, [&]() -> Result<int> {
+            ++calls;
+            return 7;
+        });
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.value(), 7);
+    EXPECT_EQ(calls, 1);
+
+    // A permanent error is reported as itself, not DeadlineExceeded.
+    const Status s = retryCallWithin(policy, 0.0, [&]() -> Status {
+        return Status::invalidArgument("bad shape");
+    });
+    EXPECT_EQ(s.code(), ErrorCode::InvalidArgument);
+}
+
 } // namespace
 } // namespace mc

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Admission control: slot dispatch, FIFO promotion, deterministic
+ * earliest-deadline shedding, tenant caps, and shutdown drain.
+ *
+ * The controller owns no threads, so these tests drive it fully
+ * synchronously: the dispatcher collects wrapped tasks, and invoking a
+ * collected task *is* the completion edge (the wrapper releases the
+ * slot on return, which may dispatch the queue's head into the same
+ * collection).
+ */
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/admission.hh"
+
+namespace mc {
+namespace serve {
+namespace {
+
+/** Synchronous harness: collected[i] is the i-th dispatched task. */
+class AdmissionTest : public ::testing::Test
+{
+  protected:
+    AdmissionController
+    make(const AdmissionOptions &options)
+    {
+        return AdmissionController(
+            options, [this](AdmissionController::Task task) {
+                dispatched.push_back(std::move(task));
+            });
+    }
+
+    /** Run the oldest dispatched task to completion. */
+    void
+    finishOne()
+    {
+        ASSERT_FALSE(dispatched.empty());
+        auto task = std::move(dispatched.front());
+        dispatched.pop_front();
+        task();
+    }
+
+    /** submit() that records outcomes per label. */
+    void
+    submit(AdmissionController &ctrl, const std::string &label,
+           double deadline_sec, const std::string &tenant = "default")
+    {
+        ctrl.submit(
+            tenant, deadline_sec, [this, label] { ran.push_back(label); },
+            [this, label](const Status &status) {
+                rejected.push_back({label, status.code()});
+            });
+    }
+
+    std::deque<AdmissionController::Task> dispatched;
+    std::vector<std::string> ran;
+    std::vector<std::pair<std::string, ErrorCode>> rejected;
+};
+
+TEST_F(AdmissionTest, DispatchesUpToSlotsThenQueuesFifo)
+{
+    AdmissionController ctrl = make({.slots = 2, .queueDepth = 8});
+    submit(ctrl, "a", 10);
+    submit(ctrl, "b", 10);
+    submit(ctrl, "c", 10);
+    submit(ctrl, "d", 10);
+    EXPECT_EQ(dispatched.size(), 2u); // a, b running; c, d queued
+
+    finishOne(); // a completes -> c promoted
+    finishOne(); // b completes -> d promoted
+    finishOne();
+    finishOne();
+    EXPECT_EQ(ran, (std::vector<std::string>{"a", "b", "c", "d"}));
+    EXPECT_TRUE(rejected.empty());
+
+    const AdmissionStats stats = ctrl.stats();
+    EXPECT_EQ(stats.submitted, 4u);
+    EXPECT_EQ(stats.ranImmediately, 2u);
+    EXPECT_EQ(stats.queued, 2u);
+    EXPECT_EQ(stats.completed, 4u);
+    EXPECT_EQ(stats.peakQueueDepth, 2u);
+    EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(AdmissionTest, QueuePromotionIsFifoNotDeadlineOrder)
+{
+    // Deadlines decide who is *shed*, never who runs first: a tight-
+    // deadline request must not jump the queue (that would make the
+    // response order depend on other tenants' parameters).
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 8});
+    submit(ctrl, "running", 10);
+    submit(ctrl, "relaxed", 100);
+    submit(ctrl, "urgent", 1);
+    finishOne();
+    finishOne();
+    finishOne();
+    EXPECT_EQ(ran,
+              (std::vector<std::string>{"running", "relaxed", "urgent"}));
+}
+
+TEST_F(AdmissionTest, ShedsEarliestDeadlineAmongQueueAndNewcomer)
+{
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 2});
+    submit(ctrl, "running", 50);
+    submit(ctrl, "q1", 30);
+    submit(ctrl, "q2", 20);
+    // Queue full. Newcomer with a *later* deadline than both queued
+    // requests: q2 (earliest deadline) is shed, newcomer queued.
+    submit(ctrl, "late", 40);
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0].first, "q2");
+    EXPECT_EQ(rejected[0].second, ErrorCode::ResourceExhausted);
+
+    // Newcomer with the earliest deadline of all: it is shed itself.
+    submit(ctrl, "doomed", 5);
+    ASSERT_EQ(rejected.size(), 2u);
+    EXPECT_EQ(rejected[1].first, "doomed");
+    EXPECT_EQ(rejected[1].second, ErrorCode::ResourceExhausted);
+
+    finishOne(); // running -> q1
+    finishOne(); // q1 -> late
+    finishOne();
+    EXPECT_EQ(ran, (std::vector<std::string>{"running", "q1", "late"}));
+    EXPECT_EQ(ctrl.stats().shed, 2u);
+}
+
+TEST_F(AdmissionTest, ShedTieBreaksOnArrivalOrder)
+{
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 2});
+    submit(ctrl, "running", 50);
+    submit(ctrl, "first", 10);
+    submit(ctrl, "second", 10); // same deadline, younger
+    submit(ctrl, "newcomer", 10);
+    // All three tie on deadline: the *oldest* (first) is shed — the
+    // policy is a pure function of (deadline, seq), and seq breaks the
+    // tie deterministically.
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0].first, "first");
+}
+
+TEST_F(AdmissionTest, ZeroQueueDepthShedsEveryOverflow)
+{
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 0});
+    submit(ctrl, "running", 10);
+    submit(ctrl, "overflow", 10);
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0].first, "overflow");
+    EXPECT_EQ(rejected[0].second, ErrorCode::ResourceExhausted);
+}
+
+TEST_F(AdmissionTest, TenantCapCountsRunningAndQueued)
+{
+    AdmissionController ctrl =
+        make({.slots = 1, .queueDepth = 8, .tenantCap = 2});
+    submit(ctrl, "a1", 10, "alice");
+    submit(ctrl, "a2", 10, "alice");
+    submit(ctrl, "a3", 10, "alice"); // over alice's cap
+    submit(ctrl, "b1", 10, "bob");   // bob unaffected
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_EQ(rejected[0].first, "a3");
+    EXPECT_EQ(rejected[0].second, ErrorCode::ResourceExhausted);
+    EXPECT_EQ(ctrl.stats().tenantRejected, 1u);
+
+    // Completion releases the tenant's budget.
+    finishOne(); // a1 done -> a2 promoted
+    submit(ctrl, "a4", 10, "alice");
+    EXPECT_EQ(rejected.size(), 1u); // a4 admitted (a2 running, a4 queued)
+
+    finishOne(); // a2
+    finishOne(); // b1
+    finishOne(); // a4
+    EXPECT_EQ(ran,
+              (std::vector<std::string>{"a1", "a2", "b1", "a4"}));
+}
+
+TEST_F(AdmissionTest, CloseCancelsQueuedAndRejectsNewSubmits)
+{
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 8});
+    submit(ctrl, "running", 10);
+    submit(ctrl, "queued1", 10);
+    submit(ctrl, "queued2", 10);
+    ctrl.close();
+
+    ASSERT_EQ(rejected.size(), 2u);
+    EXPECT_EQ(rejected[0].first, "queued1");
+    EXPECT_EQ(rejected[0].second, ErrorCode::Unavailable);
+    EXPECT_EQ(rejected[1].first, "queued2");
+    EXPECT_EQ(rejected[1].second, ErrorCode::Unavailable);
+
+    submit(ctrl, "late", 10);
+    ASSERT_EQ(rejected.size(), 3u);
+    EXPECT_EQ(rejected[2].first, "late");
+    EXPECT_EQ(rejected[2].second, ErrorCode::Unavailable);
+
+    // The running request still completes normally.
+    finishOne();
+    EXPECT_EQ(ran, (std::vector<std::string>{"running"}));
+    EXPECT_EQ(ctrl.stats().cancelled, 2u);
+}
+
+TEST_F(AdmissionTest, StatsJsonCarriesEveryCounter)
+{
+    AdmissionController ctrl = make({.slots = 1, .queueDepth = 0});
+    submit(ctrl, "a", 10);
+    submit(ctrl, "b", 10); // shed
+    finishOne();
+
+    const JsonValue json = ctrl.statsJson();
+    EXPECT_EQ(json.at("submitted").asNumber(), 2.0);
+    EXPECT_EQ(json.at("ran_immediately").asNumber(), 1.0);
+    EXPECT_EQ(json.at("shed").asNumber(), 1.0);
+    EXPECT_EQ(json.at("completed").asNumber(), 1.0);
+}
+
+} // namespace
+} // namespace serve
+} // namespace mc

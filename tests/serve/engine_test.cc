@@ -1,0 +1,150 @@
+/**
+ * @file
+ * executePayload: the serving path's determinism contract, fault and
+ * chaos policy, batch routing, and shared-plan-cache reuse.
+ */
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "blas/plan_cache.hh"
+#include "serve/engine.hh"
+#include "serve/protocol.hh"
+
+namespace mc {
+namespace serve {
+namespace {
+
+ServeRequest
+parse(const std::string &json)
+{
+    auto parsed = parseRequest(json);
+    EXPECT_TRUE(parsed.isOk()) << parsed.status().toString();
+    return parsed.value();
+}
+
+TEST(ExecutePayload, GemmPayloadCarriesRequestIdentity)
+{
+    const ServeRequest req =
+        parse(R"({"kind":"gemm","n":64,"reps":2})");
+    auto result = executePayload(req, {});
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const JsonValue &payload = result.value();
+    EXPECT_EQ(payload.at("kind").asString(), "gemm");
+    EXPECT_EQ(payload.at("combo").asString(), "sgemm");
+    EXPECT_EQ(payload.at("n").asInt(), 64);
+    EXPECT_EQ(payload.at("batch").asInt(), 1);
+    EXPECT_FALSE(payload.at("aborted").asBool());
+    EXPECT_EQ(payload.at("samples").asInt(), 2);
+    EXPECT_GT(payload.at("tflops").asNumber(), 0.0);
+    EXPECT_TRUE(payload.has("path"));
+}
+
+TEST(ExecutePayload, SameRequestIsByteIdentical)
+{
+    // The daemon's headline contract, at its root: the payload is a
+    // pure function of the request. Replaying — with or without fault
+    // injection — must produce the same serialized bytes.
+    const char *documents[] = {
+        R"({"kind":"gemm","n":64,"reps":3})",
+        R"({"kind":"gemm","n":48,"reps":3,"inject":"ecc=0.05"})",
+        R"({"kind":"sweep","n":32,"sweep_max_n":64,"reps":2})",
+    };
+    for (const char *doc : documents) {
+        auto first = executePayload(parse(doc), {});
+        auto second = executePayload(parse(doc), {});
+        ASSERT_TRUE(first.isOk()) << doc;
+        ASSERT_TRUE(second.isOk()) << doc;
+        EXPECT_EQ(first.value().serialize(0),
+                  second.value().serialize(0))
+            << doc;
+    }
+}
+
+TEST(ExecutePayload, RequestIdDoesNotAffectPayload)
+{
+    auto a = executePayload(
+        parse(R"({"kind":"gemm","id":"a","n":64,"reps":2})"), {});
+    auto b = executePayload(
+        parse(R"({"kind":"gemm","id":"b","tenant":"t","n":64,"reps":2})"),
+        {});
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(a.value().serialize(0), b.value().serialize(0));
+}
+
+TEST(ExecutePayload, BatchRoutesOntoStridedBatchedPath)
+{
+    const ServeRequest req =
+        parse(R"({"kind":"gemm","n":32,"batch":4,"reps":2})");
+    auto batched = executePayload(req, {});
+    ASSERT_TRUE(batched.isOk()) << batched.status().toString();
+    EXPECT_EQ(batched.value().at("batch").asInt(), 4);
+
+    // The batch count is part of the execution, not bookkeeping: the
+    // measured rate differs from the single-GEMM request's.
+    auto single =
+        executePayload(parse(R"({"kind":"gemm","n":32,"reps":2})"), {});
+    ASSERT_TRUE(single.isOk());
+    EXPECT_NE(batched.value().at("tflops").asNumber(),
+              single.value().at("tflops").asNumber());
+}
+
+TEST(ExecutePayload, SweepDoublesUntilMaxN)
+{
+    const ServeRequest req =
+        parse(R"({"kind":"sweep","n":16,"sweep_max_n":64,"reps":1})");
+    auto result = executePayload(req, {});
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    const JsonValue &points = result.value().at("points");
+    ASSERT_EQ(points.size(), 3u); // 16, 32, 64
+    EXPECT_EQ(points.at(std::size_t{0}).at("n").asInt(), 16);
+    EXPECT_EQ(points.at(std::size_t{1}).at("n").asInt(), 32);
+    EXPECT_EQ(points.at(std::size_t{2}).at("n").asInt(), 64);
+}
+
+TEST(ExecutePayload, ChaosWithoutOptInIsFailedPrecondition)
+{
+    // allowChaos = false is the in-process backstop: even if routing
+    // put a chaos request here, it must refuse rather than crash the
+    // calling process.
+    for (const char *mode : {"kill9", "segv", "hang", "exit3"}) {
+        const ServeRequest req = parse(
+            std::string(R"({"kind":"gemm","n":32,"chaos":")") + mode +
+            R"("})");
+        auto result = executePayload(req, {});
+        ASSERT_FALSE(result.isOk()) << mode;
+        EXPECT_EQ(result.status().code(), ErrorCode::FailedPrecondition)
+            << mode;
+    }
+}
+
+TEST(ExecutePayload, SharedPlanCacheIsReusedAcrossRequests)
+{
+    EngineOptions options;
+    options.planCache = std::make_shared<blas::PlanCache>();
+
+    const ServeRequest req =
+        parse(R"({"kind":"gemm","n":64,"reps":2})");
+    auto first = executePayload(req, options);
+    ASSERT_TRUE(first.isOk());
+    const std::uint64_t misses_after_first = options.planCache->misses();
+    EXPECT_GT(misses_after_first, 0u); // cold: plans were built
+
+    auto second = executePayload(req, options);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(options.planCache->misses(), misses_after_first)
+        << "replay must hit the shared cache, not rebuild plans";
+    EXPECT_GT(options.planCache->hits(), 0u);
+
+    // And the cache is invisible in the payload bytes.
+    auto cold = executePayload(req, {});
+    ASSERT_TRUE(cold.isOk());
+    EXPECT_EQ(cold.value().serialize(0), second.value().serialize(0));
+}
+
+} // namespace
+} // namespace serve
+} // namespace mc

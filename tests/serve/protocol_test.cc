@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Wire protocol: framing over real fds, the parseRequest error
+ * taxonomy, canonical keys, and response envelopes.
+ */
+
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+namespace mc {
+namespace serve {
+namespace {
+
+class FramePipe : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ASSERT_EQ(::pipe(fds), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        if (fds[0] >= 0)
+            ::close(fds[0]);
+        if (fds[1] >= 0)
+            ::close(fds[1]);
+    }
+
+    int fds[2] = {-1, -1};
+};
+
+TEST_F(FramePipe, RoundTripsPayloads)
+{
+    // The 70000-byte frame exceeds the default 64 KiB pipe buffer, so
+    // it must be written from a second thread while this one reads —
+    // which also proves readFrame reassembles partial reads.
+    std::thread writer([this] {
+        ASSERT_TRUE(writeFrame(fds[1], "hello").isOk());
+        ASSERT_TRUE(writeFrame(fds[1], "").isOk());
+        ASSERT_TRUE(writeFrame(fds[1], std::string(70000, 'x')).isOk());
+    });
+
+    auto first = readFrame(fds[0]);
+    ASSERT_TRUE(first.isOk());
+    EXPECT_EQ(*first.value(), "hello");
+    auto second = readFrame(fds[0]);
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(*second.value(), "");
+    auto third = readFrame(fds[0]);
+    ASSERT_TRUE(third.isOk());
+    EXPECT_EQ(third.value()->size(), 70000u);
+    writer.join();
+}
+
+TEST_F(FramePipe, CleanEofAtFrameBoundaryIsNullopt)
+{
+    ASSERT_TRUE(writeFrame(fds[1], "only").isOk());
+    ::close(fds[1]);
+    fds[1] = -1;
+
+    auto frame = readFrame(fds[0]);
+    ASSERT_TRUE(frame.isOk());
+    EXPECT_EQ(*frame.value(), "only");
+    auto eof = readFrame(fds[0]);
+    ASSERT_TRUE(eof.isOk());
+    EXPECT_FALSE(eof.value().has_value());
+}
+
+TEST_F(FramePipe, EofInsideFrameIsUnavailable)
+{
+    // A length prefix promising 100 bytes, then the stream dies.
+    const unsigned char prefix[4] = {0, 0, 0, 100};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+    ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+    ::close(fds[1]);
+    fds[1] = -1;
+
+    auto torn = readFrame(fds[0]);
+    ASSERT_FALSE(torn.isOk());
+    EXPECT_EQ(torn.status().code(), ErrorCode::Unavailable);
+}
+
+TEST_F(FramePipe, OversizedLengthIsInvalidArgument)
+{
+    const unsigned char prefix[4] = {0xff, 0xff, 0xff, 0xff};
+    ASSERT_EQ(::write(fds[1], prefix, 4), 4);
+
+    auto oversized = readFrame(fds[0]);
+    ASSERT_FALSE(oversized.isOk());
+    EXPECT_EQ(oversized.status().code(), ErrorCode::InvalidArgument);
+}
+
+TEST(WriteFrame, OversizedPayloadIsInvalidArgument)
+{
+    const Status status =
+        writeFrame(STDOUT_FILENO, std::string(kMaxFrameBytes + 1, 'x'));
+    EXPECT_EQ(status.code(), ErrorCode::InvalidArgument);
+}
+
+// ---- parseRequest ---------------------------------------------------------
+
+TEST(ParseRequest, AppliesDefaults)
+{
+    auto parsed = parseRequest(R"({"kind":"gemm","n":256})");
+    ASSERT_TRUE(parsed.isOk());
+    const ServeRequest &req = parsed.value();
+    EXPECT_EQ(req.kind, RequestKind::Gemm);
+    EXPECT_EQ(req.combo, blas::GemmCombo::Sgemm);
+    EXPECT_EQ(req.m, 256u);
+    EXPECT_EQ(req.n, 256u);
+    EXPECT_EQ(req.k, 256u);
+    EXPECT_EQ(req.batch, 1u);
+    EXPECT_EQ(req.reps, 10);
+    EXPECT_EQ(req.tenant, "default");
+    EXPECT_DOUBLE_EQ(req.deadlineSec, 60.0);
+    EXPECT_EQ(req.chaos, ChaosMode::None);
+    EXPECT_FALSE(req.faults.any());
+}
+
+TEST(ParseRequest, ParsesFullRequest)
+{
+    auto parsed = parseRequest(
+        R"({"kind":"gemm","id":"r1","tenant":"t0","combo":"hss",)"
+        R"("m":64,"n":128,"k":32,"batch":8,"alpha":0.5,"beta":0.25,)"
+        R"("reps":3,"deadline_sec":7.5,"inject":"oom=0.5",)"
+        R"("chaos":"kill9"})");
+    ASSERT_TRUE(parsed.isOk());
+    const ServeRequest &req = parsed.value();
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.tenant, "t0");
+    EXPECT_EQ(req.combo, blas::GemmCombo::Hss);
+    EXPECT_EQ(req.m, 64u);
+    EXPECT_EQ(req.n, 128u);
+    EXPECT_EQ(req.k, 32u);
+    EXPECT_EQ(req.batch, 8u);
+    EXPECT_DOUBLE_EQ(req.alpha, 0.5);
+    EXPECT_DOUBLE_EQ(req.beta, 0.25);
+    EXPECT_EQ(req.reps, 3);
+    EXPECT_DOUBLE_EQ(req.deadlineSec, 7.5);
+    EXPECT_TRUE(req.faults.any());
+    EXPECT_EQ(req.chaos, ChaosMode::Kill9);
+}
+
+TEST(ParseRequest, ErrorTaxonomy)
+{
+    // Not JSON / not an object / schema violations: InvalidArgument.
+    EXPECT_EQ(parseRequest("{oops").status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(parseRequest("[1,2]").status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(parseRequest(R"({"kind":"gemm"})").status().code(),
+              ErrorCode::InvalidArgument); // n missing
+    EXPECT_EQ(parseRequest(R"({"kind":"gemm","n":0})").status().code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(
+        parseRequest(R"({"kind":"gemm","n":100000})").status().code(),
+        ErrorCode::InvalidArgument); // above kMaxRequestN
+    EXPECT_EQ(parseRequest(R"({"kind":"gemm","n":64,"reps":0})")
+                  .status()
+                  .code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(parseRequest(R"({"kind":"gemm","n":64,"combo":"zgemm"})")
+                  .status()
+                  .code(),
+              ErrorCode::InvalidArgument);
+    EXPECT_EQ(
+        parseRequest(R"({"kind":"gemm","n":64,"deadline_sec":0})")
+            .status()
+            .code(),
+        ErrorCode::InvalidArgument);
+    EXPECT_EQ(
+        parseRequest(R"({"kind":"gemm","n":64,"inject":"bogus=1"})")
+            .status()
+            .code(),
+        ErrorCode::InvalidArgument);
+    EXPECT_EQ(parseRequest(R"({"kind":"gemm","n":64,"m":1.5})")
+                  .status()
+                  .code(),
+              ErrorCode::InvalidArgument); // non-integer dimension
+
+    // Unknown kind / chaos names: Unsupported.
+    EXPECT_EQ(parseRequest(R"({"kind":"fft","n":64})").status().code(),
+              ErrorCode::Unsupported);
+    EXPECT_EQ(
+        parseRequest(R"({"kind":"gemm","n":64,"chaos":"meteor"})")
+            .status()
+            .code(),
+        ErrorCode::Unsupported);
+
+    // Execution parameters on control requests are rejected, so a
+    // typoed kind cannot silently drop a workload's parameters.
+    EXPECT_EQ(parseRequest(R"({"kind":"ping","n":64})").status().code(),
+              ErrorCode::InvalidArgument);
+}
+
+TEST(ParseRequest, SweepGridIsBounded)
+{
+    auto ok = parseRequest(
+        R"({"kind":"sweep","n":16,"sweep_max_n":256})");
+    ASSERT_TRUE(ok.isOk());
+    EXPECT_EQ(ok.value().sweepMaxN, 256u);
+
+    // The widest legal sweep (1 -> 16384, 15 doubling points) stays
+    // under kMaxSweepPoints.
+    EXPECT_TRUE(parseRequest(
+                    R"({"kind":"sweep","n":1,"sweep_max_n":16384})")
+                    .isOk());
+    // A max below the start is out of range.
+    EXPECT_EQ(parseRequest(
+                  R"({"kind":"sweep","n":64,"sweep_max_n":32})")
+                  .status()
+                  .code(),
+              ErrorCode::InvalidArgument);
+    // sweep_max_n on a non-sweep request is a schema violation.
+    EXPECT_EQ(parseRequest(
+                  R"({"kind":"gemm","n":64,"sweep_max_n":128})")
+                  .status()
+                  .code(),
+              ErrorCode::InvalidArgument);
+}
+
+// ---- canonicalKey ---------------------------------------------------------
+
+TEST(CanonicalKey, IgnoresIdAndTenantOnly)
+{
+    auto a = parseRequest(
+        R"({"kind":"gemm","id":"a","tenant":"t1","n":64})");
+    auto b = parseRequest(
+        R"({"kind":"gemm","id":"b","tenant":"t2","n":64})");
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(canonicalKey(a.value()), canonicalKey(b.value()));
+
+    // Every result-affecting field must change the key.
+    const char *variants[] = {
+        R"({"kind":"gemm","n":65})",
+        R"({"kind":"gemm","n":64,"m":65})",
+        R"({"kind":"gemm","n":64,"k":65})",
+        R"({"kind":"gemm","n":64,"combo":"dgemm"})",
+        R"({"kind":"gemm","n":64,"batch":2})",
+        R"({"kind":"gemm","n":64,"alpha":2.0})",
+        R"({"kind":"gemm","n":64,"beta":1.0})",
+        R"({"kind":"gemm","n":64,"reps":11})",
+        R"({"kind":"gemm","n":64,"deadline_sec":61})",
+        R"({"kind":"gemm","n":64,"inject":"oom=0.5"})",
+        R"({"kind":"gemm","n":64,"chaos":"segv"})",
+        R"({"kind":"sweep","n":64,"sweep_max_n":128})",
+    };
+    const std::string base = canonicalKey(a.value());
+    for (const char *variant : variants) {
+        auto parsed = parseRequest(variant);
+        ASSERT_TRUE(parsed.isOk()) << variant;
+        EXPECT_NE(canonicalKey(parsed.value()), base) << variant;
+    }
+}
+
+TEST(CanonicalKey, CanonicalizesInjectSpellings)
+{
+    // "oom=0.5,hang=0" and "oom=0.5" are the same injection.
+    auto a = parseRequest(
+        R"({"kind":"gemm","n":64,"inject":"oom=0.5,hang=0"})");
+    auto b =
+        parseRequest(R"({"kind":"gemm","n":64,"inject":"oom=0.5"})");
+    ASSERT_TRUE(a.isOk());
+    ASSERT_TRUE(b.isOk());
+    EXPECT_EQ(canonicalKey(a.value()), canonicalKey(b.value()));
+}
+
+// ---- Responses ------------------------------------------------------------
+
+TEST(Responses, OkEnvelopeRoundTrips)
+{
+    JsonValue payload = JsonValue::object();
+    payload.set("tflops", 12.5);
+    const std::string frame = okResponse("req-7", payload);
+    // Compact: envelopes are one line, deterministic.
+    EXPECT_EQ(frame.find('\n'), std::string::npos);
+
+    auto parsed = parseResponse(frame);
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().id, "req-7");
+    EXPECT_EQ(parsed.value().code, ErrorCode::Ok);
+    EXPECT_DOUBLE_EQ(parsed.value().payload.at("tflops").asNumber(),
+                     12.5);
+}
+
+TEST(Responses, ErrorEnvelopeRoundTrips)
+{
+    const std::string frame =
+        errorResponse("req-9", Status::deadlineExceeded("too slow"));
+    auto parsed = parseResponse(frame);
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().id, "req-9");
+    EXPECT_EQ(parsed.value().code, ErrorCode::DeadlineExceeded);
+    EXPECT_EQ(parsed.value().error, "too slow");
+}
+
+TEST(Responses, MalformedEnvelopeIsInternal)
+{
+    EXPECT_EQ(parseResponse("{}").status().code(), ErrorCode::Internal);
+    EXPECT_EQ(parseResponse("not json").status().code(),
+              ErrorCode::Internal);
+    EXPECT_EQ(
+        parseResponse(R"({"id":"x","code":"NoSuchCode"})").status().code(),
+        ErrorCode::Internal);
+    // An Ok code without a payload is a torn result.
+    EXPECT_EQ(parseResponse(R"({"id":"x","code":"Ok"})").status().code(),
+              ErrorCode::Internal);
+}
+
+} // namespace
+} // namespace serve
+} // namespace mc

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Test/CLI client for the mc_serve daemon.
+ *
+ * Each positional argument is one JSON request document (or
+ * `@file`: one request per non-empty line). Requests are sent on one
+ * connection, in argument order; `--pipeline` sends every frame before
+ * reading any response, which is how the chaos gate produces a
+ * deterministic overload on the daemon's admission queue (the whole
+ * burst arrives in frame order on one reader).
+ *
+ * Responses are printed to stdout one per line, *sorted by (id,
+ * frame)*: response arrival order depends on scheduling, the sorted
+ * dump does not — so two runs of the same request set can be
+ * byte-compared (the determinism check of cmake/ServeChaos.cmake).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cli.hh"
+#include "serve/protocol.hh"
+
+namespace {
+
+using namespace mc;
+
+int
+fail(const char *what, const std::string &detail)
+{
+    std::fprintf(stderr, "mc_client: %s: %s\n", what, detail.c_str());
+    return exit_code::Failure;
+}
+
+int
+connectTo(const std::string &socket_path, int port, double timeout_sec)
+{
+    int fd = -1;
+    if (!socket_path.empty()) {
+        sockaddr_un addr{};
+        if (socket_path.size() >= sizeof(addr.sun_path))
+            return -1;
+        fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        addr.sun_family = AF_UNIX;
+        std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                      socket_path.c_str());
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+    } else {
+        fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd < 0)
+            return -1;
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+    }
+    // A dead daemon must fail the client, not hang it (CI safety).
+    timeval tv{};
+    tv.tv_sec = static_cast<long>(timeout_sec);
+    tv.tv_usec = static_cast<long>((timeout_sec - tv.tv_sec) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    return fd;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("mc_client: send requests to an mc_serve daemon");
+    cli.addFlag("socket", std::string(),
+                "Unix socket path of the daemon (empty: TCP)");
+    cli.addFlag("tcp-port", static_cast<std::int64_t>(0),
+                "TCP port of the daemon on 127.0.0.1");
+    cli.addFlag("repeat", static_cast<std::int64_t>(1),
+                "send the request list this many times");
+    cli.addFlag("pipeline", false,
+                "send every frame before reading any response");
+    cli.addFlag("timeout-sec", 120.0, "per-response read timeout");
+    cli.requireIntAtLeast("repeat", 1);
+    cli.requireIntAtLeast("tcp-port", 0);
+    cli.requirePositiveDouble("timeout-sec");
+    cli.parse(argc, argv);
+
+    std::vector<std::string> requests;
+    for (const std::string &arg : cli.positional()) {
+        if (!arg.empty() && arg[0] == '@') {
+            std::ifstream in(arg.substr(1));
+            if (!in)
+                return fail("cannot open request file", arg.substr(1));
+            std::string line;
+            while (std::getline(in, line))
+                if (!line.empty())
+                    requests.push_back(line);
+        } else {
+            requests.push_back(arg);
+        }
+    }
+    if (requests.empty())
+        return fail("no requests", "pass JSON documents or @file");
+
+    const int repeat = static_cast<int>(cli.getInt("repeat"));
+    std::vector<std::string> to_send;
+    for (int i = 0; i < repeat; ++i)
+        for (const std::string &request : requests)
+            to_send.push_back(request);
+
+    const int fd = connectTo(cli.getString("socket"),
+                             static_cast<int>(cli.getInt("tcp-port")),
+                             cli.getDouble("timeout-sec"));
+    if (fd < 0)
+        return fail("cannot connect", "is the daemon running?");
+
+    std::vector<std::string> responses;
+    auto read_one = [&]() -> bool {
+        auto frame = serve::readFrame(fd);
+        if (!frame.isOk() || !frame.value().has_value())
+            return false;
+        responses.push_back(*frame.value());
+        return true;
+    };
+
+    const bool pipeline = cli.getBool("pipeline");
+    for (const std::string &request : to_send) {
+        Status sent = serve::writeFrame(fd, request);
+        if (!sent.isOk()) {
+            ::close(fd);
+            return fail("send failed", sent.toString());
+        }
+        if (!pipeline && !read_one()) {
+            ::close(fd);
+            return fail("read failed", "daemon closed or timed out");
+        }
+    }
+    if (pipeline) {
+        for (std::size_t i = 0; i < to_send.size(); ++i) {
+            if (!read_one()) {
+                ::close(fd);
+                return fail("read failed",
+                            "daemon closed or timed out");
+            }
+        }
+    }
+    ::close(fd);
+
+    // Sorted, so the dump depends only on the response *set*, never on
+    // completion order.
+    std::sort(responses.begin(), responses.end(),
+              [](const std::string &a, const std::string &b) {
+                  auto pa = serve::parseResponse(a);
+                  auto pb = serve::parseResponse(b);
+                  const std::string ida =
+                      pa.isOk() ? pa.value().id : std::string();
+                  const std::string idb =
+                      pb.isOk() ? pb.value().id : std::string();
+                  return std::tie(ida, a) < std::tie(idb, b);
+              });
+    for (const std::string &response : responses)
+        std::printf("%s\n", response.c_str());
+    return exit_code::Ok;
+}

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The mc_serve daemon entry point: flag parsing, tune-artifact and
+ * concurrency setup, signal handling, and the serve loop.
+ *
+ * The daemon serves GEMM/sweep measurement requests over a Unix or
+ * loopback-TCP socket with admission control, single-flight
+ * coalescing, a shared plan cache, and supervised worker isolation
+ * for crashy requests — see docs/SERVING.md for the protocol and the
+ * degradation ladder, and src/serve/ for the machinery.
+ *
+ * Shutdown: SIGTERM/SIGINT or a "shutdown" request drain the daemon
+ * gracefully — queued requests are cancelled with Unavailable, running
+ * ones finish and answer, then the listener and connections close.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "blas/tune.hh"
+#include "common/cli.hh"
+#include "exec/thread_pool.hh"
+#include "serve/server.hh"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void
+onSignal(int)
+{
+    g_signalled = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace mc;
+
+    CliParser cli("mc_serve: fault-tolerant GEMM simulation service");
+    cli.addFlag("socket", std::string(),
+                "Unix socket path to listen on (empty: TCP)");
+    cli.addFlag("tcp-port", static_cast<std::int64_t>(0),
+                "TCP port on 127.0.0.1 (0 = kernel-assigned)");
+    cli.addFlag("slots", static_cast<std::int64_t>(1),
+                "requests executing concurrently");
+    cli.addFlag("queue-depth", static_cast<std::int64_t>(8),
+                "requests waiting beyond the running ones");
+    cli.addFlag("tenant-slots", static_cast<std::int64_t>(0),
+                "per-tenant cap on running+queued requests (0 = none)");
+    cli.addFlag("isolate", std::string("faulted"),
+                "worker isolation: none|faulted|all");
+    cli.addFlag("allow-chaos", false,
+                "honor chaos requests (test daemons only)");
+    cli.addFlag("worker-deadline-sec", 60.0,
+                "wall-clock watchdog for worker processes");
+    cli.addFlag("worker-grace-sec", 2.0,
+                "grace between worker SIGTERM and SIGKILL");
+    cli.addFlag("plan-cache-cap", static_cast<std::int64_t>(0),
+                "LRU cap of the shared plan cache (0 = default)");
+    cli.addFlag("ready-file", std::string(),
+                "file written once the listener is live");
+    cli.requireIntAtLeast("slots", 1);
+    cli.requireIntAtLeast("queue-depth", 0);
+    cli.requireIntAtLeast("tenant-slots", 0);
+    cli.requireIntAtLeast("tcp-port", 0);
+    cli.requireIntAtLeast("plan-cache-cap", 0);
+    cli.requirePositiveDouble("worker-deadline-sec");
+    cli.requirePositiveDouble("worker-grace-sec");
+    cli.parse(argc, argv);
+
+    serve::ServerOptions options;
+    options.socketPath = cli.getString("socket");
+    options.tcpPort = static_cast<int>(cli.getInt("tcp-port"));
+    options.admission.slots =
+        static_cast<std::size_t>(cli.getInt("slots"));
+    options.admission.queueDepth =
+        static_cast<std::size_t>(cli.getInt("queue-depth"));
+    options.admission.tenantCap =
+        static_cast<std::size_t>(cli.getInt("tenant-slots"));
+    options.allowChaos = cli.getBool("allow-chaos");
+    options.workerDeadlineSec = cli.getDouble("worker-deadline-sec");
+    options.workerGraceSec = cli.getDouble("worker-grace-sec");
+    options.readyFile = cli.getString("ready-file");
+
+    auto isolation = serve::parseIsolation(cli.getString("isolate"));
+    if (!isolation.isOk()) {
+        std::fprintf(stderr, "mc_serve: %s\n",
+                     isolation.status().message().c_str());
+        return exit_code::Usage;
+    }
+    options.isolation = isolation.value();
+
+    // Library-internal fan-out (functional-GEMM verification threads,
+    // most prominently) must not multiply against the daemon's own
+    // slots on a small host.
+    exec::setConcurrencyCap(exec::ThreadPool::hardwareThreads());
+
+    // Tune-artifact reuse: one load at startup serves every request
+    // (MC_TUNE environment contract, docs/PERF.md).
+    blas::reloadTuningFromEnv();
+
+    serve::Server server(std::move(options));
+    if (const std::int64_t cap = cli.getInt("plan-cache-cap"); cap > 0)
+        server.planCache().setCapacity(static_cast<std::size_t>(cap));
+
+    Status started = server.start();
+    if (!started.isOk()) {
+        std::fprintf(stderr, "mc_serve: %s\n",
+                     started.toString().c_str());
+        return exit_code::Failure;
+    }
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGINT, onSignal);
+    const std::string endpoint =
+        cli.getString("socket").empty()
+            ? "127.0.0.1:" + std::to_string(server.port())
+            : cli.getString("socket");
+    std::fprintf(stderr, "[mc_serve] listening on %s\n",
+                 endpoint.c_str());
+
+    while (!g_signalled && !server.shutdownRequested()) {
+        struct timespec ts{0, 50 * 1000 * 1000}; // 50 ms
+        ::nanosleep(&ts, nullptr);
+    }
+    server.stop();
+    std::fprintf(stderr, "[mc_serve] stopped\n");
+    return exit_code::Ok;
+}
