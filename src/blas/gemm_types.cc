@@ -15,6 +15,7 @@ comboInfo(GemmCombo combo)
         {"hgemm", DT::F16, DT::F16, DT::F16},
         {"hhs", DT::F16, DT::F16, DT::F32},
         {"hss", DT::F16, DT::F32, DT::F32},
+        {"i8gemm", DT::I8, DT::I8, DT::I32},
     };
     return infos[static_cast<int>(combo)];
 }
@@ -22,12 +23,12 @@ comboInfo(GemmCombo combo)
 GemmCombo
 parseCombo(const std::string &name)
 {
-    for (GemmCombo combo : allCombos) {
+    for (GemmCombo combo : allLibraryCombos) {
         if (name == comboInfo(combo).name)
             return combo;
     }
     mc_fatal("unknown GEMM combo '", name,
-             "' (expected dgemm, sgemm, hgemm, hhs, or hss)");
+             "' (expected dgemm, sgemm, hgemm, hhs, hss, or i8gemm)");
 }
 
 } // namespace blas

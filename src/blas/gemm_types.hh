@@ -9,6 +9,7 @@
 #define MC_BLAS_GEMM_TYPES_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -27,11 +28,12 @@ namespace blas {
  */
 enum class GemmCombo
 {
-    Dgemm, ///< f64 <- f64, compute f64
-    Sgemm, ///< f32 <- f32, compute f32
-    Hgemm, ///< f16 <- f16, compute f16 (no Matrix Core support!)
-    Hhs,   ///< f16 C/D, f16 A/B, compute f32
-    Hss,   ///< f32 C/D, f16 A/B, compute f32
+    Dgemm,  ///< f64 <- f64, compute f64
+    Sgemm,  ///< f32 <- f32, compute f32
+    Hgemm,  ///< f16 <- f16, compute f16 (no Matrix Core support!)
+    Hhs,    ///< f16 C/D, f16 A/B, compute f32
+    Hss,    ///< f32 C/D, f16 A/B, compute f32
+    I8gemm, ///< i8 C/D, i8 A/B, i32 accumulate + requantize
 };
 
 /** Static description of a combo (the paper's Table III row). */
@@ -46,14 +48,53 @@ struct ComboInfo
 /** Table III lookup. */
 const ComboInfo &comboInfo(GemmCombo combo);
 
-/** All five combos, in the paper's presentation order. */
+/** The paper's five float combos, in its presentation order. The
+ *  figure benches and Table III renderings iterate this list; the
+ *  INT8 extension is deliberately not part of the paper's layout. */
 inline constexpr GemmCombo allCombos[] = {
     GemmCombo::Dgemm, GemmCombo::Sgemm, GemmCombo::Hgemm,
     GemmCombo::Hhs, GemmCombo::Hss,
 };
 
-/** Parse a combo name ("dgemm", "hss", ...); fatal on unknown names. */
+/** Every combo the library implements: the paper's five plus the
+ *  quantized INT8 path (docs/PERF.md "Integer kernels"). Name parsing
+ *  (CLI flags, tuning artifacts, serve requests) accepts all of
+ *  these. */
+inline constexpr GemmCombo allLibraryCombos[] = {
+    GemmCombo::Dgemm, GemmCombo::Sgemm, GemmCombo::Hgemm,
+    GemmCombo::Hhs, GemmCombo::Hss, GemmCombo::I8gemm,
+};
+
+/** Parse a combo name ("dgemm", "i8gemm", ...); fatal on unknown
+ *  names. */
 GemmCombo parseCombo(const std::string &name);
+
+// ---- Quantization -------------------------------------------------------
+
+/**
+ * Per-tensor affine quantization parameters of an I8gemm call:
+ * real = scale * (q - zero) for each of A, B and C/D.
+ *
+ * The kernel contract (docs/PERF.md "Integer kernels"): accumulate
+ * sum_k (a - zeroA)*(b - zeroB) exactly in int32, then requantize
+ *
+ *   D = saturate_i8(rne(alpha*effScale*acc + beta*(c - zeroD)) + zeroD)
+ *
+ * with effScale = scaleA*scaleB/scaleD and rne = round-to-nearest,
+ * ties-to-even. Integer accumulation is exact in any order, so every
+ * SIMD tier produces bit-identical D by construction.
+ */
+struct QuantParams
+{
+    float scaleA = 1.0f; ///< positive, finite
+    float scaleB = 1.0f;
+    float scaleD = 1.0f;
+    std::int32_t zeroA = 0; ///< in [-128, 127]
+    std::int32_t zeroB = 0;
+    std::int32_t zeroD = 0;
+
+    bool operator==(const QuantParams &) const = default;
+};
 
 // ---- Functional-backend knobs -------------------------------------------
 
@@ -123,6 +164,10 @@ struct GemmConfig
     int forceMacroTile = 0;
     /** Ablation knob: force the Matrix Core path decision. */
     std::optional<bool> forceMatrixCorePath;
+
+    /** Quantization parameters; consulted by I8gemm only (and part of
+     *  that combo's plan identity). */
+    QuantParams quant;
 
     /** Algorithmic multiply-add FLOPs of the matrix product
      *  (2mnk per batch entry). */

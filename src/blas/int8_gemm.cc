@@ -1,0 +1,176 @@
+#include "int8_gemm.hh"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "blas/simd_int_kernels.hh"
+#include "blas/tune.hh"
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace mc {
+namespace blas {
+
+namespace {
+
+void
+validateQuantProblem(const Matrix<std::int8_t> &a,
+                     const Matrix<std::int8_t> &b,
+                     const Matrix<std::int8_t> &c,
+                     const Matrix<std::int8_t> &d, const QuantParams &qp)
+{
+    mc_assert(b.rows() == a.cols(), "quantizedGemm: A/B depth mismatch");
+    mc_assert(c.rows() == a.rows() && c.cols() == b.cols(),
+              "quantizedGemm: C shape mismatch");
+    mc_assert(d.rows() == a.rows() && d.cols() == b.cols(),
+              "quantizedGemm: D shape mismatch");
+    mc_assert(a.cols() <= kMaxQuantizedK,
+              "quantizedGemm: k beyond the int32 accumulator bound");
+    mc_assert(std::isfinite(qp.scaleA) && qp.scaleA > 0.0f &&
+                  std::isfinite(qp.scaleB) && qp.scaleB > 0.0f &&
+                  std::isfinite(qp.scaleD) && qp.scaleD > 0.0f,
+              "quantizedGemm: scales must be positive and finite");
+    mc_assert(qp.zeroA >= -128 && qp.zeroA <= 127 && qp.zeroB >= -128 &&
+                  qp.zeroB <= 127 && qp.zeroD >= -128 && qp.zeroD <= 127,
+              "quantizedGemm: zero points must lie in int8 range");
+}
+
+} // namespace
+
+void
+scalarQuantizedGemm(double alpha, const Matrix<std::int8_t> &a,
+                    const Matrix<std::int8_t> &b, double beta,
+                    const Matrix<std::int8_t> &c, Matrix<std::int8_t> &d,
+                    const QuantParams &qp)
+{
+    validateQuantProblem(a, b, c, d, qp);
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+    const double eff = effectiveQuantScale(alpha, qp);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            std::int32_t acc = 0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+                acc += (static_cast<std::int32_t>(a(i, kk)) - qp.zeroA) *
+                       (static_cast<std::int32_t>(b(kk, j)) - qp.zeroB);
+            }
+            d(i, j) = requantizeI8(acc, eff, beta, c(i, j), qp);
+        }
+    }
+}
+
+void
+fastQuantizedGemm(double alpha, const Matrix<std::int8_t> &a,
+                  const Matrix<std::int8_t> &b, double beta,
+                  const Matrix<std::int8_t> &c, Matrix<std::int8_t> &d,
+                  const QuantParams &qp, const FunctionalGemmOptions &opts)
+{
+    validateQuantProblem(a, b, c, d, qp);
+    const std::size_t m = a.rows();
+    const std::size_t k = a.cols();
+    const std::size_t n = b.cols();
+
+    const FunctionalGemmOptions res =
+        resolveFunctionalOptions(opts, GemmCombo::I8gemm, n);
+    const Int8Kernels &ker = int8KernelsFor(res.simd);
+    const std::size_t g = ker.kGroup;
+
+    // Pad k to a multiple of 4 (every tier's group divides 4) with
+    // zeros on both operands — zero products leave the sum exact. The
+    // panel depth also rounds up so panel origins stay group-aligned.
+    const std::size_t kp = (k + 3) / 4 * 4;
+    const std::size_t bm = static_cast<std::size_t>(res.blockM);
+    const std::size_t bn = static_cast<std::size_t>(res.blockN);
+    const std::size_t bk =
+        (static_cast<std::size_t>(res.blockK) + 3) / 4 * 4;
+
+    const std::int8_t *abase = a.data();
+    std::size_t lda = k;
+    std::vector<std::int8_t> apad;
+    if (kp != k) {
+        apad.assign(m * kp, 0);
+        for (std::size_t i = 0; i < m; ++i)
+            std::copy_n(a.data() + i * k, k, apad.data() + i * kp);
+        abase = apad.data();
+        lda = kp;
+    }
+
+    // B in the tier's k-group layout (simd_int_kernels.hh).
+    std::vector<std::int8_t> bpack(kp * n, 0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::int8_t *brow = b.data() + kk * n;
+        std::int8_t *dst = bpack.data() + (kk / g) * n * g + (kk % g);
+        for (std::size_t j = 0; j < n; ++j)
+            dst[j * g] = brow[j];
+    }
+
+    // Operand sums for the zero-point correction (and the VNNI +128
+    // bias). |rowsum| <= 32768 * 128 — comfortably int32.
+    std::vector<std::int32_t> rowsum(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+        const std::int8_t *arow = a.data() + i * k;
+        for (std::size_t kk = 0; kk < k; ++kk)
+            rowsum[i] += arow[kk];
+    }
+    std::vector<std::int32_t> colsum(n, 0);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+        const std::int8_t *brow = b.data() + kk * n;
+        for (std::size_t j = 0; j < n; ++j)
+            colsum[j] += brow[j];
+    }
+
+    const double eff = effectiveQuantScale(alpha, qp);
+    const std::int64_t za = qp.zeroA;
+    const std::int64_t zb = qp.zeroB;
+    const std::int64_t kzz = static_cast<std::int64_t>(k) * za * zb;
+    const std::int64_t abias = ker.biasA128 ? 128 : 0;
+
+    exec::parallelChunks(m, bm, res.threads, [&](std::size_t i0,
+                                                 std::size_t i1) {
+        std::vector<std::int32_t> accs(bn);
+        for (std::size_t i = i0; i < i1; ++i) {
+            const std::int8_t *arow = abase + i * lda;
+            for (std::size_t j0 = 0; j0 < n; j0 += bn) {
+                const std::size_t nj = std::min(bn, n - j0);
+                std::fill(accs.begin(), accs.begin() + nj, 0);
+                for (std::size_t k0 = 0; k0 < kp; k0 += bk) {
+                    const std::size_t nk = std::min(bk, kp - k0);
+                    // Panel origin: (k0/g)*n*g + j0*g = k0*n + j0*g
+                    // since g divides k0.
+                    ker.dotI8(arow + k0, bpack.data() + k0 * n + j0 * g,
+                              n, nk, accs.data(), nj);
+                }
+                for (std::size_t j = 0; j < nj; ++j) {
+                    const std::size_t col = j0 + j;
+                    const std::int64_t acc =
+                        static_cast<std::int64_t>(accs[j]) -
+                        (abias + za) * colsum[col] - zb * rowsum[i] + kzz;
+                    mc_assert(
+                        acc >= std::numeric_limits<std::int32_t>::min() &&
+                            acc <= std::numeric_limits<std::int32_t>::max(),
+                        "quantizedGemm: corrected accumulator overflow");
+                    d(i, col) =
+                        requantizeI8(static_cast<std::int32_t>(acc), eff,
+                                     beta, c(i, col), qp);
+                }
+            }
+        }
+    });
+}
+
+void
+quantizedGemm(double alpha, const Matrix<std::int8_t> &a,
+              const Matrix<std::int8_t> &b, double beta,
+              const Matrix<std::int8_t> &c, Matrix<std::int8_t> &d,
+              const QuantParams &qp, const FunctionalGemmOptions &opts)
+{
+    if (opts.forceScalar)
+        scalarQuantizedGemm(alpha, a, b, beta, c, d, qp);
+    else
+        fastQuantizedGemm(alpha, a, b, beta, c, d, qp, opts);
+}
+
+} // namespace blas
+} // namespace mc

@@ -51,6 +51,24 @@ makePlanKey(const GemmConfig &config, const PlannerOptions &opts,
     key.mixedPrecisionMinDim = opts.mixedPrecisionMinDim;
 
     key.calibration = calibration_fingerprint;
+
+    std::uint64_t qbits = kHashBasis;
+    qbits = hashCombine(
+        qbits, std::bit_cast<std::uint32_t>(config.quant.scaleA));
+    qbits = hashCombine(
+        qbits, std::bit_cast<std::uint32_t>(config.quant.scaleB));
+    qbits = hashCombine(
+        qbits, std::bit_cast<std::uint32_t>(config.quant.scaleD));
+    qbits = hashCombine(
+        qbits, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(config.quant.zeroA)));
+    qbits = hashCombine(
+        qbits, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(config.quant.zeroB)));
+    qbits = hashCombine(
+        qbits, static_cast<std::uint64_t>(
+                   static_cast<std::int64_t>(config.quant.zeroD)));
+    key.quantBits = qbits;
     return key;
 }
 
@@ -101,6 +119,7 @@ PlanKeyHash::operator()(const PlanKey &key) const
     h = hashCombine(h, key.calibration);
     h = hashCombine(h, key.funcBits);
     h = hashCombine(h, key.tuneFingerprint);
+    h = hashCombine(h, key.quantBits);
     return static_cast<std::size_t>(h);
 }
 

@@ -66,6 +66,10 @@ struct PlanKey
      *  tuning is inactive): activating or swapping an artifact misses
      *  instead of serving plans resolved against the old entries. */
     std::uint64_t tuneFingerprint = 0;
+    /** Packed QuantParams (scales by bit pattern, zero points):
+     *  consulted by I8gemm only, but hashed for every combo — the
+     *  defaults pack to one constant, so float keys are unaffected. */
+    std::uint64_t quantBits = 0;
 
     bool operator==(const PlanKey &) const = default;
 };

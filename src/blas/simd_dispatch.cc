@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "blas/simd_int_kernels.hh"
 #include "blas/simd_kernels.hh"
 #include "common/logging.hh"
 
@@ -44,6 +45,7 @@ probeCpu()
                __builtin_cpu_supports("avx512bw") &&
                __builtin_cpu_supports("avx512vl") &&
                __builtin_cpu_supports("avx512dq");
+    f.avx512vnni = f.avx512 && __builtin_cpu_supports("avx512vnni");
 #endif
 #if defined(MC_SIMD_HAVE_NEON)
     f.neon = true; // baseline on aarch64
@@ -224,6 +226,36 @@ const SimdKernels &
 simdKernelsFor(SimdTier requested)
 {
     return simdKernels(resolveSimdTier(requested));
+}
+
+const Int8Kernels &
+int8Kernels(SimdTier resolved)
+{
+    mc_assert(resolved != SimdTier::Auto,
+              "int8Kernels needs a resolved tier");
+    const Int8Kernels *kernels = &detail::scalarInt8Kernels();
+    switch (resolved) {
+#if defined(MC_SIMD_HAVE_X86)
+      case SimdTier::Sse2: kernels = &detail::sse2Int8Kernels(); break;
+      case SimdTier::Avx2: kernels = &detail::avx2Int8Kernels(); break;
+      case SimdTier::Avx512:
+        kernels = &detail::avx512Int8Kernels();
+        break;
+#endif
+#if defined(MC_SIMD_HAVE_NEON)
+      case SimdTier::Neon: kernels = &detail::neonInt8Kernels(); break;
+#endif
+      default: break;
+    }
+    g_dispatched_tiers.fetch_or(1u << static_cast<int>(kernels->tier),
+                                std::memory_order_relaxed);
+    return *kernels;
+}
+
+const Int8Kernels &
+int8KernelsFor(SimdTier requested)
+{
+    return int8Kernels(resolveSimdTier(requested));
 }
 
 } // namespace blas

@@ -42,6 +42,9 @@ struct CpuFeatures
     bool avx2 = false;
     /** AVX-512 F+BW+VL+DQ (the Skylake-server baseline). */
     bool avx512 = false;
+    /** AVX512-VNNI (vpdpbusd); refines the Avx512 tier's int8 dot
+     *  kernel, not a ladder rung of its own. */
+    bool avx512vnni = false;
     bool neon = false;
 };
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * AVX2 tier of the int8 dot ladder: kGroup = 2 packed B, vpmovsxbw
+ * sign-extension and vpmaddwd reduction, 16 columns per step. Exact
+ * integer arithmetic — identical bits to the scalar loop.
+ */
+
+#include <immintrin.h>
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+namespace {
+
+void
+avx2DotI8(const std::int8_t *arow, const std::int8_t *bpack,
+          std::size_t ldp, std::size_t nk, std::int32_t *accs,
+          std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; kk += 2) {
+        const std::int32_t a0 = arow[kk];
+        const std::int32_t a1 = arow[kk + 1];
+        const std::uint32_t pair =
+            (static_cast<std::uint32_t>(static_cast<std::uint16_t>(a1))
+             << 16) |
+            static_cast<std::uint16_t>(a0);
+        const __m256i va =
+            _mm256_set1_epi32(static_cast<std::int32_t>(pair));
+        const std::int8_t *bgroup = bpack + kk * ldp;
+        std::size_t j = 0;
+        for (; j + 16 <= nj; j += 16) {
+            const __m128i raw0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(bgroup + j * 2));
+            const __m128i raw1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(bgroup + j * 2 + 16));
+            const __m256i w0 = _mm256_cvtepi8_epi16(raw0);
+            const __m256i w1 = _mm256_cvtepi8_epi16(raw1);
+            __m256i acc0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(accs + j));
+            __m256i acc1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(accs + j + 8));
+            acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, w0));
+            acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, w1));
+            _mm256_storeu_si256(reinterpret_cast<__m256i *>(accs + j),
+                                acc0);
+            _mm256_storeu_si256(
+                reinterpret_cast<__m256i *>(accs + j + 8), acc1);
+        }
+        for (; j < nj; ++j) {
+            accs[j] += a0 * static_cast<std::int32_t>(bgroup[j * 2]) +
+                       a1 * static_cast<std::int32_t>(bgroup[j * 2 + 1]);
+        }
+    }
+}
+
+} // namespace
+
+const Int8Kernels &
+avx2Int8Kernels()
+{
+    static const Int8Kernels kernels = {SimdTier::Avx2, 2, false,
+                                        &avx2DotI8};
+    return kernels;
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * AVX-512 tier of the int8 dot ladder. Two inner loops share the
+ * rung: the portable vpmaddwd form (kGroup = 2, 32 columns per step),
+ * and — when the host reports AVX512-VNNI — the vpdpbusd form from
+ * simd_int_avx512vnni.cc (kGroup = 4, biased-A contract). Both are
+ * exact integer arithmetic, so the runtime choice never changes the
+ * output bits; it only changes which instruction does the reduction.
+ */
+
+#include <immintrin.h>
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+namespace {
+
+void
+avx512DotI8(const std::int8_t *arow, const std::int8_t *bpack,
+            std::size_t ldp, std::size_t nk, std::int32_t *accs,
+            std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; kk += 2) {
+        const std::int32_t a0 = arow[kk];
+        const std::int32_t a1 = arow[kk + 1];
+        const std::uint32_t pair =
+            (static_cast<std::uint32_t>(static_cast<std::uint16_t>(a1))
+             << 16) |
+            static_cast<std::uint16_t>(a0);
+        const __m512i va =
+            _mm512_set1_epi32(static_cast<std::int32_t>(pair));
+        const std::int8_t *bgroup = bpack + kk * ldp;
+        std::size_t j = 0;
+        for (; j + 32 <= nj; j += 32) {
+            const __m256i raw0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bgroup + j * 2));
+            const __m256i raw1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(bgroup + j * 2 + 32));
+            const __m512i w0 = _mm512_cvtepi8_epi16(raw0);
+            const __m512i w1 = _mm512_cvtepi8_epi16(raw1);
+            __m512i acc0 = _mm512_loadu_si512(accs + j);
+            __m512i acc1 = _mm512_loadu_si512(accs + j + 16);
+            acc0 = _mm512_add_epi32(acc0, _mm512_madd_epi16(va, w0));
+            acc1 = _mm512_add_epi32(acc1, _mm512_madd_epi16(va, w1));
+            _mm512_storeu_si512(accs + j, acc0);
+            _mm512_storeu_si512(accs + j + 16, acc1);
+        }
+        for (; j < nj; ++j) {
+            accs[j] += a0 * static_cast<std::int32_t>(bgroup[j * 2]) +
+                       a1 * static_cast<std::int32_t>(bgroup[j * 2 + 1]);
+        }
+    }
+}
+
+} // namespace
+
+const Int8Kernels &
+avx512Int8Kernels()
+{
+    static const Int8Kernels kernels = [] {
+        Int8Kernels k;
+        k.tier = SimdTier::Avx512;
+        if (cpuFeatures().avx512vnni) {
+            k.kGroup = 4;
+            k.biasA128 = true;
+            k.dotI8 = &vnniDotI8;
+        } else {
+            k.kGroup = 2;
+            k.biasA128 = false;
+            k.dotI8 = &avx512DotI8;
+        }
+        return k;
+    }();
+    return kernels;
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The AVX512-VNNI inner loop of the int8 dot ladder: vpdpbusd, 16
+ * columns x 4 k-steps per instruction over kGroup = 4 packed B.
+ *
+ * vpdpbusd multiplies *unsigned* bytes by signed bytes, so the A
+ * operand is biased by +128 into u8 (a ^ 0x80 on the two's-complement
+ * bits); the driver subtracts 128 * colsum(B) in its epilogue (the
+ * biasA128 contract in simd_int_kernels.hh). All intermediate sums are
+ * exact, so the result bits match every other tier after correction.
+ *
+ * This lives in its own TU compiled -mavx512vnni: folding it into the
+ * general AVX-512 tier's TU would let the compiler emit VNNI
+ * instructions anywhere in that file, crashing non-VNNI hosts. Only
+ * the dispatcher calls this, and only after the CPUID probe.
+ */
+
+#include <immintrin.h>
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+void
+vnniDotI8(const std::int8_t *arow, const std::int8_t *bpack,
+          std::size_t ldp, std::size_t nk, std::int32_t *accs,
+          std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; kk += 4) {
+        std::uint32_t quad = 0;
+        for (int t = 0; t < 4; ++t) {
+            const std::uint32_t biased =
+                static_cast<std::uint8_t>(arow[kk + t] ^ 0x80);
+            quad |= biased << (8 * t);
+        }
+        const __m512i va =
+            _mm512_set1_epi32(static_cast<std::int32_t>(quad));
+        const std::int8_t *bgroup = bpack + kk * ldp;
+        std::size_t j = 0;
+        for (; j + 16 <= nj; j += 16) {
+            const __m512i vb = _mm512_loadu_si512(bgroup + j * 4);
+            __m512i acc = _mm512_loadu_si512(accs + j);
+            acc = _mm512_dpbusd_epi32(acc, va, vb);
+            _mm512_storeu_si512(accs + j, acc);
+        }
+        for (; j < nj; ++j) {
+            const std::int8_t *bq = bgroup + j * 4;
+            std::int32_t sum = 0;
+            for (int t = 0; t < 4; ++t) {
+                const std::int32_t biased =
+                    static_cast<std::uint8_t>(arow[kk + t] ^ 0x80);
+                sum += biased * static_cast<std::int32_t>(bq[t]);
+            }
+            accs[j] += sum;
+        }
+    }
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

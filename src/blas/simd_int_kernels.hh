@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Integer-SIMD dot-product micro-kernels of the quantized INT8 GEMM
+ * path (docs/PERF.md "Integer kernels").
+ *
+ * Unlike the float axpy ladder, the int8 kernels need no rounding
+ * discipline at all: every product of two int8 values and every int32
+ * sum is exact, so any accumulation order and any SIMD width produce
+ * the same bits. What the tiers share instead is a *data layout*
+ * contract — B is pre-packed into k-groups so each tier's widening
+ * instruction (pmaddwd pairs, vpdpbusd quads, NEON dot quads) reads
+ * its operands contiguously:
+ *
+ *   packed[(kk / g) * ldp * g + j * g + (kk % g)] = B(kk, j)
+ *
+ * with g = kGroup and ldp = the packed column count. The driver
+ * (int8_gemm.cc) zero-pads k up to a multiple of 4 so every tier's
+ * group evenly divides the panel depth, and hands each kernel a panel
+ * whose origin and length are multiples of g.
+ */
+
+#ifndef MC_BLAS_SIMD_INT_KERNELS_HH
+#define MC_BLAS_SIMD_INT_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "blas/simd_dispatch.hh"
+
+namespace mc {
+namespace blas {
+
+/**
+ * Function-pointer table of one tier's int8 kernels. The scalar tier
+ * fills it with the plain reference loop.
+ */
+struct Int8Kernels
+{
+    /**
+     * accs[j] += sum_{kk < nk} arow[kk] * B(kk, j) for j < nj, with B
+     * read from a kGroup-packed panel at @p bpack (layout above,
+     * column stride @p ldp). nk is a multiple of kGroup. A kernel with
+     * biasA128 set computes sum (arow[kk] + 128) * B(kk, j) instead —
+     * the unsigned-A form vpdpbusd needs — and the driver subtracts
+     * 128 * colsum(B) afterwards; either way the arithmetic is exact.
+     */
+    using DotI8 = void (*)(const std::int8_t *arow,
+                           const std::int8_t *bpack, std::size_t ldp,
+                           std::size_t nk, std::int32_t *accs,
+                           std::size_t nj);
+
+    SimdTier tier = SimdTier::Scalar;
+    /** B-panel packing group (1, 2 or 4; divides 4). */
+    std::size_t kGroup = 1;
+    /** Kernel accumulates (a + 128) * b (the VNNI contract). */
+    bool biasA128 = false;
+    DotI8 dotI8 = nullptr;
+};
+
+/** The int8 kernel table of a *resolved* tier (asserts tier != Auto).
+ *  Records the tier in the dispatched-tier label like simdKernels. */
+const Int8Kernels &int8Kernels(SimdTier resolved);
+
+/** resolveSimdTier + int8Kernels in one call. */
+const Int8Kernels &int8KernelsFor(SimdTier requested);
+
+namespace detail {
+
+// Defined by the integer tier translation units cmake compiles in;
+// only the dispatcher (simd_dispatch.cc) calls these directly.
+const Int8Kernels &scalarInt8Kernels();
+#if defined(MC_SIMD_HAVE_X86)
+const Int8Kernels &sse2Int8Kernels();
+const Int8Kernels &avx2Int8Kernels();
+const Int8Kernels &avx512Int8Kernels();
+/** The vpdpbusd inner loop (simd_int_avx512vnni.cc, its own TU so
+ *  -mavx512vnni code cannot leak into the plain AVX-512 tier);
+ *  biased-A contract, kGroup 4. Only called when the host reports
+ *  avx512vnni. */
+void vnniDotI8(const std::int8_t *arow, const std::int8_t *bpack,
+               std::size_t ldp, std::size_t nk, std::int32_t *accs,
+               std::size_t nj);
+#endif
+#if defined(MC_SIMD_HAVE_NEON)
+const Int8Kernels &neonInt8Kernels();
+#endif
+
+} // namespace detail
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_SIMD_INT_KERNELS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * NEON tier of the int8 dot ladder (aarch64): kGroup = 4 packed B,
+ * 4 columns x 4 k-steps per step. When the target enables the dot-
+ * product extension (__ARM_FEATURE_DOTPROD) the reduction is a single
+ * sdot; otherwise vmull_s8 widens to i16 (|product| <= 16384, exact)
+ * and vpaddlq/vpaddq fold the quads in i32. Both forms are exact
+ * integer arithmetic — identical bits to the scalar loop.
+ */
+
+#include <arm_neon.h>
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+namespace {
+
+void
+neonDotI8(const std::int8_t *arow, const std::int8_t *bpack,
+          std::size_t ldp, std::size_t nk, std::int32_t *accs,
+          std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; kk += 4) {
+        std::uint32_t quad = 0;
+        for (int t = 0; t < 4; ++t) {
+            quad |= static_cast<std::uint32_t>(
+                        static_cast<std::uint8_t>(arow[kk + t]))
+                    << (8 * t);
+        }
+        const int8x16_t va = vreinterpretq_s8_u32(vdupq_n_u32(quad));
+        const std::int8_t *bgroup = bpack + kk * ldp;
+        std::size_t j = 0;
+        for (; j + 4 <= nj; j += 4) {
+            const int8x16_t vb = vld1q_s8(bgroup + j * 4);
+            int32x4_t acc = vld1q_s32(accs + j);
+#if defined(__ARM_FEATURE_DOTPROD)
+            acc = vdotq_s32(acc, va, vb);
+#else
+            const int16x8_t lo =
+                vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+            const int16x8_t hi =
+                vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+            acc = vaddq_s32(
+                acc, vpaddq_s32(vpaddlq_s16(lo), vpaddlq_s16(hi)));
+#endif
+            vst1q_s32(accs + j, acc);
+        }
+        for (; j < nj; ++j) {
+            const std::int8_t *bq = bgroup + j * 4;
+            std::int32_t sum = 0;
+            for (int t = 0; t < 4; ++t)
+                sum += static_cast<std::int32_t>(arow[kk + t]) *
+                       static_cast<std::int32_t>(bq[t]);
+            accs[j] += sum;
+        }
+    }
+}
+
+} // namespace
+
+const Int8Kernels &
+neonInt8Kernels()
+{
+    static const Int8Kernels kernels = {SimdTier::Neon, 4, false,
+                                        &neonDotI8};
+    return kernels;
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

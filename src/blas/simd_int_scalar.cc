@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Scalar tier of the int8 dot-product ladder: the plain reference
+ * loop over a kGroup = 1 (row-major) packed panel. Compiled with the
+ * project-default flags only, so it is also what MC_SIMD=scalar and
+ * the memcmp gates compare every vector tier against.
+ */
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+namespace {
+
+void
+scalarDotI8(const std::int8_t *arow, const std::int8_t *bpack,
+            std::size_t ldp, std::size_t nk, std::int32_t *accs,
+            std::size_t nj)
+{
+    for (std::size_t kk = 0; kk < nk; ++kk) {
+        const std::int32_t av = arow[kk];
+        const std::int8_t *brow = bpack + kk * ldp;
+        for (std::size_t j = 0; j < nj; ++j)
+            accs[j] += av * static_cast<std::int32_t>(brow[j]);
+    }
+}
+
+} // namespace
+
+const Int8Kernels &
+scalarInt8Kernels()
+{
+    static const Int8Kernels kernels = {SimdTier::Scalar, 1, false,
+                                        &scalarDotI8};
+    return kernels;
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * SSE2 tier of the int8 dot ladder: kGroup = 2 packed B, sign-extend
+ * the pair bytes to i16 and reduce with pmaddwd. Every i16 product of
+ * two int8 values fits (|p| <= 16384) and pmaddwd sums the pair in
+ * i32, so the arithmetic is exact — identical bits to the scalar loop.
+ *
+ * pmaddubsw is deliberately *not* used: its intermediate i16 sum
+ * saturates, which would break the exactness contract.
+ */
+
+#include <emmintrin.h>
+
+#include "blas/simd_int_kernels.hh"
+
+namespace mc {
+namespace blas {
+namespace detail {
+
+namespace {
+
+void
+sse2DotI8(const std::int8_t *arow, const std::int8_t *bpack,
+          std::size_t ldp, std::size_t nk, std::int32_t *accs,
+          std::size_t nj)
+{
+    const __m128i zero = _mm_setzero_si128();
+    for (std::size_t kk = 0; kk < nk; kk += 2) {
+        const std::int32_t a0 = arow[kk];
+        const std::int32_t a1 = arow[kk + 1];
+        const std::uint32_t pair =
+            (static_cast<std::uint32_t>(static_cast<std::uint16_t>(a1))
+             << 16) |
+            static_cast<std::uint16_t>(a0);
+        const __m128i va =
+            _mm_set1_epi32(static_cast<std::int32_t>(pair));
+        const std::int8_t *bgroup = bpack + kk * ldp;
+        std::size_t j = 0;
+        for (; j + 8 <= nj; j += 8) {
+            const __m128i raw = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(bgroup + j * 2));
+            // SSE2 sign-extension idiom: place each byte in the high
+            // half of an i16 lane, then arithmetic-shift back down.
+            const __m128i lo =
+                _mm_srai_epi16(_mm_unpacklo_epi8(zero, raw), 8);
+            const __m128i hi =
+                _mm_srai_epi16(_mm_unpackhi_epi8(zero, raw), 8);
+            __m128i acc0 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(accs + j));
+            __m128i acc1 = _mm_loadu_si128(
+                reinterpret_cast<const __m128i *>(accs + j + 4));
+            acc0 = _mm_add_epi32(acc0, _mm_madd_epi16(va, lo));
+            acc1 = _mm_add_epi32(acc1, _mm_madd_epi16(va, hi));
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(accs + j),
+                             acc0);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(accs + j + 4),
+                             acc1);
+        }
+        for (; j < nj; ++j) {
+            accs[j] += a0 * static_cast<std::int32_t>(bgroup[j * 2]) +
+                       a1 * static_cast<std::int32_t>(bgroup[j * 2 + 1]);
+        }
+    }
+}
+
+} // namespace
+
+const Int8Kernels &
+sse2Int8Kernels()
+{
+    static const Int8Kernels kernels = {SimdTier::Sse2, 2, false,
+                                        &sse2DotI8};
+    return kernels;
+}
+
+} // namespace detail
+} // namespace blas
+} // namespace mc

@@ -55,6 +55,9 @@ microTileInstruction(GemmCombo combo, arch::GpuArch target,
                                          arch::MfmaShape{16, 16, 16, 1});
         }
         return nullptr; // no f16 <- f16 MFMA exists (Table I)
+      case GemmCombo::I8gemm:
+        return arch::findInstruction(target, DT::I32, DT::I8,
+                                     arch::MfmaShape{16, 16, 16, 1});
     }
     return nullptr;
 }
@@ -74,6 +77,9 @@ mcPathEfficiency(GemmCombo combo)
       case GemmCombo::Hhs: return 0.886;
       case GemmCombo::Hss: return 0.80;
       case GemmCombo::Hgemm: return 0.85; // emulation-only path
+      // INT8 sits at the top throughput tier (1024 MACs/CU/cycle) and
+      // its i32 accumulators halve the register pressure of f64.
+      case GemmCombo::I8gemm: return 0.95;
     }
     return 1.0;
 }
@@ -127,6 +133,28 @@ addScalingValu(sim::KernelProfile &profile, const GemmConfig &config,
         if (config.beta != 1.0)
             profile.addValu(compute_type, sim::ValuOp::Mul, insts, 1);
         profile.addValu(compute_type, sim::ValuOp::Add, insts, 1);
+    }
+}
+
+/**
+ * Requantize epilogue of the INT8 path: every output element is
+ * scaled by effScale and re-centred on the zero point regardless of
+ * alpha/beta (the scale multiply cannot be folded away), plus a
+ * mul+add for the beta*C term when it contributes. Counted in the I8
+ * VALU bank — the SQ counters have no i32 bank (sim/counters.cc), and
+ * the integer epilogue issues from the same pipe as the i8 dot work.
+ */
+void
+addRequantValu(sim::KernelProfile &profile, const GemmConfig &config)
+{
+    const std::uint64_t elems = static_cast<std::uint64_t>(config.m) *
+                                config.n * config.batchCount;
+    const std::uint64_t insts = ceilDiv(elems, 64);
+    profile.addValu(arch::DataType::I8, sim::ValuOp::Mul, insts, 1);
+    profile.addValu(arch::DataType::I8, sim::ValuOp::Add, insts, 1);
+    if (config.beta != 0.0) {
+        profile.addValu(arch::DataType::I8, sim::ValuOp::Mul, insts, 1);
+        profile.addValu(arch::DataType::I8, sim::ValuOp::Add, insts, 1);
     }
 }
 
@@ -219,6 +247,7 @@ selectsMatrixCorePath(const GemmConfig &config, const PlannerOptions &opts)
                opts.mixedPrecisionMinDim;
       case GemmCombo::Dgemm:
       case GemmCombo::Sgemm:
+      case GemmCombo::I8gemm:
         return true;
     }
     return true;
@@ -276,7 +305,10 @@ planGemm(const GemmConfig &config, const arch::Cdna2Calibration &cal,
         plan.profile.addMfma(
             inst, ceilDiv(plan.mfmaInstsTotal, plan.numWavefronts));
 
-        addScalingValu(plan.profile, config, info.computeType);
+        if (config.combo == GemmCombo::I8gemm)
+            addRequantValu(plan.profile, config);
+        else
+            addScalingValu(plan.profile, config, info.computeType);
         addConversionValu(plan.profile, config, info);
         if (config.combo == GemmCombo::Hgemm) {
             // Emulated HGEMM: the MFMA accumulates in f32, so C must
@@ -325,7 +357,13 @@ planGemm(const GemmConfig &config, const arch::Cdna2Calibration &cal,
         const std::uint64_t macs = static_cast<std::uint64_t>(config.m) *
                                    config.n * config.k *
                                    config.batchCount;
-        if (info.computeType == arch::DataType::F16) {
+        if (config.combo == GemmCombo::I8gemm) {
+            // Packed v_dot4-style i8 dot product: four MACs per thread
+            // per instruction, accumulated in i32 (counted in the I8
+            // bank — the SQ counters have no i32 bank).
+            plan.profile.addValu(arch::DataType::I8, sim::ValuOp::Fma,
+                                 ceilDiv(macs, 64 * 4), 8);
+        } else if (info.computeType == arch::DataType::F16) {
             // Packed v_pk_fma_f16: two MACs per thread per instruction.
             plan.profile.addValu(arch::DataType::F16, sim::ValuOp::Fma,
                                  ceilDiv(macs, 64 * 2), 4);
@@ -333,7 +371,10 @@ planGemm(const GemmConfig &config, const arch::Cdna2Calibration &cal,
             plan.profile.addValu(info.computeType, sim::ValuOp::Fma,
                                  ceilDiv(macs, 64), 2);
         }
-        addScalingValu(plan.profile, config, info.computeType);
+        if (config.combo == GemmCombo::I8gemm)
+            addRequantValu(plan.profile, config);
+        else
+            addScalingValu(plan.profile, config, info.computeType);
         addConversionValu(plan.profile, config, info);
 
         if (info.computeType == arch::DataType::F16) {

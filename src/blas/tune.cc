@@ -25,7 +25,7 @@ namespace {
 bool
 comboFromName(const std::string &name, GemmCombo *out)
 {
-    for (GemmCombo combo : allCombos) {
+    for (GemmCombo combo : allLibraryCombos) {
         if (name == comboInfo(combo).name) {
             *out = combo;
             return true;
@@ -187,7 +187,8 @@ hostTuneFingerprint()
         const CpuFeatures &f = cpuFeatures();
         const std::uint64_t feature_bits =
             (f.sse2 ? 1u : 0u) | (f.avx2 ? 2u : 0u) |
-            (f.avx512 ? 4u : 0u) | (f.neon ? 8u : 0u);
+            (f.avx512 ? 4u : 0u) | (f.neon ? 8u : 0u) |
+            (f.avx512vnni ? 16u : 0u);
         h = hashCombine(h, feature_bits);
         h = hashCombine(h,
                         arch::calibrationFingerprint(arch::defaultCdna2()));

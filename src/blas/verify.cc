@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "blas/functional.hh"
+#include "blas/int8_gemm.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 
@@ -23,6 +24,7 @@ toleranceFor(GemmCombo combo, std::size_t k)
       case GemmCombo::Hss: return 2e-3 * growth;
       case GemmCombo::Hhs: return 5e-3 * growth;
       case GemmCombo::Hgemm: return 1e-2 * growth;
+      case GemmCombo::I8gemm: return 0.0; // exact-match contract
     }
     return 1e-3 * growth;
 }
@@ -135,6 +137,96 @@ runTyped(const GemmConfig &config, const GemmPlan &plan,
     return result;
 }
 
+/**
+ * The quantized INT8 combo verifies to *zero* tolerance: integer
+ * accumulation is exact and the requantize rounding is shared code,
+ * so the fast path must reproduce the scalar reference bit for bit
+ * (docs/PERF.md "Integer kernels"). Any nonzero difference fails.
+ */
+VerifyResult
+runI8(const GemmConfig &config, const GemmPlan &plan, VerifyScheme scheme,
+      std::uint64_t seed, const FunctionalGemmOptions &func)
+{
+    Rng rng(seed);
+    Matrix<std::int8_t> a(config.m, config.k);
+    Matrix<std::int8_t> b(config.k, config.n);
+    Matrix<std::int8_t> c(config.m, config.n);
+    auto fill = [&](Matrix<std::int8_t> &m, bool identity) {
+        if (scheme == VerifyScheme::PaperOnesIdentity) {
+            if (identity)
+                m.setIdentity();
+            else
+                m.fill(std::int8_t{1});
+            return;
+        }
+        for (std::size_t i = 0; i < m.rows(); ++i)
+            for (std::size_t j = 0; j < m.cols(); ++j)
+                m(i, j) = static_cast<std::int8_t>(
+                    std::lround(rng.uniform(-128.0, 127.0)));
+    };
+    fill(a, false);
+    fill(b, true);
+    fill(c, false);
+
+    const QuantParams &qp = config.quant;
+    Matrix<std::int8_t> d_ref(config.m, config.n);
+    scalarQuantizedGemm(config.alpha, a, b, config.beta, c, d_ref, qp);
+    // The plan's Matrix Core decision only drives the *simulated*
+    // execution; host verification always exercises the functional
+    // fast path against the scalar reference.
+    Matrix<std::int8_t> d_run(config.m, config.n);
+    fastQuantizedGemm(config.alpha, a, b, config.beta, c, d_run, qp,
+                      func);
+
+    VerifyResult result;
+    result.usedMatrixCores = plan.useMatrixCores;
+    result.tolerance = 0.0;
+    auto record = [&result](std::int8_t got, std::int8_t want,
+                            std::size_t i, std::size_t j) {
+        const double err = std::fabs(static_cast<double>(got) -
+                                     static_cast<double>(want));
+        if (err > result.maxAbsError) {
+            result.maxAbsError = err;
+            result.errorRow = i;
+            result.errorCol = j;
+        }
+        result.maxUlp =
+            std::max(result.maxUlp, static_cast<std::uint64_t>(err));
+    };
+    for (std::size_t i = 0; i < config.m; ++i)
+        for (std::size_t j = 0; j < config.n; ++j)
+            record(d_run(i, j), d_ref(i, j), i, j);
+
+    // The paper scheme has a closed-form accumulator: with A all-ones
+    // and B the identity, acc(i,j) = (1 - zeroA)*((j < k) - k*zeroB),
+    // so the expected output is one requantize call away.
+    if (scheme == VerifyScheme::PaperOnesIdentity) {
+        const double eff = effectiveQuantScale(config.alpha, qp);
+        for (std::size_t i = 0; i < config.m; ++i) {
+            for (std::size_t j = 0; j < config.n; ++j) {
+                const std::int32_t hit = (j < config.k) ? 1 : 0;
+                const std::int32_t acc =
+                    (1 - qp.zeroA) *
+                    (hit - static_cast<std::int32_t>(config.k) * qp.zeroB);
+                const std::int8_t want = requantizeI8(
+                    acc, eff, config.beta, std::int8_t{1}, qp);
+                record(d_run(i, j), want, i, j);
+            }
+        }
+    }
+
+    result.passed = result.maxAbsError == 0.0;
+    std::ostringstream detail;
+    detail << comboInfo(config.combo).name << " " << config.m << "x"
+           << config.n << "x" << config.k << " via "
+           << (plan.useMatrixCores ? "MatrixCore" : "SIMD")
+           << " path: exact-match check, max |err| = "
+           << result.maxAbsError << " at (" << result.errorRow << ", "
+           << result.errorCol << ") (tol 0)";
+    result.detail = detail.str();
+    return result;
+}
+
 } // namespace
 
 VerifyResult
@@ -167,6 +259,8 @@ verifyGemm(const GemmConfig &config, VerifyScheme scheme,
       case GemmCombo::Hss:
         return runTyped<float, fp::Half, float>(config, plan, scheme,
                                                 seed, false, func);
+      case GemmCombo::I8gemm:
+        return runI8(config, plan, scheme, seed, func);
     }
     mc_panic("unreachable combo in verifyGemm");
 }

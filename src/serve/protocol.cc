@@ -152,11 +152,12 @@ chaosModeName(ChaosMode mode)
 
 namespace {
 
-/** The five combo wire names, lowercase. */
+/** The library combo wire names, lowercase (the paper's five plus
+ *  i8gemm — every combo the engine can execute). */
 bool
 parseComboName(const std::string &name, blas::GemmCombo &out)
 {
-    for (blas::GemmCombo combo : blas::allCombos) {
+    for (blas::GemmCombo combo : blas::allLibraryCombos) {
         if (name == blas::comboInfo(combo).name) {
             out = combo;
             return true;

@@ -64,6 +64,27 @@ TEST(PlanKey, DiffersWhenAnyPlannerInputChanges)
     EXPECT_NE(makePlanKey(squareConfig(1024), opts, 0x5678), base);
 }
 
+TEST(PlanKey, QuantParamsKeySeparately)
+{
+    // Every quantization field must miss rather than serve a plan
+    // resolved for different scales or zero points.
+    const PlannerOptions opts;
+    const PlanKey base = makePlanKey(squareConfig(1024), opts, 0x1234);
+
+    GemmConfig config = squareConfig(1024);
+    config.quant.scaleA = 0.5f;
+    EXPECT_NE(makePlanKey(config, opts, 0x1234), base);
+    config = squareConfig(1024);
+    config.quant.scaleD = 2.0f;
+    EXPECT_NE(makePlanKey(config, opts, 0x1234), base);
+    config = squareConfig(1024);
+    config.quant.zeroB = -7;
+    EXPECT_NE(makePlanKey(config, opts, 0x1234), base);
+
+    // Default QuantParams on a float combo leave the key unchanged.
+    EXPECT_EQ(makePlanKey(squareConfig(1024), opts, 0x1234), base);
+}
+
 TEST(PlanCache, RepeatLookupsHitAndReuseThePlan)
 {
     PlanCache cache;

@@ -42,6 +42,20 @@ TEST(ExecutePayload, GemmPayloadCarriesRequestIdentity)
     EXPECT_TRUE(payload.has("path"));
 }
 
+TEST(ExecutePayload, QuantizedComboExecutes)
+{
+    // The quantized combo rides the same simulated-execution path as
+    // the float combos and keeps the byte-identical replay contract.
+    const char *doc = R"({"kind":"gemm","n":64,"combo":"i8gemm","reps":2})";
+    auto first = executePayload(parse(doc), {});
+    auto second = executePayload(parse(doc), {});
+    ASSERT_TRUE(first.isOk()) << first.status().toString();
+    ASSERT_TRUE(second.isOk());
+    EXPECT_EQ(first.value().at("combo").asString(), "i8gemm");
+    EXPECT_GT(first.value().at("tflops").asNumber(), 0.0);
+    EXPECT_EQ(first.value().serialize(0), second.value().serialize(0));
+}
+
 TEST(ExecutePayload, SameRequestIsByteIdentical)
 {
     // The daemon's headline contract, at its root: the payload is a

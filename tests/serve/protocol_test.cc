@@ -150,6 +150,16 @@ TEST(ParseRequest, ParsesFullRequest)
     EXPECT_EQ(req.chaos, ChaosMode::Kill9);
 }
 
+TEST(ParseRequest, ParsesQuantizedCombo)
+{
+    // The quantized library combo is a legal wire name alongside the
+    // paper's five float combos.
+    auto parsed =
+        parseRequest(R"({"kind":"gemm","n":96,"combo":"i8gemm"})");
+    ASSERT_TRUE(parsed.isOk());
+    EXPECT_EQ(parsed.value().combo, blas::GemmCombo::I8gemm);
+}
+
 TEST(ParseRequest, ErrorTaxonomy)
 {
     // Not JSON / not an object / schema violations: InvalidArgument.
@@ -246,6 +256,7 @@ TEST(CanonicalKey, IgnoresIdAndTenantOnly)
         R"({"kind":"gemm","n":64,"m":65})",
         R"({"kind":"gemm","n":64,"k":65})",
         R"({"kind":"gemm","n":64,"combo":"dgemm"})",
+        R"({"kind":"gemm","n":64,"combo":"i8gemm"})",
         R"({"kind":"gemm","n":64,"batch":2})",
         R"({"kind":"gemm","n":64,"alpha":2.0})",
         R"({"kind":"gemm","n":64,"beta":1.0})",

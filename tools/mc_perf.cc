@@ -49,6 +49,7 @@
 
 #include "blas/functional.hh"
 #include "blas/gemm_types.hh"
+#include "blas/int8_gemm.hh"
 #include "blas/simd_dispatch.hh"
 #include "blas/tune.hh"
 #include "prof/topdown.hh"
@@ -110,6 +111,33 @@ fillRandom(Matrix<T> &m, Rng &rng)
     for (std::size_t i = 0; i < m.rows(); ++i)
         for (std::size_t j = 0; j < m.cols(); ++j)
             m(i, j) = T(static_cast<float>(rng.uniform(-1.0, 1.0)));
+}
+
+/** Full-range int8 operands (the float-driven fillRandom would
+ *  truncate to {-1, 0, 1} and leave the requantizer untested). */
+void
+fillRandomI8(Matrix<std::int8_t> &m, Rng &rng)
+{
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j)
+            m(i, j) = static_cast<std::int8_t>(
+                std::lround(rng.uniform(-128.0, 127.0)));
+}
+
+/** The quantization parameters every i8gemm timing uses: asymmetric
+ *  (nonzero zero points) so the epilogue's correction terms are on the
+ *  measured path, scales sized so outputs span [-128, 127]. */
+blas::QuantParams
+perfQuantParams()
+{
+    blas::QuantParams qp;
+    qp.scaleA = 0.02f;
+    qp.scaleB = 0.05f;
+    qp.scaleD = 0.25f;
+    qp.zeroA = 3;
+    qp.zeroB = -5;
+    qp.zeroD = 1;
+    return qp;
 }
 
 /** Byte comparison of two result matrices (Half included: the storage
@@ -256,6 +284,132 @@ runCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
     return out;
 }
 
+/**
+ * The quantized-combo twin of runCase. Same three generations and the
+ * same memcmp discipline — but through the int8 entry points
+ * (scalarQuantizedGemm / fastQuantizedGemm), with full-range int8
+ * operands and asymmetric quantization parameters so the zero-point
+ * correction epilogue is part of every timing.
+ */
+CaseResult
+runCaseI8(blas::GemmCombo combo, std::size_t n,
+          const std::vector<blas::SimdTier> &tiers,
+          const std::vector<int> &threads, int reps, bool with_scalar,
+          std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<std::int8_t> a(n, n), b(n, n), c(n, n);
+    fillRandomI8(a, rng);
+    fillRandomI8(b, rng);
+    fillRandomI8(c, rng);
+    const double alpha = 1.25, beta = 0.5;
+    const blas::QuantParams qp = perfQuantParams();
+
+    CaseResult out;
+    out.combo = combo;
+    out.n = n;
+    out.roundEachStep = false;
+
+    Matrix<std::int8_t> d_scalar(n, n);
+    if (with_scalar) {
+        const int scalar_reps = n <= 512 ? 2 : 1;
+        double best = std::numeric_limits<double>::max();
+        for (int r = 0; r < scalar_reps; ++r) {
+            const double t0 = nowSeconds();
+            blas::scalarQuantizedGemm(alpha, a, b, beta, c, d_scalar, qp);
+            best = std::min(best, nowSeconds() - t0);
+        }
+        out.scalarSeconds = best;
+    }
+
+    Matrix<std::int8_t> d_anchor(n, n);
+    bool have_anchor = false;
+    std::map<int, double> scalar_tier_seconds;
+
+    Matrix<std::int8_t> d_fast(n, n);
+    const bool tuned_compare = blas::tuningActive();
+    for (blas::SimdTier tier : tiers) {
+        for (int t : threads) {
+            blas::FunctionalGemmOptions opts;
+            opts.threads = t;
+            opts.simd = tier;
+            opts.blockM = blas::kDefaultBlockM;
+            opts.blockN = blas::kDefaultBlockN;
+            opts.blockK = blas::kDefaultBlockK;
+            double best = std::numeric_limits<double>::max();
+            for (int r = 0; r < reps; ++r) {
+                const double t0 = nowSeconds();
+                blas::fastQuantizedGemm(alpha, a, b, beta, c, d_fast, qp,
+                                        opts);
+                best = std::min(best, nowSeconds() - t0);
+            }
+            if (with_scalar && !bytesEqual(d_fast, d_scalar)) {
+                mc_fatal("fast backend diverged from the legacy scalar "
+                         "path: ", blas::comboInfo(combo).name, " n=", n,
+                         " simd=", blas::simdTierName(tier),
+                         " threads=", t);
+            }
+            if (!have_anchor) {
+                d_anchor = d_fast;
+                have_anchor = true;
+            } else if (!bytesEqual(d_fast, d_anchor)) {
+                mc_fatal("SIMD tier diverged from the scalar tier: ",
+                         blas::comboInfo(combo).name, " n=", n,
+                         " simd=", blas::simdTierName(tier),
+                         " threads=", t);
+            }
+            if (tier == blas::SimdTier::Scalar)
+                scalar_tier_seconds[t] = best;
+            TierTiming timing;
+            timing.tier = tier;
+            timing.threads = t;
+            timing.seconds = best;
+            timing.speedupLegacy =
+                out.scalarSeconds > 0.0 ? out.scalarSeconds / best : 0.0;
+            const auto base = scalar_tier_seconds.find(t);
+            timing.speedupVsScalarTier =
+                base != scalar_tier_seconds.end() ? base->second / best
+                                                  : 0.0;
+
+            blas::FunctionalGemmOptions auto_opts;
+            auto_opts.threads = t;
+            auto_opts.simd = tier;
+            const blas::FunctionalGemmOptions resolved =
+                blas::resolveFunctionalOptions(auto_opts, combo, n);
+            timing.resolvedConfig = {resolved.blockM, resolved.blockN,
+                                     resolved.blockK, resolved.threads};
+            timing.tunedApplied =
+                tuned_compare &&
+                (resolved.blockM != blas::kDefaultBlockM ||
+                 resolved.blockN != blas::kDefaultBlockN ||
+                 resolved.blockK != blas::kDefaultBlockK);
+            if (timing.tunedApplied) {
+                double tuned_best = std::numeric_limits<double>::max();
+                for (int r = 0; r < reps; ++r) {
+                    const double t0 = nowSeconds();
+                    blas::fastQuantizedGemm(alpha, a, b, beta, c, d_fast,
+                                            qp, auto_opts);
+                    tuned_best = std::min(tuned_best, nowSeconds() - t0);
+                }
+                if (!bytesEqual(d_fast, d_anchor)) {
+                    mc_fatal("tuned blocks diverged from the scalar-tier "
+                             "anchor: ", blas::comboInfo(combo).name,
+                             " n=", n, " simd=", blas::simdTierName(tier),
+                             " threads=", t);
+                }
+                timing.tunedSeconds = tuned_best;
+                timing.tunedSpeedup =
+                    tuned_best > 0.0 ? best / tuned_best : 0.0;
+            } else if (tuned_compare) {
+                timing.tunedSeconds = best;
+                timing.tunedSpeedup = 1.0;
+            }
+            out.fast.push_back(timing);
+        }
+    }
+    return out;
+}
+
 // ---- The autotuner (--tune) ----------------------------------------------
 
 /** One (combo, tier, bucket) search outcome, for the report. */
@@ -344,6 +498,80 @@ tuneCase(blas::GemmCombo combo, std::size_t n, bool round_each_step,
     return out;
 }
 
+/** tuneCase for the quantized combo: int8 operands and entry points,
+ *  int32 accumulators sizing the search space's accBytes. */
+TuneCaseResult
+tuneCaseI8(blas::GemmCombo combo, std::size_t n, blas::SimdTier tier,
+           int reps, double budget_sec,
+           const std::vector<int> &thread_candidates, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<std::int8_t> a(n, n), b(n, n), c(n, n);
+    fillRandomI8(a, rng);
+    fillRandomI8(b, rng);
+    fillRandomI8(c, rng);
+    const double alpha = 1.25, beta = 0.5;
+    const blas::QuantParams qp = perfQuantParams();
+
+    Matrix<std::int8_t> d_anchor(n, n), d_fast(n, n);
+    {
+        blas::FunctionalGemmOptions opts;
+        opts.blockM = blas::kDefaultBlockM;
+        opts.blockN = blas::kDefaultBlockN;
+        opts.blockK = blas::kDefaultBlockK;
+        opts.simd = blas::SimdTier::Scalar;
+        blas::fastQuantizedGemm(alpha, a, b, beta, c, d_anchor, qp, opts);
+    }
+
+    prof::TopdownCounters counters;
+    prof::TopdownHints hints;
+    hints.flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                  static_cast<double>(n);
+    hints.bytes = static_cast<double>(n) * static_cast<double>(n) *
+                  static_cast<double>(4 * sizeof(std::int8_t));
+
+    const auto measure = [&](const blas::TunedConfig &config) {
+        blas::FunctionalGemmOptions opts;
+        opts.threads = config.threads;
+        opts.blockM = config.blockM;
+        opts.blockN = config.blockN;
+        opts.blockK = config.blockK;
+        opts.simd = tier;
+        prof::TopdownSample best;
+        best.seconds = std::numeric_limits<double>::max();
+        for (int r = 0; r < reps; ++r) {
+            const prof::TopdownSample sample = counters.measure([&] {
+                blas::fastQuantizedGemm(alpha, a, b, beta, c, d_fast, qp,
+                                        opts);
+            });
+            if (sample.seconds < best.seconds)
+                best = sample;
+        }
+        if (!bytesEqual(d_fast, d_anchor)) {
+            mc_fatal("candidate blocks diverged from the scalar anchor: ",
+                     blas::comboInfo(combo).name, " n=", n,
+                     " simd=", blas::simdTierName(tier),
+                     " bm=", config.blockM, " bn=", config.blockN,
+                     " bk=", config.blockK, " threads=", config.threads);
+        }
+        blas::TuneMeasurement m;
+        m.seconds = best.seconds;
+        m.bound = prof::classifySample(best, hints);
+        return m;
+    };
+
+    blas::TuneSearchSpace space;
+    space.accBytes = sizeof(std::int32_t);
+    space.budgetSec = budget_sec;
+    space.threads = thread_candidates;
+
+    TuneCaseResult out;
+    out.key = blas::TuneKey{combo, tier, blas::tuneBucket(n)};
+    out.tunedN = n;
+    out.search = blas::tuneSearch(measure, space);
+    return out;
+}
+
 TuneCaseResult
 tuneCombo(blas::GemmCombo combo, std::size_t n, blas::SimdTier tier,
           int reps, double budget_sec,
@@ -370,6 +598,9 @@ tuneCombo(blas::GemmCombo combo, std::size_t n, blas::SimdTier tier,
         return tuneCase<float, fp::Half, float>(
             combo, n, false, tier, reps, budget_sec, thread_candidates,
             seed);
+      case blas::GemmCombo::I8gemm:
+        return tuneCaseI8(combo, n, tier, reps, budget_sec,
+                          thread_candidates, seed);
     }
     mc_panic("unreachable combo in mc_perf --tune");
 }
@@ -396,6 +627,9 @@ runCombo(blas::GemmCombo combo, std::size_t n,
       case blas::GemmCombo::Hss:
         return runCase<float, fp::Half, float>(
             combo, n, false, tiers, threads, reps, with_scalar, seed);
+      case blas::GemmCombo::I8gemm:
+        return runCaseI8(combo, n, tiers, threads, reps, with_scalar,
+                         seed);
     }
     mc_panic("unreachable combo in mc_perf");
 }
@@ -435,7 +669,7 @@ main(int argc, char **argv)
                 "comma-separated square problem sizes");
     cli.addFlag("combos", std::string("all"),
                 "comma-separated datatype combos (dgemm,sgemm,hgemm,"
-                "hss,hhs) or 'all'");
+                "hss,hhs,i8gemm) or 'all'");
     cli.addFlag("threads", std::string("1,8"),
                 "comma-separated thread counts for the fast path");
     cli.addFlag("simd", std::string("all"),
@@ -479,8 +713,8 @@ main(int argc, char **argv)
     std::vector<blas::GemmCombo> combos;
     const std::string combo_list = cli.getString("combos");
     if (combo_list == "all") {
-        combos.assign(std::begin(blas::allCombos),
-                      std::end(blas::allCombos));
+        combos.assign(std::begin(blas::allLibraryCombos),
+                      std::end(blas::allLibraryCombos));
     } else {
         for (const std::string &name : splitCsv(combo_list))
             combos.push_back(blas::parseCombo(name));
@@ -689,6 +923,7 @@ main(int argc, char **argv)
     features.set("sse2", cpu.sse2);
     features.set("avx2", cpu.avx2);
     features.set("avx512", cpu.avx512);
+    features.set("avx512vnni", cpu.avx512vnni);
     features.set("neon", cpu.neon);
     report.set("cpu_features", std::move(features));
     JsonValue tiers_json = JsonValue::array();
