@@ -5,6 +5,7 @@
 #include <iostream>
 #include <vector>
 
+#include "blas/pack_cache.hh"
 #include "blas/plan_cache.hh"
 #include "blas/simd_dispatch.hh"
 #include "blas/tune.hh"
@@ -236,6 +237,24 @@ applyPlanCacheFlag(const CliParser &cli)
 }
 
 void
+addPackCacheFlag(CliParser &cli)
+{
+    cli.addFlag("pack-cache-mb",
+                static_cast<std::int64_t>(
+                    blas::PackCache::kDefaultCapacityBytes >> 20),
+                "byte cap (MiB) of the packed-operand reuse cache "
+                "(0 = disabled; MC_PACK_CACHE env overrides)");
+    cli.requireIntAtLeast("pack-cache-mb", 0);
+}
+
+void
+applyPackCacheFlag(const CliParser &cli)
+{
+    blas::PackCache::configureCapacityMb(
+        static_cast<std::uint64_t>(cli.getInt("pack-cache-mb")));
+}
+
+void
 addVerifyFlags(CliParser &cli, bool default_enabled)
 {
     cli.addFlag("verify", default_enabled,
@@ -342,6 +361,7 @@ finishBench(const std::string &bench_name, ErrorCode code)
     // detects the line by prefix substring, so the appended plan-cache
     // counters are invisible to it.
     const blas::PlanCacheStats plans = blas::PlanCache::globalStats();
+    const blas::PackCacheStats packs = blas::PackCache::globalStats();
     // simd= names the tiers this process actually dispatched to (the
     // Auto resolution only when no GEMM ran), so a run that forced a
     // tier through FunctionalGemmOptions::simd is labelled truthfully.
@@ -350,12 +370,17 @@ finishBench(const std::string &bench_name, ErrorCode code)
     // are attributable to the block configuration that produced them.
     std::fprintf(stderr,
                  "%s%s code=%s exit=%d plan_hits=%llu plan_misses=%llu "
-                 "plan_evictions=%llu simd=%s tuned=%s\n",
+                 "plan_evictions=%llu pack_hits=%llu pack_misses=%llu "
+                 "pack_bytes=%llu pack_evictions=%llu simd=%s tuned=%s\n",
                  exec::kBenchCompletionPrefix, bench_name.c_str(),
                  errorCodeName(code), exit_status,
                  static_cast<unsigned long long>(plans.hits),
                  static_cast<unsigned long long>(plans.misses),
                  static_cast<unsigned long long>(plans.evictions),
+                 static_cast<unsigned long long>(packs.hits),
+                 static_cast<unsigned long long>(packs.misses),
+                 static_cast<unsigned long long>(packs.residentBytes),
+                 static_cast<unsigned long long>(packs.evictions),
                  blas::usedSimdTierLabel().c_str(),
                  blas::activeTuningLabel().c_str());
     return exit_status;

@@ -203,6 +203,18 @@ void addPlanCacheFlag(CliParser &cli);
  *  call after parse() and before constructing engines. */
 void applyPlanCacheFlag(const CliParser &cli);
 
+/**
+ * Register --pack-cache-mb (byte cap, in MiB, of the process-wide
+ * packed-operand cache; 0 = disabled). The MC_PACK_CACHE environment
+ * variable ("off" or a MiB count) overrides the flag — see
+ * docs/PERF.md "Operand packing & reuse".
+ */
+void addPackCacheFlag(CliParser &cli);
+
+/** Apply --pack-cache-mb process-wide (PackCache::configureCapacityMb);
+ *  call after parse() and before running GEMMs. */
+void applyPackCacheFlag(const CliParser &cli);
+
 /** Parsed --verify* configuration of a GEMM sweep bench. */
 struct VerifyConfig
 {

@@ -12,9 +12,10 @@
  * Points run on the parallel sweep engine (--jobs) with per-point
  * simulated devices; the simulation is noise-free here, so output is
  * byte-identical for any job count (docs/SWEEP_ENGINE.md). Each point
- * is host-verified at the entry level (--verify*; batch entries share
- * operands in the model, so one entry check covers the batch); a
- * failed check fails the point.
+ * is host-verified through the strided-batched fast-GEMM driver
+ * (--verify*; up to blas::kMaxVerifyBatchEntries distinct entries with
+ * a shared stride-0 B, so the packed-operand reuse path is exercised,
+ * not just a single slice); a failed check fails the point.
  */
 
 #include <algorithm>
@@ -37,12 +38,14 @@ constexpr const char *kBenchName = "ext_batched_gemm";
 struct PointResult
 {
     std::string cell;
-    /** -1 = entry not host-verified (disabled or above --verify-maxn),
+    /** -1 = point not host-verified (disabled or above --verify-maxn),
      *  1 = verified OK. A failed verification fails the whole point
      *  with Internal instead. */
     int verified = -1;
     /** Max ULP distance the verification observed (0 when unchecked). */
     std::uint64_t maxUlp = 0;
+    /** Distinct batch entries the check executed (strided-batched). */
+    std::size_t entries = 0;
 };
 
 } // namespace
@@ -57,8 +60,10 @@ main(int argc, char **argv)
     bench::addOutFlag(cli);
     bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const blas::GemmCombo combo =
         blas::parseCombo(cli.getString("combo"));
     const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
@@ -99,9 +104,12 @@ main(int argc, char **argv)
                           result.value().throughput() / 1e12);
             out.cell = cell;
 
-            // Host-side numeric verification of one batch entry
-            // (docs/PERF.md): a wrong result invalidates the
-            // measurement, so a failed check fails the point.
+            // Host-side numeric verification (docs/PERF.md): batched
+            // configs run min(batch, kMaxVerifyBatchEntries) distinct
+            // entries through fastBatchedGemm / the tiled batched
+            // driver with a shared stride-0 B. A wrong result
+            // invalidates the measurement, so a failed check fails
+            // the point.
             if (vcfg.shouldVerify(cfg.m, cfg.n, cfg.k)) {
                 engine.functionalOptions() = vcfg.func;
                 const blas::VerifyResult v = engine.verify(
@@ -111,6 +119,7 @@ main(int argc, char **argv)
                                   "verification failed: " + v.detail);
                 out.verified = 1;
                 out.maxUlp = v.maxUlp;
+                out.entries = v.batchEntries;
             }
             return out;
         });
@@ -122,6 +131,7 @@ main(int argc, char **argv)
                    " throughput (TFLOPS), one GCD");
     std::vector<bench::FailedPoint> failures;
     std::size_t verified_points = 0;
+    std::size_t verified_entries = 0;
     std::uint64_t verified_max_ulp = 0;
     std::size_t index = 0;
     for (std::size_t n : sizes) {
@@ -146,6 +156,7 @@ main(int argc, char **argv)
             row.push_back(r.cell);
             if (r.verified > 0) {
                 ++verified_points;
+                verified_entries += r.entries;
                 verified_max_ulp = std::max(verified_max_ulp, r.maxUlp);
                 row_verified = true;
                 row_ulp = std::max(row_ulp, r.maxUlp);
@@ -162,7 +173,9 @@ main(int argc, char **argv)
     table.print(os);
     if (verified_points > 0)
         os << "\nverification: " << verified_points
-           << " points host-verified (one entry each), max ULP = "
+           << " points host-verified (" << verified_entries
+           << " batch entries via the strided-batched driver), "
+              "max ULP = "
            << verified_max_ulp << "\n";
     os << "\nBatching turns the launch-bound low-N region of "
           "Fig. 7 into plateau-class throughput: the Matrix "

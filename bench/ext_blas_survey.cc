@@ -67,8 +67,10 @@ main(int argc, char **argv)
     bench::addOutFlag(cli);
     bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const auto n = static_cast<std::size_t>(cli.getInt("n"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
     const bench::VerifyConfig vcfg = bench::verifyFlags(cli);

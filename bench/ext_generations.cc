@@ -82,8 +82,10 @@ main(int argc, char **argv)
     bench::addOutFlag(cli);
     bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const bench::VerifyConfig vcfg = bench::verifyFlags(cli);
 
     exec::SweepRunner runner(kBenchName, bench::jobsFlag(cli));

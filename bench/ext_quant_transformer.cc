@@ -16,7 +16,9 @@
  * --verify host-checks each stage through the functional INT8 backend
  * against the scalar reference; the quantized combo's contract is
  * exact (docs/PERF.md "Integer kernels"), so any nonzero difference
- * fails the point.
+ * fails the point. Batched attention stages verify through the
+ * strided-batched INT8 driver and the packed-operand reuse layer
+ * (docs/PERF.md "Operand packing & reuse").
  */
 
 #include <algorithm>
@@ -161,8 +163,10 @@ main(int argc, char **argv)
     bench::addResilienceFlags(cli);
     bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxseq = static_cast<std::size_t>(cli.getInt("maxseq"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);
@@ -263,7 +267,11 @@ main(int argc, char **argv)
 
             // Host-side exactness check: every stage small enough for
             // the O(m*n*k) functional backend runs scalar-vs-fast; the
-            // quantized contract tolerates zero difference.
+            // quantized contract tolerates zero difference. The
+            // attention stages carry their per-head batch count, so
+            // their check runs through fastBatchedQuantizedGemm (up to
+            // kMaxVerifyBatchEntries entries, shared stride-0 B) — the
+            // same packed-operand reuse path mc_perf's qt chain times.
             if (!out.m.aborted) {
                 int checked = 0;
                 for (std::size_t si = 0; si < stages.size(); ++si) {
@@ -275,6 +283,7 @@ main(int argc, char **argv)
                     cfg.m = s.m;
                     cfg.n = s.n;
                     cfg.k = s.k;
+                    cfg.batchCount = s.batch;
                     cfg.alpha = 1.0;
                     cfg.beta = 0.0;
                     cfg.quant = qp;

@@ -41,8 +41,10 @@ main(int argc, char **argv)
     bench::addJobsFlag(cli);
     bench::addOutFlag(cli);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const blas::GemmCombo combo =
         blas::parseCombo(cli.getString("combo"));
 

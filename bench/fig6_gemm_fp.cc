@@ -129,8 +129,10 @@ main(int argc, char **argv)
     bench::addResilienceFlags(cli);
     bench::addVerifyFlags(cli, /*default_enabled=*/true);
     bench::addPlanCacheFlag(cli);
+    bench::addPackCacheFlag(cli);
     cli.parse(argc, argv);
     bench::applyPlanCacheFlag(cli);
+    bench::applyPackCacheFlag(cli);
     const int reps = static_cast<int>(cli.getInt("reps"));
     const auto maxn = static_cast<std::size_t>(cli.getInt("maxn"));
     const bench::SweepResilience res = bench::resilienceFlags(cli);

@@ -1,0 +1,47 @@
+# Test driver: run a bench with the pack cache disabled and once per
+# requested capacity, and require byte-identical stdout — the
+# packed-operand cache serves the exact bytes the uncached path
+# stages, so caching must be invisible in every result
+# (docs/PERF.md, "Operand packing & reuse"). MC_PACK_CACHE wins over
+# the --pack-cache-mb flag, which is exactly what lets this gate pin
+# the behavior regardless of the bench's own flags. Invoked as
+#   cmake -DBENCH=<binary> "-DBENCH_ARGS=--csv;--reps=2" \
+#         "-DCAPS=64;1" -P ComparePackCache.cmake
+# Each CAPS entry is a capacity in MB; a deliberately tiny one (1)
+# exercises mid-run LRU eviction and refill.
+
+if(NOT BENCH)
+    message(FATAL_ERROR "BENCH not set")
+endif()
+if(NOT CAPS)
+    message(FATAL_ERROR "CAPS not set")
+endif()
+
+set(ENV{MC_PACK_CACHE} off)
+execute_process(
+    COMMAND ${BENCH} ${BENCH_ARGS}
+    OUTPUT_VARIABLE off_out
+    RESULT_VARIABLE off_rc)
+if(NOT off_rc EQUAL 0)
+    message(FATAL_ERROR
+        "${BENCH} under MC_PACK_CACHE=off exited with ${off_rc}")
+endif()
+
+foreach(cap IN LISTS CAPS)
+    set(ENV{MC_PACK_CACHE} ${cap})
+    execute_process(
+        COMMAND ${BENCH} ${BENCH_ARGS}
+        OUTPUT_VARIABLE cap_out
+        RESULT_VARIABLE cap_rc)
+    if(NOT cap_rc EQUAL 0)
+        message(FATAL_ERROR
+            "${BENCH} under MC_PACK_CACHE=${cap} exited with ${cap_rc}")
+    endif()
+    if(NOT off_out STREQUAL cap_out)
+        message(FATAL_ERROR
+            "MC_PACK_CACHE=${cap} output differs from "
+            "MC_PACK_CACHE=off for ${BENCH}:\n"
+            "=== off ===\n${off_out}\n"
+            "=== ${cap} MB ===\n${cap_out}")
+    endif()
+endforeach()

@@ -20,7 +20,10 @@
  *  - A and B are widened to the accumulator type once up front
  *    (conversion is exact, so values are unchanged; for float/double
  *    operands the matrix storage is used in place) instead of widening
- *    and bounds-checking every element m*n*k times;
+ *    and bounds-checking every element m*n*k times; the staged panels
+ *    are reused across calls through the content-addressed PackCache
+ *    and otherwise live in thread-local ScratchArena frames instead of
+ *    per-call heap allocations (pack_cache.hh, scratch_arena.hh);
  *  - loops are blocked (blockM x blockN x blockK) so one B panel is
  *    served from cache for a whole block of output rows;
  *  - row blocks fan out across exec::sharedPool workers. Each (i, j)
@@ -46,11 +49,13 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <memory>
 #include <type_traits>
-#include <vector>
 
 #include "arch/mfma_isa.hh"
 #include "blas/gemm_types.hh"
+#include "blas/pack_cache.hh"
+#include "blas/scratch_arena.hh"
 #include "blas/simd_kernels.hh"
 #include "common/logging.hh"
 #include "common/matrix.hh"
@@ -189,73 +194,124 @@ packWidenKernel(const SimdKernels &ker)
 }
 
 /**
- * Row-major widened copy of @p src with columns zero-padded to
- * @p padded_cols (the packed A operand). Widening is exact, so values
- * are bit-preserved; when the storage type already is TAcc and no
- * padding is needed, the matrix's own storage is returned and @p store
- * stays empty. Half/BFloat16 sources go through @p ker's batch-widen
- * kernels (bit-identical to the scalar per-element widen).
+ * Row-major widened copy of @p in (rows x cols) into @p out with
+ * columns zero-padded to @p padded_cols (the packed A layout).
+ * Widening is exact, so values are bit-preserved; Half/BFloat16
+ * sources go through @p ker's batch-widen kernels (bit-identical to
+ * the scalar per-element widen).
  */
 template <typename TSrc, typename TAcc>
-const TAcc *
-widenPadCols(const Matrix<TSrc> &src, std::size_t padded_cols,
-             std::vector<TAcc> &store, const SimdKernels &ker)
+void
+widenPadColsInto(const TSrc *in, std::size_t rows, std::size_t cols,
+                 std::size_t padded_cols, TAcc *out,
+                 const SimdKernels &ker)
 {
-    const std::size_t rows = src.rows(), cols = src.cols();
-    mc_assert(padded_cols >= cols, "padding below the matrix width");
-    if constexpr (std::is_same_v<TSrc, TAcc>) {
-        if (padded_cols == cols)
-            return src.data();
-    }
-    store.assign(rows * padded_cols, TAcc(0));
-    const TSrc *in = src.data();
+    if (padded_cols != cols)
+        std::fill_n(out, rows * padded_cols, TAcc(0));
     if (const auto widen = packWidenKernel<TSrc, TAcc>(ker)) {
         const auto *bits = reinterpret_cast<const std::uint16_t *>(in);
-        auto *out = reinterpret_cast<float *>(store.data());
+        auto *fout = reinterpret_cast<float *>(out);
         if (padded_cols == cols) {
-            widen(bits, out, rows * cols);
+            widen(bits, fout, rows * cols);
         } else {
             for (std::size_t i = 0; i < rows; ++i)
-                widen(bits + i * cols, out + i * padded_cols, cols);
+                widen(bits + i * cols, fout + i * padded_cols, cols);
         }
-        return store.data();
+        return;
     }
     for (std::size_t i = 0; i < rows; ++i) {
-        TAcc *out = store.data() + i * padded_cols;
+        TAcc *orow = out + i * padded_cols;
         for (std::size_t j = 0; j < cols; ++j)
-            out[j] = static_cast<TAcc>(
+            orow[j] = static_cast<TAcc>(
                 fp::NumericTraits<TSrc>::widen(in[i * cols + j]));
     }
-    return store.data();
 }
 
 /**
- * Row-major widened copy of @p src with zero rows appended up to
- * @p padded_rows (the packed B operand; B is consumed row-wise so its
- * native row-major layout already is the packed layout).
+ * Row-major widened copy of @p in (rows x cols) into @p out with zero
+ * rows appended up to @p padded_rows (the packed B layout; B is
+ * consumed row-wise so its native row-major layout already is the
+ * packed layout).
+ */
+template <typename TSrc, typename TAcc>
+void
+widenPadRowsInto(const TSrc *in, std::size_t rows, std::size_t cols,
+                 std::size_t padded_rows, TAcc *out,
+                 const SimdKernels &ker)
+{
+    if (padded_rows != rows)
+        std::fill_n(out + rows * cols, (padded_rows - rows) * cols,
+                    TAcc(0));
+    if (const auto widen = packWidenKernel<TSrc, TAcc>(ker)) {
+        widen(reinterpret_cast<const std::uint16_t *>(in),
+              reinterpret_cast<float *>(out), rows * cols);
+        return;
+    }
+    for (std::size_t i = 0; i < rows * cols; ++i)
+        out[i] = static_cast<TAcc>(fp::NumericTraits<TSrc>::widen(in[i]));
+}
+
+/**
+ * Stage one operand into its packed/widened layout, reusing storage in
+ * this order:
+ *
+ *  1. in place — TSrc already is TAcc and no padding is needed (the
+ *     float/double fast path; neither the cache nor the fingerprint is
+ *     touched, so plain SGEMM/DGEMM pays nothing for the cache);
+ *  2. the process-wide PackCache — keyed by a CRC-32 fingerprint of
+ *     the source bytes plus shape/type/tier/pad, so repeated-weight
+ *     calls skip packing entirely (@p keep pins the entry across
+ *     eviction for the duration of the call);
+ *  3. the caller's thread-local scratch @p frame when the cache is off.
+ *
+ * Every path runs the same widenPad*Into routine, so the staged bytes
+ * are identical however they were obtained — the backend's
+ * bit-exactness contract extends to the cache by construction.
+ *
+ * @p kind selects the A (WidenA: @p pad pads columns) or B layout
+ * (WidenB: @p pad pads rows).
  */
 template <typename TSrc, typename TAcc>
 const TAcc *
-widenPadRows(const Matrix<TSrc> &src, std::size_t padded_rows,
-             std::vector<TAcc> &store, const SimdKernels &ker)
+stageWidened(PackKind kind, const TSrc *src, std::size_t rows,
+             std::size_t cols, std::size_t pad, const SimdKernels &ker,
+             ScratchArena::Frame &frame,
+             std::shared_ptr<const PackEntry> &keep)
 {
-    const std::size_t rows = src.rows(), cols = src.cols();
-    mc_assert(padded_rows >= rows, "padding below the matrix height");
+    const bool for_a = kind == PackKind::WidenA;
+    mc_assert(for_a ? pad >= cols : pad >= rows,
+              "padding below the matrix extent");
     if constexpr (std::is_same_v<TSrc, TAcc>) {
-        if (padded_rows == rows)
-            return src.data();
+        if (for_a ? pad == cols : pad == rows)
+            return src;
     }
-    store.assign(padded_rows * cols, TAcc(0));
-    const TSrc *in = src.data();
-    if (const auto widen = packWidenKernel<TSrc, TAcc>(ker)) {
-        widen(reinterpret_cast<const std::uint16_t *>(in),
-              reinterpret_cast<float *>(store.data()), rows * cols);
-        return store.data();
+    const std::size_t elems = for_a ? rows * pad : pad * cols;
+    const auto fill = [&](TAcc *out) {
+        if (for_a)
+            widenPadColsInto<TSrc, TAcc>(src, rows, cols, pad, out, ker);
+        else
+            widenPadRowsInto<TSrc, TAcc>(src, rows, cols, pad, out, ker);
+    };
+    if (PackCache::shouldCache(rows * cols * sizeof(TSrc))) {
+        PackKey key;
+        key.kind = kind;
+        key.srcType = packTypeTag<TSrc>();
+        key.accType = packTypeTag<TAcc>();
+        key.tier = static_cast<std::uint8_t>(ker.tier);
+        key.srcBytes = rows * cols * sizeof(TSrc);
+        key.fingerprint =
+            packFingerprint(src, static_cast<std::size_t>(key.srcBytes));
+        key.rows = rows;
+        key.cols = cols;
+        key.pad = pad;
+        keep = PackCache::instance().findOrPack(
+            key, elems * sizeof(TAcc),
+            [&](void *out) { fill(static_cast<TAcc *>(out)); });
+        return keep->template as<TAcc>();
     }
-    TAcc *out = store.data();
-    for (std::size_t i = 0; i < rows * cols; ++i)
-        out[i] = static_cast<TAcc>(fp::NumericTraits<TSrc>::widen(in[i]));
-    return store.data();
+    TAcc *out = frame.alloc<TAcc>(elems);
+    fill(out);
+    return out;
 }
 
 /**
@@ -289,16 +345,17 @@ blockedGemmCore(std::size_t m, std::size_t n, std::size_t k, double alpha,
     exec::parallelChunks(m, bm, opts.threads, [&](std::size_t r0,
                                                   std::size_t r1) {
         const std::size_t rows = r1 - r0;
-        std::vector<TAcc> acc(rows * bn);
+        ScratchArena::Frame frame;
+        TAcc *acc = frame.alloc<TAcc>(rows * bn);
         for (std::size_t j0 = 0; j0 < n; j0 += bn) {
             const std::size_t nj = std::min(bn, n - j0);
-            std::fill(acc.begin(), acc.end(), TAcc(0));
+            std::fill_n(acc, rows * bn, TAcc(0));
             for (std::size_t k0 = 0; k0 < k; k0 += bk) {
                 const std::size_t nk = std::min(bk, k - k0);
                 const TAcc *bpanel = pb + k0 * ldb + j0;
                 for (std::size_t r = 0; r < rows; ++r) {
                     const TAcc *arow = pa + (r0 + r) * lda + k0;
-                    TAcc *accs = acc.data() + r * bn;
+                    TAcc *accs = acc + r * bn;
                     if (rounding) {
                         if constexpr (std::is_same_v<TCD, fp::Half> &&
                                       std::is_same_v<TAcc, float>)
@@ -318,7 +375,7 @@ blockedGemmCore(std::size_t m, std::size_t n, std::size_t k, double alpha,
             }
             for (std::size_t r = 0; r < rows; ++r) {
                 const std::size_t i = r0 + r;
-                const TAcc *accs = acc.data() + r * bn;
+                const TAcc *accs = acc + r * bn;
                 const TCD *crow = pc + i * ldcd + j0;
                 TCD *drow = pd + i * ldcd + j0;
                 for (std::size_t j = 0; j < nj; ++j) {
@@ -359,9 +416,12 @@ fastReferenceGemm(double alpha, const Matrix<TAB> &a, const Matrix<TAB> &b,
     const FunctionalGemmOptions ropts = resolveFunctionalOptions(
         opts, comboForTypes<TCD, TAB, TAcc>(round_each_step), n);
     const SimdKernels &ker = simdKernelsFor(ropts.simd);
-    std::vector<TAcc> a_store, b_store;
-    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, k, a_store, ker);
-    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, k, b_store, ker);
+    ScratchArena::Frame scratch;
+    std::shared_ptr<const PackEntry> keep_a, keep_b;
+    const TAcc *pa = detail::stageWidened<TAB, TAcc>(
+        PackKind::WidenA, a.data(), m, k, k, ker, scratch, keep_a);
+    const TAcc *pb = detail::stageWidened<TAB, TAcc>(
+        PackKind::WidenB, b.data(), k, n, k, ker, scratch, keep_b);
     detail::blockedGemmCore<TCD, TAcc>(m, n, k, alpha, pa, k, pb, n, beta,
                                        c.data(), d.data(), n,
                                        round_each_step, ropts);
@@ -397,9 +457,12 @@ fastTiledMatrixCoreGemm(const arch::MfmaInstruction &inst, double alpha,
     const FunctionalGemmOptions ropts = resolveFunctionalOptions(
         opts, comboForTypes<TCD, TAB, TAcc>(false), n);
     const SimdKernels &ker = simdKernelsFor(ropts.simd);
-    std::vector<TAcc> a_store, b_store;
-    const TAcc *pa = detail::widenPadCols<TAB, TAcc>(a, kpad, a_store, ker);
-    const TAcc *pb = detail::widenPadRows<TAB, TAcc>(b, kpad, b_store, ker);
+    ScratchArena::Frame scratch;
+    std::shared_ptr<const PackEntry> keep_a, keep_b;
+    const TAcc *pa = detail::stageWidened<TAB, TAcc>(
+        PackKind::WidenA, a.data(), m, k, kpad, ker, scratch, keep_a);
+    const TAcc *pb = detail::stageWidened<TAB, TAcc>(
+        PackKind::WidenB, b.data(), k, n, kpad, ker, scratch, keep_b);
     detail::blockedGemmCore<TCD, TAcc>(m, n, kpad, alpha, pa, kpad, pb, n,
                                        beta, c.data(), d.data(), n,
                                        /*round_each_step=*/false, ropts);

@@ -94,6 +94,25 @@ void fastQuantizedGemm(double alpha, const Matrix<std::int8_t> &a,
                        Matrix<std::int8_t> &d, const QuantParams &qp,
                        const FunctionalGemmOptions &opts = {});
 
+/**
+ * True strided-batched quantized GEMM: D_e = requant(A_e * B_e, C_e)
+ * over @p batch entries at element strides (rocBLAS strided-batched
+ * convention; a zero operand stride broadcasts — and stages — one
+ * matrix across the batch, the attention-weights case; C/D strides
+ * must be nonzero for batch > 1). Each entry is bit-identical to
+ * fastQuantizedGemm on the same slices; staging goes through the
+ * PackCache/ScratchArena reuse layer (pack_cache.hh).
+ */
+void fastBatchedQuantizedGemm(std::size_t batch, double alpha,
+                              const std::int8_t *a, std::size_t stride_a,
+                              const std::int8_t *b, std::size_t stride_b,
+                              double beta, const std::int8_t *c,
+                              std::size_t stride_c, std::int8_t *d,
+                              std::size_t stride_d, std::size_t m,
+                              std::size_t n, std::size_t k,
+                              const QuantParams &qp,
+                              const FunctionalGemmOptions &opts = {});
+
 /** Dispatch on opts.forceScalar, like referenceGemm for the floats. */
 void quantizedGemm(double alpha, const Matrix<std::int8_t> &a,
                    const Matrix<std::int8_t> &b, double beta,

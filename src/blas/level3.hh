@@ -206,7 +206,8 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
         n, static_cast<std::size_t>(ropts.blockN), ropts.threads,
         [&](std::size_t j0, std::size_t j1) {
             const std::size_t nj = j1 - j0;
-            std::vector<T> accs(nj);
+            ScratchArena::Frame frame;
+            T *accs = frame.alloc<T>(nj);
             for (std::size_t step = 0; step < m; ++step) {
                 const std::size_t i =
                     fill == Fill::Lower ? step : m - 1 - step;
@@ -214,10 +215,10 @@ fastTrsmLeft(Fill fill, bool unit_diagonal, double alpha,
                 for (std::size_t j = 0; j < nj; ++j)
                     accs[j] = alpha_t * brow[j];
                 if (fill == Fill::Lower)
-                    axpySub(pa + i * m, pb + j0, i, accs.data(), nj);
+                    axpySub(pa + i * m, pb + j0, i, accs, nj);
                 else
                     axpySub(pa + i * m + i + 1, pb + (i + 1) * n + j0,
-                            m - i - 1, accs.data(), nj);
+                            m - i - 1, accs, nj);
                 const T diag = pa[i * m + i];
                 for (std::size_t j = 0; j < nj; ++j)
                     brow[j] = unit_diagonal ? accs[j] : accs[j] / diag;
@@ -299,8 +300,11 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
     T *pc = c.data();
 
     // Packed transpose: at[kk * n + j] = a(j, kk), so the inner update
-    // streams rows of "at" exactly like the GEMM kernel streams B.
-    std::vector<T> at(k * n);
+    // streams rows of "at" exactly like the GEMM kernel streams B. It
+    // lives in the thread-local arena: repeatMeasure-style loops reuse
+    // the same warm block instead of paying a heap round trip per call.
+    ScratchArena::Frame scratch;
+    T *at = scratch.alloc<T>(k * n);
     for (std::size_t j = 0; j < n; ++j)
         for (std::size_t kk = 0; kk < k; ++kk)
             at[kk * n + j] = pa[j * k + kk];
@@ -319,17 +323,18 @@ fastSyrk(Fill fill, double alpha, const Matrix<T> &a, double beta,
 
     exec::parallelChunks(n, bm, ropts.threads, [&](std::size_t r0,
                                                   std::size_t r1) {
-        std::vector<T> accs(bn);
+        ScratchArena::Frame frame;
+        T *accs = frame.alloc<T>(bn);
         for (std::size_t i = r0; i < r1; ++i) {
             const std::size_t j_lo = fill == Fill::Lower ? 0 : i;
             const std::size_t j_hi = fill == Fill::Lower ? i + 1 : n;
             for (std::size_t j0 = j_lo; j0 < j_hi; j0 += bn) {
                 const std::size_t nj = std::min(bn, j_hi - j0);
-                std::fill(accs.begin(), accs.begin() + nj, T(0));
+                std::fill_n(accs, nj, T(0));
                 for (std::size_t k0 = 0; k0 < k; k0 += bk) {
                     const std::size_t nk = std::min(bk, k - k0);
-                    axpy(pa + i * k + k0, at.data() + k0 * n + j0, nk,
-                         accs.data(), nj);
+                    axpy(pa + i * k + k0, at + k0 * n + j0, nk,
+                         accs, nj);
                 }
                 T *crow = pc + i * n + j0;
                 for (std::size_t j = 0; j < nj; ++j)

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Thread-local scratch arenas for the functional backend's transient
+ * buffers (packed operand panels, per-chunk accumulator tiles, TRSM/
+ * SYRK column scratch).
+ *
+ * The paper's measurement convention replays every point many times
+ * (repeatMeasure), and the verification and mc_perf hot loops call the
+ * functional kernels back to back; a fresh std::vector per call puts a
+ * malloc/free pair — and a page-faulting first touch — on every
+ * repetition. The arena instead bump-allocates from per-thread blocks
+ * that persist at their high-water mark, so steady-state repetitions
+ * reuse warm memory with zero allocator traffic.
+ *
+ * Usage is strictly scoped: construct a ScratchArena::Frame, allocate
+ * through it, and let the frame's destructor release everything it
+ * handed out. Frames nest LIFO on one thread (an outer GEMM's packing
+ * frame stays live while exec::parallelChunks re-enters on the calling
+ * thread and opens inner per-chunk frames), and distinct threads use
+ * distinct arenas, so no synchronization is needed. Allocations are
+ * uninitialized (like std::vector + immediate overwrite patterns they
+ * replace, the callers fully write them) unless allocZero is used.
+ */
+
+#ifndef MC_BLAS_SCRATCH_ARENA_HH
+#define MC_BLAS_SCRATCH_ARENA_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mc {
+namespace blas {
+
+/** Per-thread bump allocator; see the file comment. */
+class ScratchArena
+{
+  public:
+    /** Every allocation is aligned to this (cache-line) boundary. */
+    static constexpr std::size_t kAlignment = 64;
+
+    ScratchArena() = default;
+    ScratchArena(const ScratchArena &) = delete;
+    ScratchArena &operator=(const ScratchArena &) = delete;
+
+    /** The calling thread's arena (created on first use, lives for the
+     *  thread; pool workers therefore keep their high-water blocks warm
+     *  across tasks). */
+    static ScratchArena &threadLocal()
+    {
+        thread_local ScratchArena arena;
+        return arena;
+    }
+
+    /** Bytes currently held across all blocks (high-water mark). */
+    std::size_t capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Block &block : _blocks)
+            total += block.size;
+        return total;
+    }
+
+    /**
+     * One LIFO allocation scope. All memory obtained through a frame
+     * is invalidated by its destruction; the arena offset rewinds to
+     * where the frame found it.
+     */
+    class Frame
+    {
+      public:
+        Frame() : Frame(ScratchArena::threadLocal()) {}
+        explicit Frame(ScratchArena &arena)
+            : _arena(arena), _block(arena._current),
+              _offset(arena._offset)
+        {
+        }
+        ~Frame()
+        {
+            _arena._current = _block;
+            _arena._offset = _offset;
+        }
+        Frame(const Frame &) = delete;
+        Frame &operator=(const Frame &) = delete;
+
+        /** @p count objects of T, uninitialized. */
+        template <typename T>
+        T *alloc(std::size_t count)
+        {
+            return static_cast<T *>(
+                _arena.allocate(count * sizeof(T)));
+        }
+
+        /** @p count objects of T, zero-filled (T must be trivially
+         *  representable by all-zero bytes — the arithmetic scalar and
+         *  reduced-float wrapper types used here all are). */
+        template <typename T>
+        T *allocZero(std::size_t count)
+        {
+            T *p = alloc<T>(count);
+            std::memset(static_cast<void *>(p), 0, count * sizeof(T));
+            return p;
+        }
+
+      private:
+        ScratchArena &_arena;
+        std::size_t _block;
+        std::size_t _offset;
+    };
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<unsigned char, void (*)(unsigned char *)> data{
+            nullptr, &freeBlock};
+        std::size_t size = 0;
+    };
+
+    static void freeBlock(unsigned char *p)
+    {
+        ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+
+    void *allocate(std::size_t bytes)
+    {
+        const std::size_t need =
+            (bytes + kAlignment - 1) / kAlignment * kAlignment;
+        // First fit from the current block forward; retained blocks
+        // beyond it are the previous high-water mark.
+        while (_current < _blocks.size()) {
+            Block &block = _blocks[_current];
+            if (block.size - _offset >= need) {
+                void *p = block.data.get() + _offset;
+                _offset += need;
+                return p;
+            }
+            ++_current;
+            _offset = 0;
+        }
+        const std::size_t grow = std::max(
+            {need, _blocks.empty() ? kMinBlockBytes
+                                   : 2 * _blocks.back().size});
+        Block block;
+        block.data.reset(static_cast<unsigned char *>(
+            ::operator new[](grow, std::align_val_t{kAlignment})));
+        block.size = grow;
+        _blocks.push_back(std::move(block));
+        _current = _blocks.size() - 1;
+        _offset = need;
+        return _blocks.back().data.get();
+    }
+
+    static constexpr std::size_t kMinBlockBytes = 64 * 1024;
+
+    std::vector<Block> _blocks;
+    std::size_t _current = 0; ///< block open for bump allocation
+    std::size_t _offset = 0;  ///< bytes used in the current block
+};
+
+} // namespace blas
+} // namespace mc
+
+#endif // MC_BLAS_SCRATCH_ARENA_HH

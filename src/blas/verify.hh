@@ -52,8 +52,18 @@ struct VerifyResult
      *  pointer when a tolerance failure at large N needs debugging. */
     std::size_t errorRow = 0;
     std::size_t errorCol = 0;
+    /** Distinct batch entries the run checked (1 for plain GEMMs;
+     *  min(batchCount, kMaxVerifyBatchEntries) for batched configs,
+     *  executed through the strided-batched drivers). */
+    std::size_t batchEntries = 1;
     std::string detail;
 };
+
+/** Batched configs verify this many distinct entries through the
+ *  strided-batched drivers — enough to exercise shared-B staging and
+ *  per-entry A/C strides while keeping the host O(m*n*k*entries) check
+ *  affordable at sweep sizes (batch counts reach 1024). */
+inline constexpr std::size_t kMaxVerifyBatchEntries = 4;
 
 /**
  * Execute @p config functionally on the host with the same path

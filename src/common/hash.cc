@@ -45,23 +45,34 @@ hashString(std::string_view text, std::uint64_t seed)
 
 namespace {
 
-/** Byte-indexed CRC-32 table for the reflected polynomial. */
-struct Crc32Table
+/**
+ * Slice-by-8 CRC-32 tables for the reflected polynomial. Table 0 is
+ * the classic byte-indexed table (used for the tail); tables 1..7
+ * carry each byte's contribution forward by one extra zero byte, so
+ * eight input bytes fold into the state with eight independent table
+ * lookups per iteration instead of an eight-step serial chain. The
+ * checksum values are identical to the byte-at-a-time formulation.
+ */
+struct Crc32Tables
 {
-    std::uint32_t entries[256];
+    std::uint32_t entries[8][256];
 
-    constexpr Crc32Table() : entries{}
+    constexpr Crc32Tables() : entries{}
     {
         for (std::uint32_t i = 0; i < 256; ++i) {
             std::uint32_t c = i;
             for (int bit = 0; bit < 8; ++bit)
                 c = (c >> 1) ^ ((c & 1u) ? 0xedb88320u : 0u);
-            entries[i] = c;
+            entries[0][i] = c;
         }
+        for (std::size_t t = 1; t < 8; ++t)
+            for (std::uint32_t i = 0; i < 256; ++i)
+                entries[t][i] = entries[0][entries[t - 1][i] & 0xffu] ^
+                                (entries[t - 1][i] >> 8);
     }
 };
 
-constexpr Crc32Table kCrc32Table;
+constexpr Crc32Tables kCrc32;
 
 } // namespace
 
@@ -70,8 +81,28 @@ crc32(const void *data, std::size_t size, std::uint32_t crc)
 {
     const auto *bytes = static_cast<const unsigned char *>(data);
     std::uint32_t c = crc ^ 0xffffffffu;
+    while (size >= 8) {
+        // Explicit little-endian assembly keeps the result independent
+        // of host byte order; compilers fold these into two loads.
+        const std::uint32_t lo =
+            c ^ (std::uint32_t(bytes[0]) | (std::uint32_t(bytes[1]) << 8) |
+                 (std::uint32_t(bytes[2]) << 16) |
+                 (std::uint32_t(bytes[3]) << 24));
+        const std::uint32_t hi =
+            std::uint32_t(bytes[4]) | (std::uint32_t(bytes[5]) << 8) |
+            (std::uint32_t(bytes[6]) << 16) | (std::uint32_t(bytes[7]) << 24);
+        c = kCrc32.entries[7][lo & 0xffu] ^
+            kCrc32.entries[6][(lo >> 8) & 0xffu] ^
+            kCrc32.entries[5][(lo >> 16) & 0xffu] ^
+            kCrc32.entries[4][lo >> 24] ^ kCrc32.entries[3][hi & 0xffu] ^
+            kCrc32.entries[2][(hi >> 8) & 0xffu] ^
+            kCrc32.entries[1][(hi >> 16) & 0xffu] ^
+            kCrc32.entries[0][hi >> 24];
+        bytes += 8;
+        size -= 8;
+    }
     for (std::size_t i = 0; i < size; ++i)
-        c = kCrc32Table.entries[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+        c = kCrc32.entries[0][(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
     return c ^ 0xffffffffu;
 }
 

@@ -48,6 +48,10 @@ struct PointOutcome
     bench::Measurement m;
     int macroTile = 0;
     bool usedMatrixCores = false;
+    /** --verify outcome: unset when the check was skipped. */
+    bool verified = false;
+    std::uint64_t verifyMaxUlp = 0;
+    std::size_t verifyBatchEntries = 0;
 };
 
 /**
@@ -108,6 +112,27 @@ measurePoint(const ServeRequest &request, const EngineOptions &options,
     if (!measured.isOk())
         return measured.status();
     out.m = measured.value();
+
+    // Deterministic host verification (mc_serve --verify): the
+    // randomized scheme's seed derives from the point key, so the
+    // check — like the measurement — depends only on the request.
+    // Batched requests verify through the strided-batched drivers;
+    // the staged operands come from the process-wide pack cache, so a
+    // replayed request re-verifies against warm panels.
+    if (options.verifyGemms && !out.m.aborted &&
+        cfg.m <= options.verifyMaxN && cfg.n <= options.verifyMaxN &&
+        cfg.k <= options.verifyMaxN) {
+        const blas::VerifyResult v = engine.verify(
+            cfg, blas::VerifyScheme::Random,
+            exec::deriveSeed(kServeSeedName, key + "#verify", 0));
+        if (!v.passed) {
+            return Status(ErrorCode::Internal,
+                          "host verification failed: " + v.detail);
+        }
+        out.verified = true;
+        out.verifyMaxUlp = v.maxUlp;
+        out.verifyBatchEntries = v.batchEntries;
+    }
     return out;
 }
 
@@ -125,6 +150,13 @@ pointJson(const PointOutcome &out)
         doc.set("spread", out.m.stats.stddev);
         doc.set("macro_tile", out.macroTile);
         doc.set("path", out.usedMatrixCores ? "MatrixCore" : "SIMD");
+    }
+    if (out.verified) {
+        doc.set("verified", true);
+        doc.set("verify_max_ulp",
+                static_cast<std::int64_t>(out.verifyMaxUlp));
+        doc.set("verify_batch_entries",
+                static_cast<std::int64_t>(out.verifyBatchEntries));
     }
     return doc;
 }

@@ -38,6 +38,17 @@ struct EngineOptions
     /** Honor the request's ChaosMode (worker processes only — chaos in
      *  the daemon process would defeat the isolation it tests). */
     bool allowChaos = false;
+
+    /**
+     * Host-verify every gemm point numerically after measuring it
+     * (mc_serve --verify): the randomized functional check runs with a
+     * seed derived from the point key, so responses stay byte-identical
+     * across replays, and its staged operands flow through the
+     * process-wide pack cache — replayed requests re-verify from warm
+     * panels. Points larger than verifyMaxN skip the O(n^3) check.
+     */
+    bool verifyGemms = false;
+    std::size_t verifyMaxN = 1024;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "blas/pack_cache.hh"
 #include "common/atomic_file.hh"
 #include "common/logging.hh"
 #include "serve/engine.hh"
@@ -307,6 +308,8 @@ Server::executeFlight(const std::string &key, const ServeRequest &request)
         wopts.graceSec = _options.workerGraceSec;
         wopts.engine.planCache = _planCache;
         wopts.engine.allowChaos = _options.allowChaos;
+        wopts.engine.verifyGemms = _options.verifyGemms;
+        wopts.engine.verifyMaxN = _options.verifyMaxN;
         outcome = runInWorker(request, wopts);
         _workerRuns.fetch_add(1);
     } else {
@@ -315,6 +318,8 @@ Server::executeFlight(const std::string &key, const ServeRequest &request)
         // In-process chaos would kill the daemon; the policy check in
         // handleFrame already refused it, this keeps the backstop.
         eopts.allowChaos = false;
+        eopts.verifyGemms = _options.verifyGemms;
+        eopts.verifyMaxN = _options.verifyMaxN;
         outcome = executePayload(request, eopts);
         _inProcessRuns.fetch_add(1);
     }
@@ -359,6 +364,16 @@ Server::statsPayload() const
               static_cast<std::int64_t>(_planCache->evictions()));
     plans.set("size", static_cast<std::int64_t>(_planCache->size()));
     doc.set("plan_cache", plans);
+    // The packed-operand cache is process-wide (blas::PackCache), so
+    // these counters cover every in-daemon run; isolated workers fork
+    // with a fresh (cold) cache and report nothing back here.
+    const blas::PackCacheStats packs = blas::PackCache::globalStats();
+    JsonValue pack = JsonValue::object();
+    pack.set("hits", static_cast<std::int64_t>(packs.hits));
+    pack.set("misses", static_cast<std::int64_t>(packs.misses));
+    pack.set("evictions", static_cast<std::int64_t>(packs.evictions));
+    pack.set("bytes", static_cast<std::int64_t>(packs.residentBytes));
+    doc.set("pack_cache", pack);
     JsonValue runs = JsonValue::object();
     runs.set("in_process",
              static_cast<std::int64_t>(_inProcessRuns.load()));

@@ -70,6 +70,13 @@ struct ServerOptions
     double workerDeadlineSec = 60.0;
     double workerGraceSec = 2.0;
 
+    /** Host-verify every gemm point after measuring it (mc_serve
+     *  --verify; EngineOptions::verifyGemms). Deterministic — the
+     *  check's seed derives from the point key — so responses stay
+     *  byte-identical across replays and workers. */
+    bool verifyGemms = false;
+    std::size_t verifyMaxN = 1024;
+
     /** Written (atomically) once the listener is live, with one line
      *  "<socket path or port>" — test orchestration polls this instead
      *  of racing the bind. Empty = none. */

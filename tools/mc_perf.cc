@@ -25,6 +25,15 @@
  * it fails unless every SIMD tier clears --min-speedup against the
  * scalar tier (and the scalar tier clears it against legacy).
  *
+ * --pack-bench switches the tool into the packed-operand reuse sweep
+ * (docs/PERF.md, "Operand packing & reuse"): per shape (--shape m,n,k
+ * triples and/or the --decode preset) it times the fast path cold
+ * (pack cache disabled, per-call staging through the scratch arena)
+ * against warm (cache primed, staged panels served by content
+ * fingerprint), memcmp-checks the two outputs identical, and reports
+ * per-row cold/warm seconds plus decode and transformer-chain
+ * geomeans (BENCH_pr10.json records the PR-acceptance run).
+ *
  * --tune switches the tool into the autotuner (docs/PERF.md,
  * "Autotuning"): per (combo, SIMD tier, size bucket) it coordinate-
  * descends over the backend's block/thread candidates — measurements
@@ -50,6 +59,7 @@
 #include "blas/functional.hh"
 #include "blas/gemm_types.hh"
 #include "blas/int8_gemm.hh"
+#include "blas/pack_cache.hh"
 #include "blas/simd_dispatch.hh"
 #include "blas/tune.hh"
 #include "prof/topdown.hh"
@@ -658,6 +668,449 @@ geomean(const std::vector<double> &ratios)
     return std::exp(log_sum / static_cast<double>(ratios.size()));
 }
 
+// ---- The packed-operand reuse sweep (--pack-bench) -----------------------
+
+struct PackShape
+{
+    std::size_t m = 0, n = 0, k = 0;
+};
+
+/** One warm-vs-cold row of the pack sweep. */
+struct PackRow
+{
+    blas::GemmCombo combo = blas::GemmCombo::Hhs;
+    /** qt-chain stage name; empty for --shape / --decode rows. */
+    std::string stage;
+    PackShape shape;
+    std::size_t batch = 1;
+    /** Decode-preset row with m <= 16: counted in the acceptance
+     *  geomean (ISSUE 10). */
+    bool decodeShaped = false;
+    double coldSec = 0.0; ///< per-call seconds, pack cache disabled
+    double warmSec = 0.0; ///< per-call seconds, cache primed
+    double speedup = 0.0; ///< coldSec / warmSec
+    /** Per-repetition per-call seconds (rep r of the cold and warm
+     *  bursts): the qt-chain summary sums these across stages per rep
+     *  so its speedup is geomeaned over whole-chain replays. */
+    std::vector<double> coldRepSec, warmRepSec;
+    std::uint64_t packHits = 0;
+    std::uint64_t packMisses = 0;
+    std::uint64_t packBytes = 0;
+};
+
+/** Calls per timing sample: a decode-shaped GEMM finishes in
+ *  microseconds, so one sample times a burst and divides — that is
+ *  also exactly the replay pattern the cache exists for. */
+int
+packBenchInner(const PackShape &s, std::size_t batch)
+{
+    const double ops = 2.0 * static_cast<double>(s.m) *
+                       static_cast<double>(s.n) *
+                       static_cast<double>(s.k) *
+                       static_cast<double>(batch);
+    constexpr double kTargetOps = 6.4e7;
+    if (ops >= kTargetOps)
+        return 1;
+    return std::min(512, std::max(1, static_cast<int>(kTargetOps / ops)));
+}
+
+/**
+ * The shared warm/cold protocol. @p run executes one full call into
+ * the caller's cold or warm output buffer; timings are best-of-reps
+ * over bursts of @p inner calls. Cold disables the pack cache (every
+ * call re-stages through the scratch arena); warm clears + primes it,
+ * so every timed call hits. The caller memcmps the two outputs — a
+ * difference is a correctness bug, not a perf result.
+ */
+template <typename ColdFn, typename WarmFn>
+void
+packTimeRow(PackRow &row, int reps, int inner, const ColdFn &run_cold,
+            const WarmFn &run_warm)
+{
+    blas::PackCache::setEnabled(false);
+    double cold = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = nowSeconds();
+        for (int i = 0; i < inner; ++i)
+            run_cold();
+        const double t = (nowSeconds() - t0) / inner;
+        row.coldRepSec.push_back(t);
+        cold = std::min(cold, t);
+    }
+
+    blas::PackCache::setEnabled(true);
+    blas::PackCache::instance().clear();
+    run_warm(); // prime: the misses land here, the timed calls hit
+    const blas::PackCacheStats before = blas::PackCache::globalStats();
+    double warm = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+        const double t0 = nowSeconds();
+        for (int i = 0; i < inner; ++i)
+            run_warm();
+        const double t = (nowSeconds() - t0) / inner;
+        row.warmRepSec.push_back(t);
+        warm = std::min(warm, t);
+    }
+    const blas::PackCacheStats after = blas::PackCache::globalStats();
+
+    row.coldSec = cold;
+    row.warmSec = warm;
+    row.speedup = warm > 0.0 ? cold / warm : 0.0;
+    row.packHits = after.hits - before.hits;
+    row.packMisses = after.misses - before.misses;
+    row.packBytes = after.residentBytes;
+}
+
+template <typename TCD, typename TAB, typename TAcc>
+PackRow
+packBenchCase(blas::GemmCombo combo, const PackShape &shape,
+              bool round_each_step, bool decode_shaped, int reps,
+              std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix<TAB> a(shape.m, shape.k), b(shape.k, shape.n);
+    Matrix<TCD> c(shape.m, shape.n);
+    fillRandom(a, rng);
+    fillRandom(b, rng);
+    fillRandom(c, rng);
+    const double alpha = 1.25, beta = 0.5;
+    blas::FunctionalGemmOptions opts;
+    opts.threads = 1;
+
+    PackRow row;
+    row.combo = combo;
+    row.shape = shape;
+    row.decodeShaped = decode_shaped;
+
+    Matrix<TCD> d_cold(shape.m, shape.n), d_warm(shape.m, shape.n);
+    const int inner = packBenchInner(shape, 1);
+    packTimeRow(
+        row, reps, inner,
+        [&] {
+            blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                alpha, a, b, beta, c, d_cold, round_each_step, opts);
+        },
+        [&] {
+            blas::fastReferenceGemm<TCD, TAB, TAcc>(
+                alpha, a, b, beta, c, d_warm, round_each_step, opts);
+        });
+    if (!bytesEqual(d_cold, d_warm)) {
+        mc_fatal("pack cache changed the result bytes: ",
+                 blas::comboInfo(combo).name, " m=", shape.m,
+                 " n=", shape.n, " k=", shape.k);
+    }
+    return row;
+}
+
+/** The int8 rows, batched through fastBatchedQuantizedGemm (batch = 1
+ *  for the plain shapes; the attention stages carry their per-head
+ *  batch, every entry's operands distinct). */
+PackRow
+packBenchCaseI8(const PackShape &shape, std::size_t batch,
+                const char *stage, bool decode_shaped, int reps,
+                std::uint64_t seed)
+{
+    Rng rng(seed);
+    const std::size_t m = shape.m, n = shape.n, k = shape.k;
+    std::vector<std::int8_t> a(batch * m * k), b(batch * k * n),
+        c(batch * m * n), d_cold(batch * m * n), d_warm(batch * m * n);
+    const auto fill = [&](std::vector<std::int8_t> &v) {
+        for (std::int8_t &x : v)
+            x = static_cast<std::int8_t>(
+                std::lround(rng.uniform(-128.0, 127.0)));
+    };
+    fill(a);
+    fill(b);
+    fill(c);
+    const double alpha = 1.25, beta = 0.5;
+    const blas::QuantParams qp = perfQuantParams();
+    blas::FunctionalGemmOptions opts;
+    opts.threads = 1;
+
+    PackRow row;
+    row.combo = blas::GemmCombo::I8gemm;
+    if (stage)
+        row.stage = stage;
+    row.shape = shape;
+    row.batch = batch;
+    row.decodeShaped = decode_shaped;
+
+    const auto run = [&](std::vector<std::int8_t> &d) {
+        blas::fastBatchedQuantizedGemm(batch, alpha, a.data(), m * k,
+                                       b.data(), k * n, beta, c.data(),
+                                       m * n, d.data(), m * n, m, n, k,
+                                       qp, opts);
+    };
+    const int inner = packBenchInner(shape, batch);
+    packTimeRow(row, reps, inner, [&] { run(d_cold); },
+                [&] { run(d_warm); });
+    if (std::memcmp(d_cold.data(), d_warm.data(), d_cold.size()) != 0) {
+        mc_fatal("pack cache changed the result bytes: i8gemm",
+                 stage ? std::string(" [") + stage + "]" : std::string(),
+                 " m=", m, " n=", n, " k=", k, " batch=", batch);
+    }
+    return row;
+}
+
+PackRow
+packBenchCombo(blas::GemmCombo combo, const PackShape &shape,
+               bool decode_shaped, int reps, std::uint64_t seed)
+{
+    switch (combo) {
+      case blas::GemmCombo::Dgemm:
+        return packBenchCase<double, double, double>(
+            combo, shape, false, decode_shaped, reps, seed);
+      case blas::GemmCombo::Sgemm:
+        return packBenchCase<float, float, float>(
+            combo, shape, false, decode_shaped, reps, seed);
+      case blas::GemmCombo::Hgemm:
+        return packBenchCase<fp::Half, fp::Half, float>(
+            combo, shape, true, decode_shaped, reps, seed);
+      case blas::GemmCombo::Hhs:
+        return packBenchCase<fp::Half, fp::Half, float>(
+            combo, shape, false, decode_shaped, reps, seed);
+      case blas::GemmCombo::Hss:
+        return packBenchCase<float, fp::Half, float>(
+            combo, shape, false, decode_shaped, reps, seed);
+      case blas::GemmCombo::I8gemm:
+        return packBenchCaseI8(shape, 1, nullptr, decode_shaped, reps,
+                               seed);
+    }
+    mc_panic("unreachable combo in mc_perf --pack-bench");
+}
+
+/** "m,n,k" triples separated by ';'. */
+std::vector<PackShape>
+parseShapeList(const std::string &text)
+{
+    std::vector<PackShape> shapes;
+    std::stringstream ss(text);
+    std::string triple;
+    while (std::getline(ss, triple, ';')) {
+        if (triple.empty())
+            continue;
+        const std::vector<std::string> dims = splitCsv(triple);
+        if (dims.size() != 3)
+            mc_fatal("bad --shape entry '", triple,
+                     "': expected m,n,k");
+        PackShape s;
+        s.m = static_cast<std::size_t>(std::stoull(dims[0]));
+        s.n = static_cast<std::size_t>(std::stoull(dims[1]));
+        s.k = static_cast<std::size_t>(std::stoull(dims[2]));
+        if (s.m == 0 || s.n == 0 || s.k == 0)
+            mc_fatal("bad --shape entry '", triple,
+                     "': dimensions must be positive");
+        shapes.push_back(s);
+    }
+    return shapes;
+}
+
+/** The decode preset: token-generation GEMM shapes. m is the batch of
+ *  in-flight tokens; the weight panel (n x k) is what the pack cache
+ *  amortizes. hgemm is deliberately absent — its per-step-rounded
+ *  chain is compute-bound even at m = 1. */
+constexpr std::size_t kDecodeM[] = {1, 8, 16, 64};
+constexpr std::size_t kDecodeNk[] = {768, 2048};
+constexpr blas::GemmCombo kDecodeCombos[] = {
+    blas::GemmCombo::Hhs, blas::GemmCombo::Hss,
+    blas::GemmCombo::I8gemm};
+
+/** The ext_quant_transformer block's GEMM chain at seq = 128 (GPT-2
+ *  small), re-timed here wall-clock warm vs cold — the bench itself
+ *  measures simulated device time, so the pack win shows up in its
+ *  --verify path and in this chain, not in its TOPS column. */
+struct QtStage
+{
+    const char *name;
+    std::size_t m, n, k, batch;
+};
+constexpr QtStage kQtChain[] = {
+    {"qkv_proj", 128, 3 * 768, 768, 1},
+    {"attn_scores", 128, 128, 64, 12},
+    {"attn_context", 128, 64, 128, 12},
+    {"out_proj", 128, 768, 768, 1},
+    {"mlp_up", 128, 4 * 768, 768, 1},
+    {"mlp_down", 128, 768, 4 * 768, 1},
+};
+
+int
+runPackBench(const CliParser &cli,
+             const std::vector<blas::GemmCombo> &combos)
+{
+    const int reps = static_cast<int>(cli.getInt("reps"));
+    const auto seed = static_cast<std::uint64_t>(cli.getInt("seed"));
+    const bool decode = cli.getBool("decode");
+    const std::vector<PackShape> shapes =
+        parseShapeList(cli.getString("shape"));
+
+    std::vector<PackRow> rows;
+    // Explicit --shape rows run under the --combos selection.
+    for (const PackShape &s : shapes) {
+        for (blas::GemmCombo combo : combos) {
+            std::fprintf(stderr,
+                         "[mc_perf] pack %s m=%zu n=%zu k=%zu...\n",
+                         blas::comboInfo(combo).name, s.m, s.n, s.k);
+            rows.push_back(
+                packBenchCombo(combo, s, false, reps, seed));
+        }
+    }
+    if (decode) {
+        for (blas::GemmCombo combo : kDecodeCombos) {
+            for (std::size_t nk : kDecodeNk) {
+                for (std::size_t m : kDecodeM) {
+                    const PackShape s{m, nk, nk};
+                    std::fprintf(stderr,
+                                 "[mc_perf] pack decode %s m=%zu "
+                                 "nk=%zu...\n",
+                                 blas::comboInfo(combo).name, m, nk);
+                    rows.push_back(packBenchCombo(combo, s, m <= 16,
+                                                  reps, seed));
+                }
+            }
+        }
+        for (const QtStage &st : kQtChain) {
+            std::fprintf(stderr, "[mc_perf] pack qt %s...\n", st.name);
+            rows.push_back(packBenchCaseI8({st.m, st.n, st.k}, st.batch,
+                                           st.name, false, reps, seed));
+        }
+    }
+    if (rows.empty()) {
+        std::fprintf(stderr,
+                     "[mc_perf] --pack-bench needs --shape and/or "
+                     "--decode\n");
+        return exitCodeFor(ErrorCode::InvalidArgument);
+    }
+    blas::PackCache::setEnabled(true);
+
+    std::vector<double> decode_ratios;
+    for (const PackRow &r : rows) {
+        std::printf("pack %-6s %-12s m=%-4zu n=%-4zu k=%-4zu batch=%-2zu "
+                    "cold=%10.3e warm=%10.3e speedup=%5.2fx hits=%llu "
+                    "misses=%llu bytes=%llu\n",
+                    blas::comboInfo(r.combo).name,
+                    r.stage.empty() ? "-" : r.stage.c_str(), r.shape.m,
+                    r.shape.n, r.shape.k, r.batch, r.coldSec, r.warmSec,
+                    r.speedup,
+                    static_cast<unsigned long long>(r.packHits),
+                    static_cast<unsigned long long>(r.packMisses),
+                    static_cast<unsigned long long>(r.packBytes));
+        if (r.decodeShaped && r.speedup > 0.0)
+            decode_ratios.push_back(r.speedup);
+    }
+    const double decode_geo = geomean(decode_ratios);
+    if (!decode_ratios.empty())
+        std::printf("geomean(decode m<=16) warm_vs_cold=%5.2fx\n",
+                    decode_geo);
+
+    // The qt summary reflects how ext_quant_transformer actually
+    // replays: one warm rep runs the *whole* chain, so each rep's
+    // speedup is the time-weighted chain total (the big projection /
+    // MLP GEMMs dominate wall clock, not the tiny per-head attention
+    // multiplies), geomeaned across the replays.
+    std::vector<double> qt_ratios;
+    {
+        const std::vector<const PackRow *> qt = [&] {
+            std::vector<const PackRow *> v;
+            for (const PackRow &r : rows)
+                if (!r.stage.empty())
+                    v.push_back(&r);
+            return v;
+        }();
+        if (!qt.empty()) {
+            for (std::size_t rep = 0;; ++rep) {
+                double cold_sum = 0.0, warm_sum = 0.0;
+                bool have_rep = true;
+                for (const PackRow *r : qt) {
+                    if (rep >= r->coldRepSec.size() ||
+                        rep >= r->warmRepSec.size()) {
+                        have_rep = false;
+                        break;
+                    }
+                    cold_sum += r->coldRepSec[rep];
+                    warm_sum += r->warmRepSec[rep];
+                }
+                if (!have_rep)
+                    break;
+                if (warm_sum > 0.0)
+                    qt_ratios.push_back(cold_sum / warm_sum);
+            }
+        }
+    }
+    const double qt_geo = geomean(qt_ratios);
+    if (!qt_ratios.empty())
+        std::printf("geomean(qt chain reps) warm_vs_cold=%5.2fx\n",
+                    qt_geo);
+
+    const std::string out_path = cli.getString("out");
+    if (!out_path.empty()) {
+        const blas::CpuFeatures &cpu = blas::cpuFeatures();
+        JsonValue report = JsonValue::object();
+        report.set("bench", "mc_perf --pack-bench");
+        report.set("description",
+                   "packed-operand reuse: per-call wall-clock with the "
+                   "pack cache disabled (cold: every call re-stages "
+                   "through the scratch arena) vs primed (warm: staged "
+                   "panels served by content fingerprint). Outputs are "
+                   "memcmp-identical in both modes.");
+        report.set("best_tier",
+                   blas::simdTierName(blas::bestSimdTier()));
+        JsonValue features = JsonValue::object();
+        features.set("sse2", cpu.sse2);
+        features.set("avx2", cpu.avx2);
+        features.set("avx512", cpu.avx512);
+        features.set("avx512vnni", cpu.avx512vnni);
+        features.set("neon", cpu.neon);
+        report.set("cpu_features", std::move(features));
+        JsonValue jrows = JsonValue::array();
+        for (const PackRow &r : rows) {
+            JsonValue jr = JsonValue::object();
+            jr.set("combo", blas::comboInfo(r.combo).name);
+            if (!r.stage.empty())
+                jr.set("stage", r.stage);
+            jr.set("m", static_cast<std::int64_t>(r.shape.m));
+            jr.set("n", static_cast<std::int64_t>(r.shape.n));
+            jr.set("k", static_cast<std::int64_t>(r.shape.k));
+            jr.set("batch", static_cast<std::int64_t>(r.batch));
+            jr.set("decode_shaped", r.decodeShaped);
+            jr.set("cold_sec", r.coldSec);
+            jr.set("warm_sec", r.warmSec);
+            jr.set("speedup_warm_vs_cold", r.speedup);
+            jr.set("pack_hits",
+                   static_cast<std::int64_t>(r.packHits));
+            jr.set("pack_misses",
+                   static_cast<std::int64_t>(r.packMisses));
+            jr.set("pack_bytes",
+                   static_cast<std::int64_t>(r.packBytes));
+            jrows.append(std::move(jr));
+        }
+        report.set("rows", std::move(jrows));
+        if (!decode_ratios.empty())
+            report.set("geomean_decode_warm_vs_cold", decode_geo);
+        if (!qt_ratios.empty())
+            report.set("geomean_qt_chain_warm_vs_cold", qt_geo);
+        AtomicFileWriter writer(out_path);
+        writer.stream() << report.serialize() << "\n";
+        const Status committed = writer.commit();
+        if (!committed.isOk()) {
+            std::fprintf(stderr, "[mc_perf] --out commit failed: %s\n",
+                         committed.toString().c_str());
+            return exitCodeFor(ErrorCode::DataLoss);
+        }
+    }
+
+    if (cli.getBool("check")) {
+        const double min_speedup = cli.getDouble("min-speedup");
+        if (!decode_ratios.empty() && decode_geo < min_speedup) {
+            std::fprintf(stderr,
+                         "[mc_perf] FAILED: decode warm/cold geomean "
+                         "%.2fx below required %.2fx\n",
+                         decode_geo, min_speedup);
+            return exitCodeFor(ErrorCode::Internal);
+        }
+    }
+    return exitCodeFor(ErrorCode::Ok);
+}
+
 } // namespace
 
 int
@@ -708,6 +1161,18 @@ main(int argc, char **argv)
     cli.addFlag("tune-apply", std::string(),
                 "activate this tuning artifact for the timing sweep "
                 "(also honours the MC_TUNE environment variable)");
+    cli.addFlag("pack-bench", false,
+                "time each shape warm (pack cache primed) vs cold "
+                "(cache disabled) instead of the tier sweep; outputs "
+                "are memcmp-checked identical in both modes");
+    cli.addFlag("shape", std::string(),
+                "with --pack-bench: semicolon-separated m,n,k triples "
+                "(e.g. '1,768,768;16,2048,2048'), run per --combos");
+    cli.addFlag("decode", false,
+                "with --pack-bench: add the decode preset (m in "
+                "{1,8,16,64} x n=k in {768,2048}, combos hhs/hss/"
+                "i8gemm) plus the quantized GPT-2 block chain at "
+                "seq=128");
     cli.parse(argc, argv);
 
     std::vector<blas::GemmCombo> combos;
@@ -719,6 +1184,10 @@ main(int argc, char **argv)
         for (const std::string &name : splitCsv(combo_list))
             combos.push_back(blas::parseCombo(name));
     }
+
+    if (cli.getBool("pack-bench") || cli.getBool("decode") ||
+        !cli.getString("shape").empty())
+        return runPackBench(cli, combos);
 
     std::vector<std::size_t> sizes;
     for (const std::string &s : splitCsv(cli.getString("sizes")))

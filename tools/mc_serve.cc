@@ -20,6 +20,7 @@
 
 #include <unistd.h>
 
+#include "blas/pack_cache.hh"
 #include "blas/tune.hh"
 #include "common/cli.hh"
 #include "exec/thread_pool.hh"
@@ -63,6 +64,16 @@ main(int argc, char **argv)
                 "grace between worker SIGTERM and SIGKILL");
     cli.addFlag("plan-cache-cap", static_cast<std::int64_t>(0),
                 "LRU cap of the shared plan cache (0 = default)");
+    cli.addFlag("pack-cache-mb", static_cast<std::int64_t>(
+                    blas::PackCache::kDefaultCapacityBytes >> 20),
+                "byte cap (MiB) of the packed-operand reuse cache "
+                "(0 = disabled; MC_PACK_CACHE env overrides)");
+    cli.addFlag("verify", false,
+                "host-verify every gemm point after measuring it "
+                "(deterministic; failures answer Internal)");
+    cli.addFlag("verify-maxn", static_cast<std::int64_t>(1024),
+                "with --verify: largest dimension checked (the check "
+                "is O(n^3) host work)");
     cli.addFlag("ready-file", std::string(),
                 "file written once the listener is live");
     cli.requireIntAtLeast("slots", 1);
@@ -70,6 +81,8 @@ main(int argc, char **argv)
     cli.requireIntAtLeast("tenant-slots", 0);
     cli.requireIntAtLeast("tcp-port", 0);
     cli.requireIntAtLeast("plan-cache-cap", 0);
+    cli.requireIntAtLeast("pack-cache-mb", 0);
+    cli.requireIntAtLeast("verify-maxn", 1);
     cli.requirePositiveDouble("worker-deadline-sec");
     cli.requirePositiveDouble("worker-grace-sec");
     cli.parse(argc, argv);
@@ -86,7 +99,12 @@ main(int argc, char **argv)
     options.allowChaos = cli.getBool("allow-chaos");
     options.workerDeadlineSec = cli.getDouble("worker-deadline-sec");
     options.workerGraceSec = cli.getDouble("worker-grace-sec");
+    options.verifyGemms = cli.getBool("verify");
+    options.verifyMaxN =
+        static_cast<std::size_t>(cli.getInt("verify-maxn"));
     options.readyFile = cli.getString("ready-file");
+    blas::PackCache::configureCapacityMb(
+        static_cast<std::uint64_t>(cli.getInt("pack-cache-mb")));
 
     auto isolation = serve::parseIsolation(cli.getString("isolate"));
     if (!isolation.isOk()) {
